@@ -1,0 +1,221 @@
+//! Isolation forest (Liu et al. 2008) over small feature vectors.
+//!
+//! The score-based baseline (§V-A) weights candidate strings by an
+//! isolation-forest anomaly score: strings whose feature vectors are easy
+//! to isolate (rare length/charset/entropy combinations) are stronger
+//! signature material.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One tree node.
+#[derive(Debug)]
+enum Node {
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+    Leaf {
+        size: usize,
+    },
+}
+
+/// An isolation forest.
+#[derive(Debug)]
+pub struct IsolationForest {
+    trees: Vec<Node>,
+    sample_size: usize,
+}
+
+impl IsolationForest {
+    /// Fits `n_trees` trees on `data` (rows are feature vectors), using
+    /// subsamples of `sample_size` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data` is empty or rows have inconsistent lengths.
+    pub fn fit(data: &[Vec<f64>], n_trees: usize, sample_size: usize, seed: u64) -> Self {
+        assert!(!data.is_empty(), "isolation forest needs data");
+        let dim = data[0].len();
+        assert!(
+            data.iter().all(|r| r.len() == dim),
+            "rows must share dimensionality"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample_size = sample_size.min(data.len()).max(2);
+        let max_depth = (sample_size as f64).log2().ceil() as usize + 1;
+        let mut trees = Vec::with_capacity(n_trees);
+        for _ in 0..n_trees {
+            let sample: Vec<&Vec<f64>> = (0..sample_size)
+                .map(|_| &data[rng.gen_range(0..data.len())])
+                .collect();
+            trees.push(build_tree(&sample, 0, max_depth, &mut rng));
+        }
+        IsolationForest { trees, sample_size }
+    }
+
+    /// Anomaly score in (0, 1); higher = more anomalous. 0.5 is the
+    /// natural midpoint per the original paper.
+    pub fn score(&self, point: &[f64]) -> f64 {
+        let mean_path: f64 = self
+            .trees
+            .iter()
+            .map(|t| path_length(t, point, 0))
+            .sum::<f64>()
+            / self.trees.len() as f64;
+        let c = c_factor(self.sample_size);
+        2f64.powf(-mean_path / c)
+    }
+}
+
+fn build_tree(sample: &[&Vec<f64>], depth: usize, max_depth: usize, rng: &mut StdRng) -> Node {
+    if sample.len() <= 1 || depth >= max_depth {
+        return Node::Leaf {
+            size: sample.len().max(1),
+        };
+    }
+    let dim = sample[0].len();
+    // Pick a feature with spread; give up after a few tries.
+    for _ in 0..4 {
+        let feature = rng.gen_range(0..dim);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for row in sample {
+            lo = lo.min(row[feature]);
+            hi = hi.max(row[feature]);
+        }
+        if hi <= lo {
+            continue;
+        }
+        let threshold = rng.gen_range(lo..hi);
+        let left: Vec<&Vec<f64>> = sample
+            .iter()
+            .filter(|r| r[feature] < threshold)
+            .copied()
+            .collect();
+        let right: Vec<&Vec<f64>> = sample
+            .iter()
+            .filter(|r| r[feature] >= threshold)
+            .copied()
+            .collect();
+        if left.is_empty() || right.is_empty() {
+            continue;
+        }
+        return Node::Split {
+            feature,
+            threshold,
+            left: Box::new(build_tree(&left, depth + 1, max_depth, rng)),
+            right: Box::new(build_tree(&right, depth + 1, max_depth, rng)),
+        };
+    }
+    Node::Leaf {
+        size: sample.len(),
+    }
+}
+
+fn path_length(node: &Node, point: &[f64], depth: usize) -> f64 {
+    match node {
+        Node::Leaf { size } => depth as f64 + c_factor(*size),
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            if point[*feature] < *threshold {
+                path_length(left, point, depth + 1)
+            } else {
+                path_length(right, point, depth + 1)
+            }
+        }
+    }
+}
+
+/// Average path length of unsuccessful BST search (the normalizer `c(n)`).
+fn c_factor(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    2.0 * ((n - 1.0).ln() + 0.5772156649) - 2.0 * (n - 1.0) / n
+}
+
+/// Feature vector for a candidate signature string: length, entropy,
+/// digit ratio, punctuation ratio, uppercase ratio.
+pub fn string_features(s: &str) -> Vec<f64> {
+    let bytes = s.as_bytes();
+    let len = bytes.len().max(1) as f64;
+    let digits = bytes.iter().filter(|b| b.is_ascii_digit()).count() as f64;
+    let punct = bytes.iter().filter(|b| b.is_ascii_punctuation()).count() as f64;
+    let upper = bytes.iter().filter(|b| b.is_ascii_uppercase()).count() as f64;
+    vec![
+        (bytes.len() as f64).min(200.0),
+        digest::shannon_entropy(bytes),
+        digits / len,
+        punct / len,
+        upper / len,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(rng_seed: u64, n: usize) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        (0..n)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect()
+    }
+
+    #[test]
+    fn outlier_scores_higher_than_inliers() {
+        let mut data = blob(1, 200);
+        data.push(vec![8.0, 8.0]); // clear outlier
+        let forest = IsolationForest::fit(&data, 100, 64, 7);
+        let outlier = forest.score(&[8.0, 8.0]);
+        let inlier = forest.score(&[0.0, 0.0]);
+        assert!(outlier > inlier + 0.1, "outlier {outlier} vs inlier {inlier}");
+    }
+
+    #[test]
+    fn scores_in_unit_interval() {
+        let data = blob(2, 50);
+        let forest = IsolationForest::fit(&data, 50, 32, 3);
+        for p in &data {
+            let s = forest.score(p);
+            assert!((0.0..=1.0).contains(&s), "{s}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blob(3, 60);
+        let a = IsolationForest::fit(&data, 30, 32, 9).score(&[0.5, 0.5]);
+        let b = IsolationForest::fit(&data, 30, 32, 9).score(&[0.5, 0.5]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs data")]
+    fn empty_data_panics() {
+        let _ = IsolationForest::fit(&[], 10, 16, 1);
+    }
+
+    #[test]
+    fn string_features_shape() {
+        let f = string_features("https://zorbex.xyz/tasks");
+        assert_eq!(f.len(), 5);
+        assert!(f[0] > 0.0);
+        assert!(f[1] > 2.0); // entropy of a URL
+    }
+
+    #[test]
+    fn identical_points_score_mid() {
+        let data = vec![vec![1.0, 1.0]; 40];
+        let forest = IsolationForest::fit(&data, 20, 16, 2);
+        let s = forest.score(&[1.0, 1.0]);
+        assert!(s > 0.3 && s < 0.9, "{s}");
+    }
+}

@@ -1,0 +1,19 @@
+//! `rulellm-baselines` — the comparison systems of §V-A (Table VII).
+//!
+//! * [`scored`] — the score-based signature generator: candidate strings
+//!   from clustered malware/legit groups, ranked by a weighted blend of
+//!   isolation-forest anomaly score (×1.2), TF-IDF (×1.0) and Shannon
+//!   entropy (×0.8); strings above the 0.9 threshold fill a YARA rule
+//!   template.
+//! * [`iforest`] — a from-scratch isolation forest used by the scorer.
+//! * [`scanners`] — stand-ins for the SOTA Yara-scanner / Semgrep-scanner
+//!   rule corpora: generic rules written for email/PE/webshell threats
+//!   (which rarely fire on OSS malware — the paper's Table VIII recall
+//!   story) plus the small OSS-specific subsets (Table XI's 46 / 334).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod iforest;
+pub mod scanners;
+pub mod scored;

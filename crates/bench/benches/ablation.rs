@@ -1,0 +1,24 @@
+//! Table X bench: cost of each ablation arm (the full pipeline pays for
+//! refinement prompts and fix rounds; the LLM-alone arm pays for longer
+//! prompts instead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use corpus::{CorpusConfig, Dataset};
+use eval::experiments::{ablation_configs, run_rulellm};
+
+fn bench_ablation(c: &mut Criterion) {
+    let dataset = Dataset::generate(&CorpusConfig::tiny());
+    let mut g = c.benchmark_group("table10_ablation");
+    g.sample_size(10);
+    for (name, config) in ablation_configs() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| run_rulellm(black_box(&dataset), config.clone()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

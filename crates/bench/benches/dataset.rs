@@ -1,0 +1,23 @@
+//! Table VI bench: corpus generation and deduplication cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use corpus::{CorpusConfig, Dataset};
+
+fn bench_dataset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6_dataset");
+    g.sample_size(10);
+    g.bench_function("generate_tiny", |b| {
+        b.iter(|| Dataset::generate(black_box(&CorpusConfig::tiny())))
+    });
+    let dataset = Dataset::generate(&CorpusConfig::small());
+    g.bench_function("dedup_small", |b| {
+        b.iter(|| black_box(&dataset).unique_malware().len())
+    });
+    g.bench_function("stats_small", |b| b.iter(|| black_box(&dataset).stats()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_dataset);
+criterion_main!(benches);

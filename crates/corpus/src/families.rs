@@ -1,0 +1,136 @@
+//! Malware family definitions.
+//!
+//! A family fixes a set of behaviors (taxonomy subcategories) and a
+//! metadata style; variants within the family re-render the same
+//! behaviors with different identifiers, hosts and payloads. Clustering
+//! similar snippets back into these families is what §III-B's grouping
+//! step is supposed to achieve, and detecting held-out variants from
+//! rules generated on two seeds per group is the §V-B variant experiment.
+
+/// How the family's packages present their metadata — realizes the
+/// "Metadata Related" taxonomy categories (Table II audits / Table XII
+/// category 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetadataStyle {
+    /// Name squats on a popular package; description copied.
+    Typosquat,
+    /// Description left empty (Table II "Empty information").
+    EmptyDescription,
+    /// Version `0.0.0` (Table II "Release zero").
+    ZeroVersion,
+    /// Declares obscure/malicious dependencies (Table II "Dependencies").
+    FakeDependencies,
+    /// No metadata red flag; only the code is malicious.
+    Plain,
+}
+
+/// A malware family.
+#[derive(Debug, Clone, Copy)]
+pub struct Family {
+    /// Stable family id (index into [`FAMILIES`]).
+    pub id: usize,
+    /// Name stem used in generated package names.
+    pub stem: &'static str,
+    /// Behavior subcategories combined by this family.
+    pub behaviors: &'static [&'static str],
+    /// Metadata presentation.
+    pub metadata_style: MetadataStyle,
+    /// Relative share of unique packages assigned to the family.
+    pub weight: u32,
+}
+
+macro_rules! family {
+    ($id:expr, $stem:expr, $style:ident, $weight:expr, [$($b:expr),+ $(,)?]) => {
+        Family {
+            id: $id,
+            stem: $stem,
+            behaviors: &[$($b),+],
+            metadata_style: MetadataStyle::$style,
+            weight: $weight,
+        }
+    };
+}
+
+/// The thirty malware families of the synthetic corpus.
+pub static FAMILIES: &[Family] = &[
+    family!(0, "wsp", Typosquat, 5, ["Known Trojan Families", "Credential Theft", "Messaging Platform Abuse"]),
+    family!(1, "beaconrat", ZeroVersion, 6, ["C2 Communication", "Persistence Mechanisms", "Sandbox Evasion"]),
+    family!(2, "envgrab", EmptyDescription, 6, ["Environment Data Stealing", "Malicious Setup Scripts"]),
+    family!(3, "piphijack", FakeDependencies, 4, ["Configuration Tampering", "Malicious Downloads"]),
+    family!(4, "ransomkit", Plain, 2, ["Crypto Library Exploitation", "System Configuration Changes"]),
+    family!(5, "bindshell", ZeroVersion, 3, ["Backdoor Families", "Process Creation"]),
+    family!(6, "b64drop", Typosquat, 8, ["Code Obfuscation", "Shell Command Execution"]),
+    family!(7, "dnspipe", Plain, 3, ["DNS/Protocol Abuse", "Sensitive Data Harvesting"]),
+    family!(8, "credharv", EmptyDescription, 5, ["Credential Theft", "Configuration File Extraction"]),
+    family!(9, "screenspy", Plain, 3, ["UI/Graphics Library Abuse", "Data Exfiltration Channels"]),
+    family!(10, "privesc", ZeroVersion, 4, ["Privilege Escalation", "Process Manipulation"]),
+    family!(11, "injworm", Plain, 3, ["Script Injection", "Malicious Downloads"]),
+    family!(12, "cloudthief", FakeDependencies, 3, ["Cloud Service Misuse", "Environment Data Stealing"]),
+    family!(13, "gitleak", Plain, 3, ["Development Tool Abuse", "Data Exfiltration Channels"]),
+    family!(14, "shload", Plain, 3, ["System Library Abuse", "Anti-Analysis Techniques"]),
+    family!(15, "sockrat", ZeroVersion, 4, ["Network Library Misuse", "Backdoor Families"]),
+    family!(16, "eggbomb", EmptyDescription, 3, ["Build Process Manipulation", "Shell Command Execution"]),
+    family!(17, "hookdrop", Typosquat, 5, ["Installation Hook Abuse", "Malicious Downloads"]),
+    family!(18, "miner", Plain, 5, ["Process Creation", "Persistence Mechanisms", "String/Pattern Hiding"]),
+    family!(19, "tweetbot", Plain, 1, ["Social Media API Exploitation", "C2 Communication"]),
+    family!(20, "sbxdodge", ZeroVersion, 4, ["Sandbox Evasion", "Code Obfuscation", "Shell Command Execution"]),
+    family!(21, "fprint", EmptyDescription, 5, ["Sensitive Data Harvesting", "Anti-Analysis Techniques"]),
+    family!(22, "hostpoison", Plain, 3, ["System Configuration Changes", "DNS/Protocol Abuse"]),
+    family!(23, "dscgrab", Typosquat, 4, ["Messaging Platform Abuse", "Data Exfiltration Channels"]),
+    family!(24, "chrobf", Plain, 4, ["String/Pattern Hiding", "Code Obfuscation"]),
+    family!(25, "setuprun", ZeroVersion, 7, ["Malicious Setup Scripts", "Shell Command Execution"]),
+    family!(26, "confsteal", EmptyDescription, 3, ["Configuration File Extraction", "Data Exfiltration Channels"]),
+    family!(27, "beaconlite", Plain, 5, ["C2 Communication"]),
+    family!(28, "puredrop", Typosquat, 5, ["Malicious Downloads"]),
+    family!(29, "execb64", EmptyDescription, 6, ["Code Obfuscation"]),
+];
+
+/// Total of all family weights (used to apportion unique packages).
+pub fn total_weight() -> u32 {
+    FAMILIES.iter().map(|f| f.weight).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behaviors::behavior_index;
+
+    #[test]
+    fn ids_match_positions() {
+        for (i, f) in FAMILIES.iter().enumerate() {
+            assert_eq!(f.id, i);
+        }
+    }
+
+    #[test]
+    fn every_family_behavior_exists_in_catalog() {
+        for f in FAMILIES {
+            for b in f.behaviors {
+                assert!(behavior_index(b).is_some(), "family {} uses unknown behavior {b}", f.stem);
+            }
+        }
+    }
+
+    #[test]
+    fn stems_are_unique() {
+        let stems: std::collections::HashSet<&str> = FAMILIES.iter().map(|f| f.stem).collect();
+        assert_eq!(stems.len(), FAMILIES.len());
+    }
+
+    #[test]
+    fn weights_positive() {
+        assert!(FAMILIES.iter().all(|f| f.weight > 0));
+        assert!(total_weight() > 100);
+    }
+
+    #[test]
+    fn all_metadata_styles_used() {
+        use MetadataStyle::*;
+        for style in [Typosquat, EmptyDescription, ZeroVersion, FakeDependencies, Plain] {
+            assert!(
+                FAMILIES.iter().any(|f| f.metadata_style == style),
+                "{style:?} unused"
+            );
+        }
+    }
+}

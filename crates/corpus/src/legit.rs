@@ -1,0 +1,251 @@
+//! Legitimate package synthesis and shared benign filler code.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use oss_registry::{render_setup_py, Ecosystem, Package, PackageMetadata, SourceFile, POPULAR_PACKAGES};
+
+use crate::naming;
+
+/// Generates benign function definitions totalling roughly `lines` lines.
+///
+/// Shared by the malware generator (padding to Table VI sizes) and the
+/// legitimate generator (bulk). Functions are parameterized by the rng so
+/// no two packages carry identical filler.
+pub fn filler_functions(rng: &mut StdRng, lines: usize) -> String {
+    let mut out = String::new();
+    let mut produced = 0usize;
+    while produced < lines {
+        let snippet = match rng.gen_range(0..8) {
+            0 => t_slugify(rng),
+            1 => t_chunks(rng),
+            2 => t_retry(rng),
+            3 => t_stats(rng),
+            4 => t_cache(rng),
+            5 => t_parse_kv(rng),
+            6 => t_tree(rng),
+            _ => t_format_table(rng),
+        };
+        produced += snippet.lines().count() + 1;
+        out.push_str(&snippet);
+        out.push('\n');
+    }
+    out
+}
+
+fn t_slugify(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let sep = naming::pick(rng, &["-", "_", "."]);
+    format!(
+        "def {f}_slug(text):\n    \"\"\"Lowercase and join words with '{sep}'.\"\"\"\n    words = []\n    for word in text.split():\n        cleaned = ''.join(c for c in word.lower() if c.isalnum())\n        if cleaned:\n            words.append(cleaned)\n    return '{sep}'.join(words)\n"
+    )
+}
+
+fn t_chunks(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let n = rng.gen_range(2..16);
+    format!(
+        "def {f}_chunks(items, size={n}):\n    \"\"\"Yield fixed-size chunks from a list.\"\"\"\n    for start in range(0, len(items), size):\n        yield items[start:start + size]\n"
+    )
+}
+
+fn t_retry(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let tries = rng.gen_range(2..6);
+    format!(
+        "def {f}_retry(fn, attempts={tries}, delay=0.1):\n    \"\"\"Call fn with retries on exception.\"\"\"\n    import time\n    last = None\n    for attempt in range(attempts):\n        try:\n            return fn()\n        except Exception as exc:\n            last = exc\n            time.sleep(delay * (attempt + 1))\n    raise last\n"
+    )
+}
+
+fn t_stats(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    format!(
+        "def {f}_mean(values):\n    \"\"\"Arithmetic mean, 0.0 for empty input.\"\"\"\n    if not values:\n        return 0.0\n    return sum(values) / len(values)\n\n\ndef {f}_variance(values):\n    \"\"\"Population variance.\"\"\"\n    m = {f}_mean(values)\n    return {f}_mean([(v - m) ** 2 for v in values])\n"
+    )
+}
+
+fn t_cache(rng: &mut StdRng) -> String {
+    let c = naming::ident(rng);
+    let cap = rng.gen_range(16..256);
+    format!(
+        "class {c}Cache:\n    \"\"\"Tiny LRU-ish dict cache (capacity {cap}).\"\"\"\n\n    def __init__(self):\n        self._data = {{}}\n        self._order = []\n\n    def get(self, key, default=None):\n        return self._data.get(key, default)\n\n    def put(self, key, value):\n        if key not in self._data and len(self._order) >= {cap}:\n            oldest = self._order.pop(0)\n            self._data.pop(oldest, None)\n        if key not in self._data:\n            self._order.append(key)\n        self._data[key] = value\n"
+    )
+}
+
+fn t_parse_kv(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let sep = naming::pick(rng, &["=", ":"]);
+    format!(
+        "def {f}_parse(text):\n    \"\"\"Parse 'key{sep}value' lines into a dict.\"\"\"\n    result = {{}}\n    for line in text.splitlines():\n        line = line.strip()\n        if not line or line.startswith('#'):\n            continue\n        if '{sep}' in line:\n            key, _, value = line.partition('{sep}')\n            result[key.strip()] = value.strip()\n    return result\n"
+    )
+}
+
+fn t_tree(rng: &mut StdRng) -> String {
+    let c = naming::ident(rng);
+    format!(
+        "class {c}Node:\n    \"\"\"Binary search tree node.\"\"\"\n\n    def __init__(self, key):\n        self.key = key\n        self.left = None\n        self.right = None\n\n    def insert(self, key):\n        if key < self.key:\n            if self.left is None:\n                self.left = {c}Node(key)\n            else:\n                self.left.insert(key)\n        else:\n            if self.right is None:\n                self.right = {c}Node(key)\n            else:\n                self.right.insert(key)\n\n    def walk(self):\n        if self.left:\n            yield from self.left.walk()\n        yield self.key\n        if self.right:\n            yield from self.right.walk()\n"
+    )
+}
+
+fn t_format_table(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let pad = rng.gen_range(1..4);
+    format!(
+        "def {f}_table(rows):\n    \"\"\"Render rows of strings as an aligned text table.\"\"\"\n    if not rows:\n        return ''\n    widths = [max(len(str(r[i])) for r in rows) for i in range(len(rows[0]))]\n    lines = []\n    for row in rows:\n        cells = [str(cell).ljust(widths[i] + {pad}) for i, cell in enumerate(row)]\n        lines.append(''.join(cells).rstrip())\n    return '\\n'.join(lines)\n"
+    )
+}
+
+/// Benign-but-suspicious-looking module: legitimate uses of the same APIs
+/// malware abuses. These files punish over-general rules (precision
+/// pressure in Table VIII).
+fn benign_suspicious_module(rng: &mut StdRng) -> String {
+    let f = naming::ident(rng);
+    let mut out = String::from("\"\"\"Developer tooling helpers.\"\"\"\nimport base64\nimport os\nimport subprocess\n\n");
+    out.push_str(&format!(
+        "def {f}_git_describe(repo):\n    \"\"\"Return `git describe` output for a checkout.\"\"\"\n    return subprocess.run(\n        ['git', 'describe', '--tags'], cwd=repo, capture_output=True, text=True,\n    ).stdout.strip()\n\n"
+    ));
+    out.push_str(&format!(
+        "def {f}_data_uri(path):\n    \"\"\"Encode a file as a data: URI for inline embedding.\"\"\"\n    with open(path, 'rb') as fh:\n        payload = base64.b64encode(fh.read()).decode('ascii')\n    return 'data:application/octet-stream;base64,' + payload\n\n"
+    ));
+    out.push_str(&format!(
+        "def {f}_proxy_url():\n    \"\"\"Read the proxy configuration from the environment.\"\"\"\n    return os.environ.get('HTTPS_PROXY') or os.environ.get('https_proxy')\n\n"
+    ));
+    if rng.gen_bool(0.5) {
+        out.push_str(&format!(
+            "def {f}_fetch_release(session, repo):\n    \"\"\"Fetch the latest release tag from the GitHub API.\"\"\"\n    import requests\n    resp = requests.get('https://api.github.com/repos/' + repo + '/releases/latest', timeout=10)\n    resp.raise_for_status()\n    return resp.json()['tag_name']\n\n"
+        ));
+    }
+    out
+}
+
+/// Generates one legitimate package, deterministic in `(index, seed)`.
+///
+/// Sizes follow Table VI (~3,052 LoC average); roughly one package in six
+/// contains a benign-suspicious module.
+pub fn generate_legit_package(index: usize, seed: u64) -> Package {
+    let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0xA24BAED4963EE407));
+    let name = if index < POPULAR_PACKAGES.len() {
+        POPULAR_PACKAGES[index].to_owned()
+    } else {
+        format!("{}{}", naming::package_name(&mut rng), index)
+    };
+    let metadata = PackageMetadata {
+        name: name.clone(),
+        version: format!("{}.{}.{}", rng.gen_range(1..8), rng.gen_range(0..30), rng.gen_range(0..15)),
+        summary: format!("{name}: well-maintained utilities"),
+        description: format!(
+            "{name} provides tested, documented helpers used across many projects. \
+             See https://{name}.readthedocs.io for the full guide."
+        ),
+        home_page: format!("https://github.com/{name}/{name}"),
+        author: format!("{} maintainers", name),
+        author_email: format!("maintainers@{name}.dev"),
+        license: naming::pick(&mut rng, &["MIT", "Apache-2.0", "BSD-3-Clause"]).to_owned(),
+        dependencies: vec!["setuptools".into()],
+    };
+    let module_dir = name.replace('-', "_");
+    let mut files = vec![SourceFile::new("setup.py", render_setup_py(&metadata, ""))];
+    // Bulk modules: target ~3,052 LoC average with 0.5x–1.6x spread.
+    let target = (3052.0 * rng.gen_range(0.5..1.6)) as usize;
+    let n_modules = rng.gen_range(4..9);
+    let per_module = target / n_modules;
+    for m in 0..n_modules {
+        let mut body = format!(
+            "\"\"\"{name}.{mod_name} — generated utility module.\"\"\"\n\n",
+            mod_name = format!("mod{m}")
+        );
+        body.push_str(&filler_functions(&mut rng, per_module));
+        files.push(SourceFile::new(
+            format!("{module_dir}/mod{m}.py"),
+            body,
+        ));
+    }
+    if rng.gen_bool(1.0 / 6.0) {
+        files.push(SourceFile::new(
+            format!("{module_dir}/devtools.py"),
+            benign_suspicious_module(&mut rng),
+        ));
+    }
+    // A small test module, as real sdists carry.
+    files.push(SourceFile::new(
+        "tests/test_basic.py",
+        format!(
+            "import {module_dir}\n\n\ndef test_import():\n    assert {module_dir} is not None\n"
+        ),
+    ));
+    files.push(SourceFile::new(
+        format!("{module_dir}/__init__.py"),
+        format!("\"\"\"{name} public API.\"\"\"\n__version__ = '{}'\n", metadata.version),
+    ));
+    Package::new(metadata, files, Ecosystem::PyPi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = generate_legit_package(3, 42);
+        let b = generate_legit_package(3, 42);
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn distinct_indices_distinct_packages() {
+        let a = generate_legit_package(0, 42);
+        let b = generate_legit_package(1, 42);
+        assert_ne!(a.signature(), b.signature());
+        assert_ne!(a.metadata().name, b.metadata().name);
+    }
+
+    #[test]
+    fn loc_matches_table_vi_scale() {
+        let mut total = 0;
+        for i in 0..8 {
+            total += generate_legit_package(i, 42).loc();
+        }
+        let avg = total / 8;
+        assert!(avg > 1200 && avg < 6000, "avg legit LoC {avg}");
+    }
+
+    #[test]
+    fn metadata_is_complete() {
+        let p = generate_legit_package(2, 42);
+        let m = p.metadata();
+        assert!(!m.description.is_empty());
+        assert!(!m.author_email.is_empty());
+        assert!(!m.home_page.is_empty());
+        assert!(m.version != "0.0.0");
+    }
+
+    #[test]
+    fn first_packages_use_popular_names() {
+        let p = generate_legit_package(0, 42);
+        assert_eq!(p.metadata().name, POPULAR_PACKAGES[0]);
+    }
+
+    #[test]
+    fn filler_parses() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let code = filler_functions(&mut rng, 200);
+        assert!(code.lines().count() >= 200);
+        let module = pysrc::parse_module(&code);
+        assert!(module.body.len() > 5);
+    }
+
+    #[test]
+    fn some_packages_have_benign_suspicious_modules() {
+        let mut found = false;
+        for i in 0..30 {
+            let p = generate_legit_package(i, 42);
+            if p.files().iter().any(|f| f.path.ends_with("devtools.py")) {
+                found = true;
+                let dev = p.files().iter().find(|f| f.path.ends_with("devtools.py")).expect("file");
+                assert!(dev.contents.contains("base64.b64encode"));
+                break;
+            }
+        }
+        assert!(found, "no benign-suspicious module in 30 packages");
+    }
+}

@@ -1,0 +1,118 @@
+//! Random identifier, host and payload generation for variant synthesis.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const SYLLABLES: &[&str] = &[
+    "zor", "bex", "lum", "tak", "vin", "mod", "pax", "ren", "sul", "dro", "kit", "nav", "wex",
+    "gol", "fir", "hab", "jup", "qua", "yel", "ost",
+];
+
+const TLDS: &[&str] = &["xyz", "top", "site", "online", "space", "icu", "click"];
+
+const WORDS: &[&str] = &[
+    "color", "utils", "helper", "tools", "net", "data", "sys", "cloud", "fast", "easy", "auto",
+    "py", "lib", "core", "text", "json", "http", "crypto", "async", "micro",
+];
+
+/// Generates a random lowercase identifier of 2–3 syllables.
+pub fn ident(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(2..=3);
+    (0..n).map(|_| SYLLABLES[rng.gen_range(0..SYLLABLES.len())]).collect()
+}
+
+/// Generates a plausible package name from two word stems.
+pub fn package_name(rng: &mut StdRng) -> String {
+    let a = WORDS[rng.gen_range(0..WORDS.len())];
+    let b = WORDS[rng.gen_range(0..WORDS.len())];
+    if rng.gen_bool(0.5) {
+        format!("{a}{b}")
+    } else {
+        format!("{a}-{b}")
+    }
+}
+
+/// Generates a random C2 domain like `zorbex.xyz`.
+pub fn c2_domain(rng: &mut StdRng) -> String {
+    format!(
+        "{}{}.{}",
+        SYLLABLES[rng.gen_range(0..SYLLABLES.len())],
+        SYLLABLES[rng.gen_range(0..SYLLABLES.len())],
+        TLDS[rng.gen_range(0..TLDS.len())]
+    )
+}
+
+/// Generates a random public-looking IPv4 address.
+pub fn c2_ip(rng: &mut StdRng) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        rng.gen_range(11..223),
+        rng.gen_range(0..255),
+        rng.gen_range(0..255),
+        rng.gen_range(1..254)
+    )
+}
+
+/// Generates a webhook-style exfiltration URL.
+pub fn webhook_url(rng: &mut StdRng) -> String {
+    let id: String = (0..18).map(|_| {
+        let c = rng.gen_range(0..36);
+        char::from_digit(c, 36).expect("base36 digit")
+    }).collect();
+    format!("https://discord.com/api/webhooks/{}/{}", rng.gen_range(100000000u64..999999999), id)
+}
+
+/// Picks one of the listed options.
+pub fn pick<'a>(rng: &mut StdRng, options: &[&'a str]) -> &'a str {
+    options[rng.gen_range(0..options.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_eq!(ident(&mut a), ident(&mut b));
+        assert_eq!(c2_domain(&mut a), c2_domain(&mut b));
+    }
+
+    #[test]
+    fn ident_is_lowercase_alpha() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let id = ident(&mut rng);
+            assert!(id.chars().all(|c| c.is_ascii_lowercase()), "{id}");
+            assert!(id.len() >= 4);
+        }
+    }
+
+    #[test]
+    fn c2_ip_is_dotted_quad() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ip = c2_ip(&mut rng);
+        assert_eq!(ip.split('.').count(), 4);
+        for octet in ip.split('.') {
+            let v: u32 = octet.parse().expect("number");
+            assert!(v < 256);
+        }
+    }
+
+    #[test]
+    fn webhook_has_discord_shape() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let url = webhook_url(&mut rng);
+        assert!(url.starts_with("https://discord.com/api/webhooks/"));
+    }
+
+    #[test]
+    fn package_names_vary() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let names: std::collections::HashSet<String> =
+            (0..30).map(|_| package_name(&mut rng)).collect();
+        assert!(names.len() > 10);
+    }
+}

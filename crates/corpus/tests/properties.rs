@@ -1,0 +1,68 @@
+//! Property-based tests for the corpus generator's invariants.
+
+use corpus::{generate_legit_package, generate_malware_package, FAMILIES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_malware_variant_is_well_formed(
+        family_idx in 0usize..30,
+        variant in 0u64..50,
+        seed in any::<u64>(),
+    ) {
+        let family = &FAMILIES[family_idx];
+        let (pkg, tags) = generate_malware_package(family, variant, seed);
+        // Structure invariants.
+        prop_assert!(pkg.setup_file().is_some());
+        prop_assert!(pkg.loc() > 20);
+        prop_assert_eq!(tags.len(), family.behaviors.len());
+        prop_assert!(!pkg.metadata().name.is_empty());
+        // Source must parse.
+        for f in pkg.files() {
+            if f.path.ends_with(".py") {
+                let module = pysrc::parse_module(&f.contents);
+                prop_assert!(!module.body.is_empty(), "{} unparsable", f.path);
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_are_stable_and_variant_sensitive(
+        family_idx in 0usize..30,
+        variant in 0u64..20,
+        seed in any::<u64>(),
+    ) {
+        let family = &FAMILIES[family_idx];
+        let (a, _) = generate_malware_package(family, variant, seed);
+        let (b, _) = generate_malware_package(family, variant, seed);
+        prop_assert_eq!(a.signature(), b.signature());
+        let (c, _) = generate_malware_package(family, variant + 1, seed);
+        prop_assert_ne!(a.signature(), c.signature());
+    }
+
+    #[test]
+    fn legit_packages_are_complete_and_bigger(index in 0usize..40, seed in any::<u64>()) {
+        let pkg = generate_legit_package(index, seed);
+        prop_assert!(pkg.loc() > 800, "legit package too small: {}", pkg.loc());
+        prop_assert!(!pkg.metadata().description.is_empty());
+        prop_assert!(!pkg.metadata().author_email.is_empty());
+        prop_assert!(pkg.metadata().version != "0.0.0");
+    }
+
+    #[test]
+    fn malware_behaviors_leave_observable_indicators(
+        family_idx in 0usize..30,
+        variant in 0u64..10,
+    ) {
+        let family = &FAMILIES[family_idx];
+        let (pkg, _) = generate_malware_package(family, variant, 42);
+        let analysis = llm_sim::analyze_code(&pkg.combined_source());
+        prop_assert!(
+            !analysis.indicators.is_empty(),
+            "family {} variant {variant} produced no Table II indicators",
+            family.stem
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Shannon entropy over bytes.
+
+/// Computes the Shannon entropy of `data` in bits per byte (0.0–8.0).
+///
+/// The score-based baseline (§V-A) weights candidate strings by entropy:
+/// high-entropy strings (encoded payloads, random C2 hostnames) are
+/// stronger signature material than low-entropy boilerplate.
+///
+/// Returns `0.0` for empty input.
+pub fn shannon_entropy(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0usize; 256];
+    for &b in data {
+        counts[b as usize] += 1;
+    }
+    let len = data.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / len;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(shannon_entropy(b""), 0.0);
+    }
+
+    #[test]
+    fn uniform_single_byte_is_zero() {
+        assert_eq!(shannon_entropy(b"aaaaaaaa"), 0.0);
+    }
+
+    #[test]
+    fn two_symbols_equal_split_is_one_bit() {
+        let e = shannon_entropy(b"abababab");
+        assert!((e - 1.0).abs() < 1e-9, "got {e}");
+    }
+
+    #[test]
+    fn random_looking_base64_has_high_entropy() {
+        let e = shannon_entropy(b"aGVsbG8gd29ybGQhIHRoaXMgaXMgYSB0ZXN0IHZlY3Rvcg==");
+        assert!(e > 4.0, "got {e}");
+    }
+
+    #[test]
+    fn english_text_is_mid_entropy() {
+        let e = shannon_entropy(b"the quick brown fox jumps over the lazy dog");
+        assert!(e > 3.0 && e < 5.0, "got {e}");
+    }
+
+    #[test]
+    fn all_256_bytes_is_eight_bits() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let e = shannon_entropy(&data);
+        assert!((e - 8.0).abs() < 1e-9, "got {e}");
+    }
+}

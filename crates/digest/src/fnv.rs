@@ -1,0 +1,40 @@
+//! FNV-1a 64-bit hash — feature bucketing for the embedding substrate.
+
+const OFFSET: u64 = 0xcbf29ce484222325;
+const PRIME: u64 = 0x100000001b3;
+
+/// Computes the 64-bit FNV-1a hash of `data`.
+///
+/// Deterministic across platforms, which keeps the embedding (and therefore
+/// clustering, rule generation and every downstream table) reproducible.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Reference values for FNV-1a 64-bit.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        assert_ne!(fnv1a(b"os.system"), fnv1a(b"os.popen"));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fnv1a(b"token"), fnv1a(b"token"));
+    }
+}

@@ -1,0 +1,35 @@
+//! `rulellm-digest` — hashing and encoding substrate.
+//!
+//! The paper deduplicates the 3,200-package GuardDog corpus down to 1,633
+//! unique packages by content signature (§V-A) and its malware samples
+//! carry base64-obfuscated payloads. This crate provides the primitives
+//! both of those need:
+//!
+//! * [`sha256`] — package signatures for deduplication.
+//! * [`fnv1a`] — cheap 64-bit hashing for embedding feature buckets.
+//! * [`base64`] — encode/decode used by the synthetic corpus to build (and
+//!   the analyzers to unwrap) obfuscated payloads.
+//! * [`shannon_entropy`] — string randomness score used by the score-based
+//!   baseline (information-entropy component, §V-A).
+//!
+//! # Examples
+//!
+//! ```
+//! let sig = digest::sha256_hex(b"malware-package-contents");
+//! assert_eq!(sig.len(), 64);
+//!
+//! let enc = digest::base64::encode(b"import os");
+//! assert_eq!(digest::base64::decode(&enc).unwrap(), b"import os");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod base64;
+mod entropy;
+mod fnv;
+mod sha256;
+
+pub use entropy::shannon_entropy;
+pub use fnv::fnv1a;
+pub use sha256::{sha256, sha256_hex};

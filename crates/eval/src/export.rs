@@ -1,0 +1,206 @@
+//! JSON export of experiment results (for dashboards / regression
+//! tracking of the reproduction itself).
+
+use serde::Serialize;
+
+use crate::experiments::{PerRuleStats, RuleCountRow, VariantReport};
+use crate::metrics::MetricsRow;
+
+/// Serializable form of one metrics row.
+#[derive(Debug, Serialize)]
+pub struct MetricsRowJson {
+    /// Row label.
+    pub name: String,
+    /// Accuracy in the unit interval.
+    pub accuracy: f64,
+    /// Precision in the unit interval.
+    pub precision: f64,
+    /// Recall in the unit interval.
+    pub recall: f64,
+    /// F1 in the unit interval.
+    pub f1: f64,
+    /// Raw confusion counts `[tp, fp, tn, fn]`.
+    pub confusion: [usize; 4],
+}
+
+impl From<&MetricsRow> for MetricsRowJson {
+    fn from(row: &MetricsRow) -> Self {
+        let c = row.confusion;
+        MetricsRowJson {
+            name: row.name.clone(),
+            accuracy: c.accuracy(),
+            precision: c.precision(),
+            recall: c.recall(),
+            f1: c.f1(),
+            confusion: [c.tp, c.fp, c.tn, c.fn_],
+        }
+    }
+}
+
+/// A whole experiment report, serializable to one JSON document.
+#[derive(Debug, Default, Serialize)]
+pub struct ExperimentReport {
+    /// Corpus scale name (`tiny`/`small`/`paper`).
+    pub scale: String,
+    /// Table VIII rows.
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub table8: Vec<MetricsRowJson>,
+    /// Table IX rows.
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub table9: Vec<MetricsRowJson>,
+    /// Table X rows.
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub table10: Vec<MetricsRowJson>,
+    /// Table XI rows as `(format, sota_total, sota_oss, rulellm)`.
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub table11: Vec<(String, usize, usize, usize)>,
+    /// Table XII rows as `(category, subcategory, count)`.
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub table12: Vec<(String, String, usize)>,
+    /// Per-rule stats as `(rule, malware_hits, legit_hits)`.
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub per_rule: Vec<(String, usize, usize)>,
+    /// Variant-detection summary.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub variants: Option<VariantJson>,
+}
+
+/// Serializable variant report.
+#[derive(Debug, Serialize)]
+pub struct VariantJson {
+    /// Groups evaluated.
+    pub groups: usize,
+    /// Held-out variants.
+    pub total_variants: usize,
+    /// Detected variants.
+    pub detected: usize,
+    /// Micro-average rate.
+    pub overall_rate: f64,
+    /// Macro-average rate.
+    pub average_rate: f64,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report for a scale.
+    pub fn new(scale: &str) -> Self {
+        ExperimentReport {
+            scale: scale.to_owned(),
+            ..ExperimentReport::default()
+        }
+    }
+
+    /// Attaches metrics rows to the named table.
+    pub fn set_metrics(&mut self, table: &str, rows: &[MetricsRow]) {
+        let converted: Vec<MetricsRowJson> = rows.iter().map(MetricsRowJson::from).collect();
+        match table {
+            "table8" => self.table8 = converted,
+            "table9" => self.table9 = converted,
+            "table10" => self.table10 = converted,
+            _ => {}
+        }
+    }
+
+    /// Attaches Table XI rows.
+    pub fn set_rule_counts(&mut self, rows: &[RuleCountRow]) {
+        self.table11 = rows
+            .iter()
+            .map(|r| (r.format.to_owned(), r.sota_total.0, r.sota_oss.0, r.rulellm))
+            .collect();
+    }
+
+    /// Attaches Table XII rows.
+    pub fn set_taxonomy(&mut self, rows: &[((&'static str, &'static str), usize)]) {
+        self.table12 = rows
+            .iter()
+            .map(|((c, s), n)| ((*c).to_owned(), (*s).to_owned(), *n))
+            .collect();
+    }
+
+    /// Attaches per-rule stats.
+    pub fn set_per_rule(&mut self, stats: &[PerRuleStats]) {
+        self.per_rule = stats
+            .iter()
+            .map(|s| (s.rule.clone(), s.malware_hits, s.legit_hits))
+            .collect();
+    }
+
+    /// Attaches the variant report.
+    pub fn set_variants(&mut self, report: &VariantReport) {
+        self.variants = Some(VariantJson {
+            groups: report.groups,
+            total_variants: report.total_variants,
+            detected: report.detected,
+            overall_rate: report.overall_rate,
+            average_rate: report.average_rate,
+        });
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` failures (none are expected for this
+    /// shape).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Confusion;
+
+    fn row(name: &str) -> MetricsRow {
+        MetricsRow {
+            name: name.into(),
+            confusion: Confusion {
+                tp: 9,
+                fp: 1,
+                tn: 8,
+                fn_: 2,
+            },
+        }
+    }
+
+    #[test]
+    fn report_serializes_round_numbers() {
+        let mut report = ExperimentReport::new("tiny");
+        report.set_metrics("table8", &[row("RuleLLM")]);
+        let json = report.to_json().expect("serialize");
+        assert!(json.contains("\"scale\": \"tiny\""));
+        assert!(json.contains("\"RuleLLM\""));
+        assert!(json.contains("\"confusion\""));
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        assert_eq!(parsed["table8"][0]["confusion"][0], 9);
+    }
+
+    #[test]
+    fn empty_sections_skipped() {
+        let report = ExperimentReport::new("tiny");
+        let json = report.to_json().expect("serialize");
+        assert!(!json.contains("table9"));
+        assert!(!json.contains("variants"));
+    }
+
+    #[test]
+    fn metrics_are_consistent_with_confusion() {
+        let j = MetricsRowJson::from(&row("x"));
+        assert!((j.precision - 0.9).abs() < 1e-9);
+        assert!((j.recall - 9.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variant_report_attached() {
+        let mut report = ExperimentReport::new("small");
+        report.set_variants(&VariantReport {
+            groups: 10,
+            total_variants: 40,
+            detected: 36,
+            overall_rate: 0.9,
+            average_rate: 0.95,
+        });
+        let json = report.to_json().expect("serialize");
+        assert!(json.contains("\"overall_rate\": 0.9"));
+    }
+}

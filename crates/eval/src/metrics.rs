@@ -1,0 +1,155 @@
+//! Confusion-matrix metrics (accuracy / precision / recall / F1).
+
+/// A binary confusion matrix over package-level detection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Malicious packages detected.
+    pub tp: usize,
+    /// Legitimate packages flagged.
+    pub fp: usize,
+    /// Legitimate packages passed.
+    pub tn: usize,
+    /// Malicious packages missed.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Adds one observation.
+    pub fn observe(&mut self, is_malicious: bool, predicted_malicious: bool) {
+        match (is_malicious, predicted_malicious) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// (TP + TN) / total; 0 on empty.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// TP / (TP + FP); 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// TP / (TP + FN); 0 when there are no positives.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// A named metrics row (one line of Table VIII/IX/X).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRow {
+    /// Row label.
+    pub name: String,
+    /// The confusion behind the derived numbers.
+    pub confusion: Confusion,
+}
+
+impl MetricsRow {
+    /// Formats the row as `name acc% prec% rec% f1%`.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<28} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+            self.name,
+            self.confusion.accuracy() * 100.0,
+            self.confusion.precision() * 100.0,
+            self.confusion.recall() * 100.0,
+            self.confusion.f1() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let c = Confusion {
+            tp: 10,
+            fp: 0,
+            tn: 10,
+            fn_: 0,
+        };
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn paper_rulellm_numbers_reconstruct() {
+        // Table VIII: 1,633 malware + 500 legit; recall 91.8%, precision 85.2%.
+        let tp = (0.918f64 * 1633.0).round() as usize; // 1499
+        let fn_ = 1633 - tp;
+        let fp = ((tp as f64) * (1.0 - 0.852) / 0.852).round() as usize; // ~260
+        let tn = 500 - fp;
+        let c = Confusion { tp, fp, tn, fn_ };
+        assert!((c.accuracy() - 0.814).abs() < 0.01, "{}", c.accuracy());
+        assert!((c.f1() - 0.884).abs() < 0.01, "{}", c.f1());
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn observe_routes_correctly() {
+        let mut c = Confusion::default();
+        c.observe(true, true);
+        c.observe(true, false);
+        c.observe(false, true);
+        c.observe(false, false);
+        assert_eq!((c.tp, c.fn_, c.fp, c.tn), (1, 1, 1, 1));
+        assert_eq!(c.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn row_renders_percentages() {
+        let row = MetricsRow {
+            name: "RuleLLM".into(),
+            confusion: Confusion {
+                tp: 9,
+                fp: 1,
+                tn: 9,
+                fn_: 1,
+            },
+        };
+        let s = row.render();
+        assert!(s.contains("RuleLLM"));
+        assert!(s.contains("90.0%"));
+    }
+}

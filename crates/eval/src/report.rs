@@ -1,0 +1,213 @@
+//! Text rendering of tables and figures, mirroring the paper's layout.
+
+use crate::experiments::{PerRuleStats, RuleCountRow, VariantReport};
+use crate::metrics::{Confusion, MetricsRow};
+
+/// Renders a Table VIII/IX/X-style metrics block.
+pub fn render_metrics_table(title: &str, rows: &[MetricsRow]) -> String {
+    let mut out = format!(
+        "== {title} ==\n{:<28} {:>7} {:>7} {:>7} {:>7}\n",
+        "Rule Type", "Acc", "Prec", "Recall", "F1"
+    );
+    for row in rows {
+        out.push_str(&row.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a Table VI block.
+pub fn render_dataset_stats(stats: &corpus::DatasetStats) -> String {
+    format!(
+        "== Table VI: dataset ==\n\
+         Category    Pkg.Num  Dedup  Avg.LoC\n\
+         Malware     {:>7} {:>6} {:>8.0}\n\
+         Legitimate  {:>7} {:>6} {:>8.0}\n",
+        stats.malware_total,
+        stats.malware_unique,
+        stats.malware_avg_loc,
+        stats.legit_total,
+        stats.legit_total,
+        stats.legit_avg_loc,
+    )
+}
+
+/// Renders a Fig. 5/6-style matched-rule-count curve.
+pub fn render_matched_curve(title: &str, curve: &[(usize, Confusion)]) -> String {
+    let mut out = format!(
+        "== {title} ==\n{:>3} {:>7} {:>7} {:>7} {:>7}\n",
+        "k", "Acc", "Prec", "Recall", "F1"
+    );
+    for (k, c) in curve {
+        out.push_str(&format!(
+            "{k:>3} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%\n",
+            c.accuracy() * 100.0,
+            c.precision() * 100.0,
+            c.recall() * 100.0,
+            c.f1() * 100.0,
+        ));
+    }
+    out
+}
+
+/// Renders a Fig. 7/8-style precision histogram as an ASCII bar chart.
+pub fn render_precision_histogram(title: &str, bins: &[usize], unmatched: usize) -> String {
+    let mut out = format!("== {title} ==\n");
+    let max = bins.iter().copied().max().unwrap_or(1).max(1);
+    for (i, count) in bins.iter().enumerate() {
+        let bar = "#".repeat((count * 40).div_ceil(max).min(40));
+        out.push_str(&format!(
+            "[{:.1}-{:.1}) {:>5} {bar}\n",
+            i as f64 / 10.0,
+            (i + 1) as f64 / 10.0,
+            count
+        ));
+    }
+    out.push_str(&format!("unmatched rules: {unmatched}\n"));
+    out
+}
+
+/// Renders a Fig. 9/10-style CDF at decile probe points.
+pub fn render_coverage_cdf(title: &str, counts: &[usize], cdf: &[f64]) -> String {
+    let mut out = format!("== {title} ==\ncoverage  cdf\n");
+    if counts.is_empty() {
+        out.push_str("(no rules)\n");
+        return out;
+    }
+    // Probe the CDF at a few meaningful coverage levels.
+    for probe in [0usize, 1, 2, 5, 10, 20, 50, 100, 200, 500] {
+        let idx = counts.partition_point(|&c| c <= probe);
+        let frac = if idx == 0 { 0.0 } else { cdf[idx - 1] };
+        out.push_str(&format!("<= {probe:>4}  {:>5.1}%\n", frac * 100.0));
+    }
+    out
+}
+
+/// Renders Table XI.
+pub fn render_rule_counts(rows: &[RuleCountRow]) -> String {
+    let mut out = String::from(
+        "== Table XI: rule counts ==\nFormat               SOTA(ours/paper)  OSS(ours/paper)  RuleLLM\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<20} {:>7}/{:<7} {:>7}/{:<7} {:>8}\n",
+            r.format, r.sota_total.0, r.sota_total.1, r.sota_oss.0, r.sota_oss.1, r.rulellm
+        ));
+    }
+    out
+}
+
+/// Renders Table XII.
+pub fn render_taxonomy(rows: &[((&'static str, &'static str), usize)]) -> String {
+    let mut out = String::from("== Table XII: rule taxonomy ==\n");
+    let mut last_cat = "";
+    for ((cat, sub), count) in rows {
+        if *cat != last_cat {
+            out.push_str(&format!("{cat}\n"));
+            last_cat = cat;
+        }
+        out.push_str(&format!("    {sub:<36} {count:>5}\n"));
+    }
+    out
+}
+
+/// Renders the Fig. 11 overlap heatmap as a numeric grid.
+pub fn render_overlap(matrix: &[Vec<usize>]) -> String {
+    let mut out = String::from("== Fig 11: category overlap ==\n     ");
+    for j in 0..matrix.len() {
+        out.push_str(&format!("{j:>5}"));
+    }
+    out.push('\n');
+    for (i, row) in matrix.iter().enumerate() {
+        out.push_str(&format!("{i:>4} "));
+        for v in row {
+            out.push_str(&format!("{v:>5}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the variant-detection summary (§V-B).
+pub fn render_variants(report: &VariantReport) -> String {
+    format!(
+        "== Variant detection ==\ngroups: {}  held-out variants: {}  detected: {}\noverall detection rate: {:.2}%\naverage per-group rate: {:.2}%\n",
+        report.groups,
+        report.total_variants,
+        report.detected,
+        report.overall_rate * 100.0,
+        report.average_rate * 100.0,
+    )
+}
+
+/// Renders the rules with the widest coverage (the paper's examples:
+/// a fake-version rule detecting 568 packages, a C2 rule detecting 185).
+pub fn render_top_rules(stats: &[PerRuleStats], top: usize) -> String {
+    let mut sorted: Vec<&PerRuleStats> = stats.iter().collect();
+    sorted.sort_by(|a, b| b.malware_hits.cmp(&a.malware_hits));
+    let mut out = String::from("== Broadest rules ==\n");
+    for s in sorted.iter().take(top) {
+        out.push_str(&format!(
+            "{:<40} malware: {:>5}  legit: {:>4}\n",
+            s.rule, s.malware_hits, s.legit_hits
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_table_renders() {
+        let rows = vec![MetricsRow {
+            name: "RuleLLM".into(),
+            confusion: Confusion {
+                tp: 9,
+                fp: 1,
+                tn: 9,
+                fn_: 1,
+            },
+        }];
+        let s = render_metrics_table("Table VIII", &rows);
+        assert!(s.contains("Table VIII"));
+        assert!(s.contains("RuleLLM"));
+        assert!(s.contains("90.0%"));
+    }
+
+    #[test]
+    fn histogram_renders_bins() {
+        let s = render_precision_histogram("Fig 7", &[0, 0, 1, 0, 0, 0, 0, 0, 0, 5], 3);
+        assert!(s.contains("[0.9-1.0)     5"));
+        assert!(s.contains("unmatched rules: 3"));
+    }
+
+    #[test]
+    fn cdf_renders_probes() {
+        let counts = vec![0, 1, 1, 3, 10, 200];
+        let cdf: Vec<f64> = (1..=6).map(|i| i as f64 / 6.0).collect();
+        let s = render_coverage_cdf("Fig 9", &counts, &cdf);
+        assert!(s.contains("<=   10"));
+        assert!(s.contains("<=  500  100.0%"));
+    }
+
+    #[test]
+    fn overlap_grid_renders() {
+        let m = vec![vec![2, 1], vec![1, 3]];
+        let s = render_overlap(&m);
+        assert!(s.contains("    0 "));
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    fn top_rules_sorted() {
+        let stats = vec![
+            PerRuleStats { rule: "small".into(), malware_hits: 2, legit_hits: 0 },
+            PerRuleStats { rule: "big".into(), malware_hits: 100, legit_hits: 1 },
+        ];
+        let s = render_top_rules(&stats, 1);
+        assert!(s.contains("big"));
+        assert!(!s.contains("small"));
+    }
+}

@@ -1,0 +1,231 @@
+//! The fix handler (Table V): repair a rule given compiler errors.
+//!
+//! A successful repair roll rebuilds a clean rule from the salvageable
+//! parts of the broken one (what a competent model does with a compiler
+//! message); a failed roll returns the input unchanged, which is what
+//! drives the agent's bounded retry loop (§IV-C, up to 5 attempts).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::analyzer::Analysis;
+use crate::generate::{
+    extract_rule_text, extract_semgrep_patterns, extract_yara_strings,
+};
+use crate::profile::ModelProfile;
+use crate::prompt::RuleFormat;
+
+/// Fix handler entry point. `input` carries the analysis text followed by
+/// the broken rule (the prompt's two user inputs); `error` is the agent's
+/// observation.
+pub fn fix(
+    profile: &ModelProfile,
+    rng: &mut StdRng,
+    format: RuleFormat,
+    input: &str,
+    error: &str,
+) -> String {
+    let rule = extract_rule_text(input, format);
+    if !rng.gen_bool(profile.fix_skill) {
+        // The model failed to act on the error this round.
+        return format!("=== RULE ===\n{rule}");
+    }
+    let fixed = match format {
+        RuleFormat::Yara => rebuild_yara(input, &rule, error),
+        RuleFormat::Semgrep => rebuild_semgrep(input, &rule),
+    };
+    format!("=== RULE ===\n{fixed}")
+}
+
+fn rebuild_yara(input: &str, rule: &str, error: &str) -> String {
+    let analysis = Analysis::from_text(input);
+    // Strip BOM first (Table V instruction 6).
+    let rule = rule.trim_start_matches('\u{FEFF}');
+    let mut strings = extract_yara_strings(rule);
+    // Broken regex mentioned in the error: drop that string rather than
+    // guess at intent.
+    if error.contains("invalid regular expression") {
+        strings.retain(|(_, is_regex)| !is_regex);
+    }
+    if strings.is_empty() {
+        for ind in &analysis.indicators {
+            strings.push((ind.text.clone(), ind.is_regex));
+        }
+    }
+    strings.dedup();
+    let name = rule
+        .split_whitespace()
+        .nth(1)
+        .map(|n| n.trim_matches('{').to_owned())
+        .filter(|n| !n.is_empty() && n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or_else(|| format!("repaired_{:08x}", digest::fnv1a(rule.as_bytes()) as u32));
+    let description = if analysis.summary.is_empty() {
+        "repaired rule".to_owned()
+    } else {
+        analysis.summary.replace('"', "'")
+    };
+    let mut out = format!(
+        "rule {name} {{\n    meta:\n        description = \"{description}\"\n        author = \"RuleLLM\"\n    strings:\n"
+    );
+    if strings.is_empty() {
+        out.push_str("        $s0 = \"__unrecoverable__\"\n");
+    } else {
+        for (i, (text, is_regex)) in strings.iter().enumerate() {
+            if *is_regex {
+                out.push_str(&format!("        $s{i} = /{}/\n", text.replace('/', "\\/")));
+            } else {
+                out.push_str(&format!(
+                    "        $s{i} = \"{}\"\n",
+                    text.replace('\\', "\\\\")
+                        .replace('"', "\\\"")
+                        .replace('\n', "\\n")
+                        .replace('\t', "\\t")
+                ));
+            }
+        }
+    }
+    let condition = match strings.len() {
+        0 | 1 => "any of them",
+        2 => "all of them",
+        _ => "2 of them",
+    };
+    out.push_str(&format!("    condition:\n        {condition}\n}}\n"));
+    out
+}
+
+fn rebuild_semgrep(input: &str, rule: &str) -> String {
+    let analysis = Analysis::from_text(input);
+    let mut patterns = extract_semgrep_patterns(rule);
+    patterns.retain(|p| p != "__no_pattern_extracted__(...)");
+    patterns.dedup();
+    let id = rule
+        .lines()
+        .find_map(|l| l.trim().trim_start_matches("- ").strip_prefix("id:"))
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| format!("repaired-{:08x}", digest::fnv1a(rule.as_bytes()) as u32));
+    let message = if analysis.summary.is_empty() {
+        "repaired rule".to_owned()
+    } else {
+        analysis.summary.replace('"', "'")
+    };
+    let mut out = format!(
+        "rules:\n  - id: {id}\n    languages: [python]\n    message: \"{message}\"\n    severity: WARNING\n"
+    );
+    match patterns.len() {
+        0 => out.push_str("    pattern: __unrecoverable__(...)\n"),
+        1 => out.push_str(&format!("    pattern: {}\n", patterns[0])),
+        _ => {
+            out.push_str("    pattern-either:\n");
+            for p in &patterns {
+                out.push_str(&format!("      - pattern: {p}\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::maybe_corrupt;
+    use crate::split_reply;
+    use rand::SeedableRng;
+
+    fn sure_fixer() -> ModelProfile {
+        ModelProfile {
+            name: "test-fixer",
+            context_tokens: 32_000,
+            feature_miss_rate: 0.0,
+            overgeneral_rate: 0.0,
+            hallucination_rate: 0.0,
+            syntax_error_rate: 1.0,
+            fix_skill: 1.0,
+            merge_skill: 1.0,
+        }
+    }
+
+    const GOOD_RULE: &str = "rule beacon_rat {\n    meta:\n        description = \"c2 beacon\"\n        author = \"RuleLLM\"\n    strings:\n        $s0 = \"requests.get\"\n        $s1 = \"os.system\"\n        $s2 = \"https://zorbex.xyz/tasks\"\n    condition:\n        2 of them\n}\n";
+
+    #[test]
+    fn repairs_every_yara_corruption_mode() {
+        let profile = sure_fixer();
+        let mut rng = StdRng::seed_from_u64(1);
+        let analysis = "summary: c2 beacon\nindicator [Network Activity]: requests.get\n";
+        for trial in 0..24 {
+            let broken = maybe_corrupt(&profile, &mut rng, RuleFormat::Yara, GOOD_RULE.to_owned());
+            let Err(err) = yara_engine::compile(&broken) else {
+                continue; // some corruptions of some rules still compile
+            };
+            let reply = fix(
+                &profile,
+                &mut rng,
+                RuleFormat::Yara,
+                &format!("{analysis}\n{broken}"),
+                &err.to_string(),
+            );
+            let (_, repaired) = split_reply(&reply);
+            assert!(
+                yara_engine::compile(&repaired).is_ok(),
+                "trial {trial}: error {err}\nbroken:\n{broken}\nrepaired:\n{repaired}"
+            );
+        }
+    }
+
+    #[test]
+    fn repairs_semgrep_corruption_modes() {
+        let profile = sure_fixer();
+        let mut rng = StdRng::seed_from_u64(2);
+        let good = "rules:\n  - id: c2-beacon\n    languages: [python]\n    message: \"beacon\"\n    severity: WARNING\n    pattern: os.system(...)\n";
+        let analysis = "summary: c2 beacon\n";
+        for trial in 0..20 {
+            let broken = maybe_corrupt(&profile, &mut rng, RuleFormat::Semgrep, good.to_owned());
+            let Err(err) = semgrep_engine::compile(&broken) else {
+                continue;
+            };
+            let reply = fix(
+                &profile,
+                &mut rng,
+                RuleFormat::Semgrep,
+                &format!("{analysis}\n{broken}"),
+                &err.to_string(),
+            );
+            let (_, repaired) = split_reply(&reply);
+            assert!(
+                semgrep_engine::compile(&repaired).is_ok(),
+                "trial {trial}: error {err}\nbroken:\n{broken}\nrepaired:\n{repaired}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_skill_returns_rule_unchanged() {
+        let mut profile = sure_fixer();
+        profile.fix_skill = 0.0;
+        let mut rng = StdRng::seed_from_u64(3);
+        let broken = "rule x { strings: $a = \"unclosed condition: $a }";
+        let reply = fix(&profile, &mut rng, RuleFormat::Yara, broken, "line 1: boom");
+        let (_, out) = split_reply(&reply);
+        assert_eq!(out, broken);
+    }
+
+    #[test]
+    fn repaired_rule_keeps_original_name_when_parseable() {
+        let profile = sure_fixer();
+        let mut rng = StdRng::seed_from_u64(4);
+        let broken = GOOD_RULE.replace("condition:", "condition:\n        $nope and");
+        let reply = fix(&profile, &mut rng, RuleFormat::Yara, &broken, "line 1: undefined string \"$nope\"");
+        let (_, repaired) = split_reply(&reply);
+        assert!(repaired.contains("rule beacon_rat"), "{repaired}");
+    }
+
+    #[test]
+    fn bom_stripped() {
+        let profile = sure_fixer();
+        let mut rng = StdRng::seed_from_u64(5);
+        let broken = format!("\u{FEFF}{GOOD_RULE}");
+        let reply = fix(&profile, &mut rng, RuleFormat::Yara, &broken, "line 1: file encoding must be UTF-8 without BOM");
+        let (_, repaired) = split_reply(&reply);
+        assert!(yara_engine::compile(&repaired).is_ok(), "{repaired}");
+    }
+}

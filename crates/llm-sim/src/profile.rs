@@ -1,0 +1,154 @@
+//! Model profiles calibrated to reproduce Table IX's ordering.
+
+/// Behavioral parameters of one simulated model.
+///
+/// Rates are per-indicator (miss/overgeneral/hallucination) or per-rule
+/// (syntax error); `fix_skill` is the per-round probability that a fix
+/// prompt actually repairs the compile error (§IV-C allows 5 rounds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelProfile {
+    /// Display name (matches the paper's Table IX rows).
+    pub name: &'static str,
+    /// Context window in tokens; prompt payload beyond it is invisible.
+    pub context_tokens: usize,
+    /// Probability of dropping a real indicator (recall loss).
+    pub feature_miss_rate: f64,
+    /// Probability of adding an over-general string (precision loss).
+    pub overgeneral_rate: f64,
+    /// Probability of fabricating a nonexistent indicator.
+    pub hallucination_rate: f64,
+    /// Probability a produced rule carries a syntax/semantic error.
+    pub syntax_error_rate: f64,
+    /// Per-round probability a fix prompt repairs the rule.
+    pub fix_skill: f64,
+    /// Probability the refiner successfully tightens/merges a rule.
+    pub merge_skill: f64,
+}
+
+impl ModelProfile {
+    /// GPT-4o — the paper's best performer (Table IX row 2).
+    pub fn gpt4o() -> Self {
+        ModelProfile {
+            name: "GPT-4o",
+            context_tokens: 32_000,
+            feature_miss_rate: 0.06,
+            overgeneral_rate: 0.08,
+            hallucination_rate: 0.05,
+            syntax_error_rate: 0.22,
+            fix_skill: 0.85,
+            merge_skill: 0.90,
+        }
+    }
+
+    /// GPT-3.5-turbo — low recall (misses features), moderate precision.
+    pub fn gpt35() -> Self {
+        ModelProfile {
+            name: "GPT-3.5 turbo",
+            context_tokens: 12_000,
+            feature_miss_rate: 0.30,
+            overgeneral_rate: 0.12,
+            hallucination_rate: 0.12,
+            syntax_error_rate: 0.35,
+            fix_skill: 0.60,
+            merge_skill: 0.70,
+        }
+    }
+
+    /// Claude-3.5-Sonnet — recall-heavy (keeps everything, including
+    /// over-general strings), lower precision.
+    pub fn claude35() -> Self {
+        ModelProfile {
+            name: "Claude-3.5-Sonnet",
+            context_tokens: 32_000,
+            feature_miss_rate: 0.03,
+            overgeneral_rate: 0.22,
+            hallucination_rate: 0.06,
+            syntax_error_rate: 0.25,
+            fix_skill: 0.80,
+            merge_skill: 0.80,
+        }
+    }
+
+    /// Llama-3.1-70B — local model: noisy strings, precision-poor.
+    pub fn llama31() -> Self {
+        ModelProfile {
+            name: "Llama-3.1:70B",
+            context_tokens: 16_000,
+            feature_miss_rate: 0.18,
+            overgeneral_rate: 0.30,
+            hallucination_rate: 0.15,
+            syntax_error_rate: 0.40,
+            fix_skill: 0.65,
+            merge_skill: 0.65,
+        }
+    }
+
+    /// All four profiles in Table IX order.
+    pub fn all() -> Vec<ModelProfile> {
+        vec![
+            ModelProfile::gpt35(),
+            ModelProfile::gpt4o(),
+            ModelProfile::claude35(),
+            ModelProfile::llama31(),
+        ]
+    }
+
+    /// Looks a profile up by (case-insensitive) name fragment.
+    pub fn by_name(name: &str) -> Option<ModelProfile> {
+        let lower = name.to_ascii_lowercase();
+        ModelProfile::all()
+            .into_iter()
+            .find(|p| p.name.to_ascii_lowercase().contains(&lower))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_profiles() {
+        assert_eq!(ModelProfile::all().len(), 4);
+    }
+
+    #[test]
+    fn gpt4o_dominates_on_core_rates() {
+        let strong = ModelProfile::gpt4o();
+        for other in [ModelProfile::gpt35(), ModelProfile::llama31()] {
+            assert!(strong.feature_miss_rate < other.feature_miss_rate);
+            assert!(strong.hallucination_rate < other.hallucination_rate);
+            assert!(strong.fix_skill > other.fix_skill);
+        }
+    }
+
+    #[test]
+    fn claude_is_recall_heavy() {
+        let claude = ModelProfile::claude35();
+        let gpt4o = ModelProfile::gpt4o();
+        assert!(claude.feature_miss_rate < gpt4o.feature_miss_rate);
+        assert!(claude.overgeneral_rate > gpt4o.overgeneral_rate);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(ModelProfile::by_name("claude").map(|p| p.name), Some("Claude-3.5-Sonnet"));
+        assert_eq!(ModelProfile::by_name("gpt-4o").map(|p| p.name), Some("GPT-4o"));
+        assert!(ModelProfile::by_name("gemini").is_none());
+    }
+
+    #[test]
+    fn rates_are_probabilities() {
+        for p in ModelProfile::all() {
+            for rate in [
+                p.feature_miss_rate,
+                p.overgeneral_rate,
+                p.hallucination_rate,
+                p.syntax_error_rate,
+                p.fix_skill,
+                p.merge_skill,
+            ] {
+                assert!((0.0..=1.0).contains(&rate), "{} out of range", p.name);
+            }
+        }
+    }
+}

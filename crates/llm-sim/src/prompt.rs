@@ -1,0 +1,195 @@
+//! Structured prompts mirroring Tables III–V of the paper.
+
+/// Which rule format a prompt requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleFormat {
+    /// YARA text rules.
+    Yara,
+    /// Semgrep YAML rules.
+    Semgrep,
+}
+
+impl RuleFormat {
+    /// Display name used inside prompt text.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RuleFormat::Yara => "YARA",
+            RuleFormat::Semgrep => "Semgrep",
+        }
+    }
+}
+
+/// The three prompt shapes of the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PromptKind {
+    /// Table III: craft rules from basic units.
+    Craft {
+        /// Requested rule format.
+        format: RuleFormat,
+    },
+    /// Table IV: self-reflect and optimize.
+    Refine {
+        /// Requested rule format.
+        format: RuleFormat,
+    },
+    /// Table V: fix a rule given compiler errors.
+    Fix {
+        /// Requested rule format.
+        format: RuleFormat,
+    },
+}
+
+/// A structured prompt: system role, user inputs, optional error/few-shot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prompt {
+    /// System-role instructions (the paper's Table III/IV/V text).
+    pub system: String,
+    /// User inputs: basic units, analysis results, rule text.
+    pub inputs: Vec<String>,
+    /// Few-shot rule examples appended to the prompt.
+    pub few_shot: Option<String>,
+    /// Compiler error messages (fix prompts; agent observation).
+    pub error: Option<String>,
+    /// Package metadata JSON, for metadata-based rules.
+    pub metadata_json: Option<String>,
+    /// Which handler the prompt drives.
+    pub kind: PromptKind,
+}
+
+/// Few-shot YARA example embedded in craft prompts (Table III's
+/// `Few Shot: {rule file}` slot; the example is Table I's).
+pub const YARA_FEW_SHOT: &str = r#"rule base64_blob {
+    meta:
+        description = "Base64 encoded blob"
+    strings:
+        $a = /([A-Za-z0-9+\/]{4}){3,}(==|=)?/
+    condition:
+        $a
+}"#;
+
+/// Few-shot Semgrep example (Table I's lower half).
+pub const SEMGREP_FEW_SHOT: &str = r#"rules:
+  - id: detect-torrent-client-info-retrieval
+    languages: [python]
+    message: "Detected torrent client info retrieval"
+    severity: WARNING
+    pattern: $CLIENT.torrents_info(torrent_hashes=$HASH)"#;
+
+impl Prompt {
+    /// Builds a Table III crafting prompt over basic units.
+    pub fn craft(format: RuleFormat, units: &[String], metadata_json: Option<String>) -> Prompt {
+        let system = format!(
+            "Task. As a senior malware code analyst, please analyze the following code \
+             samples from the same malware cluster and design effective {} rules. These \
+             samples are variants from the same malware family.\n\
+             Thought Process:\n\
+             1. Initial Analysis: audit the basic unit and summarize the code.\n\
+             2. In-depth Analysis: extract features or strings (IoC, file operations, \
+             network activity, encryption, privilege, anti-debug).\n\
+             3. External Knowledge Analysis: match against known malicious behavior patterns.\n\
+             4. Understanding and Validation: ensure reasoning consistency and coverage.\n\
+             Output. 1. Analysis Result (*.txt). 2. {} rules based on the analysis result.",
+            format.label(),
+            format.label(),
+        );
+        let few_shot = Some(
+            match format {
+                RuleFormat::Yara => YARA_FEW_SHOT,
+                RuleFormat::Semgrep => SEMGREP_FEW_SHOT,
+            }
+            .to_owned(),
+        );
+        Prompt {
+            system,
+            inputs: units.to_vec(),
+            few_shot,
+            error: None,
+            metadata_json,
+            kind: PromptKind::Craft { format },
+        }
+    }
+
+    /// Builds a Table IV refinement prompt from the analysis result and
+    /// the coarse-grained rule.
+    pub fn refine(format: RuleFormat, analysis: &str, rule: &str) -> Prompt {
+        let system = format!(
+            "Task. You are a {} rule expert. Your task is to analyze and optimize the \
+             input rules. Please follow these steps to ensure the rules are complete and \
+             efficient:\n\
+             1. Self-reflection: check that the rules align with the analysis results.\n\
+             2. Optimize Rules: encapsulate malicious behaviors in the string section, \
+             apply standard naming, merge overlapping rules with logical combinations, \
+             keep the required structure, and minimize resource-intensive operations.",
+            format.label(),
+        );
+        Prompt {
+            system,
+            inputs: vec![analysis.to_owned(), rule.to_owned()],
+            few_shot: None,
+            error: None,
+            metadata_json: None,
+            kind: PromptKind::Refine { format },
+        }
+    }
+
+    /// Builds a Table V fix prompt from the rule, analysis and the
+    /// compiler's error messages (the agent's observation memory).
+    pub fn fix(format: RuleFormat, analysis: &str, rule: &str, errors: &str) -> Prompt {
+        let system = format!(
+            "Task. You are a {} rule expert. Your task is to fix and optimize the input \
+             rules. Ensure the rules are complete, syntactically correct, and efficient:\n\
+             1. Missing or Incomplete Parts. 2. Syntax Errors. 3. Undefined Strings in \
+             Conditions. 4. Regular Expression Issues. 5. Invalid meta Field Values. \
+             6. File Encoding Issues.",
+            format.label(),
+        );
+        Prompt {
+            system,
+            inputs: vec![analysis.to_owned(), rule.to_owned()],
+            few_shot: None,
+            error: Some(errors.to_owned()),
+            metadata_json: None,
+            kind: PromptKind::Fix { format },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn craft_prompt_carries_units_and_few_shot() {
+        let p = Prompt::craft(RuleFormat::Yara, &["unit1".into(), "unit2".into()], None);
+        assert_eq!(p.inputs.len(), 2);
+        assert!(p.few_shot.as_deref().unwrap_or("").contains("base64_blob"));
+        assert!(p.system.contains("senior malware code analyst"));
+        assert!(matches!(p.kind, PromptKind::Craft { format: RuleFormat::Yara }));
+    }
+
+    #[test]
+    fn refine_prompt_shape() {
+        let p = Prompt::refine(RuleFormat::Semgrep, "analysis", "rules: ...");
+        assert!(p.system.contains("Self-reflection"));
+        assert_eq!(p.inputs.len(), 2);
+    }
+
+    #[test]
+    fn fix_prompt_carries_error() {
+        let p = Prompt::fix(RuleFormat::Yara, "a", "rule x {}", "line 1: boom");
+        assert_eq!(p.error.as_deref(), Some("line 1: boom"));
+        assert!(p.system.contains("Undefined Strings"));
+    }
+
+    #[test]
+    fn format_labels() {
+        assert_eq!(RuleFormat::Yara.label(), "YARA");
+        assert_eq!(RuleFormat::Semgrep.label(), "Semgrep");
+    }
+
+    #[test]
+    fn few_shot_examples_compile() {
+        assert!(yara_engine::compile(YARA_FEW_SHOT).is_ok());
+        assert!(semgrep_engine::compile(SEMGREP_FEW_SHOT).is_ok());
+    }
+}

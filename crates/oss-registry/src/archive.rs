@@ -1,0 +1,226 @@
+//! In-memory distribution archive.
+//!
+//! A minimal sdist-like container: a magic header, package name/version,
+//! and length-prefixed entries. It exists so the pipeline exercises a real
+//! pack → unpack step (§III-B "Unpacking") with real corruption failure
+//! modes, without shelling out to tar/gzip.
+
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: &[u8; 8] = b"OSSPKG01";
+
+/// Errors produced when reading an [`Archive`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchiveError {
+    /// The byte stream does not start with the archive magic.
+    BadMagic,
+    /// An entry header or payload is truncated.
+    Truncated,
+    /// A length field exceeds the remaining input.
+    CorruptLength,
+    /// No `PKG-INFO`/`metadata.json` entry was present.
+    MissingMetadata,
+}
+
+impl fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchiveError::BadMagic => write!(f, "not a package archive (bad magic)"),
+            ArchiveError::Truncated => write!(f, "archive is truncated"),
+            ArchiveError::CorruptLength => write!(f, "archive entry length is corrupt"),
+            ArchiveError::MissingMetadata => write!(f, "archive has no package metadata"),
+        }
+    }
+}
+
+impl Error for ArchiveError {}
+
+/// An in-memory package archive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Archive {
+    name: String,
+    version: String,
+    entries: Vec<(String, Vec<u8>)>,
+}
+
+impl Archive {
+    /// Creates an empty archive for the named package.
+    pub fn new(name: &str, version: &str) -> Self {
+        Archive {
+            name: name.to_owned(),
+            version: version.to_owned(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Package name recorded in the header.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Package version recorded in the header.
+    pub fn version(&self) -> &str {
+        &self.version
+    }
+
+    /// Adds one entry; later entries with the same path shadow earlier
+    /// ones on read.
+    pub fn add_entry(&mut self, path: &str, data: &[u8]) {
+        self.entries.push((path.to_owned(), data.to_vec()));
+    }
+
+    /// Iterates entries as `(path, bytes)`.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.entries.iter().map(|(p, d)| (p.as_str(), d.as_slice()))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true when the archive holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes the archive to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        write_str(&mut out, &self.name);
+        write_str(&mut out, &self.version);
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (path, data) in &self.entries {
+            write_str(&mut out, path);
+            out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            out.extend_from_slice(data);
+        }
+        out
+    }
+
+    /// Deserializes an archive from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError`] on bad magic, truncation or corrupt
+    /// lengths.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArchiveError> {
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(ArchiveError::BadMagic);
+        }
+        let mut pos = MAGIC.len();
+        let name = read_str(bytes, &mut pos)?;
+        let version = read_str(bytes, &mut pos)?;
+        let count = read_u32(bytes, &mut pos)? as usize;
+        if count > 1_000_000 {
+            return Err(ArchiveError::CorruptLength);
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let path = read_str(bytes, &mut pos)?;
+            let len = read_u32(bytes, &mut pos)? as usize;
+            if pos + len > bytes.len() {
+                return Err(ArchiveError::CorruptLength);
+            }
+            entries.push((path, bytes[pos..pos + len].to_vec()));
+            pos += len;
+        }
+        Ok(Archive {
+            name,
+            version,
+            entries,
+        })
+    }
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, ArchiveError> {
+    if *pos + 4 > bytes.len() {
+        return Err(ArchiveError::Truncated);
+    }
+    let v = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().expect("4 bytes"));
+    *pos += 4;
+    Ok(v)
+}
+
+fn read_str(bytes: &[u8], pos: &mut usize) -> Result<String, ArchiveError> {
+    let len = read_u32(bytes, pos)? as usize;
+    if *pos + len > bytes.len() {
+        return Err(ArchiveError::CorruptLength);
+    }
+    let s = String::from_utf8_lossy(&bytes[*pos..*pos + len]).into_owned();
+    *pos += len;
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut a = Archive::new("pkg", "1.0");
+        a.add_entry("setup.py", b"setup()");
+        a.add_entry("pkg/__init__.py", b"");
+        let bytes = a.to_bytes();
+        let b = Archive::from_bytes(&bytes).expect("decode");
+        assert_eq!(a, b);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            Archive::from_bytes(b"NOTMAGIC...."),
+            Err(ArchiveError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let mut a = Archive::new("pkg", "1.0");
+        a.add_entry("setup.py", b"setup()");
+        let bytes = a.to_bytes();
+        let cut = &bytes[..bytes.len() - 3];
+        assert!(matches!(
+            Archive::from_bytes(cut),
+            Err(ArchiveError::Truncated) | Err(ArchiveError::CorruptLength)
+        ));
+    }
+
+    #[test]
+    fn corrupt_count_rejected() {
+        let mut a = Archive::new("p", "1");
+        a.add_entry("x", b"y");
+        let mut bytes = a.to_bytes();
+        // Entry count lives right after the two header strings.
+        let count_pos = 8 + 4 + 1 + 4 + 1;
+        bytes[count_pos..count_pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Archive::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn binary_payload_preserved() {
+        let mut a = Archive::new("pkg", "1.0");
+        let payload: Vec<u8> = (0..=255u8).collect();
+        a.add_entry("blob.bin", &payload);
+        let b = Archive::from_bytes(&a.to_bytes()).expect("decode");
+        let (_, data) = b.entries().next().expect("entry");
+        assert_eq!(data, payload.as_slice());
+    }
+
+    #[test]
+    fn empty_archive_roundtrip() {
+        let a = Archive::new("empty", "0.1");
+        let b = Archive::from_bytes(&a.to_bytes()).expect("decode");
+        assert!(b.is_empty());
+        assert_eq!(b.name(), "empty");
+        assert_eq!(b.version(), "0.1");
+    }
+}

@@ -1,0 +1,39 @@
+//! `oss-registry` — package-model substrate.
+//!
+//! Models what the paper consumes from PyPI/NPM: a software package with
+//! metadata and source files, distributed as an archive. Implements the
+//! three metadata-extraction paths of Fig. 1 (`pkg-info`, `setup` file,
+//! `egg-info`/registry-API JSON) plus the unpacking step of §III-B.
+//!
+//! # Examples
+//!
+//! ```
+//! use oss_registry::{Package, PackageMetadata, SourceFile, Ecosystem};
+//!
+//! let pkg = Package::new(
+//!     PackageMetadata::new("reqests", "0.0.0"),
+//!     vec![SourceFile::new("setup.py", "from setuptools import setup\nsetup(name='reqests')\n")],
+//!     Ecosystem::PyPi,
+//! );
+//! assert_eq!(pkg.loc(), 2);
+//! let archive = pkg.pack();
+//! let back = Package::unpack(&archive)?;
+//! assert_eq!(back.metadata().name, "reqests");
+//! # Ok::<(), oss_registry::ArchiveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod archive;
+mod metadata;
+mod names;
+mod package;
+
+pub use archive::{Archive, ArchiveError};
+pub use metadata::{
+    extract_metadata, parse_pkg_info, parse_registry_json, parse_setup_py, render_pkg_info,
+    render_registry_json, render_setup_py, MetadataSource,
+};
+pub use names::{edit_distance, is_typosquat, POPULAR_PACKAGES};
+pub use package::{Ecosystem, Package, PackageMetadata, SourceFile};

@@ -1,0 +1,314 @@
+//! The three metadata-extraction paths of Fig. 1: `pkg-info`, `setup`
+//! file, and registry-API JSON (`egg-info`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::package::{Package, PackageMetadata};
+
+/// Which extraction path produced the metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetadataSource {
+    /// Parsed from a `PKG-INFO` file.
+    PkgInfo,
+    /// Parsed from the `setup.py` `setup(...)` call.
+    SetupFile,
+    /// Parsed from the registry JSON API response.
+    RegistryJson,
+}
+
+/// Renders metadata in `PKG-INFO` key/value format.
+pub fn render_pkg_info(meta: &PackageMetadata) -> String {
+    let mut out = String::new();
+    out.push_str("Metadata-Version: 2.1\n");
+    out.push_str(&format!("Name: {}\n", meta.name));
+    out.push_str(&format!("Version: {}\n", meta.version));
+    out.push_str(&format!("Summary: {}\n", meta.summary));
+    out.push_str(&format!("Home-page: {}\n", meta.home_page));
+    out.push_str(&format!("Author: {}\n", meta.author));
+    out.push_str(&format!("Author-email: {}\n", meta.author_email));
+    out.push_str(&format!("License: {}\n", meta.license));
+    for dep in &meta.dependencies {
+        out.push_str(&format!("Requires-Dist: {dep}\n"));
+    }
+    out.push_str(&format!("Description: {}\n", meta.description));
+    out
+}
+
+/// Parses `PKG-INFO` text (unknown keys ignored, missing keys empty).
+pub fn parse_pkg_info(text: &str) -> PackageMetadata {
+    let mut meta = PackageMetadata::default();
+    for line in text.lines() {
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        match key.trim() {
+            "Name" => meta.name = value.to_owned(),
+            "Version" => meta.version = value.to_owned(),
+            "Summary" => meta.summary = value.to_owned(),
+            "Home-page" => meta.home_page = value.to_owned(),
+            "Author" => meta.author = value.to_owned(),
+            "Author-email" => meta.author_email = value.to_owned(),
+            "License" => meta.license = value.to_owned(),
+            "Requires-Dist" => meta.dependencies.push(value.to_owned()),
+            "Description" => meta.description = value.to_owned(),
+            _ => {}
+        }
+    }
+    meta
+}
+
+/// Intermediate serde shape for the registry JSON API response
+/// (`https://registry.../{name}` style, Fig. 1).
+#[derive(Debug, Serialize, Deserialize)]
+struct RegistryInfo {
+    name: String,
+    version: String,
+    #[serde(default)]
+    summary: String,
+    #[serde(default)]
+    description: String,
+    #[serde(default)]
+    home_page: String,
+    #[serde(default)]
+    author: String,
+    #[serde(default)]
+    author_email: String,
+    #[serde(default)]
+    license: String,
+    #[serde(default)]
+    requires_dist: Vec<String>,
+}
+
+/// Renders the registry JSON API response for a package.
+pub fn render_registry_json(meta: &PackageMetadata) -> String {
+    let info = RegistryInfo {
+        name: meta.name.clone(),
+        version: meta.version.clone(),
+        summary: meta.summary.clone(),
+        description: meta.description.clone(),
+        home_page: meta.home_page.clone(),
+        author: meta.author.clone(),
+        author_email: meta.author_email.clone(),
+        license: meta.license.clone(),
+        requires_dist: meta.dependencies.clone(),
+    };
+    serde_json::json!({ "info": info }).to_string()
+}
+
+/// Parses a registry JSON API response.
+///
+/// # Errors
+///
+/// Returns the serde error message when the JSON is malformed or the
+/// `info` object is missing.
+pub fn parse_registry_json(text: &str) -> Result<PackageMetadata, String> {
+    let value: serde_json::Value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    let info = value
+        .get("info")
+        .ok_or_else(|| "missing `info` object".to_owned())?;
+    let info: RegistryInfo =
+        serde_json::from_value(info.clone()).map_err(|e| e.to_string())?;
+    Ok(PackageMetadata {
+        name: info.name,
+        version: info.version,
+        summary: info.summary,
+        description: info.description,
+        home_page: info.home_page,
+        author: info.author,
+        author_email: info.author_email,
+        license: info.license,
+        dependencies: info.requires_dist,
+    })
+}
+
+/// Renders a plausible `setup.py` for the metadata (used by the corpus
+/// generator).
+pub fn render_setup_py(meta: &PackageMetadata, extra_body: &str) -> String {
+    let deps = meta
+        .dependencies
+        .iter()
+        .map(|d| format!("'{d}'"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "from setuptools import setup, find_packages\n{extra}\nsetup(\n    name='{name}',\n    version='{version}',\n    description='{summary}',\n    author='{author}',\n    author_email='{email}',\n    url='{url}',\n    license='{license}',\n    install_requires=[{deps}],\n    packages=find_packages(),\n)\n",
+        extra = extra_body,
+        name = meta.name,
+        version = meta.version,
+        summary = meta.summary,
+        author = meta.author,
+        email = meta.author_email,
+        url = meta.home_page,
+        license = meta.license,
+        deps = deps,
+    )
+}
+
+/// Extracts metadata from a `setup.py` source by locating the `setup(...)`
+/// call and reading its keyword arguments.
+pub fn parse_setup_py(source: &str) -> Option<PackageMetadata> {
+    let module = pysrc_parse(source);
+    let calls = collect_calls(&module);
+    for call in calls {
+        if let pysrc::Expr::Call { func, args } = call {
+            if func.func_path() != "setup" {
+                continue;
+            }
+            let mut meta = PackageMetadata::default();
+            for arg in args {
+                let Some(name) = arg.name.as_deref() else {
+                    continue;
+                };
+                let value = match &arg.value {
+                    pysrc::Expr::Str(s) => s.clone(),
+                    other => other.to_text(),
+                };
+                match name {
+                    "name" => meta.name = value,
+                    "version" => meta.version = value,
+                    "description" => meta.summary = value,
+                    "long_description" => meta.description = value,
+                    "author" => meta.author = value,
+                    "author_email" => meta.author_email = value,
+                    "url" => meta.home_page = value,
+                    "license" => meta.license = value,
+                    "install_requires" => {
+                        // Rendered list text: ['a', 'b']
+                        meta.dependencies = value
+                            .trim_start_matches('[')
+                            .trim_end_matches(']')
+                            .split(',')
+                            .map(|s| s.trim().trim_matches('\'').trim_matches('"').to_owned())
+                            .filter(|s| !s.is_empty())
+                            .collect();
+                    }
+                    _ => {}
+                }
+            }
+            if !meta.name.is_empty() {
+                return Some(meta);
+            }
+        }
+    }
+    None
+}
+
+fn pysrc_parse(source: &str) -> pysrc::Module {
+    pysrc::parse_module(source)
+}
+
+fn collect_calls(module: &pysrc::Module) -> Vec<&pysrc::Expr> {
+    pysrc::collect_calls(module)
+}
+
+/// Extracts metadata from a package, trying all three paths of Fig. 1:
+/// `PKG-INFO` in the archive, the `setup` file, then the registry JSON.
+pub fn extract_metadata(pkg: &Package) -> (PackageMetadata, MetadataSource) {
+    if let Some(setup) = pkg.setup_file() {
+        if let Some(meta) = parse_setup_py(&setup.contents) {
+            return (meta, MetadataSource::SetupFile);
+        }
+    }
+    if let Some(info) = pkg.file("PKG-INFO") {
+        let meta = parse_pkg_info(&info.contents);
+        if !meta.name.is_empty() {
+            return (meta, MetadataSource::PkgInfo);
+        }
+    }
+    // Fall back to the package's own (registry) metadata serialized as the
+    // API response — the `egg-info` path.
+    let json = render_registry_json(pkg.metadata());
+    let meta = parse_registry_json(&json).expect("self-rendered JSON is valid");
+    (meta, MetadataSource::RegistryJson)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::{Ecosystem, SourceFile};
+
+    fn meta() -> PackageMetadata {
+        PackageMetadata {
+            name: "colorstext".into(),
+            version: "0.0.0".into(),
+            summary: "colors".into(),
+            description: "long text".into(),
+            home_page: "https://example.org".into(),
+            author: "anon".into(),
+            author_email: "a@b.c".into(),
+            license: "MIT".into(),
+            dependencies: vec!["requests".into(), "rich".into()],
+        }
+    }
+
+    #[test]
+    fn pkg_info_roundtrip() {
+        let rendered = render_pkg_info(&meta());
+        let parsed = parse_pkg_info(&rendered);
+        assert_eq!(parsed, meta());
+    }
+
+    #[test]
+    fn registry_json_roundtrip() {
+        let rendered = render_registry_json(&meta());
+        let parsed = parse_registry_json(&rendered).expect("parse");
+        assert_eq!(parsed, meta());
+    }
+
+    #[test]
+    fn registry_json_rejects_garbage() {
+        assert!(parse_registry_json("not json").is_err());
+        assert!(parse_registry_json("{}").is_err());
+    }
+
+    #[test]
+    fn setup_py_roundtrip() {
+        let rendered = render_setup_py(&meta(), "");
+        let parsed = parse_setup_py(&rendered).expect("parse");
+        assert_eq!(parsed.name, "colorstext");
+        assert_eq!(parsed.version, "0.0.0");
+        assert_eq!(parsed.dependencies, vec!["requests".to_owned(), "rich".to_owned()]);
+    }
+
+    #[test]
+    fn setup_py_without_setup_call() {
+        assert!(parse_setup_py("print('no setup here')\n").is_none());
+    }
+
+    #[test]
+    fn extract_prefers_setup_file() {
+        let pkg = Package::new(
+            meta(),
+            vec![SourceFile::new("setup.py", render_setup_py(&meta(), ""))],
+            Ecosystem::PyPi,
+        );
+        let (m, source) = extract_metadata(&pkg);
+        assert_eq!(source, MetadataSource::SetupFile);
+        assert_eq!(m.name, "colorstext");
+    }
+
+    #[test]
+    fn extract_falls_back_to_registry_json() {
+        let pkg = Package::new(
+            meta(),
+            vec![SourceFile::new("pkg/__init__.py", "x = 1\n")],
+            Ecosystem::PyPi,
+        );
+        let (m, source) = extract_metadata(&pkg);
+        assert_eq!(source, MetadataSource::RegistryJson);
+        assert_eq!(m, meta());
+    }
+
+    #[test]
+    fn extract_uses_pkg_info_entry() {
+        let pkg = Package::new(
+            PackageMetadata::default(),
+            vec![SourceFile::new("PKG-INFO", render_pkg_info(&meta()))],
+            Ecosystem::PyPi,
+        );
+        let (m, source) = extract_metadata(&pkg);
+        assert_eq!(source, MetadataSource::PkgInfo);
+        assert_eq!(m.name, "colorstext");
+    }
+}

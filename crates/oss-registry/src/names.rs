@@ -1,0 +1,119 @@
+//! Package-name analysis: popular-package list and typosquatting
+//! detection (a Table II metadata audit signal).
+
+/// The most-downloaded PyPI package names (a static snapshot standing in
+/// for the top-packages feed the paper uses for its legitimate corpus).
+pub const POPULAR_PACKAGES: &[&str] = &[
+    "requests", "urllib3", "numpy", "pandas", "boto3", "setuptools", "botocore", "idna",
+    "certifi", "charset-normalizer", "python-dateutil", "typing-extensions", "six", "pyyaml",
+    "cryptography", "packaging", "pip", "wheel", "click", "rich", "colorama", "attrs", "jinja2",
+    "markupsafe", "flask", "django", "pytest", "scipy", "matplotlib", "pillow", "sqlalchemy",
+    "pydantic", "aiohttp", "tqdm", "beautifulsoup4", "lxml", "websockets", "redis", "celery",
+    "pytz", "httpx", "fastapi", "uvicorn", "paramiko", "psycopg2", "pymongo", "selenium",
+    "scikit-learn", "tensorflow", "torch",
+];
+
+/// Damerau-free Levenshtein edit distance between two names.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Returns the popular package `name` squats on, if any.
+///
+/// A name typosquats when it is within edit distance 1–2 of a popular
+/// package (distance 0 means it *is* the popular package) or differs only
+/// by a separator (`python-requests` vs `requests`).
+pub fn is_typosquat(name: &str) -> Option<&'static str> {
+    let lowered = name.to_ascii_lowercase();
+    for popular in POPULAR_PACKAGES {
+        if lowered == *popular {
+            return None;
+        }
+    }
+    for popular in POPULAR_PACKAGES {
+        let d = edit_distance(&lowered, popular);
+        // Distance thresholds scale with name length: very short names
+        // produce too many accidental near-misses.
+        if (d == 1 && popular.len() >= 4) || (d == 2 && popular.len() >= 6) {
+            return Some(popular);
+        }
+        // Prefix/suffix decoration: `requests-py`, `python-requests`.
+        if lowered.len() > popular.len() + 2
+            && (lowered.starts_with(&format!("{popular}-"))
+                || lowered.ends_with(&format!("-{popular}"))
+                || lowered.starts_with(&format!("python-{popular}"))
+                || lowered.ends_with(&format!("{popular}-python")))
+        {
+            return Some(popular);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn reqests_squats_requests() {
+        assert_eq!(is_typosquat("reqests"), Some("requests"));
+    }
+
+    #[test]
+    fn numpyy_squats_numpy() {
+        assert_eq!(is_typosquat("numpyy"), Some("numpy"));
+    }
+
+    #[test]
+    fn decorated_name_squats() {
+        assert_eq!(is_typosquat("requests-py3"), Some("requests"));
+    }
+
+    #[test]
+    fn popular_name_itself_is_not_squat() {
+        assert_eq!(is_typosquat("requests"), None);
+        assert_eq!(is_typosquat("numpy"), None);
+    }
+
+    #[test]
+    fn unrelated_name_is_not_squat() {
+        assert_eq!(is_typosquat("frobnicator-deluxe"), None);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(is_typosquat("Reqests"), Some("requests"));
+    }
+
+    #[test]
+    fn short_names_excluded() {
+        // Edit distance on very short names is too noisy (pip vs pipx).
+        assert_eq!(is_typosquat("pyp"), None);
+    }
+}

@@ -1,0 +1,249 @@
+//! Lightweight Python AST.
+//!
+//! Only the shapes that rule matching needs are modelled precisely
+//! (imports, defs, classes, calls, attributes, assignments, strings);
+//! everything else degrades to [`Stmt::Other`] / [`Expr::Other`] so that
+//! arbitrary malware source always produces *some* tree.
+
+/// A parsed source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `import a, b.c`
+    Import {
+        /// Dotted module paths.
+        modules: Vec<String>,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// `from m import x, y`
+    FromImport {
+        /// The source module path.
+        module: String,
+        /// Imported names.
+        names: Vec<String>,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// `def name(params): body`
+    FunctionDef {
+        /// Function name.
+        name: String,
+        /// Parameter names (annotations/defaults stripped).
+        params: Vec<String>,
+        /// Nested statements.
+        body: Vec<Stmt>,
+        /// 1-based source line of the `def`.
+        line: usize,
+    },
+    /// `class name(bases): body`
+    ClassDef {
+        /// Class name.
+        name: String,
+        /// Base-class expressions as text.
+        bases: Vec<String>,
+        /// Nested statements.
+        body: Vec<Stmt>,
+        /// 1-based source line of the `class`.
+        line: usize,
+    },
+    /// `target = value` (chained targets flattened).
+    Assign {
+        /// Assignment targets rendered as text (`x`, `obj.attr`).
+        targets: Vec<String>,
+        /// Right-hand side.
+        value: Expr,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A bare expression statement (usually a call).
+    Expr {
+        /// The expression.
+        value: Expr,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// `return [value]`
+    Return {
+        /// Returned expression, if any.
+        value: Option<Expr>,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A compound statement we don't model structurally (`if`, `for`,
+    /// `while`, `try`, `with`, `else`, ...): header text plus nested body.
+    Block {
+        /// Leading keyword (`if`, `for`, `try`, ...).
+        keyword: String,
+        /// Full header text up to the colon.
+        header: String,
+        /// Nested statements.
+        body: Vec<Stmt>,
+        /// 1-based source line of the header.
+        line: usize,
+    },
+    /// Anything unparsable, kept as reconstructed text.
+    Other {
+        /// Reconstructed source text.
+        text: String,
+        /// 1-based source line.
+        line: usize,
+    },
+}
+
+impl Stmt {
+    /// The 1-based source line of the statement.
+    pub fn line(&self) -> usize {
+        match self {
+            Stmt::Import { line, .. }
+            | Stmt::FromImport { line, .. }
+            | Stmt::FunctionDef { line, .. }
+            | Stmt::ClassDef { line, .. }
+            | Stmt::Assign { line, .. }
+            | Stmt::Expr { line, .. }
+            | Stmt::Return { line, .. }
+            | Stmt::Block { line, .. }
+            | Stmt::Other { line, .. } => *line,
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A bare name.
+    Name(String),
+    /// A string literal (contents only).
+    Str(String),
+    /// A numeric literal, kept as text.
+    Num(String),
+    /// `value.attr`
+    Attribute {
+        /// The object expression.
+        value: Box<Expr>,
+        /// The attribute name.
+        attr: String,
+    },
+    /// `func(args...)`
+    Call {
+        /// The callee expression.
+        func: Box<Expr>,
+        /// Positional and keyword arguments, in order.
+        args: Vec<Arg>,
+    },
+    /// `left op right` for binary operators we keep (`+`, `%`, ...).
+    BinOp {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator glyph.
+        op: String,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Anything else, as reconstructed text.
+    Other(String),
+}
+
+/// One call argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arg {
+    /// Keyword name for `name=value` arguments.
+    pub name: Option<String>,
+    /// Argument value.
+    pub value: Expr,
+}
+
+impl Expr {
+    /// Renders the dotted path of a callee: `os.system` for
+    /// `Attribute(Name(os), system)`, `exec` for `Name(exec)`. For a call,
+    /// delegates to its callee. Returns an empty string for shapes without
+    /// a sensible path.
+    pub fn func_path(&self) -> String {
+        match self {
+            Expr::Name(n) => n.clone(),
+            Expr::Attribute { value, attr } => {
+                let base = value.func_path();
+                if base.is_empty() {
+                    attr.clone()
+                } else {
+                    format!("{base}.{attr}")
+                }
+            }
+            Expr::Call { func, .. } => func.func_path(),
+            _ => String::new(),
+        }
+    }
+
+    /// Renders the expression back to approximate source text.
+    pub fn to_text(&self) -> String {
+        match self {
+            Expr::Name(n) => n.clone(),
+            Expr::Str(s) => format!("'{s}'"),
+            Expr::Num(n) => n.clone(),
+            Expr::Attribute { value, attr } => format!("{}.{attr}", value.to_text()),
+            Expr::Call { func, args } => {
+                let rendered: Vec<String> = args
+                    .iter()
+                    .map(|a| match &a.name {
+                        Some(n) => format!("{n}={}", a.value.to_text()),
+                        None => a.value.to_text(),
+                    })
+                    .collect();
+                format!("{}({})", func.to_text(), rendered.join(", "))
+            }
+            Expr::BinOp { left, op, right } => {
+                format!("{} {op} {}", left.to_text(), right.to_text())
+            }
+            Expr::Other(t) => t.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn func_path_of_dotted_call() {
+        let e = Expr::Call {
+            func: Box::new(Expr::Attribute {
+                value: Box::new(Expr::Name("os".into())),
+                attr: "system".into(),
+            }),
+            args: vec![],
+        };
+        assert_eq!(e.func_path(), "os.system");
+    }
+
+    #[test]
+    fn func_path_of_plain_name() {
+        assert_eq!(Expr::Name("exec".into()).func_path(), "exec");
+    }
+
+    #[test]
+    fn to_text_roundtrips_call_shape() {
+        let e = Expr::Call {
+            func: Box::new(Expr::Name("requests".into())),
+            args: vec![Arg {
+                name: Some("url".into()),
+                value: Expr::Str("http://x".into()),
+            }],
+        };
+        assert_eq!(e.to_text(), "requests(url='http://x')");
+    }
+
+    #[test]
+    fn stmt_line_accessor() {
+        let s = Stmt::Other {
+            text: "x".into(),
+            line: 7,
+        };
+        assert_eq!(s.line(), 7);
+    }
+}

@@ -1,0 +1,429 @@
+//! Indentation-aware Python tokenizer.
+//!
+//! Tolerant by design: malformed input (unterminated strings, stray bytes)
+//! produces best-effort tokens rather than errors, because the scanner must
+//! process deliberately obfuscated malware sources.
+
+use crate::token::{Token, TokenKind};
+
+/// Multi-character operators, longest first so maximal munch works.
+const OPERATORS: &[&str] = &[
+    "**=", "//=", ">>=", "<<=", "...", "->", ":=", "==", "!=", "<=", ">=", "//", "**", ">>",
+    "<<", "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=", "@=",
+];
+
+/// Tokenizes Python `source` into a flat token stream ending in
+/// [`TokenKind::Eof`]. INDENT/DEDENT tokens are synthesized from leading
+/// whitespace; newlines inside `()`/`[]`/`{}` are suppressed.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+    depth: usize,
+    indents: Vec<usize>,
+    out: Vec<Token>,
+    at_line_start: bool,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 0,
+            depth: 0,
+            indents: vec![0],
+            out: Vec::new(),
+            at_line_start: true,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 0;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokenKind, line: usize, col: usize) {
+        self.out.push(Token { kind, line, col });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        loop {
+            if self.at_line_start && self.depth == 0 {
+                if !self.handle_indentation() {
+                    break;
+                }
+            }
+            let (line, col) = (self.line, self.col);
+            let Some(b) = self.peek() else { break };
+            match b {
+                b'\n' => {
+                    self.bump();
+                    if self.depth == 0 {
+                        // Collapse duplicate newlines.
+                        if !matches!(
+                            self.out.last().map(|t| &t.kind),
+                            Some(TokenKind::Newline) | Some(TokenKind::Indent) | None
+                        ) {
+                            self.push(TokenKind::Newline, line, col);
+                        }
+                        self.at_line_start = true;
+                    }
+                }
+                b'\r' => {
+                    self.bump();
+                }
+                b' ' | b'\t' => {
+                    self.bump();
+                }
+                b'\\' if self.peek2() == Some(b'\n') => {
+                    // Explicit line continuation.
+                    self.bump();
+                    self.bump();
+                }
+                b'#' => {
+                    let text = self.take_while(|b| b != b'\n');
+                    self.push(TokenKind::Comment(text), line, col);
+                }
+                b'"' | b'\'' => self.string(String::new(), line, col),
+                b'0'..=b'9' => {
+                    let text = self.take_while(|b| {
+                        b.is_ascii_alphanumeric() || b == b'.' || b == b'_'
+                    });
+                    self.push(TokenKind::Number(text), line, col);
+                }
+                b if b.is_ascii_alphabetic() || b == b'_' || b >= 0x80 => {
+                    let word = self.take_while(|b| {
+                        b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+                    });
+                    // String prefix? (r'', b"", f''', rb'' ...)
+                    let lower = word.to_ascii_lowercase();
+                    if matches!(lower.as_str(), "r" | "b" | "f" | "u" | "rb" | "br" | "fr" | "rf")
+                        && matches!(self.peek(), Some(b'"') | Some(b'\''))
+                    {
+                        self.string(lower, line, col);
+                    } else {
+                        self.push(TokenKind::Ident(word), line, col);
+                    }
+                }
+                _ => self.operator(line, col),
+            }
+        }
+        // Close out: final newline + remaining dedents.
+        if !matches!(self.out.last().map(|t| &t.kind), Some(TokenKind::Newline) | None) {
+            self.push(TokenKind::Newline, self.line, self.col);
+        }
+        while self.indents.len() > 1 {
+            self.indents.pop();
+            self.push(TokenKind::Dedent, self.line, 0);
+        }
+        self.push(TokenKind::Eof, self.line, self.col);
+        self.out
+    }
+
+    /// Measures leading whitespace and emits INDENT/DEDENT. Returns false
+    /// at end of input.
+    fn handle_indentation(&mut self) -> bool {
+        loop {
+            let start = self.pos;
+            let mut width = 0usize;
+            while let Some(b) = self.peek() {
+                match b {
+                    b' ' => {
+                        width += 1;
+                        self.bump();
+                    }
+                    b'\t' => {
+                        width += 8 - (width % 8);
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek() {
+                // Blank or comment-only lines don't affect indentation.
+                Some(b'\n') => {
+                    self.bump();
+                    continue;
+                }
+                Some(b'\r') => {
+                    self.bump();
+                    continue;
+                }
+                Some(b'#') => {
+                    let line = self.line;
+                    let col = self.col;
+                    let text = self.take_while(|b| b != b'\n');
+                    self.push(TokenKind::Comment(text), line, col);
+                    continue;
+                }
+                None => return false,
+                _ => {}
+            }
+            let current = *self.indents.last().expect("indent stack never empty");
+            if width > current {
+                self.indents.push(width);
+                self.push(TokenKind::Indent, self.line, 0);
+            } else if width < current {
+                while *self.indents.last().expect("nonempty") > width {
+                    self.indents.pop();
+                    self.push(TokenKind::Dedent, self.line, 0);
+                }
+                // Inconsistent dedent (common in mangled malware) — treat
+                // the nearest level as the new one.
+                if *self.indents.last().expect("nonempty") != width {
+                    self.indents.push(width);
+                    self.push(TokenKind::Indent, self.line, 0);
+                }
+            }
+            self.at_line_start = false;
+            let _ = start;
+            return true;
+        }
+    }
+
+    fn take_while(&mut self, pred: impl Fn(u8) -> bool) -> String {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if pred(b)) {
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn string(&mut self, prefix: String, line: usize, col: usize) {
+        let quote = self.bump().expect("caller checked quote");
+        let triple = self.peek() == Some(quote) && self.peek2() == Some(quote);
+        if triple {
+            self.bump();
+            self.bump();
+        }
+        let raw = prefix.contains('r');
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None => break, // unterminated — tolerate
+                Some(b'\\') if !raw => {
+                    self.bump();
+                    match self.bump() {
+                        Some(b'n') => value.push('\n'),
+                        Some(b't') => value.push('\t'),
+                        Some(b'r') => value.push('\r'),
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'\'') => value.push('\''),
+                        Some(b'"') => value.push('"'),
+                        Some(b'\n') => {} // continuation inside string
+                        Some(other) => {
+                            value.push('\\');
+                            value.push(other as char);
+                        }
+                        None => break,
+                    }
+                }
+                Some(b) if b == quote => {
+                    if triple {
+                        if self.peek2() == Some(quote)
+                            && self.src.get(self.pos + 2).copied() == Some(quote)
+                        {
+                            self.bump();
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                        value.push(quote as char);
+                    } else {
+                        self.bump();
+                        break;
+                    }
+                }
+                Some(b'\n') if !triple => {
+                    // Unterminated single-quoted string; stop at EOL.
+                    break;
+                }
+                Some(b) => {
+                    self.bump();
+                    value.push(b as char);
+                }
+            }
+        }
+        self.push(TokenKind::Str { value, prefix }, line, col);
+    }
+
+    fn operator(&mut self, line: usize, col: usize) {
+        for op in OPERATORS {
+            if self.src[self.pos..].starts_with(op.as_bytes()) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                self.push(TokenKind::Op((*op).to_owned()), line, col);
+                return;
+            }
+        }
+        let b = self.bump().expect("caller checked a byte exists");
+        match b {
+            b'(' | b'[' | b'{' => self.depth += 1,
+            b')' | b']' | b'}' => self.depth = self.depth.saturating_sub(1),
+            _ => {}
+        }
+        self.push(TokenKind::Op((b as char).to_string()), line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_statement() {
+        let k = kinds("import os\n");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("import".into()),
+                TokenKind::Ident("os".into()),
+                TokenKind::Newline,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_tokens() {
+        let k = kinds("def f():\n    pass\n");
+        assert!(k.contains(&TokenKind::Indent));
+        assert!(k.contains(&TokenKind::Dedent));
+    }
+
+    #[test]
+    fn nested_indentation() {
+        let src = "if a:\n    if b:\n        pass\n";
+        let k = kinds(src);
+        let indents = k.iter().filter(|k| **k == TokenKind::Indent).count();
+        let dedents = k.iter().filter(|k| **k == TokenKind::Dedent).count();
+        assert_eq!(indents, 2);
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn string_literals() {
+        let k = kinds("x = 'hello'\n");
+        assert!(k.iter().any(|k| matches!(k, TokenKind::Str { value, .. } if value == "hello")));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let k = kinds(r#"x = "a\nb""#);
+        assert!(k.iter().any(|k| matches!(k, TokenKind::Str { value, .. } if value == "a\nb")));
+    }
+
+    #[test]
+    fn raw_string_keeps_backslash() {
+        let k = kinds(r"x = r'a\nb'");
+        assert!(k
+            .iter()
+            .any(|k| matches!(k, TokenKind::Str { value, .. } if value == r"a\nb")));
+    }
+
+    #[test]
+    fn triple_quoted_string() {
+        let k = kinds("s = \"\"\"line1\nline2\"\"\"\n");
+        assert!(k
+            .iter()
+            .any(|k| matches!(k, TokenKind::Str { value, .. } if value == "line1\nline2")));
+    }
+
+    #[test]
+    fn bytes_prefix_recorded() {
+        let k = kinds("p = b'payload'\n");
+        assert!(k
+            .iter()
+            .any(|k| matches!(k, TokenKind::Str { prefix, .. } if prefix == "b")));
+    }
+
+    #[test]
+    fn newline_suppressed_inside_brackets() {
+        let k = kinds("f(a,\n  b)\n");
+        let newlines = k.iter().filter(|k| **k == TokenKind::Newline).count();
+        assert_eq!(newlines, 1);
+    }
+
+    #[test]
+    fn comments_captured() {
+        let k = kinds("# C2: 1.2.3.4\nx = 1\n");
+        assert!(k
+            .iter()
+            .any(|k| matches!(k, TokenKind::Comment(c) if c.contains("C2"))));
+    }
+
+    #[test]
+    fn blank_lines_dont_dedent() {
+        let src = "def f():\n    a = 1\n\n    b = 2\n";
+        let k = kinds(src);
+        let dedents = k.iter().filter(|k| **k == TokenKind::Dedent).count();
+        assert_eq!(dedents, 1);
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let k = kinds("a == b != c -> d\n");
+        assert!(k.iter().any(|k| matches!(k, TokenKind::Op(o) if o == "==")));
+        assert!(k.iter().any(|k| matches!(k, TokenKind::Op(o) if o == "!=")));
+        assert!(k.iter().any(|k| matches!(k, TokenKind::Op(o) if o == "->")));
+    }
+
+    #[test]
+    fn unterminated_string_tolerated() {
+        let k = kinds("x = 'oops\ny = 2\n");
+        assert!(k.iter().any(|k| matches!(k, TokenKind::Str { value, .. } if value == "oops")));
+        assert!(k.iter().any(|k| matches!(k, TokenKind::Ident(i) if i == "y")));
+    }
+
+    #[test]
+    fn line_continuation() {
+        let k = kinds("x = 1 + \\\n    2\n");
+        let newlines = k.iter().filter(|k| **k == TokenKind::Newline).count();
+        assert_eq!(newlines, 1);
+    }
+
+    #[test]
+    fn numbers() {
+        let k = kinds("x = 0xFF + 3.14\n");
+        assert!(k.iter().any(|k| matches!(k, TokenKind::Number(n) if n == "0xFF")));
+        assert!(k.iter().any(|k| matches!(k, TokenKind::Number(n) if n == "3.14")));
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a = 1\nb = 2\n");
+        let b_tok = toks
+            .iter()
+            .find(|t| t.as_ident() == Some("b"))
+            .expect("b token");
+        assert_eq!(b_tok.line, 2);
+    }
+}

@@ -1,0 +1,904 @@
+//! Tolerant recursive-descent parser over the token stream.
+
+use crate::ast::{Arg, Expr, Module, Stmt};
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// Parses Python `source` into a [`Module`].
+///
+/// Never fails: statements the parser doesn't understand are preserved as
+/// [`Stmt::Other`] nodes carrying reconstructed text, so downstream
+/// matchers always see the full file.
+pub fn parse_module(source: &str) -> Module {
+    let tokens = lex(source);
+    let mut p = Parser { tokens, pos: 0 };
+    let body = p.statements(/*stop_at_dedent=*/ false);
+    Module { body }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_token(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Op(o) if o == op) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn skip_newlines_and_comments(&mut self) {
+        while matches!(self.peek(), TokenKind::Newline | TokenKind::Comment(_)) {
+            self.bump();
+        }
+    }
+
+    fn statements(&mut self, stop_at_dedent: bool) -> Vec<Stmt> {
+        let mut body = Vec::new();
+        loop {
+            self.skip_newlines_and_comments();
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Dedent if stop_at_dedent => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Dedent => {
+                    // Stray dedent at top level (inconsistent input).
+                    self.bump();
+                }
+                TokenKind::Indent => {
+                    // Unexpected indent — parse it as an anonymous block so
+                    // nested statements are still visible.
+                    self.bump();
+                    let inner = self.statements(true);
+                    body.push(Stmt::Block {
+                        keyword: String::new(),
+                        header: String::new(),
+                        body: inner,
+                        line: self.peek_token().line,
+                    });
+                }
+                _ => body.push(self.statement()),
+            }
+        }
+        body
+    }
+
+    fn statement(&mut self) -> Stmt {
+        let line = self.peek_token().line;
+        if let TokenKind::Ident(word) = self.peek() {
+            match word.as_str() {
+                "import" => return self.import_stmt(line),
+                "from" => return self.from_import_stmt(line),
+                "def" => return self.def_stmt(line),
+                "class" => return self.class_stmt(line),
+                "return" => return self.return_stmt(line),
+                "async" => {
+                    // `async def` — consume the marker and recurse.
+                    self.bump();
+                    if matches!(self.peek(), TokenKind::Ident(w) if w == "def") {
+                        return self.def_stmt(line);
+                    }
+                    return self.block_stmt("async".into(), line);
+                }
+                "if" | "elif" | "else" | "for" | "while" | "try" | "except" | "finally"
+                | "with" => {
+                    let kw = word.clone();
+                    return self.block_stmt(kw, line);
+                }
+                "pass" | "break" | "continue" => {
+                    let kw = word.clone();
+                    self.bump();
+                    self.consume_to_newline();
+                    return Stmt::Other { text: kw, line };
+                }
+                "raise" | "assert" | "del" | "global" | "nonlocal" | "yield" | "lambda" => {
+                    let text = self.consume_to_newline();
+                    return Stmt::Other { text, line };
+                }
+                "@" => {}
+                _ => {}
+            }
+        }
+        if matches!(self.peek(), TokenKind::Op(o) if o == "@") {
+            // Decorator — record as Other and continue.
+            let text = self.consume_to_newline();
+            return Stmt::Other { text, line };
+        }
+        // Expression or assignment.
+        let expr = self.expression();
+        if matches!(self.peek(), TokenKind::Op(o) if o == "=") {
+            let mut targets = vec![expr.to_text()];
+            let mut value = None;
+            while self.eat_op("=") {
+                let next = self.expression();
+                if matches!(self.peek(), TokenKind::Op(o) if o == "=") {
+                    targets.push(next.to_text());
+                } else {
+                    value = Some(next);
+                    break;
+                }
+            }
+            self.consume_to_newline();
+            return Stmt::Assign {
+                targets,
+                value: value.unwrap_or(Expr::Other(String::new())),
+                line,
+            };
+        }
+        // Augmented assignment — keep RHS as the value.
+        if matches!(self.peek(), TokenKind::Op(o) if o.ends_with('=') && o.len() >= 2 && o != "==" && o != "!=" && o != ">=" && o != "<=")
+        {
+            self.bump();
+            let value = self.expression();
+            self.consume_to_newline();
+            return Stmt::Assign {
+                targets: vec![expr.to_text()],
+                value,
+                line,
+            };
+        }
+        self.consume_to_newline();
+        Stmt::Expr { value: expr, line }
+    }
+
+    fn import_stmt(&mut self, line: usize) -> Stmt {
+        self.bump(); // 'import'
+        let mut modules = Vec::new();
+        loop {
+            let path = self.dotted_name();
+            if path.is_empty() {
+                break;
+            }
+            // `import x as y` — the alias is irrelevant to matching.
+            if matches!(self.peek(), TokenKind::Ident(w) if w == "as") {
+                self.bump();
+                self.bump();
+            }
+            modules.push(path);
+            if !self.eat_op(",") {
+                break;
+            }
+        }
+        self.consume_to_newline();
+        Stmt::Import { modules, line }
+    }
+
+    fn from_import_stmt(&mut self, line: usize) -> Stmt {
+        self.bump(); // 'from'
+        let module = self.dotted_name();
+        let mut names = Vec::new();
+        if matches!(self.peek(), TokenKind::Ident(w) if w == "import") {
+            self.bump();
+            let parenthesized = self.eat_op("(");
+            loop {
+                match self.peek() {
+                    TokenKind::Ident(w) => {
+                        let name = w.clone();
+                        self.bump();
+                        if matches!(self.peek(), TokenKind::Ident(w) if w == "as") {
+                            self.bump();
+                            self.bump();
+                        }
+                        names.push(name);
+                        if !self.eat_op(",") {
+                            break;
+                        }
+                    }
+                    TokenKind::Op(o) if o == "*" => {
+                        self.bump();
+                        names.push("*".into());
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            if parenthesized {
+                self.eat_op(")");
+            }
+        }
+        self.consume_to_newline();
+        Stmt::FromImport {
+            module,
+            names,
+            line,
+        }
+    }
+
+    fn dotted_name(&mut self) -> String {
+        let mut parts = Vec::new();
+        while let TokenKind::Ident(w) = self.peek() {
+            parts.push(w.clone());
+            self.bump();
+            if !self.eat_op(".") {
+                break;
+            }
+        }
+        parts.join(".")
+    }
+
+    fn def_stmt(&mut self, line: usize) -> Stmt {
+        self.bump(); // 'def'
+        let name = match self.peek() {
+            TokenKind::Ident(w) => {
+                let n = w.clone();
+                self.bump();
+                n
+            }
+            _ => String::new(),
+        };
+        let mut params = Vec::new();
+        if self.eat_op("(") {
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            while depth > 0 && !self.at_eof() {
+                match self.peek() {
+                    TokenKind::Op(o) if o == "(" || o == "[" || o == "{" => {
+                        depth += 1;
+                        self.bump();
+                    }
+                    TokenKind::Op(o) if o == ")" || o == "]" || o == "}" => {
+                        depth -= 1;
+                        self.bump();
+                    }
+                    TokenKind::Op(o) if o == "," && depth == 1 => {
+                        expect_param = true;
+                        self.bump();
+                    }
+                    TokenKind::Ident(w) if depth == 1 && expect_param => {
+                        params.push(w.clone());
+                        expect_param = false;
+                        self.bump();
+                    }
+                    _ => {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        let body = self.suite();
+        Stmt::FunctionDef {
+            name,
+            params,
+            body,
+            line,
+        }
+    }
+
+    fn class_stmt(&mut self, line: usize) -> Stmt {
+        self.bump(); // 'class'
+        let name = match self.peek() {
+            TokenKind::Ident(w) => {
+                let n = w.clone();
+                self.bump();
+                n
+            }
+            _ => String::new(),
+        };
+        let mut bases = Vec::new();
+        if self.eat_op("(") {
+            while !self.at_eof() {
+                match self.peek() {
+                    TokenKind::Op(o) if o == ")" => {
+                        self.bump();
+                        break;
+                    }
+                    TokenKind::Op(o) if o == "," => {
+                        self.bump();
+                    }
+                    _ => {
+                        let base = self.dotted_name();
+                        if base.is_empty() {
+                            self.bump();
+                        } else {
+                            bases.push(base);
+                        }
+                    }
+                }
+            }
+        }
+        let body = self.suite();
+        Stmt::ClassDef {
+            name,
+            bases,
+            body,
+            line,
+        }
+    }
+
+    fn return_stmt(&mut self, line: usize) -> Stmt {
+        self.bump(); // 'return'
+        let value = if matches!(self.peek(), TokenKind::Newline | TokenKind::Eof) {
+            None
+        } else {
+            Some(self.expression())
+        };
+        self.consume_to_newline();
+        Stmt::Return { value, line }
+    }
+
+    fn block_stmt(&mut self, keyword: String, line: usize) -> Stmt {
+        self.bump(); // keyword
+        // Header: tokens until ':' at bracket depth zero.
+        let mut header = keyword.clone();
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                TokenKind::Op(o) if o == ":" && depth == 0 => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Op(o) if o == "(" || o == "[" || o == "{" => {
+                    depth += 1;
+                    header.push_str(o);
+                    self.bump();
+                }
+                TokenKind::Op(o) if o == ")" || o == "]" || o == "}" => {
+                    depth = depth.saturating_sub(1);
+                    header.push_str(o);
+                    self.bump();
+                }
+                TokenKind::Newline | TokenKind::Eof => break,
+                other => {
+                    header.push(' ');
+                    header.push_str(&render(other));
+                    self.bump();
+                }
+            }
+        }
+        let body = self.suite();
+        Stmt::Block {
+            keyword,
+            header,
+            body,
+            line,
+        }
+    }
+
+    /// Parses the body after a colon: either an indented block or an
+    /// inline statement.
+    fn suite(&mut self) -> Vec<Stmt> {
+        // Consume optional colon remaining (def/class paths).
+        self.eat_op(":");
+        if matches!(self.peek(), TokenKind::Newline) {
+            self.skip_newlines_and_comments();
+            if matches!(self.peek(), TokenKind::Indent) {
+                self.bump();
+                return self.statements(true);
+            }
+            return Vec::new();
+        }
+        // Inline suite: `if x: do()`
+        if matches!(self.peek(), TokenKind::Eof | TokenKind::Dedent) {
+            return Vec::new();
+        }
+        vec![self.statement()]
+    }
+
+    fn consume_to_newline(&mut self) -> String {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                TokenKind::Newline | TokenKind::Eof | TokenKind::Dedent => break,
+                other => {
+                    if !text.is_empty() {
+                        text.push(' ');
+                    }
+                    text.push_str(&render(other));
+                    self.bump();
+                }
+            }
+        }
+        if matches!(self.peek(), TokenKind::Newline) {
+            self.bump();
+        }
+        text
+    }
+
+    // ---- expressions ----
+
+    fn expression(&mut self) -> Expr {
+        let mut left = self.unary();
+        loop {
+            let op = match self.peek() {
+                TokenKind::Op(o)
+                    if matches!(
+                        o.as_str(),
+                        "+" | "-" | "*" | "/" | "%" | "//" | "**" | "|" | "&" | "^"
+                            | "==" | "!=" | "<" | ">" | "<=" | ">=" | ">>" | "<<"
+                    ) =>
+                {
+                    o.clone()
+                }
+                TokenKind::Ident(w) if w == "and" || w == "or" || w == "in" || w == "is" => {
+                    w.clone()
+                }
+                TokenKind::Ident(w) if w == "not" => {
+                    w.clone()
+                }
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary();
+            left = Expr::BinOp {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        left
+    }
+
+    fn unary(&mut self) -> Expr {
+        if matches!(self.peek(), TokenKind::Op(o) if o == "-" || o == "+" || o == "~")
+            || matches!(self.peek(), TokenKind::Ident(w) if w == "not")
+        {
+            let op = render(self.peek());
+            self.bump();
+            let inner = self.unary();
+            return Expr::Other(format!("{op} {}", inner.to_text()));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Expr {
+        let mut expr = self.atom();
+        loop {
+            match self.peek() {
+                TokenKind::Op(o) if o == "." => {
+                    self.bump();
+                    if let TokenKind::Ident(attr) = self.peek() {
+                        let attr = attr.clone();
+                        self.bump();
+                        expr = Expr::Attribute {
+                            value: Box::new(expr),
+                            attr,
+                        };
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Op(o) if o == "(" => {
+                    self.bump();
+                    let args = self.call_args();
+                    expr = Expr::Call {
+                        func: Box::new(expr),
+                        args,
+                    };
+                }
+                TokenKind::Op(o) if o == "[" => {
+                    self.bump();
+                    let mut depth = 1;
+                    let mut text = String::new();
+                    while depth > 0 && !self.at_eof() {
+                        match self.peek() {
+                            TokenKind::Op(o) if o == "[" => depth += 1,
+                            TokenKind::Op(o) if o == "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    self.bump();
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        if depth > 0 {
+                            text.push_str(&render(self.peek()));
+                            self.bump();
+                        }
+                    }
+                    expr = Expr::Other(format!("{}[{}]", expr.to_text(), text));
+                }
+                _ => break,
+            }
+        }
+        expr
+    }
+
+    fn call_args(&mut self) -> Vec<Arg> {
+        let mut args = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Op(o) if o == ")" => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Eof => break,
+                TokenKind::Op(o) if o == "," => {
+                    self.bump();
+                }
+                TokenKind::Op(o) if o == "*" || o == "**" => {
+                    // *args / **kwargs forwarding.
+                    self.bump();
+                    let value = self.expression();
+                    args.push(Arg { name: None, value });
+                }
+                _ => {
+                    // keyword argument? ident '=' (not '==')
+                    if let TokenKind::Ident(name) = self.peek().clone() {
+                        if matches!(
+                            self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                            Some(TokenKind::Op(o)) if o == "="
+                        ) {
+                            self.bump(); // name
+                            self.bump(); // '='
+                            let value = self.expression();
+                            args.push(Arg {
+                                name: Some(name),
+                                value,
+                            });
+                            continue;
+                        }
+                    }
+                    let value = self.expression();
+                    args.push(Arg { name: None, value });
+                }
+            }
+        }
+        args
+    }
+
+    fn atom(&mut self) -> Expr {
+        match self.peek().clone() {
+            TokenKind::Ident(w) => {
+                self.bump();
+                Expr::Name(w)
+            }
+            TokenKind::Number(n) => {
+                self.bump();
+                Expr::Num(n)
+            }
+            TokenKind::Str { value, .. } => {
+                self.bump();
+                // Adjacent string literal concatenation.
+                let mut v = value;
+                while let TokenKind::Str { value: more, .. } = self.peek().clone() {
+                    v.push_str(&more);
+                    self.bump();
+                }
+                Expr::Str(v)
+            }
+            TokenKind::Op(o) if o == "(" => {
+                self.bump();
+                if self.eat_op(")") {
+                    return Expr::Other("()".into());
+                }
+                let inner = self.expression();
+                // Tuple or generator — flatten to Other but keep the first
+                // element visible for matching.
+                if matches!(self.peek(), TokenKind::Op(o) if o == ",") {
+                    let mut parts = vec![inner.to_text()];
+                    while self.eat_op(",") {
+                        if matches!(self.peek(), TokenKind::Op(o) if o == ")") {
+                            break;
+                        }
+                        parts.push(self.expression().to_text());
+                    }
+                    self.eat_op(")");
+                    return Expr::Other(format!("({})", parts.join(", ")));
+                }
+                self.eat_op(")");
+                inner
+            }
+            TokenKind::Op(o) if o == "[" || o == "{" => {
+                // Collection literal — consume balanced and render.
+                let open = o.clone();
+                let close = if o == "[" { "]" } else { "}" };
+                self.bump();
+                let mut depth = 1;
+                let mut text = String::new();
+                while depth > 0 && !self.at_eof() {
+                    match self.peek() {
+                        TokenKind::Op(x) if x == &open => depth += 1,
+                        TokenKind::Op(x) if x == close => {
+                            depth -= 1;
+                            if depth == 0 {
+                                self.bump();
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if depth > 0 {
+                        text.push_str(&render(self.peek()));
+                        self.bump();
+                    }
+                }
+                Expr::Other(format!("{open}{text}{close}"))
+            }
+            other => {
+                self.bump();
+                Expr::Other(render(&other))
+            }
+        }
+    }
+}
+
+fn render(kind: &TokenKind) -> String {
+    match kind {
+        TokenKind::Ident(w) => w.clone(),
+        TokenKind::Number(n) => n.clone(),
+        TokenKind::Str { value, .. } => format!("'{value}'"),
+        TokenKind::Op(o) => o.clone(),
+        TokenKind::Comment(c) => c.clone(),
+        TokenKind::Newline => "\n".into(),
+        TokenKind::Indent | TokenKind::Dedent => String::new(),
+        TokenKind::Eof => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_imports() {
+        let m = parse_module("import os\nimport sys, json\n");
+        assert_eq!(m.body.len(), 2);
+        match &m.body[1] {
+            Stmt::Import { modules, .. } => {
+                assert_eq!(modules, &vec!["sys".to_owned(), "json".to_owned()])
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_dotted_import() {
+        let m = parse_module("import os.path\n");
+        match &m.body[0] {
+            Stmt::Import { modules, .. } => assert_eq!(modules[0], "os.path"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_from_import() {
+        let m = parse_module("from subprocess import Popen, PIPE\n");
+        match &m.body[0] {
+            Stmt::FromImport { module, names, .. } => {
+                assert_eq!(module, "subprocess");
+                assert_eq!(names, &vec!["Popen".to_owned(), "PIPE".to_owned()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_function_def() {
+        let src = "def install(target, mode):\n    os.system(target)\n";
+        let m = parse_module(src);
+        match &m.body[0] {
+            Stmt::FunctionDef {
+                name, params, body, ..
+            } => {
+                assert_eq!(name, "install");
+                assert_eq!(params, &vec!["target".to_owned(), "mode".to_owned()]);
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_class_def() {
+        let src = "class Installer(setuptools.Command):\n    pass\n";
+        let m = parse_module(src);
+        match &m.body[0] {
+            Stmt::ClassDef { name, bases, .. } => {
+                assert_eq!(name, "Installer");
+                assert_eq!(bases[0], "setuptools.Command");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_call_with_keyword_args() {
+        let m = parse_module("subprocess.Popen(cmd, shell=True)\n");
+        match &m.body[0] {
+            Stmt::Expr { value, .. } => match value {
+                Expr::Call { func, args } => {
+                    assert_eq!(func.func_path(), "subprocess.Popen");
+                    assert_eq!(args.len(), 2);
+                    assert_eq!(args[1].name.as_deref(), Some("shell"));
+                    assert_eq!(args[1].value, Expr::Name("True".into()));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_calls() {
+        let m = parse_module("exec(base64.b64decode('cGF5bG9hZA=='))\n");
+        match &m.body[0] {
+            Stmt::Expr { value, .. } => match value {
+                Expr::Call { func, args } => {
+                    assert_eq!(func.func_path(), "exec");
+                    match &args[0].value {
+                        Expr::Call { func, args } => {
+                            assert_eq!(func.func_path(), "base64.b64decode");
+                            assert_eq!(args[0].value, Expr::Str("cGF5bG9hZA==".into()));
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_assignment() {
+        let m = parse_module("url = 'http://evil.example'\n");
+        match &m.body[0] {
+            Stmt::Assign { targets, value, .. } => {
+                assert_eq!(targets[0], "url");
+                assert_eq!(value, &Expr::Str("http://evil.example".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_attribute_assignment_target() {
+        let m = parse_module("self.url = get()\n");
+        match &m.body[0] {
+            Stmt::Assign { targets, .. } => assert_eq!(targets[0], "self.url"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_block() {
+        let src = "if platform.system() == 'Windows':\n    run()\n";
+        let m = parse_module(src);
+        match &m.body[0] {
+            Stmt::Block { keyword, body, .. } => {
+                assert_eq!(keyword, "if");
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_try_except() {
+        let src = "try:\n    risky()\nexcept Exception:\n    pass\n";
+        let m = parse_module(src);
+        assert_eq!(m.body.len(), 2);
+        assert!(matches!(&m.body[0], Stmt::Block { keyword, .. } if keyword == "try"));
+        assert!(matches!(&m.body[1], Stmt::Block { keyword, .. } if keyword == "except"));
+    }
+
+    #[test]
+    fn parses_inline_suite() {
+        let m = parse_module("if debug: print(x)\n");
+        match &m.body[0] {
+            Stmt::Block { body, .. } => assert_eq!(body.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_return() {
+        let m = parse_module("def f():\n    return os.environ\n");
+        match &m.body[0] {
+            Stmt::FunctionDef { body, .. } => match &body[0] {
+                Stmt::Return { value: Some(v), .. } => {
+                    assert_eq!(v.func_path(), "os.environ");
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tolerates_garbage() {
+        let m = parse_module("??? !!! ***\nx = 1\n");
+        assert!(m.body.len() >= 2);
+        assert!(matches!(m.body.last().expect("x=1"), Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn adjacent_string_concatenation() {
+        let m = parse_module("u = 'http://' 'evil.com'\n");
+        match &m.body[0] {
+            Stmt::Assign { value, .. } => {
+                assert_eq!(value, &Expr::Str("http://evil.com".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_percent_format_binop() {
+        let m = parse_module("cmd = 'curl %s' % url\n");
+        match &m.body[0] {
+            Stmt::Assign { value, .. } => {
+                assert!(matches!(value, Expr::BinOp { op, .. } if op == "%"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiline_call_parses() {
+        let src = "setup(\n    name='evil',\n    version='0.0.0',\n)\n";
+        let m = parse_module(src);
+        match &m.body[0] {
+            Stmt::Expr { value, .. } => match value {
+                Expr::Call { func, args } => {
+                    assert_eq!(func.func_path(), "setup");
+                    assert_eq!(args.len(), 2);
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decorated_function_body_found() {
+        let src = "@atexit.register\ndef boom():\n    leak()\n";
+        let m = parse_module(src);
+        assert!(m
+            .body
+            .iter()
+            .any(|s| matches!(s, Stmt::FunctionDef { name, .. } if name == "boom")));
+    }
+
+    #[test]
+    fn chained_assignment_targets() {
+        let m = parse_module("a = b = get_payload()\n");
+        match &m.body[0] {
+            Stmt::Assign { targets, value, .. } => {
+                assert_eq!(targets.len(), 2);
+                assert_eq!(value.func_path(), "get_payload");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_nesting_survives() {
+        let mut src = String::new();
+        for i in 0..20 {
+            src.push_str(&"    ".repeat(i));
+            src.push_str("if x:\n");
+        }
+        src.push_str(&"    ".repeat(20));
+        src.push_str("boom()\n");
+        let m = parse_module(&src);
+        assert!(!m.body.is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests: the tolerant parser must accept anything and
+//! the lexer's indentation bookkeeping must always balance.
+
+use proptest::prelude::*;
+use pysrc::TokenKind;
+
+proptest! {
+    #[test]
+    fn parser_never_panics(src in "[ -~\\n]{0,400}") {
+        let _ = pysrc::parse_module(&src);
+    }
+
+    #[test]
+    fn lexer_indents_and_dedents_balance(src in "[a-z(): \\n]{0,300}") {
+        let tokens = pysrc::lex(&src);
+        let indents = tokens.iter().filter(|t| t.kind == TokenKind::Indent).count();
+        let dedents = tokens.iter().filter(|t| t.kind == TokenKind::Dedent).count();
+        prop_assert_eq!(indents, dedents);
+        prop_assert_eq!(&tokens.last().expect("eof token").kind, &TokenKind::Eof);
+    }
+
+    #[test]
+    fn string_literals_roundtrip(value in "[a-zA-Z0-9 ./:_-]{0,40}") {
+        let src = format!("x = '{value}'\n");
+        let module = pysrc::parse_module(&src);
+        let strings = pysrc::collect_strings(&module);
+        prop_assert_eq!(strings.len(), 1);
+        prop_assert_eq!(strings[0].0, value.as_str());
+    }
+
+    #[test]
+    fn call_paths_roundtrip(a in "[a-z]{1,8}", b in "[a-z]{1,8}", c in "[a-z]{1,8}") {
+        let src = format!("{a}.{b}.{c}(arg)\n");
+        let module = pysrc::parse_module(&src);
+        let calls = pysrc::collect_calls(&module);
+        prop_assert_eq!(calls.len(), 1);
+        prop_assert_eq!(calls[0].func_path(), format!("{a}.{b}.{c}"));
+    }
+
+    #[test]
+    fn imports_roundtrip(names in prop::collection::vec("[a-z]{2,10}", 1..4)) {
+        let src = format!("import {}\n", names.join(", "));
+        let module = pysrc::parse_module(&src);
+        let found = pysrc::collect_imports(&module);
+        for n in &names {
+            prop_assert!(found.contains(n), "{n} missing from {found:?}");
+        }
+    }
+
+    #[test]
+    fn nested_functions_all_visible(depth in 1usize..6) {
+        let mut src = String::new();
+        for d in 0..depth {
+            src.push_str(&"    ".repeat(d));
+            src.push_str(&format!("def f{d}():\n"));
+        }
+        src.push_str(&"    ".repeat(depth));
+        src.push_str("os.system('x')\n");
+        let module = pysrc::parse_module(&src);
+        let calls = pysrc::collect_calls(&module);
+        prop_assert_eq!(calls.len(), 1, "src:\n{}", src);
+    }
+}

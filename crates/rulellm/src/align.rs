@@ -1,0 +1,177 @@
+//! The alignment agent (§IV-C, Fig. 4).
+//!
+//! The agent owns two tools — the YARA compiler and the Semgrep compiler
+//! — and a short-term memory holding the **two most recent** compiler
+//! error messages (the paper caps memory growth exactly this way). A rule
+//! that fails to compile is sent back through a Table V fix prompt with
+//! the remembered errors as the agent's observation, up to five times.
+
+use llm_sim::{LlmSim, Prompt, RuleFormat};
+
+/// Result of aligning one rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignOutcome {
+    /// The compiling rule, or `None` when all attempts failed.
+    pub rule: Option<String>,
+    /// Fix attempts consumed (0 = compiled first try).
+    pub attempts: usize,
+    /// Every compiler error observed, in order.
+    pub errors: Vec<String>,
+}
+
+/// Compiles `rule` with the format's real compiler; the agent's tool
+/// interface.
+pub fn compile_rule(format: RuleFormat, rule: &str) -> Result<(), String> {
+    match format {
+        RuleFormat::Yara => yara_engine::compile(rule).map(|_| ()).map_err(|e| e.to_string()),
+        RuleFormat::Semgrep => semgrep_engine::compile(rule)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+    }
+}
+
+/// Runs the agent loop on one rule.
+///
+/// `max_attempts = 0` degenerates to "compile once, drop on failure" —
+/// the no-alignment ablation arm.
+pub fn align_rule(
+    llm: &mut LlmSim,
+    format: RuleFormat,
+    analysis: &str,
+    mut rule: String,
+    max_attempts: usize,
+) -> AlignOutcome {
+    let mut errors: Vec<String> = Vec::new();
+    for attempt in 0..=max_attempts {
+        match compile_rule(format, &rule) {
+            Ok(()) => {
+                return AlignOutcome {
+                    rule: Some(rule),
+                    attempts: attempt,
+                    errors,
+                }
+            }
+            Err(err) => {
+                errors.push(err);
+                if attempt == max_attempts {
+                    break;
+                }
+                // Memory: only the two most recent errors reach the prompt.
+                let window = if errors.len() > 2 {
+                    &errors[errors.len() - 2..]
+                } else {
+                    &errors[..]
+                };
+                let observation = window.join("\n");
+                let prompt = Prompt::fix(format, analysis, &rule, &observation);
+                let reply = llm.complete(&prompt);
+                let (_, fixed) = llm_sim::split_reply(&reply);
+                rule = fixed;
+            }
+        }
+    }
+    AlignOutcome {
+        rule: None,
+        attempts: max_attempts,
+        errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_sim::ModelProfile;
+
+    fn perfect_fixer() -> LlmSim {
+        let profile = ModelProfile {
+            name: "test-aligner",
+            context_tokens: 32_000,
+            feature_miss_rate: 0.0,
+            overgeneral_rate: 0.0,
+            hallucination_rate: 0.0,
+            // No fresh corruption from the fix handler path.
+            syntax_error_rate: 0.0,
+            fix_skill: 1.0,
+            merge_skill: 1.0,
+        };
+        LlmSim::new(profile, 11)
+    }
+
+    fn hopeless_fixer() -> LlmSim {
+        let profile = ModelProfile {
+            name: "test-hopeless",
+            context_tokens: 32_000,
+            feature_miss_rate: 0.0,
+            overgeneral_rate: 0.0,
+            hallucination_rate: 0.0,
+            syntax_error_rate: 0.0,
+            fix_skill: 0.0,
+            merge_skill: 1.0,
+        };
+        LlmSim::new(profile, 12)
+    }
+
+    const ANALYSIS: &str = "summary: beacon\nindicator [Network Activity]: requests.get\n";
+
+    #[test]
+    fn valid_rule_passes_untouched() {
+        let mut llm = perfect_fixer();
+        let rule = "rule ok { strings: $a = \"requests.get\" condition: $a }".to_owned();
+        let out = align_rule(&mut llm, RuleFormat::Yara, ANALYSIS, rule.clone(), 5);
+        assert_eq!(out.rule.as_deref(), Some(rule.as_str()));
+        assert_eq!(out.attempts, 0);
+        assert!(out.errors.is_empty());
+    }
+
+    #[test]
+    fn broken_rule_gets_repaired() {
+        let mut llm = perfect_fixer();
+        let rule = "rule broken { strings: $a = \"requests.get\" condition: $a and $ghost }".to_owned();
+        let out = align_rule(&mut llm, RuleFormat::Yara, ANALYSIS, rule, 5);
+        let fixed = out.rule.expect("repaired");
+        assert!(yara_engine::compile(&fixed).is_ok());
+        assert!(out.attempts >= 1);
+        assert!(out.errors[0].contains("undefined string"));
+    }
+
+    #[test]
+    fn hopeless_model_exhausts_attempts() {
+        let mut llm = hopeless_fixer();
+        let rule = "rule broken { strings: $a = \"x condition: $a }".to_owned();
+        let out = align_rule(&mut llm, RuleFormat::Yara, ANALYSIS, rule, 5);
+        assert!(out.rule.is_none());
+        assert_eq!(out.attempts, 5);
+        assert_eq!(out.errors.len(), 6); // initial compile + 5 retries
+    }
+
+    #[test]
+    fn zero_attempts_is_compile_only() {
+        let mut llm = perfect_fixer();
+        let rule = "rule broken { strings: $a = \"x condition: $a }".to_owned();
+        let out = align_rule(&mut llm, RuleFormat::Yara, ANALYSIS, rule, 0);
+        assert!(out.rule.is_none());
+        assert_eq!(out.errors.len(), 1);
+        assert_eq!(llm.completions, 0, "no fix prompt may be sent");
+    }
+
+    #[test]
+    fn semgrep_rules_align_too() {
+        let mut llm = perfect_fixer();
+        let broken = "rules:\n  - id: x\n    languages: [python]\n    pattern: os.system(...)\n".to_owned(); // missing message
+        let out = align_rule(&mut llm, RuleFormat::Semgrep, "summary: shell\n", broken, 5);
+        let fixed = out.rule.expect("repaired");
+        assert!(semgrep_engine::compile(&fixed).is_ok(), "{fixed}");
+    }
+
+    #[test]
+    fn memory_window_is_two_errors() {
+        // Indirect check: the loop runs and records all errors even though
+        // only two reach each prompt; with a hopeless fixer the same error
+        // repeats.
+        let mut llm = hopeless_fixer();
+        let rule = "rule b { strings: $a = \"x condition: $a }".to_owned();
+        let out = align_rule(&mut llm, RuleFormat::Yara, ANALYSIS, rule, 3);
+        assert_eq!(out.errors.len(), 4);
+        assert!(out.errors.windows(2).all(|w| w[0] == w[1]));
+    }
+}

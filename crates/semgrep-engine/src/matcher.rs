@@ -1,0 +1,563 @@
+//! Structural pattern matching over the [`pysrc`] AST.
+//!
+//! Supports the Semgrep features the paper's generated rules use:
+//! metavariables (`$X`, bound consistently within one pattern), ellipsis
+//! arguments (`f(...)`, `f($A, ...)`), keyword arguments matched by name
+//! (`subprocess.Popen($CMD, shell=True)`), dotted callee paths and
+//! assignment patterns (`$VAR = requests.get(...)`).
+
+use std::collections::HashMap;
+
+use pysrc::{Arg, Expr, Module, Stmt};
+
+use crate::rule::{PatternOp, SemgrepRule, Severity};
+
+/// One rule match at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Matching rule id.
+    pub rule_id: String,
+    /// 1-based line of the matched statement.
+    pub line: usize,
+    /// The rule message.
+    pub message: String,
+    /// The rule severity.
+    pub severity: Severity,
+}
+
+/// Matches one rule against a module, returning deduplicated findings.
+pub fn match_module(rule: &SemgrepRule, module: &Module) -> Vec<Finding> {
+    let lines = eval_op(&rule.pattern, module);
+    let mut lines: Vec<usize> = lines.into_iter().collect();
+    lines.sort_unstable();
+    lines.dedup();
+    lines
+        .into_iter()
+        .map(|line| Finding {
+            rule_id: rule.id.clone(),
+            line,
+            message: rule.message.clone(),
+            severity: rule.severity,
+        })
+        .collect()
+}
+
+/// Evaluates a pattern-operator tree to the set of matching lines.
+fn eval_op(op: &PatternOp, module: &Module) -> Vec<usize> {
+    match op {
+        PatternOp::Pattern(text) => pattern_lines(text, module),
+        PatternOp::Either(children) => {
+            let mut out = Vec::new();
+            for c in children {
+                out.extend(eval_op(c, module));
+            }
+            out
+        }
+        PatternOp::All(children) => {
+            // Conjunction: every positive child must match somewhere and no
+            // negative child may match anywhere; findings are reported at
+            // the first positive child's lines (a file-level approximation
+            // of semgrep's range intersection).
+            let mut result: Option<Vec<usize>> = None;
+            for c in children {
+                match c {
+                    PatternOp::Not(inner) => {
+                        if !eval_op(inner, module).is_empty() {
+                            return Vec::new();
+                        }
+                    }
+                    other => {
+                        let lines = eval_op(other, module);
+                        if lines.is_empty() {
+                            return Vec::new();
+                        }
+                        if result.is_none() {
+                            result = Some(lines);
+                        }
+                    }
+                }
+            }
+            result.unwrap_or_default()
+        }
+        PatternOp::Not(inner) => {
+            // A top-level bare `pattern-not` (degenerate, but the LLM can
+            // produce it): matches nothing on its own.
+            let _ = eval_op(inner, module);
+            Vec::new()
+        }
+    }
+}
+
+/// Replaces `$NAME` with `__MV_NAME` so the Python parser accepts the
+/// pattern text.
+fn encode_metavars(pattern: &str) -> String {
+    let bytes = pattern.as_bytes();
+    let mut out = String::with_capacity(pattern.len() + 16);
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'$'
+            && i + 1 < bytes.len()
+            && (bytes[i + 1].is_ascii_alphabetic() || bytes[i + 1] == b'_')
+        {
+            out.push_str("__MV_");
+            i += 1;
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_metavar(name: &str) -> bool {
+    name.starts_with("__MV_")
+}
+
+fn is_ellipsis(expr: &Expr) -> bool {
+    matches!(expr, Expr::Other(t) if t == "...")
+}
+
+fn pattern_lines(pattern: &str, module: &Module) -> Vec<usize> {
+    let encoded = encode_metavars(pattern);
+    let pat_module = pysrc::parse_module(&encoded);
+    let Some(pat_stmt) = pat_module.body.first() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    walk_statements(&module.body, &mut |stmt| {
+        if stmt_matches(pat_stmt, stmt) {
+            out.push(stmt.line());
+        }
+    });
+    out
+}
+
+fn walk_statements<'a>(body: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for stmt in body {
+        f(stmt);
+        match stmt {
+            Stmt::FunctionDef { body, .. }
+            | Stmt::ClassDef { body, .. }
+            | Stmt::Block { body, .. } => walk_statements(body, f),
+            _ => {}
+        }
+    }
+}
+
+fn stmt_matches(pattern: &Stmt, target: &Stmt) -> bool {
+    match (pattern, target) {
+        (Stmt::Expr { value: pv, .. }, _) => {
+            // An expression pattern matches any statement containing a
+            // matching sub-expression.
+            target_expressions(target)
+                .iter()
+                .any(|te| expr_matches_with_fresh_bindings(pv, te))
+        }
+        (
+            Stmt::Assign {
+                targets: pt,
+                value: pv,
+                ..
+            },
+            Stmt::Assign {
+                targets: tt,
+                value: tv,
+                ..
+            },
+        ) => {
+            let target_ok = pt.iter().all(|p| {
+                is_metavar(p) || tt.iter().any(|t| t == p)
+            });
+            target_ok && expr_matches_with_fresh_bindings(pv, tv)
+        }
+        (Stmt::Import { modules: pm, .. }, Stmt::Import { modules: tm, .. }) => {
+            pm.iter().all(|m| tm.contains(m))
+        }
+        (
+            Stmt::FromImport {
+                module: pm,
+                names: pn,
+                ..
+            },
+            Stmt::FromImport {
+                module: tm,
+                names: tn,
+                ..
+            },
+        ) => pm == tm && pn.iter().all(|n| n == "*" || tn.contains(n)),
+        (Stmt::Other { text: pt, .. }, _) => {
+            // Fallback for pattern shapes the lightweight parser didn't
+            // model: textual containment on the reconstructed statement.
+            !pt.is_empty() && stmt_text(target).contains(pt.as_str())
+        }
+        _ => false,
+    }
+}
+
+fn stmt_text(stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::Expr { value, .. } => value.to_text(),
+        Stmt::Assign { targets, value, .. } => {
+            format!("{} = {}", targets.join(" = "), value.to_text())
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(v) => format!("return {}", v.to_text()),
+            None => "return".into(),
+        },
+        Stmt::Other { text, .. } => text.clone(),
+        Stmt::Block { header, .. } => header.clone(),
+        Stmt::Import { modules, .. } => format!("import {}", modules.join(", ")),
+        Stmt::FromImport { module, names, .. } => {
+            format!("from {module} import {}", names.join(", "))
+        }
+        Stmt::FunctionDef { name, .. } => format!("def {name}"),
+        Stmt::ClassDef { name, .. } => format!("class {name}"),
+    }
+}
+
+/// Every expression (with nesting) reachable from a statement.
+fn target_expressions(stmt: &Stmt) -> Vec<&Expr> {
+    let mut roots = Vec::new();
+    match stmt {
+        Stmt::Expr { value, .. } | Stmt::Assign { value, .. } => roots.push(value),
+        Stmt::Return { value: Some(v), .. } => roots.push(v),
+        _ => {}
+    }
+    let mut out = Vec::new();
+    for r in roots {
+        collect_subexpressions(r, &mut out);
+    }
+    out
+}
+
+fn collect_subexpressions<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
+    out.push(expr);
+    match expr {
+        Expr::Call { func, args } => {
+            collect_subexpressions(func, out);
+            for a in args {
+                collect_subexpressions(&a.value, out);
+            }
+        }
+        Expr::Attribute { value, .. } => collect_subexpressions(value, out),
+        Expr::BinOp { left, right, .. } => {
+            collect_subexpressions(left, out);
+            collect_subexpressions(right, out);
+        }
+        _ => {}
+    }
+}
+
+fn expr_matches_with_fresh_bindings(pattern: &Expr, target: &Expr) -> bool {
+    let mut bindings = HashMap::new();
+    expr_matches(pattern, target, &mut bindings)
+}
+
+fn expr_matches<'t>(
+    pattern: &Expr,
+    target: &'t Expr,
+    bindings: &mut HashMap<String, &'t Expr>,
+) -> bool {
+    match pattern {
+        Expr::Name(n) if is_metavar(n) => match bindings.get(n) {
+            Some(bound) => *bound == target,
+            None => {
+                bindings.insert(n.clone(), target);
+                true
+            }
+        },
+        Expr::Other(t) if t == "..." => true,
+        Expr::Name(n) => matches!(target, Expr::Name(tn) if tn == n),
+        Expr::Str(s) if s == "..." => matches!(target, Expr::Str(_)),
+        Expr::Str(s) => matches!(target, Expr::Str(ts) if ts == s),
+        Expr::Num(n) => matches!(target, Expr::Num(tn) if tn == n),
+        Expr::Attribute { value, attr } => match target {
+            Expr::Attribute {
+                value: tv,
+                attr: ta,
+            } => attr == ta && expr_matches(value, tv, bindings),
+            _ => false,
+        },
+        Expr::Call { func, args } => match target {
+            Expr::Call {
+                func: tf,
+                args: ta,
+            } => expr_matches(func, tf, bindings) && args_match(args, ta, bindings),
+            _ => false,
+        },
+        Expr::BinOp { left, op, right } => match target {
+            Expr::BinOp {
+                left: tl,
+                op: to,
+                right: tr,
+            } => op == to && expr_matches(left, tl, bindings) && expr_matches(right, tr, bindings),
+            _ => false,
+        },
+        Expr::Other(t) => match target {
+            Expr::Other(tt) => t == tt,
+            _ => *t == target.to_text(),
+        },
+    }
+}
+
+fn args_match<'t>(
+    pattern: &[Arg],
+    target: &'t [Arg],
+    bindings: &mut HashMap<String, &'t Expr>,
+) -> bool {
+    let has_ellipsis = pattern
+        .iter()
+        .any(|a| a.name.is_none() && is_ellipsis(&a.value));
+
+    // Keyword arguments: every pattern kwarg must match a target kwarg of
+    // the same name.
+    let pat_kwargs: Vec<&Arg> = pattern.iter().filter(|a| a.name.is_some()).collect();
+    let tgt_kwargs: Vec<&Arg> = target.iter().filter(|a| a.name.is_some()).collect();
+    for pk in &pat_kwargs {
+        let name = pk.name.as_deref().expect("filtered on is_some");
+        let Some(tk) = tgt_kwargs
+            .iter()
+            .find(|tk| tk.name.as_deref() == Some(name))
+        else {
+            return false;
+        };
+        if !expr_matches(&pk.value, &tk.value, bindings) {
+            return false;
+        }
+    }
+    if !has_ellipsis && tgt_kwargs.len() != pat_kwargs.len() {
+        return false;
+    }
+
+    // Positional arguments: sequence match with ellipsis gaps.
+    let pat_pos: Vec<&Arg> = pattern.iter().filter(|a| a.name.is_none()).collect();
+    let tgt_pos: Vec<&Arg> = target.iter().filter(|a| a.name.is_none()).collect();
+    seq_match(&pat_pos, &tgt_pos, bindings)
+}
+
+fn seq_match<'t>(
+    pattern: &[&Arg],
+    target: &[&'t Arg],
+    bindings: &mut HashMap<String, &'t Expr>,
+) -> bool {
+    match pattern.split_first() {
+        None => target.is_empty(),
+        Some((first, rest)) if is_ellipsis(&first.value) => {
+            // Ellipsis absorbs zero or more target args (backtracking).
+            for skip in 0..=target.len() {
+                let mut trial = bindings.clone();
+                if seq_match(rest, &target[skip..], &mut trial) {
+                    *bindings = trial;
+                    return true;
+                }
+            }
+            false
+        }
+        Some((first, rest)) => match target.split_first() {
+            Some((tfirst, trest)) => {
+                let mut trial = bindings.clone();
+                if expr_matches(&first.value, &tfirst.value, &mut trial)
+                    && seq_match(rest, trest, &mut trial)
+                {
+                    *bindings = trial;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::compile;
+
+    fn rule_with_pattern(pattern: &str) -> SemgrepRule {
+        let src = format!(
+            "rules:\n  - id: t\n    languages: [python]\n    message: m\n    pattern: {pattern}\n"
+        );
+        compile(&src).expect("compile").rules.remove(0)
+    }
+
+    fn lines(pattern: &str, source: &str) -> Vec<usize> {
+        let rule = rule_with_pattern(pattern);
+        match_module(&rule, &pysrc::parse_module(source))
+            .into_iter()
+            .map(|f| f.line)
+            .collect()
+    }
+
+    #[test]
+    fn exact_call_match() {
+        assert_eq!(lines("os.system('id')", "os.system('id')\n"), vec![1]);
+        assert!(lines("os.system('id')", "os.system('ls')\n").is_empty());
+    }
+
+    #[test]
+    fn metavariable_matches_any_arg() {
+        assert_eq!(lines("os.system($CMD)", "os.system(payload)\n"), vec![1]);
+        assert_eq!(lines("os.system($CMD)", "os.system('rm -rf /')\n"), vec![1]);
+    }
+
+    #[test]
+    fn metavariable_consistency() {
+        // $X == $X requires both sides to be the same expression.
+        let src_same = "check(a, a)\n";
+        let src_diff = "check(a, b)\n";
+        assert_eq!(lines("check($X, $X)", src_same), vec![1]);
+        assert!(lines("check($X, $X)", src_diff).is_empty());
+    }
+
+    #[test]
+    fn ellipsis_matches_any_args() {
+        assert_eq!(lines("subprocess.Popen(...)", "subprocess.Popen(cmd, shell=True)\n"), vec![1]);
+        assert_eq!(lines("subprocess.Popen(...)", "subprocess.Popen()\n"), vec![1]);
+    }
+
+    #[test]
+    fn ellipsis_with_leading_arg() {
+        assert_eq!(lines("f($A, ...)", "f(x, y, z)\n"), vec![1]);
+        assert!(lines("f($A, ...)", "f()\n").is_empty());
+    }
+
+    #[test]
+    fn keyword_argument_by_name() {
+        let pat = "subprocess.Popen($CMD, shell=True)";
+        assert_eq!(lines(pat, "subprocess.Popen(c, shell=True)\n"), vec![1]);
+        assert!(lines(pat, "subprocess.Popen(c, shell=False)\n").is_empty());
+        assert!(lines(pat, "subprocess.Popen(c)\n").is_empty());
+    }
+
+    #[test]
+    fn nested_call_pattern() {
+        let pat = "exec(base64.b64decode($X))";
+        assert_eq!(lines(pat, "exec(base64.b64decode(data))\n"), vec![1]);
+        assert!(lines(pat, "exec(codecs.decode(data))\n").is_empty());
+    }
+
+    #[test]
+    fn matches_inside_function_bodies() {
+        let src = "def install():\n    os.system('curl x | sh')\n";
+        assert_eq!(lines("os.system($X)", src), vec![2]);
+    }
+
+    #[test]
+    fn matches_subexpression() {
+        // The call appears as an argument of another call.
+        let src = "print(os.system('id'))\n";
+        assert_eq!(lines("os.system($X)", src), vec![1]);
+    }
+
+    #[test]
+    fn assignment_pattern() {
+        assert_eq!(
+            lines("$VAR = requests.get(...)", "resp = requests.get(url)\n"),
+            vec![1]
+        );
+        assert!(lines("$VAR = requests.get(...)", "resp = requests.post(url)\n").is_empty());
+    }
+
+    #[test]
+    fn import_pattern() {
+        assert_eq!(lines("import socket", "import socket\n"), vec![1]);
+        assert_eq!(lines("import socket", "import os, socket\n"), vec![1]);
+        assert!(lines("import socket", "import os\n").is_empty());
+    }
+
+    #[test]
+    fn from_import_pattern() {
+        assert_eq!(
+            lines("from subprocess import Popen", "from subprocess import Popen, PIPE\n"),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn metavariable_as_receiver() {
+        assert_eq!(
+            lines("$CLIENT.torrents_info(torrent_hashes=$HASH)",
+                  "qb.torrents_info(torrent_hashes=h)\n"),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn multiple_matches_multiple_lines() {
+        let src = "eval(a)\nx = 1\neval(b)\n";
+        assert_eq!(lines("eval($X)", src), vec![1, 3]);
+    }
+
+    #[test]
+    fn patterns_conjunction_requires_all() {
+        let src = r#"
+rules:
+  - id: t
+    languages: [python]
+    message: m
+    patterns:
+      - pattern: import socket
+      - pattern: $S.connect(...)
+"#;
+        let rules = compile(src).expect("compile");
+        let m_yes = pysrc::parse_module("import socket\ns.connect(addr)\n");
+        let m_no = pysrc::parse_module("import socket\n");
+        assert_eq!(match_module(&rules.rules[0], &m_yes).len(), 1);
+        assert!(match_module(&rules.rules[0], &m_no).is_empty());
+    }
+
+    #[test]
+    fn pattern_not_suppresses() {
+        let src = r#"
+rules:
+  - id: t
+    languages: [python]
+    message: m
+    patterns:
+      - pattern: open($F, 'w')
+      - pattern-not: open('log.txt', 'w')
+"#;
+        let rules = compile(src).expect("compile");
+        let hit = pysrc::parse_module("open(path, 'w')\n");
+        let suppressed = pysrc::parse_module("open('log.txt', 'w')\n");
+        assert_eq!(match_module(&rules.rules[0], &hit).len(), 1);
+        assert!(match_module(&rules.rules[0], &suppressed).is_empty());
+    }
+
+    #[test]
+    fn pattern_either_union() {
+        let src = r#"
+rules:
+  - id: t
+    languages: [python]
+    message: m
+    pattern-either:
+      - pattern: eval($X)
+      - pattern: exec($X)
+"#;
+        let rules = compile(src).expect("compile");
+        let m = pysrc::parse_module("eval(a)\nexec(b)\n");
+        assert_eq!(match_module(&rules.rules[0], &m).len(), 2);
+    }
+
+    #[test]
+    fn findings_deduplicated() {
+        // Same line matched through two sub-expressions reports once.
+        let src = "f(g(h(x)))\n";
+        let rule = rule_with_pattern("h($X)");
+        let m = pysrc::parse_module(src);
+        assert_eq!(match_module(&rule, &m).len(), 1);
+    }
+
+    #[test]
+    fn finding_carries_rule_fields() {
+        let rule = rule_with_pattern("eval($X)");
+        let m = pysrc::parse_module("eval(x)\n");
+        let f = &match_module(&rule, &m)[0];
+        assert_eq!(f.rule_id, "t");
+        assert_eq!(f.message, "m");
+        assert_eq!(f.severity, Severity::Warning);
+    }
+}

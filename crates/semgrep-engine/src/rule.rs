@@ -1,0 +1,459 @@
+//! Semgrep rule schema and compilation.
+
+use crate::error::SemgrepError;
+use crate::yaml::{self, Yaml};
+
+/// Semgrep severity levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// Informational finding.
+    Info,
+    /// Suspicious but not certain.
+    Warning,
+    /// High-confidence problem.
+    Error,
+}
+
+impl Severity {
+    fn parse(text: &str, line: usize) -> Result<Self, SemgrepError> {
+        match text {
+            "INFO" => Ok(Severity::Info),
+            "WARNING" => Ok(Severity::Warning),
+            "ERROR" => Ok(Severity::Error),
+            other => Err(SemgrepError::new(
+                line,
+                format!("invalid severity `{other}` (expected INFO, WARNING or ERROR)"),
+            )),
+        }
+    }
+}
+
+/// A pattern operator tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternOp {
+    /// A single source pattern.
+    Pattern(String),
+    /// `patterns:` — all children must match (conjunction).
+    All(Vec<PatternOp>),
+    /// `pattern-either:` — any child may match (disjunction).
+    Either(Vec<PatternOp>),
+    /// `pattern-not:` — child must not match anywhere in the file.
+    Not(Box<PatternOp>),
+}
+
+impl PatternOp {
+    /// All positive leaf patterns (ignoring `pattern-not` subtrees) —
+    /// used by taxonomy classification and the refiner.
+    pub fn positive_leaves(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.walk_positive(&mut out);
+        out
+    }
+
+    fn walk_positive<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            PatternOp::Pattern(p) => out.push(p),
+            PatternOp::All(children) | PatternOp::Either(children) => {
+                for c in children {
+                    c.walk_positive(out);
+                }
+            }
+            PatternOp::Not(_) => {}
+        }
+    }
+}
+
+/// One compiled Semgrep rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemgrepRule {
+    /// Unique rule id.
+    pub id: String,
+    /// Target languages (`python` required by this subset).
+    pub languages: Vec<String>,
+    /// Human-readable finding message.
+    pub message: String,
+    /// Severity level.
+    pub severity: Severity,
+    /// The pattern operator tree.
+    pub pattern: PatternOp,
+    /// Free-form metadata entries.
+    pub metadata: Vec<(String, String)>,
+}
+
+/// A compiled set of Semgrep rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledSemgrepRules {
+    /// Rules in file order.
+    pub rules: Vec<SemgrepRule>,
+}
+
+impl CompiledSemgrepRules {
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Returns true when the file defined no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// Parses and validates a Semgrep YAML rule file.
+///
+/// # Errors
+///
+/// YAML syntax errors, plus schema violations phrased like semgrep's CLI:
+/// missing `rules`, missing `id` / `message` / `languages`, missing any
+/// pattern operator, empty `patterns:` lists, unknown operator keys and
+/// duplicate rule ids.
+pub fn compile(source: &str) -> Result<CompiledSemgrepRules, SemgrepError> {
+    let doc = yaml::parse(source)?;
+    let Some(rules_node) = doc.get("rules") else {
+        return Err(SemgrepError::global("missing `rules` key"));
+    };
+    let Some(seq) = rules_node.as_seq() else {
+        return Err(SemgrepError::global("`rules` must be a sequence"));
+    };
+    if seq.is_empty() {
+        return Err(SemgrepError::global("`rules` is empty"));
+    }
+    let mut rules = Vec::with_capacity(seq.len());
+    let mut seen = std::collections::HashSet::new();
+    for node in seq {
+        let rule = compile_rule(node)?;
+        if !seen.insert(rule.id.clone()) {
+            return Err(SemgrepError::global(format!(
+                "duplicate rule id `{}`",
+                rule.id
+            )));
+        }
+        rules.push(rule);
+    }
+    Ok(CompiledSemgrepRules { rules })
+}
+
+fn compile_rule(node: &Yaml) -> Result<SemgrepRule, SemgrepError> {
+    let id = node
+        .get("id")
+        .and_then(Yaml::as_str)
+        .ok_or_else(|| SemgrepError::global("rule is missing required `id` field"))?
+        .to_owned();
+    let message = node
+        .get("message")
+        .and_then(Yaml::as_str)
+        .ok_or_else(|| {
+            SemgrepError::global(format!("rule `{id}` is missing required `message` field"))
+        })?
+        .to_owned();
+    let languages: Vec<String> = match node.get("languages") {
+        Some(Yaml::Seq(items)) => items
+            .iter()
+            .filter_map(Yaml::as_str)
+            .map(str::to_owned)
+            .collect(),
+        Some(Yaml::Str(s)) => vec![s.clone()],
+        _ => {
+            return Err(SemgrepError::global(format!(
+                "rule `{id}` is missing required `languages` field"
+            )))
+        }
+    };
+    if languages.is_empty() {
+        return Err(SemgrepError::global(format!(
+            "rule `{id}` has an empty `languages` list"
+        )));
+    }
+    for lang in &languages {
+        if !matches!(lang.as_str(), "python" | "py" | "generic") {
+            return Err(SemgrepError::global(format!(
+                "rule `{id}`: unsupported language `{lang}`"
+            )));
+        }
+    }
+    let severity = match node.get("severity").and_then(Yaml::as_str) {
+        Some(s) => Severity::parse(s, 0)?,
+        None => Severity::Warning,
+    };
+    let pattern = compile_pattern_ops(node, &id)?;
+    let metadata = match node.get("metadata") {
+        Some(Yaml::Map(entries)) => entries
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_string()))
+            .collect(),
+        _ => Vec::new(),
+    };
+    Ok(SemgrepRule {
+        id,
+        languages,
+        message,
+        severity,
+        pattern,
+        metadata,
+    })
+}
+
+fn compile_pattern_ops(node: &Yaml, id: &str) -> Result<PatternOp, SemgrepError> {
+    let mut found = Vec::new();
+    if let Some(p) = node.get("pattern").and_then(Yaml::as_str) {
+        found.push(PatternOp::Pattern(normalize_pattern(p)));
+    }
+    if let Some(children) = node.get("patterns") {
+        found.push(PatternOp::All(compile_operator_list(children, id)?));
+    }
+    if let Some(children) = node.get("pattern-either") {
+        found.push(PatternOp::Either(compile_operator_list(children, id)?));
+    }
+    match found.len() {
+        0 => Err(SemgrepError::global(format!(
+            "rule `{id}` must define one of `pattern`, `patterns` or `pattern-either`"
+        ))),
+        1 => Ok(found.pop().expect("one element")),
+        _ => Ok(PatternOp::All(found)),
+    }
+}
+
+fn compile_operator_list(node: &Yaml, id: &str) -> Result<Vec<PatternOp>, SemgrepError> {
+    let Some(items) = node.as_seq() else {
+        return Err(SemgrepError::global(format!(
+            "rule `{id}`: pattern operator list must be a sequence"
+        )));
+    };
+    if items.is_empty() {
+        return Err(SemgrepError::global(format!(
+            "rule `{id}`: empty pattern operator list"
+        )));
+    }
+    let mut ops = Vec::with_capacity(items.len());
+    for item in items {
+        let Some(entries) = item.as_map() else {
+            return Err(SemgrepError::global(format!(
+                "rule `{id}`: each pattern operator must be a mapping"
+            )));
+        };
+        for (key, value) in entries {
+            match key.as_str() {
+                "pattern" => {
+                    let Some(text) = value.as_str() else {
+                        return Err(SemgrepError::global(format!(
+                            "rule `{id}`: `pattern` value must be a string"
+                        )));
+                    };
+                    ops.push(PatternOp::Pattern(normalize_pattern(text)));
+                }
+                "pattern-not" => {
+                    let Some(text) = value.as_str() else {
+                        return Err(SemgrepError::global(format!(
+                            "rule `{id}`: `pattern-not` value must be a string"
+                        )));
+                    };
+                    ops.push(PatternOp::Not(Box::new(PatternOp::Pattern(
+                        normalize_pattern(text),
+                    ))));
+                }
+                "patterns" => ops.push(PatternOp::All(compile_operator_list(value, id)?)),
+                "pattern-either" => {
+                    ops.push(PatternOp::Either(compile_operator_list(value, id)?))
+                }
+                other => {
+                    return Err(SemgrepError::global(format!(
+                        "rule `{id}`: unknown pattern operator `{other}`"
+                    )))
+                }
+            }
+        }
+    }
+    Ok(ops)
+}
+
+fn normalize_pattern(text: &str) -> String {
+    text.trim().to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+rules:
+  - id: test-rule
+    languages: [python]
+    message: "something bad"
+    severity: ERROR
+    pattern: os.system($X)
+"#;
+
+    #[test]
+    fn compiles_minimal_rule() {
+        let rules = compile(MINIMAL).expect("compile");
+        assert_eq!(rules.len(), 1);
+        let r = &rules.rules[0];
+        assert_eq!(r.id, "test-rule");
+        assert_eq!(r.severity, Severity::Error);
+        assert_eq!(r.pattern, PatternOp::Pattern("os.system($X)".into()));
+    }
+
+    #[test]
+    fn patterns_conjunction() {
+        let src = r#"
+rules:
+  - id: conj
+    languages: [python]
+    message: m
+    patterns:
+      - pattern: open($F, 'w')
+      - pattern-not: open('log.txt', 'w')
+"#;
+        let rules = compile(src).expect("compile");
+        match &rules.rules[0].pattern {
+            PatternOp::All(children) => {
+                assert_eq!(children.len(), 2);
+                assert!(matches!(children[1], PatternOp::Not(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pattern_either_disjunction() {
+        let src = r#"
+rules:
+  - id: disj
+    languages: [python]
+    message: m
+    pattern-either:
+      - pattern: eval($X)
+      - pattern: exec($X)
+"#;
+        let rules = compile(src).expect("compile");
+        assert!(matches!(&rules.rules[0].pattern, PatternOp::Either(c) if c.len() == 2));
+    }
+
+    #[test]
+    fn default_severity_is_warning() {
+        let src = "rules:\n  - id: x\n    languages: [python]\n    message: m\n    pattern: f()\n";
+        let rules = compile(src).expect("compile");
+        assert_eq!(rules.rules[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn metadata_collected() {
+        let src = r#"
+rules:
+  - id: x
+    languages: [python]
+    message: m
+    pattern: f()
+    metadata:
+      category: security
+      subcategory: network
+"#;
+        let rules = compile(src).expect("compile");
+        assert_eq!(rules.rules[0].metadata.len(), 2);
+        assert_eq!(rules.rules[0].metadata[0].0, "category");
+    }
+
+    #[test]
+    fn missing_rules_key() {
+        let e = compile("other: 1\n").unwrap_err();
+        assert!(e.to_string().contains("missing `rules` key"), "{e}");
+    }
+
+    #[test]
+    fn missing_id() {
+        let src = "rules:\n  - languages: [python]\n    message: m\n    pattern: f()\n";
+        let e = compile(src).unwrap_err();
+        assert!(e.to_string().contains("missing required `id`"), "{e}");
+    }
+
+    #[test]
+    fn missing_message() {
+        let src = "rules:\n  - id: x\n    languages: [python]\n    pattern: f()\n";
+        let e = compile(src).unwrap_err();
+        assert!(e.to_string().contains("missing required `message`"), "{e}");
+    }
+
+    #[test]
+    fn missing_languages() {
+        let src = "rules:\n  - id: x\n    message: m\n    pattern: f()\n";
+        let e = compile(src).unwrap_err();
+        assert!(e.to_string().contains("missing required `languages`"), "{e}");
+    }
+
+    #[test]
+    fn unsupported_language() {
+        let src = "rules:\n  - id: x\n    languages: [cobol]\n    message: m\n    pattern: f()\n";
+        let e = compile(src).unwrap_err();
+        assert!(e.to_string().contains("unsupported language `cobol`"), "{e}");
+    }
+
+    #[test]
+    fn missing_pattern_operator() {
+        let src = "rules:\n  - id: x\n    languages: [python]\n    message: m\n";
+        let e = compile(src).unwrap_err();
+        assert!(e.to_string().contains("must define one of"), "{e}");
+    }
+
+    #[test]
+    fn invalid_severity() {
+        let src = "rules:\n  - id: x\n    languages: [python]\n    message: m\n    severity: FATAL\n    pattern: f()\n";
+        let e = compile(src).unwrap_err();
+        assert!(e.to_string().contains("invalid severity"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_rule_ids() {
+        let src = r#"
+rules:
+  - id: x
+    languages: [python]
+    message: m
+    pattern: f()
+  - id: x
+    languages: [python]
+    message: m
+    pattern: g()
+"#;
+        let e = compile(src).unwrap_err();
+        assert!(e.to_string().contains("duplicate rule id"), "{e}");
+    }
+
+    #[test]
+    fn unknown_operator() {
+        let src = r#"
+rules:
+  - id: x
+    languages: [python]
+    message: m
+    patterns:
+      - pattern-regexp: f.*
+"#;
+        let e = compile(src).unwrap_err();
+        assert!(e.to_string().contains("unknown pattern operator"), "{e}");
+    }
+
+    #[test]
+    fn block_scalar_pattern() {
+        let src = r#"
+rules:
+  - id: x
+    languages: [python]
+    message: m
+    patterns:
+      - pattern: |
+          $CLIENT.torrents_info(torrent_hashes=$HASH)
+"#;
+        let rules = compile(src).expect("compile");
+        let leaves = rules.rules[0].pattern.positive_leaves();
+        assert_eq!(leaves, vec!["$CLIENT.torrents_info(torrent_hashes=$HASH)"]);
+    }
+
+    #[test]
+    fn positive_leaves_skip_not() {
+        let op = PatternOp::All(vec![
+            PatternOp::Pattern("a()".into()),
+            PatternOp::Not(Box::new(PatternOp::Pattern("b()".into()))),
+        ]);
+        assert_eq!(op.positive_leaves(), vec!["a()"]);
+    }
+}

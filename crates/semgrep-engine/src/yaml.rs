@@ -1,0 +1,557 @@
+//! Mini-YAML parser covering the subset Semgrep rule files use.
+//!
+//! Supported: nested block mappings and sequences, plain scalars,
+//! single/double-quoted scalars, flow sequences (`[python, js]`), literal
+//! block scalars (`|`), and comments. Anchors, aliases, tags, multi-doc
+//! streams and flow mappings are out of scope — semgrep rules in the wild
+//! don't use them.
+
+use std::fmt;
+
+use crate::error::SemgrepError;
+
+/// A parsed YAML value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Yaml {
+    /// A block or flow mapping (insertion order preserved).
+    Map(Vec<(String, Yaml)>),
+    /// A block or flow sequence.
+    Seq(Vec<Yaml>),
+    /// Any scalar, kept as text.
+    Str(String),
+    /// Empty value (`key:` with nothing nested).
+    Null,
+}
+
+impl Yaml {
+    /// Looks up a key in a mapping.
+    pub fn get(&self, key: &str) -> Option<&Yaml> {
+        match self {
+            Yaml::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Returns the scalar text when this value is a scalar.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Yaml::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements when this value is a sequence.
+    pub fn as_seq(&self) -> Option<&[Yaml]> {
+        match self {
+            Yaml::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the entries when this value is a mapping.
+    pub fn as_map(&self) -> Option<&[(String, Yaml)]> {
+        match self {
+            Yaml::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Yaml {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Yaml::Str(s) => write!(f, "{s}"),
+            Yaml::Null => write!(f, "~"),
+            Yaml::Seq(items) => write!(f, "[{} items]", items.len()),
+            Yaml::Map(entries) => write!(f, "{{{} keys}}", entries.len()),
+        }
+    }
+}
+
+struct Line {
+    indent: usize,
+    /// Content with comment stripped; never empty.
+    text: String,
+    /// 1-based line number in the original source.
+    number: usize,
+    /// Raw text (for block scalars, comments preserved).
+    raw: String,
+}
+
+/// Parses a YAML document.
+///
+/// # Errors
+///
+/// Returns [`SemgrepError`] with yaml-style messages: `could not find
+/// expected ':'`, `bad indentation of a mapping entry`, `unterminated
+/// quoted scalar`, `tabs are not allowed for indentation`.
+pub fn parse(source: &str) -> Result<Yaml, SemgrepError> {
+    let mut lines = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let number = i + 1;
+        if raw.trim_start().starts_with('\t') || leading_has_tab(raw) {
+            return Err(SemgrepError::new(number, "tabs are not allowed for indentation"));
+        }
+        let stripped = strip_comment(raw);
+        let trimmed = stripped.trim_end();
+        if trimmed.trim().is_empty() {
+            // Preserve raw for block scalars, but mark as blank content.
+            lines.push(Line {
+                indent: usize::MAX,
+                text: String::new(),
+                number,
+                raw: raw.to_owned(),
+            });
+            continue;
+        }
+        let indent = trimmed.len() - trimmed.trim_start().len();
+        lines.push(Line {
+            indent,
+            text: trimmed.trim_start().to_owned(),
+            number,
+            raw: raw.to_owned(),
+        });
+    }
+    let mut p = YamlParser { lines, pos: 0 };
+    p.skip_blank();
+    if p.at_end() {
+        return Ok(Yaml::Null);
+    }
+    let indent = p.peek().indent;
+    let v = p.block(indent)?;
+    p.skip_blank();
+    if !p.at_end() {
+        return Err(SemgrepError::new(
+            p.peek().number,
+            "content outside the document structure (bad indentation?)",
+        ));
+    }
+    Ok(v)
+}
+
+fn leading_has_tab(raw: &str) -> bool {
+    raw.chars().take_while(|c| *c == ' ' || *c == '\t').any(|c| c == '\t')
+}
+
+fn strip_comment(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut in_single = false;
+    let mut in_double = false;
+    let chars: Vec<char> = raw.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => {
+                if !(i > 0 && chars[i - 1] == '\\' && in_double) {
+                    in_double = !in_double;
+                }
+            }
+            '#' if !in_single && !in_double => {
+                // Comments must be preceded by whitespace or start-of-line.
+                if i == 0 || chars[i - 1] == ' ' {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+struct YamlParser {
+    lines: Vec<Line>,
+    pos: usize,
+}
+
+impl YamlParser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.lines.len()
+    }
+
+    fn peek(&self) -> &Line {
+        &self.lines[self.pos]
+    }
+
+    fn skip_blank(&mut self) {
+        while !self.at_end() && self.lines[self.pos].indent == usize::MAX {
+            self.pos += 1;
+        }
+    }
+
+    /// Parses a block value whose entries sit at exactly `indent`.
+    fn block(&mut self, indent: usize) -> Result<Yaml, SemgrepError> {
+        self.skip_blank();
+        if self.at_end() || self.peek().indent < indent {
+            return Ok(Yaml::Null);
+        }
+        if self.peek().text.starts_with('-') {
+            self.sequence(indent)
+        } else {
+            self.mapping(indent)
+        }
+    }
+
+    fn sequence(&mut self, indent: usize) -> Result<Yaml, SemgrepError> {
+        let mut items = Vec::new();
+        loop {
+            self.skip_blank();
+            if self.at_end() || self.peek().indent != indent || !self.peek().text.starts_with('-')
+            {
+                break;
+            }
+            let line_no = self.peek().number;
+            let rest = self.peek().text[1..].trim_start().to_owned();
+            let dash_extra = self.peek().text.len() - self.peek().text[1..].trim_start().len();
+            let item_indent = indent + dash_extra.max(2);
+            if rest.is_empty() {
+                self.pos += 1;
+                let child = self.next_indent_at_least(indent + 1)?;
+                items.push(self.block(child)?);
+            } else if let Some((key, value)) = split_key_value(&rest) {
+                // `- key: value` — an inline mapping start. Rewrite the
+                // current line as the key/value at the item indent and
+                // parse a mapping.
+                self.lines[self.pos] = Line {
+                    indent: item_indent,
+                    text: format!("{key}: {value}").trim_end().to_owned(),
+                    number: line_no,
+                    raw: self.lines[self.pos].raw.clone(),
+                };
+                items.push(self.mapping(item_indent)?);
+            } else {
+                self.pos += 1;
+                items.push(Yaml::Str(parse_scalar(&rest, line_no)?));
+            }
+        }
+        Ok(Yaml::Seq(items))
+    }
+
+    fn next_indent_at_least(&mut self, min: usize) -> Result<usize, SemgrepError> {
+        self.skip_blank();
+        if self.at_end() || self.peek().indent < min {
+            // Empty item.
+            return Ok(min);
+        }
+        Ok(self.peek().indent)
+    }
+
+    fn mapping(&mut self, indent: usize) -> Result<Yaml, SemgrepError> {
+        let mut entries: Vec<(String, Yaml)> = Vec::new();
+        loop {
+            self.skip_blank();
+            if self.at_end() || self.peek().indent < indent {
+                break;
+            }
+            if self.peek().indent > indent {
+                return Err(SemgrepError::new(
+                    self.peek().number,
+                    "bad indentation of a mapping entry",
+                ));
+            }
+            if self.peek().text.starts_with('-') {
+                break;
+            }
+            let line_no = self.peek().number;
+            let text = self.peek().text.clone();
+            let Some((key, value)) = split_key_value(&text) else {
+                return Err(SemgrepError::new(line_no, "could not find expected ':'"));
+            };
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(SemgrepError::new(line_no, format!("duplicate key `{key}`")));
+            }
+            if value.is_empty() {
+                self.pos += 1;
+                self.skip_blank();
+                let nested = if !self.at_end() && self.peek().indent > indent {
+                    let child = self.peek().indent;
+                    self.block(child)?
+                } else if !self.at_end()
+                    && self.peek().indent == indent
+                    && self.peek().text.starts_with('-')
+                {
+                    // Sequences are allowed at the same indent as the key.
+                    self.sequence(indent)?
+                } else {
+                    Yaml::Null
+                };
+                entries.push((key, nested));
+            } else if value == "|" || value == "|-" {
+                self.pos += 1;
+                let text = self.block_scalar(indent, value == "|")?;
+                entries.push((key, Yaml::Str(text)));
+            } else if value.starts_with('[') {
+                entries.push((key, flow_seq(&value, line_no)?));
+                self.pos += 1;
+            } else {
+                entries.push((key, Yaml::Str(parse_scalar(&value, line_no)?)));
+                self.pos += 1;
+            }
+        }
+        Ok(Yaml::Map(entries))
+    }
+
+    /// Literal block scalar: collects raw lines deeper than `indent`.
+    fn block_scalar(&mut self, indent: usize, keep_final_newline: bool) -> Result<String, SemgrepError> {
+        let mut raw_lines: Vec<&str> = Vec::new();
+        let mut body_indent: Option<usize> = None;
+        while !self.at_end() {
+            let line = &self.lines[self.pos];
+            if line.indent == usize::MAX {
+                raw_lines.push("");
+                self.pos += 1;
+                continue;
+            }
+            if line.indent <= indent {
+                break;
+            }
+            let bi = *body_indent.get_or_insert(line.indent);
+            let raw = line.raw.as_str();
+            let cut = raw.len().min(bi);
+            raw_lines.push(&raw[cut.min(raw.len())..]);
+            self.pos += 1;
+        }
+        // Trim trailing blank lines that belong to the following structure.
+        while raw_lines.last() == Some(&"") {
+            raw_lines.pop();
+        }
+        let mut text = raw_lines.join("\n");
+        if keep_final_newline && !text.is_empty() {
+            text.push('\n');
+        }
+        Ok(text)
+    }
+}
+
+/// Splits `key: value` at the first colon that terminates a plain key.
+fn split_key_value(text: &str) -> Option<(String, String)> {
+    // Keys are plain scalars without colons; find `: ` or trailing ':'.
+    let bytes = text.as_bytes();
+    for i in 0..bytes.len() {
+        if bytes[i] == b':' && (i + 1 == bytes.len() || bytes[i + 1] == b' ') {
+            let key = text[..i].trim().to_owned();
+            if key.is_empty() || key.contains('"') || key.contains('\'') {
+                return None;
+            }
+            let value = text[i + 1..].trim().to_owned();
+            return Some((key, value));
+        }
+    }
+    None
+}
+
+fn parse_scalar(text: &str, line: usize) -> Result<String, SemgrepError> {
+    let t = text.trim();
+    if let Some(rest) = t.strip_prefix('"') {
+        let Some(inner) = rest.strip_suffix('"') else {
+            return Err(SemgrepError::new(line, "unterminated quoted scalar"));
+        };
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some(other) => {
+                        out.push('\\');
+                        out.push(other);
+                    }
+                    None => return Err(SemgrepError::new(line, "unterminated escape")),
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        return Ok(out);
+    }
+    if let Some(rest) = t.strip_prefix('\'') {
+        let Some(inner) = rest.strip_suffix('\'') else {
+            return Err(SemgrepError::new(line, "unterminated quoted scalar"));
+        };
+        return Ok(inner.replace("''", "'"));
+    }
+    Ok(t.to_owned())
+}
+
+fn flow_seq(text: &str, line: usize) -> Result<Yaml, SemgrepError> {
+    let t = text.trim();
+    let Some(inner) = t.strip_prefix('[').and_then(|r| r.strip_suffix(']')) else {
+        return Err(SemgrepError::new(line, "unterminated flow sequence"));
+    };
+    let items: Result<Vec<Yaml>, SemgrepError> = inner
+        .split(',')
+        .map(|s| s.trim())
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_scalar(s, line).map(Yaml::Str))
+        .collect();
+    Ok(Yaml::Seq(items?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_mapping() {
+        let y = parse("id: test\nmessage: hello\n").expect("parse");
+        assert_eq!(y.get("id").and_then(Yaml::as_str), Some("test"));
+        assert_eq!(y.get("message").and_then(Yaml::as_str), Some("hello"));
+    }
+
+    #[test]
+    fn nested_mapping() {
+        let y = parse("metadata:\n  category: security\n  cwe: CWE-78\n").expect("parse");
+        let meta = y.get("metadata").expect("metadata");
+        assert_eq!(meta.get("category").and_then(Yaml::as_str), Some("security"));
+    }
+
+    #[test]
+    fn sequence_of_scalars() {
+        let y = parse("items:\n  - one\n  - two\n").expect("parse");
+        let items = y.get("items").and_then(Yaml::as_seq).expect("seq");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].as_str(), Some("one"));
+    }
+
+    #[test]
+    fn sequence_of_mappings() {
+        let src = "rules:\n  - id: a\n    message: ma\n  - id: b\n    message: mb\n";
+        let y = parse(src).expect("parse");
+        let rules = y.get("rules").and_then(Yaml::as_seq).expect("seq");
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[1].get("id").and_then(Yaml::as_str), Some("b"));
+    }
+
+    #[test]
+    fn flow_sequence() {
+        let y = parse("languages: [python, javascript]\n").expect("parse");
+        let langs = y.get("languages").and_then(Yaml::as_seq).expect("seq");
+        assert_eq!(langs.len(), 2);
+        assert_eq!(langs[0].as_str(), Some("python"));
+    }
+
+    #[test]
+    fn double_quoted_scalar_with_escapes() {
+        let y = parse(r#"message: "line1\nline2 \"quoted\"""#).expect("parse");
+        assert_eq!(
+            y.get("message").and_then(Yaml::as_str),
+            Some("line1\nline2 \"quoted\"")
+        );
+    }
+
+    #[test]
+    fn single_quoted_scalar() {
+        let y = parse("message: 'it''s fine'\n").expect("parse");
+        assert_eq!(y.get("message").and_then(Yaml::as_str), Some("it's fine"));
+    }
+
+    #[test]
+    fn literal_block_scalar() {
+        let src = "pattern: |\n  os.system($X)\n  print($X)\nseverity: ERROR\n";
+        let y = parse(src).expect("parse");
+        assert_eq!(
+            y.get("pattern").and_then(Yaml::as_str),
+            Some("os.system($X)\nprint($X)\n")
+        );
+        assert_eq!(y.get("severity").and_then(Yaml::as_str), Some("ERROR"));
+    }
+
+    #[test]
+    fn block_scalar_preserves_inner_indent() {
+        let src = "pattern: |\n  if x:\n      run()\n";
+        let y = parse(src).expect("parse");
+        assert_eq!(
+            y.get("pattern").and_then(Yaml::as_str),
+            Some("if x:\n    run()\n")
+        );
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let y = parse("# header\nid: test # trailing\n").expect("parse");
+        assert_eq!(y.get("id").and_then(Yaml::as_str), Some("test"));
+    }
+
+    #[test]
+    fn hash_inside_quotes_kept() {
+        let y = parse("message: \"issue #42\"\n").expect("parse");
+        assert_eq!(y.get("message").and_then(Yaml::as_str), Some("issue #42"));
+    }
+
+    #[test]
+    fn empty_value_is_null() {
+        let y = parse("metadata:\nid: x\n").expect("parse");
+        assert_eq!(y.get("metadata"), Some(&Yaml::Null));
+    }
+
+    #[test]
+    fn missing_colon_is_error() {
+        let e = parse("id test\n").unwrap_err();
+        assert!(e.to_string().contains("could not find expected ':'"), "{e}");
+    }
+
+    #[test]
+    fn tab_indentation_is_error() {
+        let e = parse("rules:\n\t- id: x\n").unwrap_err();
+        assert!(e.to_string().contains("tabs are not allowed"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_key_is_error() {
+        let e = parse("id: a\nid: b\n").unwrap_err();
+        assert!(e.to_string().contains("duplicate key"), "{e}");
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let e = parse("message: \"oops\n").unwrap_err();
+        assert!(e.to_string().contains("unterminated quoted scalar"), "{e}");
+    }
+
+    #[test]
+    fn bad_indentation_is_error() {
+        let e = parse("a: 1\n    b: 2\n").unwrap_err();
+        assert!(e.to_string().contains("bad indentation") || e.to_string().contains("outside"), "{e}");
+    }
+
+    #[test]
+    fn full_semgrep_shape() {
+        let src = r#"
+rules:
+  - id: detect-torrent-client-info-retrieval
+    languages: [python]
+    message: "Detected torrent client info retrieval"
+    severity: WARNING
+    patterns:
+      - pattern: |
+          $CLIENT.torrents_info(torrent_hashes=$HASH)
+    metadata:
+      category: security
+"#;
+        let y = parse(src).expect("parse");
+        let rules = y.get("rules").and_then(Yaml::as_seq).expect("rules");
+        let rule = &rules[0];
+        assert_eq!(
+            rule.get("id").and_then(Yaml::as_str),
+            Some("detect-torrent-client-info-retrieval")
+        );
+        let patterns = rule.get("patterns").and_then(Yaml::as_seq).expect("patterns");
+        assert!(patterns[0]
+            .get("pattern")
+            .and_then(Yaml::as_str)
+            .expect("pattern")
+            .contains("torrents_info"));
+    }
+
+    #[test]
+    fn empty_document() {
+        assert_eq!(parse("").expect("parse"), Yaml::Null);
+        assert_eq!(parse("\n\n# only comments\n").expect("parse"), Yaml::Null);
+    }
+}

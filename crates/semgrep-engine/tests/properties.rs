@@ -1,0 +1,103 @@
+//! Property-based tests for the YAML parser and the pattern matcher.
+
+use proptest::prelude::*;
+use semgrep_engine::yaml::{self, Yaml};
+
+proptest! {
+    #[test]
+    fn yaml_parser_never_panics(src in "[ -~\\n]{0,300}") {
+        let _ = yaml::parse(&src);
+    }
+
+    #[test]
+    fn flat_mapping_roundtrips(
+        entries in prop::collection::btree_map(
+            "[a-z][a-z0-9]{0,8}",
+            // Values must contain at least one non-space character, or the
+            // entry legitimately parses as an empty (Null) value.
+            "[a-zA-Z0-9._-][a-zA-Z0-9 ._-]{0,19}",
+            1..6,
+        ),
+    ) {
+        let mut src = String::new();
+        for (k, v) in &entries {
+            src.push_str(&format!("{k}: {v}\n"));
+        }
+        let doc = yaml::parse(&src).expect("well-formed mapping");
+        for (k, v) in &entries {
+            prop_assert_eq!(doc.get(k).and_then(Yaml::as_str), Some(v.trim()));
+        }
+    }
+
+    #[test]
+    fn sequence_roundtrips(items in prop::collection::vec("[a-zA-Z0-9._-]{1,16}", 1..8)) {
+        let mut src = String::from("items:\n");
+        for item in &items {
+            src.push_str(&format!("  - {item}\n"));
+        }
+        let doc = yaml::parse(&src).expect("well-formed sequence");
+        let seq = doc.get("items").and_then(Yaml::as_seq).expect("seq");
+        prop_assert_eq!(seq.len(), items.len());
+        for (y, item) in seq.iter().zip(&items) {
+            prop_assert_eq!(y.as_str(), Some(item.as_str()));
+        }
+    }
+
+    #[test]
+    fn exact_call_pattern_is_an_oracle(
+        func in "[a-z]{2,8}",
+        arg in "[a-z]{1,8}",
+        other in "[a-z]{2,8}",
+    ) {
+        prop_assume!(func != other);
+        prop_assume!(!pysrc::is_keyword(&func) && !pysrc::is_keyword(&other));
+        let rule_src = format!(
+            "rules:\n  - id: t\n    languages: [python]\n    message: m\n    pattern: {func}($X)\n"
+        );
+        let rules = semgrep_engine::compile(&rule_src).expect("compile");
+        let hit = format!("{func}({arg})\n");
+        let miss = format!("{other}({arg})\n");
+        prop_assert_eq!(semgrep_engine::scan_source(&rules, &hit).len(), 1);
+        prop_assert!(semgrep_engine::scan_source(&rules, &miss).is_empty());
+    }
+
+    #[test]
+    fn metavariable_binds_any_single_argument(arg in "[a-z0-9_]{1,12}") {
+        let rules = semgrep_engine::compile(
+            "rules:\n  - id: t\n    languages: [python]\n    message: m\n    pattern: eval($X)\n",
+        )
+        .expect("compile");
+        let src = format!("eval({arg})\n");
+        prop_assert_eq!(semgrep_engine::scan_source(&rules, &src).len(), 1);
+        // Two arguments must not match a single-metavariable pattern.
+        let two = format!("eval({arg}, {arg})\n");
+        prop_assert!(semgrep_engine::scan_source(&rules, &two).is_empty());
+    }
+
+    #[test]
+    fn ellipsis_matches_any_arity(n_args in 0usize..5) {
+        let rules = semgrep_engine::compile(
+            "rules:\n  - id: t\n    languages: [python]\n    message: m\n    pattern: run(...)\n",
+        )
+        .expect("compile");
+        let args: Vec<String> = (0..n_args).map(|i| format!("a{i}")).collect();
+        let src = format!("run({})\n", args.join(", "));
+        prop_assert_eq!(semgrep_engine::scan_source(&rules, &src).len(), 1);
+    }
+
+    #[test]
+    fn finding_lines_point_at_real_statements(pad in 0usize..10) {
+        let rules = semgrep_engine::compile(
+            "rules:\n  - id: t\n    languages: [python]\n    message: m\n    pattern: boom($X)\n",
+        )
+        .expect("compile");
+        let mut src = String::new();
+        for i in 0..pad {
+            src.push_str(&format!("x{i} = {i}\n"));
+        }
+        src.push_str("boom(payload)\n");
+        let findings = semgrep_engine::scan_source(&rules, &src);
+        prop_assert_eq!(findings.len(), 1);
+        prop_assert_eq!(findings[0].line, pad + 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! Aho–Corasick multi-pattern matcher.
+//!
+//! Used by the YARA scanner to test every plain-text `strings:` entry of a
+//! compiled ruleset against a file in a single pass, and by the score-based
+//! baseline to count candidate-string occurrences.
+
+use std::collections::VecDeque;
+
+/// Case handling for an automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatchKind {
+    /// Bytes must match exactly.
+    CaseSensitive,
+    /// ASCII letters match either case (YARA `nocase`).
+    CaseInsensitive,
+}
+
+/// One occurrence of a pattern in the haystack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcMatch {
+    /// Index of the pattern (in construction order).
+    pub pattern: usize,
+    /// Byte offset of the first matched byte.
+    pub start: usize,
+    /// Byte offset one past the last matched byte.
+    pub end: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Transition table indexed by byte; `u32::MAX` = absent.
+    next: Box<[u32; 256]>,
+    fail: u32,
+    /// Pattern indices terminating at this node.
+    outputs: Vec<u32>,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node {
+            next: Box::new([u32::MAX; 256]),
+            fail: 0,
+            outputs: Vec::new(),
+        }
+    }
+}
+
+/// A compiled multi-pattern automaton.
+///
+/// # Examples
+///
+/// ```
+/// use textmatch::{AhoCorasick, MatchKind};
+///
+/// let ac = AhoCorasick::new(&["eval", "exec"], MatchKind::CaseSensitive);
+/// assert!(ac.is_match(b"exec(code)"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    nodes: Vec<Node>,
+    pattern_lens: Vec<usize>,
+    kind: MatchKind,
+}
+
+impl AhoCorasick {
+    /// Builds an automaton over `patterns`.
+    ///
+    /// Empty patterns are permitted but never match. Patterns are
+    /// identified by their index in `patterns`.
+    pub fn new<S: AsRef<[u8]>>(patterns: &[S], kind: MatchKind) -> Self {
+        let mut nodes = vec![Node::new()];
+        let mut pattern_lens = Vec::with_capacity(patterns.len());
+        for (idx, pat) in patterns.iter().enumerate() {
+            let bytes = pat.as_ref();
+            pattern_lens.push(bytes.len());
+            if bytes.is_empty() {
+                continue;
+            }
+            let mut cur = 0usize;
+            for &raw in bytes {
+                let b = fold(raw, kind) as usize;
+                let nxt = nodes[cur].next[b];
+                cur = if nxt == u32::MAX {
+                    nodes.push(Node::new());
+                    let id = (nodes.len() - 1) as u32;
+                    nodes[cur].next[b] = id;
+                    id as usize
+                } else {
+                    nxt as usize
+                };
+            }
+            nodes[cur].outputs.push(idx as u32);
+        }
+        // BFS to set failure links and convert to a full goto function.
+        let mut queue = VecDeque::new();
+        for b in 0..256 {
+            let t = nodes[0].next[b];
+            if t == u32::MAX {
+                nodes[0].next[b] = 0;
+            } else {
+                nodes[t as usize].fail = 0;
+                queue.push_back(t);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let u = u as usize;
+            // Merge outputs from the failure node.
+            let fail = nodes[u].fail as usize;
+            let inherited = nodes[fail].outputs.clone();
+            nodes[u].outputs.extend(inherited);
+            for b in 0..256 {
+                let v = nodes[u].next[b];
+                let via_fail = nodes[fail].next[b];
+                if v == u32::MAX {
+                    nodes[u].next[b] = via_fail;
+                } else {
+                    nodes[v as usize].fail = via_fail;
+                    queue.push_back(v);
+                }
+            }
+        }
+        AhoCorasick {
+            nodes,
+            pattern_lens,
+            kind,
+        }
+    }
+
+    /// Number of patterns in the automaton.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_lens.len()
+    }
+
+    /// Returns true when any pattern occurs in `haystack`.
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        let mut state = 0usize;
+        for &raw in haystack {
+            let b = fold(raw, self.kind) as usize;
+            state = self.nodes[state].next[b] as usize;
+            if !self.nodes[state].outputs.is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Finds all occurrences of all patterns (overlapping included).
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<AcMatch> {
+        let mut out = Vec::new();
+        let mut state = 0usize;
+        for (pos, &raw) in haystack.iter().enumerate() {
+            let b = fold(raw, self.kind) as usize;
+            state = self.nodes[state].next[b] as usize;
+            for &pat in &self.nodes[state].outputs {
+                let len = self.pattern_lens[pat as usize];
+                out.push(AcMatch {
+                    pattern: pat as usize,
+                    start: pos + 1 - len,
+                    end: pos + 1,
+                });
+            }
+        }
+        out
+    }
+
+    /// Returns, for each pattern, the list of match offsets in `haystack`.
+    ///
+    /// This is the shape the YARA condition evaluator needs: per-string
+    /// counts (`#a`) and positions (`$a at 0`).
+    pub fn find_per_pattern(&self, haystack: &[u8]) -> Vec<Vec<usize>> {
+        let mut per: Vec<Vec<usize>> = vec![Vec::new(); self.pattern_lens.len()];
+        for m in self.find_all(haystack) {
+            per[m.pattern].push(m.start);
+        }
+        per
+    }
+}
+
+fn fold(b: u8, kind: MatchKind) -> u8 {
+    match kind {
+        MatchKind::CaseSensitive => b,
+        MatchKind::CaseInsensitive => b.to_ascii_lowercase(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_multiple_patterns() {
+        let ac = AhoCorasick::new(&["he", "she", "his", "hers"], MatchKind::CaseSensitive);
+        let hits = ac.find_all(b"ushers");
+        let pats: Vec<usize> = hits.iter().map(|m| m.pattern).collect();
+        // "she" at 1, "he" at 2, "hers" at 2
+        assert!(pats.contains(&0));
+        assert!(pats.contains(&1));
+        assert!(pats.contains(&3));
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn offsets_are_correct() {
+        let ac = AhoCorasick::new(&["abc"], MatchKind::CaseSensitive);
+        let hits = ac.find_all(b"zzabczz");
+        assert_eq!(hits, vec![AcMatch { pattern: 0, start: 2, end: 5 }]);
+    }
+
+    #[test]
+    fn is_match_short_circuits() {
+        let ac = AhoCorasick::new(&["needle"], MatchKind::CaseSensitive);
+        assert!(ac.is_match(b"hay needle hay"));
+        assert!(!ac.is_match(b"hay hay hay"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let ac = AhoCorasick::new(&["PowerShell"], MatchKind::CaseInsensitive);
+        assert!(ac.is_match(b"powershell -enc"));
+        assert!(ac.is_match(b"POWERSHELL"));
+    }
+
+    #[test]
+    fn case_sensitive_rejects_other_case() {
+        let ac = AhoCorasick::new(&["PowerShell"], MatchKind::CaseSensitive);
+        assert!(!ac.is_match(b"powershell"));
+    }
+
+    #[test]
+    fn empty_pattern_never_matches() {
+        let ac = AhoCorasick::new(&[""], MatchKind::CaseSensitive);
+        assert!(!ac.is_match(b"anything"));
+        assert!(ac.find_all(b"anything").is_empty());
+    }
+
+    #[test]
+    fn no_patterns() {
+        let ac = AhoCorasick::new(&[] as &[&str], MatchKind::CaseSensitive);
+        assert!(!ac.is_match(b"anything"));
+        assert_eq!(ac.pattern_count(), 0);
+    }
+
+    #[test]
+    fn per_pattern_offsets() {
+        let ac = AhoCorasick::new(&["aa", "b"], MatchKind::CaseSensitive);
+        let per = ac.find_per_pattern(b"aabaa");
+        assert_eq!(per[0], vec![0, 3]);
+        assert_eq!(per[1], vec![2]);
+    }
+
+    #[test]
+    fn overlapping_matches_reported() {
+        let ac = AhoCorasick::new(&["aa"], MatchKind::CaseSensitive);
+        let per = ac.find_per_pattern(b"aaa");
+        assert_eq!(per[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let ac = AhoCorasick::new(&[&[0x00u8, 0xFF][..]], MatchKind::CaseSensitive);
+        assert!(ac.is_match(&[0x10, 0x00, 0xFF, 0x20]));
+    }
+
+    #[test]
+    fn suspicious_api_scan() {
+        let apis = [
+            "os.system",
+            "subprocess.Popen",
+            "base64.b64decode",
+            "socket.socket",
+        ];
+        let ac = AhoCorasick::new(&apis, MatchKind::CaseSensitive);
+        let code = b"import base64\npayload = base64.b64decode(data)\nos.system(payload)";
+        let per = ac.find_per_pattern(code);
+        assert_eq!(per[0].len(), 1);
+        assert_eq!(per[2].len(), 1);
+        assert!(per[1].is_empty());
+    }
+}

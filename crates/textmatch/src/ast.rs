@@ -1,0 +1,148 @@
+//! Abstract syntax tree for the regular-expression subset.
+
+use crate::charclass::CharClass;
+
+/// Repetition bounds attached to a [`Ast::Repeat`] node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quantifier {
+    /// Minimum number of repetitions.
+    pub min: u32,
+    /// Maximum number of repetitions; `None` means unbounded.
+    pub max: Option<u32>,
+    /// Greedy (`*`) vs lazy (`*?`) matching preference.
+    pub greedy: bool,
+}
+
+impl Quantifier {
+    /// `*` — zero or more.
+    pub fn star() -> Self {
+        Quantifier {
+            min: 0,
+            max: None,
+            greedy: true,
+        }
+    }
+
+    /// `+` — one or more.
+    pub fn plus() -> Self {
+        Quantifier {
+            min: 1,
+            max: None,
+            greedy: true,
+        }
+    }
+
+    /// `?` — zero or one.
+    pub fn question() -> Self {
+        Quantifier {
+            min: 0,
+            max: Some(1),
+            greedy: true,
+        }
+    }
+
+    /// `{min,max}` — explicit bounds.
+    pub fn range(min: u32, max: Option<u32>) -> Self {
+        Quantifier {
+            min,
+            max,
+            greedy: true,
+        }
+    }
+}
+
+/// A parsed regular expression node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// Matches one byte from the class.
+    Class(CharClass),
+    /// Concatenation of sub-expressions, in order.
+    Concat(Vec<Ast>),
+    /// Ordered alternation (`a|b`): earlier branches are preferred.
+    Alternate(Vec<Ast>),
+    /// Repetition of the inner expression.
+    Repeat(Box<Ast>, Quantifier),
+    /// Grouping `( ... )`; capture indices are not exposed, groups only
+    /// affect precedence.
+    Group(Box<Ast>),
+    /// `^` — start-of-input assertion.
+    StartAnchor,
+    /// `$` — end-of-input assertion.
+    EndAnchor,
+    /// `\b` — word-boundary assertion.
+    WordBoundary,
+    /// `\B` — negated word-boundary assertion.
+    NotWordBoundary,
+}
+
+impl Ast {
+    /// Returns true when the expression can match the empty string.
+    ///
+    /// Used by the compiler to reject pathological unbounded repetitions of
+    /// nullable inner expressions (e.g. `(a*)*`), which would otherwise
+    /// loop forever in a naive VM.
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            Ast::Empty | Ast::StartAnchor | Ast::EndAnchor | Ast::WordBoundary
+            | Ast::NotWordBoundary => true,
+            Ast::Class(_) => false,
+            Ast::Concat(parts) => parts.iter().all(Ast::is_nullable),
+            Ast::Alternate(parts) => parts.iter().any(Ast::is_nullable),
+            Ast::Repeat(inner, q) => q.min == 0 || inner.is_nullable(),
+            Ast::Group(inner) => inner.is_nullable(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantifier_constructors() {
+        assert_eq!(Quantifier::star(), Quantifier::range(0, None));
+        assert_eq!(Quantifier::plus(), Quantifier::range(1, None));
+        assert_eq!(Quantifier::question(), Quantifier::range(0, Some(1)));
+    }
+
+    #[test]
+    fn nullable_empty_and_anchors() {
+        assert!(Ast::Empty.is_nullable());
+        assert!(Ast::StartAnchor.is_nullable());
+        assert!(Ast::WordBoundary.is_nullable());
+    }
+
+    #[test]
+    fn nullable_class_is_false() {
+        assert!(!Ast::Class(CharClass::single(b'a')).is_nullable());
+    }
+
+    #[test]
+    fn nullable_star_is_true() {
+        let star = Ast::Repeat(
+            Box::new(Ast::Class(CharClass::single(b'a'))),
+            Quantifier::star(),
+        );
+        assert!(star.is_nullable());
+    }
+
+    #[test]
+    fn nullable_concat_requires_all() {
+        let c = Ast::Concat(vec![
+            Ast::Empty,
+            Ast::Class(CharClass::single(b'a')),
+        ]);
+        assert!(!c.is_nullable());
+    }
+
+    #[test]
+    fn nullable_alternate_requires_any() {
+        let a = Ast::Alternate(vec![
+            Ast::Class(CharClass::single(b'a')),
+            Ast::Empty,
+        ]);
+        assert!(a.is_nullable());
+    }
+}

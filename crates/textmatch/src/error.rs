@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a regular expression fails to parse or compile.
+///
+/// The position is a byte offset into the original pattern, which lets the
+/// YARA compiler surface `invalid regular expression at offset N` messages
+/// that the alignment agent can act on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    /// Byte offset into the pattern where the problem was detected.
+    pub position: usize,
+    /// Human-readable description of the problem, lowercase per convention.
+    pub message: String,
+}
+
+impl RegexError {
+    /// Creates a new error at `position` with the given `message`.
+    pub fn new(position: usize, message: impl Into<String>) -> Self {
+        RegexError {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid regular expression at offset {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl Error for RegexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_message() {
+        let err = RegexError::new(3, "unmatched ')'");
+        assert_eq!(
+            err.to_string(),
+            "invalid regular expression at offset 3: unmatched ')'"
+        );
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: Error>() {}
+        assert_err::<RegexError>();
+    }
+}

@@ -1,0 +1,47 @@
+//! `textmatch` — pattern-matching substrate for the RuleLLM reproduction.
+//!
+//! The paper's YARA engine, Semgrep engine, score-based baseline and
+//! basic-unit splitter all need text search primitives. This crate provides
+//! two from-scratch engines:
+//!
+//! * [`Regex`] — a byte-oriented regular-expression engine (Thompson NFA,
+//!   Pike-VM execution) supporting the subset of syntax that appears in
+//!   YARA rules: literals, escapes, character classes, `.`, anchors,
+//!   alternation, groups, and bounded/unbounded quantifiers.
+//! * [`AhoCorasick`] — a multi-pattern substring scanner used to match the
+//!   `strings:` section of many YARA rules against a package in one pass.
+//!
+//! # Examples
+//!
+//! ```
+//! use textmatch::Regex;
+//!
+//! let re = Regex::new(r"([A-Za-z0-9+/]{4}){2,}(==|=)?")?;
+//! assert!(re.is_match(b"payload = aGVsbG8gd29ybGQ="));
+//! # Ok::<(), textmatch::RegexError>(())
+//! ```
+//!
+//! ```
+//! use textmatch::{AhoCorasick, MatchKind};
+//!
+//! let ac = AhoCorasick::new(&["os.system", "subprocess"], MatchKind::CaseSensitive);
+//! let hits = ac.find_all(b"import subprocess; os.system('id')");
+//! assert_eq!(hits.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ac;
+mod ast;
+mod charclass;
+mod error;
+mod nfa;
+mod parser;
+
+pub use ac::{AcMatch, AhoCorasick, MatchKind};
+pub use ast::{Ast, Quantifier};
+pub use charclass::CharClass;
+pub use error::RegexError;
+pub use nfa::{Match, Program, Regex};
+pub use parser::parse;

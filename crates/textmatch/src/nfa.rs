@@ -1,0 +1,658 @@
+//! Thompson-NFA compiler and Pike-style virtual machine.
+//!
+//! The VM runs a breadth-first thread simulation, which gives linear-time
+//! matching in the size of the haystack for `is_match` and
+//! leftmost-longest semantics for `find`. Bounded repetitions are expanded
+//! at compile time (the parser caps bounds at 1000).
+
+use crate::ast::{Ast, Quantifier};
+use crate::charclass::CharClass;
+use crate::error::RegexError;
+use crate::parser::parse;
+
+/// A single VM instruction.
+#[derive(Debug, Clone)]
+enum Inst {
+    /// Consume one byte matching the class.
+    Byte(CharClass),
+    /// Fork execution; the first target has priority.
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Pattern fully matched.
+    Match,
+    /// `^` assertion.
+    AssertStart,
+    /// `$` assertion.
+    AssertEnd,
+    /// `\b` (true) or `\B` (false) assertion.
+    AssertWord(bool),
+}
+
+/// A compiled regular-expression program.
+///
+/// Obtain one through [`Regex::new`]; exposed for size introspection in
+/// benchmarks.
+#[derive(Debug, Clone)]
+pub struct Program {
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Number of VM instructions — a proxy for compiled size.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns true when the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+/// A span of the haystack matched by a [`Regex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Match {
+    /// Byte offset of the first matched byte.
+    pub start: usize,
+    /// Byte offset one past the last matched byte.
+    pub end: usize,
+}
+
+impl Match {
+    /// Length of the match in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns true for an empty match.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A compiled regular expression.
+///
+/// # Examples
+///
+/// ```
+/// use textmatch::Regex;
+///
+/// let re = Regex::new(r"https?://[\w./-]+")?;
+/// let m = re.find(b"GET http://evil.example/payload.bin").unwrap();
+/// assert_eq!(m.start, 4);
+/// # Ok::<(), textmatch::RegexError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    program: Program,
+}
+
+impl Regex {
+    /// Compiles `pattern` into an executable program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegexError`] for any syntax error; the offset points into
+    /// `pattern`.
+    pub fn new(pattern: &str) -> Result<Self, RegexError> {
+        Self::with_case(pattern, true)
+    }
+
+    /// Compiles `pattern` case-insensitively (YARA `/re/i` or `nocase`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Regex::new`].
+    pub fn new_nocase(pattern: &str) -> Result<Self, RegexError> {
+        Self::with_case(pattern, false)
+    }
+
+    fn with_case(pattern: &str, case_sensitive: bool) -> Result<Self, RegexError> {
+        let ast = parse(pattern)?;
+        let mut compiler = Compiler {
+            insts: Vec::new(),
+            case_sensitive,
+        };
+        compiler.compile(&ast)?;
+        compiler.insts.push(Inst::Match);
+        Ok(Regex {
+            pattern: pattern.to_owned(),
+            program: Program {
+                insts: compiler.insts,
+            },
+        })
+    }
+
+    /// The original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// The compiled program (for size introspection).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Tests whether the pattern matches anywhere in `haystack`.
+    ///
+    /// Runs a single forward pass seeding a new thread at every position,
+    /// so the cost is `O(len * insts)`.
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        let mut vm = Vm::new(&self.program);
+        vm.any_match(haystack)
+    }
+
+    /// Finds the leftmost-longest match.
+    pub fn find(&self, haystack: &[u8]) -> Option<Match> {
+        self.find_at(haystack, 0)
+    }
+
+    /// Finds the leftmost-longest match starting at or after `from`.
+    pub fn find_at(&self, haystack: &[u8], from: usize) -> Option<Match> {
+        let mut vm = Vm::new(&self.program);
+        for start in from..=haystack.len() {
+            if let Some(end) = vm.longest_end(haystack, start) {
+                return Some(Match { start, end });
+            }
+        }
+        None
+    }
+
+    /// Returns all non-overlapping leftmost-longest matches.
+    ///
+    /// Empty matches advance the scan position by one byte so the iteration
+    /// always terminates.
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        let mut pos = 0;
+        // Cheap rejection before the quadratic offset scan.
+        if !self.is_match(haystack) {
+            return out;
+        }
+        while pos <= haystack.len() {
+            match self.find_at(haystack, pos) {
+                Some(m) => {
+                    pos = if m.end > m.start { m.end } else { m.start + 1 };
+                    out.push(m);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+    case_sensitive: bool,
+}
+
+impl Compiler {
+    fn compile(&mut self, ast: &Ast) -> Result<(), RegexError> {
+        if self.insts.len() > 65_536 {
+            return Err(RegexError::new(0, "compiled program too large"));
+        }
+        match ast {
+            Ast::Empty => Ok(()),
+            Ast::Class(c) => {
+                let mut class = c.clone();
+                if !self.case_sensitive {
+                    class.make_case_insensitive();
+                }
+                self.insts.push(Inst::Byte(class));
+                Ok(())
+            }
+            Ast::Concat(parts) => {
+                for p in parts {
+                    self.compile(p)?;
+                }
+                Ok(())
+            }
+            Ast::Group(inner) => self.compile(inner),
+            Ast::Alternate(branches) => {
+                // Chain of splits: s1 -> b1 | (s2 -> b2 | ...)
+                let mut jumps = Vec::new();
+                for (i, branch) in branches.iter().enumerate() {
+                    if i + 1 < branches.len() {
+                        let split_at = self.insts.len();
+                        self.insts.push(Inst::Split(0, 0));
+                        let b_start = self.insts.len();
+                        self.compile(branch)?;
+                        jumps.push(self.insts.len());
+                        self.insts.push(Inst::Jmp(0));
+                        let next = self.insts.len();
+                        self.insts[split_at] = Inst::Split(b_start, next);
+                    } else {
+                        self.compile(branch)?;
+                    }
+                }
+                let end = self.insts.len();
+                for j in jumps {
+                    self.insts[j] = Inst::Jmp(end);
+                }
+                Ok(())
+            }
+            Ast::Repeat(inner, q) => self.compile_repeat(inner, q),
+            Ast::StartAnchor => {
+                self.insts.push(Inst::AssertStart);
+                Ok(())
+            }
+            Ast::EndAnchor => {
+                self.insts.push(Inst::AssertEnd);
+                Ok(())
+            }
+            Ast::WordBoundary => {
+                self.insts.push(Inst::AssertWord(true));
+                Ok(())
+            }
+            Ast::NotWordBoundary => {
+                self.insts.push(Inst::AssertWord(false));
+                Ok(())
+            }
+        }
+    }
+
+    fn compile_repeat(&mut self, inner: &Ast, q: &Quantifier) -> Result<(), RegexError> {
+        match (q.min, q.max) {
+            (0, None) => self.star(inner),
+            (1, None) => {
+                // a+  =>  L: a; split L, next
+                let start = self.insts.len();
+                self.compile(inner)?;
+                let split_at = self.insts.len();
+                self.insts.push(Inst::Split(start, split_at + 1));
+                Ok(())
+            }
+            (0, Some(1)) => {
+                // a? => split body, next
+                let split_at = self.insts.len();
+                self.insts.push(Inst::Split(0, 0));
+                let body = self.insts.len();
+                self.compile(inner)?;
+                let next = self.insts.len();
+                self.insts[split_at] = Inst::Split(body, next);
+                Ok(())
+            }
+            (min, max) => {
+                // Expand: min mandatory copies, then optional copies or star.
+                for _ in 0..min {
+                    self.compile(inner)?;
+                }
+                match max {
+                    None => self.star(inner)?,
+                    Some(max) => {
+                        let mut splits = Vec::new();
+                        for _ in min..max {
+                            let split_at = self.insts.len();
+                            self.insts.push(Inst::Split(0, 0));
+                            splits.push(split_at);
+                            let body = self.insts.len();
+                            self.compile(inner)?;
+                            // Patch later: split(body, end-of-all)
+                            self.insts[split_at] = Inst::Split(body, 0);
+                        }
+                        let end = self.insts.len();
+                        for s in splits {
+                            if let Inst::Split(body, _) = self.insts[s] {
+                                self.insts[s] = Inst::Split(body, end);
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn star(&mut self, inner: &Ast) -> Result<(), RegexError> {
+        // L1: split L2, L3; L2: body; jmp L1; L3:
+        let l1 = self.insts.len();
+        self.insts.push(Inst::Split(0, 0));
+        let l2 = self.insts.len();
+        self.compile(inner)?;
+        self.insts.push(Inst::Jmp(l1));
+        let l3 = self.insts.len();
+        self.insts[l1] = Inst::Split(l2, l3);
+        Ok(())
+    }
+}
+
+/// Breadth-first NFA simulator with thread de-duplication per step.
+struct Vm<'p> {
+    program: &'p Program,
+    current: Vec<usize>,
+    next: Vec<usize>,
+    on_current: Vec<bool>,
+    on_next: Vec<bool>,
+}
+
+impl<'p> Vm<'p> {
+    fn new(program: &'p Program) -> Self {
+        let n = program.insts.len();
+        Vm {
+            program,
+            current: Vec::with_capacity(n),
+            next: Vec::with_capacity(n),
+            on_current: vec![false; n],
+            on_next: vec![false; n],
+        }
+    }
+
+    fn reset(&mut self) {
+        self.current.clear();
+        self.next.clear();
+        self.on_current.iter_mut().for_each(|b| *b = false);
+        self.on_next.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// Follows epsilon transitions from `pc`, enqueueing byte/match
+    /// instructions into the *next* (`into_next`) or *current* set.
+    fn add_thread(
+        &mut self,
+        pc: usize,
+        pos: usize,
+        haystack: &[u8],
+        into_next: bool,
+        matched: &mut bool,
+    ) {
+        {
+            let seen = if into_next {
+                &mut self.on_next
+            } else {
+                &mut self.on_current
+            };
+            if seen[pc] {
+                return;
+            }
+            seen[pc] = true;
+        }
+        let program = self.program;
+        match &program.insts[pc] {
+            Inst::Jmp(t) => {
+                self.add_thread(*t, pos, haystack, into_next, matched);
+            }
+            Inst::Split(a, b) => {
+                self.add_thread(*a, pos, haystack, into_next, matched);
+                self.add_thread(*b, pos, haystack, into_next, matched);
+            }
+            Inst::AssertStart => {
+                if pos == 0 {
+                    self.add_thread(pc + 1, pos, haystack, into_next, matched);
+                }
+            }
+            Inst::AssertEnd => {
+                if pos == haystack.len() {
+                    self.add_thread(pc + 1, pos, haystack, into_next, matched);
+                }
+            }
+            Inst::AssertWord(expected) => {
+                let before = pos > 0 && is_word_byte(haystack[pos - 1]);
+                let after = pos < haystack.len() && is_word_byte(haystack[pos]);
+                if (before != after) == *expected {
+                    self.add_thread(pc + 1, pos, haystack, into_next, matched);
+                }
+            }
+            Inst::Match => {
+                *matched = true;
+                if into_next {
+                    self.next.push(pc);
+                } else {
+                    self.current.push(pc);
+                }
+            }
+            Inst::Byte(_) => {
+                if into_next {
+                    self.next.push(pc);
+                } else {
+                    self.current.push(pc);
+                }
+            }
+        }
+    }
+
+    /// One forward pass that seeds a new thread at every position; returns
+    /// true if any match exists anywhere.
+    fn any_match(&mut self, haystack: &[u8]) -> bool {
+        self.reset();
+        for pos in 0..=haystack.len() {
+            let mut matched = false;
+            self.add_thread(0, pos, haystack, false, &mut matched);
+            if matched {
+                return true;
+            }
+            if pos == haystack.len() {
+                break;
+            }
+            let byte = haystack[pos];
+            let current = std::mem::take(&mut self.current);
+            let program = self.program;
+            for pc in &current {
+                if let Inst::Byte(class) = &program.insts[*pc] {
+                    if class.matches(byte) {
+                        let mut m = false;
+                        self.add_thread(pc + 1, pos + 1, haystack, true, &mut m);
+                        if m {
+                            // A match completing at pos+1 — we only need
+                            // existence here.
+                            return true;
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut self.current, &mut self.next);
+            self.next.clear();
+            std::mem::swap(&mut self.on_current, &mut self.on_next);
+            self.on_next.iter_mut().for_each(|b| *b = false);
+        }
+        false
+    }
+
+    /// Anchored simulation starting exactly at `start`; returns the longest
+    /// match end, if any.
+    fn longest_end(&mut self, haystack: &[u8], start: usize) -> Option<usize> {
+        self.reset();
+        let mut best: Option<usize> = None;
+        let mut matched = false;
+        self.add_thread(0, start, haystack, false, &mut matched);
+        if matched {
+            best = Some(start);
+        }
+        for pos in start..haystack.len() {
+            if self.current.is_empty() {
+                break;
+            }
+            let byte = haystack[pos];
+            let current = std::mem::take(&mut self.current);
+            let program = self.program;
+            let mut any_match = false;
+            for pc in &current {
+                if let Inst::Byte(class) = &program.insts[*pc] {
+                    if class.matches(byte) {
+                        self.add_thread(pc + 1, pos + 1, haystack, true, &mut any_match);
+                    }
+                }
+            }
+            if any_match {
+                best = Some(pos + 1);
+            }
+            std::mem::swap(&mut self.current, &mut self.next);
+            self.next.clear();
+            std::mem::swap(&mut self.on_current, &mut self.on_next);
+            self.on_next.iter_mut().for_each(|b| *b = false);
+        }
+        best
+    }
+}
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(p: &str) -> Regex {
+        Regex::new(p).unwrap_or_else(|e| panic!("compile {p:?}: {e}"))
+    }
+
+    #[test]
+    fn literal_match() {
+        let r = re("abc");
+        assert!(r.is_match(b"xxabcxx"));
+        assert!(!r.is_match(b"ab"));
+    }
+
+    #[test]
+    fn find_reports_offsets() {
+        let r = re("abc");
+        let m = r.find(b"xxabcxx").unwrap();
+        assert_eq!((m.start, m.end), (2, 5));
+    }
+
+    #[test]
+    fn longest_match_preferred() {
+        let r = re("a+");
+        let m = r.find(b"caaab").unwrap();
+        assert_eq!((m.start, m.end), (1, 4));
+    }
+
+    #[test]
+    fn alternation_picks_leftmost() {
+        let r = re("cat|dog");
+        let m = r.find(b"hotdog cat").unwrap();
+        assert_eq!(&b"hotdog cat"[m.start..m.end], b"dog");
+    }
+
+    #[test]
+    fn star_matches_empty() {
+        let r = re("x*");
+        assert!(r.is_match(b""));
+        let m = r.find(b"yyy").unwrap();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn bounded_repeat() {
+        let r = re("(ab){2,3}");
+        assert!(r.is_match(b"abab"));
+        assert!(!r.is_match(b"ab"));
+        let m = r.find(b"abababab").unwrap();
+        assert_eq!(m.len(), 6); // longest = 3 copies
+    }
+
+    #[test]
+    fn exact_repeat() {
+        let r = re("a{3}");
+        assert!(r.is_match(b"aaa"));
+        assert!(!r.is_match(b"aa"));
+    }
+
+    #[test]
+    fn anchors() {
+        let r = re("^abc$");
+        assert!(r.is_match(b"abc"));
+        assert!(!r.is_match(b"xabc"));
+        assert!(!r.is_match(b"abcx"));
+    }
+
+    #[test]
+    fn start_anchor_mid_haystack_fails() {
+        let r = re("^abc");
+        assert!(!r.is_match(b"zabc"));
+    }
+
+    #[test]
+    fn word_boundary() {
+        let r = re(r"\beval\b");
+        assert!(r.is_match(b"x = eval(y)"));
+        assert!(!r.is_match(b"medieval times"));
+    }
+
+    #[test]
+    fn not_word_boundary() {
+        let r = re(r"\Beval");
+        assert!(r.is_match(b"medieval"));
+        assert!(!r.is_match(b"eval(x)"));
+    }
+
+    #[test]
+    fn dot_does_not_cross_newline() {
+        let r = re("a.c");
+        assert!(r.is_match(b"abc"));
+        assert!(!r.is_match(b"a\nc"));
+    }
+
+    #[test]
+    fn classes_and_escapes() {
+        let r = re(r"\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}");
+        assert!(r.is_match(b"connect to 185.62.190.159 now"));
+        assert!(!r.is_match(b"no ip here"));
+    }
+
+    #[test]
+    fn base64_blob_pattern() {
+        // The pattern from Table I of the paper (simplified).
+        let r = re(r"([A-Za-z0-9+/]{4}){3,}(==|=)?");
+        assert!(r.is_match(b"exec(b64decode('aW1wb3J0IG9zCg=='))"));
+    }
+
+    #[test]
+    fn nocase_matching() {
+        let r = Regex::new_nocase("powershell").unwrap();
+        assert!(r.is_match(b"POWERSHELL -enc ..."));
+        assert!(r.is_match(b"PowerShell"));
+    }
+
+    #[test]
+    fn find_all_non_overlapping() {
+        let r = re("aa");
+        let all = r.find_all(b"aaaa");
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], Match { start: 0, end: 2 });
+        assert_eq!(all[1], Match { start: 2, end: 4 });
+    }
+
+    #[test]
+    fn find_all_counts_occurrences() {
+        let r = re(r"os\.system");
+        let hay = b"os.system('a'); os.system('b'); os.popen('c')";
+        assert_eq!(r.find_all(hay).len(), 2);
+    }
+
+    #[test]
+    fn find_all_empty_haystack() {
+        let r = re("abc");
+        assert!(r.find_all(b"").is_empty());
+    }
+
+    #[test]
+    fn url_pattern() {
+        let r = re(r"https?://[\w.\-/]+");
+        let m = r.find(b"requests.get('http://1.2.3.4/x.sh')").unwrap();
+        assert_eq!(&b"requests.get('http://1.2.3.4/x.sh')"[m.start..m.end], b"http://1.2.3.4/x.sh");
+    }
+
+    #[test]
+    fn nested_groups() {
+        let r = re("(a(b|c)d)+");
+        assert!(r.is_match(b"abdacd"));
+        let m = r.find(b"abdacdx").unwrap();
+        assert_eq!(m.len(), 6);
+    }
+
+    #[test]
+    fn binary_haystack() {
+        let r = re(r"\x00\x01");
+        assert!(r.is_match(&[0x42, 0x00, 0x01, 0x99]));
+    }
+
+    #[test]
+    fn program_len_reported() {
+        let r = re("abc");
+        assert!(r.program().len() >= 4);
+        assert!(!r.program().is_empty());
+    }
+}

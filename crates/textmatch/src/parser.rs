@@ -1,0 +1,567 @@
+//! Recursive-descent parser for the regular-expression subset.
+//!
+//! The grammar (in order of precedence, loosest first):
+//!
+//! ```text
+//! alternation  := concat ('|' concat)*
+//! concat       := repeat*
+//! repeat       := atom quantifier?
+//! quantifier   := '*' | '+' | '?' | '{' n (',' m?)? '}' ('?' lazy)?
+//! atom         := literal | '.' | class | escape | anchor | '(' alternation ')'
+//! ```
+
+use crate::ast::{Ast, Quantifier};
+use crate::charclass::CharClass;
+use crate::error::RegexError;
+
+/// Maximum expansion of a bounded repetition; `{1,10000}` style patterns
+/// are rejected to keep compiled programs small.
+const MAX_REPEAT: u32 = 1000;
+
+/// Parses `pattern` into an [`Ast`].
+///
+/// # Errors
+///
+/// Returns [`RegexError`] with a byte offset on any syntax problem:
+/// unmatched parentheses, unterminated classes, dangling quantifiers,
+/// invalid repetition bounds or trailing backslashes.
+pub fn parse(pattern: &str) -> Result<Ast, RegexError> {
+    let mut p = Parser {
+        input: pattern.as_bytes(),
+        pos: 0,
+    };
+    let ast = p.alternation(0)?;
+    if p.pos != p.input.len() {
+        return Err(RegexError::new(p.pos, "unmatched ')'"));
+    }
+    Ok(ast)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn alternation(&mut self, depth: usize) -> Result<Ast, RegexError> {
+        if depth > 64 {
+            return Err(RegexError::new(self.pos, "expression nested too deeply"));
+        }
+        let mut branches = vec![self.concat(depth)?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            branches.push(self.concat(depth)?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().expect("one branch"))
+        } else {
+            Ok(Ast::Alternate(branches))
+        }
+    }
+
+    fn concat(&mut self, depth: usize) -> Result<Ast, RegexError> {
+        let mut parts = Vec::new();
+        loop {
+            match self.peek() {
+                None | Some(b'|') | Some(b')') => break,
+                _ => parts.push(self.repeat(depth)?),
+            }
+        }
+        match parts.len() {
+            0 => Ok(Ast::Empty),
+            1 => Ok(parts.pop().expect("one part")),
+            _ => Ok(Ast::Concat(parts)),
+        }
+    }
+
+    fn repeat(&mut self, depth: usize) -> Result<Ast, RegexError> {
+        let start = self.pos;
+        let atom = self.atom(depth)?;
+        let quant = match self.peek() {
+            Some(b'*') => {
+                self.bump();
+                Some(Quantifier::star())
+            }
+            Some(b'+') => {
+                self.bump();
+                Some(Quantifier::plus())
+            }
+            Some(b'?') => {
+                self.bump();
+                Some(Quantifier::question())
+            }
+            Some(b'{') => self.braced_quantifier()?,
+            _ => None,
+        };
+        let Some(mut q) = quant else {
+            return Ok(atom);
+        };
+        if matches!(
+            atom,
+            Ast::StartAnchor | Ast::EndAnchor | Ast::WordBoundary | Ast::NotWordBoundary
+        ) {
+            return Err(RegexError::new(start, "quantifier applied to an assertion"));
+        }
+        if self.peek() == Some(b'?') {
+            self.bump();
+            q.greedy = false;
+        }
+        // Double quantifiers like `a**` are a syntax error.
+        if matches!(self.peek(), Some(b'*') | Some(b'+')) {
+            return Err(RegexError::new(self.pos, "nothing to repeat"));
+        }
+        if q.max.is_none() && atom.is_nullable() && q.min == 0 {
+            // `(a*)*` — collapse to inner star to avoid VM livelock.
+            if let Ast::Group(inner) | Ast::Repeat(inner, _) = &atom {
+                return Ok(Ast::Repeat(inner.clone(), Quantifier::star()));
+            }
+        }
+        Ok(Ast::Repeat(Box::new(atom), q))
+    }
+
+    /// Parses `{n}`, `{n,}` or `{n,m}`. A `{` not followed by a valid bound
+    /// is treated as a literal brace, matching common regex engines.
+    fn braced_quantifier(&mut self) -> Result<Option<Quantifier>, RegexError> {
+        let open = self.pos;
+        // Lookahead: '{' only starts a quantifier when followed by a digit;
+        // otherwise it is left in place for the next atom() call to consume
+        // as a literal brace.
+        if !matches!(self.input.get(open + 1), Some(b) if b.is_ascii_digit()) {
+            return Ok(None);
+        }
+        self.bump(); // consume '{'
+        let min = self.number().expect("lookahead guaranteed a digit");
+        let max = if self.peek() == Some(b',') {
+            self.bump();
+            if self.peek() == Some(b'}') {
+                None
+            } else {
+                match self.number() {
+                    Some(m) => Some(m),
+                    None => return Err(RegexError::new(self.pos, "invalid repetition bound")),
+                }
+            }
+        } else {
+            Some(min)
+        };
+        if self.bump() != Some(b'}') {
+            return Err(RegexError::new(open, "unterminated repetition '{'"));
+        }
+        if let Some(m) = max {
+            if m < min {
+                return Err(RegexError::new(open, "repetition max is less than min"));
+            }
+            if m > MAX_REPEAT {
+                return Err(RegexError::new(open, "repetition bound too large"));
+            }
+        }
+        if min > MAX_REPEAT {
+            return Err(RegexError::new(open, "repetition bound too large"));
+        }
+        Ok(Some(Quantifier::range(min, max)))
+    }
+
+    fn number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+    }
+
+    fn atom(&mut self, depth: usize) -> Result<Ast, RegexError> {
+        let start = self.pos;
+        match self.bump() {
+            None => Err(RegexError::new(start, "unexpected end of pattern")),
+            Some(b'(') => {
+                // Support non-capturing group syntax `(?:...)`.
+                if self.peek() == Some(b'?') {
+                    let save = self.pos;
+                    self.bump();
+                    if self.peek() == Some(b':') {
+                        self.bump();
+                    } else {
+                        self.pos = save;
+                    }
+                }
+                let inner = self.alternation(depth + 1)?;
+                if self.bump() != Some(b')') {
+                    return Err(RegexError::new(start, "unmatched '('"));
+                }
+                Ok(Ast::Group(Box::new(inner)))
+            }
+            Some(b')') => Err(RegexError::new(start, "unmatched ')'")),
+            Some(b'*') | Some(b'+') | Some(b'?') => {
+                Err(RegexError::new(start, "nothing to repeat"))
+            }
+            Some(b'[') => self.class(start),
+            Some(b'.') => Ok(Ast::Class(CharClass::dot())),
+            Some(b'^') => Ok(Ast::StartAnchor),
+            Some(b'$') => Ok(Ast::EndAnchor),
+            Some(b'\\') => self.escape(start),
+            Some(b) => Ok(Ast::Class(CharClass::single(b))),
+        }
+    }
+
+    fn escape(&mut self, start: usize) -> Result<Ast, RegexError> {
+        match self.bump() {
+            None => Err(RegexError::new(start, "trailing backslash")),
+            Some(b'd') => Ok(Ast::Class(CharClass::digit())),
+            Some(b'D') => {
+                let mut c = CharClass::digit();
+                c.negate();
+                Ok(Ast::Class(c))
+            }
+            Some(b'w') => Ok(Ast::Class(CharClass::word())),
+            Some(b'W') => {
+                let mut c = CharClass::word();
+                c.negate();
+                Ok(Ast::Class(c))
+            }
+            Some(b's') => Ok(Ast::Class(CharClass::space())),
+            Some(b'S') => {
+                let mut c = CharClass::space();
+                c.negate();
+                Ok(Ast::Class(c))
+            }
+            Some(b'b') => Ok(Ast::WordBoundary),
+            Some(b'B') => Ok(Ast::NotWordBoundary),
+            Some(b'n') => Ok(Ast::Class(CharClass::single(b'\n'))),
+            Some(b'r') => Ok(Ast::Class(CharClass::single(b'\r'))),
+            Some(b't') => Ok(Ast::Class(CharClass::single(b'\t'))),
+            Some(b'0') => Ok(Ast::Class(CharClass::single(0))),
+            Some(b'x') => {
+                let hi = self.hex_digit(start)?;
+                let lo = self.hex_digit(start)?;
+                Ok(Ast::Class(CharClass::single(hi * 16 + lo)))
+            }
+            // Any other escaped byte is a literal (covers \. \\ \/ \[ etc.)
+            Some(b) => Ok(Ast::Class(CharClass::single(b))),
+        }
+    }
+
+    fn hex_digit(&mut self, start: usize) -> Result<u8, RegexError> {
+        match self.bump() {
+            Some(b) if b.is_ascii_hexdigit() => Ok(match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                _ => b - b'A' + 10,
+            }),
+            _ => Err(RegexError::new(start, "invalid \\x escape")),
+        }
+    }
+
+    fn class(&mut self, start: usize) -> Result<Ast, RegexError> {
+        let mut class = CharClass::new();
+        let negated = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        // A leading ']' is a literal member.
+        let mut first = true;
+        loop {
+            let b = match self.bump() {
+                None => return Err(RegexError::new(start, "unterminated character class")),
+                Some(b']') if !first => break,
+                Some(b) => b,
+            };
+            first = false;
+            let lo = if b == b'\\' {
+                match self.class_escape(start)? {
+                    ClassItem::Byte(x) => x,
+                    ClassItem::Set(set) => {
+                        class.union(&set);
+                        continue;
+                    }
+                }
+            } else {
+                b
+            };
+            // Possible range `lo-hi`.
+            if self.peek() == Some(b'-')
+                && self.input.get(self.pos + 1).copied() != Some(b']')
+                && self.input.get(self.pos + 1).is_some()
+            {
+                self.bump(); // '-'
+                let nb = self.bump().expect("checked above");
+                let hi = if nb == b'\\' {
+                    match self.class_escape(start)? {
+                        ClassItem::Byte(x) => x,
+                        ClassItem::Set(_) => {
+                            return Err(RegexError::new(start, "invalid range in class"))
+                        }
+                    }
+                } else {
+                    nb
+                };
+                if hi < lo {
+                    return Err(RegexError::new(start, "invalid range in character class"));
+                }
+                class.push_range(lo, hi);
+            } else {
+                class.push_range(lo, lo);
+            }
+        }
+        if class.is_empty() {
+            return Err(RegexError::new(start, "empty character class"));
+        }
+        if negated {
+            class.negate();
+        }
+        Ok(Ast::Class(class))
+    }
+
+    fn class_escape(&mut self, start: usize) -> Result<ClassItem, RegexError> {
+        match self.bump() {
+            None => Err(RegexError::new(start, "unterminated character class")),
+            Some(b'd') => Ok(ClassItem::Set(CharClass::digit())),
+            Some(b'w') => Ok(ClassItem::Set(CharClass::word())),
+            Some(b's') => Ok(ClassItem::Set(CharClass::space())),
+            Some(b'n') => Ok(ClassItem::Byte(b'\n')),
+            Some(b'r') => Ok(ClassItem::Byte(b'\r')),
+            Some(b't') => Ok(ClassItem::Byte(b'\t')),
+            Some(b'x') => {
+                let hi = self.hex_digit(start)?;
+                let lo = self.hex_digit(start)?;
+                Ok(ClassItem::Byte(hi * 16 + lo))
+            }
+            Some(b) => Ok(ClassItem::Byte(b)),
+        }
+    }
+}
+
+enum ClassItem {
+    Byte(u8),
+    Set(CharClass),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(pattern: &str) -> Ast {
+        parse(pattern).unwrap_or_else(|e| panic!("pattern {pattern:?} failed: {e}"))
+    }
+
+    fn err(pattern: &str) -> RegexError {
+        parse(pattern).expect_err("expected parse failure")
+    }
+
+    #[test]
+    fn literal_concat() {
+        match ok("abc") {
+            Ast::Concat(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alternation_branches() {
+        match ok("a|b|c") {
+            Ast::Alternate(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_plus_question() {
+        for (pat, min, max) in [("a*", 0, None), ("a+", 1, None), ("a?", 0, Some(1))] {
+            match ok(pat) {
+                Ast::Repeat(_, q) => {
+                    assert_eq!(q.min, min);
+                    assert_eq!(q.max, max);
+                    assert!(q.greedy);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_quantifier() {
+        match ok("a*?") {
+            Ast::Repeat(_, q) => assert!(!q.greedy),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        match ok("a{2,5}") {
+            Ast::Repeat(_, q) => {
+                assert_eq!(q.min, 2);
+                assert_eq!(q.max, Some(5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_ended_repetition() {
+        match ok("a{3,}") {
+            Ast::Repeat(_, q) => {
+                assert_eq!(q.min, 3);
+                assert_eq!(q.max, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_repetition() {
+        match ok("a{4}") {
+            Ast::Repeat(_, q) => {
+                assert_eq!(q.min, 4);
+                assert_eq!(q.max, Some(4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn literal_open_brace_without_bound() {
+        // `a{x` — '{' not followed by digits is a literal.
+        let ast = ok("a{x}");
+        match ast {
+            Ast::Concat(parts) => assert_eq!(parts.len(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_with_range_and_escape() {
+        match ok(r"[A-Za-z0-9+/\-]") {
+            Ast::Class(c) => {
+                assert!(c.matches(b'M'));
+                assert!(c.matches(b'+'));
+                assert!(c.matches(b'-'));
+                assert!(!c.matches(b'!'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_class() {
+        match ok("[^0-9]") {
+            Ast::Class(c) => {
+                assert!(!c.matches(b'3'));
+                assert!(c.matches(b'a'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leading_close_bracket_is_literal() {
+        match ok("[]a]") {
+            Ast::Class(c) => {
+                assert!(c.matches(b']'));
+                assert!(c.matches(b'a'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn perl_shorthands_inside_class() {
+        match ok(r"[\d\s]") {
+            Ast::Class(c) => {
+                assert!(c.matches(b'7'));
+                assert!(c.matches(b' '));
+                assert!(!c.matches(b'x'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn anchors_and_word_boundary() {
+        assert_eq!(ok("^"), Ast::StartAnchor);
+        assert_eq!(ok("$"), Ast::EndAnchor);
+        assert_eq!(ok(r"\b"), Ast::WordBoundary);
+    }
+
+    #[test]
+    fn hex_escape() {
+        match ok(r"\x41") {
+            Ast::Class(c) => assert!(c.matches(b'A')),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_capturing_group() {
+        match ok("(?:ab)+") {
+            Ast::Repeat(inner, _) => assert!(matches!(*inner, Ast::Group(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_unmatched_paren() {
+        assert!(err("(ab").message.contains("unmatched '('"));
+        assert!(err("ab)").message.contains("unmatched ')'"));
+    }
+
+    #[test]
+    fn error_unterminated_class() {
+        assert!(err("[abc").message.contains("unterminated character class"));
+    }
+
+    #[test]
+    fn error_dangling_quantifier() {
+        assert!(err("*a").message.contains("nothing to repeat"));
+        assert!(err("a**").message.contains("nothing to repeat"));
+    }
+
+    #[test]
+    fn error_bad_range() {
+        assert!(err("[z-a]").message.contains("invalid range"));
+    }
+
+    #[test]
+    fn error_reversed_bounds() {
+        assert!(err("a{5,2}").message.contains("less than min"));
+    }
+
+    #[test]
+    fn error_huge_bound() {
+        assert!(err("a{1,99999}").message.contains("too large"));
+    }
+
+    #[test]
+    fn error_trailing_backslash() {
+        assert!(err("ab\\").message.contains("trailing backslash"));
+    }
+
+    #[test]
+    fn error_quantified_anchor() {
+        assert!(err("^*").message.contains("assertion"));
+    }
+
+    #[test]
+    fn error_position_is_reported() {
+        let e = err("ab[cd");
+        assert_eq!(e.position, 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the regex and Aho-Corasick engines.
+
+use proptest::prelude::*;
+use textmatch::{AhoCorasick, MatchKind, Regex};
+
+/// Escapes every regex metacharacter so a literal string becomes a pattern
+/// matching exactly itself.
+fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 2);
+    for c in s.chars() {
+        if "\\.+*?()|[]{}^$/".contains(c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Naive substring search used as an oracle for Aho-Corasick.
+fn naive_find_all(haystack: &[u8], needle: &[u8]) -> Vec<usize> {
+    if needle.is_empty() || needle.len() > haystack.len() {
+        return Vec::new();
+    }
+    (0..=haystack.len() - needle.len())
+        .filter(|&i| &haystack[i..i + needle.len()] == needle)
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn escaped_literal_matches_itself(s in "[ -~]{1,40}") {
+        let re = Regex::new(&escape_literal(&s)).expect("escaped literal must compile");
+        prop_assert!(re.is_match(s.as_bytes()));
+    }
+
+    #[test]
+    fn escaped_literal_found_inside_padding(
+        s in "[a-z]{1,20}",
+        pre in "[A-Z0-9]{0,20}",
+        post in "[A-Z0-9]{0,20}",
+    ) {
+        let re = Regex::new(&escape_literal(&s)).expect("compile");
+        let hay = format!("{pre}{s}{post}");
+        let m = re.find(hay.as_bytes()).expect("must match");
+        prop_assert_eq!(m.start, pre.len());
+        prop_assert_eq!(m.end, pre.len() + s.len());
+    }
+
+    #[test]
+    fn is_match_consistent_with_find(pattern in "[a-c]{1,4}", hay in "[a-d]{0,30}") {
+        let re = Regex::new(&pattern).expect("compile");
+        prop_assert_eq!(re.is_match(hay.as_bytes()), re.find(hay.as_bytes()).is_some());
+    }
+
+    #[test]
+    fn find_all_matches_are_non_overlapping_and_in_order(
+        hay in "[ab]{0,50}",
+    ) {
+        let re = Regex::new("a+b").expect("compile");
+        let all = re.find_all(hay.as_bytes());
+        for w in all.windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+        for m in &all {
+            prop_assert!(hay.as_bytes()[m.start] == b'a');
+            prop_assert!(hay.as_bytes()[m.end - 1] == b'b');
+        }
+    }
+
+    #[test]
+    fn char_class_agrees_with_membership(hay in "[ -~]{0,60}") {
+        let re = Regex::new("[A-Za-z0-9+/]").expect("compile");
+        let expected = hay.bytes().any(|b| b.is_ascii_alphanumeric() || b == b'+' || b == b'/');
+        prop_assert_eq!(re.is_match(hay.as_bytes()), expected);
+    }
+
+    #[test]
+    fn digit_shorthand_agrees(hay in "[ -~]{0,60}") {
+        let re = Regex::new(r"\d").expect("compile");
+        prop_assert_eq!(re.is_match(hay.as_bytes()), hay.bytes().any(|b| b.is_ascii_digit()));
+    }
+
+    #[test]
+    fn nocase_matches_any_casing(word in "[a-z]{1,12}", upper in any::<bool>()) {
+        let re = Regex::new_nocase(&word).expect("compile");
+        let hay = if upper { word.to_uppercase() } else { word.clone() };
+        prop_assert!(re.is_match(hay.as_bytes()));
+    }
+
+    #[test]
+    fn ac_agrees_with_naive_search(
+        needles in prop::collection::vec("[a-c]{1,5}", 1..5),
+        hay in "[a-c]{0,60}",
+    ) {
+        let ac = AhoCorasick::new(&needles, MatchKind::CaseSensitive);
+        let per = ac.find_per_pattern(hay.as_bytes());
+        for (i, needle) in needles.iter().enumerate() {
+            let expected = naive_find_all(hay.as_bytes(), needle.as_bytes());
+            prop_assert_eq!(&per[i], &expected, "pattern {}", needle);
+        }
+    }
+
+    #[test]
+    fn ac_is_match_agrees_with_find_all(
+        needles in prop::collection::vec("[a-b]{1,4}", 1..4),
+        hay in "[a-b]{0,40}",
+    ) {
+        let ac = AhoCorasick::new(&needles, MatchKind::CaseSensitive);
+        prop_assert_eq!(ac.is_match(hay.as_bytes()), !ac.find_all(hay.as_bytes()).is_empty());
+    }
+
+    #[test]
+    fn parser_never_panics(pattern in "[ -~]{0,30}") {
+        // Compiling arbitrary printable garbage must return Ok or Err,
+        // never panic.
+        let _ = Regex::new(&pattern);
+    }
+
+    #[test]
+    fn bounded_repeat_counts(n in 1usize..6) {
+        let re = Regex::new("a{3}").expect("compile");
+        let hay = "a".repeat(n);
+        prop_assert_eq!(re.is_match(hay.as_bytes()), n >= 3);
+    }
+}

@@ -1,0 +1,265 @@
+//! Semantic analysis: turns a parsed [`RuleSet`] into scanner-ready
+//! [`CompiledRules`].
+
+use std::collections::HashSet;
+
+use textmatch::Regex;
+
+use crate::ast::{Condition, Rule, RuleSet, StringDef, StringValue};
+use crate::error::CompileError;
+use crate::parser::parse;
+
+/// A fully validated, executable rule.
+#[derive(Debug, Clone)]
+pub struct CompiledRule {
+    /// The parsed rule (meta, strings, condition).
+    pub rule: Rule,
+    /// Compiled regexes, parallel to the regex entries in
+    /// `rule.strings` (`None` for text strings).
+    pub regexes: Vec<Option<Regex>>,
+}
+
+/// A compiled set of rules ready for [`crate::Scanner`].
+#[derive(Debug, Clone)]
+pub struct CompiledRules {
+    /// Rules in declaration order.
+    pub rules: Vec<CompiledRule>,
+}
+
+impl CompiledRules {
+    /// Number of compiled rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Returns true when no rules were compiled.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// Parses and semantically validates YARA `source`.
+///
+/// This is the "tool interface" the paper's alignment agent calls
+/// (Fig. 4): a successful compile means the rule can be deployed, a
+/// failure produces the error message the LLM uses to repair the rule.
+///
+/// # Errors
+///
+/// Beyond parse errors, detects:
+/// * `duplicated rule identifier "x"`;
+/// * `duplicated string identifier "$a"`;
+/// * `undefined string "$a"` referenced from a condition;
+/// * `unreferenced string "$a"` (yara treats this as an error too);
+/// * `invalid regular expression in string "$a": ...`.
+pub fn compile(source: &str) -> Result<CompiledRules, CompileError> {
+    let ruleset = parse(source)?;
+    compile_ruleset(&ruleset)
+}
+
+/// Compiles an already-parsed [`RuleSet`].
+///
+/// # Errors
+///
+/// Same semantic checks as [`compile`].
+pub fn compile_ruleset(ruleset: &RuleSet) -> Result<CompiledRules, CompileError> {
+    let mut names = HashSet::new();
+    let mut rules = Vec::with_capacity(ruleset.rules.len());
+    for rule in &ruleset.rules {
+        if !names.insert(rule.name.clone()) {
+            return Err(CompileError::global(format!(
+                "duplicated rule identifier \"{}\"",
+                rule.name
+            )));
+        }
+        rules.push(compile_rule(rule)?);
+    }
+    Ok(CompiledRules { rules })
+}
+
+fn compile_rule(rule: &Rule) -> Result<CompiledRule, CompileError> {
+    // Duplicate string identifiers.
+    let mut ids = HashSet::new();
+    for s in &rule.strings {
+        if !ids.insert(s.id.as_str()) {
+            return Err(CompileError::new(
+                s.line,
+                format!("duplicated string identifier \"${}\"", s.id),
+            ));
+        }
+        if let StringValue::Text { text, .. } = &s.value {
+            if text.is_empty() {
+                return Err(CompileError::new(
+                    s.line,
+                    format!("empty string \"${}\"", s.id),
+                ));
+            }
+        }
+    }
+    // Undefined references.
+    for id in rule.condition.referenced_ids() {
+        if !ids.contains(id) {
+            return Err(CompileError::new(
+                rule.line,
+                format!("undefined string \"${id}\""),
+            ));
+        }
+    }
+    // `of` over an empty strings section.
+    if uses_them(&rule.condition) && rule.strings.is_empty() {
+        return Err(CompileError::new(
+            rule.line,
+            "condition uses 'them' but the rule defines no strings",
+        ));
+    }
+    // Unreferenced strings (yara: "unreferenced string").
+    let referenced = referenced_set(&rule.condition, &rule.strings);
+    for s in &rule.strings {
+        if !referenced.contains(s.id.as_str()) {
+            return Err(CompileError::new(
+                s.line,
+                format!("unreferenced string \"${}\"", s.id),
+            ));
+        }
+    }
+    // Regex compilation.
+    let mut regexes = Vec::with_capacity(rule.strings.len());
+    for s in &rule.strings {
+        match &s.value {
+            StringValue::Regex { pattern, nocase } => {
+                let compiled = if *nocase {
+                    Regex::new_nocase(pattern)
+                } else {
+                    Regex::new(pattern)
+                }
+                .map_err(|e| {
+                    CompileError::new(
+                        s.line,
+                        format!("invalid regular expression in string \"${}\": {}", s.id, e),
+                    )
+                })?;
+                regexes.push(Some(compiled));
+            }
+            StringValue::Text { .. } => regexes.push(None),
+        }
+    }
+    Ok(CompiledRule {
+        rule: rule.clone(),
+        regexes,
+    })
+}
+
+fn uses_them(cond: &Condition) -> bool {
+    use crate::ast::StringSet;
+    match cond {
+        Condition::AllOf(StringSet::Them)
+        | Condition::AnyOf(StringSet::Them)
+        | Condition::NOf(_, StringSet::Them) => true,
+        Condition::And(parts) | Condition::Or(parts) => parts.iter().any(uses_them),
+        Condition::Not(inner) => uses_them(inner),
+        _ => false,
+    }
+}
+
+/// Which string ids are referenced anywhere in the condition, counting
+/// `them` / wildcard sets as referencing whatever they cover.
+fn referenced_set<'a>(cond: &'a Condition, strings: &'a [StringDef]) -> HashSet<&'a str> {
+    use crate::ast::StringSet;
+    let mut out: HashSet<&str> = cond.referenced_ids().into_iter().collect();
+    fn walk<'a>(cond: &'a Condition, strings: &'a [StringDef], out: &mut HashSet<&'a str>) {
+        match cond {
+            Condition::AllOf(set) | Condition::AnyOf(set) | Condition::NOf(_, set) => match set {
+                StringSet::Them => out.extend(strings.iter().map(|s| s.id.as_str())),
+                StringSet::Patterns(pats) => {
+                    for s in strings {
+                        if pats.iter().any(|p| p.matches(&s.id)) {
+                            out.insert(s.id.as_str());
+                        }
+                    }
+                }
+            },
+            Condition::And(parts) | Condition::Or(parts) => {
+                for p in parts {
+                    walk(p, strings, out);
+                }
+            }
+            Condition::Not(inner) => walk(inner, strings, out),
+            _ => {}
+        }
+    }
+    walk(cond, strings, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_valid_rule() {
+        let rules = compile(
+            "rule r { strings: $a = \"x\" $b = /y+/ condition: $a or $b }",
+        )
+        .expect("compile");
+        assert_eq!(rules.len(), 1);
+        assert!(rules.rules[0].regexes[0].is_none());
+        assert!(rules.rules[0].regexes[1].is_some());
+    }
+
+    #[test]
+    fn undefined_string_detected() {
+        let e = compile("rule r { strings: $a = \"x\" condition: $a and $missing }")
+            .unwrap_err();
+        assert!(e.to_string().contains("undefined string \"$missing\""), "{e}");
+    }
+
+    #[test]
+    fn duplicated_string_id_detected() {
+        let e = compile("rule r { strings: $a = \"x\" $a = \"y\" condition: all of them }")
+            .unwrap_err();
+        assert!(e.to_string().contains("duplicated string identifier \"$a\""), "{e}");
+    }
+
+    #[test]
+    fn duplicated_rule_name_detected() {
+        let e = compile("rule r { condition: true } rule r { condition: false }").unwrap_err();
+        assert!(e.to_string().contains("duplicated rule identifier \"r\""), "{e}");
+    }
+
+    #[test]
+    fn unreferenced_string_detected() {
+        let e = compile("rule r { strings: $a = \"x\" $b = \"y\" condition: $a }").unwrap_err();
+        assert!(e.to_string().contains("unreferenced string \"$b\""), "{e}");
+    }
+
+    #[test]
+    fn wildcard_set_references_strings() {
+        let src = "rule r { strings: $u1 = \"a\" $u2 = \"b\" condition: any of ($u*) }";
+        assert!(compile(src).is_ok());
+    }
+
+    #[test]
+    fn them_references_everything() {
+        let src = "rule r { strings: $a = \"x\" $b = \"y\" condition: any of them }";
+        assert!(compile(src).is_ok());
+    }
+
+    #[test]
+    fn bad_regex_reported_with_string_id() {
+        let e = compile("rule r { strings: $re = /[unclosed/ condition: $re }").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("invalid regular expression in string \"$re\""), "{msg}");
+    }
+
+    #[test]
+    fn empty_text_string_rejected() {
+        let e = compile("rule r { strings: $a = \"\" condition: $a }").unwrap_err();
+        assert!(e.to_string().contains("empty string \"$a\""), "{e}");
+    }
+
+    #[test]
+    fn count_reference_checked() {
+        let e = compile("rule r { strings: $a = \"x\" condition: $a and #b > 1 }").unwrap_err();
+        assert!(e.to_string().contains("undefined string \"$b\""), "{e}");
+    }
+}

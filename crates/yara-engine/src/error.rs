@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+/// A YARA compilation error with a yara-style message.
+///
+/// The alignment agent of the paper (§IV-C, Table V) feeds these messages
+/// back to the LLM, so the text mirrors real `yarac` phrasing:
+/// `line 3: undefined string "$a"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based line in the rule source, 0 when not line-specific.
+    pub line: usize,
+    /// yara-style description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error pinned to `line`.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        CompileError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error not attributable to a specific line.
+    pub fn global(message: impl Into<String>) -> Self {
+        CompileError {
+            line: 0,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "error: {}", self.message)
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_error_format() {
+        let e = CompileError::new(4, "undefined string \"$a\"");
+        assert_eq!(e.to_string(), "line 4: undefined string \"$a\"");
+    }
+
+    #[test]
+    fn global_error_format() {
+        let e = CompileError::global("duplicated rule identifier \"x\"");
+        assert_eq!(e.to_string(), "error: duplicated rule identifier \"x\"");
+    }
+}

@@ -1,0 +1,377 @@
+//! YARA rule tokenizer.
+
+use crate::error::CompileError;
+
+/// Kinds of YARA tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A bare identifier or keyword (`rule`, `meta`, names...).
+    Ident(String),
+    /// `$name` string identifier; `$` alone has an empty name.
+    StringId(String),
+    /// `#name` count identifier.
+    CountId(String),
+    /// Double-quoted text string, unescaped.
+    Text(String),
+    /// `/pattern/flags` regex literal.
+    Regex {
+        /// Pattern body between the slashes.
+        pattern: String,
+        /// `true` when the `i` flag was present.
+        nocase: bool,
+    },
+    /// Decimal integer literal (supports `KB`/`MB` suffixes).
+    Int(i64),
+    /// One punctuation glyph or operator.
+    Punct(String),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Tokenizes YARA `source`.
+///
+/// # Errors
+///
+/// * `unterminated string` — a `"` literal that hits end of line/input;
+/// * `unterminated regular expression` — a `/` literal that never closes;
+/// * `file encoding must be UTF-8 without BOM` — leading U+FEFF (the
+///   paper's Table V instruction 6 covers exactly this failure).
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    if source.starts_with('\u{FEFF}') {
+        return Err(CompileError::new(1, "file encoding must be UTF-8 without BOM"));
+    }
+    let bytes = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b'\n' => {
+                line += 1;
+                pos += 1;
+            }
+            b' ' | b'\t' | b'\r' => pos += 1,
+            b'/' if bytes.get(pos + 1) == Some(&b'/') => {
+                // Line comment.
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'/' if bytes.get(pos + 1) == Some(&b'*') => {
+                // Block comment.
+                pos += 2;
+                while pos + 1 < bytes.len() && !(bytes[pos] == b'*' && bytes[pos + 1] == b'/') {
+                    if bytes[pos] == b'\n' {
+                        line += 1;
+                    }
+                    pos += 1;
+                }
+                pos = (pos + 2).min(bytes.len());
+            }
+            b'/' => {
+                // Regex literal. Only valid where a string value or
+                // condition operand may start; the parser validates
+                // context, the lexer just scans it.
+                let start_line = line;
+                pos += 1;
+                let mut pattern = String::new();
+                let mut closed = false;
+                while pos < bytes.len() {
+                    match bytes[pos] {
+                        b'\\' if pos + 1 < bytes.len() => {
+                            // Escapes pass through to the regex engine,
+                            // except an escaped slash which is a literal /.
+                            if bytes[pos + 1] == b'/' {
+                                pattern.push('/');
+                            } else {
+                                pattern.push('\\');
+                                pattern.push(bytes[pos + 1] as char);
+                            }
+                            pos += 2;
+                        }
+                        b'/' => {
+                            pos += 1;
+                            closed = true;
+                            break;
+                        }
+                        b'\n' => break,
+                        other => {
+                            pattern.push(other as char);
+                            pos += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    return Err(CompileError::new(
+                        start_line,
+                        "unterminated regular expression",
+                    ));
+                }
+                let mut nocase = false;
+                while pos < bytes.len() && (bytes[pos] == b'i' || bytes[pos] == b's') {
+                    if bytes[pos] == b'i' {
+                        nocase = true;
+                    }
+                    pos += 1;
+                }
+                toks.push(Token {
+                    kind: TokenKind::Regex { pattern, nocase },
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let start_line = line;
+                pos += 1;
+                let mut text = String::new();
+                let mut closed = false;
+                while pos < bytes.len() {
+                    match bytes[pos] {
+                        b'"' => {
+                            pos += 1;
+                            closed = true;
+                            break;
+                        }
+                        b'\n' => break,
+                        b'\\' if pos + 1 < bytes.len() => {
+                            match bytes[pos + 1] {
+                                b'n' => text.push('\n'),
+                                b't' => text.push('\t'),
+                                b'r' => text.push('\r'),
+                                b'"' => text.push('"'),
+                                b'\\' => text.push('\\'),
+                                b'x' => {
+                                    let h1 = bytes.get(pos + 2).copied();
+                                    let h2 = bytes.get(pos + 3).copied();
+                                    match (h1.and_then(hexval), h2.and_then(hexval)) {
+                                        (Some(a), Some(b)) => {
+                                            text.push(((a << 4) | b) as char);
+                                            pos += 2;
+                                        }
+                                        _ => {
+                                            return Err(CompileError::new(
+                                                line,
+                                                "invalid \\x escape in string",
+                                            ))
+                                        }
+                                    }
+                                }
+                                other => {
+                                    text.push('\\');
+                                    text.push(other as char);
+                                }
+                            }
+                            pos += 2;
+                        }
+                        other => {
+                            text.push(other as char);
+                            pos += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    return Err(CompileError::new(start_line, "unterminated string"));
+                }
+                toks.push(Token {
+                    kind: TokenKind::Text(text),
+                    line: start_line,
+                });
+            }
+            b'$' | b'#' => {
+                let sigil = b;
+                pos += 1;
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                let name = String::from_utf8_lossy(&bytes[start..pos]).into_owned();
+                let kind = if sigil == b'$' {
+                    TokenKind::StringId(name)
+                } else {
+                    TokenKind::CountId(name)
+                };
+                toks.push(Token { kind, line });
+            }
+            b'0'..=b'9' => {
+                let start = pos;
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                let mut value: i64 = std::str::from_utf8(&bytes[start..pos])
+                    .expect("digits are utf8")
+                    .parse()
+                    .map_err(|_| CompileError::new(line, "integer literal too large"))?;
+                // KB / MB suffixes.
+                if bytes[pos..].starts_with(b"KB") {
+                    value = value.saturating_mul(1024);
+                    pos += 2;
+                } else if bytes[pos..].starts_with(b"MB") {
+                    value = value.saturating_mul(1024 * 1024);
+                    pos += 2;
+                }
+                toks.push(Token {
+                    kind: TokenKind::Int(value),
+                    line,
+                });
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                toks.push(Token {
+                    kind: TokenKind::Ident(
+                        String::from_utf8_lossy(&bytes[start..pos]).into_owned(),
+                    ),
+                    line,
+                });
+            }
+            _ => {
+                // Multi-char comparison operators.
+                let two: &[u8] = &bytes[pos..(pos + 2).min(bytes.len())];
+                let glyph = match two {
+                    b">=" | b"<=" | b"==" | b"!=" => {
+                        pos += 2;
+                        String::from_utf8_lossy(two).into_owned()
+                    }
+                    _ => {
+                        pos += 1;
+                        (b as char).to_string()
+                    }
+                };
+                toks.push(Token {
+                    kind: TokenKind::Punct(glyph),
+                    line,
+                });
+            }
+        }
+    }
+    toks.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(toks)
+}
+
+fn hexval(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .expect("lex ok")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn basic_rule_shape() {
+        let k = kinds("rule test { condition: true }");
+        assert_eq!(k[0], TokenKind::Ident("rule".into()));
+        assert_eq!(k[1], TokenKind::Ident("test".into()));
+        assert_eq!(k[2], TokenKind::Punct("{".into()));
+    }
+
+    #[test]
+    fn string_identifier() {
+        let k = kinds("$a = \"x\"");
+        assert_eq!(k[0], TokenKind::StringId("a".into()));
+        assert_eq!(k[2], TokenKind::Text("x".into()));
+    }
+
+    #[test]
+    fn count_identifier() {
+        let k = kinds("#payload > 2");
+        assert_eq!(k[0], TokenKind::CountId("payload".into()));
+        assert_eq!(k[1], TokenKind::Punct(">".into()));
+        assert_eq!(k[2], TokenKind::Int(2));
+    }
+
+    #[test]
+    fn text_escapes() {
+        let k = kinds(r#""a\nb\"c\\d\x41""#);
+        assert_eq!(k[0], TokenKind::Text("a\nb\"c\\dA".into()));
+    }
+
+    #[test]
+    fn regex_literal_with_flag() {
+        let k = kinds(r"/https?:\/\/[a-z]+/i");
+        match &k[0] {
+            TokenKind::Regex { pattern, nocase } => {
+                assert_eq!(pattern, "https?://[a-z]+");
+                assert!(nocase);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("rule a // comment\n/* block\ncomment */ { }");
+        assert_eq!(k.len(), 5); // rule a { } EOF
+    }
+
+    #[test]
+    fn size_suffixes() {
+        let k = kinds("filesize < 10KB");
+        assert!(k.contains(&TokenKind::Int(10 * 1024)));
+    }
+
+    #[test]
+    fn unterminated_string_error() {
+        let e = lex("$a = \"oops\n").unwrap_err();
+        assert_eq!(e.to_string(), "line 1: unterminated string");
+    }
+
+    #[test]
+    fn unterminated_regex_error() {
+        let e = lex("$a = /oops\n").unwrap_err();
+        assert!(e.to_string().contains("unterminated regular expression"));
+    }
+
+    #[test]
+    fn bom_rejected() {
+        let e = lex("\u{FEFF}rule x { condition: true }").unwrap_err();
+        assert!(e.to_string().contains("BOM"));
+    }
+
+    #[test]
+    fn line_numbers() {
+        let toks = lex("rule x\n{\n  condition:\n  true\n}").expect("lex");
+        let cond = toks
+            .iter()
+            .find(|t| matches!(&t.kind, TokenKind::Ident(i) if i == "condition"))
+            .expect("condition token");
+        assert_eq!(cond.line, 3);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let k = kinds("#a >= 2 and #b != 3");
+        assert!(k.contains(&TokenKind::Punct(">=".into())));
+        assert!(k.contains(&TokenKind::Punct("!=".into())));
+    }
+}

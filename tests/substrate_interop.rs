@@ -1,0 +1,145 @@
+//! Integration tests for substrate interoperability: the package model,
+//! extraction, LLM simulation, and both rule engines working as one
+//! system.
+
+use corpus::{generate_malware_package, FAMILIES};
+use llm_sim::{LlmSim, ModelProfile, Prompt, RuleFormat};
+use oss_registry::{Archive, Package};
+use rulellm::align_rule;
+
+fn sample_malware() -> Package {
+    let family = FAMILIES
+        .iter()
+        .find(|f| f.stem == "beaconlite")
+        .expect("family");
+    generate_malware_package(family, 0, 1234).0
+}
+
+#[test]
+fn archive_roundtrip_preserves_detection_surface() {
+    let pkg = sample_malware();
+    let bytes = pkg.pack().to_bytes();
+    let back = Package::unpack(&Archive::from_bytes(&bytes).expect("decode")).expect("unpack");
+    // The code content (the detection surface) survives distribution.
+    assert_eq!(pkg.combined_source(), back.combined_source());
+    assert_eq!(pkg.metadata().name, back.metadata().name);
+}
+
+#[test]
+fn extraction_finds_the_malicious_unit() {
+    let pkg = sample_malware();
+    let groups = rulellm::extract_knowledge(&[&pkg], Some(1));
+    let e = &groups.packages[0];
+    assert!(!e.units.is_empty());
+    // The audit must rank a truly suspicious unit first.
+    let ranked = e.ranked_units();
+    let top = &e.units[ranked[0]];
+    assert!(e.unit_scores[ranked[0]] > 0, "no suspicious unit found");
+    assert!(
+        top.code.contains("requests.get") || top.code.contains("os.system"),
+        "{}",
+        top.code
+    );
+}
+
+#[test]
+fn craft_refine_align_chain_produces_deployable_rule() {
+    let pkg = sample_malware();
+    let groups = rulellm::extract_knowledge(&[&pkg], Some(1));
+    let e = &groups.packages[0];
+    let ranked = e.ranked_units();
+    let unit = e.units[ranked[0]].code.clone();
+
+    let mut llm = LlmSim::new(ModelProfile::gpt4o(), 99);
+    let reply = llm.complete(&Prompt::craft(RuleFormat::Yara, &[unit], None));
+    let (analysis, rule) = llm_sim::split_reply(&reply);
+    assert!(!rule.is_empty());
+
+    let refined_reply = llm.complete(&Prompt::refine(RuleFormat::Yara, &analysis, &rule));
+    let (_, refined) = llm_sim::split_reply(&refined_reply);
+
+    let outcome = align_rule(&mut llm, RuleFormat::Yara, &analysis, refined, 5);
+    let final_rule = outcome.rule.expect("alignment must converge for GPT-4o");
+    let compiled = yara_engine::compile(&final_rule).expect("deployable");
+    let scanner = yara_engine::Scanner::new(&compiled);
+    assert!(scanner.is_match(pkg.combined_source().as_bytes()));
+}
+
+#[test]
+fn semgrep_rules_from_pipeline_match_via_ast_not_text() {
+    let pkg = sample_malware();
+    let mut pipeline = rulellm::Pipeline::new(rulellm::PipelineConfig::full());
+    let output = pipeline.run(&[&pkg]);
+    let Some(rule) = output.semgrep.first() else {
+        panic!("no semgrep rule generated");
+    };
+    let compiled = semgrep_engine::compile(&rule.text).expect("compiles");
+    // Formatting changes must not break structural matching.
+    let reformatted = pkg
+        .combined_source()
+        .replace("os.system(", "os.system( ")
+        .replace("requests.get(", "requests.get(  ");
+    let findings = semgrep_engine::scan_source(&compiled, &reformatted);
+    assert!(!findings.is_empty(), "{}", rule.text);
+}
+
+#[test]
+fn score_baseline_rules_run_on_the_same_scanner() {
+    let family = FAMILIES.iter().find(|f| f.stem == "credharv").expect("family");
+    let a = generate_malware_package(family, 0, 5).0;
+    let b = generate_malware_package(family, 1, 5).0;
+    let legit = corpus::generate_legit_package(0, 5);
+    let rules = baselines::scored::generate_rules(&[&a, &b], &[&legit], 5);
+    assert!(!rules.is_empty());
+    let compiled = yara_engine::compile(&rules.join("\n")).expect("compiles");
+    let scanner = yara_engine::Scanner::new(&compiled);
+    assert!(scanner.is_match(a.combined_source().as_bytes()));
+}
+
+#[test]
+fn scanner_corpora_interoperate_with_corpus_packages() {
+    let compiled =
+        yara_engine::compile(&baselines::scanners::yara_corpus()).expect("corpus compiles");
+    let scanner = yara_engine::Scanner::new(&compiled);
+    // The b64 dropper family is exactly what the OSS subset targets.
+    let family = FAMILIES.iter().find(|f| f.stem == "execb64").expect("family");
+    let pkg = generate_malware_package(family, 0, 6).0;
+    let hits = scanner.scan(pkg.combined_source().as_bytes());
+    assert!(
+        hits.iter().any(|h| h.rule.starts_with("oss_")),
+        "OSS rules must catch the dropper: {hits:?}"
+    );
+}
+
+#[test]
+fn weak_model_rules_are_recovered_by_alignment() {
+    let pkg = sample_malware();
+    let groups = rulellm::extract_knowledge(&[&pkg], Some(1));
+    let unit = groups.packages[0].units[groups.packages[0].ranked_units()[0]]
+        .code
+        .clone();
+    // Llama's 40% syntax-error rate: over several seeds, alignment must
+    // save at least one rule that failed to compile initially.
+    let mut saved = 0;
+    for seed in 0..10 {
+        let mut llm = LlmSim::new(ModelProfile::llama31(), seed);
+        let reply = llm.complete(&Prompt::craft(RuleFormat::Yara, &[unit.clone()], None));
+        let (analysis, rule) = llm_sim::split_reply(&reply);
+        if yara_engine::compile(&rule).is_ok() {
+            continue;
+        }
+        let outcome = align_rule(&mut llm, RuleFormat::Yara, &analysis, rule, 5);
+        if outcome.rule.is_some() {
+            saved += 1;
+        }
+    }
+    assert!(saved >= 1, "alignment never recovered a broken rule");
+}
+
+#[test]
+fn metadata_extraction_paths_agree_for_corpus_packages() {
+    let pkg = sample_malware();
+    let (meta, _source) = oss_registry::extract_metadata(&pkg);
+    assert_eq!(meta.name, pkg.metadata().name);
+    assert_eq!(meta.version, pkg.metadata().version);
+}
