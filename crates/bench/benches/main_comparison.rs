@@ -38,8 +38,7 @@ fn bench_main(c: &mut Criterion) {
         .into_iter()
         .map(|m| &m.package)
         .collect();
-    let legit: Vec<&oss_registry::Package> =
-        ctx.dataset.legit.iter().map(|l| &l.package).collect();
+    let legit: Vec<&oss_registry::Package> = ctx.dataset.legit.iter().map(|l| &l.package).collect();
     g.bench_function("score_based_generation", |b| {
         b.iter(|| baselines::scored::generate_rules(black_box(&unique), black_box(&legit), 42))
     });
@@ -57,8 +56,7 @@ fn bench_main(c: &mut Criterion) {
     let names: Vec<String> = yara.rules.iter().map(|r| r.rule.name.clone()).collect();
     g.bench_function("fig7_9_per_rule_stats", |b| {
         b.iter(|| {
-            let stats =
-                per_rule_stats(black_box(&names), &matches, &ctx.targets, RuleFormat::Yara);
+            let stats = per_rule_stats(black_box(&names), &matches, &ctx.targets, RuleFormat::Yara);
             let hist = experiments::precision_histogram(&stats);
             let cdf = experiments::coverage_cdf(&stats);
             (hist, cdf)

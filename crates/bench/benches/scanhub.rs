@@ -1,0 +1,121 @@
+//! Scanhub throughput bench: the streaming service (prefilter + cache +
+//! worker pool) against the seed's exhaustive scan loop, on the same
+//! tiny-corpus targets and the same generated ruleset.
+//!
+//! The acceptance bar for the scanhub PR: the prefilter/cache path must
+//! not be slower than exhaustive scanning on the tiny corpus, and should
+//! pull ahead as duplicate traffic (`rescan` arms) and clean traffic
+//! (prefilter skips) grow.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use corpus::CorpusConfig;
+use eval::experiments::{compile_output, run_rulellm, ExperimentContext};
+use eval::scan::ScanTarget;
+use rulellm::PipelineConfig;
+use scanhub::{HubConfig, ScanHub, ScanRequest};
+use semgrep_engine::CompiledSemgrepRules;
+use yara_engine::CompiledRules;
+
+/// The seed's scan loop: every rule against every package, one thread,
+/// no routing, no cache — the pre-scanhub cost model.
+fn exhaustive_scan(
+    yara: &CompiledRules,
+    semgrep: &CompiledSemgrepRules,
+    targets: &[ScanTarget],
+) -> usize {
+    let scanner = yara_engine::Scanner::new(yara);
+    let mut flagged = 0;
+    for t in targets {
+        let mut hits = scanner.scan(&t.buffer).len();
+        for src in &t.sources {
+            let module = pysrc::parse_module(src);
+            hits += semgrep_engine::scan_module(semgrep, &module).len();
+        }
+        if hits > 0 {
+            flagged += 1;
+        }
+    }
+    flagged
+}
+
+fn requests(targets: &[ScanTarget]) -> Vec<ScanRequest> {
+    targets
+        .iter()
+        .map(|t| ScanRequest::new(t.buffer.clone(), t.sources.clone()))
+        .collect()
+}
+
+fn bench_scanhub(c: &mut Criterion) {
+    let ctx = ExperimentContext::new(&CorpusConfig::tiny());
+    let output = run_rulellm(&ctx.dataset, PipelineConfig::full());
+    let (yara, semgrep) = compile_output(&output);
+    let bytes: u64 = ctx.targets.iter().map(|t| t.buffer.len() as u64).sum();
+
+    let mut g = c.benchmark_group("scanhub_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes));
+
+    g.bench_function("seed_exhaustive_single_thread", |b| {
+        b.iter(|| exhaustive_scan(&yara, &semgrep, black_box(&ctx.targets)))
+    });
+
+    g.bench_function("scanhub_cold_per_batch", |b| {
+        // Worst case for the service: hub construction (prefilter index
+        // included) is paid inside the measured region, cache starts
+        // empty.
+        b.iter(|| {
+            let hub = ScanHub::new(
+                Some(yara.clone()),
+                Some(semgrep.clone()),
+                HubConfig {
+                    cache_capacity: 0,
+                    ..HubConfig::default()
+                },
+            );
+            hub.scan_ordered(requests(black_box(&ctx.targets))).len()
+        })
+    });
+
+    let warm = ScanHub::new(
+        Some(yara.clone()),
+        Some(semgrep.clone()),
+        HubConfig::default(),
+    );
+    g.bench_function("scanhub_warm_service", |b| {
+        // Steady state: long-lived service, verdict cache populated by
+        // earlier traffic (registry re-uploads).
+        b.iter(|| warm.scan_ordered(requests(black_box(&ctx.targets))).len())
+    });
+
+    let nofilter = ScanHub::new(
+        Some(yara.clone()),
+        Some(semgrep.clone()),
+        HubConfig {
+            prefilter: false,
+            cache_capacity: 0,
+            ..HubConfig::default()
+        },
+    );
+    g.bench_function("scanhub_no_prefilter_no_cache", |b| {
+        // Ablation: worker pool only.
+        b.iter(|| {
+            nofilter
+                .scan_ordered(requests(black_box(&ctx.targets)))
+                .len()
+        })
+    });
+    g.finish();
+
+    let stats = warm.stats();
+    println!(
+        "warm service counters: {} submitted, cache hit rate {:.1}%, prefilter skip rate {:.1}%",
+        stats.submitted,
+        stats.cache_hit_rate() * 100.0,
+        stats.prefilter_skip_rate() * 100.0,
+    );
+}
+
+criterion_group!(benches, bench_scanhub);
+criterion_main!(benches);

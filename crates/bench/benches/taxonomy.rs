@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use corpus::CorpusConfig;
-use eval::experiments::{run_rulellm, table11, table12, fig11, ExperimentContext};
+use eval::experiments::{fig11, run_rulellm, table11, table12, ExperimentContext};
 use rulellm::PipelineConfig;
 
 fn bench_taxonomy(c: &mut Criterion) {

@@ -3,9 +3,7 @@
 //! Usage: `repro [--scale tiny|small|paper] [--only <experiment>]`
 
 use corpus::Dataset;
-use eval::experiments::{
-    self, ExperimentContext,
-};
+use eval::experiments::{self, ExperimentContext};
 use eval::report;
 use llm_sim::RuleFormat;
 use rulellm::PipelineConfig;
@@ -39,59 +37,90 @@ fn main() {
     }
 
     // The full-RuleLLM run feeds Tables VIII/XI/XII and Figures 5-11.
-    let needs_pipeline = ["table8", "table11", "table12", "fig5", "fig6", "fig7", "fig8",
-        "fig9", "fig10", "fig11"]
-        .iter()
-        .any(|e| want(e));
+    let needs_pipeline = [
+        "table8", "table11", "table12", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    ]
+    .iter()
+    .any(|e| want(e));
     if needs_pipeline {
         eprintln!("[repro] running RuleLLM pipeline + baselines ...");
         let output = experiments::run_rulellm(&ctx.dataset, PipelineConfig::full());
         let (rows, matches) = experiments::table8(&ctx);
         if want("table8") {
-            println!("{}", report::render_metrics_table("Table VIII: main comparison", &rows));
+            println!(
+                "{}",
+                report::render_metrics_table("Table VIII: main comparison", &rows)
+            );
         }
         if want("table11") {
-            println!("{}", report::render_rule_counts(&experiments::table11(&output)));
+            println!(
+                "{}",
+                report::render_rule_counts(&experiments::table11(&output))
+            );
         }
         if want("fig5") {
             let curve = experiments::matched_curve(&matches, &ctx.targets, RuleFormat::Yara, 4);
-            println!("{}", report::render_matched_curve("Fig 5: YARA matched-rule curve", &curve));
+            println!(
+                "{}",
+                report::render_matched_curve("Fig 5: YARA matched-rule curve", &curve)
+            );
         }
         if want("fig6") {
-            let curve =
-                experiments::matched_curve(&matches, &ctx.targets, RuleFormat::Semgrep, 12);
-            println!("{}", report::render_matched_curve("Fig 6: Semgrep matched-rule curve", &curve));
+            let curve = experiments::matched_curve(&matches, &ctx.targets, RuleFormat::Semgrep, 12);
+            println!(
+                "{}",
+                report::render_matched_curve("Fig 6: Semgrep matched-rule curve", &curve)
+            );
         }
         let (yara, semgrep) = experiments::compile_output(&output);
         let yara_names: Vec<String> = yara.rules.iter().map(|r| r.rule.name.clone()).collect();
         let semgrep_ids: Vec<String> = semgrep.rules.iter().map(|r| r.id.clone()).collect();
         let yara_stats =
             experiments::per_rule_stats(&yara_names, &matches, &ctx.targets, RuleFormat::Yara);
-        let semgrep_stats = experiments::per_rule_stats(
-            &semgrep_ids,
-            &matches,
-            &ctx.targets,
-            RuleFormat::Semgrep,
-        );
+        let semgrep_stats =
+            experiments::per_rule_stats(&semgrep_ids, &matches, &ctx.targets, RuleFormat::Semgrep);
         if want("fig7") {
             let (bins, unmatched) = experiments::precision_histogram(&yara_stats);
-            println!("{}", report::render_precision_histogram("Fig 7: YARA per-rule precision", &bins, unmatched));
+            println!(
+                "{}",
+                report::render_precision_histogram(
+                    "Fig 7: YARA per-rule precision",
+                    &bins,
+                    unmatched
+                )
+            );
         }
         if want("fig8") {
             let (bins, unmatched) = experiments::precision_histogram(&semgrep_stats);
-            println!("{}", report::render_precision_histogram("Fig 8: Semgrep per-rule precision", &bins, unmatched));
+            println!(
+                "{}",
+                report::render_precision_histogram(
+                    "Fig 8: Semgrep per-rule precision",
+                    &bins,
+                    unmatched
+                )
+            );
         }
         if want("fig9") {
             let (counts, cdf) = experiments::coverage_cdf(&yara_stats);
-            println!("{}", report::render_coverage_cdf("Fig 9: YARA rule coverage CDF", &counts, &cdf));
+            println!(
+                "{}",
+                report::render_coverage_cdf("Fig 9: YARA rule coverage CDF", &counts, &cdf)
+            );
             println!("{}", report::render_top_rules(&yara_stats, 5));
         }
         if want("fig10") {
             let (counts, cdf) = experiments::coverage_cdf(&semgrep_stats);
-            println!("{}", report::render_coverage_cdf("Fig 10: Semgrep rule coverage CDF", &counts, &cdf));
+            println!(
+                "{}",
+                report::render_coverage_cdf("Fig 10: Semgrep rule coverage CDF", &counts, &cdf)
+            );
         }
         if want("table12") {
-            println!("{}", report::render_taxonomy(&experiments::table12(&output)));
+            println!(
+                "{}",
+                report::render_taxonomy(&experiments::table12(&output))
+            );
         }
         if want("fig11") {
             println!("{}", report::render_overlap(&experiments::fig11(&output)));
@@ -101,19 +130,28 @@ fn main() {
     if want("table9") {
         eprintln!("[repro] LLM sweep (Table IX) ...");
         let rows = experiments::table9(&ctx);
-        println!("{}", report::render_metrics_table("Table IX: rules by LLM", &rows));
+        println!(
+            "{}",
+            report::render_metrics_table("Table IX: rules by LLM", &rows)
+        );
     }
 
     if want("table10") {
         eprintln!("[repro] ablation (Table X) ...");
         let rows = experiments::table10(&ctx);
-        println!("{}", report::render_metrics_table("Table X: ablation", &rows));
+        println!(
+            "{}",
+            report::render_metrics_table("Table X: ablation", &rows)
+        );
     }
 
     if want("rag") {
         eprintln!("[repro] RAG extension ablation (§VI) ...");
         let rows = experiments::rag_ablation(&ctx);
-        println!("{}", report::render_metrics_table("RAG extension (§VI)", &rows));
+        println!(
+            "{}",
+            report::render_metrics_table("RAG extension (§VI)", &rows)
+        );
     }
 
     if want("variants") {

@@ -174,7 +174,7 @@ impl KMeans {
         let mut remap = vec![usize::MAX; centroids.len()];
         let mut kept = Vec::new();
         for (ci, c) in centroids.into_iter().enumerate() {
-            if labels.iter().any(|&l| l == ci) {
+            if labels.contains(&ci) {
                 remap[ci] = kept.len();
                 kept.push(c);
             }
@@ -363,7 +363,10 @@ mod tests {
     #[test]
     fn dimension_mismatch_is_error() {
         let pts = vec![vec![1.0], vec![1.0, 2.0]];
-        assert_eq!(KMeans::new(1).fit(&pts), Err(ClusterError::DimensionMismatch));
+        assert_eq!(
+            KMeans::new(1).fit(&pts),
+            Err(ClusterError::DimensionMismatch)
+        );
     }
 
     #[test]

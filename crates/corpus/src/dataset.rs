@@ -113,9 +113,7 @@ impl Dataset {
         let mut uniques: Vec<LabeledMalware> = Vec::with_capacity(config.malware_unique);
         let mut counts: Vec<usize> = FAMILIES
             .iter()
-            .map(|f| {
-                (((f.weight as f64) / tw) * config.malware_unique as f64).round() as usize
-            })
+            .map(|f| (((f.weight as f64) / tw) * config.malware_unique as f64).round() as usize)
             .map(|c| c.max(1))
             .collect();
         // Remove rounding drift while keeping at least one package per
@@ -142,8 +140,7 @@ impl Dataset {
 
         for (family, count) in FAMILIES.iter().zip(&counts) {
             for variant in 0..*count {
-                let (package, tags) =
-                    generate_malware_package(family, variant as u64, config.seed);
+                let (package, tags) = generate_malware_package(family, variant as u64, config.seed);
                 uniques.push(LabeledMalware {
                     package,
                     family_id: family.id,
@@ -242,7 +239,10 @@ mod tests {
         for (i, m) in d.malware.iter().enumerate() {
             by_sig.entry(m.package.signature()).or_default().push(i);
         }
-        let dup_group = by_sig.values().find(|v| v.len() > 1).expect("duplicates exist");
+        let dup_group = by_sig
+            .values()
+            .find(|v| v.len() > 1)
+            .expect("duplicates exist");
         let first = &d.malware[dup_group[0]];
         let second = &d.malware[dup_group[1]];
         assert_eq!(
@@ -267,8 +267,10 @@ mod tests {
         assert_eq!(s.malware_unique, 30);
         assert_eq!(s.legit_total, 8);
         assert!(s.malware_avg_loc > 100.0);
-        assert!(s.legit_avg_loc > s.malware_avg_loc,
-            "legit packages must be larger on average (Table VI)");
+        assert!(
+            s.legit_avg_loc > s.malware_avg_loc,
+            "legit packages must be larger on average (Table VI)"
+        );
     }
 
     #[test]

@@ -53,33 +53,217 @@ macro_rules! family {
 
 /// The thirty malware families of the synthetic corpus.
 pub static FAMILIES: &[Family] = &[
-    family!(0, "wsp", Typosquat, 5, ["Known Trojan Families", "Credential Theft", "Messaging Platform Abuse"]),
-    family!(1, "beaconrat", ZeroVersion, 6, ["C2 Communication", "Persistence Mechanisms", "Sandbox Evasion"]),
-    family!(2, "envgrab", EmptyDescription, 6, ["Environment Data Stealing", "Malicious Setup Scripts"]),
-    family!(3, "piphijack", FakeDependencies, 4, ["Configuration Tampering", "Malicious Downloads"]),
-    family!(4, "ransomkit", Plain, 2, ["Crypto Library Exploitation", "System Configuration Changes"]),
-    family!(5, "bindshell", ZeroVersion, 3, ["Backdoor Families", "Process Creation"]),
-    family!(6, "b64drop", Typosquat, 8, ["Code Obfuscation", "Shell Command Execution"]),
-    family!(7, "dnspipe", Plain, 3, ["DNS/Protocol Abuse", "Sensitive Data Harvesting"]),
-    family!(8, "credharv", EmptyDescription, 5, ["Credential Theft", "Configuration File Extraction"]),
-    family!(9, "screenspy", Plain, 3, ["UI/Graphics Library Abuse", "Data Exfiltration Channels"]),
-    family!(10, "privesc", ZeroVersion, 4, ["Privilege Escalation", "Process Manipulation"]),
-    family!(11, "injworm", Plain, 3, ["Script Injection", "Malicious Downloads"]),
-    family!(12, "cloudthief", FakeDependencies, 3, ["Cloud Service Misuse", "Environment Data Stealing"]),
-    family!(13, "gitleak", Plain, 3, ["Development Tool Abuse", "Data Exfiltration Channels"]),
-    family!(14, "shload", Plain, 3, ["System Library Abuse", "Anti-Analysis Techniques"]),
-    family!(15, "sockrat", ZeroVersion, 4, ["Network Library Misuse", "Backdoor Families"]),
-    family!(16, "eggbomb", EmptyDescription, 3, ["Build Process Manipulation", "Shell Command Execution"]),
-    family!(17, "hookdrop", Typosquat, 5, ["Installation Hook Abuse", "Malicious Downloads"]),
-    family!(18, "miner", Plain, 5, ["Process Creation", "Persistence Mechanisms", "String/Pattern Hiding"]),
-    family!(19, "tweetbot", Plain, 1, ["Social Media API Exploitation", "C2 Communication"]),
-    family!(20, "sbxdodge", ZeroVersion, 4, ["Sandbox Evasion", "Code Obfuscation", "Shell Command Execution"]),
-    family!(21, "fprint", EmptyDescription, 5, ["Sensitive Data Harvesting", "Anti-Analysis Techniques"]),
-    family!(22, "hostpoison", Plain, 3, ["System Configuration Changes", "DNS/Protocol Abuse"]),
-    family!(23, "dscgrab", Typosquat, 4, ["Messaging Platform Abuse", "Data Exfiltration Channels"]),
-    family!(24, "chrobf", Plain, 4, ["String/Pattern Hiding", "Code Obfuscation"]),
-    family!(25, "setuprun", ZeroVersion, 7, ["Malicious Setup Scripts", "Shell Command Execution"]),
-    family!(26, "confsteal", EmptyDescription, 3, ["Configuration File Extraction", "Data Exfiltration Channels"]),
+    family!(
+        0,
+        "wsp",
+        Typosquat,
+        5,
+        [
+            "Known Trojan Families",
+            "Credential Theft",
+            "Messaging Platform Abuse"
+        ]
+    ),
+    family!(
+        1,
+        "beaconrat",
+        ZeroVersion,
+        6,
+        [
+            "C2 Communication",
+            "Persistence Mechanisms",
+            "Sandbox Evasion"
+        ]
+    ),
+    family!(
+        2,
+        "envgrab",
+        EmptyDescription,
+        6,
+        ["Environment Data Stealing", "Malicious Setup Scripts"]
+    ),
+    family!(
+        3,
+        "piphijack",
+        FakeDependencies,
+        4,
+        ["Configuration Tampering", "Malicious Downloads"]
+    ),
+    family!(
+        4,
+        "ransomkit",
+        Plain,
+        2,
+        [
+            "Crypto Library Exploitation",
+            "System Configuration Changes"
+        ]
+    ),
+    family!(
+        5,
+        "bindshell",
+        ZeroVersion,
+        3,
+        ["Backdoor Families", "Process Creation"]
+    ),
+    family!(
+        6,
+        "b64drop",
+        Typosquat,
+        8,
+        ["Code Obfuscation", "Shell Command Execution"]
+    ),
+    family!(
+        7,
+        "dnspipe",
+        Plain,
+        3,
+        ["DNS/Protocol Abuse", "Sensitive Data Harvesting"]
+    ),
+    family!(
+        8,
+        "credharv",
+        EmptyDescription,
+        5,
+        ["Credential Theft", "Configuration File Extraction"]
+    ),
+    family!(
+        9,
+        "screenspy",
+        Plain,
+        3,
+        ["UI/Graphics Library Abuse", "Data Exfiltration Channels"]
+    ),
+    family!(
+        10,
+        "privesc",
+        ZeroVersion,
+        4,
+        ["Privilege Escalation", "Process Manipulation"]
+    ),
+    family!(
+        11,
+        "injworm",
+        Plain,
+        3,
+        ["Script Injection", "Malicious Downloads"]
+    ),
+    family!(
+        12,
+        "cloudthief",
+        FakeDependencies,
+        3,
+        ["Cloud Service Misuse", "Environment Data Stealing"]
+    ),
+    family!(
+        13,
+        "gitleak",
+        Plain,
+        3,
+        ["Development Tool Abuse", "Data Exfiltration Channels"]
+    ),
+    family!(
+        14,
+        "shload",
+        Plain,
+        3,
+        ["System Library Abuse", "Anti-Analysis Techniques"]
+    ),
+    family!(
+        15,
+        "sockrat",
+        ZeroVersion,
+        4,
+        ["Network Library Misuse", "Backdoor Families"]
+    ),
+    family!(
+        16,
+        "eggbomb",
+        EmptyDescription,
+        3,
+        ["Build Process Manipulation", "Shell Command Execution"]
+    ),
+    family!(
+        17,
+        "hookdrop",
+        Typosquat,
+        5,
+        ["Installation Hook Abuse", "Malicious Downloads"]
+    ),
+    family!(
+        18,
+        "miner",
+        Plain,
+        5,
+        [
+            "Process Creation",
+            "Persistence Mechanisms",
+            "String/Pattern Hiding"
+        ]
+    ),
+    family!(
+        19,
+        "tweetbot",
+        Plain,
+        1,
+        ["Social Media API Exploitation", "C2 Communication"]
+    ),
+    family!(
+        20,
+        "sbxdodge",
+        ZeroVersion,
+        4,
+        [
+            "Sandbox Evasion",
+            "Code Obfuscation",
+            "Shell Command Execution"
+        ]
+    ),
+    family!(
+        21,
+        "fprint",
+        EmptyDescription,
+        5,
+        ["Sensitive Data Harvesting", "Anti-Analysis Techniques"]
+    ),
+    family!(
+        22,
+        "hostpoison",
+        Plain,
+        3,
+        ["System Configuration Changes", "DNS/Protocol Abuse"]
+    ),
+    family!(
+        23,
+        "dscgrab",
+        Typosquat,
+        4,
+        ["Messaging Platform Abuse", "Data Exfiltration Channels"]
+    ),
+    family!(
+        24,
+        "chrobf",
+        Plain,
+        4,
+        ["String/Pattern Hiding", "Code Obfuscation"]
+    ),
+    family!(
+        25,
+        "setuprun",
+        ZeroVersion,
+        7,
+        ["Malicious Setup Scripts", "Shell Command Execution"]
+    ),
+    family!(
+        26,
+        "confsteal",
+        EmptyDescription,
+        3,
+        [
+            "Configuration File Extraction",
+            "Data Exfiltration Channels"
+        ]
+    ),
     family!(27, "beaconlite", Plain, 5, ["C2 Communication"]),
     family!(28, "puredrop", Typosquat, 5, ["Malicious Downloads"]),
     family!(29, "execb64", EmptyDescription, 6, ["Code Obfuscation"]),
@@ -106,7 +290,11 @@ mod tests {
     fn every_family_behavior_exists_in_catalog() {
         for f in FAMILIES {
             for b in f.behaviors {
-                assert!(behavior_index(b).is_some(), "family {} uses unknown behavior {b}", f.stem);
+                assert!(
+                    behavior_index(b).is_some(),
+                    "family {} uses unknown behavior {b}",
+                    f.stem
+                );
             }
         }
     }
@@ -126,7 +314,13 @@ mod tests {
     #[test]
     fn all_metadata_styles_used() {
         use MetadataStyle::*;
-        for style in [Typosquat, EmptyDescription, ZeroVersion, FakeDependencies, Plain] {
+        for style in [
+            Typosquat,
+            EmptyDescription,
+            ZeroVersion,
+            FakeDependencies,
+            Plain,
+        ] {
             assert!(
                 FAMILIES.iter().any(|f| f.metadata_style == style),
                 "{style:?} unused"

@@ -3,7 +3,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use oss_registry::{render_setup_py, Ecosystem, Package, PackageMetadata, SourceFile, POPULAR_PACKAGES};
+use oss_registry::{
+    render_setup_py, Ecosystem, Package, PackageMetadata, SourceFile, POPULAR_PACKAGES,
+};
 
 use crate::naming;
 
@@ -100,7 +102,9 @@ fn t_format_table(rng: &mut StdRng) -> String {
 /// pressure in Table VIII).
 fn benign_suspicious_module(rng: &mut StdRng) -> String {
     let f = naming::ident(rng);
-    let mut out = String::from("\"\"\"Developer tooling helpers.\"\"\"\nimport base64\nimport os\nimport subprocess\n\n");
+    let mut out = String::from(
+        "\"\"\"Developer tooling helpers.\"\"\"\nimport base64\nimport os\nimport subprocess\n\n",
+    );
     out.push_str(&format!(
         "def {f}_git_describe(repo):\n    \"\"\"Return `git describe` output for a checkout.\"\"\"\n    return subprocess.run(\n        ['git', 'describe', '--tags'], cwd=repo, capture_output=True, text=True,\n    ).stdout.strip()\n\n"
     ));
@@ -131,7 +135,12 @@ pub fn generate_legit_package(index: usize, seed: u64) -> Package {
     };
     let metadata = PackageMetadata {
         name: name.clone(),
-        version: format!("{}.{}.{}", rng.gen_range(1..8), rng.gen_range(0..30), rng.gen_range(0..15)),
+        version: format!(
+            "{}.{}.{}",
+            rng.gen_range(1..8),
+            rng.gen_range(0..30),
+            rng.gen_range(0..15)
+        ),
         summary: format!("{name}: well-maintained utilities"),
         description: format!(
             "{name} provides tested, documented helpers used across many projects. \
@@ -155,10 +164,7 @@ pub fn generate_legit_package(index: usize, seed: u64) -> Package {
             mod_name = format!("mod{m}")
         );
         body.push_str(&filler_functions(&mut rng, per_module));
-        files.push(SourceFile::new(
-            format!("{module_dir}/mod{m}.py"),
-            body,
-        ));
+        files.push(SourceFile::new(format!("{module_dir}/mod{m}.py"), body));
     }
     if rng.gen_bool(1.0 / 6.0) {
         files.push(SourceFile::new(
@@ -175,7 +181,10 @@ pub fn generate_legit_package(index: usize, seed: u64) -> Package {
     ));
     files.push(SourceFile::new(
         format!("{module_dir}/__init__.py"),
-        format!("\"\"\"{name} public API.\"\"\"\n__version__ = '{}'\n", metadata.version),
+        format!(
+            "\"\"\"{name} public API.\"\"\"\n__version__ = '{}'\n",
+            metadata.version
+        ),
     ));
     Package::new(metadata, files, Ecosystem::PyPi)
 }
@@ -241,7 +250,11 @@ mod tests {
             let p = generate_legit_package(i, 42);
             if p.files().iter().any(|f| f.path.ends_with("devtools.py")) {
                 found = true;
-                let dev = p.files().iter().find(|f| f.path.ends_with("devtools.py")).expect("file");
+                let dev = p
+                    .files()
+                    .iter()
+                    .find(|f| f.path.ends_with("devtools.py"))
+                    .expect("file");
                 assert!(dev.contents.contains("base64.b64encode"));
                 break;
             }

@@ -40,7 +40,7 @@ mod malware;
 mod naming;
 
 pub use behaviors::{Behavior, BehaviorTag, CATEGORIES};
-pub use dataset::{CorpusConfig, Dataset, DatasetStats, LabeledMalware, LabeledLegit};
+pub use dataset::{CorpusConfig, Dataset, DatasetStats, LabeledLegit, LabeledMalware};
 pub use families::{Family, MetadataStyle, FAMILIES};
-pub use malware::generate_malware_package;
 pub use legit::generate_legit_package;
+pub use malware::generate_malware_package;

@@ -18,7 +18,9 @@ const WORDS: &[&str] = &[
 /// Generates a random lowercase identifier of 2–3 syllables.
 pub fn ident(rng: &mut StdRng) -> String {
     let n = rng.gen_range(2..=3);
-    (0..n).map(|_| SYLLABLES[rng.gen_range(0..SYLLABLES.len())]).collect()
+    (0..n)
+        .map(|_| SYLLABLES[rng.gen_range(0..SYLLABLES.len())])
+        .collect()
 }
 
 /// Generates a plausible package name from two word stems.
@@ -55,11 +57,17 @@ pub fn c2_ip(rng: &mut StdRng) -> String {
 
 /// Generates a webhook-style exfiltration URL.
 pub fn webhook_url(rng: &mut StdRng) -> String {
-    let id: String = (0..18).map(|_| {
-        let c = rng.gen_range(0..36);
-        char::from_digit(c, 36).expect("base36 digit")
-    }).collect();
-    format!("https://discord.com/api/webhooks/{}/{}", rng.gen_range(100000000u64..999999999), id)
+    let id: String = (0..18)
+        .map(|_| {
+            let c = rng.gen_range(0..36);
+            char::from_digit(c, 36).expect("base36 digit")
+        })
+        .collect();
+    format!(
+        "https://discord.com/api/webhooks/{}/{}",
+        rng.gen_range(100000000u64..999999999),
+        id
+    )
 }
 
 /// Picks one of the listed options.

@@ -135,13 +135,13 @@ mod tests {
         let msg = vec![b'a'; 55];
         let d = sha256(&msg);
         assert_eq!(d.len(), 32);
-        assert_ne!(d, sha256(&vec![b'a'; 56]));
+        assert_ne!(d, sha256(&[b'a'; 56]));
     }
 
     #[test]
     fn exactly_56_bytes_needs_second_block() {
         assert_eq!(
-            sha256_hex(&vec![b'a'; 56]),
+            sha256_hex(&[b'a'; 56]),
             "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a"
         );
     }

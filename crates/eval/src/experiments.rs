@@ -51,7 +51,12 @@ pub fn compile_output(output: &PipelineOutput) -> (CompiledRules, CompiledSemgre
             .unwrap_or_else(|e| panic!("aligned Semgrep rule must compile: {e}\n{}", r.text));
         semgrep_rules.extend(compiled.rules);
     }
-    (yara, CompiledSemgrepRules { rules: semgrep_rules })
+    (
+        yara,
+        CompiledSemgrepRules {
+            rules: semgrep_rules,
+        },
+    )
 }
 
 /// Compiles a list of Semgrep YAML documents into one ruleset, skipping
@@ -103,8 +108,8 @@ pub fn table8(ctx: &ExperimentContext) -> (Vec<MetricsRow>, Vec<TargetMatches>) 
     });
 
     // Yara scanner corpus.
-    let yara_corpus = yara_engine::compile(&baselines::scanners::yara_corpus())
-        .expect("scanner corpus compiles");
+    let yara_corpus =
+        yara_engine::compile(&baselines::scanners::yara_corpus()).expect("scanner corpus compiles");
     let m = scan_all(Some(&yara_corpus), None, &ctx.targets);
     rows.push(MetricsRow {
         name: "Yara scanner".into(),
@@ -126,8 +131,7 @@ pub fn table8(ctx: &ExperimentContext) -> (Vec<MetricsRow>, Vec<TargetMatches>) 
         .into_iter()
         .map(|m| &m.package)
         .collect();
-    let legit: Vec<&oss_registry::Package> =
-        ctx.dataset.legit.iter().map(|l| &l.package).collect();
+    let legit: Vec<&oss_registry::Package> = ctx.dataset.legit.iter().map(|l| &l.package).collect();
     let scored_rules = baselines::scored::generate_rules(&unique, &legit, 42);
     let scored_text = scored_rules.join("\n");
     let scored = yara_engine::compile(&scored_text).expect("score-based rules compile");
@@ -438,8 +442,8 @@ pub fn variant_detection(dataset: &Dataset, seed: u64) -> VariantReport {
             total_variants += group.len() - 2;
             continue;
         }
-        let compiled = yara_engine::compile(&output.yara_ruleset())
-            .expect("aligned ruleset compiles");
+        let compiled =
+            yara_engine::compile(&output.yara_ruleset()).expect("aligned ruleset compiles");
         let scanner = yara_engine::Scanner::new(&compiled);
         let mut group_hits = 0usize;
         let mut group_total = 0usize;
@@ -544,16 +548,31 @@ mod tests {
         // Most matching rules should be high-precision (paper Fig. 7).
         let matched: usize = bins.iter().sum();
         if matched > 0 {
-            assert!(bins[9] * 2 >= matched, "high-precision bin too small: {bins:?}");
+            assert!(
+                bins[9] * 2 >= matched,
+                "high-precision bin too small: {bins:?}"
+            );
         }
     }
 
     #[test]
     fn coverage_cdf_is_monotone() {
         let stats = vec![
-            PerRuleStats { rule: "a".into(), malware_hits: 1, legit_hits: 0 },
-            PerRuleStats { rule: "b".into(), malware_hits: 5, legit_hits: 0 },
-            PerRuleStats { rule: "c".into(), malware_hits: 2, legit_hits: 1 },
+            PerRuleStats {
+                rule: "a".into(),
+                malware_hits: 1,
+                legit_hits: 0,
+            },
+            PerRuleStats {
+                rule: "b".into(),
+                malware_hits: 5,
+                legit_hits: 0,
+            },
+            PerRuleStats {
+                rule: "c".into(),
+                malware_hits: 2,
+                legit_hits: 1,
+            },
         ];
         let (counts, cdf) = coverage_cdf(&stats);
         assert_eq!(counts, vec![1, 2, 5]);
@@ -578,7 +597,11 @@ mod tests {
         let rows = table12(&output);
         assert_eq!(rows.len(), 38);
         let total: usize = rows.iter().map(|(_, c)| c).sum();
-        assert!(total >= output.yara.len(), "labels {total} rules {}", output.yara.len());
+        assert!(
+            total >= output.yara.len(),
+            "labels {total} rules {}",
+            output.yara.len()
+        );
     }
 
     #[test]

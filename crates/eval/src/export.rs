@@ -1,13 +1,13 @@
 //! JSON export of experiment results (for dashboards / regression
 //! tracking of the reproduction itself).
 
-use serde::Serialize;
+use jsonmini::Value;
 
 use crate::experiments::{PerRuleStats, RuleCountRow, VariantReport};
 use crate::metrics::MetricsRow;
 
 /// Serializable form of one metrics row.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct MetricsRowJson {
     /// Row label.
     pub name: String,
@@ -37,36 +37,48 @@ impl From<&MetricsRow> for MetricsRowJson {
     }
 }
 
+impl MetricsRowJson {
+    fn to_value(&self) -> Value {
+        let mut v = Value::object();
+        v.insert("name", self.name.as_str());
+        v.insert("accuracy", self.accuracy);
+        v.insert("precision", self.precision);
+        v.insert("recall", self.recall);
+        v.insert("f1", self.f1);
+        v.insert(
+            "confusion",
+            Value::Array(self.confusion.iter().map(|&n| Value::from(n)).collect()),
+        );
+        v
+    }
+}
+
 /// A whole experiment report, serializable to one JSON document.
-#[derive(Debug, Default, Serialize)]
+///
+/// Empty sections are omitted from the rendered document, matching the
+/// registry-dashboard consumer's expectations.
+#[derive(Debug, Default)]
 pub struct ExperimentReport {
     /// Corpus scale name (`tiny`/`small`/`paper`).
     pub scale: String,
     /// Table VIII rows.
-    #[serde(skip_serializing_if = "Vec::is_empty")]
     pub table8: Vec<MetricsRowJson>,
     /// Table IX rows.
-    #[serde(skip_serializing_if = "Vec::is_empty")]
     pub table9: Vec<MetricsRowJson>,
     /// Table X rows.
-    #[serde(skip_serializing_if = "Vec::is_empty")]
     pub table10: Vec<MetricsRowJson>,
     /// Table XI rows as `(format, sota_total, sota_oss, rulellm)`.
-    #[serde(skip_serializing_if = "Vec::is_empty")]
     pub table11: Vec<(String, usize, usize, usize)>,
     /// Table XII rows as `(category, subcategory, count)`.
-    #[serde(skip_serializing_if = "Vec::is_empty")]
     pub table12: Vec<(String, String, usize)>,
     /// Per-rule stats as `(rule, malware_hits, legit_hits)`.
-    #[serde(skip_serializing_if = "Vec::is_empty")]
     pub per_rule: Vec<(String, usize, usize)>,
     /// Variant-detection summary.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub variants: Option<VariantJson>,
 }
 
 /// Serializable variant report.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct VariantJson {
     /// Groups evaluated.
     pub groups: usize,
@@ -135,14 +147,94 @@ impl ExperimentReport {
         });
     }
 
+    /// The report as a JSON document tree.
+    pub fn to_value(&self) -> Value {
+        let mut doc = Value::object();
+        doc.insert("scale", self.scale.as_str());
+        for (key, rows) in [
+            ("table8", &self.table8),
+            ("table9", &self.table9),
+            ("table10", &self.table10),
+        ] {
+            if !rows.is_empty() {
+                doc.insert(
+                    key,
+                    Value::Array(rows.iter().map(MetricsRowJson::to_value).collect()),
+                );
+            }
+        }
+        if !self.table11.is_empty() {
+            doc.insert(
+                "table11",
+                Value::Array(
+                    self.table11
+                        .iter()
+                        .map(|(f, total, oss, ours)| {
+                            Value::Array(vec![
+                                Value::from(f.as_str()),
+                                Value::from(*total),
+                                Value::from(*oss),
+                                Value::from(*ours),
+                            ])
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        if !self.table12.is_empty() {
+            doc.insert(
+                "table12",
+                Value::Array(
+                    self.table12
+                        .iter()
+                        .map(|(c, s, n)| {
+                            Value::Array(vec![
+                                Value::from(c.as_str()),
+                                Value::from(s.as_str()),
+                                Value::from(*n),
+                            ])
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        if !self.per_rule.is_empty() {
+            doc.insert(
+                "per_rule",
+                Value::Array(
+                    self.per_rule
+                        .iter()
+                        .map(|(rule, malware, legit)| {
+                            Value::Array(vec![
+                                Value::from(rule.as_str()),
+                                Value::from(*malware),
+                                Value::from(*legit),
+                            ])
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        if let Some(v) = &self.variants {
+            let mut vj = Value::object();
+            vj.insert("groups", v.groups);
+            vj.insert("total_variants", v.total_variants);
+            vj.insert("detected", v.detected);
+            vj.insert("overall_rate", v.overall_rate);
+            vj.insert("average_rate", v.average_rate);
+            doc.insert("variants", vj);
+        }
+        doc
+    }
+
     /// Serializes to pretty JSON.
     ///
     /// # Errors
     ///
-    /// Propagates `serde_json` failures (none are expected for this
-    /// shape).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    /// Infallible for this shape; the `Result` is kept so callers written
+    /// against the `serde_json` signature keep compiling.
+    pub fn to_json(&self) -> Result<String, String> {
+        Ok(self.to_value().to_string_pretty())
     }
 }
 
@@ -171,7 +263,7 @@ mod tests {
         assert!(json.contains("\"scale\": \"tiny\""));
         assert!(json.contains("\"RuleLLM\""));
         assert!(json.contains("\"confusion\""));
-        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        let parsed: jsonmini::Value = jsonmini::parse(&json).expect("valid json");
         assert_eq!(parsed["table8"][0]["confusion"][0], 9);
     }
 

@@ -144,7 +144,7 @@ pub fn render_variants(report: &VariantReport) -> String {
 /// a fake-version rule detecting 568 packages, a C2 rule detecting 185).
 pub fn render_top_rules(stats: &[PerRuleStats], top: usize) -> String {
     let mut sorted: Vec<&PerRuleStats> = stats.iter().collect();
-    sorted.sort_by(|a, b| b.malware_hits.cmp(&a.malware_hits));
+    sorted.sort_by_key(|s| std::cmp::Reverse(s.malware_hits));
     let mut out = String::from("== Broadest rules ==\n");
     for s in sorted.iter().take(top) {
         out.push_str(&format!(
@@ -203,8 +203,16 @@ mod tests {
     #[test]
     fn top_rules_sorted() {
         let stats = vec![
-            PerRuleStats { rule: "small".into(), malware_hits: 2, legit_hits: 0 },
-            PerRuleStats { rule: "big".into(), malware_hits: 100, legit_hits: 1 },
+            PerRuleStats {
+                rule: "small".into(),
+                malware_hits: 2,
+                legit_hits: 0,
+            },
+            PerRuleStats {
+                rule: "big".into(),
+                malware_hits: 100,
+                legit_hits: 1,
+            },
         ];
         let s = render_top_rules(&stats, 1);
         assert!(s.contains("big"));

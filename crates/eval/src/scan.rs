@@ -1,8 +1,16 @@
-//! Parallel package scanning with YARA and Semgrep rulesets.
+//! Package scanning with YARA and Semgrep rulesets.
+//!
+//! Since the scanhub refactor this module is a thin client of
+//! [`scanhub::ScanHub`]: target preparation stays here (the evaluation
+//! owns ground-truth labels), while prefiltered, cached, multi-worker
+//! scanning lives in the service. [`scan_all`] keeps its original
+//! contract — results in target order, byte-identical matches to
+//! exhaustive scanning.
 
 use corpus::Dataset;
+use scanhub::{HubConfig, ScanHub, ScanRequest};
 use semgrep_engine::CompiledSemgrepRules;
-use yara_engine::{CompiledRules, Scanner};
+use yara_engine::CompiledRules;
 
 /// One package prepared for scanning.
 #[derive(Debug, Clone)]
@@ -42,7 +50,12 @@ impl TargetMatches {
 pub fn build_targets(dataset: &Dataset) -> Vec<ScanTarget> {
     let mut targets = Vec::new();
     for m in dataset.unique_malware() {
-        targets.push(target_from_package(&m.package, targets.len(), true, Some(m.family_id)));
+        targets.push(target_from_package(
+            &m.package,
+            targets.len(),
+            true,
+            Some(m.family_id),
+        ));
     }
     for l in &dataset.legit {
         targets.push(target_from_package(&l.package, targets.len(), false, None));
@@ -57,24 +70,19 @@ pub fn target_from_package(
     is_malicious: bool,
     family: Option<usize>,
 ) -> ScanTarget {
-    let mut buffer = pkg.combined_source().into_bytes();
-    buffer.extend_from_slice(oss_registry::render_pkg_info(pkg.metadata()).as_bytes());
-    let sources = pkg
-        .files()
-        .iter()
-        .filter(|f| f.path.ends_with(".py"))
-        .map(|f| f.contents.clone())
-        .collect();
+    let request = ScanRequest::from_package(pkg);
     ScanTarget {
         index,
-        buffer,
-        sources,
+        buffer: request.buffer,
+        sources: request.sources,
         is_malicious,
         family,
     }
 }
 
-/// Scans every target with the compiled rulesets, in parallel.
+/// Scans every target with the compiled rulesets through a
+/// [`scanhub::ScanHub`]: prefilter routing, digest-cached duplicate
+/// verdicts and a sharded worker pool.
 ///
 /// Results are returned in target order. `semgrep` may be empty (e.g. for
 /// the Yara-scanner baseline).
@@ -83,41 +91,28 @@ pub fn scan_all(
     semgrep: Option<&CompiledSemgrepRules>,
     targets: &[ScanTarget],
 ) -> Vec<TargetMatches> {
-    let threads = std::thread::available_parallelism()
+    let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(targets.len().max(1));
-    let mut results: Vec<TargetMatches> = vec![TargetMatches::default(); targets.len()];
-    let chunk = targets.len().div_ceil(threads.max(1)).max(1);
-    crossbeam::thread::scope(|scope| {
-        for (targets_chunk, results_chunk) in
-            targets.chunks(chunk).zip(results.chunks_mut(chunk))
-        {
-            scope.spawn(move |_| {
-                let scanner = yara.map(Scanner::new);
-                for (t, r) in targets_chunk.iter().zip(results_chunk.iter_mut()) {
-                    if let Some(scanner) = &scanner {
-                        for hit in scanner.scan(&t.buffer) {
-                            r.yara.push(hit.rule);
-                        }
-                    }
-                    if let Some(rules) = semgrep {
-                        let mut ids = std::collections::HashSet::new();
-                        for src in &t.sources {
-                            let module = pysrc::parse_module(src);
-                            for f in semgrep_engine::scan_module(rules, &module) {
-                                ids.insert(f.rule_id);
-                            }
-                        }
-                        r.semgrep = ids.into_iter().collect();
-                        r.semgrep.sort();
-                    }
-                }
-            });
-        }
-    })
-    .expect("scan worker panicked");
-    results
+    let hub = ScanHub::new(
+        yara.cloned(),
+        semgrep.cloned(),
+        HubConfig {
+            workers,
+            ..HubConfig::default()
+        },
+    );
+    let requests = targets
+        .iter()
+        .map(|t| ScanRequest::new(t.buffer.clone(), t.sources.clone()));
+    hub.scan_ordered(requests)
+        .into_iter()
+        .map(|v| TargetMatches {
+            yara: v.yara,
+            semgrep: v.semgrep,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -191,6 +186,34 @@ mod tests {
         .expect("compile");
         let results = scan_all(Some(&rules), None, &targets);
         // Every buffer embeds PKG-INFO, so every target matches.
-        assert!(results.iter().all(|r| r.yara == vec!["meta_marker".to_owned()]));
+        assert!(results
+            .iter()
+            .all(|r| r.yara == vec!["meta_marker".to_owned()]));
+    }
+
+    #[test]
+    fn scan_all_agrees_with_direct_scanner() {
+        // The thin-client contract: scanhub-backed scan_all returns
+        // byte-identical matches to a direct exhaustive scan.
+        let dataset = Dataset::generate(&CorpusConfig::tiny());
+        let targets = build_targets(&dataset);
+        let yara = yara_engine::compile(
+            r#"
+rule sys { strings: $a = "os.system" condition: $a }
+rule req { strings: $a = "requests.get" $b = "requests.post" condition: any of them }
+rule b64re { strings: $re = /[A-Za-z0-9+\/]{24,}/ condition: $re }
+"#,
+        )
+        .expect("compile");
+        let results = scan_all(Some(&yara), None, &targets);
+        let scanner = yara_engine::Scanner::new(&yara);
+        for (r, t) in results.iter().zip(&targets) {
+            let direct: Vec<String> = scanner
+                .scan(&t.buffer)
+                .into_iter()
+                .map(|h| h.rule)
+                .collect();
+            assert_eq!(r.yara, direct, "target {}", t.index);
+        }
     }
 }

@@ -1,0 +1,557 @@
+//! `jsonmini` — a minimal JSON document model.
+//!
+//! The build environment has no registry access, so the workspace's two
+//! JSON consumers (the registry-API metadata path in `oss-registry` and
+//! the experiment-report exporter in `eval`) share this small crate
+//! instead of `serde_json`: a [`Value`] tree, a recursive-descent
+//! [`parse`], and compact / pretty printers. Object key order is
+//! preserved (insertion order), which keeps rendered documents stable and
+//! diffable.
+//!
+//! # Examples
+//!
+//! ```
+//! use jsonmini::Value;
+//!
+//! let doc = jsonmini::parse(r#"{"info": {"name": "colorstext", "n": 3}}"#).unwrap();
+//! assert_eq!(doc["info"]["name"], "colorstext");
+//! assert_eq!(doc["info"]["n"], 3);
+//! let mut obj = Value::object();
+//! obj.insert("ok", Value::Bool(true));
+//! assert_eq!(obj.to_string(), r#"{"ok": true}"#);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object.
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Inserts (or replaces) `key` in an object; panics on non-objects.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        let Value::Object(entries) = self else {
+            panic!("insert on non-object Value");
+        };
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            entries.push((key, value));
+        }
+    }
+
+    /// Member lookup; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Element lookup; `None` out of bounds or on non-arrays.
+    pub fn get_index(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric content, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The array content, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(0));
+        out
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, None);
+        f.write_str(&out)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(n)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Value {
+        Value::Array(items)
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(items: &[T]) -> Value {
+        Value::Array(items.iter().cloned().map(Into::into).collect())
+    }
+}
+
+/// `value["key"]` — yields [`Value::Null`] for missing members.
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+/// `value[idx]` — yields [`Value::Null`] out of bounds.
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        self.get_index(index).unwrap_or(&NULL)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+macro_rules! impl_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+    )*};
+}
+
+impl_eq_int!(i32, i64, u32, u64, usize);
+
+// ------------------------------------------------------------- rendering
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), indent, ('[', ']'), |out, v, ind| {
+            write_value(out, v, ind);
+        }),
+        Value::Object(entries) => write_seq(
+            out,
+            entries.iter(),
+            indent,
+            ('{', '}'),
+            |out, (k, v), ind| {
+                write_string(out, k);
+                out.push_str(": ");
+                write_value(out, v, ind);
+            },
+        ),
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    items: impl ExactSizeIterator<Item = T>,
+    indent: Option<usize>,
+    brackets: (char, char),
+    mut write_item: impl FnMut(&mut String, T, Option<usize>),
+) {
+    out.push(brackets.0);
+    if items.len() == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    let inner = indent.map(|i| i + 1);
+    let mut first = true;
+    for item in items {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        match inner {
+            Some(level) => {
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+            }
+            None => {
+                if out.ends_with(',') {
+                    out.push(' ');
+                }
+            }
+        }
+        write_item(out, item, inner);
+    }
+    if let Some(level) = indent {
+        out.push('\n');
+        out.push_str(&"  ".repeat(level));
+    }
+    out.push(brackets.1);
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if n.is_finite() {
+        if n == n.trunc() && n.abs() < 1e15 {
+            out.push_str(&format!("{}", n as i64));
+        } else {
+            out.push_str(&format!("{n}"));
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --------------------------------------------------------------- parsing
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable message with the byte offset of the problem.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(text, bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(text: &str, bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(text, bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(text, bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(text, bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::String(parse_string(text, bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(text, bytes, pos),
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, expected: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&expected) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at offset {pos}", expected as char))
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    keyword: &str,
+    value: Value,
+) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(keyword.as_bytes()) {
+        *pos += keyword.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at offset {pos}"))
+    }
+}
+
+fn parse_number(text: &str, bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    text[start..*pos]
+        .parse::<f64>()
+        .map(Value::Number)
+        .map_err(|_| format!("invalid number at offset {start}"))
+}
+
+fn parse_string(text: &str, bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = text.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        let mut code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        *pos += 4;
+                        // Non-BMP characters arrive as a surrogate pair of
+                        // two consecutive \uXXXX escapes.
+                        if (0xD800..0xDC00).contains(&code)
+                            && text.get(*pos + 1..*pos + 3) == Some("\\u")
+                        {
+                            let low_hex =
+                                text.get(*pos + 3..*pos + 7).ok_or("truncated \\u escape")?;
+                            let low =
+                                u32::from_str_radix(low_hex, 16).map_err(|_| "bad \\u escape")?;
+                            if (0xDC00..0xE000).contains(&low) {
+                                code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                *pos += 6;
+                            }
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one full UTF-8 character.
+                let rest = &text[*pos..];
+                let c = rest.chars().next().ok_or("invalid utf-8 boundary")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested() {
+        let src = r#"{"a": [1, 2.5, "x"], "b": {"c": true, "d": null}}"#;
+        let v = parse(src).expect("parse");
+        assert_eq!(v.to_string(), src);
+    }
+
+    #[test]
+    fn pretty_format_matches_serde_style() {
+        let mut v = Value::object();
+        v.insert("scale", "tiny");
+        v.insert("n", 3usize);
+        assert_eq!(
+            v.to_string_pretty(),
+            "{\n  \"scale\": \"tiny\",\n  \"n\": 3\n}"
+        );
+    }
+
+    #[test]
+    fn index_chains() {
+        let v = parse(r#"{"rows": [{"confusion": [9, 1, 8, 2]}]}"#).expect("parse");
+        assert_eq!(v["rows"][0]["confusion"][0], 9);
+        assert_eq!(v["rows"][7]["missing"], Value::Null);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = Value::String("a\"b\\c\nd\tе".to_owned());
+        let rendered = original.to_string();
+        assert_eq!(parse(&rendered).expect("parse"), original);
+    }
+
+    #[test]
+    fn float_rendering_is_short() {
+        assert_eq!(Value::Number(0.9).to_string(), "0.9");
+        assert_eq!(Value::Number(3.0).to_string(), "3");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("not json").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode_to_non_bmp() {
+        let v = parse(r#""😀""#).expect("parse");
+        assert_eq!(v, "😀");
+        // BMP escapes still decode singly.
+        let v = parse(r#""Aé""#).expect("parse");
+        assert_eq!(v, "Aé");
+        // A lone high surrogate degrades to the replacement character
+        // instead of corrupting the following content.
+        let v = parse(r#""\ud83dx""#).expect("parse");
+        assert_eq!(v, "\u{fffd}x");
+    }
+
+    #[test]
+    fn unicode_content_survives() {
+        let v = parse(r#"{"k": "значение 値"}"#).expect("parse");
+        assert_eq!(v["k"], "значение 値");
+    }
+
+    #[test]
+    fn insert_replaces_existing_key() {
+        let mut v = Value::object();
+        v.insert("k", 1usize);
+        v.insert("k", 2usize);
+        assert_eq!(v["k"], 2);
+        assert_eq!(v.to_string(), r#"{"k": 2}"#);
+    }
+}

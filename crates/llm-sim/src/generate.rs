@@ -135,7 +135,12 @@ pub fn refine(profile: &ModelProfile, rng: &mut StdRng, format: RuleFormat, inpu
 
 // ---- noise ----
 
-fn apply_noise(profile: &ModelProfile, rng: &mut StdRng, analysis: &mut Analysis, payload_len: usize) {
+fn apply_noise(
+    profile: &ModelProfile,
+    rng: &mut StdRng,
+    analysis: &mut Analysis,
+    payload_len: usize,
+) {
     // Long-prompt dilution: LLM extraction quality degrades with payload
     // size ("LLMs struggle to process the extensive source code of many
     // malicious packages", §I). Basic units (a few KB) pay almost nothing;
@@ -196,10 +201,7 @@ pub fn maybe_corrupt(
                 }
             }
             // 5. Invalid meta field value.
-            4 => rule.replace(
-                "meta:",
-                "meta:\n        confidence = $high",
-            ),
+            4 => rule.replace("meta:", "meta:\n        confidence = $high"),
             // 6. File encoding issue (BOM).
             _ => format!("\u{FEFF}{rule}"),
         },
@@ -274,7 +276,10 @@ fn render_yara_from_strings(
         },
         digest::fnv1a(name_seed.as_bytes()) as u32
     );
-    let mut out = format!("rule {name} {{\n    meta:\n        description = \"{}\"\n        author = \"RuleLLM\"\n", yara_escape(&analysis.summary));
+    let mut out = format!(
+        "rule {name} {{\n    meta:\n        description = \"{}\"\n        author = \"RuleLLM\"\n",
+        yara_escape(&analysis.summary)
+    );
     if strings.is_empty() {
         // Nothing extracted: the model still emits *something*; a rule
         // that can never fire (and will be culled downstream).
@@ -284,7 +289,10 @@ fn render_yara_from_strings(
     out.push_str("    strings:\n");
     for (i, (text, is_regex)) in strings.iter().enumerate() {
         if *is_regex {
-            out.push_str(&format!("        $s{i} = /{}/\n", regex_escape_slashes(text)));
+            out.push_str(&format!(
+                "        $s{i} = /{}/\n",
+                regex_escape_slashes(text)
+            ));
         } else {
             out.push_str(&format!("        $s{i} = \"{}\"\n", yara_escape(text)));
         }
@@ -322,7 +330,9 @@ fn render_semgrep(analysis: &Analysis, code: &str) -> String {
     let mut patterns: Vec<String> = Vec::new();
     for call in pysrc::collect_calls(&module) {
         let path = call.func_path();
-        if PATTERN_CALLEES.contains(&path.as_str()) && !patterns.iter().any(|p| p.starts_with(&path)) {
+        if PATTERN_CALLEES.contains(&path.as_str())
+            && !patterns.iter().any(|p| p.starts_with(&path))
+        {
             patterns.push(format!("{path}(...)"));
         }
     }
@@ -339,11 +349,7 @@ fn render_semgrep(analysis: &Analysis, code: &str) -> String {
     render_semgrep_from_patterns(analysis, code, &patterns)
 }
 
-fn render_semgrep_from_patterns(
-    analysis: &Analysis,
-    id_seed: &str,
-    patterns: &[String],
-) -> String {
+fn render_semgrep_from_patterns(analysis: &Analysis, id_seed: &str, patterns: &[String]) -> String {
     let id = format!(
         "detect-{}-{:08x}",
         slug(&analysis.summary).replace('_', "-"),
@@ -460,7 +466,14 @@ mod tests {
     #[test]
     fn craft_yara_compiles_without_noise() {
         let mut rng = StdRng::seed_from_u64(1);
-        let reply = craft(&quiet_profile(), &mut rng, RuleFormat::Yara, &[CODE.to_owned()], None, None);
+        let reply = craft(
+            &quiet_profile(),
+            &mut rng,
+            RuleFormat::Yara,
+            &[CODE.to_owned()],
+            None,
+            None,
+        );
         let (_, rule) = crate::split_reply(&reply);
         let compiled = yara_engine::compile(&rule);
         assert!(compiled.is_ok(), "{rule}\n{:?}", compiled.err());
@@ -469,7 +482,14 @@ mod tests {
     #[test]
     fn craft_semgrep_compiles_without_noise() {
         let mut rng = StdRng::seed_from_u64(1);
-        let reply = craft(&quiet_profile(), &mut rng, RuleFormat::Semgrep, &[CODE.to_owned()], None, None);
+        let reply = craft(
+            &quiet_profile(),
+            &mut rng,
+            RuleFormat::Semgrep,
+            &[CODE.to_owned()],
+            None,
+            None,
+        );
         let (_, rule) = crate::split_reply(&reply);
         let compiled = semgrep_engine::compile(&rule);
         assert!(compiled.is_ok(), "{rule}\n{:?}", compiled.err());
@@ -478,7 +498,14 @@ mod tests {
     #[test]
     fn crafted_yara_matches_the_source_family() {
         let mut rng = StdRng::seed_from_u64(1);
-        let reply = craft(&quiet_profile(), &mut rng, RuleFormat::Yara, &[CODE.to_owned()], None, None);
+        let reply = craft(
+            &quiet_profile(),
+            &mut rng,
+            RuleFormat::Yara,
+            &[CODE.to_owned()],
+            None,
+            None,
+        );
         let (_, rule) = crate::split_reply(&reply);
         let compiled = yara_engine::compile(&rule).expect("compile");
         let scanner = yara_engine::Scanner::new(&compiled);
@@ -496,13 +523,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut failures = 0;
         for _ in 0..12 {
-            let reply = craft(&profile, &mut rng, RuleFormat::Yara, &[CODE.to_owned()], None, None);
+            let reply = craft(
+                &profile,
+                &mut rng,
+                RuleFormat::Yara,
+                &[CODE.to_owned()],
+                None,
+                None,
+            );
             let (_, rule) = crate::split_reply(&reply);
             if yara_engine::compile(&rule).is_err() {
                 failures += 1;
             }
         }
-        assert!(failures >= 8, "only {failures}/12 corrupted rules failed to compile");
+        assert!(
+            failures >= 8,
+            "only {failures}/12 corrupted rules failed to compile"
+        );
     }
 
     #[test]
@@ -512,13 +549,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut failures = 0;
         for _ in 0..10 {
-            let reply = craft(&profile, &mut rng, RuleFormat::Semgrep, &[CODE.to_owned()], None, None);
+            let reply = craft(
+                &profile,
+                &mut rng,
+                RuleFormat::Semgrep,
+                &[CODE.to_owned()],
+                None,
+                None,
+            );
             let (_, rule) = crate::split_reply(&reply);
             if semgrep_engine::compile(&rule).is_err() {
                 failures += 1;
             }
         }
-        assert!(failures >= 7, "only {failures}/10 corrupted rules failed to compile");
+        assert!(
+            failures >= 7,
+            "only {failures}/10 corrupted rules failed to compile"
+        );
     }
 
     #[test]
@@ -526,7 +573,14 @@ mod tests {
         let mut profile = quiet_profile();
         profile.overgeneral_rate = 1.0;
         let mut rng = StdRng::seed_from_u64(5);
-        let reply = craft(&profile, &mut rng, RuleFormat::Yara, &[CODE.to_owned()], None, None);
+        let reply = craft(
+            &profile,
+            &mut rng,
+            RuleFormat::Yara,
+            &[CODE.to_owned()],
+            None,
+            None,
+        );
         let (analysis, rule) = crate::split_reply(&reply);
         assert!(OVERGENERAL.iter().any(|o| rule.contains(o)), "{rule}");
         let refined_reply = refine(
@@ -537,7 +591,9 @@ mod tests {
         );
         let (_, refined) = crate::split_reply(&refined_reply);
         assert!(
-            !OVERGENERAL.iter().any(|o| refined.contains(&format!("\"{o}\""))),
+            !OVERGENERAL
+                .iter()
+                .any(|o| refined.contains(&format!("\"{o}\""))),
             "{refined}"
         );
         assert!(yara_engine::compile(&refined).is_ok(), "{refined}");
@@ -546,7 +602,14 @@ mod tests {
     #[test]
     fn refine_tightens_condition() {
         let mut rng = StdRng::seed_from_u64(6);
-        let reply = craft(&quiet_profile(), &mut rng, RuleFormat::Yara, &[CODE.to_owned()], None, None);
+        let reply = craft(
+            &quiet_profile(),
+            &mut rng,
+            RuleFormat::Yara,
+            &[CODE.to_owned()],
+            None,
+            None,
+        );
         let (analysis, rule) = crate::split_reply(&reply);
         assert!(rule.contains("any of them"));
         let refined_reply = refine(
@@ -556,7 +619,10 @@ mod tests {
             &format!("{analysis}\n{rule}"),
         );
         let (_, refined) = crate::split_reply(&refined_reply);
-        assert!(refined.contains("2 of them") || refined.contains("all of them"), "{refined}");
+        assert!(
+            refined.contains("2 of them") || refined.contains("all of them"),
+            "{refined}"
+        );
     }
 
     #[test]

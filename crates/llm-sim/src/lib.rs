@@ -152,10 +152,7 @@ pub fn split_reply(reply: &str) -> (String, String) {
     let rule_tag = "=== RULE ===";
     if let Some(rule_at) = reply.find(rule_tag) {
         let rule = reply[rule_at + rule_tag.len()..].trim().to_owned();
-        let analysis = reply[..rule_at]
-            .replace(analysis_tag, "")
-            .trim()
-            .to_owned();
+        let analysis = reply[..rule_at].replace(analysis_tag, "").trim().to_owned();
         (analysis, rule)
     } else {
         (String::new(), reply.trim().to_owned())
@@ -171,7 +168,11 @@ mod tests {
     #[test]
     fn craft_reply_has_sections() {
         let mut llm = LlmSim::new(ModelProfile::gpt4o(), 1);
-        let reply = llm.complete(&Prompt::craft(RuleFormat::Yara, &[MALICIOUS.to_owned()], None));
+        let reply = llm.complete(&Prompt::craft(
+            RuleFormat::Yara,
+            &[MALICIOUS.to_owned()],
+            None,
+        ));
         let (analysis, rule) = split_reply(&reply);
         assert!(!analysis.is_empty());
         assert!(rule.starts_with("rule "), "{rule}");
@@ -220,7 +221,11 @@ mod tests {
     fn prompt_accounting() {
         let mut llm = LlmSim::new(ModelProfile::gpt4o(), 1);
         let before = llm.prompt_chars;
-        llm.complete(&Prompt::craft(RuleFormat::Yara, &[MALICIOUS.to_owned()], None));
+        llm.complete(&Prompt::craft(
+            RuleFormat::Yara,
+            &[MALICIOUS.to_owned()],
+            None,
+        ));
         assert!(llm.prompt_chars > before);
     }
 }

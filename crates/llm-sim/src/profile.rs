@@ -131,8 +131,14 @@ mod tests {
 
     #[test]
     fn lookup_by_name() {
-        assert_eq!(ModelProfile::by_name("claude").map(|p| p.name), Some("Claude-3.5-Sonnet"));
-        assert_eq!(ModelProfile::by_name("gpt-4o").map(|p| p.name), Some("GPT-4o"));
+        assert_eq!(
+            ModelProfile::by_name("claude").map(|p| p.name),
+            Some("Claude-3.5-Sonnet")
+        );
+        assert_eq!(
+            ModelProfile::by_name("gpt-4o").map(|p| p.name),
+            Some("GPT-4o")
+        );
         assert!(ModelProfile::by_name("gemini").is_none());
     }
 

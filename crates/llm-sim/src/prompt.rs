@@ -164,7 +164,12 @@ mod tests {
         assert_eq!(p.inputs.len(), 2);
         assert!(p.few_shot.as_deref().unwrap_or("").contains("base64_blob"));
         assert!(p.system.contains("senior malware code analyst"));
-        assert!(matches!(p.kind, PromptKind::Craft { format: RuleFormat::Yara }));
+        assert!(matches!(
+            p.kind,
+            PromptKind::Craft {
+                format: RuleFormat::Yara
+            }
+        ));
     }
 
     #[test]

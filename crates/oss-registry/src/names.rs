@@ -4,13 +4,56 @@
 /// The most-downloaded PyPI package names (a static snapshot standing in
 /// for the top-packages feed the paper uses for its legitimate corpus).
 pub const POPULAR_PACKAGES: &[&str] = &[
-    "requests", "urllib3", "numpy", "pandas", "boto3", "setuptools", "botocore", "idna",
-    "certifi", "charset-normalizer", "python-dateutil", "typing-extensions", "six", "pyyaml",
-    "cryptography", "packaging", "pip", "wheel", "click", "rich", "colorama", "attrs", "jinja2",
-    "markupsafe", "flask", "django", "pytest", "scipy", "matplotlib", "pillow", "sqlalchemy",
-    "pydantic", "aiohttp", "tqdm", "beautifulsoup4", "lxml", "websockets", "redis", "celery",
-    "pytz", "httpx", "fastapi", "uvicorn", "paramiko", "psycopg2", "pymongo", "selenium",
-    "scikit-learn", "tensorflow", "torch",
+    "requests",
+    "urllib3",
+    "numpy",
+    "pandas",
+    "boto3",
+    "setuptools",
+    "botocore",
+    "idna",
+    "certifi",
+    "charset-normalizer",
+    "python-dateutil",
+    "typing-extensions",
+    "six",
+    "pyyaml",
+    "cryptography",
+    "packaging",
+    "pip",
+    "wheel",
+    "click",
+    "rich",
+    "colorama",
+    "attrs",
+    "jinja2",
+    "markupsafe",
+    "flask",
+    "django",
+    "pytest",
+    "scipy",
+    "matplotlib",
+    "pillow",
+    "sqlalchemy",
+    "pydantic",
+    "aiohttp",
+    "tqdm",
+    "beautifulsoup4",
+    "lxml",
+    "websockets",
+    "redis",
+    "celery",
+    "pytz",
+    "httpx",
+    "fastapi",
+    "uvicorn",
+    "paramiko",
+    "psycopg2",
+    "pymongo",
+    "selenium",
+    "scikit-learn",
+    "tensorflow",
+    "torch",
 ];
 
 /// Damerau-free Levenshtein edit distance between two names.

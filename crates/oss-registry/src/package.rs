@@ -1,11 +1,9 @@
 //! Package, metadata and source-file types.
 
-use serde::{Deserialize, Serialize};
-
 use crate::archive::{Archive, ArchiveError};
 
 /// The OSS ecosystem a package belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Ecosystem {
     /// Python Package Index (`.py` sources, `setup.py`).
     PyPi,
@@ -24,7 +22,7 @@ impl Ecosystem {
 }
 
 /// Package metadata, as maintained by authors (Fig. 1 of the paper).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PackageMetadata {
     /// Package name.
     pub name: String,
@@ -58,7 +56,7 @@ impl PackageMetadata {
 }
 
 /// One source file inside a package.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SourceFile {
     /// Path relative to the package root.
     pub path: String,
@@ -82,7 +80,7 @@ impl SourceFile {
 }
 
 /// A software package: metadata plus source files.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Package {
     metadata: PackageMetadata,
     files: Vec<SourceFile>,
@@ -247,7 +245,10 @@ mod tests {
 
     #[test]
     fn setup_file_found() {
-        assert_eq!(sample().setup_file().map(|f| f.path.as_str()), Some("setup.py"));
+        assert_eq!(
+            sample().setup_file().map(|f| f.path.as_str()),
+            Some("setup.py")
+        );
     }
 
     #[test]

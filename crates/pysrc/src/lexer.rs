@@ -8,8 +8,8 @@ use crate::token::{Token, TokenKind};
 
 /// Multi-character operators, longest first so maximal munch works.
 const OPERATORS: &[&str] = &[
-    "**=", "//=", ">>=", "<<=", "...", "->", ":=", "==", "!=", "<=", ">=", "//", "**", ">>",
-    "<<", "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=", "@=",
+    "**=", "//=", ">>=", "<<=", "...", "->", ":=", "==", "!=", "<=", ">=", "//", "**", ">>", "<<",
+    "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=", "@=",
 ];
 
 /// Tokenizes Python `source` into a flat token stream ending in
@@ -70,10 +70,8 @@ impl<'a> Lexer<'a> {
 
     fn run(mut self) -> Vec<Token> {
         loop {
-            if self.at_line_start && self.depth == 0 {
-                if !self.handle_indentation() {
-                    break;
-                }
+            if self.at_line_start && self.depth == 0 && !self.handle_indentation() {
+                break;
             }
             let (line, col) = (self.line, self.col);
             let Some(b) = self.peek() else { break };
@@ -108,19 +106,19 @@ impl<'a> Lexer<'a> {
                 }
                 b'"' | b'\'' => self.string(String::new(), line, col),
                 b'0'..=b'9' => {
-                    let text = self.take_while(|b| {
-                        b.is_ascii_alphanumeric() || b == b'.' || b == b'_'
-                    });
+                    let text =
+                        self.take_while(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_');
                     self.push(TokenKind::Number(text), line, col);
                 }
                 b if b.is_ascii_alphabetic() || b == b'_' || b >= 0x80 => {
-                    let word = self.take_while(|b| {
-                        b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
-                    });
+                    let word =
+                        self.take_while(|b| b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80);
                     // String prefix? (r'', b"", f''', rb'' ...)
                     let lower = word.to_ascii_lowercase();
-                    if matches!(lower.as_str(), "r" | "b" | "f" | "u" | "rb" | "br" | "fr" | "rf")
-                        && matches!(self.peek(), Some(b'"') | Some(b'\''))
+                    if matches!(
+                        lower.as_str(),
+                        "r" | "b" | "f" | "u" | "rb" | "br" | "fr" | "rf"
+                    ) && matches!(self.peek(), Some(b'"') | Some(b'\''))
                     {
                         self.string(lower, line, col);
                     } else {
@@ -131,7 +129,10 @@ impl<'a> Lexer<'a> {
             }
         }
         // Close out: final newline + remaining dedents.
-        if !matches!(self.out.last().map(|t| &t.kind), Some(TokenKind::Newline) | None) {
+        if !matches!(
+            self.out.last().map(|t| &t.kind),
+            Some(TokenKind::Newline) | None
+        ) {
             self.push(TokenKind::Newline, self.line, self.col);
         }
         while self.indents.len() > 1 {
@@ -332,13 +333,17 @@ mod tests {
     #[test]
     fn string_literals() {
         let k = kinds("x = 'hello'\n");
-        assert!(k.iter().any(|k| matches!(k, TokenKind::Str { value, .. } if value == "hello")));
+        assert!(k
+            .iter()
+            .any(|k| matches!(k, TokenKind::Str { value, .. } if value == "hello")));
     }
 
     #[test]
     fn string_escapes() {
         let k = kinds(r#"x = "a\nb""#);
-        assert!(k.iter().any(|k| matches!(k, TokenKind::Str { value, .. } if value == "a\nb")));
+        assert!(k
+            .iter()
+            .any(|k| matches!(k, TokenKind::Str { value, .. } if value == "a\nb")));
     }
 
     #[test]
@@ -399,8 +404,12 @@ mod tests {
     #[test]
     fn unterminated_string_tolerated() {
         let k = kinds("x = 'oops\ny = 2\n");
-        assert!(k.iter().any(|k| matches!(k, TokenKind::Str { value, .. } if value == "oops")));
-        assert!(k.iter().any(|k| matches!(k, TokenKind::Ident(i) if i == "y")));
+        assert!(k
+            .iter()
+            .any(|k| matches!(k, TokenKind::Str { value, .. } if value == "oops")));
+        assert!(k
+            .iter()
+            .any(|k| matches!(k, TokenKind::Ident(i) if i == "y")));
     }
 
     #[test]
@@ -413,8 +422,12 @@ mod tests {
     #[test]
     fn numbers() {
         let k = kinds("x = 0xFF + 3.14\n");
-        assert!(k.iter().any(|k| matches!(k, TokenKind::Number(n) if n == "0xFF")));
-        assert!(k.iter().any(|k| matches!(k, TokenKind::Number(n) if n == "3.14")));
+        assert!(k
+            .iter()
+            .any(|k| matches!(k, TokenKind::Number(n) if n == "0xFF")));
+        assert!(k
+            .iter()
+            .any(|k| matches!(k, TokenKind::Number(n) if n == "3.14")));
     }
 
     #[test]

@@ -47,12 +47,12 @@ pub fn collect_calls(module: &Module) -> Vec<&Expr> {
 
 fn collect_calls_stmt<'a>(stmt: &'a Stmt, out: &mut Vec<&'a Expr>) {
     match stmt {
-        Stmt::Expr { value, .. } | Stmt::Assign { value, .. } | Stmt::Return { value: Some(value), .. } => {
-            collect_calls_expr(value, out)
-        }
-        Stmt::FunctionDef { body, .. }
-        | Stmt::ClassDef { body, .. }
-        | Stmt::Block { body, .. } => {
+        Stmt::Expr { value, .. }
+        | Stmt::Assign { value, .. }
+        | Stmt::Return {
+            value: Some(value), ..
+        } => collect_calls_expr(value, out),
+        Stmt::FunctionDef { body, .. } | Stmt::ClassDef { body, .. } | Stmt::Block { body, .. } => {
             for s in body {
                 collect_calls_stmt(s, out);
             }
@@ -94,9 +94,7 @@ fn collect_strings_stmt<'a>(stmt: &'a Stmt, out: &mut Vec<(&'a str, usize)>) {
             value: Some(value),
             line,
         } => collect_strings_expr(value, *line, out),
-        Stmt::FunctionDef { body, .. }
-        | Stmt::ClassDef { body, .. }
-        | Stmt::Block { body, .. } => {
+        Stmt::FunctionDef { body, .. } | Stmt::ClassDef { body, .. } | Stmt::Block { body, .. } => {
             for s in body {
                 collect_strings_stmt(s, out);
             }
@@ -140,9 +138,7 @@ fn collect_imports_stmt(stmt: &Stmt, out: &mut Vec<String>) {
                 out.push(format!("{module}.{n}"));
             }
         }
-        Stmt::FunctionDef { body, .. }
-        | Stmt::ClassDef { body, .. }
-        | Stmt::Block { body, .. } => {
+        Stmt::FunctionDef { body, .. } | Stmt::ClassDef { body, .. } | Stmt::Block { body, .. } => {
             for s in body {
                 collect_imports_stmt(s, out);
             }

@@ -94,7 +94,7 @@ impl Parser {
         if let TokenKind::Ident(word) = self.peek() {
             match word.as_str() {
                 "import" => return self.import_stmt(line),
-                "from" => return self.from_import_stmt(line),
+                "from" => return self.parse_from_import(line),
                 "def" => return self.def_stmt(line),
                 "class" => return self.class_stmt(line),
                 "return" => return self.return_stmt(line),
@@ -189,7 +189,7 @@ impl Parser {
         Stmt::Import { modules, line }
     }
 
-    fn from_import_stmt(&mut self, line: usize) -> Stmt {
+    fn parse_from_import(&mut self, line: usize) -> Stmt {
         self.bump(); // 'from'
         let module = self.dotted_name();
         let mut names = Vec::new();
@@ -344,7 +344,7 @@ impl Parser {
 
     fn block_stmt(&mut self, keyword: String, line: usize) -> Stmt {
         self.bump(); // keyword
-        // Header: tokens until ':' at bracket depth zero.
+                     // Header: tokens until ':' at bracket depth zero.
         let mut header = keyword.clone();
         let mut depth = 0usize;
         loop {
@@ -429,8 +429,23 @@ impl Parser {
                 TokenKind::Op(o)
                     if matches!(
                         o.as_str(),
-                        "+" | "-" | "*" | "/" | "%" | "//" | "**" | "|" | "&" | "^"
-                            | "==" | "!=" | "<" | ">" | "<=" | ">=" | ">>" | "<<"
+                        "+" | "-"
+                            | "*"
+                            | "/"
+                            | "%"
+                            | "//"
+                            | "**"
+                            | "|"
+                            | "&"
+                            | "^"
+                            | "=="
+                            | "!="
+                            | "<"
+                            | ">"
+                            | "<="
+                            | ">="
+                            | ">>"
+                            | "<<"
                     ) =>
                 {
                     o.clone()
@@ -438,9 +453,7 @@ impl Parser {
                 TokenKind::Ident(w) if w == "and" || w == "or" || w == "in" || w == "is" => {
                     w.clone()
                 }
-                TokenKind::Ident(w) if w == "not" => {
-                    w.clone()
-                }
+                TokenKind::Ident(w) if w == "not" => w.clone(),
                 _ => break,
             };
             self.bump();

@@ -23,7 +23,9 @@ pub struct AlignOutcome {
 /// interface.
 pub fn compile_rule(format: RuleFormat, rule: &str) -> Result<(), String> {
     match format {
-        RuleFormat::Yara => yara_engine::compile(rule).map(|_| ()).map_err(|e| e.to_string()),
+        RuleFormat::Yara => yara_engine::compile(rule)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
         RuleFormat::Semgrep => semgrep_engine::compile(rule)
             .map(|_| ())
             .map_err(|e| e.to_string()),
@@ -126,7 +128,8 @@ mod tests {
     #[test]
     fn broken_rule_gets_repaired() {
         let mut llm = perfect_fixer();
-        let rule = "rule broken { strings: $a = \"requests.get\" condition: $a and $ghost }".to_owned();
+        let rule =
+            "rule broken { strings: $a = \"requests.get\" condition: $a and $ghost }".to_owned();
         let out = align_rule(&mut llm, RuleFormat::Yara, ANALYSIS, rule, 5);
         let fixed = out.rule.expect("repaired");
         assert!(yara_engine::compile(&fixed).is_ok());
@@ -157,7 +160,8 @@ mod tests {
     #[test]
     fn semgrep_rules_align_too() {
         let mut llm = perfect_fixer();
-        let broken = "rules:\n  - id: x\n    languages: [python]\n    pattern: os.system(...)\n".to_owned(); // missing message
+        let broken =
+            "rules:\n  - id: x\n    languages: [python]\n    pattern: os.system(...)\n".to_owned(); // missing message
         let out = align_rule(&mut llm, RuleFormat::Semgrep, "summary: shell\n", broken, 5);
         let fixed = out.rule.expect("repaired");
         assert!(semgrep_engine::compile(&fixed).is_ok(), "{fixed}");

@@ -55,14 +55,32 @@ pub fn write_rules(output: &PipelineOutput, dir: &Path) -> io::Result<Deployment
     if !output.semgrep.is_empty() {
         let semgrep_dir = dir.join("semgrep");
         fs::create_dir_all(&semgrep_dir)?;
+        let mut used_names: std::collections::HashSet<String> = std::collections::HashSet::new();
         for rule in &output.semgrep {
-            let id = rule
-                .text
-                .lines()
-                .find_map(|l| l.trim().trim_start_matches("- ").strip_prefix("id:"))
-                .map(|s| s.trim().to_owned())
-                .unwrap_or_else(|| format!("rule-{:08x}", digest::fnv1a(rule.text.as_bytes()) as u32));
-            let path = semgrep_dir.join(format!("{}.yaml", sanitize(&id)));
+            // Name the file after the rule's actual id: compiling the
+            // text scopes the lookup to the top-level `id` key of the
+            // first rule, so an `id:` inside a `metadata:` block (or a
+            // second rule in the same document) can never win. Aligned
+            // rules failing to compile indicates pipeline corruption.
+            let compiled = semgrep_engine::compile(&rule.text)
+                .unwrap_or_else(|e| panic!("deployed Semgrep rule failed to compile: {e}"));
+            let id = compiled
+                .rules
+                .first()
+                .map(|r| r.id.clone())
+                .unwrap_or_else(|| {
+                    format!("rule-{:08x}", digest::fnv1a(rule.text.as_bytes()) as u32)
+                });
+            // Distinct rules may share an id (or sanitize to the same
+            // name); suffix until unique so no file is overwritten.
+            let base = sanitize(&id);
+            let mut name = base.clone();
+            let mut n = 1;
+            while !used_names.insert(name.clone()) {
+                n += 1;
+                name = format!("{base}-{n}");
+            }
+            let path = semgrep_dir.join(format!("{name}.yaml"));
             fs::write(&path, &rule.text)?;
             let reread = fs::read_to_string(&path)?;
             semgrep_engine::compile(&reread)
@@ -91,10 +109,7 @@ mod tests {
     use oss_registry::{Ecosystem, Package, PackageMetadata, SourceFile};
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "rulellm-deploy-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("rulellm-deploy-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -118,10 +133,7 @@ mod tests {
         let deployment = write_rules(&output, &dir).expect("deploy");
         assert!(deployment.yara_file.is_some());
         assert_eq!(deployment.semgrep_files.len(), output.semgrep.len());
-        assert_eq!(
-            deployment.file_count(),
-            1 + output.semgrep.len()
-        );
+        assert_eq!(deployment.file_count(), 1 + output.semgrep.len());
         for f in &deployment.semgrep_files {
             assert!(f.exists());
             assert!(f.extension().is_some_and(|e| e == "yaml"));
@@ -140,6 +152,71 @@ mod tests {
         let deployment = write_rules(&output, &dir).expect("deploy");
         assert_eq!(deployment.file_count(), 0);
         assert!(deployment.yara_file.is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn semgrep_rule(text: &str) -> crate::GeneratedRule {
+        crate::GeneratedRule {
+            text: text.to_owned(),
+            format: llm_sim::RuleFormat::Semgrep,
+            provenance: Vec::new(),
+            group: None,
+        }
+    }
+
+    fn semgrep_output(texts: &[&str]) -> PipelineOutput {
+        PipelineOutput {
+            yara: Vec::new(),
+            semgrep: texts.iter().map(|t| semgrep_rule(t)).collect(),
+            stats: Default::default(),
+        }
+    }
+
+    #[test]
+    fn file_named_after_top_level_id_not_metadata_id() {
+        let dir = temp_dir("metaid");
+        // The metadata block carries its own `id:` entry on an earlier
+        // line than the rule's top-level `id`, so a naive
+        // first-`id:`-line scan would name the file `wrong-id.yaml`.
+        let rule = "rules:\n  - metadata:\n      id: wrong-id\n      source: unit-test\n    id: right-id\n    languages: [python]\n    message: m\n    pattern: os.system($X)\n";
+        let deployment = write_rules(&semgrep_output(&[rule]), &dir).expect("deploy");
+        let names: Vec<String> = deployment
+            .semgrep_files
+            .iter()
+            .map(|p| p.file_name().expect("name").to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["right-id.yaml".to_owned()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn colliding_ids_get_distinct_files() {
+        let dir = temp_dir("collide");
+        let a =
+            "rules:\n  - id: dup\n    languages: [python]\n    message: a\n    pattern: eval($X)\n";
+        let b =
+            "rules:\n  - id: dup\n    languages: [python]\n    message: b\n    pattern: exec($X)\n";
+        // `dup.2` sanitizes to `dup-2`... no: dots become underscores;
+        // pick an id that sanitizes into the suffixed form to prove the
+        // suffixing itself also stays collision-free.
+        let c = "rules:\n  - id: dup-2\n    languages: [python]\n    message: c\n    pattern: run($X)\n";
+        let deployment = write_rules(&semgrep_output(&[a, b, c]), &dir).expect("deploy");
+        assert_eq!(deployment.semgrep_files.len(), 3);
+        let names: std::collections::HashSet<String> = deployment
+            .semgrep_files
+            .iter()
+            .map(|p| p.file_name().expect("name").to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names.len(), 3, "no file overwrote another: {names:?}");
+        // Every file still holds its own rule text.
+        let texts: Vec<String> = deployment
+            .semgrep_files
+            .iter()
+            .map(|p| fs::read_to_string(p).expect("read"))
+            .collect();
+        assert!(texts[0].contains("message: a"));
+        assert!(texts[1].contains("message: b"));
+        assert!(texts[2].contains("message: c"));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -31,7 +31,11 @@ impl ExtractedPackage {
     /// first), stable on ties.
     pub fn ranked_units(&self) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.units.len()).collect();
-        order.sort_by(|&a, &b| self.unit_scores[b].cmp(&self.unit_scores[a]).then(a.cmp(&b)));
+        order.sort_by(|&a, &b| {
+            self.unit_scores[b]
+                .cmp(&self.unit_scores[a])
+                .then(a.cmp(&b))
+        });
         order
     }
 }

@@ -54,7 +54,5 @@ mod units;
 
 pub use align::{align_rule, AlignOutcome};
 pub use extraction::{extract_knowledge, ExtractedPackage, PackageGroups};
-pub use pipeline::{
-    GeneratedRule, Pipeline, PipelineConfig, PipelineOutput, PipelineStats,
-};
+pub use pipeline::{GeneratedRule, Pipeline, PipelineConfig, PipelineOutput, PipelineStats};
 pub use units::{split_basic_units, BasicUnit, MAX_UNIT_CHARS};

@@ -339,13 +339,7 @@ impl Pipeline {
             let mut profile: Vec<String> = audit
                 .indicators
                 .iter()
-                .map(|ind| {
-                    ind.text
-                        .split(':')
-                        .next()
-                        .unwrap_or("flag")
-                        .to_owned()
-                })
+                .map(|ind| ind.text.split(':').next().unwrap_or("flag").to_owned())
                 .collect();
             profile.sort();
             profile.dedup();
@@ -501,10 +495,7 @@ mod tests {
         let mut pipeline = Pipeline::new(PipelineConfig::full());
         let out = pipeline.run(&refs);
         assert!(out.stats.crafted >= out.stats.aligned_ok);
-        assert_eq!(
-            out.stats.aligned_ok,
-            out.yara.len() + out.semgrep.len(),
-        );
+        assert_eq!(out.stats.aligned_ok, out.yara.len() + out.semgrep.len(),);
         assert!(out.stats.llm_completions > 0);
     }
 

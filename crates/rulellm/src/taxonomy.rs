@@ -11,29 +11,68 @@ pub type Label = (&'static str, &'static str);
 /// Keyword table: a rule containing any needle gets the label.
 const KEYWORDS: &[(&str, Label)] = &[
     // 0. Metadata Related
-    ("Name: ", ("Metadata Related", "Package Metadata Manipulation")),
-    ("Version: 0.0", ("Metadata Related", "Version Number Deception")),
-    ("Requires-Dist:", ("Metadata Related", "Fake Dependency Metadata")),
-    ("Author: ", ("Metadata Related", "Author Information Spoofing")),
-    ("Summary: \\n", ("Metadata Related", "Package Metadata Manipulation")),
+    (
+        "Name: ",
+        ("Metadata Related", "Package Metadata Manipulation"),
+    ),
+    (
+        "Version: 0.0",
+        ("Metadata Related", "Version Number Deception"),
+    ),
+    (
+        "Requires-Dist:",
+        ("Metadata Related", "Fake Dependency Metadata"),
+    ),
+    (
+        "Author: ",
+        ("Metadata Related", "Author Information Spoofing"),
+    ),
+    (
+        "Summary: \\n",
+        ("Metadata Related", "Package Metadata Manipulation"),
+    ),
     // 1. Malicious Behavior
     ("os.setuid", ("Malicious Behavior", "Privilege Escalation")),
     ("sudo -n", ("Malicious Behavior", "Privilege Escalation")),
     ("os.kill", ("Malicious Behavior", "Process Manipulation")),
-    ("/etc/hosts", ("Malicious Behavior", "System Configuration Changes")),
+    (
+        "/etc/hosts",
+        ("Malicious Behavior", "System Configuration Changes"),
+    ),
     ("crontab", ("Malicious Behavior", "Persistence Mechanisms")),
     (".bashrc", ("Malicious Behavior", "Persistence Mechanisms")),
     ("@reboot", ("Malicious Behavior", "Persistence Mechanisms")),
     // 2. Dependency Library
     ("ctypes", ("Dependency Library", "System Library Abuse")),
-    ("VirtualAlloc", ("Dependency Library", "System Library Abuse")),
-    ("socket.socket", ("Dependency Library", "Network Library Misuse")),
-    (".connect(", ("Dependency Library", "Network Library Misuse")),
-    ("Fernet", ("Dependency Library", "Crypto Library Exploitation")),
-    ("ImageGrab", ("Dependency Library", "UI/Graphics Library Abuse")),
+    (
+        "VirtualAlloc",
+        ("Dependency Library", "System Library Abuse"),
+    ),
+    (
+        "socket.socket",
+        ("Dependency Library", "Network Library Misuse"),
+    ),
+    (
+        ".connect(",
+        ("Dependency Library", "Network Library Misuse"),
+    ),
+    (
+        "Fernet",
+        ("Dependency Library", "Crypto Library Exploitation"),
+    ),
+    (
+        "ImageGrab",
+        ("Dependency Library", "UI/Graphics Library Abuse"),
+    ),
     // 3. Setup Code
-    ("setuptools.command.install", ("Setup Code", "Malicious Setup Scripts")),
-    ("install.run(self)", ("Setup Code", "Malicious Setup Scripts")),
+    (
+        "setuptools.command.install",
+        ("Setup Code", "Malicious Setup Scripts"),
+    ),
+    (
+        "install.run(self)",
+        ("Setup Code", "Malicious Setup Scripts"),
+    ),
     ("egg_info", ("Setup Code", "Build Process Manipulation")),
     ("atexit.register", ("Setup Code", "Installation Hook Abuse")),
     ("post-install", ("Setup Code", "Installation Hook Abuse")),
@@ -42,29 +81,77 @@ const KEYWORDS: &[(&str, Label)] = &[
     // 4. Network Related
     ("/tasks", ("Network Related", "C2 Communication")),
     ("requests.get", ("Network Related", "C2 Communication")),
-    ("discord.com/api/webhooks", ("Network Related", "Data Exfiltration Channels")),
-    ("requests.post", ("Network Related", "Data Exfiltration Channels")),
+    (
+        "discord.com/api/webhooks",
+        ("Network Related", "Data Exfiltration Channels"),
+    ),
+    (
+        "requests.post",
+        ("Network Related", "Data Exfiltration Channels"),
+    ),
     ("urlretrieve", ("Network Related", "Malicious Downloads")),
     ("wget ", ("Network Related", "Malicious Downloads")),
     ("curl ", ("Network Related", "Malicious Downloads")),
     ("gethostbyname", ("Network Related", "DNS/Protocol Abuse")),
     // 5. Obfuscation & Anti-Detection
-    ("b64decode", ("Obfuscation & Anti-Detection", "Code Obfuscation")),
-    ("exec(", ("Obfuscation & Anti-Detection", "Code Obfuscation")),
-    ("A-Za-z0-9+/", ("Obfuscation & Anti-Detection", "Code Obfuscation")),
-    ("gettrace", ("Obfuscation & Anti-Detection", "Anti-Analysis Techniques")),
-    ("os._exit(0)", ("Obfuscation & Anti-Detection", "Anti-Analysis Techniques")),
-    ("getnode", ("Obfuscation & Anti-Detection", "Sandbox Evasion")),
-    ("sandbox", ("Obfuscation & Anti-Detection", "Sandbox Evasion")),
-    ("chr(", ("Obfuscation & Anti-Detection", "String/Pattern Hiding")),
+    (
+        "b64decode",
+        ("Obfuscation & Anti-Detection", "Code Obfuscation"),
+    ),
+    (
+        "exec(",
+        ("Obfuscation & Anti-Detection", "Code Obfuscation"),
+    ),
+    (
+        "A-Za-z0-9+/",
+        ("Obfuscation & Anti-Detection", "Code Obfuscation"),
+    ),
+    (
+        "gettrace",
+        ("Obfuscation & Anti-Detection", "Anti-Analysis Techniques"),
+    ),
+    (
+        "os._exit(0)",
+        ("Obfuscation & Anti-Detection", "Anti-Analysis Techniques"),
+    ),
+    (
+        "getnode",
+        ("Obfuscation & Anti-Detection", "Sandbox Evasion"),
+    ),
+    (
+        "sandbox",
+        ("Obfuscation & Anti-Detection", "Sandbox Evasion"),
+    ),
+    (
+        "chr(",
+        ("Obfuscation & Anti-Detection", "String/Pattern Hiding"),
+    ),
     // 6. Data Exfiltration
-    (".aws/credentials", ("Data Exfiltration", "Credential Theft")),
+    (
+        ".aws/credentials",
+        ("Data Exfiltration", "Credential Theft"),
+    ),
     ("id_rsa", ("Data Exfiltration", "Credential Theft")),
-    ("os.environ", ("Data Exfiltration", "Environment Data Stealing")),
-    (".pypirc", ("Data Exfiltration", "Configuration File Extraction")),
-    (".npmrc", ("Data Exfiltration", "Configuration File Extraction")),
-    ("getpass.getuser", ("Data Exfiltration", "Sensitive Data Harvesting")),
-    ("platform.platform", ("Data Exfiltration", "Sensitive Data Harvesting")),
+    (
+        "os.environ",
+        ("Data Exfiltration", "Environment Data Stealing"),
+    ),
+    (
+        ".pypirc",
+        ("Data Exfiltration", "Configuration File Extraction"),
+    ),
+    (
+        ".npmrc",
+        ("Data Exfiltration", "Configuration File Extraction"),
+    ),
+    (
+        "getpass.getuser",
+        ("Data Exfiltration", "Sensitive Data Harvesting"),
+    ),
+    (
+        "platform.platform",
+        ("Data Exfiltration", "Sensitive Data Harvesting"),
+    ),
     // 7. Code Execution
     ("os.system", ("Code Execution", "Shell Command Execution")),
     ("os.popen", ("Code Execution", "Shell Command Execution")),
@@ -75,7 +162,10 @@ const KEYWORDS: &[(&str, Label)] = &[
     // 8. Application
     ("leveldb", ("Application", "Messaging Platform Abuse")),
     ("discord", ("Application", "Messaging Platform Abuse")),
-    ("api.twitter.com", ("Application", "Social Media API Exploitation")),
+    (
+        "api.twitter.com",
+        ("Application", "Social Media API Exploitation"),
+    ),
     ("boto3", ("Application", "Cloud Service Misuse")),
     ("git', 'config", ("Application", "Development Tool Abuse")),
     ("git config", ("Application", "Development Tool Abuse")),
@@ -126,7 +216,11 @@ pub fn tabulate<'a>(rule_texts: impl IntoIterator<Item = &'a str>) -> Vec<(Label
 /// totals). Categories are indexed in Table XII order.
 pub fn overlap_matrix<'a>(rule_texts: impl IntoIterator<Item = &'a str>) -> Vec<Vec<usize>> {
     let cats = category_names();
-    let idx = |name: &str| cats.iter().position(|c| *c == name).expect("known category");
+    let idx = |name: &str| {
+        cats.iter()
+            .position(|c| *c == name)
+            .expect("known category")
+    };
     let mut m = vec![vec![0usize; cats.len()]; cats.len()];
     for text in rule_texts {
         let labels = classify(text);
@@ -150,66 +244,91 @@ pub fn category_names() -> Vec<&'static str> {
 /// The full taxonomy skeleton (same shape as Table XII).
 fn corpus_taxonomy() -> &'static [(&'static str, &'static [&'static str])] {
     &[
-        ("Metadata Related", &[
-            "Package Metadata Manipulation",
-            "Version Number Deception",
-            "Fake Dependency Metadata",
-            "Author Information Spoofing",
-        ]),
-        ("Malicious Behavior", &[
-            "Privilege Escalation",
-            "Process Manipulation",
-            "System Configuration Changes",
-            "Persistence Mechanisms",
-        ]),
-        ("Dependency Library", &[
-            "System Library Abuse",
-            "Network Library Misuse",
-            "Crypto Library Exploitation",
-            "UI/Graphics Library Abuse",
-        ]),
-        ("Setup Code", &[
-            "Malicious Setup Scripts",
-            "Build Process Manipulation",
-            "Installation Hook Abuse",
-            "Configuration Tampering",
-        ]),
-        ("Network Related", &[
-            "C2 Communication",
-            "Data Exfiltration Channels",
-            "Malicious Downloads",
-            "DNS/Protocol Abuse",
-        ]),
-        ("Obfuscation & Anti-Detection", &[
-            "Code Obfuscation",
-            "Anti-Analysis Techniques",
-            "Sandbox Evasion",
-            "String/Pattern Hiding",
-        ]),
-        ("Data Exfiltration", &[
-            "Credential Theft",
-            "Environment Data Stealing",
-            "Configuration File Extraction",
-            "Sensitive Data Harvesting",
-        ]),
-        ("Code Execution", &[
-            "Shell Command Execution",
-            "Script Injection",
-            "Process Creation",
-        ]),
-        ("Application", &[
-            "Messaging Platform Abuse",
-            "Social Media API Exploitation",
-            "Cloud Service Misuse",
-            "Development Tool Abuse",
-        ]),
-        ("Malware Family", &[
-            "Known Trojan Families",
-            "Backdoor Families",
-        ]),
-        ("Other Rules", &[
-            "Unknown or Undetermined",
-        ]),
+        (
+            "Metadata Related",
+            &[
+                "Package Metadata Manipulation",
+                "Version Number Deception",
+                "Fake Dependency Metadata",
+                "Author Information Spoofing",
+            ],
+        ),
+        (
+            "Malicious Behavior",
+            &[
+                "Privilege Escalation",
+                "Process Manipulation",
+                "System Configuration Changes",
+                "Persistence Mechanisms",
+            ],
+        ),
+        (
+            "Dependency Library",
+            &[
+                "System Library Abuse",
+                "Network Library Misuse",
+                "Crypto Library Exploitation",
+                "UI/Graphics Library Abuse",
+            ],
+        ),
+        (
+            "Setup Code",
+            &[
+                "Malicious Setup Scripts",
+                "Build Process Manipulation",
+                "Installation Hook Abuse",
+                "Configuration Tampering",
+            ],
+        ),
+        (
+            "Network Related",
+            &[
+                "C2 Communication",
+                "Data Exfiltration Channels",
+                "Malicious Downloads",
+                "DNS/Protocol Abuse",
+            ],
+        ),
+        (
+            "Obfuscation & Anti-Detection",
+            &[
+                "Code Obfuscation",
+                "Anti-Analysis Techniques",
+                "Sandbox Evasion",
+                "String/Pattern Hiding",
+            ],
+        ),
+        (
+            "Data Exfiltration",
+            &[
+                "Credential Theft",
+                "Environment Data Stealing",
+                "Configuration File Extraction",
+                "Sensitive Data Harvesting",
+            ],
+        ),
+        (
+            "Code Execution",
+            &[
+                "Shell Command Execution",
+                "Script Injection",
+                "Process Creation",
+            ],
+        ),
+        (
+            "Application",
+            &[
+                "Messaging Platform Abuse",
+                "Social Media API Exploitation",
+                "Cloud Service Misuse",
+                "Development Tool Abuse",
+            ],
+        ),
+        (
+            "Malware Family",
+            &["Known Trojan Families", "Backdoor Families"],
+        ),
+        ("Other Rules", &["Unknown or Undetermined"]),
     ]
 }
 
@@ -279,7 +398,10 @@ mod tests {
         ];
         let m = overlap_matrix(rules.iter().copied());
         let cats = category_names();
-        let exec = cats.iter().position(|c| *c == "Code Execution").expect("cat");
+        let exec = cats
+            .iter()
+            .position(|c| *c == "Code Execution")
+            .expect("cat");
         let obf = cats
             .iter()
             .position(|c| *c == "Obfuscation & Anti-Detection")

@@ -28,8 +28,8 @@ pub struct BasicUnit {
 pub fn split_basic_units(source: &str) -> Vec<BasicUnit> {
     // The paper's boundary regex: block-opening keywords at column zero
     // (top-level blocks) or decorators introducing them.
-    let boundary = Regex::new(r"^(def |class |if |for |while |try:|with |@)")
-        .expect("static pattern");
+    let boundary =
+        Regex::new(r"^(def |class |if |for |while |try:|with |@)").expect("static pattern");
     let lines: Vec<&str> = source.lines().collect();
     let mut units = Vec::new();
     let mut current = String::new();
@@ -40,7 +40,9 @@ pub fn split_basic_units(source: &str) -> Vec<BasicUnit> {
         // the same unit as its decorators.
         let decorator_continuation = (line.starts_with("def ") || line.starts_with("class "))
             && !current.trim().is_empty()
-            && current.lines().all(|l| l.trim().is_empty() || l.starts_with('@'));
+            && current
+                .lines()
+                .all(|l| l.trim().is_empty() || l.starts_with('@'));
         if is_boundary && !decorator_continuation && !current.trim().is_empty() {
             push_unit(&mut units, &current, current_start);
             current = String::new();
@@ -70,8 +72,8 @@ fn push_unit(units: &mut Vec<BasicUnit>, code: &str, start_line: usize) {
     // Oversized block: split at line boundaries below the cap.
     let mut piece = String::new();
     let mut piece_start = start_line;
-    let mut line_no = start_line;
-    for line in code.lines() {
+    for (offset, line) in code.lines().enumerate() {
+        let line_no = start_line + offset;
         if piece.len() + line.len() + 1 > MAX_UNIT_CHARS && !piece.is_empty() {
             units.push(BasicUnit {
                 code: piece.clone(),
@@ -82,7 +84,6 @@ fn push_unit(units: &mut Vec<BasicUnit>, code: &str, start_line: usize) {
         }
         piece.push_str(line);
         piece.push('\n');
-        line_no += 1;
     }
     if !piece.trim().is_empty() {
         units.push(BasicUnit {
@@ -150,7 +151,9 @@ mod tests {
     fn oversized_unit_is_split() {
         let mut src = String::from("def huge():\n");
         for i in 0..400 {
-            src.push_str(&format!("    value_{i} = 'padding data for the unit splitter'\n"));
+            src.push_str(&format!(
+                "    value_{i} = 'padding data for the unit splitter'\n"
+            ));
         }
         let units = split_basic_units(&src);
         assert!(units.len() > 1);

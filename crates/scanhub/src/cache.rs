@@ -1,0 +1,151 @@
+//! Digest-keyed LRU verdict cache.
+//!
+//! Registry traffic is heavy with re-uploads and unchanged file sets; the
+//! paper's corpus itself deduplicates 3,200 packages to 1,633 unique
+//! signatures. Keying finished verdicts by content digest lets the hub
+//! serve every duplicate without touching a scanner.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::verdict::Verdict;
+
+/// A bounded least-recently-used map from content digest to verdict.
+///
+/// Recency is tracked with a lazy queue: every access pushes a fresh
+/// `(tick, key)` entry and stale entries are skipped during eviction, so
+/// both `get` and `insert` are amortized O(1).
+#[derive(Debug)]
+pub struct VerdictCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<String, (Verdict, u64)>,
+    recency: VecDeque<(u64, String)>,
+}
+
+impl VerdictCache {
+    /// Creates a cache holding at most `capacity` verdicts.
+    pub fn new(capacity: usize) -> Self {
+        VerdictCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            recency: VecDeque::new(),
+        }
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Looks up `digest`, refreshing its recency on a hit.
+    pub fn get(&mut self, digest: &str) -> Option<Verdict> {
+        self.tick += 1;
+        let tick = self.tick;
+        let verdict = {
+            let (verdict, stamp) = self.map.get_mut(digest)?;
+            *stamp = tick;
+            verdict.clone()
+        };
+        self.recency.push_back((tick, digest.to_owned()));
+        self.maybe_compact();
+        Some(verdict)
+    }
+
+    /// Stores `verdict` under `digest`, evicting the least recently used
+    /// entry when full.
+    pub fn insert(&mut self, digest: String, verdict: Verdict) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.recency.push_back((tick, digest.clone()));
+        self.map.insert(digest, (verdict, tick));
+        while self.map.len() > self.capacity {
+            let Some((stamp, key)) = self.recency.pop_front() else {
+                break;
+            };
+            // Stale queue entry: the key was touched again later.
+            if self.map.get(&key).is_some_and(|(_, s)| *s == stamp) {
+                self.map.remove(&key);
+            }
+        }
+        self.maybe_compact();
+    }
+
+    /// Drops stale recency entries once the queue outgrows the map 4×.
+    fn maybe_compact(&mut self) {
+        if self.recency.len() > 4 * self.map.len().max(8) {
+            let map = &self.map;
+            self.recency
+                .retain(|(stamp, key)| map.get(key).is_some_and(|(_, s)| s == stamp));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict(tag: &str) -> Verdict {
+        Verdict {
+            yara: vec![tag.to_owned()],
+            semgrep: Vec::new(),
+            from_cache: false,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut cache = VerdictCache::new(4);
+        cache.insert("a".into(), verdict("ra"));
+        assert_eq!(cache.get("a").map(|v| v.yara), Some(vec!["ra".to_owned()]));
+        assert!(cache.get("b").is_none());
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = VerdictCache::new(2);
+        cache.insert("a".into(), verdict("ra"));
+        cache.insert("b".into(), verdict("rb"));
+        // Touch `a` so `b` becomes the eviction victim.
+        assert!(cache.get("a").is_some());
+        cache.insert("c".into(), verdict("rc"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes() {
+        let mut cache = VerdictCache::new(2);
+        cache.insert("a".into(), verdict("r1"));
+        cache.insert("b".into(), verdict("r2"));
+        cache.insert("a".into(), verdict("r3"));
+        cache.insert("c".into(), verdict("r4"));
+        assert_eq!(cache.get("a").map(|v| v.yara), Some(vec!["r3".to_owned()]));
+        assert!(cache.get("b").is_none());
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut cache = VerdictCache::new(0);
+        cache.insert("a".into(), verdict("ra"));
+        assert_eq!(cache.len(), 0);
+        assert!(cache.get("a").is_none());
+    }
+
+    #[test]
+    fn recency_queue_stays_bounded() {
+        let mut cache = VerdictCache::new(8);
+        for i in 0..8 {
+            cache.insert(format!("k{i}"), verdict("r"));
+        }
+        for _ in 0..10_000 {
+            assert!(cache.get("k3").is_some());
+        }
+        assert!(cache.recency.len() <= 4 * cache.map.len().max(8) + 1);
+    }
+}

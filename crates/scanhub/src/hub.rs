@@ -1,0 +1,521 @@
+//! The streaming scan service: sharded workers, bounded ingestion queue,
+//! digest cache, prefilter routing.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use semgrep_engine::CompiledSemgrepRules;
+use yara_engine::{CompiledRules, Scanner};
+
+use crate::cache::VerdictCache;
+use crate::prefilter::PrefilterIndex;
+use crate::request::ScanRequest;
+use crate::stats::{HubCounters, HubStats};
+use crate::verdict::Verdict;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct HubConfig {
+    /// Worker threads (each with its own reusable scanner state).
+    pub workers: usize,
+    /// Bounded submission queue length; a full queue blocks `submit`
+    /// (backpressure toward the ingestion side).
+    pub queue_capacity: usize,
+    /// Verdict cache entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Literal prefilter routing; disabling scans every rule (A/B lever
+    /// for the throughput benchmark and the equivalence property test).
+    pub prefilter: bool,
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        HubConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            queue_capacity: 256,
+            cache_capacity: 4096,
+            prefilter: true,
+        }
+    }
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct Job {
+    request: ScanRequest,
+    digest: Option<String>,
+    ticket: Arc<TicketState>,
+}
+
+struct TicketState {
+    slot: Mutex<Option<Result<Verdict, String>>>,
+    ready: Condvar,
+}
+
+impl TicketState {
+    fn fulfill(&self, outcome: Result<Verdict, String>) {
+        *self.slot.lock().expect("ticket lock") = Some(outcome);
+        self.ready.notify_all();
+    }
+}
+
+/// A claim on one submitted package's verdict.
+#[must_use = "a ticket must be waited on to observe the verdict"]
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    fn ready(verdict: Verdict) -> Self {
+        Ticket {
+            state: Arc::new(TicketState {
+                slot: Mutex::new(Some(Ok(verdict))),
+                ready: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Blocks until the verdict is available.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a worker panic that occurred while scanning this
+    /// request (the worker itself survives and keeps serving the queue).
+    pub fn wait(&self) -> Verdict {
+        let mut slot = self.state.slot.lock().expect("ticket lock");
+        loop {
+            match slot.as_ref() {
+                Some(Ok(v)) => return v.clone(),
+                Some(Err(msg)) => panic!("{msg}"),
+                None => slot = self.state.ready.wait(slot).expect("ticket wait"),
+            }
+        }
+    }
+}
+
+struct Shared {
+    yara: Option<CompiledRules>,
+    semgrep: Option<CompiledSemgrepRules>,
+    index: PrefilterIndex,
+    prefilter: bool,
+    queue: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    cache: Option<Mutex<VerdictCache>>,
+    counters: HubCounters,
+}
+
+/// A streaming scan service over one compiled rule bundle.
+///
+/// Workers are spawned at construction; [`ScanHub::submit`] enqueues
+/// packages (blocking when the bounded queue is full) and returns a
+/// [`Ticket`] redeemable for the [`Verdict`]. Dropping the hub drains the
+/// queue and joins the workers.
+pub struct ScanHub {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ScanHub {
+    /// Builds a hub over the given rule sets.
+    pub fn new(
+        yara: Option<CompiledRules>,
+        semgrep: Option<CompiledSemgrepRules>,
+        config: HubConfig,
+    ) -> Self {
+        let index = PrefilterIndex::build(yara.as_ref(), semgrep.as_ref());
+        let shared = Arc::new(Shared {
+            yara,
+            semgrep,
+            index,
+            prefilter: config.prefilter,
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: config.queue_capacity.max(1),
+            cache: (config.cache_capacity > 0)
+                .then(|| Mutex::new(VerdictCache::new(config.cache_capacity))),
+            counters: HubCounters::default(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        ScanHub { shared, workers }
+    }
+
+    /// The prefilter index (for introspection and reporting).
+    pub fn prefilter_index(&self) -> &PrefilterIndex {
+        &self.shared.index
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> HubStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Number of verdicts currently cached.
+    pub fn cached_verdicts(&self) -> usize {
+        self.shared
+            .cache
+            .as_ref()
+            .map_or(0, |c| c.lock().expect("cache lock").len())
+    }
+
+    /// Submits one package; blocks while the queue is full.
+    pub fn submit(&self, request: ScanRequest) -> Ticket {
+        let c = &self.shared.counters;
+        HubCounters::add(&c.submitted, 1);
+        let digest = self.shared.cache.as_ref().map(|_| request.digest());
+        if let (Some(cache), Some(d)) = (&self.shared.cache, &digest) {
+            if let Some(mut verdict) = cache.lock().expect("cache lock").get(d) {
+                verdict.from_cache = true;
+                HubCounters::add(&c.cache_hits, 1);
+                HubCounters::add(&c.completed, 1);
+                return Ticket::ready(verdict);
+            }
+        }
+        let ticket = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let job = Job {
+            request,
+            digest,
+            ticket: Arc::clone(&ticket),
+        };
+        let mut queue = self.shared.queue.lock().expect("queue lock");
+        while queue.jobs.len() >= self.shared.capacity && !queue.closed {
+            queue = self.shared.not_full.wait(queue).expect("queue wait");
+        }
+        queue.jobs.push_back(job);
+        drop(queue);
+        self.shared.not_empty.notify_one();
+        Ticket { state: ticket }
+    }
+
+    /// Submits a batch and returns the verdicts in submission order.
+    pub fn scan_ordered<I>(&self, requests: I) -> Vec<Verdict>
+    where
+        I: IntoIterator<Item = ScanRequest>,
+    {
+        let tickets: Vec<Ticket> = requests.into_iter().map(|r| self.submit(r)).collect();
+        tickets.iter().map(Ticket::wait).collect()
+    }
+}
+
+impl Drop for ScanHub {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            queue.closed = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // Per-worker reusable scanner state: the merged Aho–Corasick
+    // automatons are built once per worker, not once per package.
+    let scanner = shared.yara.as_ref().map(Scanner::new);
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.closed {
+                    return;
+                }
+                queue = shared.not_empty.wait(queue).expect("queue wait");
+            }
+        };
+        shared.not_full.notify_one();
+        // A panic while scanning one hostile package must neither strand
+        // the caller on an unfulfilled ticket nor take the worker down.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scan_job(shared, scanner.as_ref(), &job.request)
+        }));
+        match outcome {
+            Ok(verdict) => {
+                if let (Some(cache), Some(d)) = (&shared.cache, &job.digest) {
+                    cache
+                        .lock()
+                        .expect("cache lock")
+                        .insert(d.clone(), verdict.clone());
+                }
+                HubCounters::add(&shared.counters.completed, 1);
+                job.ticket.fulfill(Ok(verdict));
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("opaque panic payload");
+                job.ticket
+                    .fulfill(Err(format!("scan worker panicked: {msg}")));
+            }
+        }
+    }
+}
+
+fn scan_job(shared: &Shared, scanner: Option<&Scanner<'_>>, request: &ScanRequest) -> Verdict {
+    let c = &shared.counters;
+    let routing = if shared.prefilter {
+        shared.index.route(&request.buffer, &request.sources)
+    } else {
+        shared.index.route_all()
+    };
+    HubCounters::add(&c.bytes_scanned, request.buffer.len() as u64);
+
+    let mut verdict = Verdict::default();
+    if let Some(scanner) = scanner {
+        let routed = routing.yara_routed();
+        count(&c.yara_rules_evaluated, routed);
+        count(&c.yara_rules_skipped, routing.yara.len() - routed);
+        if routed == 0 {
+            HubCounters::add(&c.yara_scans_skipped, 1);
+        } else {
+            for hit in scanner.scan_rules(&request.buffer, |ri| routing.yara[ri]) {
+                verdict.yara.push(hit.rule);
+            }
+        }
+    }
+    if let Some(rules) = &shared.semgrep {
+        let routed = routing.semgrep_routed();
+        count(&c.semgrep_rules_evaluated, routed);
+        count(&c.semgrep_rules_skipped, routing.semgrep.len() - routed);
+        if routed == 0 || request.sources.is_empty() {
+            HubCounters::add(&c.semgrep_parses_skipped, 1);
+        } else {
+            let mut ids = HashSet::new();
+            for src in &request.sources {
+                let module = pysrc::parse_module(src);
+                for (ri, rule) in rules.rules.iter().enumerate() {
+                    if !routing.semgrep[ri] {
+                        continue;
+                    }
+                    for finding in semgrep_engine::match_module(rule, &module) {
+                        ids.insert(finding.rule_id);
+                    }
+                }
+            }
+            verdict.semgrep = ids.into_iter().collect();
+            verdict.semgrep.sort();
+        }
+    }
+    verdict
+}
+
+fn count(counter: &AtomicU64, n: usize) {
+    HubCounters::add(counter, n as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const YARA: &str = r#"
+rule sys { strings: $a = "os.system" condition: $a }
+rule net { strings: $a = "socket.socket" condition: $a }
+rule b64 { strings: $re = /[A-Za-z0-9+\/]{16,}/ condition: $re }
+"#;
+
+    const SEMGREP: &str = "rules:\n  - id: sys-call\n    languages: [python]\n    message: m\n    pattern: os.system($X)\n";
+
+    fn hub(config: HubConfig) -> ScanHub {
+        ScanHub::new(
+            Some(yara_engine::compile(YARA).expect("yara")),
+            Some(semgrep_engine::compile(SEMGREP).expect("semgrep")),
+            config,
+        )
+    }
+
+    fn request(code: &str) -> ScanRequest {
+        ScanRequest::new(code.as_bytes().to_vec(), vec![code.to_owned()])
+    }
+
+    #[test]
+    fn verdicts_match_both_engines() {
+        let hub = hub(HubConfig::default());
+        let v = hub.submit(request("import os\nos.system('id')\n")).wait();
+        assert_eq!(v.yara, vec!["sys".to_owned()]);
+        assert_eq!(v.semgrep, vec!["sys-call".to_owned()]);
+        assert!(!v.from_cache);
+        assert!(v.flagged());
+    }
+
+    #[test]
+    fn clean_package_passes() {
+        let hub = hub(HubConfig::default());
+        let v = hub.submit(request("print('hi')\n")).wait();
+        assert!(!v.flagged());
+    }
+
+    #[test]
+    fn resubmission_is_served_from_cache_with_same_verdict() {
+        let hub = hub(HubConfig::default());
+        let first = hub.submit(request("import os\nos.system('id')\n")).wait();
+        let second = hub.submit(request("import os\nos.system('id')\n")).wait();
+        assert!(!first.from_cache);
+        assert!(second.from_cache);
+        assert!(first.same_matches(&second));
+        let stats = hub.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let hub = hub(HubConfig {
+            cache_capacity: 0,
+            ..HubConfig::default()
+        });
+        let a = hub.submit(request("x = 1\n")).wait();
+        let b = hub.submit(request("x = 1\n")).wait();
+        assert!(!a.from_cache && !b.from_cache);
+        assert_eq!(hub.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn prefilter_skips_clean_packages_entirely() {
+        let hub = ScanHub::new(
+            Some(
+                yara_engine::compile("rule sys { strings: $a = \"os.system\" condition: $a }")
+                    .expect("yara"),
+            ),
+            None,
+            HubConfig {
+                cache_capacity: 0,
+                ..HubConfig::default()
+            },
+        );
+        let v = hub
+            .submit(request("def add(a, b):\n    return a + b\n"))
+            .wait();
+        assert!(!v.flagged());
+        let stats = hub.stats();
+        assert_eq!(stats.yara_scans_skipped, 1);
+        assert_eq!(stats.yara_rules_skipped, 1);
+        assert_eq!(stats.yara_rules_evaluated, 0);
+        assert!(stats.prefilter_skip_rate() > 0.99);
+    }
+
+    #[test]
+    fn scan_ordered_preserves_submission_order() {
+        let hub = hub(HubConfig {
+            queue_capacity: 2,
+            workers: 3,
+            ..HubConfig::default()
+        });
+        let codes: Vec<String> = (0..40)
+            .map(|i| {
+                if i % 3 == 0 {
+                    format!("import os\nos.system('cmd{i}')\n")
+                } else {
+                    format!("def f{i}():\n    return {i}\n")
+                }
+            })
+            .collect();
+        let verdicts = hub.scan_ordered(codes.iter().map(|c| request(c)));
+        assert_eq!(verdicts.len(), 40);
+        for (i, v) in verdicts.iter().enumerate() {
+            assert_eq!(v.yara.is_empty(), i % 3 != 0, "index {i}");
+        }
+    }
+
+    #[test]
+    fn prefilter_and_exhaustive_agree() {
+        let fast = hub(HubConfig {
+            cache_capacity: 0,
+            ..HubConfig::default()
+        });
+        let slow = hub(HubConfig {
+            prefilter: false,
+            cache_capacity: 0,
+            ..HubConfig::default()
+        });
+        for code in [
+            "import os\nos.system('id')\n",
+            "import socket\nsocket.socket()\n",
+            "payload = 'aW1wb3J0IG9zO2V4ZWMoKQzz12345'\n",
+            "print('clean')\n",
+        ] {
+            let a = fast.submit(request(code)).wait();
+            let b = slow.submit(request(code)).wait();
+            assert_eq!(a, b, "divergence on {code:?}");
+        }
+    }
+
+    #[test]
+    fn raw_request_with_sources_outside_buffer_still_matches() {
+        // A raw ScanRequest makes no promise that its sources are
+        // substrings of its buffer; Semgrep routing must come from the
+        // sources themselves, or the prefilter would drop true matches.
+        let hub = hub(HubConfig {
+            cache_capacity: 0,
+            ..HubConfig::default()
+        });
+        let v = hub
+            .submit(ScanRequest::new(
+                Vec::new(),
+                vec!["import os\nos.system('x')\n".to_owned()],
+            ))
+            .wait();
+        assert_eq!(v.semgrep, vec!["sys-call".to_owned()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scan worker panicked")]
+    fn wait_propagates_worker_panics() {
+        let state = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        state.fulfill(Err("scan worker panicked: boom".to_owned()));
+        Ticket { state }.wait();
+    }
+
+    #[test]
+    fn empty_rule_bundle_always_passes() {
+        let hub = ScanHub::new(None, None, HubConfig::default());
+        let v = hub.submit(request("anything")).wait();
+        assert_eq!(v, Verdict::default());
+    }
+
+    #[test]
+    fn drop_joins_workers_with_pending_jobs() {
+        let hub = hub(HubConfig {
+            workers: 1,
+            ..HubConfig::default()
+        });
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|i| hub.submit(request(&format!("x = {i}\n"))))
+            .collect();
+        drop(hub);
+        // Workers drain the queue before exiting, so every ticket resolves.
+        for t in &tickets {
+            let _ = t.wait();
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! The global literal prefilter index.
+//!
+//! One case-insensitive Aho–Corasick automaton is built over the distinct
+//! plain-text atoms of every compiled YARA rule plus the string atoms of
+//! every Semgrep pattern. Automaton passes over each engine's own scan
+//! input (the package buffer for YARA, the Python sources for Semgrep)
+//! then route the package to exactly the rules whose atoms occur; rules
+//! with an *exhaustive* atom set (see [`yara_engine::RuleAtoms`] and
+//! [`semgrep_engine::SemgrepRule::literal_atoms`]) that did not hit are
+//! provably non-matching and are skipped without condition evaluation.
+//! Rules without such a guarantee are routed always.
+//!
+//! Case-insensitive matching over-approximates both case-sensitive and
+//! `nocase` strings, so folding everything into one automaton can only
+//! add spurious routes (a perf loss), never drop a true match.
+
+use std::collections::HashMap;
+
+use semgrep_engine::CompiledSemgrepRules;
+use textmatch::{AhoCorasick, MatchKind};
+use yara_engine::CompiledRules;
+
+/// Which rules of each engine a package must be scanned with.
+#[derive(Debug, Clone)]
+pub struct Routing {
+    /// Per YARA rule (declaration order): must this rule be evaluated?
+    pub yara: Vec<bool>,
+    /// Per Semgrep rule (file order): must this rule be evaluated?
+    pub semgrep: Vec<bool>,
+}
+
+impl Routing {
+    /// Number of routed YARA rules.
+    pub fn yara_routed(&self) -> usize {
+        self.yara.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of routed Semgrep rules.
+    pub fn semgrep_routed(&self) -> usize {
+        self.semgrep.iter().filter(|&&b| b).count()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RuleId {
+    Yara(usize),
+    Semgrep(usize),
+}
+
+/// The compiled prefilter over one rule bundle.
+#[derive(Debug)]
+pub struct PrefilterIndex {
+    automaton: AhoCorasick,
+    /// Automaton pattern index → rules gated on that atom.
+    routes: Vec<Vec<RuleId>>,
+    /// Rules that must always be evaluated (no exhaustive atom set).
+    always: Vec<RuleId>,
+    yara_count: usize,
+    semgrep_count: usize,
+    atom_count: usize,
+}
+
+impl PrefilterIndex {
+    /// Builds the index over the given rule sets.
+    pub fn build(yara: Option<&CompiledRules>, semgrep: Option<&CompiledSemgrepRules>) -> Self {
+        let mut atoms: Vec<String> = Vec::new();
+        let mut atom_ids: HashMap<String, usize> = HashMap::new();
+        let mut routes: Vec<Vec<RuleId>> = Vec::new();
+        let mut always: Vec<RuleId> = Vec::new();
+
+        let mut intern = |atom: &str, atoms: &mut Vec<String>, routes: &mut Vec<Vec<RuleId>>| {
+            let folded = atom.to_ascii_lowercase();
+            *atom_ids.entry(folded.clone()).or_insert_with(|| {
+                atoms.push(folded);
+                routes.push(Vec::new());
+                atoms.len() - 1
+            })
+        };
+
+        if let Some(rules) = yara {
+            for (ri, rule) in rules.rules.iter().enumerate() {
+                let ra = rule.literal_atoms();
+                if ra.exhaustive {
+                    // An exhaustive empty atom set means the rule can
+                    // never match (e.g. `condition: false`): no routes.
+                    for atom in &ra.atoms {
+                        let id = intern(atom, &mut atoms, &mut routes);
+                        routes[id].push(RuleId::Yara(ri));
+                    }
+                } else {
+                    always.push(RuleId::Yara(ri));
+                }
+            }
+        }
+        if let Some(rules) = semgrep {
+            for (ri, rule) in rules.rules.iter().enumerate() {
+                match rule.literal_atoms() {
+                    Some(rule_atoms) if !rule_atoms.is_empty() => {
+                        for atom in &rule_atoms {
+                            let id = intern(atom, &mut atoms, &mut routes);
+                            routes[id].push(RuleId::Semgrep(ri));
+                        }
+                    }
+                    _ => always.push(RuleId::Semgrep(ri)),
+                }
+            }
+        }
+
+        PrefilterIndex {
+            automaton: AhoCorasick::new(&atoms, MatchKind::CaseInsensitive),
+            routes,
+            always,
+            yara_count: yara.map_or(0, CompiledRules::len),
+            semgrep_count: semgrep.map_or(0, CompiledSemgrepRules::len),
+            atom_count: atoms.len(),
+        }
+    }
+
+    /// Number of distinct atoms in the automaton.
+    pub fn atom_count(&self) -> usize {
+        self.atom_count
+    }
+
+    /// Number of rules that bypass the prefilter.
+    pub fn always_on_count(&self) -> usize {
+        self.always.len()
+    }
+
+    /// Routes one package: automaton passes mark the rules whose atoms
+    /// occur, plus every always-on rule.
+    ///
+    /// YARA rules are routed from `buffer` (what the scanner scans);
+    /// Semgrep rules are routed from `sources` (what the structural
+    /// matcher parses). Routing each engine from its own scan input is
+    /// what makes the skip sound for *any* request, including raw ones
+    /// whose sources are not substrings of the buffer.
+    pub fn route<S: AsRef<[u8]>>(&self, buffer: &[u8], sources: &[S]) -> Routing {
+        let mut routing = Routing {
+            yara: vec![false; self.yara_count],
+            semgrep: vec![false; self.semgrep_count],
+        };
+        for id in &self.always {
+            routing.mark(*id);
+        }
+        self.mark_hits(buffer, &mut routing, true, false);
+        for source in sources {
+            self.mark_hits(source.as_ref(), &mut routing, false, true);
+        }
+        routing
+    }
+
+    /// One automaton pass over `text`, marking hit atoms' routes for the
+    /// selected engine(s).
+    fn mark_hits(&self, text: &[u8], routing: &mut Routing, mark_yara: bool, mark_semgrep: bool) {
+        let mut seen = vec![false; self.routes.len()];
+        for m in self.automaton.find_all(text) {
+            if seen[m.pattern] {
+                continue;
+            }
+            seen[m.pattern] = true;
+            for id in &self.routes[m.pattern] {
+                match id {
+                    RuleId::Yara(_) if mark_yara => routing.mark(*id),
+                    RuleId::Semgrep(_) if mark_semgrep => routing.mark(*id),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// A routing that evaluates everything (prefilter disabled).
+    pub fn route_all(&self) -> Routing {
+        Routing {
+            yara: vec![true; self.yara_count],
+            semgrep: vec![true; self.semgrep_count],
+        }
+    }
+}
+
+impl Routing {
+    fn mark(&mut self, id: RuleId) {
+        match id {
+            RuleId::Yara(i) => self.yara[i] = true,
+            RuleId::Semgrep(i) => self.semgrep[i] = true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NO_SOURCES: &[&str] = &[];
+
+    fn yara(src: &str) -> CompiledRules {
+        yara_engine::compile(src).expect("yara compiles")
+    }
+
+    fn semgrep(src: &str) -> CompiledSemgrepRules {
+        semgrep_engine::compile(src).expect("semgrep compiles")
+    }
+
+    #[test]
+    fn routes_only_rules_whose_atoms_occur() {
+        let rules = yara(
+            r#"
+rule a { strings: $x = "os.system" condition: $x }
+rule b { strings: $x = "socket.socket" condition: $x }
+"#,
+        );
+        let index = PrefilterIndex::build(Some(&rules), None);
+        let routing = index.route(b"import os\nos.system('id')\n", NO_SOURCES);
+        assert_eq!(routing.yara, vec![true, false]);
+        let routing = index.route(b"nothing suspicious", NO_SOURCES);
+        assert_eq!(routing.yara_routed(), 0);
+    }
+
+    #[test]
+    fn case_insensitive_routing_over_approximates() {
+        let rules = yara("rule a { strings: $x = \"OS.System\" condition: $x }");
+        let index = PrefilterIndex::build(Some(&rules), None);
+        // The case-sensitive rule cannot match, but the prefilter must
+        // still route it (only the scanner decides the final verdict).
+        assert_eq!(index.route(b"os.system", NO_SOURCES).yara, vec![true]);
+    }
+
+    #[test]
+    fn non_exhaustive_rules_are_always_routed() {
+        let rules = yara("rule re { strings: $r = /a+b/ condition: $r }");
+        let index = PrefilterIndex::build(Some(&rules), None);
+        assert_eq!(index.always_on_count(), 1);
+        assert_eq!(index.route(b"zzz", NO_SOURCES).yara, vec![true]);
+    }
+
+    #[test]
+    fn never_matching_rule_is_never_routed() {
+        let rules = yara("rule dead { condition: false }");
+        let index = PrefilterIndex::build(Some(&rules), None);
+        assert_eq!(index.always_on_count(), 0);
+        assert_eq!(index.route(b"anything", NO_SOURCES).yara, vec![false]);
+    }
+
+    #[test]
+    fn semgrep_any_of_semantics() {
+        let rules = semgrep(
+            "rules:\n  - id: t\n    languages: [python]\n    message: m\n    pattern-either:\n      - pattern: eval($X)\n      - pattern: exec($X)\n",
+        );
+        let index = PrefilterIndex::build(None, Some(&rules));
+        assert_eq!(index.route(b"", &["exec(code)"]).semgrep, vec![true]);
+        assert_eq!(index.route(b"", &["eval(code)"]).semgrep, vec![true]);
+        assert_eq!(index.route(b"", &["print(code)"]).semgrep, vec![false]);
+    }
+
+    #[test]
+    fn engines_route_from_their_own_scan_input() {
+        let yara_rules = yara("rule a { strings: $x = \"os.system\" condition: $x }");
+        let semgrep_rules = semgrep(
+            "rules:\n  - id: t\n    languages: [python]\n    message: m\n    pattern: os.system($X)\n",
+        );
+        let index = PrefilterIndex::build(Some(&yara_rules), Some(&semgrep_rules));
+        // Atom only in a source: Semgrep must be routed even though the
+        // buffer (what YARA scans) is clean — raw requests make no
+        // sources-are-a-substring-of-buffer promise.
+        let routing = index.route(b"clean buffer", &["os.system('x')"]);
+        assert_eq!(routing.yara, vec![false]);
+        assert_eq!(routing.semgrep, vec![true]);
+        // Atom only in the buffer: YARA routed, Semgrep not.
+        let routing = index.route(b"os.system('x')", &["clean source"]);
+        assert_eq!(routing.yara, vec![true]);
+        assert_eq!(routing.semgrep, vec![false]);
+    }
+
+    #[test]
+    fn atoms_are_deduplicated_across_rules() {
+        let rules = yara(
+            r#"
+rule a { strings: $x = "os.system" condition: $x }
+rule b { strings: $x = "os.system" $y = "curl" condition: all of them }
+"#,
+        );
+        let index = PrefilterIndex::build(Some(&rules), None);
+        assert_eq!(index.atom_count(), 2);
+        // `curl` alone routes rule b (any-of semantics), which the
+        // scanner then rejects — routing is a superset of matching.
+        let routing = index.route(b"curl http://x", NO_SOURCES);
+        assert_eq!(routing.yara, vec![false, true]);
+    }
+
+    #[test]
+    fn empty_rule_sets() {
+        let index = PrefilterIndex::build(None, None);
+        let routing = index.route(b"data", NO_SOURCES);
+        assert!(routing.yara.is_empty() && routing.semgrep.is_empty());
+    }
+}

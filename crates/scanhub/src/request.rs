@@ -1,0 +1,94 @@
+//! Scan requests and verdicts — the service's wire types.
+
+use oss_registry::Package;
+
+/// One package prepared for scanning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanRequest {
+    /// YARA scan buffer: all source files plus rendered `PKG-INFO`, so
+    /// metadata rules can fire.
+    pub buffer: Vec<u8>,
+    /// Python sources for Semgrep's structural matcher.
+    pub sources: Vec<String>,
+}
+
+impl ScanRequest {
+    /// Creates a request from raw parts.
+    pub fn new(buffer: Vec<u8>, sources: Vec<String>) -> Self {
+        ScanRequest { buffer, sources }
+    }
+
+    /// Prepares an [`oss_registry::Package`] upload for scanning: the
+    /// combined source plus rendered `PKG-INFO` as the YARA buffer, and
+    /// every `.py` file as a Semgrep source.
+    pub fn from_package(pkg: &Package) -> Self {
+        let mut buffer = pkg.combined_source().into_bytes();
+        buffer.extend_from_slice(oss_registry::render_pkg_info(pkg.metadata()).as_bytes());
+        let sources = pkg
+            .files()
+            .iter()
+            .filter(|f| f.path.ends_with(".py"))
+            .map(|f| f.contents.clone())
+            .collect();
+        ScanRequest { buffer, sources }
+    }
+
+    /// Content digest keying the verdict cache: sha256 over the buffer
+    /// and every source, length-prefixed so concatenation boundaries
+    /// cannot collide.
+    pub fn digest(&self) -> String {
+        let mut data = Vec::with_capacity(
+            16 + self.buffer.len() + self.sources.iter().map(|s| 8 + s.len()).sum::<usize>(),
+        );
+        data.extend_from_slice(&(self.buffer.len() as u64).to_le_bytes());
+        data.extend_from_slice(&self.buffer);
+        for src in &self.sources {
+            data.extend_from_slice(&(src.len() as u64).to_le_bytes());
+            data.extend_from_slice(src.as_bytes());
+        }
+        digest::sha256_hex(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oss_registry::{Ecosystem, PackageMetadata, SourceFile};
+
+    fn sample() -> Package {
+        Package::new(
+            PackageMetadata::new("pkg", "1.0"),
+            vec![
+                SourceFile::new("setup.py", "from setuptools import setup\nsetup()\n"),
+                SourceFile::new("pkg/data.txt", "not python\n"),
+            ],
+            Ecosystem::PyPi,
+        )
+    }
+
+    #[test]
+    fn from_package_includes_metadata_and_python_sources() {
+        let req = ScanRequest::from_package(&sample());
+        let text = String::from_utf8_lossy(&req.buffer).into_owned();
+        assert!(text.contains("Name: pkg"));
+        assert!(text.contains("setuptools"));
+        assert_eq!(req.sources.len(), 1, "only .py files are Semgrep sources");
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let a = ScanRequest::from_package(&sample());
+        let b = ScanRequest::from_package(&sample());
+        assert_eq!(a.digest(), b.digest());
+        let mut c = a.clone();
+        c.buffer.push(b'!');
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn digest_distinguishes_buffer_from_sources() {
+        let a = ScanRequest::new(b"xy".to_vec(), vec![]);
+        let b = ScanRequest::new(b"x".to_vec(), vec!["y".to_owned()]);
+        assert_ne!(a.digest(), b.digest());
+    }
+}

@@ -1,0 +1,115 @@
+//! Service counters: throughput, cache effectiveness, prefilter skips.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters updated by the submission path and the workers.
+#[derive(Debug, Default)]
+pub(crate) struct HubCounters {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub bytes_scanned: AtomicU64,
+    pub yara_scans_skipped: AtomicU64,
+    pub semgrep_parses_skipped: AtomicU64,
+    pub yara_rules_evaluated: AtomicU64,
+    pub yara_rules_skipped: AtomicU64,
+    pub semgrep_rules_evaluated: AtomicU64,
+    pub semgrep_rules_skipped: AtomicU64,
+}
+
+impl HubCounters {
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HubStats {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        HubStats {
+            submitted: load(&self.submitted),
+            completed: load(&self.completed),
+            cache_hits: load(&self.cache_hits),
+            bytes_scanned: load(&self.bytes_scanned),
+            yara_scans_skipped: load(&self.yara_scans_skipped),
+            semgrep_parses_skipped: load(&self.semgrep_parses_skipped),
+            yara_rules_evaluated: load(&self.yara_rules_evaluated),
+            yara_rules_skipped: load(&self.yara_rules_skipped),
+            semgrep_rules_evaluated: load(&self.semgrep_rules_evaluated),
+            semgrep_rules_skipped: load(&self.semgrep_rules_skipped),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the hub's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HubStats {
+    /// Packages submitted (including cache hits).
+    pub submitted: u64,
+    /// Packages fully processed (scanned or served from cache).
+    pub completed: u64,
+    /// Submissions answered from the verdict cache.
+    pub cache_hits: u64,
+    /// Total buffer bytes run through scanners (cache hits excluded).
+    pub bytes_scanned: u64,
+    /// Packages whose YARA pass was skipped entirely (no rule routed).
+    pub yara_scans_skipped: u64,
+    /// Packages whose Python sources were never parsed for Semgrep
+    /// (no rule routed).
+    pub semgrep_parses_skipped: u64,
+    /// YARA rule condition evaluations performed.
+    pub yara_rules_evaluated: u64,
+    /// YARA rule evaluations avoided by the literal prefilter.
+    pub yara_rules_skipped: u64,
+    /// Semgrep rule evaluations performed.
+    pub semgrep_rules_evaluated: u64,
+    /// Semgrep rule evaluations avoided by the literal prefilter.
+    pub semgrep_rules_skipped: u64,
+}
+
+impl HubStats {
+    /// Fraction of submissions served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        ratio(self.cache_hits, self.submitted)
+    }
+
+    /// Fraction of rule evaluations (both engines) the prefilter skipped.
+    pub fn prefilter_skip_rate(&self) -> f64 {
+        let skipped = self.yara_rules_skipped + self.semgrep_rules_skipped;
+        let total = skipped + self.yara_rules_evaluated + self.semgrep_rules_evaluated;
+        ratio(skipped, total)
+    }
+}
+
+fn ratio(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_guard_division_by_zero() {
+        let stats = HubStats::default();
+        assert_eq!(stats.cache_hit_rate(), 0.0);
+        assert_eq!(stats.prefilter_skip_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let stats = HubStats {
+            submitted: 10,
+            cache_hits: 4,
+            yara_rules_evaluated: 30,
+            yara_rules_skipped: 50,
+            semgrep_rules_evaluated: 10,
+            semgrep_rules_skipped: 10,
+            ..HubStats::default()
+        };
+        assert!((stats.cache_hit_rate() - 0.4).abs() < 1e-9);
+        assert!((stats.prefilter_skip_rate() - 0.6).abs() < 1e-9);
+    }
+}

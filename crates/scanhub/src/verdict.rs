@@ -1,0 +1,64 @@
+//! Scan verdicts emitted by the hub.
+
+/// The outcome of scanning one package.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Verdict {
+    /// Names of YARA rules that fired, in rule-declaration order.
+    pub yara: Vec<String>,
+    /// Ids of Semgrep rules that fired, sorted and deduplicated.
+    pub semgrep: Vec<String>,
+    /// True when the verdict was served from the digest cache.
+    pub from_cache: bool,
+}
+
+impl Verdict {
+    /// Total distinct rules matched.
+    pub fn total(&self) -> usize {
+        self.yara.len() + self.semgrep.len()
+    }
+
+    /// True when at least one rule fired — a registry gatekeeper blocks
+    /// the upload.
+    pub fn flagged(&self) -> bool {
+        self.total() > 0
+    }
+
+    /// The same verdict content, ignoring cache provenance.
+    pub fn same_matches(&self, other: &Verdict) -> bool {
+        self.yara == other.yara && self.semgrep == other.semgrep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_flags() {
+        let clean = Verdict::default();
+        assert_eq!(clean.total(), 0);
+        assert!(!clean.flagged());
+        let hit = Verdict {
+            yara: vec!["r".into()],
+            semgrep: vec!["s".into()],
+            from_cache: false,
+        };
+        assert_eq!(hit.total(), 2);
+        assert!(hit.flagged());
+    }
+
+    #[test]
+    fn same_matches_ignores_cache_flag() {
+        let a = Verdict {
+            yara: vec!["r".into()],
+            semgrep: vec![],
+            from_cache: false,
+        };
+        let b = Verdict {
+            from_cache: true,
+            ..a.clone()
+        };
+        assert!(a.same_matches(&b));
+        assert_ne!(a, b);
+    }
+}

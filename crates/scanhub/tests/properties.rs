@@ -1,0 +1,165 @@
+//! Property tests: prefiltered scanning must be byte-identical to
+//! exhaustive scanning, and the verdict cache must be transparent.
+
+use std::collections::HashSet;
+
+use corpus::FAMILIES;
+use proptest::prelude::*;
+use scanhub::{HubConfig, ScanHub, ScanRequest, Verdict};
+use semgrep_engine::CompiledSemgrepRules;
+use yara_engine::CompiledRules;
+
+/// A rule pool exercising every prefilter path: plain atoms, `nocase`,
+/// counts, `all of`, negation, regex strings (always-on), filesize
+/// disjunctions (always-on), and a dead rule.
+const YARA_POOL: &str = r#"
+rule shell { strings: $a = "os.system" condition: $a }
+rule beacon { strings: $a = "requests.get" $b = "requests.post" condition: any of them }
+rule exfil_pair { strings: $a = "os.environ" $b = "requests.post" condition: all of them }
+rule noisy { strings: $a = "import" condition: #a >= 3 }
+rule caseless { strings: $a = "SubProcess" nocase condition: $a }
+rule b64blob { strings: $re = /[A-Za-z0-9+\/]{24,}={0,2}/ condition: $re }
+rule big_or_eval { strings: $a = "eval(" condition: $a or filesize > 500000 }
+rule guarded { strings: $a = "setup(" $lic = "license" condition: $a and not $lic }
+rule dead { condition: false }
+"#;
+
+const SEMGREP_POOL: &str = r#"
+rules:
+  - id: sys-exec
+    languages: [python]
+    message: shell execution
+    pattern: os.system($CMD)
+  - id: eval-or-exec
+    languages: [python]
+    message: dynamic code
+    pattern-either:
+      - pattern: eval($X)
+      - pattern: exec($X)
+  - id: open-write
+    languages: [python]
+    message: file write
+    patterns:
+      - pattern: open($F, 'w')
+      - pattern-not: open('log.txt', 'w')
+  - id: any-call
+    languages: [python]
+    message: opaque (always-on)
+    pattern: $F(secret_marker_zz)
+"#;
+
+fn pools() -> (CompiledRules, CompiledSemgrepRules) {
+    (
+        yara_engine::compile(YARA_POOL).expect("yara pool"),
+        semgrep_engine::compile(SEMGREP_POOL).expect("semgrep pool"),
+    )
+}
+
+/// The oracle: single-threaded, rule-by-rule exhaustive scanning with no
+/// prefilter, no routing and no cache.
+fn exhaustive(
+    yara: &CompiledRules,
+    semgrep: &CompiledSemgrepRules,
+    request: &ScanRequest,
+) -> Verdict {
+    let scanner = yara_engine::Scanner::new(yara);
+    let mut verdict = Verdict {
+        yara: scanner
+            .scan(&request.buffer)
+            .into_iter()
+            .map(|h| h.rule)
+            .collect(),
+        ..Verdict::default()
+    };
+    let mut ids = HashSet::new();
+    for src in &request.sources {
+        let module = pysrc::parse_module(src);
+        for finding in semgrep_engine::scan_module(semgrep, &module) {
+            ids.insert(finding.rule_id);
+        }
+    }
+    verdict.semgrep = ids.into_iter().collect();
+    verdict.semgrep.sort();
+    verdict
+}
+
+fn prefilter_hub() -> ScanHub {
+    let (yara, semgrep) = pools();
+    ScanHub::new(
+        Some(yara),
+        Some(semgrep),
+        HubConfig {
+            workers: 2,
+            cache_capacity: 0,
+            ..HubConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prefiltered_matches_equal_exhaustive_on_random_corpora(
+        family_idx in 0usize..30,
+        variant in 0u64..20,
+        seed in any::<u64>(),
+        legit_idx in 0usize..40,
+    ) {
+        let (yara, semgrep) = pools();
+        let hub = prefilter_hub();
+        let family = &FAMILIES[family_idx];
+        let malware = corpus::generate_malware_package(family, variant, seed).0;
+        let legit = corpus::generate_legit_package(legit_idx, seed);
+        for pkg in [&malware, &legit] {
+            let request = ScanRequest::from_package(pkg);
+            let fast = hub.submit(request.clone()).wait();
+            let slow = exhaustive(&yara, &semgrep, &request);
+            prop_assert_eq!(&fast.yara, &slow.yara, "yara diverged on {}", pkg.metadata().name);
+            prop_assert_eq!(&fast.semgrep, &slow.semgrep, "semgrep diverged on {}", pkg.metadata().name);
+        }
+    }
+
+    #[test]
+    fn prefiltered_matches_equal_exhaustive_on_adversarial_text(
+        body in "[ -~\\n]{0,300}",
+        inject_atom in any::<bool>(),
+    ) {
+        // Arbitrary printable garbage, half the time salted with a real
+        // atom so both prefilter outcomes (skip and route) are exercised.
+        let code = if inject_atom {
+            format!("{body}\nimport os\nos.system('x')\n")
+        } else {
+            body
+        };
+        let (yara, semgrep) = pools();
+        let hub = prefilter_hub();
+        let request = ScanRequest::new(code.clone().into_bytes(), vec![code]);
+        let fast = hub.submit(request.clone()).wait();
+        let slow = exhaustive(&yara, &semgrep, &request);
+        prop_assert_eq!(&fast.yara, &slow.yara);
+        prop_assert_eq!(&fast.semgrep, &slow.semgrep);
+    }
+
+    #[test]
+    fn resubmitted_package_is_served_from_cache_with_identical_verdict(
+        family_idx in 0usize..30,
+        seed in any::<u64>(),
+    ) {
+        let (yara, semgrep) = pools();
+        let hub = ScanHub::new(
+            Some(yara),
+            Some(semgrep),
+            HubConfig { workers: 2, ..HubConfig::default() },
+        );
+        let family = &FAMILIES[family_idx];
+        let pkg = corpus::generate_malware_package(family, 0, seed).0;
+        let request = ScanRequest::from_package(&pkg);
+        let first = hub.submit(request.clone()).wait();
+        let second = hub.submit(request).wait();
+        prop_assert!(!first.from_cache);
+        prop_assert!(second.from_cache, "re-submission must hit the cache");
+        prop_assert!(first.same_matches(&second), "cached verdict must be identical");
+        prop_assert_eq!(hub.stats().cache_hits, 1);
+    }
+}

@@ -165,9 +165,9 @@ fn stmt_matches(pattern: &Stmt, target: &Stmt) -> bool {
                 ..
             },
         ) => {
-            let target_ok = pt.iter().all(|p| {
-                is_metavar(p) || tt.iter().any(|t| t == p)
-            });
+            let target_ok = pt
+                .iter()
+                .all(|p| is_metavar(p) || tt.iter().any(|t| t == p));
             target_ok && expr_matches_with_fresh_bindings(pv, tv)
         }
         (Stmt::Import { modules: pm, .. }, Stmt::Import { modules: tm, .. }) => {
@@ -279,10 +279,9 @@ fn expr_matches<'t>(
             _ => false,
         },
         Expr::Call { func, args } => match target {
-            Expr::Call {
-                func: tf,
-                args: ta,
-            } => expr_matches(func, tf, bindings) && args_match(args, ta, bindings),
+            Expr::Call { func: tf, args: ta } => {
+                expr_matches(func, tf, bindings) && args_match(args, ta, bindings)
+            }
             _ => false,
         },
         Expr::BinOp { left, op, right } => match target {
@@ -413,8 +412,17 @@ mod tests {
 
     #[test]
     fn ellipsis_matches_any_args() {
-        assert_eq!(lines("subprocess.Popen(...)", "subprocess.Popen(cmd, shell=True)\n"), vec![1]);
-        assert_eq!(lines("subprocess.Popen(...)", "subprocess.Popen()\n"), vec![1]);
+        assert_eq!(
+            lines(
+                "subprocess.Popen(...)",
+                "subprocess.Popen(cmd, shell=True)\n"
+            ),
+            vec![1]
+        );
+        assert_eq!(
+            lines("subprocess.Popen(...)", "subprocess.Popen()\n"),
+            vec![1]
+        );
     }
 
     #[test]
@@ -470,7 +478,10 @@ mod tests {
     #[test]
     fn from_import_pattern() {
         assert_eq!(
-            lines("from subprocess import Popen", "from subprocess import Popen, PIPE\n"),
+            lines(
+                "from subprocess import Popen",
+                "from subprocess import Popen, PIPE\n"
+            ),
             vec![1]
         );
     }
@@ -478,8 +489,10 @@ mod tests {
     #[test]
     fn metavariable_as_receiver() {
         assert_eq!(
-            lines("$CLIENT.torrents_info(torrent_hashes=$HASH)",
-                  "qb.torrents_info(torrent_hashes=h)\n"),
+            lines(
+                "$CLIENT.torrents_info(torrent_hashes=$HASH)",
+                "qb.torrents_info(torrent_hashes=h)\n"
+            ),
             vec![1]
         );
     }

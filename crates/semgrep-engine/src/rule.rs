@@ -61,6 +61,85 @@ impl PatternOp {
             PatternOp::Not(_) => {}
         }
     }
+
+    /// Literal atoms with *any-of* semantics: when `Some(atoms)` is
+    /// returned, a source text containing **none** of the atoms cannot
+    /// match this operator tree, so a prefilter may skip the rule.
+    /// `None` means no such guarantee exists and the rule must always
+    /// run.
+    ///
+    /// Atoms are identifier/keyword words taken from pattern text outside
+    /// quoted sections (quoted content may be re-escaped differently in
+    /// matching source) and excluding `$METAVAR` names. A conjunction
+    /// needs any one of its children's guarantees; a disjunction needs
+    /// one from *every* branch; `pattern-not` offers none.
+    pub fn literal_atoms_of(op: &PatternOp) -> Option<Vec<String>> {
+        match op {
+            PatternOp::Pattern(text) => pattern_anchor_word(text).map(|w| vec![w]),
+            PatternOp::All(children) => children
+                .iter()
+                .filter_map(Self::literal_atoms_of)
+                // Prefer the child whose weakest atom is longest — longer
+                // atoms are rarer, so the prefilter skips more packages.
+                .max_by_key(|atoms| atoms.iter().map(String::len).min().unwrap_or(0)),
+            PatternOp::Either(children) => {
+                let mut out = Vec::new();
+                for c in children {
+                    out.extend(Self::literal_atoms_of(c)?);
+                }
+                Some(out)
+            }
+            PatternOp::Not(_) => None,
+        }
+    }
+}
+
+/// The longest identifier-like word of a pattern, skipping quoted spans
+/// and `$METAVAR` references.
+fn pattern_anchor_word(text: &str) -> Option<String> {
+    let mut best: Option<String> = None;
+    let mut word = String::new();
+    let mut quote: Option<char> = None;
+    let mut in_metavar = false;
+    for c in text.chars() {
+        if let Some(q) = quote {
+            if c == q {
+                quote = None;
+            }
+            continue;
+        }
+        let is_word_char = c.is_ascii_alphanumeric() || c == '_';
+        if in_metavar {
+            if is_word_char {
+                continue;
+            }
+            in_metavar = false;
+        }
+        match c {
+            '\'' | '"' => {
+                quote = Some(c);
+                flush_word(&mut word, &mut best);
+            }
+            '$' => {
+                flush_word(&mut word, &mut best);
+                in_metavar = true;
+            }
+            c if is_word_char => word.push(c),
+            _ => flush_word(&mut word, &mut best),
+        }
+    }
+    flush_word(&mut word, &mut best);
+    best
+}
+
+fn flush_word(word: &mut String, best: &mut Option<String>) {
+    if !word.is_empty()
+        && word.chars().next().is_some_and(|c| !c.is_ascii_digit())
+        && word.len() > best.as_ref().map_or(0, String::len)
+    {
+        *best = Some(word.clone());
+    }
+    word.clear();
 }
 
 /// One compiled Semgrep rule.
@@ -85,6 +164,14 @@ pub struct SemgrepRule {
 pub struct CompiledSemgrepRules {
     /// Rules in file order.
     pub rules: Vec<SemgrepRule>,
+}
+
+impl SemgrepRule {
+    /// The rule's literal atoms with any-of semantics
+    /// (see [`PatternOp::literal_atoms_of`]).
+    pub fn literal_atoms(&self) -> Option<Vec<String>> {
+        PatternOp::literal_atoms_of(&self.pattern)
+    }
 }
 
 impl CompiledSemgrepRules {
@@ -252,9 +339,7 @@ fn compile_operator_list(node: &Yaml, id: &str) -> Result<Vec<PatternOp>, Semgre
                     ))));
                 }
                 "patterns" => ops.push(PatternOp::All(compile_operator_list(value, id)?)),
-                "pattern-either" => {
-                    ops.push(PatternOp::Either(compile_operator_list(value, id)?))
-                }
+                "pattern-either" => ops.push(PatternOp::Either(compile_operator_list(value, id)?)),
                 other => {
                     return Err(SemgrepError::global(format!(
                         "rule `{id}`: unknown pattern operator `{other}`"
@@ -377,14 +462,20 @@ rules:
     fn missing_languages() {
         let src = "rules:\n  - id: x\n    message: m\n    pattern: f()\n";
         let e = compile(src).unwrap_err();
-        assert!(e.to_string().contains("missing required `languages`"), "{e}");
+        assert!(
+            e.to_string().contains("missing required `languages`"),
+            "{e}"
+        );
     }
 
     #[test]
     fn unsupported_language() {
         let src = "rules:\n  - id: x\n    languages: [cobol]\n    message: m\n    pattern: f()\n";
         let e = compile(src).unwrap_err();
-        assert!(e.to_string().contains("unsupported language `cobol`"), "{e}");
+        assert!(
+            e.to_string().contains("unsupported language `cobol`"),
+            "{e}"
+        );
     }
 
     #[test]
@@ -446,6 +537,84 @@ rules:
         let rules = compile(src).expect("compile");
         let leaves = rules.rules[0].pattern.positive_leaves();
         assert_eq!(leaves, vec!["$CLIENT.torrents_info(torrent_hashes=$HASH)"]);
+    }
+
+    #[test]
+    fn literal_atoms_single_pattern() {
+        let rules = compile(MINIMAL).expect("compile");
+        assert_eq!(
+            rules.rules[0].literal_atoms(),
+            Some(vec!["system".to_owned()])
+        );
+    }
+
+    #[test]
+    fn literal_atoms_skip_metavariables_and_quotes() {
+        assert_eq!(
+            pattern_anchor_word("exec(base64.b64decode($PAYLOAD))"),
+            Some("b64decode".to_owned())
+        );
+        assert_eq!(
+            pattern_anchor_word("$X.post('https://x.test', data=$D)"),
+            Some("post".to_owned())
+        );
+        assert_eq!(pattern_anchor_word("$A($B)"), None);
+        assert_eq!(pattern_anchor_word("'only a string'"), None);
+    }
+
+    #[test]
+    fn literal_atoms_either_unions_branches() {
+        let src = r#"
+rules:
+  - id: disj
+    languages: [python]
+    message: m
+    pattern-either:
+      - pattern: eval($X)
+      - pattern: exec($X)
+"#;
+        let rules = compile(src).expect("compile");
+        let atoms = rules.rules[0].literal_atoms().expect("atoms");
+        assert_eq!(atoms, vec!["eval".to_owned(), "exec".to_owned()]);
+    }
+
+    #[test]
+    fn literal_atoms_either_with_opaque_branch_is_none() {
+        let src = r#"
+rules:
+  - id: disj
+    languages: [python]
+    message: m
+    pattern-either:
+      - pattern: eval($X)
+      - pattern: $A($B)
+"#;
+        let rules = compile(src).expect("compile");
+        assert_eq!(rules.rules[0].literal_atoms(), None);
+    }
+
+    #[test]
+    fn literal_atoms_conjunction_uses_any_child() {
+        let src = r#"
+rules:
+  - id: conj
+    languages: [python]
+    message: m
+    patterns:
+      - pattern: open($F, 'w')
+      - pattern-not: open('log.txt', 'w')
+"#;
+        let rules = compile(src).expect("compile");
+        assert_eq!(
+            rules.rules[0].literal_atoms(),
+            Some(vec!["open".to_owned()])
+        );
+    }
+
+    #[test]
+    fn literal_atoms_not_only_is_none() {
+        let op = PatternOp::Not(Box::new(PatternOp::Pattern("f()".into())));
+        assert_eq!(PatternOp::literal_atoms_of(&op), None);
     }
 
     #[test]

@@ -90,7 +90,10 @@ pub fn parse(source: &str) -> Result<Yaml, SemgrepError> {
     for (i, raw) in source.lines().enumerate() {
         let number = i + 1;
         if raw.trim_start().starts_with('\t') || leading_has_tab(raw) {
-            return Err(SemgrepError::new(number, "tabs are not allowed for indentation"));
+            return Err(SemgrepError::new(
+                number,
+                "tabs are not allowed for indentation",
+            ));
         }
         let stripped = strip_comment(raw);
         let trimmed = stripped.trim_end();
@@ -130,7 +133,9 @@ pub fn parse(source: &str) -> Result<Yaml, SemgrepError> {
 }
 
 fn leading_has_tab(raw: &str) -> bool {
-    raw.chars().take_while(|c| *c == ' ' || *c == '\t').any(|c| c == '\t')
+    raw.chars()
+        .take_while(|c| *c == ' ' || *c == '\t')
+        .any(|c| c == '\t')
 }
 
 fn strip_comment(raw: &str) -> String {
@@ -143,16 +148,12 @@ fn strip_comment(raw: &str) -> String {
         let c = chars[i];
         match c {
             '\'' if !in_double => in_single = !in_single,
-            '"' if !in_single => {
-                if !(i > 0 && chars[i - 1] == '\\' && in_double) {
-                    in_double = !in_double;
-                }
+            '"' if !in_single && (!in_double || i == 0 || chars[i - 1] != '\\') => {
+                in_double = !in_double;
             }
-            '#' if !in_single && !in_double => {
-                // Comments must be preceded by whitespace or start-of-line.
-                if i == 0 || chars[i - 1] == ' ' {
-                    break;
-                }
+            // Comments must be preceded by whitespace or start-of-line.
+            '#' if !in_single && !in_double && (i == 0 || chars[i - 1] == ' ') => {
+                break;
             }
             _ => {}
         }
@@ -199,8 +200,7 @@ impl YamlParser {
         let mut items = Vec::new();
         loop {
             self.skip_blank();
-            if self.at_end() || self.peek().indent != indent || !self.peek().text.starts_with('-')
-            {
+            if self.at_end() || self.peek().indent != indent || !self.peek().text.starts_with('-') {
                 break;
             }
             let line_no = self.peek().number;
@@ -295,7 +295,11 @@ impl YamlParser {
     }
 
     /// Literal block scalar: collects raw lines deeper than `indent`.
-    fn block_scalar(&mut self, indent: usize, keep_final_newline: bool) -> Result<String, SemgrepError> {
+    fn block_scalar(
+        &mut self,
+        indent: usize,
+        keep_final_newline: bool,
+    ) -> Result<String, SemgrepError> {
         let mut raw_lines: Vec<&str> = Vec::new();
         let mut body_indent: Option<usize> = None;
         while !self.at_end() {
@@ -408,7 +412,10 @@ mod tests {
     fn nested_mapping() {
         let y = parse("metadata:\n  category: security\n  cwe: CWE-78\n").expect("parse");
         let meta = y.get("metadata").expect("metadata");
-        assert_eq!(meta.get("category").and_then(Yaml::as_str), Some("security"));
+        assert_eq!(
+            meta.get("category").and_then(Yaml::as_str),
+            Some("security")
+        );
     }
 
     #[test]
@@ -517,7 +524,10 @@ mod tests {
     #[test]
     fn bad_indentation_is_error() {
         let e = parse("a: 1\n    b: 2\n").unwrap_err();
-        assert!(e.to_string().contains("bad indentation") || e.to_string().contains("outside"), "{e}");
+        assert!(
+            e.to_string().contains("bad indentation") || e.to_string().contains("outside"),
+            "{e}"
+        );
     }
 
     #[test]
@@ -541,7 +551,10 @@ rules:
             rule.get("id").and_then(Yaml::as_str),
             Some("detect-torrent-client-info-retrieval")
         );
-        let patterns = rule.get("patterns").and_then(Yaml::as_seq).expect("patterns");
+        let patterns = rule
+            .get("patterns")
+            .and_then(Yaml::as_seq)
+            .expect("patterns");
         assert!(patterns[0]
             .get("pattern")
             .and_then(Yaml::as_str)

@@ -1,0 +1,388 @@
+//! Value-generation strategies for the [`proptest!`](crate::proptest) macro.
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// ---------------------------------------------------------------- ranges
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ------------------------------------------------------------------- any
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An arbitrary value of `T` (mirror of `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+// ----------------------------------------------------------- collections
+
+/// Strategy for `Vec<T>` with a length range.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.len.generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, len_range)`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// Strategy for `BTreeMap<K, V>` with a size range.
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    len: Range<usize>,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.len.generate(rng);
+        let mut out = BTreeMap::new();
+        // A few extra draws compensate for duplicate keys.
+        let mut attempts = 0;
+        while out.len() < len && attempts < len * 4 + 8 {
+            out.insert(self.key.generate(rng), self.value.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// `prop::collection::btree_map(key, value, size_range)`.
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    len: Range<usize>,
+) -> BTreeMapStrategy<K, V> {
+    BTreeMapStrategy { key, value, len }
+}
+
+// --------------------------------------------------- regex string literals
+
+/// A `&str` is interpreted as a regex generator, as in upstream proptest.
+///
+/// Supported shape (covers every pattern in this workspace's tests):
+/// a sequence of atoms, where an atom is a character class `[...]` (with
+/// ranges and `\n`/`\t`/`\r`/`\\` escapes) or a literal/escaped character,
+/// each followed by an optional `{m}`, `{m,n}`, `*`, `+` or `?`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported generator regex {self:?}: {e}"));
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = if atom.min == atom.max {
+                atom.min
+            } else {
+                atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize
+            };
+            for _ in 0..n {
+                let idx = rng.below(atom.chars.len() as u64) as usize;
+                out.push(atom.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Result<Vec<Atom>, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1)?;
+                i = next;
+                set
+            }
+            '\\' => {
+                let (c, next) = parse_escape(&chars, i + 1)?;
+                i = next;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        if set.is_empty() {
+            return Err("empty character class".into());
+        }
+        let (min, max, next) = parse_quantifier(&chars, i)?;
+        i = next;
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    Ok(atoms)
+}
+
+fn parse_escape(chars: &[char], i: usize) -> Result<(char, usize), String> {
+    let Some(&c) = chars.get(i) else {
+        return Err("dangling escape".into());
+    };
+    let resolved = match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    };
+    Ok((resolved, i + 1))
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<char>, usize), String> {
+    let mut set = Vec::new();
+    let mut pending: Option<char> = None;
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            let (c, next) = parse_escape(chars, i + 1)?;
+            i = next;
+            c
+        } else if chars[i] == '-' && pending.is_some() && i + 1 < chars.len() && chars[i + 1] != ']'
+        {
+            // Range: pending-X.
+            let lo = pending.take().expect("checked");
+            i += 1;
+            let hi = if chars[i] == '\\' {
+                let (c, next) = parse_escape(chars, i + 1)?;
+                i = next;
+                c
+            } else {
+                let c = chars[i];
+                i += 1;
+                c
+            };
+            if lo > hi {
+                return Err(format!("inverted range {lo}-{hi}"));
+            }
+            for code in (lo as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(code) {
+                    set.push(ch);
+                }
+            }
+            continue;
+        } else {
+            let c = chars[i];
+            i += 1;
+            c
+        };
+        if let Some(prev) = pending.replace(c) {
+            set.push(prev);
+        }
+    }
+    if i >= chars.len() {
+        return Err("unterminated character class".into());
+    }
+    if let Some(prev) = pending {
+        set.push(prev);
+    }
+    Ok((set, i + 1))
+}
+
+fn parse_quantifier(chars: &[char], i: usize) -> Result<(usize, usize, usize), String> {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or("unterminated quantifier")?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().map_err(|_| "bad quantifier")?,
+                    hi.trim().parse().map_err(|_| "bad quantifier")?,
+                ),
+                None => {
+                    let n: usize = body.trim().parse().map_err(|_| "bad quantifier")?;
+                    (n, n)
+                }
+            };
+            if min > max {
+                return Err("inverted quantifier".into());
+            }
+            Ok((min, max, close + 1))
+        }
+        Some('*') => Ok((0, 8, i + 1)),
+        Some('+') => Ok((1, 8, i + 1)),
+        Some('?') => Ok((0, 1, i + 1)),
+        _ => Ok((1, 1, i)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn class_with_range_and_repeat() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-c]{2,5}".generate(&mut r);
+            assert!((2..=5).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_class_with_escape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[ -~\\n]{0,40}".generate(&mut r);
+            assert!(s.len() <= 40);
+            assert!(
+                s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut r = rng();
+        let mut saw_dash = false;
+        for _ in 0..500 {
+            let s = "[a-b._-]{1,3}".generate(&mut r);
+            assert!(s.chars().all(|c| "ab._-".contains(c)), "{s:?}");
+            saw_dash |= s.contains('-');
+        }
+        assert!(saw_dash);
+    }
+
+    #[test]
+    fn multi_atom_sequences() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9]{0,8}".generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 9);
+            assert!(s.chars().next().expect("nonempty").is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn exact_count_quantifier() {
+        let mut r = rng();
+        let s = "[x]{7}".generate(&mut r);
+        assert_eq!(s, "xxxxxxx");
+    }
+
+    #[test]
+    fn range_strategy_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3usize..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_lengths() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = vec(any::<u8>(), 1..5).generate(&mut r);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_map_sizes() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let m = btree_map("[a-z]{1,6}", any::<u8>(), 1..6).generate(&mut r);
+            assert!(!m.is_empty() && m.len() < 6);
+        }
+    }
+}

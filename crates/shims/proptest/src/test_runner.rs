@@ -1,0 +1,91 @@
+//! Deterministic test-runner plumbing for the [`proptest!`](crate::proptest) macro.
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 48 keeps the offline suite fast while
+        // still exercising plenty of inputs per property.
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+    /// An assertion failed; the test fails.
+    Fail(String),
+}
+
+/// Deterministic case scheduler: derives one RNG stream per (test, case).
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    test_seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            config,
+            test_seed: seed,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG for one case, independent of all other cases.
+    pub fn rng_for_case(&mut self, case: u32) -> TestRng {
+        TestRng::new(self.test_seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+/// SplitMix64 stream backing generated values.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this workspace ships
+//! the small API subset it actually uses: [`rngs::StdRng`], the [`Rng`]
+//! extension trait (`gen_range`, `gen_bool`) and [`SeedableRng`]
+//! (`seed_from_u64`). The generator is SplitMix64 — deterministic,
+//! well-distributed, and more than good enough for synthetic-corpus
+//! generation (nothing here is cryptographic).
+//!
+//! The stream differs from upstream `rand`'s ChaCha-based `StdRng`, which
+//! is fine: every consumer in this workspace treats the generator as an
+//! opaque deterministic source.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (API subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_half_open(rng: &mut rngs::StdRng, low: Self, high: Self) -> Self;
+    /// Samples uniformly from `[low, high]`.
+    fn sample_closed(rng: &mut rngs::StdRng, low: Self, high: Self) -> Self;
+}
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples a value from the range.
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_closed(rng, low, high)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut rngs::StdRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                low.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+            fn sample_closed(rng: &mut rngs::StdRng, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                low.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut rngs::StdRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                low + unit * (high - low)
+            }
+            fn sample_closed(rng: &mut rngs::StdRng, low: Self, high: Self) -> Self {
+                Self::sample_half_open(rng, low, high)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Random value generation (API subset of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>;
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{Rng, SampleRange, SampleUniform, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn next_raw(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.next_raw()
+        }
+
+        fn gen_range<T, R>(&mut self, range: R) -> T
+        where
+            T: SampleUniform,
+            R: SampleRange<T>,
+        {
+            range.sample(self)
+        }
+
+        fn gen_bool(&mut self, p: f64) -> bool {
+            debug_assert!((0.0..=1.0).contains(&p));
+            let unit = (self.next_raw() >> 11) as f64 / (1u64 << 53) as f64;
+            unit < p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u64 = rng.gen_range(5..=5);
+            assert_eq!(w, 5);
+            let f: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i: i64 = rng.gen_range(-10..10);
+            assert!((-10..10).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_roughly_calibrated() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+}

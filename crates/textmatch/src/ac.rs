@@ -203,7 +203,14 @@ mod tests {
     fn offsets_are_correct() {
         let ac = AhoCorasick::new(&["abc"], MatchKind::CaseSensitive);
         let hits = ac.find_all(b"zzabczz");
-        assert_eq!(hits, vec![AcMatch { pattern: 0, start: 2, end: 5 }]);
+        assert_eq!(
+            hits,
+            vec![AcMatch {
+                pattern: 0,
+                start: 2,
+                end: 5
+            }]
+        );
     }
 
     #[test]

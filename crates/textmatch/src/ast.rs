@@ -85,7 +85,10 @@ impl Ast {
     /// loop forever in a naive VM.
     pub fn is_nullable(&self) -> bool {
         match self {
-            Ast::Empty | Ast::StartAnchor | Ast::EndAnchor | Ast::WordBoundary
+            Ast::Empty
+            | Ast::StartAnchor
+            | Ast::EndAnchor
+            | Ast::WordBoundary
             | Ast::NotWordBoundary => true,
             Ast::Class(_) => false,
             Ast::Concat(parts) => parts.iter().all(Ast::is_nullable),
@@ -130,19 +133,13 @@ mod tests {
 
     #[test]
     fn nullable_concat_requires_all() {
-        let c = Ast::Concat(vec![
-            Ast::Empty,
-            Ast::Class(CharClass::single(b'a')),
-        ]);
+        let c = Ast::Concat(vec![Ast::Empty, Ast::Class(CharClass::single(b'a'))]);
         assert!(!c.is_nullable());
     }
 
     #[test]
     fn nullable_alternate_requires_any() {
-        let a = Ast::Alternate(vec![
-            Ast::Class(CharClass::single(b'a')),
-            Ast::Empty,
-        ]);
+        let a = Ast::Alternate(vec![Ast::Class(CharClass::single(b'a')), Ast::Empty]);
         assert!(a.is_nullable());
     }
 }

@@ -93,10 +93,7 @@ impl CharClass {
 
     /// Tests whether `byte` belongs to the class.
     pub fn matches(&self, byte: u8) -> bool {
-        let inside = self
-            .ranges
-            .iter()
-            .any(|&(lo, hi)| lo <= byte && byte <= hi);
+        let inside = self.ranges.iter().any(|&(lo, hi)| lo <= byte && byte <= hi);
         inside != self.negated
     }
 

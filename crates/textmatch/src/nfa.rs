@@ -632,7 +632,10 @@ mod tests {
     fn url_pattern() {
         let r = re(r"https?://[\w.\-/]+");
         let m = r.find(b"requests.get('http://1.2.3.4/x.sh')").unwrap();
-        assert_eq!(&b"requests.get('http://1.2.3.4/x.sh')"[m.start..m.end], b"http://1.2.3.4/x.sh");
+        assert_eq!(
+            &b"requests.get('http://1.2.3.4/x.sh')"[m.start..m.end],
+            b"http://1.2.3.4/x.sh"
+        );
     }
 
     #[test]

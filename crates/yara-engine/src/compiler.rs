@@ -26,6 +26,14 @@ pub struct CompiledRules {
     pub rules: Vec<CompiledRule>,
 }
 
+impl CompiledRule {
+    /// The rule's literal atoms and prefilter contract
+    /// (see [`crate::literal_atoms`]).
+    pub fn literal_atoms(&self) -> crate::RuleAtoms {
+        crate::atoms::literal_atoms(self)
+    }
+}
+
 impl CompiledRules {
     /// Number of compiled rules.
     pub fn len(&self) -> usize {
@@ -197,10 +205,8 @@ mod tests {
 
     #[test]
     fn compiles_valid_rule() {
-        let rules = compile(
-            "rule r { strings: $a = \"x\" $b = /y+/ condition: $a or $b }",
-        )
-        .expect("compile");
+        let rules = compile("rule r { strings: $a = \"x\" $b = /y+/ condition: $a or $b }")
+            .expect("compile");
         assert_eq!(rules.len(), 1);
         assert!(rules.rules[0].regexes[0].is_none());
         assert!(rules.rules[0].regexes[1].is_some());
@@ -208,22 +214,31 @@ mod tests {
 
     #[test]
     fn undefined_string_detected() {
-        let e = compile("rule r { strings: $a = \"x\" condition: $a and $missing }")
-            .unwrap_err();
-        assert!(e.to_string().contains("undefined string \"$missing\""), "{e}");
+        let e = compile("rule r { strings: $a = \"x\" condition: $a and $missing }").unwrap_err();
+        assert!(
+            e.to_string().contains("undefined string \"$missing\""),
+            "{e}"
+        );
     }
 
     #[test]
     fn duplicated_string_id_detected() {
         let e = compile("rule r { strings: $a = \"x\" $a = \"y\" condition: all of them }")
             .unwrap_err();
-        assert!(e.to_string().contains("duplicated string identifier \"$a\""), "{e}");
+        assert!(
+            e.to_string()
+                .contains("duplicated string identifier \"$a\""),
+            "{e}"
+        );
     }
 
     #[test]
     fn duplicated_rule_name_detected() {
         let e = compile("rule r { condition: true } rule r { condition: false }").unwrap_err();
-        assert!(e.to_string().contains("duplicated rule identifier \"r\""), "{e}");
+        assert!(
+            e.to_string().contains("duplicated rule identifier \"r\""),
+            "{e}"
+        );
     }
 
     #[test]
@@ -248,7 +263,10 @@ mod tests {
     fn bad_regex_reported_with_string_id() {
         let e = compile("rule r { strings: $re = /[unclosed/ condition: $re }").unwrap_err();
         let msg = e.to_string();
-        assert!(msg.contains("invalid regular expression in string \"$re\""), "{msg}");
+        assert!(
+            msg.contains("invalid regular expression in string \"$re\""),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ pub struct Token {
 ///   paper's Table V instruction 6 covers exactly this failure).
 pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
     if source.starts_with('\u{FEFF}') {
-        return Err(CompileError::new(1, "file encoding must be UTF-8 without BOM"));
+        return Err(CompileError::new(
+            1,
+            "file encoding must be UTF-8 without BOM",
+        ));
     }
     let bytes = source.as_bytes();
     let mut toks = Vec::new();

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod ast;
+mod atoms;
 mod compiler;
 mod error;
 mod lexer;
@@ -51,6 +52,7 @@ mod parser;
 mod scanner;
 
 pub use ast::{Condition, MetaValue, Rule, RuleSet, StringDef, StringMods, StringValue};
+pub use atoms::{literal_atoms, RuleAtoms};
 pub use compiler::{compile, CompiledRule, CompiledRules};
 pub use error::CompileError;
 pub use lexer::{lex, Token, TokenKind};

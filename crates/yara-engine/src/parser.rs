@@ -56,7 +56,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let k = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let k = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -148,8 +150,9 @@ impl Parser {
                 }
             }
         }
-        let condition = condition
-            .ok_or_else(|| CompileError::new(line, format!("rule \"{name}\" has no condition section")))?;
+        let condition = condition.ok_or_else(|| {
+            CompileError::new(line, format!("rule \"{name}\" has no condition section"))
+        })?;
         Ok(Rule {
             name,
             tags,
@@ -185,10 +188,7 @@ impl Parser {
                         other => {
                             return Err(CompileError::new(
                                 self.line(),
-                                format!(
-                                    "invalid meta value, unexpected {}",
-                                    describe(&other)
-                                ),
+                                format!("invalid meta value, unexpected {}", describe(&other)),
                             ))
                         }
                     };
@@ -362,7 +362,10 @@ impl Parser {
             TokenKind::CountId(id) => {
                 self.bump();
                 if id.is_empty() {
-                    return Err(CompileError::new(self.line(), "invalid count identifier \"#\""));
+                    return Err(CompileError::new(
+                        self.line(),
+                        "invalid count identifier \"#\"",
+                    ));
                 }
                 let op = self.cmp_op()?;
                 let value = self.int()?;
@@ -400,7 +403,10 @@ impl Parser {
             }
             other => Err(CompileError::new(
                 self.line(),
-                format!("syntax error, unexpected {}, expecting 'of'", describe(&other)),
+                format!(
+                    "syntax error, unexpected {}, expecting 'of'",
+                    describe(&other)
+                ),
             )),
         }
     }
@@ -470,9 +476,7 @@ impl Parser {
 
     fn cmp_op(&mut self) -> Result<String, CompileError> {
         match self.peek().clone() {
-            TokenKind::Punct(p)
-                if matches!(p.as_str(), ">" | ">=" | "<" | "<=" | "==" | "!=") =>
-            {
+            TokenKind::Punct(p) if matches!(p.as_str(), ">" | ">=" | "<" | "<=" | "==" | "!=") => {
                 self.bump();
                 Ok(p)
             }
@@ -494,7 +498,10 @@ impl Parser {
             }
             other => Err(CompileError::new(
                 self.line(),
-                format!("syntax error, unexpected {}, expecting integer", describe(&other)),
+                format!(
+                    "syntax error, unexpected {}, expecting integer",
+                    describe(&other)
+                ),
             )),
         }
     }
@@ -503,9 +510,27 @@ impl Parser {
 fn is_reserved(word: &str) -> bool {
     matches!(
         word,
-        "rule" | "meta" | "strings" | "condition" | "and" | "or" | "not" | "all" | "any"
-            | "of" | "them" | "at" | "filesize" | "true" | "false" | "import" | "include"
-            | "nocase" | "wide" | "ascii" | "fullword"
+        "rule"
+            | "meta"
+            | "strings"
+            | "condition"
+            | "and"
+            | "or"
+            | "not"
+            | "all"
+            | "any"
+            | "of"
+            | "them"
+            | "at"
+            | "filesize"
+            | "true"
+            | "false"
+            | "import"
+            | "include"
+            | "nocase"
+            | "wide"
+            | "ascii"
+            | "fullword"
     )
 }
 
@@ -615,8 +640,12 @@ rule suspicious_exec : oss malware {
         let rs = parse(src).expect("parse");
         match &rs.rules[0].condition {
             Condition::And(parts) => {
-                assert!(matches!(&parts[0], Condition::Count { id, op, value } if id == "a" && op == ">" && *value == 3));
-                assert!(matches!(&parts[1], Condition::At { id, offset } if id == "a" && *offset == 0));
+                assert!(
+                    matches!(&parts[0], Condition::Count { id, op, value } if id == "a" && op == ">" && *value == 3)
+                );
+                assert!(
+                    matches!(&parts[1], Condition::At { id, offset } if id == "a" && *offset == 0)
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

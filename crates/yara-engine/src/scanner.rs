@@ -62,8 +62,7 @@ impl<'r> Scanner<'r> {
                         }
                     }
                     if mods.wide {
-                        let wide: Vec<u8> =
-                            bytes.iter().flat_map(|&b| [b, 0u8]).collect();
+                        let wide: Vec<u8> = bytes.iter().flat_map(|&b| [b, 0u8]).collect();
                         if mods.nocase {
                             ci_pats.push(wide);
                             ci_map.push((ri, si, true, mods.fullword));
@@ -86,6 +85,18 @@ impl<'r> Scanner<'r> {
 
     /// Scans `data` and returns every rule whose condition holds.
     pub fn scan(&self, data: &[u8]) -> Vec<RuleMatch> {
+        self.scan_rules(data, |_| true)
+    }
+
+    /// Scans `data` against the subset of rules selected by `include`
+    /// (called with each rule's declaration index).
+    ///
+    /// Results are identical to filtering [`Scanner::scan`]'s output to
+    /// the selected rules, but excluded rules pay no regex evaluation and
+    /// no condition evaluation — the entry point for literal-prefilter
+    /// routing, where a caller has proven the excluded rules cannot
+    /// match.
+    pub fn scan_rules(&self, data: &[u8], include: impl Fn(usize) -> bool) -> Vec<RuleMatch> {
         // (rule idx, string idx) -> offsets
         let mut offsets: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
 
@@ -101,6 +112,9 @@ impl<'r> Scanner<'r> {
 
         let mut out = Vec::new();
         for (ri, cr) in self.rules.rules.iter().enumerate() {
+            if !include(ri) {
+                continue;
+            }
             // Regex strings: evaluated lazily per rule.
             for (si, regex) in cr.regexes.iter().enumerate() {
                 if let Some(re) = regex {
@@ -171,7 +185,13 @@ impl Context<'_> {
 
     fn covered_ids(&self, set: &StringSet) -> Vec<&str> {
         match set {
-            StringSet::Them => self.rule.rule.strings.iter().map(|s| s.id.as_str()).collect(),
+            StringSet::Them => self
+                .rule
+                .rule
+                .strings
+                .iter()
+                .map(|s| s.id.as_str())
+                .collect(),
             StringSet::Patterns(pats) => self
                 .rule
                 .rule
@@ -213,7 +233,7 @@ impl Context<'_> {
     }
 }
 
-fn cmp(lhs: i64, op: &str, rhs: i64) -> bool {
+pub(crate) fn cmp(lhs: i64, op: &str, rhs: i64) -> bool {
     match op {
         ">" => lhs > rhs,
         ">=" => lhs >= rhs,
@@ -276,7 +296,8 @@ mod tests {
 
     #[test]
     fn n_of_wildcard() {
-        let rule = "rule r { strings: $u1 = \"aaa\" $u2 = \"bbb\" $u3 = \"ccc\" condition: 2 of ($u*) }";
+        let rule =
+            "rule r { strings: $u1 = \"aaa\" $u2 = \"bbb\" $u3 = \"ccc\" condition: 2 of ($u*) }";
         assert!(scan_one(rule, b"aaa ccc").len() == 1);
         assert!(scan_one(rule, b"aaa only").is_empty());
     }
@@ -340,7 +361,8 @@ mod tests {
 
     #[test]
     fn regex_string() {
-        let rule = r#"rule r { strings: $ip = /\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}/ condition: $ip }"#;
+        let rule =
+            r#"rule r { strings: $ip = /\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}/ condition: $ip }"#;
         assert_eq!(scan_one(rule, b"c2 = '185.62.190.159'").len(), 1);
         assert!(scan_one(rule, b"no address").is_empty());
     }
@@ -353,7 +375,8 @@ mod tests {
 
     #[test]
     fn not_condition() {
-        let rule = "rule r { strings: $a = \"setup\" $bad = \"license\" condition: $a and not $bad }";
+        let rule =
+            "rule r { strings: $a = \"setup\" $bad = \"license\" condition: $a and not $bad }";
         assert_eq!(scan_one(rule, b"setup code").len(), 1);
         assert!(scan_one(rule, b"setup license").is_empty());
     }
@@ -384,6 +407,24 @@ rule b { strings: $x = "beta" condition: $x }
         let rule = "rule r { strings: $a = \"ab\" condition: #a >= 2 }";
         let hits = scan_one(rule, b"ab..ab");
         assert_eq!(hits[0].strings[0].offsets, vec![0, 4]);
+    }
+
+    #[test]
+    fn scan_rules_filters_without_changing_matches() {
+        let src = r#"
+rule a { strings: $x = "alpha" condition: $x }
+rule b { strings: $x = "beta" condition: $x }
+rule c { strings: $x = "gamma" condition: $x }
+"#;
+        let compiled = compile(src).expect("compile");
+        let scanner = Scanner::new(&compiled);
+        let data = b"alpha beta gamma";
+        let all = scanner.scan(data);
+        assert_eq!(all.len(), 3);
+        let subset = scanner.scan_rules(data, |ri| ri != 1);
+        let expected: Vec<RuleMatch> = all.iter().filter(|m| m.rule != "b").cloned().collect();
+        assert_eq!(subset, expected);
+        assert!(scanner.scan_rules(data, |_| false).is_empty());
     }
 
     #[test]

@@ -12,7 +12,10 @@ use eval::report;
 fn main() {
     let ctx = ExperimentContext::new(&CorpusConfig::tiny());
     let (rows, _) = table8(&ctx);
-    println!("{}", report::render_metrics_table("Main comparison (tiny corpus)", &rows));
+    println!(
+        "{}",
+        report::render_metrics_table("Main comparison (tiny corpus)", &rows)
+    );
 
     let best = rows
         .iter()

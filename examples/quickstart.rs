@@ -31,7 +31,11 @@ fn main() {
     let mut pipeline = Pipeline::new(PipelineConfig::full());
     let output = pipeline.run(&[&package]);
 
-    println!("generated {} YARA and {} Semgrep rules\n", output.yara.len(), output.semgrep.len());
+    println!(
+        "generated {} YARA and {} Semgrep rules\n",
+        output.yara.len(),
+        output.semgrep.len()
+    );
     for rule in &output.yara {
         println!("{}\n", rule.text);
     }

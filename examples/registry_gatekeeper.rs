@@ -1,20 +1,28 @@
 //! Registry gatekeeping scenario: learn rules from a week of quarantined
-//! uploads, then screen the next wave of packages — including an unseen
-//! variant of a known family and a legitimate upload.
+//! uploads, stand up a `scanhub` scan service over them, then screen the
+//! next wave of packages — including an unseen variant of a known family,
+//! a legitimate upload, and a re-upload served straight from the verdict
+//! cache.
 //!
 //! ```text
-//! cargo run -p rulellm --example registry_gatekeeper
+//! cargo run --example registry_gatekeeper
 //! ```
 
 use corpus::{generate_legit_package, generate_malware_package, FAMILIES};
 use rulellm::{Pipeline, PipelineConfig};
-use yara_engine::Scanner;
+use scanhub::{HubConfig, ScanHub, ScanRequest};
 
 fn main() {
     // Monday-to-Friday quarantine: three variants each from two active
     // campaigns (a C2 beacon family and a base64 dropper family).
-    let beacon = FAMILIES.iter().find(|f| f.stem == "beaconlite").expect("family");
-    let dropper = FAMILIES.iter().find(|f| f.stem == "execb64").expect("family");
+    let beacon = FAMILIES
+        .iter()
+        .find(|f| f.stem == "beaconlite")
+        .expect("family");
+    let dropper = FAMILIES
+        .iter()
+        .find(|f| f.stem == "execb64")
+        .expect("family");
     let mut quarantine = Vec::new();
     for variant in 0..3 {
         quarantine.push(generate_malware_package(beacon, variant, 7).0);
@@ -30,7 +38,7 @@ fn main() {
     let mut pipeline = Pipeline::new(config);
     let output = pipeline.run(&refs);
     println!(
-        "pipeline: {} crafted, {} refined, {} aligned, {} dropped -> {} YARA / {} Semgrep rules\n",
+        "pipeline: {} crafted, {} refined, {} aligned, {} dropped -> {} YARA / {} Semgrep rules",
         output.stats.crafted,
         output.stats.refined,
         output.stats.aligned_ok,
@@ -39,30 +47,50 @@ fn main() {
         output.semgrep.len(),
     );
 
+    // Stand up the scan service over the learned ruleset.
     let compiled = yara_engine::compile(&output.yara_ruleset()).expect("rules compile");
-    let scanner = Scanner::new(&compiled);
+    let hub = ScanHub::new(Some(compiled), None, HubConfig::default());
+    println!(
+        "scanhub up: {} atoms indexed, {} always-on rules\n",
+        hub.prefilter_index().atom_count(),
+        hub.prefilter_index().always_on_count(),
+    );
 
-    // Saturday's upload queue: an unseen variant of each campaign plus a
-    // legitimate package.
+    // Saturday's upload queue: an unseen variant of each campaign, a
+    // legitimate package, and a re-upload of the same legitimate package
+    // (registry clients love retrying).
     let unseen_beacon = generate_malware_package(beacon, 99, 7).0;
     let unseen_dropper = generate_malware_package(dropper, 99, 7).0;
     let legit = generate_legit_package(3, 7);
 
-    for (label, pkg, expect) in [
+    let queue = [
         ("unseen beacon variant", &unseen_beacon, true),
         ("unseen dropper variant", &unseen_dropper, true),
         ("legitimate upload", &legit, false),
-    ] {
-        let mut buffer = pkg.combined_source().into_bytes();
-        buffer.extend_from_slice(oss_registry::render_pkg_info(pkg.metadata()).as_bytes());
-        let hits = scanner.scan(&buffer);
-        let verdict = if hits.is_empty() { "PASS" } else { "BLOCK" };
+        ("legitimate re-upload", &legit, false),
+    ];
+    for (label, pkg, expect) in &queue {
+        // Sequential submit-then-wait: the verdict cache keys on content,
+        // so the re-upload is answered without a scan.
+        let verdict = hub.submit(ScanRequest::from_package(pkg)).wait();
+        let decision = if verdict.flagged() { "BLOCK" } else { "PASS" };
+        let provenance = if verdict.from_cache { ", cached" } else { "" };
         println!(
-            "{label:<24} ({:<14}) -> {verdict} ({} rules)",
+            "{label:<24} ({:<14}) -> {decision} ({} rules{provenance})",
             pkg.metadata().name,
-            hits.len()
+            verdict.total(),
         );
-        assert_eq!(!hits.is_empty(), expect, "{label} misclassified");
+        assert_eq!(verdict.flagged(), *expect, "{label} misclassified");
     }
-    println!("\ngatekeeper verdicts all correct.");
+
+    let stats = hub.stats();
+    println!(
+        "\nhub stats: {} submitted, {} scanned, cache hit rate {:.0}%, prefilter skip rate {:.0}%",
+        stats.submitted,
+        stats.completed - stats.cache_hits,
+        stats.cache_hit_rate() * 100.0,
+        stats.prefilter_skip_rate() * 100.0,
+    );
+    assert_eq!(stats.cache_hits, 1, "the re-upload must be a cache hit");
+    println!("gatekeeper verdicts all correct.");
 }

@@ -1,0 +1,8 @@
+//! Workspace root crate.
+//!
+//! Carries no library code of its own: it exists so the cross-crate
+//! integration tests under `tests/` and the example scenarios under
+//! `examples/` are workspace members built by `cargo build` / `cargo
+//! test` from the repository root. See `README.md` for the crate map.
+
+#![forbid(unsafe_code)]

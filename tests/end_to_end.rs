@@ -2,9 +2,7 @@
 //! RuleLLM pipeline → rule compilation → package-level detection.
 
 use corpus::{CorpusConfig, Dataset};
-use eval::experiments::{
-    self, compile_output, confusion_at, run_rulellm, ExperimentContext,
-};
+use eval::experiments::{self, compile_output, confusion_at, run_rulellm, ExperimentContext};
 use eval::scan::scan_all;
 use rulellm::PipelineConfig;
 
@@ -143,5 +141,8 @@ fn generated_rules_generalize_to_duplicates_by_construction() {
     }
     let unique_rate = unique_hits as f64 / unique.len() as f64;
     let all_rate = all_hits as f64 / dataset.malware.len() as f64;
-    assert!(all_rate >= unique_rate - 0.05, "{all_rate} vs {unique_rate}");
+    assert!(
+        all_rate >= unique_rate - 0.05,
+        "{all_rate} vs {unique_rate}"
+    );
 }

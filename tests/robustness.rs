@@ -114,7 +114,10 @@ fn hostile_metadata_does_not_break_rules() {
     meta.description = String::new();
     meta.dependencies = vec!["\n\n\"injection\"".into()];
     let output = run_on(
-        vec![SourceFile::new("p/__init__.py", "import os\nos.system('x')\n")],
+        vec![SourceFile::new(
+            "p/__init__.py",
+            "import os\nos.system('x')\n",
+        )],
         meta,
     );
     yara_engine::compile(&output.yara_ruleset()).expect("ruleset compiles");
@@ -122,10 +125,8 @@ fn hostile_metadata_does_not_break_rules() {
 
 #[test]
 fn scanners_handle_null_heavy_buffers() {
-    let rules = yara_engine::compile(
-        "rule r { strings: $a = \"needle\" condition: $a }",
-    )
-    .expect("compile");
+    let rules =
+        yara_engine::compile("rule r { strings: $a = \"needle\" condition: $a }").expect("compile");
     let scanner = yara_engine::Scanner::new(&rules);
     let mut buffer = vec![0u8; 100_000];
     buffer.extend_from_slice(b"needle");

@@ -85,7 +85,10 @@ fn semgrep_rules_from_pipeline_match_via_ast_not_text() {
 
 #[test]
 fn score_baseline_rules_run_on_the_same_scanner() {
-    let family = FAMILIES.iter().find(|f| f.stem == "credharv").expect("family");
+    let family = FAMILIES
+        .iter()
+        .find(|f| f.stem == "credharv")
+        .expect("family");
     let a = generate_malware_package(family, 0, 5).0;
     let b = generate_malware_package(family, 1, 5).0;
     let legit = corpus::generate_legit_package(0, 5);
@@ -102,7 +105,10 @@ fn scanner_corpora_interoperate_with_corpus_packages() {
         yara_engine::compile(&baselines::scanners::yara_corpus()).expect("corpus compiles");
     let scanner = yara_engine::Scanner::new(&compiled);
     // The b64 dropper family is exactly what the OSS subset targets.
-    let family = FAMILIES.iter().find(|f| f.stem == "execb64").expect("family");
+    let family = FAMILIES
+        .iter()
+        .find(|f| f.stem == "execb64")
+        .expect("family");
     let pkg = generate_malware_package(family, 0, 6).0;
     let hits = scanner.scan(pkg.combined_source().as_bytes());
     assert!(
@@ -123,7 +129,11 @@ fn weak_model_rules_are_recovered_by_alignment() {
     let mut saved = 0;
     for seed in 0..10 {
         let mut llm = LlmSim::new(ModelProfile::llama31(), seed);
-        let reply = llm.complete(&Prompt::craft(RuleFormat::Yara, &[unit.clone()], None));
+        let reply = llm.complete(&Prompt::craft(
+            RuleFormat::Yara,
+            std::slice::from_ref(&unit),
+            None,
+        ));
         let (analysis, rule) = llm_sim::split_reply(&reply);
         if yara_engine::compile(&rule).is_ok() {
             continue;
