@@ -1,0 +1,63 @@
+//! Obfuscation-throughput benchmark: bytes/sec of corpus mutation per
+//! evasion profile, plus the end-to-end mutate-then-scan adversarial
+//! loop the robustness experiment runs.
+//!
+//! The mutation engine sits on the experiment's hot path (every arm of
+//! the robustness report re-mutates the corpus), so regressions here
+//! directly stretch `repro --only robustness`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use corpus::{CorpusConfig, Dataset};
+use obfuscate::{EvasionProfile, Obfuscator};
+use scanhub::{HubConfig, ScanHub, ScanRequest};
+
+fn bench_obfuscation(c: &mut Criterion) {
+    let dataset = Dataset::generate(&CorpusConfig::tiny());
+    let unique = dataset.unique_malware();
+    let bytes: u64 = unique
+        .iter()
+        .map(|m| m.package.combined_source().len() as u64)
+        .sum();
+
+    let mut g = c.benchmark_group("obfuscation_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes));
+    for profile in EvasionProfile::standard() {
+        let engine = Obfuscator::new(profile.clone(), 42);
+        g.bench_function(format!("mutate_corpus_{}", profile.name), |b| {
+            b.iter(|| {
+                unique
+                    .iter()
+                    .map(|m| engine.obfuscate_package(black_box(&m.package)).loc())
+                    .sum::<usize>()
+            })
+        });
+    }
+    g.finish();
+
+    // The adversarial serving loop: mutate a package, push it through a
+    // warm scanhub (rules from the pristine corpus), read the verdict.
+    let output = eval::experiments::run_rulellm(&dataset, rulellm::PipelineConfig::full());
+    let (yara, semgrep) = eval::experiments::compile_output(&output);
+    let hub = ScanHub::new(Some(yara), Some(semgrep), HubConfig::default());
+    let engine = Obfuscator::new(EvasionProfile::aggressive(), 42);
+    let mut g = c.benchmark_group("mutate_and_scan");
+    g.sample_size(10);
+    g.bench_function("aggressive_reupload_roundtrip", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let engine = Obfuscator::new(engine.profile().clone(), seed);
+            let mutant = engine.obfuscate_package(&unique[0].package);
+            hub.submit(ScanRequest::from_package(&mutant))
+                .wait()
+                .flagged()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_obfuscation);
+criterion_main!(benches);

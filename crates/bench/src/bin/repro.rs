@@ -154,6 +154,12 @@ fn main() {
         );
     }
 
+    if want("robustness") {
+        eprintln!("[repro] robustness under adversarial mutation (ISSUE 2) ...");
+        let report = eval::robustness::robustness(&ctx, 42);
+        println!("{}", report::render_robustness(&report));
+    }
+
     if want("variants") {
         eprintln!("[repro] variant detection (§V-B) ...");
         // The variant experiment needs several variants per family; at

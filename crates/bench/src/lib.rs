@@ -34,8 +34,22 @@ pub fn scale_config(name: &str) -> Result<CorpusConfig, String> {
 
 /// The experiment names `repro --only` accepts.
 pub const EXPERIMENTS: &[&str] = &[
-    "table6", "table8", "table9", "table10", "table11", "table12", "fig5", "fig6", "fig7", "fig8",
-    "fig9", "fig10", "fig11", "variants", "rag",
+    "table6",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "table12",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "variants",
+    "rag",
+    "robustness",
 ];
 
 #[cfg(test)]
@@ -51,6 +65,7 @@ mod tests {
 
     #[test]
     fn experiment_list_covers_all_tables_and_figures() {
-        assert_eq!(EXPERIMENTS.len(), 15);
+        assert_eq!(EXPERIMENTS.len(), 16);
+        assert!(EXPERIMENTS.contains(&"robustness"));
     }
 }

@@ -159,10 +159,7 @@ pub fn generate_legit_package(index: usize, seed: u64) -> Package {
     let n_modules = rng.gen_range(4..9);
     let per_module = target / n_modules;
     for m in 0..n_modules {
-        let mut body = format!(
-            "\"\"\"{name}.{mod_name} — generated utility module.\"\"\"\n\n",
-            mod_name = format!("mod{m}")
-        );
+        let mut body = format!("\"\"\"{name}.mod{m} — generated utility module.\"\"\"\n\n");
         body.push_str(&filler_functions(&mut rng, per_module));
         files.push(SourceFile::new(format!("{module_dir}/mod{m}.py"), body));
     }

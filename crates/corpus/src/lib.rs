@@ -37,6 +37,7 @@ mod dataset;
 mod families;
 mod legit;
 mod malware;
+mod mutants;
 mod naming;
 
 pub use behaviors::{Behavior, BehaviorTag, CATEGORIES};
@@ -44,3 +45,4 @@ pub use dataset::{CorpusConfig, Dataset, DatasetStats, LabeledLegit, LabeledMalw
 pub use families::{Family, MetadataStyle, FAMILIES};
 pub use legit::generate_legit_package;
 pub use malware::generate_malware_package;
+pub use mutants::{mutate_dataset, mutated_legit, mutated_malware};

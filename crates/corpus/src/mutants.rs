@@ -1,0 +1,99 @@
+//! Adversarial corpus growth: mutated variants of every package.
+//!
+//! A mutant models a re-upload: the attacker keeps the payload behavior
+//! (and therefore the ground-truth label, family and behavior tags) but
+//! rewrites the bytes through an [`obfuscate::EvasionProfile`]. The
+//! robustness experiment scans these to measure detection decay, and
+//! scanhub's property tests use them as cache/prefilter adversaries.
+
+use obfuscate::{EvasionProfile, Obfuscator};
+
+use crate::dataset::{Dataset, LabeledLegit, LabeledMalware};
+
+/// Mutates every *unique* malicious package through `profile`.
+///
+/// Ground truth carries over untouched: the mutant keeps its source's
+/// `family_id`, `variant` and behavior `tags` — obfuscation changes
+/// bytes, never behavior. Deterministic in `(dataset, profile, seed)`.
+pub fn mutated_malware(
+    dataset: &Dataset,
+    profile: &EvasionProfile,
+    seed: u64,
+) -> Vec<LabeledMalware> {
+    let engine = Obfuscator::new(profile.clone(), seed);
+    dataset
+        .unique_malware()
+        .into_iter()
+        .map(|m| LabeledMalware {
+            package: engine.obfuscate_package(&m.package),
+            family_id: m.family_id,
+            variant: m.variant,
+            tags: m.tags.clone(),
+        })
+        .collect()
+}
+
+/// Mutates every legitimate package through `profile` — the false-positive
+/// side of robustness: churned *benign* code must not start matching.
+pub fn mutated_legit(dataset: &Dataset, profile: &EvasionProfile, seed: u64) -> Vec<LabeledLegit> {
+    let engine = Obfuscator::new(profile.clone(), seed);
+    dataset
+        .legit
+        .iter()
+        .map(|l| LabeledLegit {
+            package: engine.obfuscate_package(&l.package),
+        })
+        .collect()
+}
+
+/// A whole-corpus mutation: unique malware and all legit packages run
+/// through `profile`, labels preserved. The returned dataset plugs into
+/// the same `eval` target-building path as the original.
+pub fn mutate_dataset(dataset: &Dataset, profile: &EvasionProfile, seed: u64) -> Dataset {
+    Dataset {
+        malware: mutated_malware(dataset, profile, seed),
+        legit: mutated_legit(dataset, profile, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CorpusConfig;
+
+    #[test]
+    fn mutants_preserve_ground_truth_and_change_bytes() {
+        let d = Dataset::generate(&CorpusConfig::tiny());
+        let m = mutated_malware(&d, &EvasionProfile::aggressive(), 42);
+        let unique = d.unique_malware();
+        assert_eq!(m.len(), unique.len());
+        for (mutant, original) in m.iter().zip(&unique) {
+            assert_eq!(mutant.family_id, original.family_id);
+            assert_eq!(mutant.tags, original.tags);
+            assert_ne!(
+                mutant.package.signature(),
+                original.package.signature(),
+                "aggressive mutation must change the content signature"
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let d = Dataset::generate(&CorpusConfig::tiny());
+        let a = mutate_dataset(&d, &EvasionProfile::medium(), 7);
+        let b = mutate_dataset(&d, &EvasionProfile::medium(), 7);
+        let sig = |d: &Dataset| -> Vec<String> {
+            d.malware.iter().map(|m| m.package.signature()).collect()
+        };
+        assert_eq!(sig(&a), sig(&b));
+    }
+
+    #[test]
+    fn mutated_dataset_keeps_shape() {
+        let d = Dataset::generate(&CorpusConfig::tiny());
+        let m = mutate_dataset(&d, &EvasionProfile::light(), 42);
+        assert_eq!(m.malware.len(), d.unique_malware().len());
+        assert_eq!(m.legit.len(), d.legit.len());
+    }
+}

@@ -1,6 +1,9 @@
-//! Property-based tests for the corpus generator's invariants.
+//! Property-based tests for the corpus generator's invariants, including
+//! the metamorphic contract of the adversarial mutants: obfuscation
+//! changes bytes, never ground truth.
 
 use corpus::{generate_legit_package, generate_malware_package, FAMILIES};
+use obfuscate::{EvasionProfile, Obfuscator, Transform};
 use proptest::prelude::*;
 
 proptest! {
@@ -49,6 +52,57 @@ proptest! {
         prop_assert!(!pkg.metadata().description.is_empty());
         prop_assert!(!pkg.metadata().author_email.is_empty());
         prop_assert!(pkg.metadata().version != "0.0.0");
+    }
+
+    #[test]
+    fn mutated_malware_keeps_its_ground_truth_label(
+        family_idx in 0usize..30,
+        variant in 0u64..10,
+        seed in any::<u64>(),
+    ) {
+        // Metamorphic invariant: for semantics-preserving transforms the
+        // package's label evidence survives — the mutant still carries
+        // observable Table II indicators, the same behavior tags, and
+        // parses through `pysrc`.
+        let family = &FAMILIES[family_idx];
+        let (pkg, tags) = generate_malware_package(family, variant, 42);
+        for profile in EvasionProfile::standard() {
+            let mutant = Obfuscator::new(profile.clone(), seed).obfuscate_package(&pkg);
+            prop_assert_eq!(mutant.metadata(), pkg.metadata());
+            prop_assert_eq!(mutant.files().len(), pkg.files().len());
+            prop_assert!(!tags.is_empty());
+            let analysis = llm_sim::analyze_code(&mutant.combined_source());
+            prop_assert!(
+                !analysis.indicators.is_empty(),
+                "family {} profile {} mutant lost all Table II indicators",
+                family.stem,
+                profile.name
+            );
+            for f in mutant.files() {
+                if f.path.ends_with(".py") {
+                    let module = pysrc::parse_module(&f.contents);
+                    prop_assert!(!module.body.is_empty(), "{} unparsable after {}", f.path, profile.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed_per_transform(
+        family_idx in 0usize..30,
+        seed in any::<u64>(),
+    ) {
+        let family = &FAMILIES[family_idx];
+        let (pkg, _) = generate_malware_package(family, 0, 42);
+        for t in Transform::ALL {
+            let profile = EvasionProfile::single(*t);
+            let a = Obfuscator::new(profile.clone(), seed).obfuscate_package(&pkg);
+            let b = Obfuscator::new(profile.clone(), seed).obfuscate_package(&pkg);
+            prop_assert_eq!(
+                a.signature(), b.signature(),
+                "transform {} not byte-deterministic", t.name()
+            );
+        }
     }
 
     #[test]

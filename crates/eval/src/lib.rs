@@ -11,6 +11,9 @@
 //!   (main comparison), Table IX (LLM sweep), Table X (ablation),
 //!   Table XI (rule counts), Table XII (taxonomy), Figures 5–11, and the
 //!   §V-B variant-detection experiment;
+//! * [`robustness`] — adversarial-mutation experiment: per-transform and
+//!   per-profile recall/precision decay for every rule source, over
+//!   corpora mutated by the `obfuscate` engine;
 //! * [`report`] — text renderings that mirror the paper's layout, used by
 //!   the `repro` binary in `rulellm-bench`.
 //!
@@ -34,4 +37,5 @@ pub mod experiments;
 pub mod export;
 pub mod metrics;
 pub mod report;
+pub mod robustness;
 pub mod scan;

@@ -128,6 +128,39 @@ pub fn render_overlap(matrix: &[Vec<usize>]) -> String {
     out
 }
 
+/// Renders the robustness experiment: one block per rule source, one row
+/// per evasion arm, with recall/precision decay against the pristine
+/// corpus (ISSUE 2's per-transform decay table).
+pub fn render_robustness(report: &crate::robustness::RobustnessReport) -> String {
+    let mut out = format!(
+        "== Robustness: detection decay under evasion (seed {}) ==\n",
+        report.seed
+    );
+    for s in &report.sources {
+        out.push_str(&format!(
+            "{} (pristine: recall {:.1}%, precision {:.1}%)\n",
+            s.source,
+            s.original.recall() * 100.0,
+            s.original.precision() * 100.0,
+        ));
+        out.push_str(&format!(
+            "  {:<16} {:>7} {:>8} {:>7} {:>8}\n",
+            "arm", "recall", "Δrecall", "prec", "Δprec"
+        ));
+        for row in &s.rows {
+            out.push_str(&format!(
+                "  {:<16} {:>6.1}% {:>+7.1}% {:>6.1}% {:>+7.1}%\n",
+                row.arm,
+                row.confusion.recall() * 100.0,
+                -s.recall_decay(row) * 100.0,
+                row.confusion.precision() * 100.0,
+                -s.precision_decay(row) * 100.0,
+            ));
+        }
+    }
+    out
+}
+
 /// Renders the variant-detection summary (§V-B).
 pub fn render_variants(report: &VariantReport) -> String {
     format!(

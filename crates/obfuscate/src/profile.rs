@@ -1,0 +1,141 @@
+//! Transforms and named evasion profiles.
+
+use rand::rngs::StdRng;
+
+/// One composable source-to-source mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transform {
+    /// Rename module-level `def`/`class` names and simple assignment
+    /// targets to minted benign names.
+    RenameIdentifiers,
+    /// Split, hex- or base64-encode plain string literals into
+    /// runtime-equivalent expressions.
+    EncodeStrings,
+    /// Strip existing comments; inject benign comment and blank lines.
+    CommentChurn,
+    /// Inject never-called decoy functions and `if False:` padding.
+    DeadCodeInjection,
+    /// `import X` → `import X as alias`, rewriting bare uses.
+    ImportAliasing,
+    /// `mod.func(...)` → `getattr(mod, 'func')(...)`.
+    CallIndirection,
+}
+
+impl Transform {
+    /// Every transform, in the order the aggressive profile applies them.
+    pub const ALL: &'static [Transform] = &[
+        Transform::ImportAliasing,
+        Transform::RenameIdentifiers,
+        Transform::CallIndirection,
+        Transform::EncodeStrings,
+        Transform::DeadCodeInjection,
+        Transform::CommentChurn,
+    ];
+
+    /// Stable short name used in reports and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Transform::RenameIdentifiers => "rename",
+            Transform::EncodeStrings => "string-encode",
+            Transform::CommentChurn => "comment-churn",
+            Transform::DeadCodeInjection => "dead-code",
+            Transform::ImportAliasing => "import-alias",
+            Transform::CallIndirection => "call-indirect",
+        }
+    }
+
+    /// Applies the transform to one source file.
+    pub(crate) fn run(&self, source: &str, rng: &mut StdRng) -> String {
+        match self {
+            Transform::RenameIdentifiers => crate::rename::apply(source, rng),
+            Transform::EncodeStrings => crate::strings::apply(source, rng),
+            Transform::CommentChurn => crate::churn::apply(source, rng),
+            Transform::DeadCodeInjection => crate::deadcode::apply(source, rng),
+            Transform::ImportAliasing => crate::imports::apply(source, rng),
+            Transform::CallIndirection => crate::indirect::apply(source, rng),
+        }
+    }
+}
+
+/// A named, ordered composition of transforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvasionProfile {
+    /// Profile name (report label).
+    pub name: String,
+    /// Transforms, applied in order; each re-lexes the previous output,
+    /// so later transforms compound on earlier ones.
+    pub transforms: Vec<Transform>,
+}
+
+impl EvasionProfile {
+    /// Cosmetic churn only: comments and dead code. A lazy attacker's
+    /// republish; rules keyed on code atoms should survive unchanged.
+    pub fn light() -> Self {
+        EvasionProfile {
+            name: "light".into(),
+            transforms: vec![Transform::CommentChurn, Transform::DeadCodeInjection],
+        }
+    }
+
+    /// Light plus identifier renaming and import aliasing: author-chosen
+    /// names stop matching, library API spellings shift.
+    pub fn medium() -> Self {
+        EvasionProfile {
+            name: "medium".into(),
+            transforms: vec![
+                Transform::ImportAliasing,
+                Transform::RenameIdentifiers,
+                Transform::DeadCodeInjection,
+                Transform::CommentChurn,
+            ],
+        }
+    }
+
+    /// Everything, compounded: aliasing → renaming → call indirection →
+    /// string encoding → padding → churn. Almost no literal atom of the
+    /// original survives.
+    pub fn aggressive() -> Self {
+        EvasionProfile {
+            name: "aggressive".into(),
+            transforms: Transform::ALL.to_vec(),
+        }
+    }
+
+    /// A profile running a single transform (per-transform decay rows).
+    pub fn single(t: Transform) -> Self {
+        EvasionProfile {
+            name: t.name().into(),
+            transforms: vec![t],
+        }
+    }
+
+    /// The three named profiles, weakest first.
+    pub fn standard() -> Vec<EvasionProfile> {
+        vec![
+            EvasionProfile::light(),
+            EvasionProfile::medium(),
+            EvasionProfile::aggressive(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let names: std::collections::HashSet<&str> =
+            Transform::ALL.iter().map(Transform::name).collect();
+        assert_eq!(names.len(), Transform::ALL.len());
+    }
+
+    #[test]
+    fn standard_profiles_grow_in_strength() {
+        let p = EvasionProfile::standard();
+        assert_eq!(p.len(), 3);
+        assert!(p[0].transforms.len() < p[1].transforms.len());
+        assert!(p[1].transforms.len() < p[2].transforms.len());
+        assert_eq!(p[2].transforms.len(), Transform::ALL.len());
+    }
+}

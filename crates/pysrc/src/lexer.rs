@@ -4,7 +4,7 @@
 //! produces best-effort tokens rather than errors, because the scanner must
 //! process deliberately obfuscated malware sources.
 
-use crate::token::{Token, TokenKind};
+use crate::token::{SpannedToken, Token, TokenKind};
 
 /// Multi-character operators, longest first so maximal munch works.
 const OPERATORS: &[&str] = &[
@@ -16,6 +16,12 @@ const OPERATORS: &[&str] = &[
 /// [`TokenKind::Eof`]. INDENT/DEDENT tokens are synthesized from leading
 /// whitespace; newlines inside `()`/`[]`/`{}` are suppressed.
 pub fn lex(source: &str) -> Vec<Token> {
+    lex_spanned(source).into_iter().map(|s| s.token).collect()
+}
+
+/// Like [`lex`], but each token carries the byte span it was lexed from,
+/// so source-to-source rewriters can splice replacements exactly.
+pub fn lex_spanned(source: &str) -> Vec<SpannedToken> {
     Lexer::new(source).run()
 }
 
@@ -26,8 +32,10 @@ struct Lexer<'a> {
     col: usize,
     depth: usize,
     indents: Vec<usize>,
-    out: Vec<Token>,
+    out: Vec<SpannedToken>,
     at_line_start: bool,
+    /// Byte offset where the token currently being lexed started.
+    token_start: usize,
 }
 
 impl<'a> Lexer<'a> {
@@ -41,6 +49,7 @@ impl<'a> Lexer<'a> {
             indents: vec![0],
             out: Vec::new(),
             at_line_start: true,
+            token_start: 0,
         }
     }
 
@@ -65,15 +74,20 @@ impl<'a> Lexer<'a> {
     }
 
     fn push(&mut self, kind: TokenKind, line: usize, col: usize) {
-        self.out.push(Token { kind, line, col });
+        self.out.push(SpannedToken {
+            token: Token { kind, line, col },
+            start: self.token_start.min(self.pos),
+            end: self.pos,
+        });
     }
 
-    fn run(mut self) -> Vec<Token> {
+    fn run(mut self) -> Vec<SpannedToken> {
         loop {
             if self.at_line_start && self.depth == 0 && !self.handle_indentation() {
                 break;
             }
             let (line, col) = (self.line, self.col);
+            self.token_start = self.pos;
             let Some(b) = self.peek() else { break };
             match b {
                 b'\n' => {
@@ -81,7 +95,7 @@ impl<'a> Lexer<'a> {
                     if self.depth == 0 {
                         // Collapse duplicate newlines.
                         if !matches!(
-                            self.out.last().map(|t| &t.kind),
+                            self.out.last().map(|t| &t.token.kind),
                             Some(TokenKind::Newline) | Some(TokenKind::Indent) | None
                         ) {
                             self.push(TokenKind::Newline, line, col);
@@ -129,8 +143,9 @@ impl<'a> Lexer<'a> {
             }
         }
         // Close out: final newline + remaining dedents.
+        self.token_start = self.pos;
         if !matches!(
-            self.out.last().map(|t| &t.kind),
+            self.out.last().map(|t| &t.token.kind),
             Some(TokenKind::Newline) | None
         ) {
             self.push(TokenKind::Newline, self.line, self.col);
@@ -175,6 +190,7 @@ impl<'a> Lexer<'a> {
                 Some(b'#') => {
                     let line = self.line;
                     let col = self.col;
+                    self.token_start = self.pos;
                     let text = self.take_while(|b| b != b'\n');
                     self.push(TokenKind::Comment(text), line, col);
                     continue;
@@ -182,6 +198,7 @@ impl<'a> Lexer<'a> {
                 None => return false,
                 _ => {}
             }
+            self.token_start = self.pos;
             let current = *self.indents.last().expect("indent stack never empty");
             if width > current {
                 self.indents.push(width);
@@ -428,6 +445,47 @@ mod tests {
         assert!(k
             .iter()
             .any(|k| matches!(k, TokenKind::Number(n) if n == "3.14")));
+    }
+
+    #[test]
+    fn spans_slice_back_to_raw_source() {
+        let src = "x = rb'pay\\load'  # note\ny = 0xFF\n";
+        for st in lex_spanned(src) {
+            let raw = &src[st.start..st.end];
+            match &st.token.kind {
+                TokenKind::Ident(w) => assert_eq!(raw, w),
+                TokenKind::Number(n) => assert_eq!(raw, n),
+                TokenKind::Str { .. } => assert_eq!(raw, "rb'pay\\load'"),
+                TokenKind::Comment(c) => assert_eq!(raw, c),
+                TokenKind::Op(o) => assert_eq!(raw, o),
+                TokenKind::Newline => assert_eq!(raw, "\n"),
+                TokenKind::Indent | TokenKind::Dedent | TokenKind::Eof => assert!(raw.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn spans_cover_triple_quoted_strings() {
+        let src = "s = \"\"\"line1\nline2\"\"\"\nz = 1\n";
+        let toks = lex_spanned(src);
+        let s = toks
+            .iter()
+            .find(|t| matches!(t.kind(), TokenKind::Str { .. }))
+            .expect("string token");
+        assert_eq!(&src[s.start..s.end], "\"\"\"line1\nline2\"\"\"");
+    }
+
+    #[test]
+    fn spans_are_monotone_and_in_bounds() {
+        let src = "def f(a):\n    if a:\n        return 'x'\n";
+        let toks = lex_spanned(src);
+        let mut last = 0usize;
+        for t in &toks {
+            assert!(t.start <= t.end);
+            assert!(t.end <= src.len());
+            assert!(t.start >= last || t.start == t.end, "overlap at {t:?}");
+            last = last.max(t.end);
+        }
     }
 
     #[test]

@@ -32,9 +32,9 @@ mod parser;
 mod token;
 
 pub use ast::{Arg, Expr, Module, Stmt};
-pub use lexer::lex;
+pub use lexer::{lex, lex_spanned};
 pub use parser::parse_module;
-pub use token::{is_keyword, Token, TokenKind, KEYWORDS};
+pub use token::{is_keyword, SpannedToken, Token, TokenKind, KEYWORDS};
 
 /// Collects every call expression in the module, depth-first.
 pub fn collect_calls(module: &Module) -> Vec<&Expr> {

@@ -11,14 +11,32 @@ use crate::token::{Token, TokenKind};
 /// matchers always see the full file.
 pub fn parse_module(source: &str) -> Module {
     let tokens = lex(source);
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        block_depth: 0,
+        expr_depth: 0,
+    };
     let body = p.statements(/*stop_at_dedent=*/ false);
     Module { body }
 }
 
+/// Maximum nesting of indented blocks before the parser degrades the
+/// block to a flat [`Stmt::Other`]. Malware has shipped pathologically
+/// indented files specifically to crash recursive parsers; past this
+/// depth we keep the text visible to matchers but stop recursing.
+const MAX_BLOCK_DEPTH: usize = 128;
+
+/// Maximum expression nesting (parentheses, call arguments, unary
+/// chains) before degrading to [`Expr::Other`]. A file of 100k `(` bytes
+/// must not overflow the stack.
+const MAX_EXPR_DEPTH: usize = 96;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    block_depth: usize,
+    expr_depth: usize,
 }
 
 impl Parser {
@@ -75,7 +93,7 @@ impl Parser {
                     // Unexpected indent — parse it as an anonymous block so
                     // nested statements are still visible.
                     self.bump();
-                    let inner = self.statements(true);
+                    let inner = self.indented_body();
                     body.push(Stmt::Block {
                         keyword: String::new(),
                         header: String::new(),
@@ -380,6 +398,54 @@ impl Parser {
         }
     }
 
+    /// Parses an indented body whose INDENT was just consumed, degrading
+    /// to a flat [`Stmt::Other`] past [`MAX_BLOCK_DEPTH`] so hostile
+    /// indentation cannot overflow the stack.
+    fn indented_body(&mut self) -> Vec<Stmt> {
+        if self.block_depth >= MAX_BLOCK_DEPTH {
+            return vec![self.skip_block_as_other()];
+        }
+        self.block_depth += 1;
+        let body = self.statements(true);
+        self.block_depth -= 1;
+        body
+    }
+
+    /// Consumes tokens up to (and including) the DEDENT matching an
+    /// already-consumed INDENT, reconstructing the text so the block stays
+    /// visible to string-level matchers.
+    fn skip_block_as_other(&mut self) -> Stmt {
+        let line = self.peek_token().line;
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while !self.at_eof() {
+            match self.peek() {
+                TokenKind::Indent => depth += 1,
+                TokenKind::Dedent => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            // Bound the reconstruction: past 64 KiB the text is noise.
+            if text.len() < 64 * 1024 {
+                let piece = render(self.peek());
+                if !piece.is_empty() && !text.ends_with([' ', '\n']) && !text.is_empty() {
+                    text.push(' ');
+                }
+                text.push_str(&piece);
+            }
+            self.bump();
+        }
+        Stmt::Other {
+            text: text.trim().to_owned(),
+            line,
+        }
+    }
+
     /// Parses the body after a colon: either an indented block or an
     /// inline statement.
     fn suite(&mut self) -> Vec<Stmt> {
@@ -389,7 +455,7 @@ impl Parser {
             self.skip_newlines_and_comments();
             if matches!(self.peek(), TokenKind::Indent) {
                 self.bump();
-                return self.statements(true);
+                return self.indented_body();
             }
             return Vec::new();
         }
@@ -468,15 +534,25 @@ impl Parser {
     }
 
     fn unary(&mut self) -> Expr {
-        if matches!(self.peek(), TokenKind::Op(o) if o == "-" || o == "+" || o == "~")
+        // Every level of expression nesting (parentheses, call arguments,
+        // unary chains) passes through here; past the cap, consume one
+        // token and degrade so hostile nesting cannot overflow the stack.
+        if self.expr_depth >= MAX_EXPR_DEPTH {
+            return Expr::Other(render(&self.bump().kind));
+        }
+        self.expr_depth += 1;
+        let expr = if matches!(self.peek(), TokenKind::Op(o) if o == "-" || o == "+" || o == "~")
             || matches!(self.peek(), TokenKind::Ident(w) if w == "not")
         {
             let op = render(self.peek());
             self.bump();
             let inner = self.unary();
-            return Expr::Other(format!("{op} {}", inner.to_text()));
-        }
-        self.postfix()
+            Expr::Other(format!("{op} {}", inner.to_text()))
+        } else {
+            self.postfix()
+        };
+        self.expr_depth -= 1;
+        expr
     }
 
     fn postfix(&mut self) -> Expr {
@@ -900,6 +976,61 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn pathological_paren_nesting_does_not_overflow_stack() {
+        // 100k opening parens used to recurse once per paren.
+        let src = format!("x = {}1\n", "(".repeat(100_000));
+        let m = parse_module(&src);
+        assert!(!m.body.is_empty());
+    }
+
+    #[test]
+    fn pathological_unary_chain_does_not_overflow_stack() {
+        let src = format!("x = {}1\n", "-".repeat(100_000));
+        let m = parse_module(&src);
+        assert!(!m.body.is_empty());
+    }
+
+    #[test]
+    fn pathological_indentation_does_not_overflow_stack() {
+        let mut src = String::new();
+        for d in 0..3_000 {
+            src.push_str(&" ".repeat(d));
+            src.push_str("if x:\n");
+        }
+        src.push_str(&" ".repeat(3_000));
+        src.push_str("os.system('deep')\n");
+        let m = parse_module(&src);
+        assert!(!m.body.is_empty());
+        // The payload text survives somewhere in the degraded tree.
+        fn contains(stmts: &[Stmt], needle: &str) -> bool {
+            stmts.iter().any(|s| match s {
+                Stmt::Other { text, .. } => text.contains(needle),
+                Stmt::Block { body, .. }
+                | Stmt::FunctionDef { body, .. }
+                | Stmt::ClassDef { body, .. } => contains(body, needle),
+                Stmt::Expr { value, .. } => value.to_text().contains(needle),
+                _ => false,
+            })
+        }
+        // Token-level reconstruction spaces glyphs apart, so probe for the
+        // string payload rather than the dotted call.
+        assert!(contains(&m.body, "deep"), "payload text lost");
+    }
+
+    #[test]
+    fn pathological_bracket_soup_terminates() {
+        let src = "[(".repeat(50_000);
+        let m = parse_module(&src);
+        let _ = m.body.len();
+    }
+
+    #[test]
+    fn unterminated_string_and_weird_escapes_parse() {
+        let m = parse_module("x = 'oops\\q\ny = 'unterminated");
+        assert!(!m.body.is_empty());
     }
 
     #[test]

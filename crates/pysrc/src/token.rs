@@ -39,6 +39,30 @@ pub struct Token {
     pub col: usize,
 }
 
+/// A token plus the byte span of `source` it was lexed from.
+///
+/// Synthesized tokens (INDENT/DEDENT, the final NEWLINE/EOF) carry an
+/// empty span at the position they were synthesized. For every other
+/// token, `source[start..end]` is the exact raw text — including quotes
+/// and prefixes for strings — which is what source-to-source rewriters
+/// (the `obfuscate` crate) splice against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the first byte of the token in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+impl SpannedToken {
+    /// The token kind (convenience passthrough).
+    pub fn kind(&self) -> &TokenKind {
+        &self.token.kind
+    }
+}
+
 impl Token {
     /// Returns the identifier text if this token is an identifier.
     pub fn as_ident(&self) -> Option<&str> {

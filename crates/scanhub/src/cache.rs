@@ -138,6 +138,67 @@ mod tests {
     }
 
     #[test]
+    fn eviction_follows_full_access_order() {
+        // Eviction must track *access* recency, not insertion order, even
+        // through interleaved get/insert traffic.
+        let mut cache = VerdictCache::new(3);
+        cache.insert("a".into(), verdict("ra"));
+        cache.insert("b".into(), verdict("rb"));
+        cache.insert("c".into(), verdict("rc"));
+        assert!(cache.get("a").is_some()); // order now b, c, a
+        assert!(cache.get("b").is_some()); // order now c, a, b
+        cache.insert("d".into(), verdict("rd")); // evicts c
+        assert!(cache.get("c").is_none());
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_some());
+        assert!(cache.get("d").is_some());
+        cache.insert("e".into(), verdict("re")); // evicts the oldest touch: a
+        assert!(cache.get("a").is_none());
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn same_digest_reinsert_overwrites_not_duplicates() {
+        // Two *different* verdicts under one digest model a digest
+        // collision (or a rule-bundle change reusing a cache): the last
+        // write must win and the map must hold a single entry.
+        let mut cache = VerdictCache::new(3);
+        cache.insert("x".into(), verdict("rx"));
+        cache.insert("y".into(), verdict("ry"));
+        cache.insert("dig".into(), verdict("old"));
+        cache.insert("dig".into(), verdict("new"));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(
+            cache.get("dig").map(|v| v.yara),
+            Some(vec!["new".to_owned()])
+        );
+        // Under capacity pressure the true LRU (`x`) goes first...
+        cache.insert("z".into(), verdict("rz"));
+        assert!(cache.get("x").is_none());
+        assert!(cache.get("dig").is_some());
+        // ...and the stale recency entry left by the overwritten first
+        // insert must not evict the refreshed `dig` out of turn: the next
+        // victim is `y`, the oldest remaining touch.
+        cache.insert("w".into(), verdict("rw"));
+        assert!(cache.get("y").is_none());
+        assert!(cache.get("dig").is_some(), "overwritten entry lost");
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn capacity_one_thrash() {
+        let mut cache = VerdictCache::new(1);
+        for i in 0..100 {
+            cache.insert(format!("k{i}"), verdict("r"));
+            assert_eq!(cache.len(), 1);
+            assert!(cache.get(&format!("k{i}")).is_some());
+            if i > 0 {
+                assert!(cache.get(&format!("k{}", i - 1)).is_none());
+            }
+        }
+    }
+
+    #[test]
     fn recency_queue_stays_bounded() {
         let mut cache = VerdictCache::new(8);
         for i in 0..8 {

@@ -486,6 +486,44 @@ rule b64 { strings: $re = /[A-Za-z0-9+\/]{16,}/ condition: $re }
     }
 
     #[test]
+    fn scan_ordered_keeps_order_under_concurrent_submitters() {
+        // Several client threads interleave submissions into one hub with
+        // a deliberately tiny queue; each client's batch must come back
+        // in its own submission order regardless of global interleaving.
+        let hub = hub(HubConfig {
+            queue_capacity: 1,
+            workers: 4,
+            cache_capacity: 0,
+            ..HubConfig::default()
+        });
+        std::thread::scope(|scope| {
+            for client in 0..4 {
+                let hub = &hub;
+                scope.spawn(move || {
+                    let codes: Vec<String> = (0..25)
+                        .map(|i| {
+                            if (i + client) % 2 == 0 {
+                                format!("import os\nos.system('c{client}_{i}')\n")
+                            } else {
+                                format!("def f{client}_{i}():\n    return {i}\n")
+                            }
+                        })
+                        .collect();
+                    let verdicts = hub.scan_ordered(codes.iter().map(|c| request(c)));
+                    for (i, v) in verdicts.iter().enumerate() {
+                        assert_eq!(
+                            v.yara.contains(&"sys".to_owned()),
+                            (i + client) % 2 == 0,
+                            "client {client} index {i} out of order"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(hub.stats().completed, 100);
+    }
+
+    #[test]
     #[should_panic(expected = "scan worker panicked")]
     fn wait_propagates_worker_panics() {
         let state = Arc::new(TicketState {

@@ -292,4 +292,52 @@ rule b { strings: $x = "os.system" $y = "curl" condition: all of them }
         let routing = index.route(b"data", NO_SOURCES);
         assert!(routing.yara.is_empty() && routing.semgrep.is_empty());
     }
+
+    #[test]
+    fn empty_buffer_routes_only_always_on_rules() {
+        // An empty upload must not route atom-gated rules, but always-on
+        // rules (regex-only, filesize conditions) still run.
+        let rules = yara(
+            r#"
+rule atom { strings: $a = "os.system" condition: $a }
+rule rx { strings: $r = /ab+c/ condition: $r }
+rule size { condition: filesize > 10 }
+"#,
+        );
+        let index = PrefilterIndex::build(Some(&rules), None);
+        let routing = index.route(b"", NO_SOURCES);
+        assert_eq!(routing.yara, vec![false, true, true]);
+        assert_eq!(routing.yara_routed(), index.always_on_count());
+    }
+
+    #[test]
+    fn empty_sources_route_no_semgrep_atom_rules() {
+        let rules = semgrep(
+            "rules:\n  - id: t\n    languages: [python]\n    message: m\n    pattern: eval($X)\n",
+        );
+        let index = PrefilterIndex::build(None, Some(&rules));
+        // No sources at all: nothing to parse, nothing routed.
+        let routing = index.route(b"eval marker only in buffer", NO_SOURCES);
+        assert_eq!(routing.semgrep, vec![false]);
+        // An empty source string: still nothing routed.
+        let routing = index.route(b"", &[""]);
+        assert_eq!(routing.semgrep, vec![false]);
+    }
+
+    #[test]
+    fn route_all_covers_every_rule_even_dead_ones() {
+        let rules = yara("rule dead { condition: false }");
+        let index = PrefilterIndex::build(Some(&rules), None);
+        assert_eq!(index.route_all().yara, vec![true]);
+    }
+
+    #[test]
+    fn atom_spanning_buffer_end_is_found() {
+        let rules = yara("rule a { strings: $x = \"needle\" condition: $x }");
+        let index = PrefilterIndex::build(Some(&rules), None);
+        let mut buffer = vec![b'x'; 4096];
+        buffer.extend_from_slice(b"need");
+        buffer.extend_from_slice(b"le");
+        assert_eq!(index.route(&buffer, NO_SOURCES).yara, vec![true]);
+    }
 }

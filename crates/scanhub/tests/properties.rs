@@ -4,6 +4,7 @@
 use std::collections::HashSet;
 
 use corpus::FAMILIES;
+use obfuscate::{EvasionProfile, Obfuscator};
 use proptest::prelude::*;
 use scanhub::{HubConfig, ScanHub, ScanRequest, Verdict};
 use semgrep_engine::CompiledSemgrepRules;
@@ -139,6 +140,73 @@ proptest! {
         let slow = exhaustive(&yara, &semgrep, &request);
         prop_assert_eq!(&fast.yara, &slow.yara);
         prop_assert_eq!(&fast.semgrep, &slow.semgrep);
+    }
+
+    #[test]
+    fn mutant_verdicts_identical_between_prefiltered_and_exhaustive_scans(
+        family_idx in 0usize..30,
+        variant in 0u64..10,
+        seed in any::<u64>(),
+        profile_idx in 0usize..3,
+    ) {
+        // ISSUE 2 acceptance criterion: the prefilter stays *sound* on
+        // adversarially mutated uploads — no rule is skipped that would
+        // have matched the mutant.
+        let (yara, semgrep) = pools();
+        let hub = prefilter_hub();
+        let family = &FAMILIES[family_idx];
+        let original = corpus::generate_malware_package(family, variant, seed).0;
+        let profile = EvasionProfile::standard().swap_remove(profile_idx);
+        let mutant = Obfuscator::new(profile.clone(), seed).obfuscate_package(&original);
+        let request = ScanRequest::from_package(&mutant);
+        let fast = hub.submit(request.clone()).wait();
+        let slow = exhaustive(&yara, &semgrep, &request);
+        prop_assert_eq!(
+            &fast.yara, &slow.yara,
+            "yara diverged on {} mutant of {}", profile.name, original.metadata().name
+        );
+        prop_assert_eq!(
+            &fast.semgrep, &slow.semgrep,
+            "semgrep diverged on {} mutant of {}", profile.name, original.metadata().name
+        );
+    }
+
+    #[test]
+    fn mutated_reupload_never_served_a_stale_cached_verdict(
+        family_idx in 0usize..30,
+        seed in any::<u64>(),
+        profile_idx in 0usize..3,
+    ) {
+        // A changed body must always be rescanned: the sha256 key of the
+        // verdict cache may only ever serve byte-identical re-uploads.
+        let (yara, semgrep) = pools();
+        let hub = ScanHub::new(
+            Some(yara.clone()),
+            Some(semgrep.clone()),
+            HubConfig { workers: 2, ..HubConfig::default() },
+        );
+        let family = &FAMILIES[family_idx];
+        let original = corpus::generate_malware_package(family, 0, seed).0;
+        let profile = EvasionProfile::standard().swap_remove(profile_idx);
+        let mutant = Obfuscator::new(profile, seed).obfuscate_package(&original);
+        let orig_req = ScanRequest::from_package(&original);
+        let mut_req = ScanRequest::from_package(&mutant);
+        prop_assert_ne!(orig_req.digest(), mut_req.digest(), "mutation changed no bytes");
+
+        let first = hub.submit(orig_req.clone()).wait();
+        prop_assert!(!first.from_cache);
+        // The mutant is a *different* body: it must be scanned fresh and
+        // agree with the exhaustive oracle, not with the cached original.
+        let mutant_verdict = hub.submit(mut_req.clone()).wait();
+        prop_assert!(!mutant_verdict.from_cache, "stale verdict served for a changed body");
+        let oracle = exhaustive(&yara, &semgrep, &mut_req);
+        prop_assert_eq!(&mutant_verdict.yara, &oracle.yara);
+        prop_assert_eq!(&mutant_verdict.semgrep, &oracle.semgrep);
+        // Byte-identical mutant re-upload: now the cache may (and does)
+        // answer, with the same matches.
+        let again = hub.submit(mut_req).wait();
+        prop_assert!(again.from_cache);
+        prop_assert!(again.same_matches(&mutant_verdict));
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Adversarial gauntlet scenario: a malware author republishes a flagged
+//! payload through escalating evasion profiles, and the registry's
+//! scanhub — armed with RuleLLM rules learned from the *original*
+//! campaign — screens each re-upload. Then the full robustness
+//! experiment prints the per-transform recall-decay table over the tiny
+//! corpus.
+//!
+//! ```text
+//! cargo run --release --example adversarial_gauntlet
+//! ```
+
+use corpus::CorpusConfig;
+use eval::experiments::{compile_output, run_rulellm, ExperimentContext};
+use eval::{report, robustness};
+use obfuscate::{EvasionProfile, Obfuscator};
+use rulellm::PipelineConfig;
+use scanhub::{HubConfig, ScanHub, ScanRequest};
+
+fn main() {
+    let ctx = ExperimentContext::new(&CorpusConfig::tiny());
+    println!(
+        "corpus: {} unique malware, {} legit packages",
+        ctx.dataset.unique_malware().len(),
+        ctx.dataset.legit.len()
+    );
+
+    println!("learning rules from the pristine corpus ...");
+    let output = run_rulellm(&ctx.dataset, PipelineConfig::full());
+    let (yara, semgrep) = compile_output(&output);
+    let hub = ScanHub::new(Some(yara), Some(semgrep), HubConfig::default());
+
+    // One campaign, four uploads: the original, then light, medium and
+    // aggressive mutants of the same payload.
+    let target = &ctx.dataset.unique_malware()[0].package;
+    let mut uploads = vec![("original".to_owned(), target.clone())];
+    for profile in EvasionProfile::standard() {
+        let mutant = Obfuscator::new(profile.clone(), 42).obfuscate_package(target);
+        uploads.push((profile.name.clone(), mutant));
+    }
+    println!("\nre-upload gauntlet for '{}':", target.metadata().name);
+    for (arm, pkg) in &uploads {
+        let verdict = hub.submit(ScanRequest::from_package(pkg)).wait();
+        println!(
+            "  {:<12} -> {:<8} ({} YARA, {} Semgrep matches{})",
+            arm,
+            if verdict.flagged() {
+                "FLAGGED"
+            } else {
+                "PASSED"
+            },
+            verdict.yara.len(),
+            verdict.semgrep.len(),
+            if verdict.from_cache { ", cached" } else { "" },
+        );
+    }
+    let stats = hub.stats();
+    println!(
+        "service counters: {} scanned, cache hit rate {:.1}%, prefilter skip rate {:.1}%",
+        stats.completed,
+        stats.cache_hit_rate() * 100.0,
+        stats.prefilter_skip_rate() * 100.0,
+    );
+
+    println!("\nrunning the full robustness experiment (fixed seed 42) ...\n");
+    let rep = robustness::robustness(&ctx, 42);
+    println!("{}", report::render_robustness(&rep));
+}

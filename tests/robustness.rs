@@ -1,9 +1,26 @@
 //! Failure-injection and robustness tests: the pipeline must survive
 //! hostile, degenerate and adversarial package contents — malware authors
 //! control every byte the system ingests.
+//!
+//! Two layers:
+//!
+//! 1. **Degenerate inputs** — empty/binary/pathological packages that
+//!    must not panic the pipeline (the original suite).
+//! 2. **Structured adversarial suite** — the `obfuscate` engine mutates
+//!    the whole malware corpus through every evasion profile with a
+//!    fixed seed (`EVASION_SEED`, so CI failures reproduce), then the
+//!    full `rulellm::Pipeline` and a `scanhub` service are run over the
+//!    mutants: no panics, compile-clean emitted rulesets, sound
+//!    prefilter verdicts.
 
+use corpus::{CorpusConfig, Dataset};
+use obfuscate::{EvasionProfile, Obfuscator, Transform};
 use oss_registry::{Archive, Ecosystem, Package, PackageMetadata, SourceFile};
 use rulellm::{Pipeline, PipelineConfig};
+use scanhub::{HubConfig, ScanHub, ScanRequest};
+
+/// Fixed mutation seed for the adversarial suite (mirrors the CI job).
+const EVASION_SEED: u64 = 42;
 
 fn run_on(files: Vec<SourceFile>, meta: PackageMetadata) -> rulellm::PipelineOutput {
     let pkg = Package::new(meta, files, Ecosystem::PyPi);
@@ -120,6 +137,117 @@ fn hostile_metadata_does_not_break_rules() {
         )],
         meta,
     );
+    yara_engine::compile(&output.yara_ruleset()).expect("ruleset compiles");
+}
+
+// ---------------------------------------------------------------------------
+// Structured adversarial suite: every evasion profile over the corpus.
+// ---------------------------------------------------------------------------
+
+/// The full pipeline must digest an entire mutated corpus for every
+/// profile without panicking, and every emitted ruleset must compile.
+#[test]
+fn pipeline_survives_every_evasion_profile_with_compile_clean_rules() {
+    let dataset = Dataset::generate(&CorpusConfig::tiny());
+    for profile in EvasionProfile::standard() {
+        let mutated = corpus::mutate_dataset(&dataset, &profile, EVASION_SEED);
+        let packages: Vec<&Package> = mutated.malware.iter().map(|m| &m.package).collect();
+        let output = Pipeline::new(PipelineConfig::full()).run(&packages);
+        yara_engine::compile(&output.yara_ruleset()).unwrap_or_else(|e| {
+            panic!(
+                "profile {}: YARA ruleset does not compile: {e}",
+                profile.name
+            )
+        });
+        for rule in &output.semgrep {
+            semgrep_engine::compile(&rule.text).unwrap_or_else(|e| {
+                panic!(
+                    "profile {}: Semgrep rule does not compile: {e}",
+                    profile.name
+                )
+            });
+        }
+    }
+}
+
+/// Each single transform (not just the composite profiles) must also be
+/// survivable — a regression here points at the transform, not the stack.
+#[test]
+fn pipeline_survives_each_single_transform() {
+    let dataset = Dataset::generate(&CorpusConfig::tiny());
+    let sample: Vec<&corpus::LabeledMalware> =
+        dataset.unique_malware().into_iter().take(8).collect();
+    for t in Transform::ALL {
+        let engine = Obfuscator::new(EvasionProfile::single(*t), EVASION_SEED);
+        let mutants: Vec<Package> = sample
+            .iter()
+            .map(|m| engine.obfuscate_package(&m.package))
+            .collect();
+        let refs: Vec<&Package> = mutants.iter().collect();
+        let output = Pipeline::new(PipelineConfig::full()).run(&refs);
+        yara_engine::compile(&output.yara_ruleset())
+            .unwrap_or_else(|e| panic!("transform {}: ruleset broken: {e}", t.name()));
+    }
+}
+
+/// A scanhub service loaded with rules generated from the *pristine*
+/// corpus must scan every mutated re-upload without panicking, serve no
+/// stale verdicts, and keep prefilter on/off verdicts identical.
+#[test]
+fn scanhub_survives_mutated_reuploads_of_the_whole_corpus() {
+    let dataset = Dataset::generate(&CorpusConfig::tiny());
+    let packages: Vec<&Package> = dataset
+        .unique_malware()
+        .into_iter()
+        .map(|m| &m.package)
+        .collect();
+    let output = Pipeline::new(PipelineConfig::full()).run(&packages);
+    let yara = yara_engine::compile(&output.yara_ruleset()).expect("ruleset compiles");
+    let hub = ScanHub::new(Some(yara.clone()), None, HubConfig::default());
+    let nofilter = ScanHub::new(
+        Some(yara),
+        None,
+        HubConfig {
+            prefilter: false,
+            cache_capacity: 0,
+            ..HubConfig::default()
+        },
+    );
+    for profile in EvasionProfile::standard() {
+        let mutated = corpus::mutate_dataset(&dataset, &profile, EVASION_SEED);
+        for m in &mutated.malware {
+            let request = ScanRequest::from_package(&m.package);
+            let fast = hub.submit(request.clone()).wait();
+            let slow = nofilter.submit(request).wait();
+            assert_eq!(
+                fast.yara, slow.yara,
+                "profile {}: prefilter dropped a match on a mutant of family {}",
+                profile.name, m.family_id
+            );
+            assert!(
+                !fast.from_cache,
+                "distinct mutants must never share a cache slot"
+            );
+        }
+    }
+    assert!(hub.stats().completed > 0);
+}
+
+/// Obfuscating the obfuscated: the engine applied to its own output must
+/// still produce parsable code the pipeline accepts (attackers iterate).
+#[test]
+fn double_mutation_remains_survivable() {
+    let dataset = Dataset::generate(&CorpusConfig::tiny());
+    let first = Obfuscator::new(EvasionProfile::aggressive(), EVASION_SEED);
+    let second = Obfuscator::new(EvasionProfile::aggressive(), EVASION_SEED + 1);
+    let m = &dataset.unique_malware()[0].package;
+    let twice = second.obfuscate_package(&first.obfuscate_package(m));
+    for f in twice.files() {
+        if f.path.ends_with(".py") {
+            assert!(!pysrc::parse_module(&f.contents).body.is_empty());
+        }
+    }
+    let output = Pipeline::new(PipelineConfig::full()).run(&[&twice]);
     yara_engine::compile(&output.yara_ruleset()).expect("ruleset compiles");
 }
 
