@@ -1,0 +1,37 @@
+//! Regex scan throughput: single-pass Pike VM vs the seed's quadratic
+//! restart-per-offset engine on an identical regex-heavy buffer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use rulellm_bench::regex_scan::{heavy_buffer, PATTERNS};
+use textmatch::{ReferenceRegex, Regex};
+
+/// Small enough that the quadratic baseline fits the bench budget, large
+/// enough that its restart cost dominates.
+const LEN: usize = 128 << 10;
+
+fn bench_regex_scan(c: &mut Criterion) {
+    let data = heavy_buffer(LEN, 42);
+    let mut g = c.benchmark_group("regex_scan");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for (name, pattern) in PATTERNS {
+        let pike = Regex::new(pattern).expect("compiles");
+        g.bench_function(format!("pike/{name}"), |b| {
+            b.iter(|| pike.find_all(black_box(&data)))
+        });
+        let reference = ReferenceRegex::from_regex(&pike);
+        g.bench_function(format!("seed/{name}"), |b| {
+            b.iter(|| reference.find_all(black_box(&data)))
+        });
+    }
+    // The service-facing entry points ride the same engine.
+    let pike = Regex::new(PATTERNS[0].1).expect("compiles");
+    g.bench_function("pike/is_match", |b| {
+        b.iter(|| pike.is_match(black_box(&data)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_regex_scan);
+criterion_main!(benches);

@@ -29,6 +29,16 @@ fn main() {
         }
     }
 
+    if want("regexbench") {
+        eprintln!("[repro] regex engine: quadratic seed vs single-pass Pike VM (ISSUE 3) ...");
+        let len = 1 << 20;
+        let rows = rulellm_bench::regex_scan::compare(len, 42);
+        println!("{}", rulellm_bench::regex_scan::render(&rows, len));
+        if only.as_deref() == Some("regexbench") {
+            return;
+        }
+    }
+
     eprintln!("[repro] generating corpus at scale '{scale}' ...");
     let ctx = ExperimentContext::new(&config);
 

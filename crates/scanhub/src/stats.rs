@@ -15,6 +15,8 @@ pub(crate) struct HubCounters {
     pub yara_rules_skipped: AtomicU64,
     pub semgrep_rules_evaluated: AtomicU64,
     pub semgrep_rules_skipped: AtomicU64,
+    pub regex_strings_evaluated: AtomicU64,
+    pub regex_bytes_scanned: AtomicU64,
 }
 
 impl HubCounters {
@@ -35,6 +37,8 @@ impl HubCounters {
             yara_rules_skipped: load(&self.yara_rules_skipped),
             semgrep_rules_evaluated: load(&self.semgrep_rules_evaluated),
             semgrep_rules_skipped: load(&self.semgrep_rules_skipped),
+            regex_strings_evaluated: load(&self.regex_strings_evaluated),
+            regex_bytes_scanned: load(&self.regex_bytes_scanned),
         }
     }
 }
@@ -63,6 +67,11 @@ pub struct HubStats {
     pub semgrep_rules_evaluated: u64,
     /// Semgrep rule evaluations avoided by the literal prefilter.
     pub semgrep_rules_skipped: u64,
+    /// YARA regex string definitions the scanner actually evaluated.
+    pub regex_strings_evaluated: u64,
+    /// Haystack bytes read by the regex engine (each evaluation is one
+    /// single-pass scan, so this is buffer length times evaluations).
+    pub regex_bytes_scanned: u64,
 }
 
 impl HubStats {
@@ -76,6 +85,12 @@ impl HubStats {
         let skipped = self.yara_rules_skipped + self.semgrep_rules_skipped;
         let total = skipped + self.yara_rules_evaluated + self.semgrep_rules_evaluated;
         ratio(skipped, total)
+    }
+
+    /// How many times over the regex engine re-read each scanned byte
+    /// (1.0 = every submitted byte went through exactly one regex pass).
+    pub fn regex_read_amplification(&self) -> f64 {
+        ratio(self.regex_bytes_scanned, self.bytes_scanned)
     }
 }
 
@@ -111,5 +126,17 @@ mod tests {
         };
         assert!((stats.cache_hit_rate() - 0.4).abs() < 1e-9);
         assert!((stats.prefilter_skip_rate() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regex_read_amplification_computes() {
+        let stats = HubStats {
+            bytes_scanned: 100,
+            regex_strings_evaluated: 3,
+            regex_bytes_scanned: 300,
+            ..HubStats::default()
+        };
+        assert!((stats.regex_read_amplification() - 3.0).abs() < 1e-9);
+        assert_eq!(HubStats::default().regex_read_amplification(), 0.0);
     }
 }

@@ -5,11 +5,16 @@
 //! two from-scratch engines:
 //!
 //! * [`Regex`] — a byte-oriented regular-expression engine (Thompson NFA,
-//!   Pike-VM execution) supporting the subset of syntax that appears in
-//!   YARA rules: literals, escapes, character classes, `.`, anchors,
-//!   alternation, groups, and bounded/unbounded quantifiers.
+//!   single-pass Pike-VM execution with literal acceleration) supporting
+//!   the subset of syntax that appears in YARA rules: literals, escapes,
+//!   character classes, `.`, anchors, alternation, groups, and
+//!   bounded/unbounded quantifiers. `find`/`find_all` run in
+//!   `O(len * insts)`; compile-time [`ScanInfo`] hints (anchoring,
+//!   mandatory first bytes, literal prefixes) skip hopeless offsets.
 //! * [`AhoCorasick`] — a multi-pattern substring scanner used to match the
 //!   `strings:` section of many YARA rules against a package in one pass.
+//! * [`ReferenceRegex`] — the original restart-per-offset quadratic scan,
+//!   kept as the differential-testing oracle and benchmark baseline.
 //!
 //! # Examples
 //!
@@ -36,12 +41,16 @@ mod ac;
 mod ast;
 mod charclass;
 mod error;
+mod literal;
 mod nfa;
 mod parser;
+mod reference;
 
 pub use ac::{AcMatch, AhoCorasick, MatchKind};
 pub use ast::{Ast, Quantifier};
 pub use charclass::CharClass;
 pub use error::RegexError;
+pub use literal::ScanInfo;
 pub use nfa::{Match, Program, Regex};
 pub use parser::parse;
+pub use reference::ReferenceRegex;

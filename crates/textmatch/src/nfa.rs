@@ -1,20 +1,53 @@
-//! Thompson-NFA compiler and Pike-style virtual machine.
+//! Thompson-NFA compiler and a single-pass Pike virtual machine.
 //!
-//! The VM runs a breadth-first thread simulation, which gives linear-time
-//! matching in the size of the haystack for `is_match` and
-//! leftmost-longest semantics for `find`. Bounded repetitions are expanded
-//! at compile time (the parser caps bounds at 1000).
+//! The VM runs one breadth-first forward pass over the haystack. Threads
+//! carry their start offset, a fresh thread is seeded at each position,
+//! and leftmost-longest semantics fall out of thread priority (earliest
+//! start wins, then longest end), so `find`/`find_all` cost
+//! `O(len * insts)` instead of the restart-per-offset `O(len^2 * insts)`
+//! (that engine survives as [`crate::ReferenceRegex`], the differential
+//! oracle and bench baseline). A compile-time [`ScanInfo`] analysis adds
+//! literal acceleration: a mandatory-prefix skip loop and a
+//! start-anchored fast path that seeds offset 0 only. Bounded
+//! repetitions are expanded at compile time (the parser caps bounds at
+//! 1000).
+//!
+//! [`ScanInfo`]: crate::ScanInfo
 
 use crate::ast::{Ast, Quantifier};
 use crate::charclass::CharClass;
 use crate::error::RegexError;
+use crate::literal::{analyze, ScanInfo};
 use crate::parser::parse;
+
+/// A byte class baked into a 256-bit bitmap, so the per-thread byte test
+/// in the VM's innermost loop is a single shift-and-mask instead of a
+/// range scan.
+#[derive(Debug, Clone)]
+pub(crate) struct ByteSet([u64; 4]);
+
+impl ByteSet {
+    fn from_class(class: &CharClass) -> Self {
+        let mut words = [0u64; 4];
+        for b in 0..=255u8 {
+            if class.matches(b) {
+                words[(b >> 6) as usize] |= 1u64 << (b & 63);
+            }
+        }
+        ByteSet(words)
+    }
+
+    #[inline]
+    pub(crate) fn matches(&self, b: u8) -> bool {
+        (self.0[(b >> 6) as usize] >> (b & 63)) & 1 != 0
+    }
+}
 
 /// A single VM instruction.
 #[derive(Debug, Clone)]
-enum Inst {
+pub(crate) enum Inst {
     /// Consume one byte matching the class.
-    Byte(CharClass),
+    Byte(ByteSet),
     /// Fork execution; the first target has priority.
     Split(usize, usize),
     /// Unconditional jump.
@@ -35,7 +68,7 @@ enum Inst {
 /// benchmarks.
 #[derive(Debug, Clone)]
 pub struct Program {
-    insts: Vec<Inst>,
+    pub(crate) insts: Vec<Inst>,
 }
 
 impl Program {
@@ -87,6 +120,7 @@ impl Match {
 pub struct Regex {
     pattern: String,
     program: Program,
+    scan: ScanInfo,
 }
 
 impl Regex {
@@ -117,11 +151,14 @@ impl Regex {
         };
         compiler.compile(&ast)?;
         compiler.insts.push(Inst::Match);
+        let program = Program {
+            insts: compiler.insts,
+        };
+        let scan = analyze(&program);
         Ok(Regex {
             pattern: pattern.to_owned(),
-            program: Program {
-                insts: compiler.insts,
-            },
+            program,
+            scan,
         })
     }
 
@@ -135,13 +172,17 @@ impl Regex {
         &self.program
     }
 
+    /// The literal-acceleration hints extracted at compile time.
+    pub fn scan_info(&self) -> &ScanInfo {
+        &self.scan
+    }
+
     /// Tests whether the pattern matches anywhere in `haystack`.
     ///
-    /// Runs a single forward pass seeding a new thread at every position,
-    /// so the cost is `O(len * insts)`.
+    /// Single forward pass with literal acceleration; returns as soon as
+    /// any match is known to exist.
     pub fn is_match(&self, haystack: &[u8]) -> bool {
-        let mut vm = Vm::new(&self.program);
-        vm.any_match(haystack)
+        Vm::new(&self.program).exists(haystack, &self.scan)
     }
 
     /// Finds the leftmost-longest match.
@@ -150,29 +191,23 @@ impl Regex {
     }
 
     /// Finds the leftmost-longest match starting at or after `from`.
+    ///
+    /// One forward pass seeding a thread per offset — `O(len * insts)`.
     pub fn find_at(&self, haystack: &[u8], from: usize) -> Option<Match> {
-        let mut vm = Vm::new(&self.program);
-        for start in from..=haystack.len() {
-            if let Some(end) = vm.longest_end(haystack, start) {
-                return Some(Match { start, end });
-            }
-        }
-        None
+        Vm::new(&self.program).find(haystack, from, &self.scan)
     }
 
     /// Returns all non-overlapping leftmost-longest matches.
     ///
     /// Empty matches advance the scan position by one byte so the iteration
-    /// always terminates.
+    /// always terminates. Existence detection is folded into the main pass:
+    /// a haystack without matches costs exactly one accelerated scan.
     pub fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
         let mut out = Vec::new();
+        let mut vm = Vm::new(&self.program);
         let mut pos = 0;
-        // Cheap rejection before the quadratic offset scan.
-        if !self.is_match(haystack) {
-            return out;
-        }
         while pos <= haystack.len() {
-            match self.find_at(haystack, pos) {
+            match vm.find(haystack, pos, &self.scan) {
                 Some(m) => {
                     pos = if m.end > m.start { m.end } else { m.start + 1 };
                     out.push(m);
@@ -201,7 +236,7 @@ impl Compiler {
                 if !self.case_sensitive {
                     class.make_case_insensitive();
                 }
-                self.insts.push(Inst::Byte(class));
+                self.insts.push(Inst::Byte(ByteSet::from_class(&class)));
                 Ok(())
             }
             Ast::Concat(parts) => {
@@ -319,13 +354,106 @@ impl Compiler {
     }
 }
 
-/// Breadth-first NFA simulator with thread de-duplication per step.
+/// Sparse thread set: a dense `(pc, start)` list plus a generation-stamped
+/// membership array, so clearing between input bytes is O(live threads)
+/// with no per-byte reallocation or flag sweeps.
+struct ThreadSet {
+    dense: Vec<(usize, usize)>,
+    stamp: Vec<u64>,
+    gen: u64,
+}
+
+impl ThreadSet {
+    fn new(n: usize) -> Self {
+        ThreadSet {
+            dense: Vec::with_capacity(n),
+            stamp: vec![0; n],
+            gen: 1,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.dense.clear();
+        self.gen += 1;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.dense.is_empty()
+    }
+}
+
+/// Adds the epsilon closure of `pc` at `pos` to `set`, for a thread whose
+/// match began at `start`. Sets `matched` when a `Match` instruction is
+/// reachable, i.e. the thread matches `haystack[start..pos]`.
+///
+/// Deduplication is first-wins per program counter: callers enqueue
+/// threads in priority order (ascending start), so an earlier start keeps
+/// ownership of a pc — exactly the leftmost bias the contract requires.
+#[allow(clippy::too_many_arguments)]
+fn follow(
+    program: &Program,
+    set: &mut ThreadSet,
+    stack: &mut Vec<usize>,
+    pc: usize,
+    start: usize,
+    pos: usize,
+    haystack: &[u8],
+    matched: &mut bool,
+) {
+    debug_assert!(stack.is_empty());
+    stack.push(pc);
+    while let Some(pc) = stack.pop() {
+        if set.stamp[pc] == set.gen {
+            continue;
+        }
+        set.stamp[pc] = set.gen;
+        match &program.insts[pc] {
+            Inst::Jmp(t) => stack.push(*t),
+            Inst::Split(a, b) => {
+                stack.push(*b);
+                stack.push(*a);
+            }
+            Inst::AssertStart => {
+                if pos == 0 {
+                    stack.push(pc + 1);
+                }
+            }
+            Inst::AssertEnd => {
+                if pos == haystack.len() {
+                    stack.push(pc + 1);
+                }
+            }
+            Inst::AssertWord(expected) => {
+                let before = pos > 0 && is_word_byte(haystack[pos - 1]);
+                let after = pos < haystack.len() && is_word_byte(haystack[pos]);
+                if (before != after) == *expected {
+                    stack.push(pc + 1);
+                }
+            }
+            Inst::Match => *matched = true,
+            Inst::Byte(_) => set.dense.push((pc, start)),
+        }
+    }
+}
+
+/// Records a match candidate under leftmost-longest resolution: an earlier
+/// start always wins; for equal starts the longer end wins.
+fn update_best(best: &mut Option<Match>, start: usize, end: usize) {
+    match best {
+        Some(b) if start > b.start => {}
+        Some(b) if start == b.start && end <= b.end => {}
+        _ => *best = Some(Match { start, end }),
+    }
+}
+
+/// Single-pass Pike VM: breadth-first simulation with per-step thread
+/// de-duplication, position-carrying threads and literal-accelerated
+/// seeding.
 struct Vm<'p> {
     program: &'p Program,
-    current: Vec<usize>,
-    next: Vec<usize>,
-    on_current: Vec<bool>,
-    on_next: Vec<bool>,
+    clist: ThreadSet,
+    nlist: ThreadSet,
+    stack: Vec<usize>,
 }
 
 impl<'p> Vm<'p> {
@@ -333,160 +461,145 @@ impl<'p> Vm<'p> {
         let n = program.insts.len();
         Vm {
             program,
-            current: Vec::with_capacity(n),
-            next: Vec::with_capacity(n),
-            on_current: vec![false; n],
-            on_next: vec![false; n],
+            clist: ThreadSet::new(n),
+            nlist: ThreadSet::new(n),
+            stack: Vec::with_capacity(n),
         }
     }
 
-    fn reset(&mut self) {
-        self.current.clear();
-        self.next.clear();
-        self.on_current.iter_mut().for_each(|b| *b = false);
-        self.on_next.iter_mut().for_each(|b| *b = false);
+    /// Leftmost-longest match at or after `from`, in one forward pass.
+    fn find(&mut self, haystack: &[u8], from: usize, scan: &ScanInfo) -> Option<Match> {
+        self.run(haystack, from, scan, false)
     }
 
-    /// Follows epsilon transitions from `pc`, enqueueing byte/match
-    /// instructions into the *next* (`into_next`) or *current* set.
-    fn add_thread(
+    /// Existence-only variant: returns as soon as any match is reached
+    /// (the reported span is the first completion, not leftmost-longest).
+    fn exists(&mut self, haystack: &[u8], scan: &ScanInfo) -> bool {
+        self.run(haystack, 0, scan, true).is_some()
+    }
+
+    /// The scan loop shared by both entry points. With `earliest` set the
+    /// first `Match` instruction reached ends the scan; otherwise the loop
+    /// runs leftmost-longest resolution to completion.
+    fn run(
         &mut self,
-        pc: usize,
-        pos: usize,
         haystack: &[u8],
-        into_next: bool,
-        matched: &mut bool,
-    ) {
-        {
-            let seen = if into_next {
-                &mut self.on_next
-            } else {
-                &mut self.on_current
-            };
-            if seen[pc] {
-                return;
-            }
-            seen[pc] = true;
+        from: usize,
+        scan: &ScanInfo,
+        earliest: bool,
+    ) -> Option<Match> {
+        // An out-of-range start cannot match anything (the seed engine's
+        // `from..=len` loop was simply empty).
+        if from > haystack.len() {
+            return None;
         }
-        let program = self.program;
-        match &program.insts[pc] {
-            Inst::Jmp(t) => {
-                self.add_thread(*t, pos, haystack, into_next, matched);
-            }
-            Inst::Split(a, b) => {
-                self.add_thread(*a, pos, haystack, into_next, matched);
-                self.add_thread(*b, pos, haystack, into_next, matched);
-            }
-            Inst::AssertStart => {
-                if pos == 0 {
-                    self.add_thread(pc + 1, pos, haystack, into_next, matched);
-                }
-            }
-            Inst::AssertEnd => {
-                if pos == haystack.len() {
-                    self.add_thread(pc + 1, pos, haystack, into_next, matched);
-                }
-            }
-            Inst::AssertWord(expected) => {
-                let before = pos > 0 && is_word_byte(haystack[pos - 1]);
-                let after = pos < haystack.len() && is_word_byte(haystack[pos]);
-                if (before != after) == *expected {
-                    self.add_thread(pc + 1, pos, haystack, into_next, matched);
-                }
-            }
-            Inst::Match => {
-                *matched = true;
-                if into_next {
-                    self.next.push(pc);
-                } else {
-                    self.current.push(pc);
-                }
-            }
-            Inst::Byte(_) => {
-                if into_next {
-                    self.next.push(pc);
-                } else {
-                    self.current.push(pc);
-                }
-            }
+        // `^`-anchored fast path: the only viable seed is offset 0.
+        if scan.is_start_anchored() && from > 0 {
+            return None;
         }
-    }
-
-    /// One forward pass that seeds a new thread at every position; returns
-    /// true if any match exists anywhere.
-    fn any_match(&mut self, haystack: &[u8]) -> bool {
-        self.reset();
-        for pos in 0..=haystack.len() {
-            let mut matched = false;
-            self.add_thread(0, pos, haystack, false, &mut matched);
-            if matched {
-                return true;
+        self.clist.clear();
+        let mut best: Option<Match> = None;
+        let mut pos = from;
+        loop {
+            if best.is_none() && self.clist.is_empty() {
+                // The set is dense-empty but may still carry dedup stamps
+                // from closures evaluated at an earlier offset (a failed
+                // seed or a step whose threads all died on assertions).
+                // Clear them so position-dependent assertions are
+                // re-evaluated wherever we seed next — especially after
+                // the acceleration jump below moves `pos`.
+                self.clist.clear();
+                if scan.is_start_anchored() {
+                    if pos > from {
+                        return None;
+                    }
+                } else {
+                    // Literal acceleration: no live thread and no match
+                    // yet, so jump straight to the next offset where a
+                    // match could possibly begin.
+                    pos = scan.next_candidate(haystack, pos)?;
+                }
+            }
+            // Seed a thread at this offset unless the leftmost match start
+            // is already pinned (later seeds can only lose).
+            if best.is_none()
+                && !(scan.is_start_anchored() && pos > 0)
+                && scan.can_start_at(haystack, pos)
+            {
+                let mut matched = false;
+                follow(
+                    self.program,
+                    &mut self.clist,
+                    &mut self.stack,
+                    0,
+                    pos,
+                    pos,
+                    haystack,
+                    &mut matched,
+                );
+                if matched {
+                    if earliest {
+                        return Some(Match {
+                            start: pos,
+                            end: pos,
+                        });
+                    }
+                    update_best(&mut best, pos, pos);
+                }
             }
             if pos == haystack.len() {
                 break;
             }
+            if self.clist.is_empty() {
+                if best.is_some() {
+                    break; // No live thread can improve on the match.
+                }
+                pos += 1;
+                continue;
+            }
             let byte = haystack[pos];
-            let current = std::mem::take(&mut self.current);
+            self.nlist.clear();
             let program = self.program;
-            for pc in &current {
-                if let Inst::Byte(class) = &program.insts[*pc] {
+            for i in 0..self.clist.dense.len() {
+                let (pc, start) = self.clist.dense[i];
+                if let Some(b) = &best {
+                    if start > b.start {
+                        continue; // Pruned: cannot beat the leftmost start.
+                    }
+                }
+                if let Inst::Byte(class) = &program.insts[pc] {
                     if class.matches(byte) {
-                        let mut m = false;
-                        self.add_thread(pc + 1, pos + 1, haystack, true, &mut m);
-                        if m {
-                            // A match completing at pos+1 — we only need
-                            // existence here.
-                            return true;
+                        let mut matched = false;
+                        follow(
+                            program,
+                            &mut self.nlist,
+                            &mut self.stack,
+                            pc + 1,
+                            start,
+                            pos + 1,
+                            haystack,
+                            &mut matched,
+                        );
+                        if matched {
+                            if earliest {
+                                return Some(Match {
+                                    start,
+                                    end: pos + 1,
+                                });
+                            }
+                            update_best(&mut best, start, pos + 1);
                         }
                     }
                 }
             }
-            std::mem::swap(&mut self.current, &mut self.next);
-            self.next.clear();
-            std::mem::swap(&mut self.on_current, &mut self.on_next);
-            self.on_next.iter_mut().for_each(|b| *b = false);
-        }
-        false
-    }
-
-    /// Anchored simulation starting exactly at `start`; returns the longest
-    /// match end, if any.
-    fn longest_end(&mut self, haystack: &[u8], start: usize) -> Option<usize> {
-        self.reset();
-        let mut best: Option<usize> = None;
-        let mut matched = false;
-        self.add_thread(0, start, haystack, false, &mut matched);
-        if matched {
-            best = Some(start);
-        }
-        for pos in start..haystack.len() {
-            if self.current.is_empty() {
-                break;
-            }
-            let byte = haystack[pos];
-            let current = std::mem::take(&mut self.current);
-            let program = self.program;
-            let mut any_match = false;
-            for pc in &current {
-                if let Inst::Byte(class) = &program.insts[*pc] {
-                    if class.matches(byte) {
-                        self.add_thread(pc + 1, pos + 1, haystack, true, &mut any_match);
-                    }
-                }
-            }
-            if any_match {
-                best = Some(pos + 1);
-            }
-            std::mem::swap(&mut self.current, &mut self.next);
-            self.next.clear();
-            std::mem::swap(&mut self.on_current, &mut self.on_next);
-            self.on_next.iter_mut().for_each(|b| *b = false);
+            std::mem::swap(&mut self.clist, &mut self.nlist);
+            pos += 1;
         }
         best
     }
 }
 
-fn is_word_byte(b: u8) -> bool {
+pub(crate) fn is_word_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
@@ -527,6 +640,38 @@ mod tests {
     }
 
     #[test]
+    fn leftmost_beats_longer_later_match() {
+        // "hot" starts earlier than the longer "dogs"; leftmost wins.
+        let r = re("hot|dogs");
+        let m = r.find(b"xhotdogs").unwrap();
+        assert_eq!((m.start, m.end), (1, 4));
+        // Equal starts: the longer alternative wins instead.
+        let r = re("ho|hotdog");
+        let m = r.find(b"xhotdog").unwrap();
+        assert_eq!((m.start, m.end), (1, 7));
+    }
+
+    #[test]
+    fn equal_start_prefers_longest_branch() {
+        let r = re("ab|abc");
+        let m = r.find(b"zabcz").unwrap();
+        assert_eq!((m.start, m.end), (1, 4));
+    }
+
+    #[test]
+    fn late_match_from_earlier_start_wins() {
+        // The start-0 thread stays alive past the start-1 match and must
+        // reclaim the result when it finally completes.
+        let r = re("a.*z|bc");
+        let m = r.find(b"abcz").unwrap();
+        assert_eq!((m.start, m.end), (0, 4));
+        // ... but when the earlier thread dies without matching, the later
+        // start is the correct answer.
+        let m = r.find(b"abcy").unwrap();
+        assert_eq!((m.start, m.end), (1, 3));
+    }
+
+    #[test]
     fn star_matches_empty() {
         let r = re("x*");
         assert!(r.is_match(b""));
@@ -562,6 +707,21 @@ mod tests {
     fn start_anchor_mid_haystack_fails() {
         let r = re("^abc");
         assert!(!r.is_match(b"zabc"));
+    }
+
+    #[test]
+    fn anchored_find_at_nonzero_offset_is_none() {
+        let r = re("^abc");
+        assert_eq!(r.find_at(b"abcabc", 0), Some(Match { start: 0, end: 3 }));
+        assert_eq!(r.find_at(b"abcabc", 1), None);
+        assert_eq!(r.find_all(b"abcabc").len(), 1);
+    }
+
+    #[test]
+    fn end_anchor_alone_matches_at_end() {
+        let r = re("$");
+        let m = r.find(b"ab").unwrap();
+        assert_eq!((m.start, m.end), (2, 2));
     }
 
     #[test]
@@ -629,6 +789,46 @@ mod tests {
     }
 
     #[test]
+    fn find_all_empty_matches_advance() {
+        let r = re("a*");
+        let all = r.find_all(b"ba");
+        // Empty at 0, then "a" at 1..2.
+        assert_eq!(all[0], Match { start: 0, end: 0 });
+        assert_eq!(all[1], Match { start: 1, end: 2 });
+    }
+
+    #[test]
+    fn literal_skip_does_not_miss_assertion_guarded_seeds() {
+        // The first-byte table says 'e'; the skip loop must still let the
+        // word-boundary assertion veto or admit individual seeds.
+        let r = re(r"\beval\b");
+        let hay = b"medieval eval medieval eval(";
+        let all = r.find_all(hay);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], Match { start: 9, end: 13 });
+    }
+
+    #[test]
+    fn acceleration_jump_reevaluates_assertions() {
+        // Regression: a step at offset 0 leaves a failed `\b` stamp in the
+        // thread set; the literal-acceleration jump to the 'x' at offset 3
+        // must clear it so the boundary is re-checked there.
+        let r = re(r"a?\bx");
+        assert_eq!(r.find_all(b"ab x"), vec![Match { start: 3, end: 4 }]);
+        assert!(r.is_match(b"ab x"));
+        let r = re(r"b?\Bx");
+        assert_eq!(r.find_all(b"ba ax"), vec![Match { start: 4, end: 5 }]);
+    }
+
+    #[test]
+    fn prefix_acceleration_skips_decoys() {
+        let r = re(r"os\.system\(");
+        let hay = b"os_system( os,system( oooos.system os.system('id')";
+        let m = r.find(hay).unwrap();
+        assert_eq!(&hay[m.start..m.end], b"os.system(");
+    }
+
+    #[test]
     fn url_pattern() {
         let r = re(r"https?://[\w.\-/]+");
         let m = r.find(b"requests.get('http://1.2.3.4/x.sh')").unwrap();
@@ -650,6 +850,24 @@ mod tests {
     fn binary_haystack() {
         let r = re(r"\x00\x01");
         assert!(r.is_match(&[0x42, 0x00, 0x01, 0x99]));
+    }
+
+    #[test]
+    fn find_at_skips_earlier_matches() {
+        let r = re("ab");
+        let hay = b"ab ab ab";
+        assert_eq!(r.find_at(hay, 1), Some(Match { start: 3, end: 5 }));
+        assert_eq!(r.find_at(hay, 6), Some(Match { start: 6, end: 8 }));
+        assert_eq!(r.find_at(hay, 7), None);
+    }
+
+    #[test]
+    fn find_at_beyond_len_is_none() {
+        // The seed engine's `from..=len` loop was empty for from > len;
+        // the single-pass scan must not index past the haystack.
+        assert_eq!(re("a*").find_at(b"xxabyy", 7), None);
+        assert_eq!(re("ab").find_at(b"xxabyy", 100), None);
+        assert_eq!(re("^a").find_at(b"a", 2), None);
     }
 
     #[test]

@@ -1,7 +1,120 @@
 //! Property-based tests for the regex and Aho-Corasick engines.
 
 use proptest::prelude::*;
-use textmatch::{AhoCorasick, MatchKind, Regex};
+use textmatch::{AhoCorasick, MatchKind, ReferenceRegex, Regex};
+
+/// A corpus of patterns exercising every engine feature: literals,
+/// classes, shorthands, quantifiers (greedy/bounded/nullable),
+/// alternation, anchors, word boundaries, nesting and prefixes that
+/// trigger each acceleration path (anchored, literal prefix, first-byte
+/// set, none).
+const DIFFERENTIAL_PATTERNS: &[&str] = &[
+    "a",
+    "ab",
+    "abc",
+    "a+",
+    "a*",
+    "a?",
+    "a+b",
+    "a*b*",
+    "(ab)+",
+    "(ab){2,3}",
+    "a{3}",
+    "a{1,2}b{1,2}",
+    "a|b",
+    "ab|b",
+    "ab|abc",
+    "cat|dog|bird",
+    "a(b|c)d",
+    "(a(b|c)d)+",
+    "^a",
+    "^ab+",
+    "a$",
+    "^a+$",
+    "^",
+    "$",
+    "^$",
+    r"\ba",
+    r"\bab\b",
+    r"\Ba",
+    "[ab]",
+    "[^a]",
+    "[a-c]{2,4}",
+    r"\d+",
+    r"\w+",
+    r"\s",
+    ".",
+    ".b",
+    "a.c",
+    ".*b",
+    r"a\.b",
+    "a.{0,5}c|bc",
+    "ab|a.*c",
+    // Assertions behind optional heads: a failed assertion stamp from one
+    // offset must not suppress the same assertion at a later seed offset.
+    r"a?\bb",
+    r"a?\Bb",
+    r"c*\bab",
+];
+
+/// Pattern fragments composed pairwise into two-piece patterns; every
+/// concatenation is valid syntax, so random composition explores shapes
+/// the fixed list misses.
+const PIECES: &[&str] = &[
+    "a",
+    "b+",
+    "(ab)*",
+    "a|b",
+    "^",
+    "$",
+    r"\b",
+    "[ab]{1,3}",
+    ".",
+    "a?",
+    "ba",
+];
+
+/// Asserts the single-pass Pike VM and the seed's restart-per-offset
+/// engine agree on every public entry point for one (pattern, haystack)
+/// pair.
+fn engines_agree(pattern: &str, hay: &[u8]) -> Result<(), TestCaseError> {
+    let pike = Regex::new(pattern).expect("pattern must compile");
+    let reference = ReferenceRegex::from_regex(&pike);
+    prop_assert_eq!(
+        pike.is_match(hay),
+        reference.is_match(hay),
+        "is_match diverged on {:?} / {:?}",
+        pattern,
+        hay
+    );
+    prop_assert_eq!(
+        pike.find(hay),
+        reference.find(hay),
+        "find diverged on {:?} / {:?}",
+        pattern,
+        hay
+    );
+    prop_assert_eq!(
+        pike.find_all(hay),
+        reference.find_all(hay),
+        "find_all diverged on {:?} / {:?}",
+        pattern,
+        hay
+    );
+    for from in [1usize, 2, hay.len() / 2, hay.len()] {
+        if from <= hay.len() {
+            prop_assert_eq!(
+                pike.find_at(hay, from),
+                reference.find_at(hay, from),
+                "find_at({}) diverged on {:?} / {:?}",
+                from,
+                pattern,
+                hay
+            );
+        }
+    }
+    Ok(())
+}
 
 /// Escapes every regex metacharacter so a literal string becomes a pattern
 /// matching exactly itself.
@@ -121,5 +234,50 @@ proptest! {
         let re = Regex::new("a{3}").expect("compile");
         let hay = "a".repeat(n);
         prop_assert_eq!(re.is_match(hay.as_bytes()), n >= 3);
+    }
+
+    #[test]
+    fn pike_vm_agrees_with_reference_engine(
+        // Wide draw + modulo so newly appended patterns are sampled
+        // without having to keep this range in sync with the list.
+        pi in 0usize..10_000,
+        hay in "[abcd \n.]{0,60}",
+    ) {
+        engines_agree(DIFFERENTIAL_PATTERNS[pi % DIFFERENTIAL_PATTERNS.len()], hay.as_bytes())?;
+    }
+
+    #[test]
+    fn pike_vm_agrees_on_composed_patterns(
+        a in 0usize..10_000,
+        b in 0usize..10_000,
+        hay in "[ab_ ]{0,40}",
+    ) {
+        let pattern = format!(
+            "{}{}",
+            PIECES[a % PIECES.len()],
+            PIECES[b % PIECES.len()]
+        );
+        engines_agree(&pattern, hay.as_bytes())?;
+    }
+
+    #[test]
+    fn pike_vm_agrees_on_nocase(pat in "[a-c]{1,4}", hay in "[a-cA-C]{0,30}") {
+        let pike = Regex::new_nocase(&pat).expect("compile");
+        let reference = ReferenceRegex::from_regex(&pike);
+        prop_assert_eq!(pike.find_all(hay.as_bytes()), reference.find_all(hay.as_bytes()));
+    }
+
+    #[test]
+    fn find_all_empty_matches_advance_one_byte(hay in "[ab]{0,30}") {
+        // The documented contract: an empty match advances the scan by
+        // one byte, so positions are strictly increasing and bounded.
+        let re = Regex::new("a*").expect("compile");
+        let all = re.find_all(hay.as_bytes());
+        for w in all.windows(2) {
+            prop_assert!(w[0].end <= w[1].start || (w[0].is_empty() && w[0].start < w[1].start));
+            prop_assert!(w[0].start < w[1].start);
+        }
+        let reference = ReferenceRegex::new("a*").expect("compile");
+        prop_assert_eq!(all, reference.find_all(hay.as_bytes()));
     }
 }

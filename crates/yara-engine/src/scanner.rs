@@ -30,6 +30,21 @@ pub struct RuleMatch {
     pub strings: Vec<StringMatch>,
 }
 
+/// Work counters for one scan pass.
+///
+/// Regex strings dominate per-rule scan cost (plain-text strings ride the
+/// shared Aho–Corasick pass), so the counters track how much haystack the
+/// regex engine actually read; the scanhub service aggregates them across
+/// packages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanMetrics {
+    /// Regex string definitions evaluated (excluded rules not counted).
+    pub regex_strings_evaluated: u64,
+    /// Haystack bytes handed to the regex engine (buffer length times
+    /// evaluations — each evaluation is one single-pass scan).
+    pub regex_bytes_scanned: u64,
+}
+
 /// A reusable scanner over a compiled ruleset.
 #[derive(Debug)]
 pub struct Scanner<'r> {
@@ -97,6 +112,17 @@ impl<'r> Scanner<'r> {
     /// routing, where a caller has proven the excluded rules cannot
     /// match.
     pub fn scan_rules(&self, data: &[u8], include: impl Fn(usize) -> bool) -> Vec<RuleMatch> {
+        self.scan_rules_with_metrics(data, include).0
+    }
+
+    /// Like [`Scanner::scan_rules`], additionally reporting how much work
+    /// the regex engine performed ([`ScanMetrics`]).
+    pub fn scan_rules_with_metrics(
+        &self,
+        data: &[u8],
+        include: impl Fn(usize) -> bool,
+    ) -> (Vec<RuleMatch>, ScanMetrics) {
+        let mut metrics = ScanMetrics::default();
         // (rule idx, string idx) -> offsets
         let mut offsets: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
 
@@ -115,9 +141,12 @@ impl<'r> Scanner<'r> {
             if !include(ri) {
                 continue;
             }
-            // Regex strings: evaluated lazily per rule.
+            // Regex strings: evaluated lazily per rule, each a single
+            // accelerated forward pass over the buffer.
             for (si, regex) in cr.regexes.iter().enumerate() {
                 if let Some(re) = regex {
+                    metrics.regex_strings_evaluated += 1;
+                    metrics.regex_bytes_scanned += data.len() as u64;
                     let found = re.find_all(data);
                     if !found.is_empty() {
                         offsets
@@ -152,7 +181,7 @@ impl<'r> Scanner<'r> {
                 });
             }
         }
-        out
+        (out, metrics)
     }
 
     /// Convenience: does any rule match?
@@ -434,6 +463,27 @@ rule c { strings: $x = "gamma" condition: $x }
         assert!(scanner.is_match(b"x1"));
         assert!(!scanner.is_match(b"x2"));
         assert!(scanner.is_match(b"zzzx1zzz"));
+    }
+
+    #[test]
+    fn scan_metrics_count_regex_work() {
+        let src = r#"
+rule text { strings: $a = "alpha" condition: $a }
+rule ip { strings: $re = /\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}/ condition: $re }
+rule url { strings: $re = /https?:\/\/[\w.\-\/]{4,}/ condition: $re }
+"#;
+        let compiled = compile(src).expect("compile");
+        let scanner = Scanner::new(&compiled);
+        let data = b"curl http://1.2.3.4/payload from 10.0.0.1";
+        let (hits, metrics) = scanner.scan_rules_with_metrics(data, |_| true);
+        assert_eq!(hits.len(), 2);
+        // Two regex strings, each one full pass over the buffer.
+        assert_eq!(metrics.regex_strings_evaluated, 2);
+        assert_eq!(metrics.regex_bytes_scanned, 2 * data.len() as u64);
+        // Excluded rules pay nothing.
+        let (_, metrics) = scanner.scan_rules_with_metrics(data, |ri| ri == 0);
+        assert_eq!(metrics.regex_strings_evaluated, 0);
+        assert_eq!(metrics.regex_bytes_scanned, 0);
     }
 
     #[test]
