@@ -44,7 +44,18 @@ fn bench_engines(c: &mut Criterion) {
     });
     let module = pysrc::parse_module(&source);
     g.bench_function("semgrep_scan_parsed", |b| {
+        // Convenience path: rebuilds the anchor index per call.
         b.iter(|| semgrep_engine::scan_module(black_box(&semgrep), black_box(&module)))
+    });
+    let set = semgrep_engine::MatchSet::new(&semgrep);
+    let mut scratch = semgrep_engine::MatchScratch::new();
+    g.bench_function("semgrep_matchset_hot", |b| {
+        // Service path: index built once per worker, scratch reused —
+        // pure matching throughput.
+        b.iter(|| {
+            set.match_module_set(black_box(&module), |_| true, &mut scratch)
+                .0
+        })
     });
 
     let re = Regex::new(r"https?://[\w.\-/]{6,80}").expect("compiles");

@@ -19,7 +19,9 @@ use semgrep_engine::CompiledSemgrepRules;
 use yara_engine::CompiledRules;
 
 /// The seed's scan loop: every rule against every package, one thread,
-/// no routing, no cache — the pre-scanhub cost model.
+/// no routing, no cache — and the reparse-per-call Semgrep matcher
+/// (`semgrep_engine::reference`), i.e. the pre-scanhub, pre-compiled-
+/// pattern cost model.
 fn exhaustive_scan(
     yara: &CompiledRules,
     semgrep: &CompiledSemgrepRules,
@@ -31,7 +33,9 @@ fn exhaustive_scan(
         let mut hits = scanner.scan(&t.buffer).len();
         for src in &t.sources {
             let module = pysrc::parse_module(src);
-            hits += semgrep_engine::scan_module(semgrep, &module).len();
+            for rule in &semgrep.rules {
+                hits += semgrep_engine::reference::match_module(rule, &module).len();
+            }
         }
         if hits > 0 {
             flagged += 1;

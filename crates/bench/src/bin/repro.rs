@@ -39,6 +39,17 @@ fn main() {
         }
     }
 
+    if want("semgrepbench") {
+        eprintln!(
+            "[repro] semgrep matching: reparse-per-call seed vs compiled single pass (ISSUE 4) ..."
+        );
+        let stats = rulellm_bench::semgrep_scan::compare(100, 150, 40, 42);
+        println!("{}", rulellm_bench::semgrep_scan::render(&stats));
+        if only.as_deref() == Some("semgrepbench") {
+            return;
+        }
+    }
+
     eprintln!("[repro] generating corpus at scale '{scale}' ...");
     let ctx = ExperimentContext::new(&config);
 

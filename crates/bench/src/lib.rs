@@ -19,6 +19,7 @@
 use corpus::CorpusConfig;
 
 pub mod regex_scan;
+pub mod semgrep_scan;
 
 /// Resolves a scale name to a corpus configuration.
 ///
@@ -53,6 +54,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "rag",
     "robustness",
     "regexbench",
+    "semgrepbench",
 ];
 
 #[cfg(test)]
@@ -68,8 +70,9 @@ mod tests {
 
     #[test]
     fn experiment_list_covers_all_tables_and_figures() {
-        assert_eq!(EXPERIMENTS.len(), 17);
+        assert_eq!(EXPERIMENTS.len(), 18);
         assert!(EXPERIMENTS.contains(&"robustness"));
         assert!(EXPERIMENTS.contains(&"regexbench"));
+        assert!(EXPERIMENTS.contains(&"semgrepbench"));
     }
 }

@@ -32,4 +32,4 @@ mod sha256;
 
 pub use entropy::shannon_entropy;
 pub use fnv::fnv1a;
-pub use sha256::{sha256, sha256_hex};
+pub use sha256::{sha256, sha256_hex, to_hex, Sha256};

@@ -15,41 +15,97 @@ const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
+/// An incremental SHA-256 hasher: feed slices with [`Sha256::update`]
+/// and close with [`Sha256::finalize`]. Lets callers hash composite
+/// messages (length prefixes + large buffers) without concatenating
+/// them into a temporary allocation first.
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    h: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            h: H0,
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data`; equivalent to hashing the concatenation of every
+    /// slice passed so far.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                compress(&mut self.h, &block);
+                self.buf_len = 0;
+            }
+        }
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            compress(&mut self.h, block.try_into().expect("exact chunk"));
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len += rem.len();
+    }
+
+    /// Pads and returns the digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        // Padding: 0x80, zeros, 64-bit big-endian length.
+        let bit_len = self.total_len.wrapping_mul(8);
+        let mut last = [0u8; 128];
+        last[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        last[self.buf_len] = 0x80;
+        let total = if self.buf_len + 9 <= 64 { 64 } else { 128 };
+        last[total - 8..total].copy_from_slice(&bit_len.to_be_bytes());
+        compress(&mut self.h, last[..64].try_into().expect("64 bytes"));
+        if total == 128 {
+            compress(&mut self.h, last[64..128].try_into().expect("64 bytes"));
+        }
+
+        let mut out = [0u8; 32];
+        for (i, word) in self.h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
 /// Computes the SHA-256 digest of `data`.
 pub fn sha256(data: &[u8]) -> [u8; 32] {
-    let mut h = H0;
-    let bit_len = (data.len() as u64).wrapping_mul(8);
-
-    // Process all complete blocks of the message proper.
-    let mut chunks = data.chunks_exact(64);
-    for block in &mut chunks {
-        compress(&mut h, block.try_into().expect("exact chunk"));
-    }
-
-    // Padding: 0x80, zeros, 64-bit big-endian length.
-    let rem = chunks.remainder();
-    let mut last = [0u8; 128];
-    last[..rem.len()].copy_from_slice(rem);
-    last[rem.len()] = 0x80;
-    let total = if rem.len() + 9 <= 64 { 64 } else { 128 };
-    last[total - 8..total].copy_from_slice(&bit_len.to_be_bytes());
-    compress(&mut h, last[..64].try_into().expect("64 bytes"));
-    if total == 128 {
-        compress(&mut h, last[64..128].try_into().expect("64 bytes"));
-    }
-
-    let mut out = [0u8; 32];
-    for (i, word) in h.iter().enumerate() {
-        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
-    }
-    out
+    let mut hasher = Sha256::new();
+    hasher.update(data);
+    hasher.finalize()
 }
 
 /// Computes the SHA-256 digest and renders it as 64 lowercase hex chars.
 pub fn sha256_hex(data: &[u8]) -> String {
-    let d = sha256(data);
+    to_hex(&sha256(data))
+}
+
+/// Renders a raw digest as 64 lowercase hex chars.
+pub fn to_hex(digest: &[u8; 32]) -> String {
     let mut s = String::with_capacity(64);
-    for b in d {
+    for &b in digest {
         s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
         s.push(char::from_digit((b & 0xF) as u32, 16).expect("nibble"));
     }
@@ -158,6 +214,24 @@ mod tests {
     #[test]
     fn different_inputs_different_digests() {
         assert_ne!(sha256(b"package-a"), sha256(b"package-b"));
+    }
+
+    #[test]
+    fn streaming_updates_equal_one_shot() {
+        // Split points crossing every buffering case: block boundaries,
+        // sub-block fragments, empty slices, multi-block middles.
+        let data: Vec<u8> = (0..300u32).map(|i| (i * 7) as u8).collect();
+        for split in [0, 1, 55, 63, 64, 65, 128, 200, 299, 300] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), sha256(&data), "split at {split}");
+        }
+        let mut h = Sha256::new();
+        for chunk in data.chunks(17) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), sha256(&data));
     }
 
     #[test]

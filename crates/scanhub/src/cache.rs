@@ -9,6 +9,10 @@ use std::collections::{HashMap, VecDeque};
 
 use crate::verdict::Verdict;
 
+/// A raw sha256 content digest — half the size of its hex rendering, and
+/// copying a key is a 32-byte memcpy instead of a heap allocation.
+pub type DigestKey = [u8; 32];
+
 /// A bounded least-recently-used map from content digest to verdict.
 ///
 /// Recency is tracked with a lazy queue: every access pushes a fresh
@@ -18,8 +22,8 @@ use crate::verdict::Verdict;
 pub struct VerdictCache {
     capacity: usize,
     tick: u64,
-    map: HashMap<String, (Verdict, u64)>,
-    recency: VecDeque<(u64, String)>,
+    map: HashMap<DigestKey, (Verdict, u64)>,
+    recency: VecDeque<(u64, DigestKey)>,
 }
 
 impl VerdictCache {
@@ -39,7 +43,7 @@ impl VerdictCache {
     }
 
     /// Looks up `digest`, refreshing its recency on a hit.
-    pub fn get(&mut self, digest: &str) -> Option<Verdict> {
+    pub fn get(&mut self, digest: &DigestKey) -> Option<Verdict> {
         self.tick += 1;
         let tick = self.tick;
         let verdict = {
@@ -47,20 +51,20 @@ impl VerdictCache {
             *stamp = tick;
             verdict.clone()
         };
-        self.recency.push_back((tick, digest.to_owned()));
+        self.recency.push_back((tick, *digest));
         self.maybe_compact();
         Some(verdict)
     }
 
     /// Stores `verdict` under `digest`, evicting the least recently used
     /// entry when full.
-    pub fn insert(&mut self, digest: String, verdict: Verdict) {
+    pub fn insert(&mut self, digest: DigestKey, verdict: Verdict) {
         if self.capacity == 0 {
             return;
         }
         self.tick += 1;
         let tick = self.tick;
-        self.recency.push_back((tick, digest.clone()));
+        self.recency.push_back((tick, digest));
         self.map.insert(digest, (verdict, tick));
         while self.map.len() > self.capacity {
             let Some((stamp, key)) = self.recency.pop_front() else {
@@ -96,45 +100,56 @@ mod tests {
         }
     }
 
+    /// A recognizable test key: the name byte repeated.
+    fn key(name: u8) -> DigestKey {
+        [name; 32]
+    }
+
     #[test]
     fn hit_and_miss() {
         let mut cache = VerdictCache::new(4);
-        cache.insert("a".into(), verdict("ra"));
-        assert_eq!(cache.get("a").map(|v| v.yara), Some(vec!["ra".to_owned()]));
-        assert!(cache.get("b").is_none());
+        cache.insert(key(b'a'), verdict("ra"));
+        assert_eq!(
+            cache.get(&key(b'a')).map(|v| v.yara),
+            Some(vec!["ra".to_owned()])
+        );
+        assert!(cache.get(&key(b'b')).is_none());
     }
 
     #[test]
     fn evicts_least_recently_used() {
         let mut cache = VerdictCache::new(2);
-        cache.insert("a".into(), verdict("ra"));
-        cache.insert("b".into(), verdict("rb"));
+        cache.insert(key(b'a'), verdict("ra"));
+        cache.insert(key(b'b'), verdict("rb"));
         // Touch `a` so `b` becomes the eviction victim.
-        assert!(cache.get("a").is_some());
-        cache.insert("c".into(), verdict("rc"));
+        assert!(cache.get(&key(b'a')).is_some());
+        cache.insert(key(b'c'), verdict("rc"));
         assert_eq!(cache.len(), 2);
-        assert!(cache.get("a").is_some());
-        assert!(cache.get("b").is_none());
-        assert!(cache.get("c").is_some());
+        assert!(cache.get(&key(b'a')).is_some());
+        assert!(cache.get(&key(b'b')).is_none());
+        assert!(cache.get(&key(b'c')).is_some());
     }
 
     #[test]
     fn reinsert_refreshes() {
         let mut cache = VerdictCache::new(2);
-        cache.insert("a".into(), verdict("r1"));
-        cache.insert("b".into(), verdict("r2"));
-        cache.insert("a".into(), verdict("r3"));
-        cache.insert("c".into(), verdict("r4"));
-        assert_eq!(cache.get("a").map(|v| v.yara), Some(vec!["r3".to_owned()]));
-        assert!(cache.get("b").is_none());
+        cache.insert(key(b'a'), verdict("r1"));
+        cache.insert(key(b'b'), verdict("r2"));
+        cache.insert(key(b'a'), verdict("r3"));
+        cache.insert(key(b'c'), verdict("r4"));
+        assert_eq!(
+            cache.get(&key(b'a')).map(|v| v.yara),
+            Some(vec!["r3".to_owned()])
+        );
+        assert!(cache.get(&key(b'b')).is_none());
     }
 
     #[test]
     fn zero_capacity_caches_nothing() {
         let mut cache = VerdictCache::new(0);
-        cache.insert("a".into(), verdict("ra"));
+        cache.insert(key(b'a'), verdict("ra"));
         assert_eq!(cache.len(), 0);
-        assert!(cache.get("a").is_none());
+        assert!(cache.get(&key(b'a')).is_none());
     }
 
     #[test]
@@ -142,18 +157,18 @@ mod tests {
         // Eviction must track *access* recency, not insertion order, even
         // through interleaved get/insert traffic.
         let mut cache = VerdictCache::new(3);
-        cache.insert("a".into(), verdict("ra"));
-        cache.insert("b".into(), verdict("rb"));
-        cache.insert("c".into(), verdict("rc"));
-        assert!(cache.get("a").is_some()); // order now b, c, a
-        assert!(cache.get("b").is_some()); // order now c, a, b
-        cache.insert("d".into(), verdict("rd")); // evicts c
-        assert!(cache.get("c").is_none());
-        assert!(cache.get("a").is_some());
-        assert!(cache.get("b").is_some());
-        assert!(cache.get("d").is_some());
-        cache.insert("e".into(), verdict("re")); // evicts the oldest touch: a
-        assert!(cache.get("a").is_none());
+        cache.insert(key(b'a'), verdict("ra"));
+        cache.insert(key(b'b'), verdict("rb"));
+        cache.insert(key(b'c'), verdict("rc"));
+        assert!(cache.get(&key(b'a')).is_some()); // order now b, c, a
+        assert!(cache.get(&key(b'b')).is_some()); // order now c, a, b
+        cache.insert(key(b'd'), verdict("rd")); // evicts c
+        assert!(cache.get(&key(b'c')).is_none());
+        assert!(cache.get(&key(b'a')).is_some());
+        assert!(cache.get(&key(b'b')).is_some());
+        assert!(cache.get(&key(b'd')).is_some());
+        cache.insert(key(b'e'), verdict("re")); // evicts the oldest touch: a
+        assert!(cache.get(&key(b'a')).is_none());
         assert_eq!(cache.len(), 3);
     }
 
@@ -163,37 +178,37 @@ mod tests {
         // collision (or a rule-bundle change reusing a cache): the last
         // write must win and the map must hold a single entry.
         let mut cache = VerdictCache::new(3);
-        cache.insert("x".into(), verdict("rx"));
-        cache.insert("y".into(), verdict("ry"));
-        cache.insert("dig".into(), verdict("old"));
-        cache.insert("dig".into(), verdict("new"));
+        cache.insert(key(b'x'), verdict("rx"));
+        cache.insert(key(b'y'), verdict("ry"));
+        cache.insert(key(b'D'), verdict("old"));
+        cache.insert(key(b'D'), verdict("new"));
         assert_eq!(cache.len(), 3);
         assert_eq!(
-            cache.get("dig").map(|v| v.yara),
+            cache.get(&key(b'D')).map(|v| v.yara),
             Some(vec!["new".to_owned()])
         );
         // Under capacity pressure the true LRU (`x`) goes first...
-        cache.insert("z".into(), verdict("rz"));
-        assert!(cache.get("x").is_none());
-        assert!(cache.get("dig").is_some());
+        cache.insert(key(b'z'), verdict("rz"));
+        assert!(cache.get(&key(b'x')).is_none());
+        assert!(cache.get(&key(b'D')).is_some());
         // ...and the stale recency entry left by the overwritten first
-        // insert must not evict the refreshed `dig` out of turn: the next
+        // insert must not evict the refreshed `D` out of turn: the next
         // victim is `y`, the oldest remaining touch.
-        cache.insert("w".into(), verdict("rw"));
-        assert!(cache.get("y").is_none());
-        assert!(cache.get("dig").is_some(), "overwritten entry lost");
+        cache.insert(key(b'w'), verdict("rw"));
+        assert!(cache.get(&key(b'y')).is_none());
+        assert!(cache.get(&key(b'D')).is_some(), "overwritten entry lost");
         assert_eq!(cache.len(), 3);
     }
 
     #[test]
     fn capacity_one_thrash() {
         let mut cache = VerdictCache::new(1);
-        for i in 0..100 {
-            cache.insert(format!("k{i}"), verdict("r"));
+        for i in 0..100u8 {
+            cache.insert(key(i), verdict("r"));
             assert_eq!(cache.len(), 1);
-            assert!(cache.get(&format!("k{i}")).is_some());
+            assert!(cache.get(&key(i)).is_some());
             if i > 0 {
-                assert!(cache.get(&format!("k{}", i - 1)).is_none());
+                assert!(cache.get(&key(i - 1)).is_none());
             }
         }
     }
@@ -201,12 +216,23 @@ mod tests {
     #[test]
     fn recency_queue_stays_bounded() {
         let mut cache = VerdictCache::new(8);
-        for i in 0..8 {
-            cache.insert(format!("k{i}"), verdict("r"));
+        for i in 0..8u8 {
+            cache.insert(key(i), verdict("r"));
         }
         for _ in 0..10_000 {
-            assert!(cache.get("k3").is_some());
+            assert!(cache.get(&key(3)).is_some());
         }
         assert!(cache.recency.len() <= 4 * cache.map.len().max(8) + 1);
+    }
+
+    #[test]
+    fn real_request_digests_round_trip() {
+        let mut cache = VerdictCache::new(4);
+        let req = crate::ScanRequest::new(b"buffer".to_vec(), vec!["src".to_owned()]);
+        cache.insert(req.digest(), verdict("hit"));
+        assert_eq!(
+            cache.get(&req.digest()).map(|v| v.yara),
+            Some(vec!["hit".to_owned()])
+        );
     }
 }

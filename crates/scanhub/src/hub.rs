@@ -6,11 +6,11 @@ use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use semgrep_engine::CompiledSemgrepRules;
-use yara_engine::{CompiledRules, Scanner};
+use semgrep_engine::{CompiledSemgrepRules, MatchScratch, MatchSet, SemgrepMetrics};
+use yara_engine::{CompiledRules, ScanScratch, Scanner};
 
-use crate::cache::VerdictCache;
-use crate::prefilter::PrefilterIndex;
+use crate::cache::{DigestKey, VerdictCache};
+use crate::prefilter::{PrefilterIndex, PrefilterScratch, Routing};
 use crate::request::ScanRequest;
 use crate::stats::{HubCounters, HubStats};
 use crate::verdict::Verdict;
@@ -50,7 +50,7 @@ struct QueueState {
 
 struct Job {
     request: ScanRequest,
-    digest: Option<String>,
+    digest: Option<DigestKey>,
     ticket: Arc<TicketState>,
 }
 
@@ -231,10 +231,38 @@ impl Drop for ScanHub {
     }
 }
 
+/// Per-worker reusable scan state. Every slot is either generation-
+/// stamped or cleared before use, so a worker's steady-state scan path
+/// performs no allocation beyond actual findings.
+struct WorkerScratch {
+    routing: Routing,
+    prefilter: PrefilterScratch,
+    yara: ScanScratch,
+    semgrep: MatchScratch,
+    findings: Vec<semgrep_engine::Finding>,
+    ids: HashSet<String>,
+}
+
+impl WorkerScratch {
+    fn new() -> Self {
+        WorkerScratch {
+            routing: Routing::empty(),
+            prefilter: PrefilterScratch::new(),
+            yara: ScanScratch::new(),
+            semgrep: MatchScratch::new(),
+            findings: Vec::new(),
+            ids: HashSet::new(),
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared) {
-    // Per-worker reusable scanner state: the merged Aho–Corasick
-    // automatons are built once per worker, not once per package.
+    // Per-worker reusable matcher state: the merged Aho–Corasick
+    // automatons and the Semgrep anchor index are built once per worker,
+    // not once per package — and neither ever parses pattern text.
     let scanner = shared.yara.as_ref().map(Scanner::new);
+    let matcher = shared.semgrep.as_ref().map(MatchSet::new);
+    let mut scratch = WorkerScratch::new();
     loop {
         let job = {
             let mut queue = shared.queue.lock().expect("queue lock");
@@ -252,7 +280,13 @@ fn worker_loop(shared: &Shared) {
         // A panic while scanning one hostile package must neither strand
         // the caller on an unfulfilled ticket nor take the worker down.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            scan_job(shared, scanner.as_ref(), &job.request)
+            scan_job(
+                shared,
+                scanner.as_ref(),
+                matcher.as_ref(),
+                &mut scratch,
+                &job.request,
+            )
         }));
         match outcome {
             Ok(verdict) => {
@@ -260,7 +294,7 @@ fn worker_loop(shared: &Shared) {
                     cache
                         .lock()
                         .expect("cache lock")
-                        .insert(d.clone(), verdict.clone());
+                        .insert(*d, verdict.clone());
                 }
                 HubCounters::add(&shared.counters.completed, 1);
                 job.ticket.fulfill(Ok(verdict));
@@ -278,13 +312,29 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn scan_job(shared: &Shared, scanner: Option<&Scanner<'_>>, request: &ScanRequest) -> Verdict {
+fn scan_job(
+    shared: &Shared,
+    scanner: Option<&Scanner<'_>>,
+    matcher: Option<&MatchSet<'_>>,
+    scratch: &mut WorkerScratch,
+    request: &ScanRequest,
+) -> Verdict {
     let c = &shared.counters;
-    let routing = if shared.prefilter {
-        shared.index.route(&request.buffer, &request.sources)
+    let WorkerScratch {
+        routing,
+        prefilter,
+        yara: yara_scratch,
+        semgrep: semgrep_scratch,
+        findings,
+        ids,
+    } = scratch;
+    if shared.prefilter {
+        shared
+            .index
+            .route_into(&request.buffer, &request.sources, routing, prefilter);
     } else {
-        shared.index.route_all()
-    };
+        shared.index.route_all_into(routing);
+    }
     HubCounters::add(&c.bytes_scanned, request.buffer.len() as u64);
 
     let mut verdict = Verdict::default();
@@ -296,7 +346,7 @@ fn scan_job(shared: &Shared, scanner: Option<&Scanner<'_>>, request: &ScanReques
             HubCounters::add(&c.yara_scans_skipped, 1);
         } else {
             let (hits, metrics) =
-                scanner.scan_rules_with_metrics(&request.buffer, |ri| routing.yara[ri]);
+                scanner.scan_rules_scratch(&request.buffer, |ri| routing.yara[ri], yara_scratch);
             HubCounters::add(&c.regex_strings_evaluated, metrics.regex_strings_evaluated);
             HubCounters::add(&c.regex_bytes_scanned, metrics.regex_bytes_scanned);
             for hit in hits {
@@ -304,26 +354,31 @@ fn scan_job(shared: &Shared, scanner: Option<&Scanner<'_>>, request: &ScanReques
             }
         }
     }
-    if let Some(rules) = &shared.semgrep {
+    if let Some(matcher) = matcher {
         let routed = routing.semgrep_routed();
         count(&c.semgrep_rules_evaluated, routed);
         count(&c.semgrep_rules_skipped, routing.semgrep.len() - routed);
         if routed == 0 || request.sources.is_empty() {
             HubCounters::add(&c.semgrep_parses_skipped, 1);
         } else {
-            let mut ids = HashSet::new();
+            ids.clear();
+            let mut metrics = SemgrepMetrics::default();
             for src in &request.sources {
                 let module = pysrc::parse_module(src);
-                for (ri, rule) in rules.rules.iter().enumerate() {
-                    if !routing.semgrep[ri] {
-                        continue;
-                    }
-                    for finding in semgrep_engine::match_module(rule, &module) {
-                        ids.insert(finding.rule_id);
-                    }
+                findings.clear();
+                metrics.absorb(matcher.match_module_set_into(
+                    &module,
+                    |ri| routing.semgrep[ri],
+                    semgrep_scratch,
+                    findings,
+                ));
+                for finding in findings.drain(..) {
+                    ids.insert(finding.rule_id);
                 }
             }
-            verdict.semgrep = ids.into_iter().collect();
+            HubCounters::add(&c.semgrep_stmts_visited, metrics.stmts_visited);
+            HubCounters::add(&c.semgrep_pattern_reparses, metrics.pattern_reparses);
+            verdict.semgrep = ids.drain().collect();
             verdict.semgrep.sort();
         }
     }
@@ -439,6 +494,26 @@ rule b64 { strings: $re = /[A-Za-z0-9+\/]{16,}/ condition: $re }
         assert!(stats.regex_strings_evaluated >= 1);
         assert!(stats.regex_bytes_scanned >= code.len() as u64);
         assert!(stats.regex_read_amplification() > 0.0);
+    }
+
+    #[test]
+    fn semgrep_counters_track_single_pass_work_and_zero_reparses() {
+        let hub = hub(HubConfig {
+            cache_capacity: 0,
+            ..HubConfig::default()
+        });
+        for code in [
+            "import os\nos.system('id')\n",
+            "def f():\n    return os.system(x)\n",
+            "print('clean, but os.system appears in a string')\n",
+        ] {
+            let _ = hub.submit(request(code)).wait();
+        }
+        let stats = hub.stats();
+        // Every routed source was walked exactly once per module.
+        assert!(stats.semgrep_stmts_visited >= 4, "{stats:?}");
+        // Compile-once matching: the scan path never re-parses patterns.
+        assert_eq!(stats.semgrep_pattern_reparses, 0);
     }
 
     #[test]

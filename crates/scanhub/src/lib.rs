@@ -56,8 +56,9 @@ mod request;
 mod stats;
 mod verdict;
 
+pub use cache::DigestKey;
 pub use hub::{HubConfig, ScanHub, Ticket};
-pub use prefilter::{PrefilterIndex, Routing};
+pub use prefilter::{PrefilterIndex, PrefilterScratch, Routing};
 pub use request::ScanRequest;
 pub use stats::HubStats;
 pub use verdict::Verdict;

@@ -30,6 +30,15 @@ pub struct Routing {
 }
 
 impl Routing {
+    /// An empty routing, ready to be filled by
+    /// [`PrefilterIndex::route_into`] (workers keep one per thread).
+    pub fn empty() -> Self {
+        Routing {
+            yara: Vec::new(),
+            semgrep: Vec::new(),
+        }
+    }
+
     /// Number of routed YARA rules.
     pub fn yara_routed(&self) -> usize {
         self.yara.iter().filter(|&&b| b).count()
@@ -38,6 +47,31 @@ impl Routing {
     /// Number of routed Semgrep rules.
     pub fn semgrep_routed(&self) -> usize {
         self.semgrep.iter().filter(|&&b| b).count()
+    }
+
+    /// Resizes to the given rule counts and clears every mark, reusing
+    /// the allocations.
+    fn reset(&mut self, yara_count: usize, semgrep_count: usize) {
+        self.yara.clear();
+        self.yara.resize(yara_count, false);
+        self.semgrep.clear();
+        self.semgrep.resize(semgrep_count, false);
+    }
+}
+
+/// Reusable per-worker scratch for [`PrefilterIndex::route_into`]:
+/// generation-stamped per-atom seen marks, so repeated routing passes
+/// allocate nothing and never sweep the stamp array.
+#[derive(Debug, Default)]
+pub struct PrefilterScratch {
+    generation: u64,
+    seen: Vec<u64>,
+}
+
+impl PrefilterScratch {
+    /// Creates an empty scratch (sized lazily on first use).
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -135,29 +169,56 @@ impl PrefilterIndex {
     /// what makes the skip sound for *any* request, including raw ones
     /// whose sources are not substrings of the buffer.
     pub fn route<S: AsRef<[u8]>>(&self, buffer: &[u8], sources: &[S]) -> Routing {
-        let mut routing = Routing {
-            yara: vec![false; self.yara_count],
-            semgrep: vec![false; self.semgrep_count],
-        };
-        for id in &self.always {
-            routing.mark(*id);
-        }
-        self.mark_hits(buffer, &mut routing, true, false);
-        for source in sources {
-            self.mark_hits(source.as_ref(), &mut routing, false, true);
-        }
+        let mut routing = Routing::empty();
+        self.route_into(buffer, sources, &mut routing, &mut PrefilterScratch::new());
         routing
     }
 
-    /// One automaton pass over `text`, marking hit atoms' routes for the
-    /// selected engine(s).
-    fn mark_hits(&self, text: &[u8], routing: &mut Routing, mark_yara: bool, mark_semgrep: bool) {
-        let mut seen = vec![false; self.routes.len()];
-        for m in self.automaton.find_all(text) {
-            if seen[m.pattern] {
-                continue;
+    /// Like [`PrefilterIndex::route`], reusing a caller-owned routing and
+    /// scratch — the zero-allocation entry point the hub workers use.
+    pub fn route_into<S: AsRef<[u8]>>(
+        &self,
+        buffer: &[u8],
+        sources: &[S],
+        routing: &mut Routing,
+        scratch: &mut PrefilterScratch,
+    ) {
+        routing.reset(self.yara_count, self.semgrep_count);
+        for id in &self.always {
+            routing.mark(*id);
+        }
+        self.mark_hits(buffer, routing, true, false, scratch);
+        for source in sources {
+            self.mark_hits(source.as_ref(), routing, false, true, scratch);
+        }
+    }
+
+    /// One streaming automaton pass over `text`, marking hit atoms'
+    /// routes for the selected engine(s). The pass stops early once every
+    /// atom has been seen — at that point every route is already marked
+    /// and the rest of the text cannot change the routing.
+    fn mark_hits(
+        &self,
+        text: &[u8],
+        routing: &mut Routing,
+        mark_yara: bool,
+        mark_semgrep: bool,
+        scratch: &mut PrefilterScratch,
+    ) {
+        if self.atom_count == 0 {
+            return;
+        }
+        scratch.generation += 1;
+        if scratch.seen.len() < self.routes.len() {
+            scratch.seen.resize(self.routes.len(), 0);
+        }
+        let mut unseen = self.atom_count;
+        self.automaton.for_each_match(text, |m| {
+            if scratch.seen[m.pattern] == scratch.generation {
+                return true;
             }
-            seen[m.pattern] = true;
+            scratch.seen[m.pattern] = scratch.generation;
+            unseen -= 1;
             for id in &self.routes[m.pattern] {
                 match id {
                     RuleId::Yara(_) if mark_yara => routing.mark(*id),
@@ -165,15 +226,23 @@ impl PrefilterIndex {
                     _ => {}
                 }
             }
-        }
+            unseen > 0
+        });
     }
 
     /// A routing that evaluates everything (prefilter disabled).
     pub fn route_all(&self) -> Routing {
-        Routing {
-            yara: vec![true; self.yara_count],
-            semgrep: vec![true; self.semgrep_count],
-        }
+        let mut routing = Routing::empty();
+        self.route_all_into(&mut routing);
+        routing
+    }
+
+    /// Like [`PrefilterIndex::route_all`], reusing a caller-owned routing.
+    pub fn route_all_into(&self, routing: &mut Routing) {
+        routing.yara.clear();
+        routing.yara.resize(self.yara_count, true);
+        routing.semgrep.clear();
+        routing.semgrep.resize(self.semgrep_count, true);
     }
 }
 
@@ -329,6 +398,51 @@ rule size { condition: filesize > 10 }
         let rules = yara("rule dead { condition: false }");
         let index = PrefilterIndex::build(Some(&rules), None);
         assert_eq!(index.route_all().yara, vec![true]);
+    }
+
+    #[test]
+    fn route_into_reuse_matches_fresh_route() {
+        let yara_rules = yara(
+            r#"
+rule a { strings: $x = "os.system" condition: $x }
+rule b { strings: $x = "socket.socket" condition: $x }
+"#,
+        );
+        let semgrep_rules = semgrep(
+            "rules:\n  - id: t\n    languages: [python]\n    message: m\n    pattern: eval($X)\n",
+        );
+        let index = PrefilterIndex::build(Some(&yara_rules), Some(&semgrep_rules));
+        let mut routing = Routing::empty();
+        let mut scratch = PrefilterScratch::new();
+        let cases: [(&[u8], &[&str]); 4] = [
+            (b"import os\nos.system('id')\n", &["eval(x)"]),
+            (b"socket.socket()", &[]),
+            (b"nothing", &["print(1)"]),
+            (b"os.system socket.socket", &["eval(a)"]),
+        ];
+        for (buffer, sources) in cases {
+            index.route_into(buffer, sources, &mut routing, &mut scratch);
+            let fresh = index.route(buffer, sources);
+            assert_eq!(routing.yara, fresh.yara);
+            assert_eq!(routing.semgrep, fresh.semgrep);
+        }
+    }
+
+    #[test]
+    fn early_exit_after_all_atoms_seen_routes_everything() {
+        let rules = yara(
+            r#"
+rule a { strings: $x = "aa" condition: $x }
+rule b { strings: $x = "bb" condition: $x }
+"#,
+        );
+        let index = PrefilterIndex::build(Some(&rules), None);
+        // Both atoms occur early; the trailing text is skipped but the
+        // routing is already complete.
+        let mut buffer = b"aabb".to_vec();
+        buffer.extend(std::iter::repeat_n(b'z', 1 << 16));
+        buffer.extend_from_slice(b"aa");
+        assert_eq!(index.route(&buffer, NO_SOURCES).yara, vec![true, true]);
     }
 
     #[test]

@@ -35,18 +35,24 @@ impl ScanRequest {
 
     /// Content digest keying the verdict cache: sha256 over the buffer
     /// and every source, length-prefixed so concatenation boundaries
-    /// cannot collide.
-    pub fn digest(&self) -> String {
-        let mut data = Vec::with_capacity(
-            16 + self.buffer.len() + self.sources.iter().map(|s| 8 + s.len()).sum::<usize>(),
-        );
-        data.extend_from_slice(&(self.buffer.len() as u64).to_le_bytes());
-        data.extend_from_slice(&self.buffer);
+    /// cannot collide. Streamed straight into the hasher — no
+    /// concatenation copy, no hex-encode allocation on the submit path;
+    /// use [`ScanRequest::digest_hex`] for display.
+    pub fn digest(&self) -> [u8; 32] {
+        let mut hasher = digest::Sha256::new();
+        hasher.update(&(self.buffer.len() as u64).to_le_bytes());
+        hasher.update(&self.buffer);
         for src in &self.sources {
-            data.extend_from_slice(&(src.len() as u64).to_le_bytes());
-            data.extend_from_slice(src.as_bytes());
+            hasher.update(&(src.len() as u64).to_le_bytes());
+            hasher.update(src.as_bytes());
         }
-        digest::sha256_hex(&data)
+        hasher.finalize()
+    }
+
+    /// The content digest rendered as 64 lowercase hex chars, for logs
+    /// and reports.
+    pub fn digest_hex(&self) -> String {
+        digest::to_hex(&self.digest())
     }
 }
 
@@ -90,5 +96,15 @@ mod tests {
         let a = ScanRequest::new(b"xy".to_vec(), vec![]);
         let b = ScanRequest::new(b"x".to_vec(), vec!["y".to_owned()]);
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_hex_renders_the_raw_digest() {
+        let req = ScanRequest::new(b"data".to_vec(), vec!["src".to_owned()]);
+        let hex = req.digest_hex();
+        assert_eq!(hex.len(), 64);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        let raw = req.digest();
+        assert!(hex.starts_with(&format!("{:02x}", raw[0])));
     }
 }

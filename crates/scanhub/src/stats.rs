@@ -17,6 +17,8 @@ pub(crate) struct HubCounters {
     pub semgrep_rules_skipped: AtomicU64,
     pub regex_strings_evaluated: AtomicU64,
     pub regex_bytes_scanned: AtomicU64,
+    pub semgrep_stmts_visited: AtomicU64,
+    pub semgrep_pattern_reparses: AtomicU64,
 }
 
 impl HubCounters {
@@ -39,6 +41,8 @@ impl HubCounters {
             semgrep_rules_skipped: load(&self.semgrep_rules_skipped),
             regex_strings_evaluated: load(&self.regex_strings_evaluated),
             regex_bytes_scanned: load(&self.regex_bytes_scanned),
+            semgrep_stmts_visited: load(&self.semgrep_stmts_visited),
+            semgrep_pattern_reparses: load(&self.semgrep_pattern_reparses),
         }
     }
 }
@@ -72,6 +76,14 @@ pub struct HubStats {
     /// Haystack bytes read by the regex engine (each evaluation is one
     /// single-pass scan, so this is buffer length times evaluations).
     pub regex_bytes_scanned: u64,
+    /// Python statements visited by the Semgrep matcher's single-pass
+    /// module walks (one walk serves every routed rule).
+    pub semgrep_stmts_visited: u64,
+    /// Pattern-text re-parses on the Semgrep scan path. Patterns are
+    /// parsed once at rule-compile time, so this must stay **0** in
+    /// steady state — a non-zero value means the seed's
+    /// reparse-per-call cost model has returned.
+    pub semgrep_pattern_reparses: u64,
 }
 
 impl HubStats {

@@ -57,7 +57,9 @@ fn pools() -> (CompiledRules, CompiledSemgrepRules) {
 }
 
 /// The oracle: single-threaded, rule-by-rule exhaustive scanning with no
-/// prefilter, no routing and no cache.
+/// prefilter, no routing, no cache — and the *seed's* reparse-per-call
+/// Semgrep matcher, so the service's compiled single-pass engine is
+/// differentially checked against the original implementation.
 fn exhaustive(
     yara: &CompiledRules,
     semgrep: &CompiledSemgrepRules,
@@ -75,8 +77,10 @@ fn exhaustive(
     let mut ids = HashSet::new();
     for src in &request.sources {
         let module = pysrc::parse_module(src);
-        for finding in semgrep_engine::scan_module(semgrep, &module) {
-            ids.insert(finding.rule_id);
+        for rule in &semgrep.rules {
+            for finding in semgrep_engine::reference::match_module(rule, &module) {
+                ids.insert(finding.rule_id);
+            }
         }
     }
     verdict.semgrep = ids.into_iter().collect();
@@ -92,6 +96,20 @@ fn prefilter_hub() -> ScanHub {
         HubConfig {
             workers: 2,
             cache_capacity: 0,
+            ..HubConfig::default()
+        },
+    )
+}
+
+fn nofilter_hub() -> ScanHub {
+    let (yara, semgrep) = pools();
+    ScanHub::new(
+        Some(yara),
+        Some(semgrep),
+        HubConfig {
+            workers: 2,
+            cache_capacity: 0,
+            prefilter: false,
             ..HubConfig::default()
         },
     )
@@ -151,15 +169,19 @@ proptest! {
     ) {
         // ISSUE 2 acceptance criterion: the prefilter stays *sound* on
         // adversarially mutated uploads — no rule is skipped that would
-        // have matched the mutant.
+        // have matched the mutant. ISSUE 4 extension: compiled-pattern
+        // verdicts are identical with prefilter on and off, and both
+        // match the seed's reparse-per-call oracle.
         let (yara, semgrep) = pools();
         let hub = prefilter_hub();
+        let off = nofilter_hub();
         let family = &FAMILIES[family_idx];
         let original = corpus::generate_malware_package(family, variant, seed).0;
         let profile = EvasionProfile::standard().swap_remove(profile_idx);
         let mutant = Obfuscator::new(profile.clone(), seed).obfuscate_package(&original);
         let request = ScanRequest::from_package(&mutant);
         let fast = hub.submit(request.clone()).wait();
+        let unrouted = off.submit(request.clone()).wait();
         let slow = exhaustive(&yara, &semgrep, &request);
         prop_assert_eq!(
             &fast.yara, &slow.yara,
@@ -169,6 +191,12 @@ proptest! {
             &fast.semgrep, &slow.semgrep,
             "semgrep diverged on {} mutant of {}", profile.name, original.metadata().name
         );
+        prop_assert_eq!(
+            &fast, &unrouted,
+            "prefilter on/off diverged on {} mutant of {}", profile.name, original.metadata().name
+        );
+        prop_assert_eq!(hub.stats().semgrep_pattern_reparses, 0);
+        prop_assert_eq!(off.stats().semgrep_pattern_reparses, 0);
     }
 
     #[test]

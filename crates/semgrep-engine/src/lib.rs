@@ -12,7 +12,11 @@
 //!   `severity`, `metadata`, and `pattern` / `patterns` /
 //!   `pattern-either` / `pattern-not` operators;
 //! * a structural [`matcher`](match_module) over the [`pysrc`] AST with
-//!   metavariable unification and ellipsis argument matching.
+//!   metavariable unification and ellipsis argument matching. Pattern
+//!   text is parsed **once at compile time**; [`MatchSet`] then matches
+//!   a whole ruleset against a module in a single anchor-dispatched AST
+//!   walk, and [`reference`] keeps the seed's reparse-per-call matcher
+//!   as the differential oracle.
 //!
 //! # Examples
 //!
@@ -37,22 +41,30 @@
 
 mod error;
 mod matcher;
+mod matchset;
+pub mod reference;
 mod rule;
 pub mod yaml;
 
 pub use error::SemgrepError;
 pub use matcher::{match_module, Finding};
+pub use matchset::{MatchScratch, MatchSet, SemgrepMetrics};
 pub use rule::{compile, CompiledSemgrepRules, PatternOp, SemgrepRule, Severity};
 
 use pysrc::Module;
 
 /// Scans a parsed Python module with every rule, returning all findings.
+///
+/// One single AST pass serves all rules (see [`MatchSet`]); the output is
+/// identical to calling [`match_module`] per rule in file order.
+///
+/// Convenience entry point: the anchor index is rebuilt on every call.
+/// Loops scanning many modules against one fixed ruleset should build a
+/// [`MatchSet`] once and reuse a [`MatchScratch`], as the hub workers do.
 pub fn scan_module(rules: &CompiledSemgrepRules, module: &Module) -> Vec<Finding> {
-    let mut out = Vec::new();
-    for rule in &rules.rules {
-        out.extend(match_module(rule, module));
-    }
-    out
+    let set = MatchSet::new(rules);
+    let mut scratch = MatchScratch::new();
+    set.match_module_set(module, |_| true, &mut scratch).0
 }
 
 /// Convenience: parse `source` and scan it.

@@ -5,6 +5,12 @@
 //! arguments (`f(...)`, `f($A, ...)`), keyword arguments matched by name
 //! (`subprocess.Popen($CMD, shell=True)`), dotted callee paths and
 //! assignment patterns (`$VAR = requests.get(...)`).
+//!
+//! Pattern text is parsed **once, at rule-compile time** into a
+//! [`CompiledPattern`] (metavariables encoded, first statement kept as a
+//! [`pysrc`] AST); the scan path never calls [`pysrc::parse_module`] on
+//! pattern text. The original reparse-per-call matcher survives verbatim
+//! in [`crate::reference`] as the differential oracle.
 
 use std::collections::HashMap;
 
@@ -25,10 +31,144 @@ pub struct Finding {
     pub severity: Severity,
 }
 
+// ---------------------------------------------------------------------------
+// Compiled patterns
+// ---------------------------------------------------------------------------
+
+/// How a pre-parsed pattern leaf is dispatched by the multi-rule matcher:
+/// the structural analogue of the literal prefilter. Every variant except
+/// `Always`/`Dead` names a fact that *must* hold for a statement to match
+/// the leaf, so statements lacking it skip the leaf entirely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Anchor {
+    /// An identifier (call-head name, attribute, bare name) that must
+    /// occur in a matching statement's expressions.
+    Ident(String),
+    /// A dotted module path that must occur in a matching `import`.
+    ImportRoot(String),
+    /// The exact module path of a `from X import ...` pattern.
+    FromImportModule(String),
+    /// No sound anchor exists: the leaf is tested against every statement.
+    Always,
+    /// The leaf can never match any statement (unparsable pattern text or
+    /// a statement shape the matcher does not model).
+    Dead,
+}
+
+/// One pattern leaf, pre-parsed at rule-compile time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CompiledLeaf {
+    /// The metavar-encoded pattern's first statement; `None` when the
+    /// text parses to an empty module (the leaf never matches).
+    pub(crate) stmt: Option<Stmt>,
+    /// Dispatch anchor derived from `stmt`.
+    pub(crate) anchor: Anchor,
+}
+
+/// A pattern-operator tree whose leaves are pre-parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CompiledOp {
+    /// A single pre-parsed pattern.
+    Leaf(CompiledLeaf),
+    /// Conjunction (`patterns:`).
+    All(Vec<CompiledOp>),
+    /// Disjunction (`pattern-either:`).
+    Either(Vec<CompiledOp>),
+    /// Negation (`pattern-not:`).
+    Not(Box<CompiledOp>),
+}
+
+/// The compiled form of one rule's pattern tree, built by
+/// [`crate::compile`] so that matching never re-parses pattern text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPattern {
+    pub(crate) op: CompiledOp,
+}
+
+impl CompiledPattern {
+    /// Pre-parses every leaf of `op`.
+    pub(crate) fn compile(op: &PatternOp) -> Self {
+        CompiledPattern { op: compile_op(op) }
+    }
+}
+
+fn compile_op(op: &PatternOp) -> CompiledOp {
+    match op {
+        PatternOp::Pattern(text) => CompiledOp::Leaf(compile_leaf(text)),
+        PatternOp::All(children) => CompiledOp::All(children.iter().map(compile_op).collect()),
+        PatternOp::Either(children) => {
+            CompiledOp::Either(children.iter().map(compile_op).collect())
+        }
+        PatternOp::Not(inner) => CompiledOp::Not(Box::new(compile_op(inner))),
+    }
+}
+
+pub(crate) fn compile_leaf(text: &str) -> CompiledLeaf {
+    let encoded = encode_metavars(text);
+    let stmt = pysrc::parse_module(&encoded).body.into_iter().next();
+    let anchor = anchor_of(stmt.as_ref());
+    CompiledLeaf { stmt, anchor }
+}
+
+/// The dispatch anchor of a pattern statement (see [`Anchor`]). Soundness
+/// contract: whenever [`stmt_matches`]`(pattern, target)` holds, the
+/// anchor fact holds for `target`.
+fn anchor_of(stmt: Option<&Stmt>) -> Anchor {
+    let Some(stmt) = stmt else {
+        return Anchor::Dead;
+    };
+    match stmt {
+        // An expression pattern matches via a sub-expression of the
+        // target; an assignment pattern requires its value to match the
+        // target's value — both walk the target's expression roots.
+        Stmt::Expr { value, .. } | Stmt::Assign { value, .. } => {
+            expr_anchor(value).map_or(Anchor::Always, Anchor::Ident)
+        }
+        Stmt::Import { modules, .. } => modules
+            .first()
+            .map_or(Anchor::Always, |m| Anchor::ImportRoot(m.clone())),
+        Stmt::FromImport { module, .. } => Anchor::FromImportModule(module.clone()),
+        Stmt::Other { text, .. } => {
+            if text.is_empty() {
+                Anchor::Dead
+            } else {
+                Anchor::Always
+            }
+        }
+        // `stmt_matches` has no arm for these pattern shapes: they can
+        // never match any statement.
+        Stmt::FunctionDef { .. }
+        | Stmt::ClassDef { .. }
+        | Stmt::Block { .. }
+        | Stmt::Return { .. } => Anchor::Dead,
+    }
+}
+
+/// The identifier any expression matching `expr` must contain, or `None`
+/// when no such identifier exists (metavariable head, literal, binop, …).
+fn expr_anchor(expr: &Expr) -> Option<String> {
+    match expr {
+        // A call pattern requires the target to be a call whose callee
+        // matches the pattern's callee.
+        Expr::Call { func, .. } => expr_anchor(func),
+        // `expr_matches` requires the target attribute name to be equal.
+        Expr::Attribute { attr, .. } => Some(attr.clone()),
+        Expr::Name(n) if !is_metavar(n) => Some(n.clone()),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-rule matching over compiled patterns
+// ---------------------------------------------------------------------------
+
 /// Matches one rule against a module, returning deduplicated findings.
+///
+/// Uses the pattern AST stored at compile time — no pattern text is
+/// re-parsed. For matching *many* rules against one module in a single
+/// AST pass, use [`crate::MatchSet`].
 pub fn match_module(rule: &SemgrepRule, module: &Module) -> Vec<Finding> {
-    let lines = eval_op(&rule.pattern, module);
-    let mut lines: Vec<usize> = lines.into_iter().collect();
+    let mut lines = eval_compiled(&rule.compiled.op, module);
     lines.sort_unstable();
     lines.dedup();
     lines
@@ -42,85 +182,91 @@ pub fn match_module(rule: &SemgrepRule, module: &Module) -> Vec<Finding> {
         .collect()
 }
 
-/// Evaluates a pattern-operator tree to the set of matching lines.
-fn eval_op(op: &PatternOp, module: &Module) -> Vec<usize> {
-    match op {
-        PatternOp::Pattern(text) => pattern_lines(text, module),
-        PatternOp::Either(children) => {
+/// Shape classification of one pattern-operator tree node: lets the
+/// single shared evaluator ([`eval_tree`]) serve both the per-rule
+/// [`CompiledOp`] tree and the leaf-indexed tree in
+/// [`crate::MatchSet`], so the conjunction semantics live in exactly
+/// one place (plus the intentionally frozen oracle copy in
+/// [`crate::reference`]).
+pub(crate) enum OpShape<'a, N> {
+    /// A leaf, resolved to matching lines by the caller's provider.
+    Leaf,
+    /// Conjunction (`patterns:`).
+    All(&'a [N]),
+    /// Disjunction (`pattern-either:`).
+    Either(&'a [N]),
+    /// Negation (`pattern-not:`).
+    Not(&'a N),
+}
+
+/// A pattern-operator tree evaluable by [`eval_tree`].
+pub(crate) trait OpNode: Sized {
+    fn shape(&self) -> OpShape<'_, Self>;
+}
+
+impl OpNode for CompiledOp {
+    fn shape(&self) -> OpShape<'_, Self> {
+        match self {
+            CompiledOp::Leaf(_) => OpShape::Leaf,
+            CompiledOp::All(children) => OpShape::All(children),
+            CompiledOp::Either(children) => OpShape::Either(children),
+            CompiledOp::Not(inner) => OpShape::Not(inner),
+        }
+    }
+}
+
+/// Evaluates a pattern-operator tree to the set of matching lines,
+/// resolving leaves through `leaf_lines`.
+pub(crate) fn eval_tree<N: OpNode>(node: &N, leaf_lines: &impl Fn(&N) -> Vec<usize>) -> Vec<usize> {
+    match node.shape() {
+        OpShape::Leaf => leaf_lines(node),
+        OpShape::Either(children) => {
             let mut out = Vec::new();
             for c in children {
-                out.extend(eval_op(c, module));
+                out.extend(eval_tree(c, leaf_lines));
             }
             out
         }
-        PatternOp::All(children) => {
+        OpShape::All(children) => {
             // Conjunction: every positive child must match somewhere and no
             // negative child may match anywhere; findings are reported at
             // the first positive child's lines (a file-level approximation
             // of semgrep's range intersection).
             let mut result: Option<Vec<usize>> = None;
             for c in children {
-                match c {
-                    PatternOp::Not(inner) => {
-                        if !eval_op(inner, module).is_empty() {
-                            return Vec::new();
-                        }
+                if let OpShape::Not(inner) = c.shape() {
+                    if !eval_tree(inner, leaf_lines).is_empty() {
+                        return Vec::new();
                     }
-                    other => {
-                        let lines = eval_op(other, module);
-                        if lines.is_empty() {
-                            return Vec::new();
-                        }
-                        if result.is_none() {
-                            result = Some(lines);
-                        }
+                } else {
+                    let lines = eval_tree(c, leaf_lines);
+                    if lines.is_empty() {
+                        return Vec::new();
+                    }
+                    if result.is_none() {
+                        result = Some(lines);
                     }
                 }
             }
             result.unwrap_or_default()
         }
-        PatternOp::Not(inner) => {
-            // A top-level bare `pattern-not` (degenerate, but the LLM can
-            // produce it): matches nothing on its own.
-            let _ = eval_op(inner, module);
-            Vec::new()
-        }
+        // A top-level bare `pattern-not` (degenerate, but the LLM can
+        // produce it): matches nothing on its own.
+        OpShape::Not(_) => Vec::new(),
     }
 }
 
-/// Replaces `$NAME` with `__MV_NAME` so the Python parser accepts the
-/// pattern text.
-fn encode_metavars(pattern: &str) -> String {
-    let bytes = pattern.as_bytes();
-    let mut out = String::with_capacity(pattern.len() + 16);
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'$'
-            && i + 1 < bytes.len()
-            && (bytes[i + 1].is_ascii_alphabetic() || bytes[i + 1] == b'_')
-        {
-            out.push_str("__MV_");
-            i += 1;
-        } else {
-            out.push(bytes[i] as char);
-            i += 1;
-        }
-    }
-    out
+/// Evaluates a compiled operator tree against one module.
+fn eval_compiled(op: &CompiledOp, module: &Module) -> Vec<usize> {
+    eval_tree(op, &|n| match n {
+        CompiledOp::Leaf(leaf) => leaf_lines(leaf, module),
+        _ => unreachable!("eval_tree resolves only leaf shapes"),
+    })
 }
 
-fn is_metavar(name: &str) -> bool {
-    name.starts_with("__MV_")
-}
-
-fn is_ellipsis(expr: &Expr) -> bool {
-    matches!(expr, Expr::Other(t) if t == "...")
-}
-
-fn pattern_lines(pattern: &str, module: &Module) -> Vec<usize> {
-    let encoded = encode_metavars(pattern);
-    let pat_module = pysrc::parse_module(&encoded);
-    let Some(pat_stmt) = pat_module.body.first() else {
+/// All lines on which one pre-parsed leaf matches, in walk order.
+fn leaf_lines(leaf: &CompiledLeaf, module: &Module) -> Vec<usize> {
+    let Some(pat_stmt) = &leaf.stmt else {
         return Vec::new();
     };
     let mut out = Vec::new();
@@ -132,7 +278,40 @@ fn pattern_lines(pattern: &str, module: &Module) -> Vec<usize> {
     out
 }
 
-fn walk_statements<'a>(body: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+/// Replaces `$NAME` with `__MV_NAME` so the Python parser accepts the
+/// pattern text. Byte-faithful outside the rewritten metavariable
+/// sigils: non-ASCII pattern content (string literals, comments) passes
+/// through unchanged.
+pub(crate) fn encode_metavars(pattern: &str) -> String {
+    let bytes = pattern.as_bytes();
+    let mut out = String::with_capacity(pattern.len() + 16);
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'$'
+            && i + 1 < bytes.len()
+            && (bytes[i + 1].is_ascii_alphabetic() || bytes[i + 1] == b'_')
+        {
+            // `$` is ASCII, so both slice boundaries sit on char limits.
+            out.push_str(&pattern[start..i]);
+            out.push_str("__MV_");
+            start = i + 1;
+        }
+        i += 1;
+    }
+    out.push_str(&pattern[start..]);
+    out
+}
+
+pub(crate) fn is_metavar(name: &str) -> bool {
+    name.starts_with("__MV_")
+}
+
+fn is_ellipsis(expr: &Expr) -> bool {
+    matches!(expr, Expr::Other(t) if t == "...")
+}
+
+pub(crate) fn walk_statements<'a>(body: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
     for stmt in body {
         f(stmt);
         match stmt {
@@ -144,7 +323,16 @@ fn walk_statements<'a>(body: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
     }
 }
 
-fn stmt_matches(pattern: &Stmt, target: &Stmt) -> bool {
+/// The expression roots a statement exposes to expression patterns.
+pub(crate) fn for_each_expr_root<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
+    match stmt {
+        Stmt::Expr { value, .. } | Stmt::Assign { value, .. } => f(value),
+        Stmt::Return { value: Some(v), .. } => f(v),
+        _ => {}
+    }
+}
+
+pub(crate) fn stmt_matches(pattern: &Stmt, target: &Stmt) -> bool {
     match (pattern, target) {
         (Stmt::Expr { value: pv, .. }, _) => {
             // An expression pattern matches any statement containing a
@@ -572,5 +760,60 @@ rules:
         assert_eq!(f.rule_id, "t");
         assert_eq!(f.message, "m");
         assert_eq!(f.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn encode_metavars_is_byte_faithful_for_non_ascii() {
+        // The seed pushed bytes as chars, re-encoding non-ASCII content
+        // as Latin-1 mojibake; patterns with non-ASCII string literals
+        // must survive encoding byte-for-byte.
+        assert_eq!(encode_metavars("log('héllo wörld')"), "log('héllo wörld')");
+        assert_eq!(encode_metavars("f($X, 'héllo')"), "f(__MV_X, 'héllo')");
+        assert_eq!(encode_metavars("送信($データ)"), "送信($データ)");
+    }
+
+    #[test]
+    fn non_ascii_string_literal_pattern_matches() {
+        assert_eq!(lines("log('héllo')", "log('héllo')\n"), vec![1]);
+        assert!(lines("log('héllo')", "log('hello')\n").is_empty());
+    }
+
+    #[test]
+    fn scan_time_never_reparses_pattern_text() {
+        // Pattern parsing happens inside `compile`; matching afterwards
+        // must not touch `pysrc::parse_module` on pattern text. The
+        // reparse counter is maintained by the reference oracle only.
+        let _guard = crate::reference::TEST_COUNTER_LOCK
+            .lock()
+            .expect("counter lock");
+        let rule = rule_with_pattern("os.system($X)");
+        let module = pysrc::parse_module("os.system('id')\n");
+        let before = crate::reference::pattern_reparse_count();
+        for _ in 0..10 {
+            assert_eq!(match_module(&rule, &module).len(), 1);
+        }
+        assert_eq!(crate::reference::pattern_reparse_count(), before);
+        // The oracle, by contrast, re-parses once per leaf per call.
+        let _ = crate::reference::match_module(&rule, &module);
+        assert_eq!(crate::reference::pattern_reparse_count(), before + 1);
+    }
+
+    #[test]
+    fn anchors_classify_pattern_shapes() {
+        let anchor = |pat: &str| compile_leaf(pat).anchor;
+        assert_eq!(anchor("os.system($X)"), Anchor::Ident("system".into()));
+        assert_eq!(anchor("eval($X)"), Anchor::Ident("eval".into()));
+        assert_eq!(
+            anchor("$V = requests.get(...)"),
+            Anchor::Ident("get".into())
+        );
+        assert_eq!(anchor("import socket"), Anchor::ImportRoot("socket".into()));
+        assert_eq!(
+            anchor("from subprocess import Popen"),
+            Anchor::FromImportModule("subprocess".into())
+        );
+        assert_eq!(anchor("$A($B)"), Anchor::Always);
+        // Shapes the matcher never matches are dead on arrival.
+        assert_eq!(anchor("def foo(): pass"), Anchor::Dead);
     }
 }

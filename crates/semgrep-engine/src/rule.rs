@@ -1,6 +1,7 @@
 //! Semgrep rule schema and compilation.
 
 use crate::error::SemgrepError;
+use crate::matcher::CompiledPattern;
 use crate::yaml::{self, Yaml};
 
 /// Semgrep severity levels.
@@ -157,6 +158,10 @@ pub struct SemgrepRule {
     pub pattern: PatternOp,
     /// Free-form metadata entries.
     pub metadata: Vec<(String, String)>,
+    /// The pattern tree with every leaf pre-parsed (metavariables
+    /// encoded, first statement kept as AST), built here at compile time
+    /// so the scan path never re-parses pattern text.
+    pub(crate) compiled: CompiledPattern,
 }
 
 /// A compiled set of Semgrep rules.
@@ -270,6 +275,7 @@ fn compile_rule(node: &Yaml) -> Result<SemgrepRule, SemgrepError> {
             .collect(),
         _ => Vec::new(),
     };
+    let compiled = CompiledPattern::compile(&pattern);
     Ok(SemgrepRule {
         id,
         languages,
@@ -277,6 +283,7 @@ fn compile_rule(node: &Yaml) -> Result<SemgrepRule, SemgrepError> {
         severity,
         pattern,
         metadata,
+        compiled,
     })
 }
 

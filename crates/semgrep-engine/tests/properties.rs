@@ -1,7 +1,97 @@
-//! Property-based tests for the YAML parser and the pattern matcher.
+//! Property-based tests for the YAML parser and the pattern matcher,
+//! plus the differential suite proving the compiled matchers equivalent
+//! to the seed's reparse-per-call oracle on generated rule/corpus pairs.
 
 use proptest::prelude::*;
 use semgrep_engine::yaml::{self, Yaml};
+use semgrep_engine::{Finding, MatchScratch, MatchSet};
+
+/// A small shared name pool so generated rules and sources collide often
+/// (high hit rate exercises the anchored dispatch, not just the skips).
+const NAMES: &[&str] = &[
+    "os", "get", "send", "foo", "bar", "run", "sh", "conn", "load", "x",
+];
+
+fn name() -> impl Strategy<Value = String> {
+    prop::sample::select(NAMES).prop_map(str::to_owned)
+}
+
+/// One generated pattern string covering every anchor class: dotted
+/// calls, bare calls, assignments, imports, from-imports, metavariable
+/// receivers and fully-opaque (always-on) shapes.
+fn pattern() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (name(), name()).prop_map(|(m, f)| format!("{m}.{f}($A)")),
+        (name(), name()).prop_map(|(m, f)| format!("{m}.{f}(...)")),
+        name().prop_map(|f| format!("{f}(...)")),
+        (name(), name()).prop_map(|(f, a)| format!("{f}({a}, ...)")),
+        (name(), name()).prop_map(|(m, f)| format!("$V = {m}.{f}(...)")),
+        name().prop_map(|m| format!("import {m}")),
+        (name(), name()).prop_map(|(m, f)| format!("from {m} import {f}")),
+        name().prop_map(|f| format!("$X.{f}($Y)")),
+        name().prop_map(|f| format!("{f}('trusted')")),
+        Just("$A($B)".to_owned()),
+    ]
+}
+
+/// One generated rule body: plain pattern, either-of-two, or a
+/// conjunction with a `pattern-not`.
+#[derive(Debug, Clone)]
+enum RuleSpec {
+    One(String),
+    Either(String, String),
+    NotPair(String, String),
+}
+
+fn rule_spec() -> impl Strategy<Value = RuleSpec> {
+    prop_oneof![
+        pattern().prop_map(RuleSpec::One),
+        (pattern(), pattern()).prop_map(|(a, b)| RuleSpec::Either(a, b)),
+        (pattern(), pattern()).prop_map(|(a, b)| RuleSpec::NotPair(a, b)),
+    ]
+}
+
+fn ruleset_yaml(specs: &[RuleSpec]) -> String {
+    let mut out = String::from("rules:\n");
+    for (i, spec) in specs.iter().enumerate() {
+        out.push_str(&format!(
+            "  - id: r{i}\n    languages: [python]\n    message: m\n"
+        ));
+        match spec {
+            RuleSpec::One(p) => out.push_str(&format!("    pattern: {p}\n")),
+            RuleSpec::Either(a, b) => out.push_str(&format!(
+                "    pattern-either:\n      - pattern: {a}\n      - pattern: {b}\n"
+            )),
+            RuleSpec::NotPair(a, b) => out.push_str(&format!(
+                "    patterns:\n      - pattern: {a}\n      - pattern-not: {b}\n"
+            )),
+        }
+    }
+    out
+}
+
+/// One generated source statement from the same name pool.
+fn statement() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (name(), name(), name()).prop_map(|(m, f, a)| format!("{m}.{f}({a})")),
+        (name(), name()).prop_map(|(f, a)| format!("{f}({a})")),
+        (name(), name()).prop_map(|(f, a)| format!("{f}({a}, {a})")),
+        (name(), name(), name()).prop_map(|(v, m, f)| format!("{v} = {m}.{f}(payload)")),
+        name().prop_map(|m| format!("import {m}")),
+        (name(), name()).prop_map(|(m, f)| format!("import {m}, {f}")),
+        (name(), name()).prop_map(|(m, f)| format!("from {m} import {f}")),
+        (name(), name()).prop_map(|(f, a)| format!("def helper_{f}():\n    {f}({a})")),
+        name().prop_map(|f| format!("{f}('trusted')")),
+        Just("unrelated = 1".to_owned()),
+    ]
+}
+
+fn pairs(findings: &[Finding]) -> Vec<(String, usize)> {
+    findings
+        .iter()
+        .map(|f| (f.rule_id.clone(), f.line))
+        .collect()
+}
 
 proptest! {
     #[test]
@@ -83,6 +173,70 @@ proptest! {
         let args: Vec<String> = (0..n_args).map(|i| format!("a{i}")).collect();
         let src = format!("run({})\n", args.join(", "));
         prop_assert_eq!(semgrep_engine::scan_source(&rules, &src).len(), 1);
+    }
+
+    #[test]
+    fn match_module_set_equals_reference_oracle(
+        specs in prop::collection::vec(rule_spec(), 1..7),
+        stmts in prop::collection::vec(statement(), 0..16),
+        mask in any::<u32>(),
+    ) {
+        let rules = semgrep_engine::compile(&ruleset_yaml(&specs)).expect("generated rules compile");
+        let mut src = stmts.join("\n");
+        src.push('\n');
+        let module = pysrc::parse_module(&src);
+
+        // The oracle: the seed's reparse-per-call matcher, rule by rule.
+        let mut want = Vec::new();
+        for rule in &rules.rules {
+            want.extend(semgrep_engine::reference::match_module(rule, &module));
+        }
+
+        // Compiled per-rule matcher ≡ oracle.
+        let mut per_rule = Vec::new();
+        for rule in &rules.rules {
+            per_rule.extend(semgrep_engine::match_module(rule, &module));
+        }
+        prop_assert_eq!(pairs(&per_rule), pairs(&want), "per-rule diverged on {:?}", src);
+
+        // Single-pass multi-rule matcher ≡ oracle, and it never parses
+        // pattern text.
+        let set = MatchSet::new(&rules);
+        let mut scratch = MatchScratch::new();
+        let (got, metrics) = set.match_module_set(&module, |_| true, &mut scratch);
+        prop_assert_eq!(pairs(&got), pairs(&want), "match_module_set diverged on {:?}", src);
+        prop_assert_eq!(metrics.pattern_reparses, 0);
+
+        // Routed subset ≡ filtered oracle (the hub's prefilter path),
+        // reusing the scratch from the previous pass.
+        let include = |ri: usize| mask & (1 << (ri % 32)) != 0;
+        let (subset, _) = set.match_module_set(&module, include, &mut scratch);
+        let masked: Vec<Finding> = rules
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(ri, _)| include(*ri))
+            .flat_map(|(_, r)| semgrep_engine::reference::match_module(r, &module))
+            .collect();
+        prop_assert_eq!(pairs(&subset), pairs(&masked), "routed subset diverged on {:?}", src);
+    }
+
+    #[test]
+    fn scan_module_equals_oracle_on_arbitrary_text(
+        specs in prop::collection::vec(rule_spec(), 1..5),
+        body in "[ -~\\n]{0,200}",
+    ) {
+        // Arbitrary printable garbage: the compiled matcher must agree
+        // with the oracle even on sources that parse into Other/Block
+        // fallback shapes.
+        let rules = semgrep_engine::compile(&ruleset_yaml(&specs)).expect("compile");
+        let module = pysrc::parse_module(&body);
+        let mut want = Vec::new();
+        for rule in &rules.rules {
+            want.extend(semgrep_engine::reference::match_module(rule, &module));
+        }
+        let got = semgrep_engine::scan_module(&rules, &module);
+        prop_assert_eq!(pairs(&got), pairs(&want), "diverged on {:?}", body);
     }
 
     #[test]

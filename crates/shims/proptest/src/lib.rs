@@ -9,8 +9,10 @@
 //!   `prop_assume!`;
 //! * [`Strategy`] implementations for `&str` regex literals (character
 //!   classes with `{m,n}` repetition — the only regex shape the test
-//!   suite uses), integer ranges, [`any`] for primitives, and
-//!   `prop::collection::{vec, btree_map}`.
+//!   suite uses), integer ranges, [`any`] for primitives, tuples,
+//!   `prop::collection::{vec, btree_map}` and `prop::sample::select`;
+//! * the combinators `prop_map`, `prop_filter`, `Just` and the
+//!   [`prop_oneof!`] macro (uniform arms, no weights).
 //!
 //! Cases are generated from a deterministic per-test SplitMix64 stream,
 //! so failures reproduce across runs. There is no shrinking: a failing
@@ -27,13 +29,19 @@ pub mod prop {
         //! Collection strategies.
         pub use crate::strategy::{btree_map, vec};
     }
+    pub mod sample {
+        //! Sampling strategies.
+        pub use crate::strategy::select;
+    }
 }
 
 pub mod prelude {
     //! One-stop import mirroring `proptest::prelude`.
-    pub use crate::strategy::{any, Strategy};
+    pub use crate::strategy::{any, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
-    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Declares deterministic property tests.
@@ -87,6 +95,17 @@ macro_rules! __proptest_impl {
             }
         }
         $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// A uniform choice between strategies producing the same value type
+/// (mirror of `proptest::prop_oneof!`; no per-arm weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($strat)),+
+        ])
     };
 }
 

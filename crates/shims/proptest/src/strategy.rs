@@ -12,7 +12,146 @@ pub trait Strategy {
     type Value;
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (mirror of
+    /// `proptest::strategy::Strategy::prop_map`).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Retries generation until `f` accepts a value (mirror of
+    /// `prop_filter`; `reason` is reported if no value ever passes).
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            f,
+        }
+    }
 }
+
+// ----------------------------------------------------------- combinators
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let candidate = self.inner.generate(rng);
+            if (self.f)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!("prop_filter never accepted a value: {}", self.reason);
+    }
+}
+
+/// A constant strategy (mirror of `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A uniform choice between boxed strategies — the engine behind
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options` (must be non-empty).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "empty prop_oneof");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Uniformly selects one of `options` (mirror of
+/// `proptest::sample::select`).
+pub fn select<T: Clone>(options: impl Into<Vec<T>>) -> Select<T> {
+    let options = options.into();
+    assert!(!options.is_empty(), "empty select");
+    Select { options }
+}
+
+/// Strategy returned by [`select`].
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].clone()
+    }
+}
+
+// ---------------------------------------------------------------- tuples
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident : $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0: 0);
+impl_tuple_strategy!(S0: 0, S1: 1);
+impl_tuple_strategy!(S0: 0, S1: 1, S2: 2);
+impl_tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3);
 
 // ---------------------------------------------------------------- ranges
 
@@ -374,6 +513,64 @@ mod tests {
         for _ in 0..100 {
             let v = vec(any::<u8>(), 1..5).generate(&mut r);
             assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms_values() {
+        let mut r = rng();
+        let s = (1usize..5).prop_map(|n| n * 10);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((10..50).contains(&v) && v % 10 == 0);
+        }
+    }
+
+    #[test]
+    fn prop_filter_rejects_values() {
+        let mut r = rng();
+        let s = (0usize..10).prop_filter("even only", |n| n % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn just_is_constant() {
+        let mut r = rng();
+        assert_eq!(Just(7u8).generate(&mut r), 7);
+    }
+
+    #[test]
+    fn select_draws_from_options() {
+        let mut r = rng();
+        let s = select(&["a", "b", "c"][..]);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut r));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn union_covers_all_arms() {
+        let mut r = rng();
+        let s = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut r));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn tuple_strategies_generate_componentwise() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let (a, b, c) = ((0usize..3), "[x-z]{1}", Just(9u8)).generate(&mut r);
+            assert!(a < 3);
+            assert_eq!(b.len(), 1);
+            assert_eq!(c, 9);
         }
     }
 

@@ -147,20 +147,34 @@ impl AhoCorasick {
     /// Finds all occurrences of all patterns (overlapping included).
     pub fn find_all(&self, haystack: &[u8]) -> Vec<AcMatch> {
         let mut out = Vec::new();
+        self.for_each_match(haystack, |m| {
+            out.push(m);
+            true
+        });
+        out
+    }
+
+    /// Streams every occurrence (overlapping included) to `visit` without
+    /// materializing a `Vec`. The visitor returns `false` to stop the
+    /// scan early — callers that have seen every pattern they care about
+    /// skip the rest of the haystack.
+    pub fn for_each_match(&self, haystack: &[u8], mut visit: impl FnMut(AcMatch) -> bool) {
         let mut state = 0usize;
         for (pos, &raw) in haystack.iter().enumerate() {
             let b = fold(raw, self.kind) as usize;
             state = self.nodes[state].next[b] as usize;
             for &pat in &self.nodes[state].outputs {
                 let len = self.pattern_lens[pat as usize];
-                out.push(AcMatch {
+                let keep_going = visit(AcMatch {
                     pattern: pat as usize,
                     start: pos + 1 - len,
                     end: pos + 1,
                 });
+                if !keep_going {
+                    return;
+                }
             }
         }
-        out
     }
 
     /// Returns, for each pattern, the list of match offsets in `haystack`.
@@ -266,6 +280,24 @@ mod tests {
     fn binary_patterns() {
         let ac = AhoCorasick::new(&[&[0x00u8, 0xFF][..]], MatchKind::CaseSensitive);
         assert!(ac.is_match(&[0x10, 0x00, 0xFF, 0x20]));
+    }
+
+    #[test]
+    fn for_each_match_streams_in_order_and_stops_on_false() {
+        let ac = AhoCorasick::new(&["he", "she", "hers"], MatchKind::CaseSensitive);
+        let mut seen = Vec::new();
+        ac.for_each_match(b"ushers", |m| {
+            seen.push(m);
+            true
+        });
+        assert_eq!(seen, ac.find_all(b"ushers"));
+        // Early exit: stop after the first match.
+        let mut count = 0;
+        ac.for_each_match(b"ushers", |_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 1);
     }
 
     #[test]

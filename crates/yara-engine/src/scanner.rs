@@ -5,8 +5,6 @@
 //! package against hundreds of rules stays a two-pass operation; regexes
 //! run per string definition.
 
-use std::collections::HashMap;
-
 use textmatch::{AhoCorasick, MatchKind};
 
 use crate::ast::{Condition, StringSet, StringValue};
@@ -45,6 +43,43 @@ pub struct ScanMetrics {
     pub regex_bytes_scanned: u64,
 }
 
+/// Reusable per-worker scan state: one offset list per string definition,
+/// invalidated by generation stamps instead of clearing, so a long-lived
+/// worker's scan path performs no per-scan allocation after warm-up.
+#[derive(Debug, Default)]
+pub struct ScanScratch {
+    generation: u64,
+    stamps: Vec<u64>,
+    offsets: Vec<Vec<usize>>,
+}
+
+impl ScanScratch {
+    /// Creates an empty scratch (sized lazily on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, slots: usize) {
+        self.generation += 1;
+        if self.stamps.len() < slots {
+            self.stamps.resize(slots, 0);
+            self.offsets.resize_with(slots, Vec::new);
+        }
+    }
+
+    fn push(&mut self, slot: usize, offset: usize) {
+        if self.stamps[slot] != self.generation {
+            self.stamps[slot] = self.generation;
+            self.offsets[slot].clear();
+        }
+        self.offsets[slot].push(offset);
+    }
+
+    fn get(&self, slot: usize) -> Option<&[usize]> {
+        (self.stamps[slot] == self.generation).then(|| self.offsets[slot].as_slice())
+    }
+}
+
 /// A reusable scanner over a compiled ruleset.
 #[derive(Debug)]
 pub struct Scanner<'r> {
@@ -54,6 +89,10 @@ pub struct Scanner<'r> {
     /// automaton pattern index -> (rule idx, string idx, wide, fullword)
     cs_map: Vec<(usize, usize, bool, bool)>,
     ci_map: Vec<(usize, usize, bool, bool)>,
+    /// Per rule, the base index of its dense string-slot range
+    /// (`slot = string_base[ri] + si`).
+    string_base: Vec<usize>,
+    total_strings: usize,
 }
 
 impl<'r> Scanner<'r> {
@@ -89,12 +128,20 @@ impl<'r> Scanner<'r> {
                 }
             }
         }
+        let mut string_base = Vec::with_capacity(rules.rules.len());
+        let mut total_strings = 0usize;
+        for cr in &rules.rules {
+            string_base.push(total_strings);
+            total_strings += cr.rule.strings.len();
+        }
         Scanner {
             rules,
             cs: AhoCorasick::new(&cs_pats, MatchKind::CaseSensitive),
             ci: AhoCorasick::new(&ci_pats, MatchKind::CaseInsensitive),
             cs_map,
             ci_map,
+            string_base,
+            total_strings,
         }
     }
 
@@ -122,18 +169,34 @@ impl<'r> Scanner<'r> {
         data: &[u8],
         include: impl Fn(usize) -> bool,
     ) -> (Vec<RuleMatch>, ScanMetrics) {
+        let mut scratch = ScanScratch::new();
+        self.scan_rules_scratch(data, include, &mut scratch)
+    }
+
+    /// Like [`Scanner::scan_rules_with_metrics`], but with caller-owned
+    /// scratch: a long-lived worker reuses one [`ScanScratch`] across
+    /// packages and the steady-state scan allocates nothing beyond the
+    /// returned matches.
+    pub fn scan_rules_scratch(
+        &self,
+        data: &[u8],
+        include: impl Fn(usize) -> bool,
+        scratch: &mut ScanScratch,
+    ) -> (Vec<RuleMatch>, ScanMetrics) {
         let mut metrics = ScanMetrics::default();
-        // (rule idx, string idx) -> offsets
-        let mut offsets: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        scratch.begin(self.total_strings);
 
         for (auto, map) in [(&self.cs, &self.cs_map), (&self.ci, &self.ci_map)] {
-            for m in auto.find_all(data) {
+            auto.for_each_match(data, |m| {
                 let (ri, si, _wide, fullword) = map[m.pattern];
-                if fullword && !is_fullword(data, m.start, m.end) {
-                    continue;
+                // Excluded rules pay no offset bookkeeping: the routing
+                // proved their conditions cannot hold, so their text hits
+                // are dead weight.
+                if include(ri) && (!fullword || is_fullword(data, m.start, m.end)) {
+                    scratch.push(self.string_base[ri] + si, m.start);
                 }
-                offsets.entry((ri, si)).or_default().push(m.start);
-            }
+                true
+            });
         }
 
         let mut out = Vec::new();
@@ -147,26 +210,22 @@ impl<'r> Scanner<'r> {
                 if let Some(re) = regex {
                     metrics.regex_strings_evaluated += 1;
                     metrics.regex_bytes_scanned += data.len() as u64;
-                    let found = re.find_all(data);
-                    if !found.is_empty() {
-                        offsets
-                            .entry((ri, si))
-                            .or_default()
-                            .extend(found.iter().map(|m| m.start));
+                    for m in re.find_all(data) {
+                        scratch.push(self.string_base[ri] + si, m.start);
                     }
                 }
             }
             let ctx = Context {
                 rule: cr,
-                offsets: &offsets,
-                rule_idx: ri,
+                scratch,
+                base: self.string_base[ri],
                 filesize: data.len() as i64,
             };
             if ctx.eval(&cr.rule.condition) {
                 let mut strings = Vec::new();
                 for (si, s) in cr.rule.strings.iter().enumerate() {
-                    if let Some(offs) = offsets.get(&(ri, si)) {
-                        let mut offs = offs.clone();
+                    if let Some(offs) = scratch.get(self.string_base[ri] + si) {
+                        let mut offs = offs.to_vec();
                         offs.sort_unstable();
                         offs.dedup();
                         strings.push(StringMatch {
@@ -192,8 +251,9 @@ impl<'r> Scanner<'r> {
 
 struct Context<'a> {
     rule: &'a crate::compiler::CompiledRule,
-    offsets: &'a HashMap<(usize, usize), Vec<usize>>,
-    rule_idx: usize,
+    scratch: &'a ScanScratch,
+    /// Dense string-slot base of this rule (`slot = base + string idx`).
+    base: usize,
     filesize: i64,
 }
 
@@ -204,7 +264,7 @@ impl Context<'_> {
 
     fn count(&self, id: &str) -> i64 {
         self.string_index(id)
-            .and_then(|si| self.offsets.get(&(self.rule_idx, si)))
+            .and_then(|si| self.scratch.get(self.base + si))
             .map_or(0, |v| v.len() as i64)
     }
 
@@ -252,7 +312,7 @@ impl Context<'_> {
             Condition::Count { id, op, value } => cmp(self.count(id), op, *value),
             Condition::At { id, offset } => self
                 .string_index(id)
-                .and_then(|si| self.offsets.get(&(self.rule_idx, si)))
+                .and_then(|si| self.scratch.get(self.base + si))
                 .is_some_and(|offs| offs.contains(&(*offset as usize))),
             Condition::Filesize { op, value } => cmp(self.filesize, op, *value),
             Condition::And(parts) => parts.iter().all(|p| self.eval(p)),
@@ -484,6 +544,45 @@ rule url { strings: $re = /https?:\/\/[\w.\-\/]{4,}/ condition: $re }
         let (_, metrics) = scanner.scan_rules_with_metrics(data, |ri| ri == 0);
         assert_eq!(metrics.regex_strings_evaluated, 0);
         assert_eq!(metrics.regex_bytes_scanned, 0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless_across_buffers() {
+        let src = r#"
+rule a { strings: $x = "alpha" condition: $x }
+rule c { strings: $x = "GET" condition: #x >= 2 }
+"#;
+        let compiled = compile(src).expect("compile");
+        let scanner = Scanner::new(&compiled);
+        let mut scratch = ScanScratch::new();
+        let (hot, _) = scanner.scan_rules_scratch(b"alpha GET GET", |_| true, &mut scratch);
+        assert_eq!(hot.len(), 2);
+        // A clean buffer scanned with the dirty scratch must not see the
+        // previous buffer's offsets.
+        let (cold, _) = scanner.scan_rules_scratch(b"nothing here", |_| true, &mut scratch);
+        assert!(cold.is_empty(), "stale offsets leaked: {cold:?}");
+        // And a re-scan of the first buffer reproduces the fresh result.
+        let (again, _) = scanner.scan_rules_scratch(b"alpha GET GET", |_| true, &mut scratch);
+        assert_eq!(hot, again);
+    }
+
+    #[test]
+    fn excluded_rules_skip_offset_bookkeeping_without_changing_matches() {
+        // `all of them` across two rules sharing an atom: excluding rule b
+        // must not change rule a's matches even though b's hits are no
+        // longer recorded.
+        let src = r#"
+rule a { strings: $x = "one" condition: $x }
+rule b { strings: $x = "one" $y = "two" condition: all of them }
+"#;
+        let compiled = compile(src).expect("compile");
+        let scanner = Scanner::new(&compiled);
+        let data = b"one and two";
+        let all = scanner.scan(data);
+        assert_eq!(all.len(), 2);
+        let subset = scanner.scan_rules(data, |ri| ri == 0);
+        assert_eq!(subset.len(), 1);
+        assert_eq!(subset[0], all[0]);
     }
 
     #[test]
