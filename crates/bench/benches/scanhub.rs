@@ -1,11 +1,12 @@
-//! Scanhub throughput bench: the streaming service (prefilter + cache +
-//! worker pool) against the seed's exhaustive scan loop, on the same
-//! tiny-corpus targets and the same generated ruleset.
+//! Scanhub throughput bench: the streaming service (artifact cache +
+//! prefilter + verdict cache + worker pool) against the seed's
+//! exhaustive scan loop, on the same tiny-corpus targets and the same
+//! generated ruleset — plus cold-vs-warm artifact-cache arms and a
+//! version-bump workload (1 file changed out of 50 per upload).
 //!
-//! The acceptance bar for the scanhub PR: the prefilter/cache path must
-//! not be slower than exhaustive scanning on the tiny corpus, and should
-//! pull ahead as duplicate traffic (`rescan` arms) and clean traffic
-//! (prefilter skips) grow.
+//! The acceptance bar for the artifact-cache PR: the warm-artifact
+//! version-bump arm must be >=5x faster than the cold arm (asserted in
+//! release CI by `scanhub_artifact_cache_smoke`).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
@@ -14,14 +15,15 @@ use corpus::CorpusConfig;
 use eval::experiments::{compile_output, run_rulellm, ExperimentContext};
 use eval::scan::ScanTarget;
 use rulellm::PipelineConfig;
+use rulellm_bench::scanhub_bench;
 use scanhub::{HubConfig, ScanHub, ScanRequest};
 use semgrep_engine::CompiledSemgrepRules;
 use yara_engine::CompiledRules;
 
 /// The seed's scan loop: every rule against every package, one thread,
-/// no routing, no cache — and the reparse-per-call Semgrep matcher
-/// (`semgrep_engine::reference`), i.e. the pre-scanhub, pre-compiled-
-/// pattern cost model.
+/// no routing, no cache, no artifacts — and the reparse-per-call Semgrep
+/// matcher (`semgrep_engine::reference`), i.e. the pre-scanhub, pre-
+/// compiled-pattern cost model over the flattened request.
 fn exhaustive_scan(
     yara: &CompiledRules,
     semgrep: &CompiledSemgrepRules,
@@ -30,9 +32,9 @@ fn exhaustive_scan(
     let scanner = yara_engine::Scanner::new(yara);
     let mut flagged = 0;
     for t in targets {
-        let mut hits = scanner.scan(&t.buffer).len();
-        for src in &t.sources {
-            let module = pysrc::parse_module(src);
+        let mut hits = scanner.scan(&t.request.concat_buffer()).len();
+        for src in t.request.python_sources() {
+            let module = pysrc::parse_module(&src);
             for rule in &semgrep.rules {
                 hits += semgrep_engine::reference::match_module(rule, &module).len();
             }
@@ -45,17 +47,18 @@ fn exhaustive_scan(
 }
 
 fn requests(targets: &[ScanTarget]) -> Vec<ScanRequest> {
-    targets
-        .iter()
-        .map(|t| ScanRequest::new(t.buffer.clone(), t.sources.clone()))
-        .collect()
+    targets.iter().map(|t| t.request.clone()).collect()
 }
 
 fn bench_scanhub(c: &mut Criterion) {
     let ctx = ExperimentContext::new(&CorpusConfig::tiny());
     let output = run_rulellm(&ctx.dataset, PipelineConfig::full());
     let (yara, semgrep) = compile_output(&output);
-    let bytes: u64 = ctx.targets.iter().map(|t| t.buffer.len() as u64).sum();
+    let bytes: u64 = ctx
+        .targets
+        .iter()
+        .map(|t| t.request.scan_len() as u64)
+        .sum();
 
     let mut g = c.benchmark_group("scanhub_throughput");
     g.sample_size(10);
@@ -67,14 +70,15 @@ fn bench_scanhub(c: &mut Criterion) {
 
     g.bench_function("scanhub_cold_per_batch", |b| {
         // Worst case for the service: hub construction (prefilter index
-        // included) is paid inside the measured region, cache starts
-        // empty.
+        // included) is paid inside the measured region, every cache
+        // starts empty.
         b.iter(|| {
             let hub = ScanHub::new(
                 Some(yara.clone()),
                 Some(semgrep.clone()),
                 HubConfig {
                     cache_capacity: 0,
+                    artifact_cache_capacity: 0,
                     ..HubConfig::default()
                 },
             );
@@ -88,9 +92,27 @@ fn bench_scanhub(c: &mut Criterion) {
         HubConfig::default(),
     );
     g.bench_function("scanhub_warm_service", |b| {
-        // Steady state: long-lived service, verdict cache populated by
-        // earlier traffic (registry re-uploads).
+        // Steady state: long-lived service, verdict + artifact caches
+        // populated by earlier traffic (registry re-uploads).
         b.iter(|| warm.scan_ordered(requests(black_box(&ctx.targets))).len())
+    });
+
+    let warm_artifacts_only = ScanHub::new(
+        Some(yara.clone()),
+        Some(semgrep.clone()),
+        HubConfig {
+            cache_capacity: 0,
+            ..HubConfig::default()
+        },
+    );
+    g.bench_function("scanhub_warm_artifacts_no_verdict_cache", |b| {
+        // Ablation: per-file artifact reuse without request-level dedup —
+        // the cost of re-verdicting a fully warm corpus.
+        b.iter(|| {
+            warm_artifacts_only
+                .scan_ordered(requests(black_box(&ctx.targets)))
+                .len()
+        })
     });
 
     let nofilter = ScanHub::new(
@@ -99,10 +121,11 @@ fn bench_scanhub(c: &mut Criterion) {
         HubConfig {
             prefilter: false,
             cache_capacity: 0,
+            artifact_cache_capacity: 0,
             ..HubConfig::default()
         },
     );
-    g.bench_function("scanhub_no_prefilter_no_cache", |b| {
+    g.bench_function("scanhub_no_prefilter_no_caches", |b| {
         // Ablation: worker pool only.
         b.iter(|| {
             nofilter
@@ -112,11 +135,49 @@ fn bench_scanhub(c: &mut Criterion) {
     });
     g.finish();
 
+    // Version-bump workload: 50-file package, one file rewritten per
+    // upload — the registry traffic shape the artifact cache exists for.
+    let stream = scanhub_bench::version_stream(50, 20, 42);
+    let stream_bytes: u64 = stream.iter().map(|r| r.scan_len() as u64).sum();
+    let bump_rules = scanhub_bench::yara_ruleset(40);
+    let mut g = c.benchmark_group("scanhub_version_bump");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(stream_bytes));
+    g.bench_function("cold_artifacts", |b| {
+        b.iter(|| {
+            let hub = ScanHub::new(
+                Some(bump_rules.clone()),
+                None,
+                HubConfig {
+                    cache_capacity: 0,
+                    artifact_cache_capacity: 0,
+                    ..HubConfig::default()
+                },
+            );
+            hub.scan_ordered(stream.iter().cloned()).len()
+        })
+    });
+    g.bench_function("warm_artifacts", |b| {
+        b.iter(|| {
+            let hub = ScanHub::new(
+                Some(bump_rules.clone()),
+                None,
+                HubConfig {
+                    cache_capacity: 0,
+                    ..HubConfig::default()
+                },
+            );
+            hub.scan_ordered(stream.iter().cloned()).len()
+        })
+    });
+    g.finish();
+
     let stats = warm.stats();
     println!(
-        "warm service counters: {} submitted, cache hit rate {:.1}%, prefilter skip rate {:.1}%",
+        "warm service counters: {} submitted, cache hit rate {:.1}%, artifact hit rate {:.1}%, prefilter skip rate {:.1}%",
         stats.submitted,
         stats.cache_hit_rate() * 100.0,
+        stats.artifact_hit_rate() * 100.0,
         stats.prefilter_skip_rate() * 100.0,
     );
 }

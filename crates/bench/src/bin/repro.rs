@@ -50,6 +50,22 @@ fn main() {
         }
     }
 
+    if want("scanhubbench") {
+        eprintln!(
+            "[repro] scanhub artifact cache: cold vs warm on a version-bump stream (ISSUE 5) ..."
+        );
+        let stats = rulellm_bench::scanhub_bench::compare(50, 20, 42);
+        println!("{}", rulellm_bench::scanhub_bench::render(&stats));
+        let doc = rulellm_bench::scanhub_bench::to_json(&stats);
+        match std::fs::write("BENCH_scanhub.json", doc.to_string_pretty()) {
+            Ok(()) => eprintln!("[repro] wrote BENCH_scanhub.json"),
+            Err(e) => eprintln!("[repro] could not write BENCH_scanhub.json: {e}"),
+        }
+        if only.as_deref() == Some("scanhubbench") {
+            return;
+        }
+    }
+
     eprintln!("[repro] generating corpus at scale '{scale}' ...");
     let ctx = ExperimentContext::new(&config);
 
@@ -179,6 +195,9 @@ fn main() {
         eprintln!("[repro] robustness under adversarial mutation (ISSUE 2) ...");
         let report = eval::robustness::robustness(&ctx, 42);
         println!("{}", report::render_robustness(&report));
+        eprintln!("[repro] decoded-layer recovery on string-encoded mutants (ISSUE 5) ...");
+        let recovery = eval::robustness::layered_recovery(&ctx, 42);
+        println!("{}", report::render_layered_recovery(&recovery));
     }
 
     if want("variants") {

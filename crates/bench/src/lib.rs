@@ -19,6 +19,7 @@
 use corpus::CorpusConfig;
 
 pub mod regex_scan;
+pub mod scanhub_bench;
 pub mod semgrep_scan;
 
 /// Resolves a scale name to a corpus configuration.
@@ -55,6 +56,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "robustness",
     "regexbench",
     "semgrepbench",
+    "scanhubbench",
 ];
 
 #[cfg(test)]
@@ -70,9 +72,10 @@ mod tests {
 
     #[test]
     fn experiment_list_covers_all_tables_and_figures() {
-        assert_eq!(EXPERIMENTS.len(), 18);
+        assert_eq!(EXPERIMENTS.len(), 19);
         assert!(EXPERIMENTS.contains(&"robustness"));
         assert!(EXPERIMENTS.contains(&"regexbench"));
         assert!(EXPERIMENTS.contains(&"semgrepbench"));
+        assert!(EXPERIMENTS.contains(&"scanhubbench"));
     }
 }

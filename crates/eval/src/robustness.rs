@@ -18,7 +18,7 @@ use crate::experiments::{
     compile_output, compile_semgrep_set, confusion_at, run_rulellm, ExperimentContext,
 };
 use crate::metrics::Confusion;
-use crate::scan::{build_targets, scan_all};
+use crate::scan::{build_targets, scan_all, scan_verdicts, ScanTarget};
 
 /// One rule source under attack.
 struct RuleSource {
@@ -165,6 +165,85 @@ pub fn robustness(ctx: &ExperimentContext, seed: u64) -> RobustnessReport {
     }
 }
 
+/// RuleLLM recall on string-encoded mutants with decoded-layer scanning
+/// off versus on — the measurement behind the threat model's layered-
+/// scanning refresh. Rules that key on surface text lose the literals a
+/// `string-encode` mutation hides behind `b64decode`/`fromhex`
+/// expressions; decoded-layer scanning re-exposes them as tagged
+/// [`scanhub::LayerFinding`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayeredRecovery {
+    /// Mutation seed.
+    pub seed: u64,
+    /// The evasion arm measured (`string-encode`).
+    pub arm: String,
+    /// Recall on the pristine corpus (layers change nothing there or
+    /// under either setting below when the surface already matches).
+    pub recall_pristine: f64,
+    /// Recall on the mutants with decoded-layer scanning **off**.
+    pub recall_layers_off: f64,
+    /// Recall on the mutants with decoded-layer scanning **on**.
+    pub recall_layers_on: f64,
+    /// Total layer-tagged findings across the mutated malicious targets.
+    pub layer_findings: u64,
+    /// Legitimate targets flagged with layers off (the ruleset's
+    /// pre-existing false positives on the mutated corpus).
+    pub legit_flagged_off: u64,
+    /// Legitimate targets flagged with layers on (layer scanning must
+    /// not buy recall by torching precision, so this must not exceed
+    /// the off count).
+    pub legit_flagged_on: u64,
+}
+
+fn flagged_recall(verdicts: &[scanhub::Verdict], targets: &[ScanTarget]) -> f64 {
+    let malicious = targets.iter().filter(|t| t.is_malicious).count();
+    if malicious == 0 {
+        return 0.0;
+    }
+    let hit = verdicts
+        .iter()
+        .zip(targets)
+        .filter(|(v, t)| t.is_malicious && v.flagged())
+        .count();
+    hit as f64 / malicious as f64
+}
+
+/// Runs the layered-recovery measurement over `ctx` with mutation
+/// `seed`.
+pub fn layered_recovery(ctx: &ExperimentContext, seed: u64) -> LayeredRecovery {
+    let output = run_rulellm(&ctx.dataset, PipelineConfig::full());
+    let (yara, semgrep) = compile_output(&output);
+    let profile = EvasionProfile::single(Transform::EncodeStrings);
+    let mutated: Dataset = corpus::mutate_dataset(&ctx.dataset, &profile, seed);
+    let targets = build_targets(&mutated);
+    let pristine = scan_verdicts(Some(&yara), Some(&semgrep), &ctx.targets, 0);
+    let off = scan_verdicts(Some(&yara), Some(&semgrep), &targets, 0);
+    let on = scan_verdicts(Some(&yara), Some(&semgrep), &targets, 2);
+    LayeredRecovery {
+        seed,
+        arm: profile.name,
+        recall_pristine: flagged_recall(&pristine, &ctx.targets),
+        recall_layers_off: flagged_recall(&off, &targets),
+        recall_layers_on: flagged_recall(&on, &targets),
+        layer_findings: on
+            .iter()
+            .zip(&targets)
+            .filter(|(_, t)| t.is_malicious)
+            .map(|(v, _)| v.layers.len() as u64)
+            .sum(),
+        legit_flagged_off: count_flagged_legit(&off, &targets),
+        legit_flagged_on: count_flagged_legit(&on, &targets),
+    }
+}
+
+fn count_flagged_legit(verdicts: &[scanhub::Verdict], targets: &[ScanTarget]) -> u64 {
+    verdicts
+        .iter()
+        .zip(targets)
+        .filter(|(v, t)| !t.is_malicious && v.flagged())
+        .count() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +255,31 @@ mod tests {
             let ctx = ExperimentContext::new(&CorpusConfig::tiny());
             robustness(&ctx, 42)
         })
+    }
+
+    #[test]
+    fn layered_scanning_recovers_string_encode_recall() {
+        let ctx = ExperimentContext::new(&CorpusConfig::tiny());
+        let recovery = layered_recovery(&ctx, 42);
+        assert_eq!(recovery.arm, "string-encode");
+        // Layered scanning can only add findings, so recall is monotone…
+        assert!(
+            recovery.recall_layers_on >= recovery.recall_layers_off - 1e-9,
+            "layers lost recall: {} -> {}",
+            recovery.recall_layers_off,
+            recovery.recall_layers_on
+        );
+        // …and the decoded layers genuinely fire on encoded payloads.
+        assert!(
+            recovery.layer_findings > 0,
+            "no layer finding on a string-encoded corpus"
+        );
+        // Recovery must not come from flagging everything: decoded
+        // layers add no false positives beyond the ruleset's own.
+        assert_eq!(
+            recovery.legit_flagged_on, recovery.legit_flagged_off,
+            "layer scanning flagged extra legitimate packages"
+        );
     }
 
     #[test]

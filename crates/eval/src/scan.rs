@@ -2,13 +2,15 @@
 //!
 //! Since the scanhub refactor this module is a thin client of
 //! [`scanhub::ScanHub`]: target preparation stays here (the evaluation
-//! owns ground-truth labels), while prefiltered, cached, multi-worker
-//! scanning lives in the service. [`scan_all`] keeps its original
-//! contract — results in target order, byte-identical matches to
-//! exhaustive scanning.
+//! owns ground-truth labels), while prefiltered, artifact-cached,
+//! multi-worker scanning lives in the service. [`scan_all`] keeps its
+//! original contract — results in target order, byte-identical matches
+//! to exhaustive scanning (decoded-layer findings are off on this path
+//! so the paper-replication metrics stay comparable; use
+//! [`scan_verdicts`] to measure layered scanning).
 
 use corpus::Dataset;
-use scanhub::{HubConfig, ScanHub, ScanRequest};
+use scanhub::{HubConfig, ScanHub, ScanRequest, Verdict};
 use semgrep_engine::CompiledSemgrepRules;
 use yara_engine::CompiledRules;
 
@@ -17,11 +19,10 @@ use yara_engine::CompiledRules;
 pub struct ScanTarget {
     /// Stable index within the target list.
     pub index: usize,
-    /// YARA scan buffer: all source files plus rendered PKG-INFO (so
-    /// metadata rules can fire).
-    pub buffer: Vec<u8>,
-    /// Python sources, for Semgrep.
-    pub sources: Vec<String>,
+    /// The file-entry scan request (one shared copy of every file's
+    /// bytes; YARA units, Semgrep sources and cache digests are all
+    /// derived views).
+    pub request: ScanRequest,
     /// Ground truth.
     pub is_malicious: bool,
     /// Malware family, when malicious.
@@ -31,9 +32,9 @@ pub struct ScanTarget {
 /// Match results for one target.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TargetMatches {
-    /// Names of YARA rules that fired.
+    /// Names of YARA rules that fired, sorted.
     pub yara: Vec<String>,
-    /// Ids of Semgrep rules that fired.
+    /// Ids of Semgrep rules that fired, sorted.
     pub semgrep: Vec<String>,
 }
 
@@ -70,27 +71,22 @@ pub fn target_from_package(
     is_malicious: bool,
     family: Option<usize>,
 ) -> ScanTarget {
-    let request = ScanRequest::from_package(pkg);
     ScanTarget {
         index,
-        buffer: request.buffer,
-        sources: request.sources,
+        request: ScanRequest::from_package(pkg),
         is_malicious,
         family,
     }
 }
 
-/// Scans every target with the compiled rulesets through a
-/// [`scanhub::ScanHub`]: prefilter routing, digest-cached duplicate
-/// verdicts and a sharded worker pool.
-///
-/// Results are returned in target order. `semgrep` may be empty (e.g. for
-/// the Yara-scanner baseline).
-pub fn scan_all(
+/// Scans every target through a hub configured with the given decoded-
+/// layer depth, returning full verdicts in target order.
+pub fn scan_verdicts(
     yara: Option<&CompiledRules>,
     semgrep: Option<&CompiledSemgrepRules>,
     targets: &[ScanTarget],
-) -> Vec<TargetMatches> {
+    max_decode_depth: u8,
+) -> Vec<Verdict> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -100,13 +96,25 @@ pub fn scan_all(
         semgrep.cloned(),
         HubConfig {
             workers,
+            max_decode_depth,
             ..HubConfig::default()
         },
     );
-    let requests = targets
-        .iter()
-        .map(|t| ScanRequest::new(t.buffer.clone(), t.sources.clone()));
-    hub.scan_ordered(requests)
+    hub.scan_ordered(targets.iter().map(|t| t.request.clone()))
+}
+
+/// Scans every target with the compiled rulesets through a
+/// [`scanhub::ScanHub`]: prefilter routing, artifact-cached per-file
+/// analyses, digest-cached duplicate verdicts and a sharded worker pool.
+///
+/// Results are returned in target order. `semgrep` may be empty (e.g. for
+/// the Yara-scanner baseline).
+pub fn scan_all(
+    yara: Option<&CompiledRules>,
+    semgrep: Option<&CompiledSemgrepRules>,
+    targets: &[ScanTarget],
+) -> Vec<TargetMatches> {
+    scan_verdicts(yara, semgrep, targets, 0)
         .into_iter()
         .map(|v| TargetMatches {
             yara: v.yara,
@@ -130,10 +138,10 @@ mod tests {
     }
 
     #[test]
-    fn buffer_contains_metadata() {
+    fn requests_contain_metadata() {
         let dataset = Dataset::generate(&CorpusConfig::tiny());
         let targets = build_targets(&dataset);
-        let text = String::from_utf8_lossy(&targets[0].buffer).into_owned();
+        let text = String::from_utf8_lossy(&targets[0].request.concat_buffer()).into_owned();
         assert!(text.contains("Name: "));
         assert!(text.contains("Version: "));
     }
@@ -185,7 +193,7 @@ mod tests {
         )
         .expect("compile");
         let results = scan_all(Some(&rules), None, &targets);
-        // Every buffer embeds PKG-INFO, so every target matches.
+        // Every request carries a PKG-INFO entry, so every target matches.
         assert!(results
             .iter()
             .all(|r| r.yara == vec!["meta_marker".to_owned()]));
@@ -194,7 +202,8 @@ mod tests {
     #[test]
     fn scan_all_agrees_with_direct_scanner() {
         // The thin-client contract: scanhub-backed scan_all returns
-        // byte-identical matches to a direct exhaustive scan.
+        // byte-identical matches to a direct exhaustive scan of the
+        // flattened request.
         let dataset = Dataset::generate(&CorpusConfig::tiny());
         let targets = build_targets(&dataset);
         let yara = yara_engine::compile(
@@ -208,12 +217,28 @@ rule b64re { strings: $re = /[A-Za-z0-9+\/]{24,}/ condition: $re }
         let results = scan_all(Some(&yara), None, &targets);
         let scanner = yara_engine::Scanner::new(&yara);
         for (r, t) in results.iter().zip(&targets) {
-            let direct: Vec<String> = scanner
-                .scan(&t.buffer)
+            let mut direct: Vec<String> = scanner
+                .scan(&t.request.concat_buffer())
                 .into_iter()
                 .map(|h| h.rule)
                 .collect();
+            direct.sort();
+            direct.dedup();
             assert_eq!(r.yara, direct, "target {}", t.index);
+        }
+    }
+
+    #[test]
+    fn scan_verdicts_with_layers_can_only_add_findings() {
+        let dataset = Dataset::generate(&CorpusConfig::tiny());
+        let targets = build_targets(&dataset);
+        let yara = yara_engine::compile("rule sys { strings: $a = \"os.system\" condition: $a }")
+            .expect("compile");
+        let flat = scan_verdicts(Some(&yara), None, &targets, 0);
+        let layered = scan_verdicts(Some(&yara), None, &targets, 2);
+        for (a, b) in flat.iter().zip(&layered) {
+            assert_eq!(a.yara, b.yara, "surface verdict perturbed by layers");
+            assert!(a.layers.is_empty());
         }
     }
 }

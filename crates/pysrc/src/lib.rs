@@ -14,6 +14,9 @@
 //!   lines degrade to [`Stmt::Other`] instead of failing: rule scanning
 //!   must survive obfuscated or broken malware code.
 //! * Call/import/string collectors used by the analyzers.
+//! * [`intern_strings`] — a deduplicated string-literal table built from
+//!   the spanned token stream, the literal view that per-file analysis
+//!   artifacts carry for decoded-layer extraction.
 //!
 //! # Examples
 //!
@@ -29,11 +32,13 @@
 mod ast;
 mod lexer;
 mod parser;
+mod strings;
 mod token;
 
 pub use ast::{Arg, Expr, Module, Stmt};
 pub use lexer::{lex, lex_spanned};
 pub use parser::parse_module;
+pub use strings::{intern_strings, StringRef, StringTable};
 pub use token::{is_keyword, SpannedToken, Token, TokenKind, KEYWORDS};
 
 /// Collects every call expression in the module, depth-first.

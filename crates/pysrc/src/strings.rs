@@ -1,0 +1,139 @@
+//! Interned string-literal tables.
+//!
+//! The per-file analysis artifact (see the `scanhub` crate) carries every
+//! string literal of a source file exactly once: registry malware hides
+//! its payloads in literals (base64 blobs, hex-encoded commands, split
+//! C2 hostnames), and downstream consumers — decoded-layer extraction,
+//! reporting, heuristics — all want the same deduplicated view. Interning
+//! from the **token stream** rather than the AST means literals survive
+//! even inside statements the tolerant parser degraded to `Stmt::Other`.
+
+use std::collections::HashMap;
+
+use crate::token::{SpannedToken, TokenKind};
+
+/// One occurrence of a string literal in a source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StringRef {
+    /// Index into [`StringTable::literals`].
+    pub literal: u32,
+    /// 1-based source line of this occurrence.
+    pub line: u32,
+}
+
+/// A deduplicated table of a file's string literals.
+///
+/// `literals` holds each distinct literal value once, in first-seen
+/// order; `refs` records every occurrence as `(literal index, line)`.
+/// A literal repeated a thousand times (a classic chunked-payload trick)
+/// costs one table entry plus a thousand 8-byte refs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StringTable {
+    /// Distinct literal values, first-seen order.
+    pub literals: Vec<String>,
+    /// Every occurrence, in token order.
+    pub refs: Vec<StringRef>,
+}
+
+impl StringTable {
+    /// Number of distinct literals.
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// True when the file contains no string literals.
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    /// The first line on which `literals[index]` occurs, when known.
+    pub fn first_line(&self, index: u32) -> Option<u32> {
+        self.refs
+            .iter()
+            .find(|r| r.literal == index)
+            .map(|r| r.line)
+    }
+}
+
+/// Builds an interned [`StringTable`] from a spanned token stream.
+///
+/// f-strings are skipped: their lexed value still contains `{...}`
+/// interpolation holes, so the text is not a runtime string value.
+/// Raw and bytes literals are kept — encoded payloads ship in both.
+pub fn intern_strings(tokens: &[SpannedToken]) -> StringTable {
+    let mut table = StringTable::default();
+    let mut ids: HashMap<&str, u32> = HashMap::new();
+    // Two passes so the map can borrow from the tokens while the table
+    // accumulates owned copies: first collect (value, line) occurrences,
+    // then intern.
+    for tok in tokens {
+        let TokenKind::Str { value, prefix } = &tok.token.kind else {
+            continue;
+        };
+        if prefix.contains('f') {
+            continue;
+        }
+        let id = match ids.get(value.as_str()) {
+            Some(&id) => id,
+            None => {
+                let id = table.literals.len() as u32;
+                table.literals.push(value.clone());
+                ids.insert(value.as_str(), id);
+                id
+            }
+        };
+        table.refs.push(StringRef {
+            literal: id,
+            line: tok.token.line as u32,
+        });
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex_spanned;
+
+    fn table(src: &str) -> StringTable {
+        intern_strings(&lex_spanned(src))
+    }
+
+    #[test]
+    fn interns_distinct_literals_once() {
+        let t = table("a = 'x'\nb = 'y'\nc = 'x'\n");
+        assert_eq!(t.literals, vec!["x".to_owned(), "y".to_owned()]);
+        assert_eq!(t.refs.len(), 3);
+        assert_eq!(t.refs[2].literal, 0, "repeat points at the first entry");
+        assert_eq!(t.refs[2].line, 3);
+    }
+
+    #[test]
+    fn records_lines_per_occurrence() {
+        let t = table("p = 'payload'\n\n\nq = 'payload'\n");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.first_line(0), Some(1));
+        assert_eq!(t.refs[1].line, 4);
+    }
+
+    #[test]
+    fn skips_fstrings_keeps_raw_and_bytes() {
+        let t = table("a = f'{x}!'\nb = r'\\d+'\nc = b'blob'\n");
+        assert_eq!(t.literals, vec!["\\d+".to_owned(), "blob".to_owned()]);
+    }
+
+    #[test]
+    fn survives_unparsable_statements() {
+        // The parser degrades this line to Stmt::Other, but the token
+        // stream still carries the literal.
+        let t = table("try ::= 'aGlkZGVu' @@\n");
+        assert!(t.literals.contains(&"aGlkZGVu".to_owned()));
+    }
+
+    #[test]
+    fn empty_source_yields_empty_table() {
+        let t = table("x = 1\n");
+        assert!(t.is_empty());
+        assert_eq!(t.first_line(0), None);
+    }
+}

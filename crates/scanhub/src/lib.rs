@@ -3,32 +3,42 @@
 //! The paper deploys LLM-generated YARA and Semgrep rules to screen OSS
 //! package uploads; this crate turns the one-shot batch loop of the
 //! original evaluation into a **service** shaped for heavy registry
-//! traffic. Three mechanisms carry the load:
+//! traffic. Four mechanisms carry the load:
 //!
-//! 1. **Global literal prefilter** ([`PrefilterIndex`]) — one
+//! 1. **Parse-once analysis artifacts** ([`FileAnalysis`]) — a request
+//!    is a list of file entries (name + one shared copy of the bytes),
+//!    and each file's full analysis — spanned tokens, tolerant-parsed
+//!    module, interned string-literal table, base64/hex **decoded
+//!    layers**, and the ruleset's string-definition hits on every
+//!    layer — is computed once and cached in a sha256-keyed LRU. A
+//!    re-uploaded package version re-analyzes only its changed files;
+//!    unchanged files cost one cache lookup
+//!    ([`HubStats::artifact_cache_hits`]).
+//! 2. **Global literal prefilter** ([`PrefilterIndex`]) — one
 //!    case-insensitive Aho–Corasick automaton over the distinct
 //!    plain-text atoms of every compiled YARA rule (via
 //!    [`yara_engine::literal_atoms`]) and every Semgrep pattern (via
-//!    [`semgrep_engine::SemgrepRule::literal_atoms`]). A single automaton
-//!    pass per upload routes the package to exactly the rules whose atoms
-//!    occur; rules with an exhaustive atom set that did not hit are
-//!    *provably* non-matching and skip condition evaluation, regex runs,
-//!    and — when no Semgrep rule is routed — Python parsing altogether.
-//!    Prefiltered scanning is byte-identical to exhaustive scanning (the
-//!    property test in `tests/properties.rs` proves this on randomized
-//!    corpora).
-//! 2. **Sharded worker pool** ([`ScanHub`]) — a bounded submission queue
-//!    provides backpressure toward the ingestion side; each worker owns
-//!    reusable scanner state (the merged per-ruleset automatons are built
-//!    once per worker, not per package).
-//! 3. **Digest-keyed verdict cache** ([`HubConfig::cache_capacity`]) — a
-//!    sha256-keyed LRU serves re-uploads and unchanged file sets without
-//!    scanning; the paper's own corpus collapses 3,200 uploads to 1,633
-//!    unique signatures, so registry traffic is duplicate-heavy by
-//!    nature.
+//!    [`semgrep_engine::SemgrepRule::literal_atoms`]). Automaton passes
+//!    over each file's bytes and decoded layers route the package to
+//!    exactly the rules whose atoms occur; rules with an exhaustive atom
+//!    set that did not hit are *provably* non-matching and skip
+//!    condition evaluation. Prefiltered scanning is byte-identical to
+//!    exhaustive scanning (the property tests in `tests/properties.rs`
+//!    prove this on randomized corpora).
+//! 3. **Decoded-layer scanning** — string literals above an
+//!    entropy/length threshold are base64/hex-decoded (recursively, to
+//!    a bounded depth) and YARA scans each decoded payload as its own
+//!    unit. Findings land in [`Verdict::layers`] tagged with file,
+//!    encoding, depth and source line, closing the string-encoding
+//!    evasion gap measured in `docs/threat_model.md` while keeping
+//!    verdicts explainable.
+//! 4. **Sharded worker pool + digest caches** ([`ScanHub`]) — a bounded
+//!    submission queue provides backpressure; each worker owns reusable
+//!    scanner state; a sha256-keyed LRU serves byte-identical re-uploads
+//!    without scanning at all.
 //!
-//! Throughput, cache-hit rate and prefilter skip rate are exposed as
-//! [`HubStats`].
+//! Throughput, cache-hit rates, artifact reuse and prefilter skip rate
+//! are exposed as [`HubStats`].
 //!
 //! # Examples
 //!
@@ -40,7 +50,7 @@
 //! )?;
 //! let hub = ScanHub::new(Some(yara), None, HubConfig::default());
 //! let verdict = hub
-//!     .submit(ScanRequest::new(b"os.system('id')".to_vec(), vec![]))
+//!     .submit(ScanRequest::from_source("mod.py", "os.system('id')"))
 //!     .wait();
 //! assert_eq!(verdict.yara, vec!["sys".to_owned()]);
 //! # Ok::<(), yara_engine::CompileError>(())
@@ -49,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifact;
 mod cache;
 mod hub;
 mod prefilter;
@@ -56,9 +67,10 @@ mod request;
 mod stats;
 mod verdict;
 
+pub use artifact::{ArtifactConfig, DecodedLayer, FileAnalysis, LayerEncoding};
 pub use cache::DigestKey;
 pub use hub::{HubConfig, ScanHub, Ticket};
 pub use prefilter::{PrefilterIndex, PrefilterScratch, Routing};
-pub use request::ScanRequest;
+pub use request::{FileEntry, ScanRequest};
 pub use stats::HubStats;
-pub use verdict::Verdict;
+pub use verdict::{LayerFinding, Verdict};

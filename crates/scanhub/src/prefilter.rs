@@ -15,10 +15,13 @@
 //! add spurious routes (a perf loss), never drop a true match.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use semgrep_engine::CompiledSemgrepRules;
 use textmatch::{AhoCorasick, MatchKind};
 use yara_engine::CompiledRules;
+
+use crate::artifact::FileAnalysis;
 
 /// Which rules of each engine a package must be scanned with.
 #[derive(Debug, Clone)]
@@ -190,6 +193,33 @@ impl PrefilterIndex {
         self.mark_hits(buffer, routing, true, false, scratch);
         for source in sources {
             self.mark_hits(source.as_ref(), routing, false, true, scratch);
+        }
+    }
+
+    /// Routes one package from its per-file analysis artifacts — the
+    /// scan-path entry point since the parse-once refactor.
+    ///
+    /// YARA rules are routed from every file's raw bytes **and every
+    /// decoded layer** (an atom hidden behind base64 still routes its
+    /// rule, or layered scanning could never fire); Semgrep rules are
+    /// routed from the Python files' bytes (what the structural matcher
+    /// parses). Routing each engine from its own scan input keeps the
+    /// skip sound for any request shape.
+    pub fn route_artifacts_into(
+        &self,
+        artifacts: &[Arc<FileAnalysis>],
+        routing: &mut Routing,
+        scratch: &mut PrefilterScratch,
+    ) {
+        routing.reset(self.yara_count, self.semgrep_count);
+        for id in &self.always {
+            routing.mark(*id);
+        }
+        for artifact in artifacts {
+            self.mark_hits(&artifact.bytes, routing, true, artifact.is_python, scratch);
+            for layer in &artifact.layers {
+                self.mark_hits(&layer.data, routing, true, false, scratch);
+            }
         }
     }
 
@@ -443,6 +473,51 @@ rule b { strings: $x = "bb" condition: $x }
         buffer.extend(std::iter::repeat_n(b'z', 1 << 16));
         buffer.extend_from_slice(b"aa");
         assert_eq!(index.route(&buffer, NO_SOURCES).yara, vec![true, true]);
+    }
+
+    #[test]
+    fn artifact_routing_sees_decoded_layers_and_python_sources() {
+        use crate::artifact::{ArtifactConfig, FileAnalysis};
+        use crate::request::FileEntry;
+        use std::sync::Arc;
+
+        let yara_rules = yara(
+            r#"
+rule surface { strings: $x = "requests.post" condition: $x }
+rule hidden { strings: $x = "os.system" condition: $x }
+"#,
+        );
+        let semgrep_rules = semgrep(
+            "rules:\n  - id: t\n    languages: [python]\n    message: m\n    pattern: eval($X)\n",
+        );
+        let index = PrefilterIndex::build(Some(&yara_rules), Some(&semgrep_rules));
+        // The only occurrence of `os.system` is base64-encoded inside a
+        // literal; `eval` appears in the python surface text.
+        let payload = digest::base64::encode(b"import os;os.system('id')");
+        let code = format!("blob = '{payload}'\neval(blob)\n");
+        let entry = FileEntry::new("mod.py", code.into_bytes());
+        let artifact = Arc::new(FileAnalysis::build(
+            &entry,
+            None,
+            &ArtifactConfig::default(),
+        ));
+        let mut routing = Routing::empty();
+        let mut scratch = PrefilterScratch::new();
+        index.route_artifacts_into(std::slice::from_ref(&artifact), &mut routing, &mut scratch);
+        assert_eq!(
+            routing.yara,
+            vec![false, true],
+            "layer-only atom must route its rule"
+        );
+        assert_eq!(routing.semgrep, vec![true]);
+        // With layer extraction disabled the hidden atom is invisible.
+        let bare = Arc::new(FileAnalysis::build(
+            &entry,
+            None,
+            &ArtifactConfig::without_layers(),
+        ));
+        index.route_artifacts_into(std::slice::from_ref(&bare), &mut routing, &mut scratch);
+        assert_eq!(routing.yara, vec![false, false]);
     }
 
     #[test]

@@ -1,50 +1,186 @@
-//! Scan requests and verdicts — the service's wire types.
+//! Scan requests — the service's wire type.
+//!
+//! A request is a list of **file entries** (name + bytes), not a
+//! pre-flattened buffer: every scan view (the YARA byte units, the
+//! Python sources for Semgrep, the per-file digests keying the artifact
+//! cache) is *derived* from the one stored copy of each file's bytes.
+//! The seed model carried the same content twice — a concatenated
+//! buffer plus owned source strings — which doubled the resident size
+//! of every queued Python-heavy upload.
+
+use std::sync::Arc;
 
 use oss_registry::Package;
 
-/// One package prepared for scanning.
+use crate::cache::DigestKey;
+
+/// One file of a package upload: a name and a single shared copy of its
+/// bytes.
+///
+/// Bytes are reference-counted so cloning a request (queueing, caching,
+/// artifact building) never copies file content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEntry {
+    name: String,
+    bytes: Arc<Vec<u8>>,
+}
+
+impl FileEntry {
+    /// Creates an entry from a file name and its raw bytes.
+    pub fn new(name: impl Into<String>, bytes: Vec<u8>) -> Self {
+        FileEntry {
+            name: name.into(),
+            bytes: Arc::new(bytes),
+        }
+    }
+
+    /// The file name (registry-relative path).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The file's raw bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The shared handle to the bytes (the artifact builder keeps one,
+    /// so cached artifacts add no second copy of the content).
+    pub(crate) fn shared_bytes(&self) -> Arc<Vec<u8>> {
+        Arc::clone(&self.bytes)
+    }
+
+    /// Whether this entry is a Python source (parsed for Semgrep and
+    /// string-literal interning).
+    pub fn is_python(&self) -> bool {
+        self.name.ends_with(".py")
+    }
+
+    /// Content digest keying the per-file artifact cache.
+    ///
+    /// The digest covers the bytes plus the python-ness of the entry
+    /// (the analysis of `a.py` differs from the analysis of identical
+    /// bytes named `a.txt`), but *not* the full name: the same source
+    /// file shipped in two packages shares one artifact.
+    pub fn digest(&self) -> DigestKey {
+        let mut hasher = digest::Sha256::new();
+        hasher.update(&[u8::from(self.is_python())]);
+        hasher.update(&self.bytes);
+        hasher.finalize()
+    }
+}
+
+/// One package prepared for scanning: an ordered list of file entries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScanRequest {
-    /// YARA scan buffer: all source files plus rendered `PKG-INFO`, so
-    /// metadata rules can fire.
-    pub buffer: Vec<u8>,
-    /// Python sources for Semgrep's structural matcher.
-    pub sources: Vec<String>,
+    files: Vec<FileEntry>,
 }
 
 impl ScanRequest {
-    /// Creates a request from raw parts.
-    pub fn new(buffer: Vec<u8>, sources: Vec<String>) -> Self {
-        ScanRequest { buffer, sources }
+    /// Creates a request from prepared file entries.
+    pub fn from_files(files: Vec<FileEntry>) -> Self {
+        ScanRequest { files }
     }
 
-    /// Prepares an [`oss_registry::Package`] upload for scanning: the
-    /// combined source plus rendered `PKG-INFO` as the YARA buffer, and
-    /// every `.py` file as a Semgrep source.
+    /// A single-file Python request (tests, ad-hoc snippets).
+    pub fn from_source(name: impl Into<String>, code: impl Into<String>) -> Self {
+        ScanRequest::from_files(vec![FileEntry::new(name, code.into().into_bytes())])
+    }
+
+    /// A single-file opaque request (no Python analysis).
+    pub fn from_bytes(name: impl Into<String>, bytes: Vec<u8>) -> Self {
+        ScanRequest::from_files(vec![FileEntry::new(name, bytes)])
+    }
+
+    /// Prepares an [`oss_registry::Package`] upload for scanning: one
+    /// entry per source file plus a rendered `PKG-INFO` entry, so
+    /// metadata rules can fire.
     pub fn from_package(pkg: &Package) -> Self {
-        let mut buffer = pkg.combined_source().into_bytes();
-        buffer.extend_from_slice(oss_registry::render_pkg_info(pkg.metadata()).as_bytes());
-        let sources = pkg
+        let mut files: Vec<FileEntry> = pkg
             .files()
             .iter()
-            .filter(|f| f.path.ends_with(".py"))
-            .map(|f| f.contents.clone())
+            .map(|f| FileEntry::new(f.path.clone(), f.contents.clone().into_bytes()))
             .collect();
-        ScanRequest { buffer, sources }
+        files.push(FileEntry::new(
+            "PKG-INFO",
+            oss_registry::render_pkg_info(pkg.metadata()).into_bytes(),
+        ));
+        ScanRequest { files }
     }
 
-    /// Content digest keying the verdict cache: sha256 over the buffer
-    /// and every source, length-prefixed so concatenation boundaries
-    /// cannot collide. Streamed straight into the hasher — no
-    /// concatenation copy, no hex-encode allocation on the submit path;
-    /// use [`ScanRequest::digest_hex`] for display.
-    pub fn digest(&self) -> [u8; 32] {
+    /// The file entries, in scan order.
+    pub fn files(&self) -> &[FileEntry] {
+        &self.files
+    }
+
+    /// Total length of the scan view (what `filesize` rule conditions
+    /// observe): every entry plus one newline separator between
+    /// entries. The separator guarantees no text atom or token run can
+    /// span a file boundary, so scanning files as independent units and
+    /// unioning their hit sets is equivalent to scanning the flat view
+    /// for every literal atom. A regex whose character classes can
+    /// match `\n` could still straddle the separator in the flat view;
+    /// per-unit scanning deliberately excludes such cross-file matches
+    /// — a string match that spans two unrelated files is noise, not
+    /// evidence.
+    pub fn scan_len(&self) -> usize {
+        self.files.iter().map(|f| f.bytes.len()).sum::<usize>() + self.files.len().saturating_sub(1)
+    }
+
+    /// Heap bytes of file content this request holds. Exactly one copy
+    /// per file: equal to [`ScanRequest::scan_len`], which the memory-
+    /// accounting test pins (the seed model stored Python content twice).
+    pub fn stored_bytes(&self) -> usize {
+        self.files
+            .iter()
+            .map(|f| {
+                // An entry whose Arc is shared with a clone is charged to
+                // one holder only.
+                if Arc::strong_count(&f.bytes) > 1 {
+                    f.bytes.len() / Arc::strong_count(&f.bytes)
+                } else {
+                    f.bytes.len()
+                }
+            })
+            .sum()
+    }
+
+    /// The flattened scan view: every entry concatenated in order,
+    /// newline-separated. The hub never materializes this (it scans per
+    /// entry and merges rebased hit sets); oracles and differential
+    /// tests use it to reproduce the pre-artifact whole-buffer scan
+    /// semantics.
+    pub fn concat_buffer(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.scan_len());
+        for (i, f) in self.files.iter().enumerate() {
+            if i > 0 {
+                out.push(b'\n');
+            }
+            out.extend_from_slice(&f.bytes);
+        }
+        out
+    }
+
+    /// The Python sources, as lossy text (what Semgrep parses).
+    pub fn python_sources(&self) -> impl Iterator<Item = std::borrow::Cow<'_, str>> {
+        self.files
+            .iter()
+            .filter(|f| f.is_python())
+            .map(|f| String::from_utf8_lossy(&f.bytes))
+    }
+
+    /// Content digest keying the verdict cache: sha256 over every
+    /// entry's name and bytes, length-prefixed so concatenation
+    /// boundaries cannot collide. Streamed straight into the hasher —
+    /// no flattening copy on the submit path; use
+    /// [`ScanRequest::digest_hex`] for display.
+    pub fn digest(&self) -> DigestKey {
         let mut hasher = digest::Sha256::new();
-        hasher.update(&(self.buffer.len() as u64).to_le_bytes());
-        hasher.update(&self.buffer);
-        for src in &self.sources {
-            hasher.update(&(src.len() as u64).to_le_bytes());
-            hasher.update(src.as_bytes());
+        for f in &self.files {
+            hasher.update(&(f.name.len() as u64).to_le_bytes());
+            hasher.update(f.name.as_bytes());
+            hasher.update(&(f.bytes.len() as u64).to_le_bytes());
+            hasher.update(&f.bytes);
         }
         hasher.finalize()
     }
@@ -75,10 +211,49 @@ mod tests {
     #[test]
     fn from_package_includes_metadata_and_python_sources() {
         let req = ScanRequest::from_package(&sample());
-        let text = String::from_utf8_lossy(&req.buffer).into_owned();
+        assert_eq!(req.files().len(), 3);
+        let text = String::from_utf8_lossy(&req.concat_buffer()).into_owned();
         assert!(text.contains("Name: pkg"));
         assert!(text.contains("setuptools"));
-        assert_eq!(req.sources.len(), 1, "only .py files are Semgrep sources");
+        let sources: Vec<String> = req.python_sources().map(|s| s.into_owned()).collect();
+        assert_eq!(sources.len(), 1, "only .py files are Semgrep sources");
+        assert!(sources[0].contains("setup()"));
+    }
+
+    #[test]
+    fn file_content_is_stored_exactly_once() {
+        // The memory-accounting assertion of the refactor: the seed's
+        // request model held Python content in both the flat buffer and
+        // the owned source list, so a pure-Python upload cost ~2x its
+        // size. The entry model stores one copy; every scan view is
+        // derived.
+        let req = ScanRequest::from_package(&sample());
+        let content: usize = req.files().iter().map(|f| f.bytes().len()).sum();
+        assert_eq!(req.stored_bytes(), content);
+        // The scan view adds only the virtual separators, never a copy.
+        assert_eq!(req.scan_len(), content + req.files().len() - 1);
+        assert_eq!(req.concat_buffer().len(), req.scan_len());
+        // The seed model's footprint for the same package: the flat
+        // buffer plus a second copy of every Python source.
+        let python: usize = req
+            .files()
+            .iter()
+            .filter(|f| f.is_python())
+            .map(|f| f.bytes().len())
+            .sum();
+        assert!(python > 0);
+        assert!(req.stored_bytes() < content + python);
+    }
+
+    #[test]
+    fn cloned_requests_share_bytes_instead_of_copying() {
+        let req = ScanRequest::from_package(&sample());
+        let before = req.stored_bytes();
+        let clone = req.clone();
+        // Shared Arcs split the charge between holders: two holders of
+        // one copy together account for the size of one copy.
+        assert!(req.stored_bytes() + clone.stored_bytes() <= before + req.files().len());
+        assert_eq!(clone, req);
     }
 
     #[test]
@@ -86,21 +261,48 @@ mod tests {
         let a = ScanRequest::from_package(&sample());
         let b = ScanRequest::from_package(&sample());
         assert_eq!(a.digest(), b.digest());
-        let mut c = a.clone();
-        c.buffer.push(b'!');
+        let mut files = a.files().to_vec();
+        files.push(FileEntry::new("extra.py", b"x = 1\n".to_vec()));
+        let c = ScanRequest::from_files(files);
         assert_ne!(a.digest(), c.digest());
     }
 
     #[test]
-    fn digest_distinguishes_buffer_from_sources() {
-        let a = ScanRequest::new(b"xy".to_vec(), vec![]);
-        let b = ScanRequest::new(b"x".to_vec(), vec!["y".to_owned()]);
+    fn digest_distinguishes_file_boundaries() {
+        let a = ScanRequest::from_files(vec![FileEntry::new("a", b"xy".to_vec())]);
+        let b = ScanRequest::from_files(vec![
+            FileEntry::new("a", b"x".to_vec()),
+            FileEntry::new("a", b"y".to_vec()),
+        ]);
         assert_ne!(a.digest(), b.digest());
     }
 
     #[test]
+    fn digest_distinguishes_names() {
+        let a = ScanRequest::from_bytes("a.py", b"x = 1\n".to_vec());
+        let b = ScanRequest::from_bytes("b.py", b"x = 1\n".to_vec());
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn entry_digest_is_content_addressed_across_names() {
+        // The artifact cache shares analyses across packages: the same
+        // source under two paths is one artifact...
+        let a = FileEntry::new("pkg_a/util.py", b"import os\n".to_vec());
+        let b = FileEntry::new("pkg_b/helpers.py", b"import os\n".to_vec());
+        assert_eq!(a.digest(), b.digest());
+        // ...but python-ness is part of the analysis, so identical bytes
+        // under a non-.py name are a different artifact.
+        let c = FileEntry::new("notes.txt", b"import os\n".to_vec());
+        assert_ne!(a.digest(), c.digest());
+        // And different bytes never collide with either.
+        let d = FileEntry::new("pkg_a/util.py", b"import sys\n".to_vec());
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
     fn digest_hex_renders_the_raw_digest() {
-        let req = ScanRequest::new(b"data".to_vec(), vec!["src".to_owned()]);
+        let req = ScanRequest::from_source("snippet.py", "data = 1\n");
         let hex = req.digest_hex();
         assert_eq!(hex.len(), 64);
         assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));

@@ -19,6 +19,10 @@ pub(crate) struct HubCounters {
     pub regex_bytes_scanned: AtomicU64,
     pub semgrep_stmts_visited: AtomicU64,
     pub semgrep_pattern_reparses: AtomicU64,
+    pub artifact_parses: AtomicU64,
+    pub artifact_cache_hits: AtomicU64,
+    pub layers_decoded: AtomicU64,
+    pub layer_bytes_scanned: AtomicU64,
 }
 
 impl HubCounters {
@@ -43,6 +47,10 @@ impl HubCounters {
             regex_bytes_scanned: load(&self.regex_bytes_scanned),
             semgrep_stmts_visited: load(&self.semgrep_stmts_visited),
             semgrep_pattern_reparses: load(&self.semgrep_pattern_reparses),
+            artifact_parses: load(&self.artifact_parses),
+            artifact_cache_hits: load(&self.artifact_cache_hits),
+            layers_decoded: load(&self.layers_decoded),
+            layer_bytes_scanned: load(&self.layer_bytes_scanned),
         }
     }
 }
@@ -84,6 +92,19 @@ pub struct HubStats {
     /// steady state — a non-zero value means the seed's
     /// reparse-per-call cost model has returned.
     pub semgrep_pattern_reparses: u64,
+    /// File entries analyzed from scratch (lex + parse + string intern +
+    /// layer decode + ruleset byte scan). Across a hub run over N
+    /// package versions this must equal the number of **unique file
+    /// digests** — the parse-once contract of the artifact cache.
+    pub artifact_parses: u64,
+    /// File entries served by the content-addressed artifact cache
+    /// (no lexing, parsing or byte scanning performed).
+    pub artifact_cache_hits: u64,
+    /// Decoded payload layers extracted while building artifacts.
+    pub layers_decoded: u64,
+    /// Bytes of decoded-layer content run through the YARA string scan
+    /// at artifact-build time.
+    pub layer_bytes_scanned: u64,
 }
 
 impl HubStats {
@@ -103,6 +124,15 @@ impl HubStats {
     /// (1.0 = every submitted byte went through exactly one regex pass).
     pub fn regex_read_amplification(&self) -> f64 {
         ratio(self.regex_bytes_scanned, self.bytes_scanned)
+    }
+
+    /// Fraction of file entries served from the artifact cache instead
+    /// of being re-analyzed.
+    pub fn artifact_hit_rate(&self) -> f64 {
+        ratio(
+            self.artifact_cache_hits,
+            self.artifact_cache_hits + self.artifact_parses,
+        )
     }
 }
 
@@ -138,6 +168,17 @@ mod tests {
         };
         assert!((stats.cache_hit_rate() - 0.4).abs() < 1e-9);
         assert!((stats.prefilter_skip_rate() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn artifact_hit_rate_computes() {
+        let stats = HubStats {
+            artifact_parses: 25,
+            artifact_cache_hits: 75,
+            ..HubStats::default()
+        };
+        assert!((stats.artifact_hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(HubStats::default().artifact_hit_rate(), 0.0);
     }
 
     #[test]

@@ -1,20 +1,46 @@
 //! Scan verdicts emitted by the hub.
 
+use crate::artifact::LayerEncoding;
+
+/// A YARA rule that fired on a **decoded layer**, tagged with where the
+/// layer came from so the verdict stays explainable ("rule `sys`
+/// matched the base64 payload decoded from `payload.py:7`"). A rule
+/// that also matched surface bytes appears in [`Verdict::yara`] as
+/// well; the layer finding records the additional decoded evidence.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LayerFinding {
+    /// Matching rule name.
+    pub rule: String,
+    /// The file whose literal carried the payload.
+    pub file: String,
+    /// How the payload was recovered.
+    pub encoding: LayerEncoding,
+    /// Decode nesting depth (1 = surface literal).
+    pub depth: u8,
+    /// 1-based source line of the surface literal.
+    pub line: u32,
+}
+
 /// The outcome of scanning one package.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Verdict {
-    /// Names of YARA rules that fired, in rule-declaration order.
+    /// Names of YARA rules that fired on surface bytes, sorted and
+    /// deduplicated.
     pub yara: Vec<String>,
     /// Ids of Semgrep rules that fired, sorted and deduplicated.
     pub semgrep: Vec<String>,
+    /// YARA rules that fired inside decoded layers (possibly in
+    /// addition to surface bytes), sorted and deduplicated. Empty when
+    /// layer decoding is disabled.
+    pub layers: Vec<LayerFinding>,
     /// True when the verdict was served from the digest cache.
     pub from_cache: bool,
 }
 
 impl Verdict {
-    /// Total distinct rules matched.
+    /// Total distinct findings (surface rules plus layer-tagged hits).
     pub fn total(&self) -> usize {
-        self.yara.len() + self.semgrep.len()
+        self.yara.len() + self.semgrep.len() + self.layers.len()
     }
 
     /// True when at least one rule fired — a registry gatekeeper blocks
@@ -25,7 +51,19 @@ impl Verdict {
 
     /// The same verdict content, ignoring cache provenance.
     pub fn same_matches(&self, other: &Verdict) -> bool {
-        self.yara == other.yara && self.semgrep == other.semgrep
+        self.yara == other.yara && self.semgrep == other.semgrep && self.layers == other.layers
+    }
+
+    /// Sorts and deduplicates every finding list. Workers call this
+    /// before publishing, so verdicts are deterministic regardless of
+    /// worker count, scan interleaving, or per-file evaluation order.
+    pub(crate) fn normalize(&mut self) {
+        self.yara.sort_unstable();
+        self.yara.dedup();
+        self.semgrep.sort_unstable();
+        self.semgrep.dedup();
+        self.layers.sort();
+        self.layers.dedup();
     }
 }
 
@@ -41,18 +79,33 @@ mod tests {
         let hit = Verdict {
             yara: vec!["r".into()],
             semgrep: vec!["s".into()],
-            from_cache: false,
+            ..Verdict::default()
         };
         assert_eq!(hit.total(), 2);
         assert!(hit.flagged());
     }
 
     #[test]
+    fn layer_findings_flag_a_package_on_their_own() {
+        let v = Verdict {
+            layers: vec![LayerFinding {
+                rule: "sys".into(),
+                file: "payload.py".into(),
+                encoding: LayerEncoding::Base64,
+                depth: 1,
+                line: 7,
+            }],
+            ..Verdict::default()
+        };
+        assert_eq!(v.total(), 1);
+        assert!(v.flagged());
+    }
+
+    #[test]
     fn same_matches_ignores_cache_flag() {
         let a = Verdict {
             yara: vec!["r".into()],
-            semgrep: vec![],
-            from_cache: false,
+            ..Verdict::default()
         };
         let b = Verdict {
             from_cache: true,
@@ -60,5 +113,26 @@ mod tests {
         };
         assert!(a.same_matches(&b));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedupes_every_list() {
+        let finding = |rule: &str| LayerFinding {
+            rule: rule.into(),
+            file: "f.py".into(),
+            encoding: LayerEncoding::Hex,
+            depth: 1,
+            line: 1,
+        };
+        let mut v = Verdict {
+            yara: vec!["z".into(), "a".into(), "z".into()],
+            semgrep: vec!["s2".into(), "s1".into(), "s1".into()],
+            layers: vec![finding("b"), finding("a"), finding("b")],
+            from_cache: false,
+        };
+        v.normalize();
+        assert_eq!(v.yara, vec!["a".to_owned(), "z".to_owned()]);
+        assert_eq!(v.semgrep, vec!["s1".to_owned(), "s2".to_owned()]);
+        assert_eq!(v.layers, vec![finding("a"), finding("b")]);
     }
 }

@@ -1,12 +1,14 @@
-//! Property tests: prefiltered scanning must be byte-identical to
-//! exhaustive scanning, and the verdict cache must be transparent.
+//! Property tests: prefiltered, artifact-cached, unit-split scanning
+//! must be verdict-identical to flat exhaustive scanning, the verdict
+//! cache must be transparent, and the artifact cache must perform
+//! exactly one analysis per unique file digest.
 
 use std::collections::HashSet;
 
 use corpus::FAMILIES;
 use obfuscate::{EvasionProfile, Obfuscator};
 use proptest::prelude::*;
-use scanhub::{HubConfig, ScanHub, ScanRequest, Verdict};
+use scanhub::{FileEntry, HubConfig, ScanHub, ScanRequest, Verdict};
 use semgrep_engine::CompiledSemgrepRules;
 use yara_engine::CompiledRules;
 
@@ -56,10 +58,12 @@ fn pools() -> (CompiledRules, CompiledSemgrepRules) {
     )
 }
 
-/// The oracle: single-threaded, rule-by-rule exhaustive scanning with no
-/// prefilter, no routing, no cache — and the *seed's* reparse-per-call
-/// Semgrep matcher, so the service's compiled single-pass engine is
-/// differentially checked against the original implementation.
+/// The pre-refactor oracle: single-threaded, rule-by-rule exhaustive
+/// scanning of the **flattened** request — one whole-buffer YARA pass
+/// over the concatenated files, the *seed's* reparse-per-call Semgrep
+/// matcher per Python source — with no prefilter, no routing, no cache,
+/// no artifacts, no unit splitting and no decoded layers. The service's
+/// per-file hit-union path is differentially checked against it.
 fn exhaustive(
     yara: &CompiledRules,
     semgrep: &CompiledSemgrepRules,
@@ -68,15 +72,17 @@ fn exhaustive(
     let scanner = yara_engine::Scanner::new(yara);
     let mut verdict = Verdict {
         yara: scanner
-            .scan(&request.buffer)
+            .scan(&request.concat_buffer())
             .into_iter()
             .map(|h| h.rule)
             .collect(),
         ..Verdict::default()
     };
+    verdict.yara.sort();
+    verdict.yara.dedup();
     let mut ids = HashSet::new();
-    for src in &request.sources {
-        let module = pysrc::parse_module(src);
+    for src in request.python_sources() {
+        let module = pysrc::parse_module(&src);
         for rule in &semgrep.rules {
             for finding in semgrep_engine::reference::match_module(rule, &module) {
                 ids.insert(finding.rule_id);
@@ -88,7 +94,7 @@ fn exhaustive(
     verdict
 }
 
-fn prefilter_hub() -> ScanHub {
+fn hub_with(prefilter: bool, max_decode_depth: u8) -> ScanHub {
     let (yara, semgrep) = pools();
     ScanHub::new(
         Some(yara),
@@ -96,23 +102,19 @@ fn prefilter_hub() -> ScanHub {
         HubConfig {
             workers: 2,
             cache_capacity: 0,
+            prefilter,
+            max_decode_depth,
             ..HubConfig::default()
         },
     )
 }
 
+fn prefilter_hub() -> ScanHub {
+    hub_with(true, 0)
+}
+
 fn nofilter_hub() -> ScanHub {
-    let (yara, semgrep) = pools();
-    ScanHub::new(
-        Some(yara),
-        Some(semgrep),
-        HubConfig {
-            workers: 2,
-            cache_capacity: 0,
-            prefilter: false,
-            ..HubConfig::default()
-        },
-    )
+    hub_with(false, 0)
 }
 
 proptest! {
@@ -136,6 +138,7 @@ proptest! {
             let slow = exhaustive(&yara, &semgrep, &request);
             prop_assert_eq!(&fast.yara, &slow.yara, "yara diverged on {}", pkg.metadata().name);
             prop_assert_eq!(&fast.semgrep, &slow.semgrep, "semgrep diverged on {}", pkg.metadata().name);
+            prop_assert!(fast.layers.is_empty(), "layered-off hub produced layer findings");
         }
     }
 
@@ -153,7 +156,7 @@ proptest! {
         };
         let (yara, semgrep) = pools();
         let hub = prefilter_hub();
-        let request = ScanRequest::new(code.clone().into_bytes(), vec![code]);
+        let request = ScanRequest::from_source("upload.py", code);
         let fast = hub.submit(request.clone()).wait();
         let slow = exhaustive(&yara, &semgrep, &request);
         prop_assert_eq!(&fast.yara, &slow.yara);
@@ -169,12 +172,15 @@ proptest! {
     ) {
         // ISSUE 2 acceptance criterion: the prefilter stays *sound* on
         // adversarially mutated uploads — no rule is skipped that would
-        // have matched the mutant. ISSUE 4 extension: compiled-pattern
-        // verdicts are identical with prefilter on and off, and both
-        // match the seed's reparse-per-call oracle.
+        // have matched the mutant. ISSUE 5 extension: the per-file
+        // artifact path (unit-split hit unions, artifact cache) with
+        // layered scanning OFF is verdict-identical to the flat
+        // pre-refactor scan, and layered scanning ON never perturbs the
+        // surface verdict — it can only append tagged layer findings.
         let (yara, semgrep) = pools();
         let hub = prefilter_hub();
         let off = nofilter_hub();
+        let layered = hub_with(true, 2);
         let family = &FAMILIES[family_idx];
         let original = corpus::generate_malware_package(family, variant, seed).0;
         let profile = EvasionProfile::standard().swap_remove(profile_idx);
@@ -182,6 +188,7 @@ proptest! {
         let request = ScanRequest::from_package(&mutant);
         let fast = hub.submit(request.clone()).wait();
         let unrouted = off.submit(request.clone()).wait();
+        let with_layers = layered.submit(request.clone()).wait();
         let slow = exhaustive(&yara, &semgrep, &request);
         prop_assert_eq!(
             &fast.yara, &slow.yara,
@@ -195,8 +202,90 @@ proptest! {
             &fast, &unrouted,
             "prefilter on/off diverged on {} mutant of {}", profile.name, original.metadata().name
         );
+        prop_assert_eq!(
+            &with_layers.yara, &fast.yara,
+            "layered scanning changed the surface yara verdict"
+        );
+        prop_assert_eq!(&with_layers.semgrep, &fast.semgrep);
         prop_assert_eq!(hub.stats().semgrep_pattern_reparses, 0);
         prop_assert_eq!(off.stats().semgrep_pattern_reparses, 0);
+    }
+
+    #[test]
+    fn artifact_cache_performs_exactly_one_analysis_per_unique_digest(
+        family_idx in 0usize..30,
+        seed in any::<u64>(),
+        versions in 2usize..5,
+    ) {
+        // A hub run over N versions of one package — each bumping a
+        // version marker file and rewriting one source file — must
+        // analyze exactly `unique file digests` entries, and every
+        // other entry must be an artifact-cache hit.
+        let hub = hub_with(true, 2);
+        let family = &FAMILIES[family_idx];
+        let base = corpus::generate_malware_package(family, 0, seed).0;
+        let base_files: Vec<FileEntry> = ScanRequest::from_package(&base).files().to_vec();
+        let mut requests: Vec<ScanRequest> = Vec::new();
+        for v in 0..versions {
+            let mut files = base_files.clone();
+            // One changed source per version (round-robin), plus a
+            // version stamp every version touches.
+            let idx = v % base_files.len();
+            files[idx] = FileEntry::new(
+                base_files[idx].name(),
+                format!("# v{v}\nrewritten = {v}\n").into_bytes(),
+            );
+            files.push(FileEntry::new("VERSION", format!("{v}.0.0").into_bytes()));
+            requests.push(ScanRequest::from_files(files));
+        }
+        let mut unique: HashSet<[u8; 32]> = HashSet::new();
+        let mut total_entries = 0u64;
+        for req in &requests {
+            for f in req.files() {
+                unique.insert(f.digest());
+                total_entries += 1;
+            }
+        }
+        let verdicts = hub.scan_ordered(requests.iter().cloned());
+        prop_assert_eq!(verdicts.len(), requests.len());
+        let stats = hub.stats();
+        prop_assert_eq!(stats.artifact_parses, unique.len() as u64,
+            "parse count must equal unique file digests");
+        prop_assert_eq!(stats.artifact_cache_hits, total_entries - unique.len() as u64);
+        // Re-submitting every version re-parses nothing at all.
+        let again = hub.scan_ordered(requests.iter().cloned());
+        prop_assert_eq!(&again, &verdicts, "warm artifacts changed a verdict");
+        prop_assert_eq!(hub.stats().artifact_parses, unique.len() as u64);
+    }
+
+    #[test]
+    fn cached_artifacts_never_serve_stale_analyses_for_changed_bytes(
+        family_idx in 0usize..30,
+        seed in any::<u64>(),
+    ) {
+        // Same file name, changed bytes: the digest changes, so the
+        // artifact is rebuilt and the verdict reflects the new content —
+        // in both directions (payload added, payload removed).
+        let hub = hub_with(true, 2);
+        let family = &FAMILIES[family_idx];
+        let pkg = corpus::generate_malware_package(family, 0, seed).0;
+        let dirty = ScanRequest::from_package(&pkg);
+        let cleaned: Vec<FileEntry> = dirty
+            .files()
+            .iter()
+            .map(|f| FileEntry::new(f.name(), b"x = 1\n".to_vec()))
+            .collect();
+        let clean = ScanRequest::from_files(cleaned);
+        for (a, b) in dirty.files().iter().zip(clean.files()) {
+            prop_assert_ne!(a.digest(), b.digest());
+        }
+        let dirty_verdict = hub.submit(dirty.clone()).wait();
+        let clean_verdict = hub.submit(clean).wait();
+        prop_assert!(!clean_verdict.flagged(),
+            "stale artifact kept flagging overwritten content: {:?}", clean_verdict);
+        // And scanning the dirty body again still flags it.
+        let again = hub.submit(dirty).wait();
+        prop_assert!(again.same_matches(&dirty_verdict));
     }
 
     #[test]
@@ -211,7 +300,7 @@ proptest! {
         let hub = ScanHub::new(
             Some(yara.clone()),
             Some(semgrep.clone()),
-            HubConfig { workers: 2, ..HubConfig::default() },
+            HubConfig { workers: 2, max_decode_depth: 0, ..HubConfig::default() },
         );
         let family = &FAMILIES[family_idx];
         let original = corpus::generate_malware_package(family, 0, seed).0;

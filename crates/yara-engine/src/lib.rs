@@ -57,4 +57,4 @@ pub use compiler::{compile, CompiledRule, CompiledRules};
 pub use error::CompileError;
 pub use lexer::{lex, Token, TokenKind};
 pub use parser::parse;
-pub use scanner::{RuleMatch, ScanMetrics, ScanScratch, Scanner, StringMatch};
+pub use scanner::{FileHits, RuleMatch, ScanMetrics, ScanScratch, Scanner, StringMatch};

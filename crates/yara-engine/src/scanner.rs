@@ -43,6 +43,39 @@ pub struct ScanMetrics {
     pub regex_bytes_scanned: u64,
 }
 
+/// String-definition hits of the whole ruleset on one scan unit (a
+/// file's raw bytes, or one decoded layer), produced by
+/// [`Scanner::collect_hits`] and consumed by [`Scanner::eval_hits`].
+///
+/// Offsets are unit-relative `u32`s (registry uploads are far below
+/// 4 GiB); slots are the scanner's dense string indices. The set is a
+/// pure function of `(ruleset, data)`, which is what makes it cacheable
+/// in a content-addressed artifact.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileHits {
+    /// `(dense string slot, ascending match offsets)`, sorted by slot.
+    slots: Vec<(u32, Vec<u32>)>,
+    /// Work performed collecting these hits.
+    pub metrics: ScanMetrics,
+}
+
+impl FileHits {
+    /// True when no string definition matched this unit.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total match offsets recorded across all string definitions.
+    pub fn hit_count(&self) -> usize {
+        self.slots.iter().map(|(_, offs)| offs.len()).sum()
+    }
+
+    /// Approximate heap footprint, for cache accounting.
+    pub fn stored_bytes(&self) -> usize {
+        self.slots.iter().map(|(_, offs)| 8 + 4 * offs.len()).sum()
+    }
+}
+
 /// Reusable per-worker scan state: one offset list per string definition,
 /// invalidated by generation stamps instead of clearing, so a long-lived
 /// worker's scan path performs no per-scan allocation after warm-up.
@@ -199,7 +232,6 @@ impl<'r> Scanner<'r> {
             });
         }
 
-        let mut out = Vec::new();
         for (ri, cr) in self.rules.rules.iter().enumerate() {
             if !include(ri) {
                 continue;
@@ -215,11 +247,123 @@ impl<'r> Scanner<'r> {
                     }
                 }
             }
+        }
+        (
+            self.eval_conditions(data.len() as i64, &include, scratch),
+            metrics,
+        )
+    }
+
+    /// Collects every string-definition hit of the **whole** ruleset on
+    /// one scan unit — a file's raw bytes or one decoded layer — with no
+    /// rule routing and no condition evaluation.
+    ///
+    /// This is the artifact-build entry point: the hits are a pure
+    /// function of `(ruleset, data)`, so a content-addressed cache can
+    /// store them per file and a later [`Scanner::eval_hits`] call can
+    /// evaluate any routed rule subset against any combination of cached
+    /// units without touching the bytes again.
+    pub fn collect_hits(&self, data: &[u8]) -> FileHits {
+        let mut scratch = ScanScratch::new();
+        scratch.begin(self.total_strings);
+        for (auto, map) in [(&self.cs, &self.cs_map), (&self.ci, &self.ci_map)] {
+            auto.for_each_match(data, |m| {
+                let (ri, si, _wide, fullword) = map[m.pattern];
+                if !fullword || is_fullword(data, m.start, m.end) {
+                    scratch.push(self.string_base[ri] + si, m.start);
+                }
+                true
+            });
+        }
+        let mut metrics = ScanMetrics::default();
+        for (ri, cr) in self.rules.rules.iter().enumerate() {
+            for (si, regex) in cr.regexes.iter().enumerate() {
+                if let Some(re) = regex {
+                    metrics.regex_strings_evaluated += 1;
+                    metrics.regex_bytes_scanned += data.len() as u64;
+                    for m in re.find_all(data) {
+                        scratch.push(self.string_base[ri] + si, m.start);
+                    }
+                }
+            }
+        }
+        let slots = (0..self.total_strings)
+            .filter_map(|slot| {
+                scratch
+                    .get(slot)
+                    .map(|offs| (slot as u32, offs.iter().map(|&o| o as u32).collect()))
+            })
+            .collect();
+        FileHits { slots, metrics }
+    }
+
+    /// Marks in `out` (resized to the rule count) every rule with at
+    /// least one string-definition hit in `hits`.
+    ///
+    /// Callers evaluating one small unit (a decoded layer) use this to
+    /// restrict evaluation to rules with actual evidence *in* the unit:
+    /// stringless conditions (`filesize` bounds, bare negations) hold
+    /// trivially against tiny unit-local sizes and would otherwise
+    /// produce spurious matches.
+    pub fn mark_rules_with_hits(&self, hits: &FileHits, out: &mut Vec<bool>) {
+        out.clear();
+        out.resize(self.rules.rules.len(), false);
+        for (slot, _) in &hits.slots {
+            // string_base is the prefix-sum of per-rule string counts:
+            // the owning rule is the last base <= slot.
+            let ri = self
+                .string_base
+                .partition_point(|&base| base <= *slot as usize)
+                - 1;
+            out[ri] = true;
+        }
+    }
+
+    /// Evaluates rule conditions over the union of pre-collected hit
+    /// sets, each rebased to its unit's global offset.
+    ///
+    /// `parts` yields `(base, hits)` pairs; every offset in `hits` is
+    /// shifted by `base` before condition evaluation, so concatenating
+    /// the units and scanning the result yields the same per-string
+    /// offset sets (matches spanning a unit boundary excepted — units
+    /// are scanned independently by [`Scanner::collect_hits`]).
+    /// `filesize` is the caller's notion of total scanned size.
+    pub fn eval_hits<'h>(
+        &self,
+        parts: impl IntoIterator<Item = (usize, &'h FileHits)>,
+        filesize: i64,
+        include: impl Fn(usize) -> bool,
+        scratch: &mut ScanScratch,
+    ) -> Vec<RuleMatch> {
+        scratch.begin(self.total_strings);
+        for (base, hits) in parts {
+            for (slot, offs) in &hits.slots {
+                for &o in offs {
+                    scratch.push(*slot as usize, base + o as usize);
+                }
+            }
+        }
+        self.eval_conditions(filesize, &include, scratch)
+    }
+
+    /// Evaluates every included rule's condition against the offsets
+    /// already accumulated in `scratch`, collecting matches.
+    fn eval_conditions(
+        &self,
+        filesize: i64,
+        include: &impl Fn(usize) -> bool,
+        scratch: &ScanScratch,
+    ) -> Vec<RuleMatch> {
+        let mut out = Vec::new();
+        for (ri, cr) in self.rules.rules.iter().enumerate() {
+            if !include(ri) {
+                continue;
+            }
             let ctx = Context {
                 rule: cr,
                 scratch,
                 base: self.string_base[ri],
-                filesize: data.len() as i64,
+                filesize,
             };
             if ctx.eval(&cr.rule.condition) {
                 let mut strings = Vec::new();
@@ -240,7 +384,7 @@ impl<'r> Scanner<'r> {
                 });
             }
         }
-        (out, metrics)
+        out
     }
 
     /// Convenience: does any rule match?
@@ -601,5 +745,96 @@ rule base64 {
 "#;
         let hits = scan_one(rule, b"data = 'aW1wb3J0IG9zO2V4ZWMoKQ=='");
         assert_eq!(hits.len(), 1);
+    }
+
+    /// A ruleset exercising text atoms, counts, `all of`, regexes and
+    /// fullword across the collect/eval split.
+    const UNION_RULES: &str = r#"
+rule shell { strings: $a = "os.system" condition: $a }
+rule pair { strings: $a = "os.environ" $b = "requests.post" condition: all of them }
+rule triple { strings: $a = "import" condition: #a >= 3 }
+rule rx { strings: $r = /ab+c/ condition: $r }
+rule word { strings: $w = "spawn" fullword condition: $w }
+"#;
+
+    #[test]
+    fn eval_hits_over_split_units_equals_scanning_the_concatenation() {
+        // Splitting a buffer into units, collecting hits per unit and
+        // evaluating the rebased union must reproduce a whole-buffer
+        // scan, including cross-unit `all of` and summed counts.
+        let compiled = compile(UNION_RULES).expect("compile");
+        let scanner = Scanner::new(&compiled);
+        let unit_a = b"import os\nos.environ['x']\nimport sys\n".as_slice();
+        let unit_b = b"import json\nrequests.post(u)\nabbbc spawn\n".as_slice();
+        let mut whole = unit_a.to_vec();
+        whole.extend_from_slice(unit_b);
+
+        let direct = scanner.scan(&whole);
+        let hits_a = scanner.collect_hits(unit_a);
+        let hits_b = scanner.collect_hits(unit_b);
+        let mut scratch = ScanScratch::new();
+        let merged = scanner.eval_hits(
+            [(0usize, &hits_a), (unit_a.len(), &hits_b)],
+            whole.len() as i64,
+            |_| true,
+            &mut scratch,
+        );
+        assert_eq!(merged, direct);
+        // The pair rule only matches through the cross-unit union.
+        assert!(merged.iter().any(|m| m.rule == "pair"));
+        // Counts sum across units: 2 imports in unit_a + 1 in unit_b
+        // reach the `#a >= 3` threshold only through the union.
+        assert!(merged.iter().any(|m| m.rule == "triple"));
+    }
+
+    #[test]
+    fn collect_hits_reports_regex_work_and_caches_cleanly() {
+        let compiled = compile(UNION_RULES).expect("compile");
+        let scanner = Scanner::new(&compiled);
+        let hits = scanner.collect_hits(b"abbbc");
+        assert_eq!(hits.metrics.regex_strings_evaluated, 1);
+        assert_eq!(hits.metrics.regex_bytes_scanned, 5);
+        assert!(!hits.is_empty());
+        assert_eq!(hits.hit_count(), 1);
+        assert!(hits.stored_bytes() > 0);
+        // Evaluating the same cached hits twice gives the same verdicts
+        // (the scratch generation stamps isolate the passes).
+        let mut scratch = ScanScratch::new();
+        let first = scanner.eval_hits([(0usize, &hits)], 5, |_| true, &mut scratch);
+        let second = scanner.eval_hits([(0usize, &hits)], 5, |_| true, &mut scratch);
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].rule, "rx");
+    }
+
+    #[test]
+    fn eval_hits_respects_routing_and_filesize() {
+        let compiled = compile(
+            "rule a { strings: $x = \"one\" condition: $x }\nrule big { condition: filesize > 100 }",
+        )
+        .expect("compile");
+        let scanner = Scanner::new(&compiled);
+        let hits = scanner.collect_hits(b"one");
+        let mut scratch = ScanScratch::new();
+        let routed = scanner.eval_hits([(0usize, &hits)], 3, |ri| ri == 1, &mut scratch);
+        assert!(routed.is_empty(), "excluded rule a, small filesize");
+        let big = scanner.eval_hits([(0usize, &hits)], 4096, |_| true, &mut scratch);
+        assert_eq!(big.len(), 2);
+    }
+
+    #[test]
+    fn collect_hits_applies_fullword_at_unit_edges() {
+        let compiled = compile(UNION_RULES).expect("compile");
+        let scanner = Scanner::new(&compiled);
+        // `spawn` at the very end of a unit: no following byte, fullword
+        // holds — same as scanning the unit alone.
+        let hits = scanner.collect_hits(b"x spawn");
+        let mut scratch = ScanScratch::new();
+        let matches = scanner.eval_hits([(0usize, &hits)], 7, |_| true, &mut scratch);
+        assert!(matches.iter().any(|m| m.rule == "word"));
+        // Embedded in a longer word: rejected.
+        let hits = scanner.collect_hits(b"respawned");
+        let matches = scanner.eval_hits([(0usize, &hits)], 9, |_| true, &mut scratch);
+        assert!(!matches.iter().any(|m| m.rule == "word"));
     }
 }

@@ -41,7 +41,7 @@ fn main() {
     for (arm, pkg) in &uploads {
         let verdict = hub.submit(ScanRequest::from_package(pkg)).wait();
         println!(
-            "  {:<12} -> {:<8} ({} YARA, {} Semgrep matches{})",
+            "  {:<12} -> {:<8} ({} YARA, {} Semgrep, {} decoded-layer matches{})",
             arm,
             if verdict.flagged() {
                 "FLAGGED"
@@ -50,18 +50,32 @@ fn main() {
             },
             verdict.yara.len(),
             verdict.semgrep.len(),
+            verdict.layers.len(),
             if verdict.from_cache { ", cached" } else { "" },
         );
+        for layer in &verdict.layers {
+            println!(
+                "               layer hit: rule {} in {} ({} payload, depth {}, line {})",
+                layer.rule, layer.file, layer.encoding, layer.depth, layer.line
+            );
+        }
     }
     let stats = hub.stats();
     println!(
-        "service counters: {} scanned, cache hit rate {:.1}%, prefilter skip rate {:.1}%",
+        "service counters: {} scanned, cache hit rate {:.1}%, artifact hit rate {:.1}%, \
+         {} layers decoded, prefilter skip rate {:.1}%",
         stats.completed,
         stats.cache_hit_rate() * 100.0,
+        stats.artifact_hit_rate() * 100.0,
+        stats.layers_decoded,
         stats.prefilter_skip_rate() * 100.0,
     );
 
     println!("\nrunning the full robustness experiment (fixed seed 42) ...\n");
     let rep = robustness::robustness(&ctx, 42);
     println!("{}", report::render_robustness(&rep));
+
+    println!("measuring decoded-layer recovery on string-encoded mutants ...\n");
+    let recovery = robustness::layered_recovery(&ctx, 42);
+    println!("{}", report::render_layered_recovery(&recovery));
 }

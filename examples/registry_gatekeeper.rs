@@ -85,10 +85,13 @@ fn main() {
 
     let stats = hub.stats();
     println!(
-        "\nhub stats: {} submitted, {} scanned, cache hit rate {:.0}%, prefilter skip rate {:.0}%",
+        "\nhub stats: {} submitted, {} scanned, cache hit rate {:.0}%, \
+         {} files analyzed ({} artifact-cache hits), prefilter skip rate {:.0}%",
         stats.submitted,
         stats.completed - stats.cache_hits,
         stats.cache_hit_rate() * 100.0,
+        stats.artifact_parses,
+        stats.artifact_cache_hits,
         stats.prefilter_skip_rate() * 100.0,
     );
     assert_eq!(stats.cache_hits, 1, "the re-upload must be a cache hit");

@@ -128,14 +128,14 @@ fn generated_rules_generalize_to_duplicates_by_construction() {
     let unique = dataset.unique_malware();
     for m in &unique {
         let t = eval::scan::target_from_package(&m.package, 0, true, None);
-        if scanner.is_match(&t.buffer) {
+        if scanner.is_match(&t.request.concat_buffer()) {
             unique_hits += 1;
         }
     }
     let mut all_hits = 0usize;
     for m in &dataset.malware {
         let t = eval::scan::target_from_package(&m.package, 0, true, None);
-        if scanner.is_match(&t.buffer) {
+        if scanner.is_match(&t.request.concat_buffer()) {
             all_hits += 1;
         }
     }

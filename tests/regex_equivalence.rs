@@ -55,7 +55,7 @@ fn pipeline_rule_regexes_match_identically_on_full_corpus() {
     let mut checked = 0usize;
     for re in &regexes {
         for target in &ctx.targets {
-            assert_equivalent(re, &target.buffer, "pipeline");
+            assert_equivalent(re, &target.request.concat_buffer(), "pipeline");
             checked += 1;
         }
     }
@@ -76,8 +76,9 @@ fn repo_test_corpus_regexes_match_identically() {
         let pike = Regex::new(pattern).expect("corpus pattern compiles");
         let nocase = Regex::new_nocase(pattern).expect("corpus pattern compiles nocase");
         for target in &ctx.targets {
-            assert_equivalent(&pike, &target.buffer, "corpus");
-            assert_equivalent(&nocase, &target.buffer, "corpus-nocase");
+            let buffer = target.request.concat_buffer();
+            assert_equivalent(&pike, &buffer, "corpus");
+            assert_equivalent(&nocase, &buffer, "corpus-nocase");
         }
         // Edge haystacks the corpus may not produce.
         for hay in [
@@ -105,10 +106,11 @@ rule url { strings: $re = /https?:\/\/[\w.\-\/]{6,}/ condition: $re }
     let scanner = yara_engine::Scanner::new(&compiled);
     let ctx = ExperimentContext::new(&corpus::CorpusConfig::tiny());
     for target in &ctx.targets {
-        let hits = scanner.scan(&target.buffer);
+        let buffer = target.request.concat_buffer();
+        let hits = scanner.scan(&buffer);
         for cr in &compiled.rules {
             let re = cr.regexes[0].as_ref().expect("regex string");
-            let expected = ReferenceRegex::from_regex(re).is_match(&target.buffer);
+            let expected = ReferenceRegex::from_regex(re).is_match(&buffer);
             let got = hits.iter().any(|h| h.rule == cr.rule.name);
             assert_eq!(
                 got, expected,
