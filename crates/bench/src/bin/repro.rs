@@ -56,6 +56,7 @@ fn main() {
         );
         let stats = rulellm_bench::scanhub_bench::compare(50, 20, 42);
         println!("{}", rulellm_bench::scanhub_bench::render(&stats));
+        println!("{}", stats.warm_stats);
         let doc = rulellm_bench::scanhub_bench::to_json(&stats);
         match std::fs::write("BENCH_scanhub.json", doc.to_string_pretty()) {
             Ok(()) => eprintln!("[repro] wrote BENCH_scanhub.json"),

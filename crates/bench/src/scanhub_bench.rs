@@ -18,7 +18,7 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
-use scanhub::{FileEntry, HubConfig, ScanHub, ScanRequest, Verdict};
+use scanhub::{FileEntry, HubConfig, HubStats, ScanHub, ScanRequest, Verdict};
 use yara_engine::CompiledRules;
 
 use crate::semgrep_scan;
@@ -127,6 +127,9 @@ pub struct ScanhubBenchStats {
     pub warm_hits: u64,
     /// Decoded layers extracted by the warm run.
     pub layers_decoded: u64,
+    /// Full warm-run counter snapshot including per-stage latency
+    /// percentiles from the hub's telemetry histograms.
+    pub warm_stats: HubStats,
 }
 
 impl ScanhubBenchStats {
@@ -202,12 +205,39 @@ pub fn compare(files: usize, versions: usize, seed: u64) -> ScanhubBenchStats {
         warm_parses: warm_stats.artifact_parses,
         warm_hits: warm_stats.artifact_cache_hits,
         layers_decoded: warm_stats.layers_decoded,
+        warm_stats,
     }
 }
 
-/// Renders the comparison table.
+/// Times the warm version-bump workload on a fresh hub with telemetry
+/// on or off; the pair quantifies the instrumentation overhead. One
+/// unmeasured pass populates the artifact cache first — cold analysis
+/// builds are allocation-heavy and noisy, and the overhead question is
+/// about the steady-state scan path — then a timed pass scans every
+/// request again (the verdict cache is off, so nothing short-circuits).
+pub fn timed_warm_run(requests: &[ScanRequest], yara: &CompiledRules, telemetry: bool) -> f64 {
+    let hub = ScanHub::new(
+        Some(yara.clone()),
+        Some(semgrep_scan::ruleset(20)),
+        HubConfig {
+            cache_capacity: 0,
+            artifact_cache_capacity: 8192,
+            telemetry,
+            ..HubConfig::default()
+        },
+    );
+    let _ = hub.scan_ordered(requests.iter().cloned());
+    let start = Instant::now();
+    for _ in 0..3 {
+        let _ = hub.scan_ordered(requests.iter().cloned());
+    }
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Renders the comparison table plus the warm run's per-stage latency
+/// percentiles.
 pub fn render(s: &ScanhubBenchStats) -> String {
-    format!(
+    let mut out = format!(
         "== Scanhub artifact cache: version-bump workload ({} files x {} versions) ==\n\
          {:<26} {:>10} {:>12}\n\
          {:<26} {:>9.1}ms {:>12}\n\
@@ -228,7 +258,24 @@ pub fn render(s: &ScanhubBenchStats) -> String {
         s.unique_digests,
         s.warm_hits,
         s.layers_decoded,
-    )
+    );
+    out.push_str(&format!(
+        "{:<10} {:>7} {:>11} {:>11} {:>11}\n",
+        "stage", "count", "p50", "p99", "max"
+    ));
+    for (name, stat) in s.warm_stats.latency.named() {
+        if stat.count == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{name:<10} {:>7} {:>9.1}us {:>9.1}us {:>9.1}us\n",
+            stat.count,
+            stat.p50_ns as f64 / 1e3,
+            stat.p99_ns as f64 / 1e3,
+            stat.max_ns as f64 / 1e3,
+        ));
+    }
+    out
 }
 
 /// The measurement as a `BENCH_scanhub.json` document, so the perf
@@ -248,6 +295,19 @@ pub fn to_json(s: &ScanhubBenchStats) -> jsonmini::Value {
     doc.insert("warm_parses", s.warm_parses as usize);
     doc.insert("warm_hits", s.warm_hits as usize);
     doc.insert("layers_decoded", s.layers_decoded as usize);
+    let mut latency = jsonmini::Value::object();
+    for (name, stat) in s.warm_stats.latency.named() {
+        let mut stage = jsonmini::Value::object();
+        stage.insert("count", stat.count as usize);
+        stage.insert("sum_ns", stat.sum_ns as usize);
+        stage.insert("mean_ns", stat.mean_ns());
+        stage.insert("p50_ns", stat.p50_ns as usize);
+        stage.insert("p90_ns", stat.p90_ns as usize);
+        stage.insert("p99_ns", stat.p99_ns as usize);
+        stage.insert("max_ns", stat.max_ns as usize);
+        latency.insert(name, stage);
+    }
+    doc.insert("latency", latency);
     doc
 }
 
@@ -358,6 +418,164 @@ mod tests {
         assert!(finding.depth >= 1);
         // Surface verdicts agree between the two configurations.
         assert_eq!(seeing.yara, blind.yara);
+    }
+
+    /// Release-mode CI smoke: the always-on telemetry layer (stage
+    /// clocks, histogram records, trace build + ring push) costs under
+    /// 3% of wall time on the warm version-bump workload.
+    ///
+    /// Methodology: end-to-end on/off wall-clock differencing cannot
+    /// resolve a ~1% effect on shared CI hosts — paired interleaved
+    /// runs of this workload show ±10% run-to-run drift, an order of
+    /// magnitude above the signal. So the smoke measures the two
+    /// factors separately, each with a noise-robust estimator: the
+    /// per-scan instrumentation cost in a tight loop over the exact
+    /// operations the hub performs per completed scan (amortizing
+    /// scheduler noise over thousands of iterations), and the scan cost
+    /// as the median scan wall time from the hub's own histogram (a
+    /// robust statistic over 60 warm scans). The informational on/off
+    /// wall comparison is still printed for eyeballing.
+    #[test]
+    fn scanhub_telemetry_overhead_smoke() {
+        let yara = yara_ruleset(40);
+        // The canonical version-bump dimensions (50 files x 20
+        // versions): per-request scan work is in the milliseconds, so
+        // the fixed per-scan instrumentation cost is measured against a
+        // realistic denominator rather than a toy one.
+        let requests = version_stream(50, 20, 42);
+        let hub = ScanHub::new(
+            Some(yara.clone()),
+            Some(semgrep_scan::ruleset(20)),
+            HubConfig {
+                cache_capacity: 0,
+                artifact_cache_capacity: 8192,
+                ..HubConfig::default()
+            },
+        );
+        // One artifact-building pass, then three warm steady-state
+        // passes: the histogram median below describes warm scans.
+        for _ in 0..4 {
+            let _ = hub.scan_ordered(requests.iter().cloned());
+        }
+        // Denominator: mean per-scan *service* time. The batch submit
+        // front-loads the queue, so raw wall times are mostly queue
+        // wait; means subtract exactly (mean(wall - queue) =
+        // mean(wall) - mean(queue)), unlike percentiles.
+        let latency = hub.stats().latency;
+        let service_ns =
+            (latency.scan.sum_ns - latency.queue.sum_ns) as f64 / latency.scan.count as f64;
+        assert!(service_ns > 0.0, "scan histogram is empty");
+        // The per-scan trace payload, at this workload's median
+        // fired-rule count (cloning it repeats the same allocations the
+        // worker's fired-rule expansion performs).
+        let mut traces = hub.traces();
+        traces.sort_by_key(|t| t.fired.len());
+        let sample = traces[traces.len() / 2].clone();
+
+        // Tight loop over one scan's worth of instrumentation: the ~12
+        // monotonic clock reads (submit stamp, enqueue stamp, queue
+        // wait, wall, clock start + 6-7 stage laps), the 9 histogram
+        // records, and the trace build + ring push (at ring capacity,
+        // so every push also evicts — the steady-state worst case).
+        let hists: Vec<telemetry::Histogram> =
+            (0..9).map(|_| telemetry::Histogram::new()).collect();
+        let ring = telemetry::FlightRecorder::new(HubConfig::default().trace_capacity);
+        for _ in 0..ring.capacity() {
+            ring.record_with(|seq| {
+                let mut t = sample.clone();
+                t.seq = seq;
+                t
+            });
+        }
+        let iters = 2_000u64;
+        let start = Instant::now();
+        for i in 0..iters {
+            let mut acc = 0u64;
+            for _ in 0..6 {
+                acc = acc.wrapping_add(Instant::now().elapsed().as_nanos() as u64);
+            }
+            std::hint::black_box(acc);
+            for h in &hists {
+                h.record(1 + i);
+            }
+            ring.record_with(|seq| {
+                let mut t = sample.clone();
+                t.seq = seq;
+                t
+            });
+        }
+        let cost_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        let overhead = cost_ns / service_ns;
+        println!(
+            "instrumentation {cost_ns:.0}ns/scan over mean service {:.1}us: overhead {:.2}% \
+             ({} fired rules in the sample trace)",
+            service_ns / 1e3,
+            overhead * 100.0,
+            sample.fired.len(),
+        );
+        // Informational only — see the methodology note above.
+        let on_ms = timed_warm_run(&requests, &yara, true);
+        let off_ms = timed_warm_run(&requests, &yara, false);
+        println!(
+            "wall comparison (noisy, not asserted): on {on_ms:.1}ms, off {off_ms:.1}ms ({:+.2}%)",
+            (on_ms / off_ms - 1.0) * 100.0
+        );
+        // Enforced only in release mode, like every wall-clock assertion
+        // in this module: debug runs share the machine with the whole
+        // workspace suite.
+        if !cfg!(debug_assertions) {
+            assert!(
+                overhead < 0.03,
+                "telemetry overhead {:.2}% breaches the 3% budget",
+                overhead * 100.0
+            );
+        }
+    }
+
+    /// The bench JSON carries non-zero p50/p99 for every stage the
+    /// acceptance criteria name, and the hub's Prometheus export passes
+    /// the line-format validator after a bench workload.
+    #[test]
+    fn scanhub_metrics_export_smoke() {
+        let stats = compare(10, 6, 11);
+        let doc = to_json(&stats);
+        let latency = doc.get("latency").expect("latency object");
+        for stage in [
+            "queue",
+            "artifact",
+            "prefilter",
+            "yara",
+            "semgrep",
+            "layers",
+        ] {
+            let entry = latency
+                .get(stage)
+                .unwrap_or_else(|| panic!("stage {stage} missing from bench json"));
+            for field in ["p50_ns", "p99_ns"] {
+                let v = entry
+                    .get(field)
+                    .and_then(jsonmini::Value::as_f64)
+                    .unwrap_or_else(|| panic!("{stage}.{field} missing"));
+                assert!(v > 0.0, "{stage}.{field} is zero in bench json");
+            }
+        }
+        // Display renders the same percentiles for the repro report.
+        let table = stats.warm_stats.to_string();
+        assert!(table.contains("p99"));
+        assert!(table.contains("artifact"));
+
+        // A hub that just ran the workload exports valid Prometheus text.
+        let yara = yara_ruleset(40);
+        let hub = ScanHub::new(
+            Some(yara),
+            Some(crate::semgrep_scan::ruleset(20)),
+            HubConfig::default(),
+        );
+        let _ = hub.scan_ordered(version_stream(4, 2, 3));
+        let text = hub.export_prometheus();
+        telemetry::validate_prometheus(&text).expect("exposition format");
+        assert!(text.contains("scanhub_stage_duration_ns_bucket"));
+        assert!(text.contains("scanhub_scan_duration_ns_count"));
     }
 
     #[test]

@@ -1,20 +1,24 @@
 //! The streaming scan service: sharded workers, bounded ingestion queue,
 //! digest caches (verdicts per request, artifacts per file), prefilter
-//! routing, decoded-layer scanning.
+//! routing, decoded-layer scanning, per-stage latency telemetry and a
+//! scan-trace flight recorder.
 
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use semgrep_engine::{CompiledSemgrepRules, MatchScratch, MatchSet, SemgrepMetrics};
+use telemetry::{FlightRecorder, Histogram, Registry};
 use yara_engine::{CompiledRules, ScanScratch, Scanner};
 
 use crate::artifact::{ArtifactConfig, FileAnalysis};
 use crate::cache::{ArtifactCache, DigestKey, VerdictCache};
 use crate::prefilter::{PrefilterIndex, PrefilterScratch, Routing};
 use crate::request::ScanRequest;
-use crate::stats::{HubCounters, HubStats};
+use crate::stats::{HubCounters, HubStats, LatencyStat, StageLatencies};
+use crate::trace::{fired_from_verdict, ScanTrace, StageNanos};
 use crate::verdict::{LayerFinding, Verdict};
 
 /// Service tuning knobs.
@@ -37,6 +41,13 @@ pub struct HubConfig {
     /// Literal prefilter routing; disabling scans every rule (A/B lever
     /// for the throughput benchmark and the equivalence property test).
     pub prefilter: bool,
+    /// Per-stage latency histograms and scan traces. When off, the scan
+    /// path reads no clocks and records nothing; the cost per request is
+    /// one relaxed atomic load.
+    pub telemetry: bool,
+    /// Flight-recorder ring size: the last N completed scan traces kept
+    /// for after-the-fact explanation. 0 keeps histograms but no traces.
+    pub trace_capacity: usize,
 }
 
 impl Default for HubConfig {
@@ -50,6 +61,8 @@ impl Default for HubConfig {
             artifact_cache_capacity: 4096,
             max_decode_depth: ArtifactConfig::default().max_decode_depth,
             prefilter: true,
+            telemetry: true,
+            trace_capacity: 256,
         }
     }
 }
@@ -63,6 +76,14 @@ struct Job {
     request: ScanRequest,
     digest: Option<DigestKey>,
     ticket: Arc<TicketState>,
+    /// Submit-entry timestamp (`None` when telemetry is off): the origin
+    /// for end-to-end wall time.
+    submitted_at: Option<Instant>,
+    /// Enqueue timestamp; pop-minus-enqueue is the queue-wait stage.
+    enqueued_at: Option<Instant>,
+    /// Digest + verdict-cache lookup time already spent on the submit
+    /// path, attributed to this job's `cache` stage.
+    cache_ns: u64,
 }
 
 struct TicketState {
@@ -107,6 +128,158 @@ impl Ticket {
                 Some(Err(msg)) => panic!("{msg}"),
                 None => slot = self.state.ready.wait(slot).expect("ticket wait"),
             }
+        }
+    }
+
+    /// Blocks for at most `timeout`; returns `None` if the verdict is
+    /// still pending when the deadline passes (the ticket stays valid —
+    /// wait again later).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a worker panic, exactly like [`Ticket::wait`].
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Verdict> {
+        let deadline = Instant::now().checked_add(timeout);
+        let mut slot = self.state.slot.lock().expect("ticket lock");
+        loop {
+            match slot.as_ref() {
+                Some(Ok(v)) => return Some(v.clone()),
+                Some(Err(msg)) => panic!("{msg}"),
+                None => {
+                    let remaining = deadline
+                        .and_then(|d| d.checked_duration_since(Instant::now()))
+                        .filter(|r| !r.is_zero())?;
+                    let (guard, _timed_out) = self
+                        .state
+                        .ready
+                        .wait_timeout(slot, remaining)
+                        .expect("ticket wait");
+                    slot = guard;
+                }
+            }
+        }
+    }
+}
+
+/// One `Instant` origin for a chain of sequential stage measurements;
+/// `lap` returns the nanoseconds since the previous lap. Reads **no
+/// clock at all** when telemetry is disabled (every lap is 0).
+struct StageClock {
+    last: Option<Instant>,
+}
+
+impl StageClock {
+    fn start(enabled: bool) -> Self {
+        StageClock {
+            last: enabled.then(Instant::now),
+        }
+    }
+
+    fn lap(&mut self) -> u64 {
+        match &mut self.last {
+            None => 0,
+            Some(last) => {
+                let now = Instant::now();
+                let ns = now.duration_since(*last).as_nanos() as u64;
+                *last = now;
+                ns
+            }
+        }
+    }
+}
+
+/// Hub-owned metrics: the registry, one histogram per pipeline stage,
+/// the end-to-end scan histogram, and the trace flight recorder.
+struct HubTelemetry {
+    registry: Arc<Registry>,
+    recorder: FlightRecorder<ScanTrace>,
+    queue: Arc<Histogram>,
+    cache: Arc<Histogram>,
+    artifact: Arc<Histogram>,
+    prefilter: Arc<Histogram>,
+    yara: Arc<Histogram>,
+    layers: Arc<Histogram>,
+    semgrep: Arc<Histogram>,
+    verdict: Arc<Histogram>,
+    scan: Arc<Histogram>,
+}
+
+const STAGE_HIST: &str = "scanhub_stage_duration_ns";
+const STAGE_HELP: &str = "Per-stage scan pipeline latency in nanoseconds";
+
+impl HubTelemetry {
+    fn new(enabled: bool, trace_capacity: usize) -> Self {
+        let registry = Arc::new(Registry::new());
+        registry.set_enabled(enabled);
+        let stage = |name| registry.histogram_with(STAGE_HIST, STAGE_HELP, &[("stage", name)]);
+        HubTelemetry {
+            queue: stage("queue"),
+            cache: stage("cache"),
+            artifact: stage("artifact"),
+            prefilter: stage("prefilter"),
+            yara: stage("yara"),
+            layers: stage("layers"),
+            semgrep: stage("semgrep"),
+            verdict: stage("verdict"),
+            scan: registry.histogram(
+                "scanhub_scan_duration_ns",
+                "End-to-end submit-to-verdict wall time in nanoseconds",
+            ),
+            recorder: FlightRecorder::new(trace_capacity),
+            registry,
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.registry.enabled()
+    }
+
+    /// Records one request's stage laps and wall time. Stages that did
+    /// not run (lap 0) stay out of their histograms so per-stage
+    /// percentiles describe the stage's actual executions; the trace
+    /// keeps the raw zeros.
+    fn record(&self, stages: &StageNanos, wall_ns: u64) {
+        let pairs = [
+            (&self.queue, stages.queue),
+            (&self.cache, stages.cache),
+            (&self.artifact, stages.artifact),
+            (&self.prefilter, stages.prefilter),
+            (&self.yara, stages.yara),
+            (&self.layers, stages.layers),
+            (&self.semgrep, stages.semgrep),
+            (&self.verdict, stages.verdict),
+        ];
+        for (hist, ns) in pairs {
+            if ns > 0 {
+                hist.record(ns);
+            }
+        }
+        self.scan.record(wall_ns);
+    }
+
+    /// Records a trace, assigning its `seq` under the ring lock so ring
+    /// order and sequence order agree even across racing workers. Takes
+    /// a constructor rather than a built trace: when the ring is
+    /// disabled (`trace_capacity: 0`) the trace — fired-rule expansion
+    /// included — is never materialized at all.
+    fn push_trace(&self, make: impl FnOnce(u64) -> ScanTrace) {
+        self.recorder.record_with(make);
+    }
+
+    /// The percentile view [`ScanHub::stats`] overlays onto the counter
+    /// snapshot.
+    fn latencies(&self) -> StageLatencies {
+        let stat = |h: &Histogram| LatencyStat::from_snapshot(&h.snapshot());
+        StageLatencies {
+            queue: stat(&self.queue),
+            cache: stat(&self.cache),
+            artifact: stat(&self.artifact),
+            prefilter: stat(&self.prefilter),
+            yara: stat(&self.yara),
+            layers: stat(&self.layers),
+            semgrep: stat(&self.semgrep),
+            verdict: stat(&self.verdict),
+            scan: stat(&self.scan),
         }
     }
 }
@@ -254,6 +427,7 @@ struct Shared {
     cache: Option<Mutex<VerdictCache>>,
     artifacts: Option<ArtifactStore>,
     counters: HubCounters,
+    telemetry: HubTelemetry,
 }
 
 /// A streaming scan service over one compiled rule bundle.
@@ -296,11 +470,12 @@ impl ScanHub {
             artifacts: (config.artifact_cache_capacity > 0)
                 .then(|| ArtifactStore::new(config.artifact_cache_capacity)),
             counters: HubCounters::default(),
+            telemetry: HubTelemetry::new(config.telemetry, config.trace_capacity),
         });
         let workers = (0..config.workers.max(1))
-            .map(|_| {
+            .map(|worker_id| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, worker_id))
             })
             .collect();
         ScanHub { shared, workers }
@@ -311,9 +486,136 @@ impl ScanHub {
         &self.shared.index
     }
 
-    /// A snapshot of the service counters.
+    /// A snapshot of the service counters plus per-stage latency
+    /// percentiles (zeroed when telemetry is off).
     pub fn stats(&self) -> HubStats {
-        self.shared.counters.snapshot()
+        let mut stats = self.shared.counters.snapshot();
+        stats.latency = self.shared.telemetry.latencies();
+        stats
+    }
+
+    /// Whether per-stage timing and trace recording are on.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.shared.telemetry.enabled()
+    }
+
+    /// The flight recorder's current contents, oldest first.
+    pub fn traces(&self) -> Vec<ScanTrace> {
+        self.shared.telemetry.recorder.snapshot()
+    }
+
+    /// Total traces ever recorded (the ring keeps only the newest
+    /// [`HubConfig::trace_capacity`] of them).
+    pub fn traces_recorded(&self) -> u64 {
+        self.shared.telemetry.recorder.recorded()
+    }
+
+    /// The newest trace for the request with this hex content digest
+    /// ([`ScanRequest::digest_hex`]) — how a gatekeeper explains a
+    /// verdict after the fact. Traces carry digests only when the
+    /// verdict cache is enabled (the hub never hashes solely to trace).
+    pub fn trace_for_digest(&self, digest_hex: &str) -> Option<ScanTrace> {
+        self.shared
+            .telemetry
+            .recorder
+            .find(|t| t.digest.as_deref() == Some(digest_hex))
+    }
+
+    /// The slowest scan still in the flight recorder.
+    pub fn worst_trace(&self) -> Option<ScanTrace> {
+        self.traces().into_iter().max_by_key(|t| t.wall_ns)
+    }
+
+    /// Renders every hub metric — counters, gauges and stage histograms
+    /// — in the Prometheus text exposition format.
+    pub fn export_prometheus(&self) -> String {
+        self.mirror_counters();
+        self.shared.telemetry.registry.render_prometheus()
+    }
+
+    /// Renders every hub metric as a JSON document.
+    pub fn export_json(&self) -> jsonmini::Value {
+        self.mirror_counters();
+        self.shared.telemetry.registry.render_json()
+    }
+
+    /// Copies the hot-path counters into registry metrics at export
+    /// time: the scan path keeps writing plain relaxed atomics and the
+    /// registry stays the single rendering point.
+    fn mirror_counters(&self) {
+        let reg = &self.shared.telemetry.registry;
+        let stats = self.shared.counters.snapshot();
+        for (name, help, value) in [
+            (
+                "scanhub_submitted_total",
+                "Packages submitted",
+                stats.submitted,
+            ),
+            (
+                "scanhub_completed_total",
+                "Packages fully processed",
+                stats.completed,
+            ),
+            (
+                "scanhub_cache_hits_total",
+                "Verdict-cache hits",
+                stats.cache_hits,
+            ),
+            (
+                "scanhub_bytes_scanned_total",
+                "Buffer bytes scanned",
+                stats.bytes_scanned,
+            ),
+            (
+                "scanhub_artifact_parses_total",
+                "File entries analyzed from scratch",
+                stats.artifact_parses,
+            ),
+            (
+                "scanhub_artifact_cache_hits_total",
+                "File entries served from the artifact cache",
+                stats.artifact_cache_hits,
+            ),
+            (
+                "scanhub_layers_decoded_total",
+                "Decoded payload layers extracted",
+                stats.layers_decoded,
+            ),
+            (
+                "scanhub_yara_rules_evaluated_total",
+                "YARA condition evaluations",
+                stats.yara_rules_evaluated,
+            ),
+            (
+                "scanhub_yara_rules_skipped_total",
+                "YARA evaluations skipped by the prefilter",
+                stats.yara_rules_skipped,
+            ),
+            (
+                "scanhub_semgrep_rules_evaluated_total",
+                "Semgrep rule evaluations",
+                stats.semgrep_rules_evaluated,
+            ),
+            (
+                "scanhub_semgrep_rules_skipped_total",
+                "Semgrep evaluations skipped by the prefilter",
+                stats.semgrep_rules_skipped,
+            ),
+        ] {
+            reg.counter(name, help).set(value);
+        }
+        reg.gauge("scanhub_cached_verdicts", "Verdicts currently cached")
+            .set(self.cached_verdicts() as i64);
+        reg.gauge(
+            "scanhub_cached_artifacts",
+            "File artifacts currently cached",
+        )
+        .set(self.cached_artifacts() as i64);
+        reg.gauge(
+            "scanhub_flight_recorder_traces",
+            "Scan traces currently held in the flight recorder",
+        )
+        .set(self.shared.telemetry.recorder.len() as i64);
     }
 
     /// Number of verdicts currently cached.
@@ -335,13 +637,41 @@ impl ScanHub {
     /// Submits one package; blocks while the queue is full.
     pub fn submit(&self, request: ScanRequest) -> Ticket {
         let c = &self.shared.counters;
+        let tel = &self.shared.telemetry;
+        let submitted_at = tel.enabled().then(Instant::now);
         HubCounters::add(&c.submitted, 1);
         let digest = self.shared.cache.as_ref().map(|_| request.digest());
+        // The cache stage covers digesting the request plus the verdict
+        // lookup; on a miss it rides along on the job and lands in the
+        // worker's trace.
+        let mut cache_ns = 0u64;
         if let (Some(cache), Some(d)) = (&self.shared.cache, &digest) {
-            if let Some(mut verdict) = cache.lock().expect("cache lock").get(d) {
+            let hit = cache.lock().expect("cache lock").get(d);
+            cache_ns = submitted_at.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            if let Some(mut verdict) = hit {
                 verdict.from_cache = true;
                 HubCounters::add(&c.cache_hits, 1);
                 HubCounters::add(&c.completed, 1);
+                if tel.enabled() {
+                    let stages = StageNanos {
+                        cache: cache_ns,
+                        ..StageNanos::default()
+                    };
+                    let wall_ns = submitted_at.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    tel.record(&stages, wall_ns);
+                    tel.push_trace(|seq| ScanTrace {
+                        seq,
+                        worker: None,
+                        digest: digest.as_ref().map(digest::to_hex),
+                        files: request.files().len(),
+                        bytes: request.scan_len() as u64,
+                        from_cache: true,
+                        flagged: verdict.flagged(),
+                        stages,
+                        wall_ns,
+                        fired: fired_from_verdict(&verdict),
+                    });
+                }
                 return Ticket::ready(verdict);
             }
         }
@@ -349,15 +679,19 @@ impl ScanHub {
             slot: Mutex::new(None),
             ready: Condvar::new(),
         });
-        let job = Job {
+        let mut job = Job {
             request,
             digest,
             ticket: Arc::clone(&ticket),
+            submitted_at,
+            enqueued_at: None,
+            cache_ns,
         };
         let mut queue = self.shared.queue.lock().expect("queue lock");
         while queue.jobs.len() >= self.shared.capacity && !queue.closed {
             queue = self.shared.not_full.wait(queue).expect("queue wait");
         }
+        job.enqueued_at = submitted_at.map(|_| Instant::now());
         queue.jobs.push_back(job);
         drop(queue);
         self.shared.not_empty.notify_one();
@@ -417,7 +751,7 @@ impl WorkerScratch {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker_id: usize) {
     // Per-worker reusable matcher state: the merged Aho–Corasick
     // automatons and the Semgrep anchor index are built once per worker,
     // not once per package — and neither ever parses pattern text.
@@ -438,6 +772,7 @@ fn worker_loop(shared: &Shared) {
             }
         };
         shared.not_full.notify_one();
+        let queue_ns = job.enqueued_at.map_or(0, |t| t.elapsed().as_nanos() as u64);
         // A panic while scanning one hostile package must neither strand
         // the caller on an unfulfilled ticket nor take the worker down.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -450,7 +785,7 @@ fn worker_loop(shared: &Shared) {
             )
         }));
         match outcome {
-            Ok(verdict) => {
+            Ok((verdict, mut stages)) => {
                 if let (Some(cache), Some(d)) = (&shared.cache, &job.digest) {
                     cache
                         .lock()
@@ -458,6 +793,30 @@ fn worker_loop(shared: &Shared) {
                         .insert(*d, verdict.clone());
                 }
                 HubCounters::add(&shared.counters.completed, 1);
+                let tel = &shared.telemetry;
+                if tel.enabled() {
+                    stages.queue = queue_ns;
+                    stages.cache = job.cache_ns;
+                    let wall_ns = job
+                        .submitted_at
+                        .map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    tel.record(&stages, wall_ns);
+                    // The trace lands in the recorder *before* the
+                    // ticket resolves: a caller returning from `wait`
+                    // can always find its own scan.
+                    tel.push_trace(|seq| ScanTrace {
+                        seq,
+                        worker: Some(worker_id),
+                        digest: job.digest.as_ref().map(digest::to_hex),
+                        files: job.request.files().len(),
+                        bytes: job.request.scan_len() as u64,
+                        from_cache: false,
+                        flagged: verdict.flagged(),
+                        stages,
+                        wall_ns,
+                        fired: fired_from_verdict(&verdict),
+                    });
+                }
                 job.ticket.fulfill(Ok(verdict));
             }
             Err(panic) => {
@@ -534,7 +893,9 @@ fn scan_job(
     matcher: Option<&MatchSet<'_>>,
     scratch: &mut WorkerScratch,
     request: &ScanRequest,
-) -> Verdict {
+) -> (Verdict, StageNanos) {
+    let mut clock = StageClock::start(shared.telemetry.enabled());
+    let mut stages = StageNanos::default();
     let c = &shared.counters;
     let WorkerScratch {
         routing,
@@ -550,6 +911,7 @@ fn scan_job(
     // only phase that touches file bytes; a warm artifact cache makes a
     // re-uploaded package version re-analyze only its changed files.
     gather_artifacts(shared, scanner, request, artifacts);
+    stages.artifact = clock.lap();
     // Phase 2: route the package from the artifacts (raw bytes, decoded
     // layers, Python sources).
     if shared.prefilter {
@@ -559,6 +921,7 @@ fn scan_job(
     } else {
         shared.index.route_all_into(routing);
     }
+    stages.prefilter = clock.lap();
     let total_len = request.scan_len();
     HubCounters::add(&c.bytes_scanned, total_len as u64);
 
@@ -586,6 +949,7 @@ fn scan_job(
             for hit in hits {
                 verdict.yara.push(hit.rule);
             }
+            stages.yara = clock.lap();
             for (entry, artifact) in request.files().iter().zip(artifacts.iter()) {
                 for (layer, layer_hits) in artifact.layers.iter().zip(&artifact.layer_hits) {
                     // A layer with no string hit can only satisfy
@@ -617,6 +981,7 @@ fn scan_job(
                     }
                 }
             }
+            stages.layers = clock.lap();
         }
     }
     // Phase 4: Semgrep — one anchored walk per cached module; nothing on
@@ -649,12 +1014,14 @@ fn scan_job(
             HubCounters::add(&c.semgrep_stmts_visited, metrics.stmts_visited);
             HubCounters::add(&c.semgrep_pattern_reparses, metrics.pattern_reparses);
             verdict.semgrep = ids.drain().collect();
+            stages.semgrep = clock.lap();
         }
     }
     // Drop the artifact handles so cache eviction can actually free.
     artifacts.clear();
     verdict.normalize();
-    verdict
+    stages.verdict = clock.lap();
+    (verdict, stages)
 }
 
 fn count(counter: &AtomicU64, n: usize) {
@@ -1130,6 +1497,107 @@ rule missing { strings: $a = "never-present-atom" condition: not $a }
             }
         });
         assert_eq!(hub.stats().completed, 100);
+    }
+
+    #[test]
+    fn wait_timeout_times_out_on_a_saturated_queue_then_resolves() {
+        // One worker, a two-slot queue, caches off: after the final
+        // submit returns, at least the last two jobs are still queued
+        // behind the in-flight scan, so a zero-duration wait on the
+        // last ticket must observe "pending".
+        let hub = hub(HubConfig {
+            workers: 1,
+            queue_capacity: 2,
+            cache_capacity: 0,
+            artifact_cache_capacity: 0,
+            ..HubConfig::default()
+        });
+        let body = "x = 'just some bytes to scan'\n".repeat(2_000);
+        let tickets: Vec<Ticket> = (0..12)
+            .map(|i| hub.submit(request(&format!("# upload {i}\n{body}"))))
+            .collect();
+        let last = tickets.last().expect("tickets");
+        assert!(
+            last.wait_timeout(Duration::ZERO).is_none(),
+            "last ticket resolved while the queue was saturated"
+        );
+        // A generous deadline resolves...
+        let v = last.wait_timeout(Duration::from_secs(60)).expect("verdict");
+        assert!(!v.flagged());
+        // ...and a fulfilled ticket answers instantly ever after.
+        assert_eq!(last.wait_timeout(Duration::ZERO), Some(v));
+        for t in &tickets {
+            let _ = t.wait();
+        }
+        assert_eq!(hub.stats().completed, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "scan worker panicked")]
+    fn wait_timeout_propagates_worker_panics() {
+        let state = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        state.fulfill(Err("scan worker panicked: boom".to_owned()));
+        let _ = Ticket { state }.wait_timeout(Duration::ZERO);
+    }
+
+    #[test]
+    fn disabled_telemetry_reads_no_clocks_and_records_nothing() {
+        let hub = hub(HubConfig {
+            telemetry: false,
+            ..HubConfig::default()
+        });
+        assert!(!hub.telemetry_enabled());
+        let v = hub.submit(request("import os\nos.system('id')\n")).wait();
+        assert!(v.flagged());
+        let _ = hub.submit(request("import os\nos.system('id')\n")).wait();
+        assert!(hub.traces().is_empty());
+        assert_eq!(hub.traces_recorded(), 0);
+        let stats = hub.stats();
+        assert_eq!(stats.latency, StageLatencies::default());
+        // Counters still work; only the latency layer is off.
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn cache_hits_leave_their_own_trace() {
+        let hub = hub(HubConfig::default());
+        let req = request("import os\nos.system('id')\n");
+        let hex = req.digest_hex();
+        let _ = hub.submit(req).wait();
+        let _ = hub.submit(request("import os\nos.system('id')\n")).wait();
+        let traces = hub.traces();
+        assert_eq!(traces.len(), 2);
+        let scan = &traces[0];
+        let hit = &traces[1];
+        assert!(!scan.from_cache);
+        assert!(scan.worker.is_some());
+        assert!(hit.from_cache);
+        assert_eq!(hit.worker, None);
+        assert!(hit.stages.cache > 0);
+        assert_eq!(hit.stages.artifact, 0);
+        // Both traces carry the digest, and both explain the verdict.
+        assert_eq!(scan.digest.as_deref(), Some(hex.as_str()));
+        assert_eq!(hit.digest, scan.digest);
+        assert_eq!(hub.trace_for_digest(&hex).expect("trace").seq, hit.seq);
+        assert!(hit.fired.iter().any(|f| f.rule == "sys"));
+    }
+
+    #[test]
+    fn exports_render_and_validate() {
+        let hub = hub(HubConfig::default());
+        let _ = hub.submit(request("import os\nos.system('id')\n")).wait();
+        let text = hub.export_prometheus();
+        telemetry::validate_prometheus(&text).expect("valid exposition format");
+        assert!(text.contains("scanhub_submitted_total 1"));
+        assert!(text.contains("scanhub_stage_duration_ns_bucket"));
+        assert!(text.contains("stage=\"artifact\""));
+        let json = hub.export_json().to_string();
+        assert!(json.contains("scanhub_scan_duration_ns"));
+        assert!(json.contains("\"p99\""));
     }
 
     #[test]

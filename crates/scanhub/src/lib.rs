@@ -38,7 +38,13 @@
 //!    without scanning at all.
 //!
 //! Throughput, cache-hit rates, artifact reuse and prefilter skip rate
-//! are exposed as [`HubStats`].
+//! are exposed as [`HubStats`], which also carries per-stage latency
+//! percentiles ([`StageLatencies`]) from the hub's lock-free log-linear
+//! histograms. Every completed scan leaves a [`ScanTrace`] — per-stage
+//! wall time, bytes, digest, worker and fired rules with evidence
+//! provenance — in a bounded flight recorder, and the whole metric set
+//! exports as Prometheus text ([`ScanHub::export_prometheus`]) or JSON
+//! ([`ScanHub::export_json`]).
 //!
 //! # Examples
 //!
@@ -65,6 +71,7 @@ mod hub;
 mod prefilter;
 mod request;
 mod stats;
+mod trace;
 mod verdict;
 
 pub use artifact::{ArtifactConfig, DecodedLayer, FileAnalysis, LayerEncoding};
@@ -72,5 +79,6 @@ pub use cache::DigestKey;
 pub use hub::{HubConfig, ScanHub, Ticket};
 pub use prefilter::{PrefilterIndex, PrefilterScratch, Routing};
 pub use request::{FileEntry, ScanRequest};
-pub use stats::HubStats;
+pub use stats::{HubStats, LatencyStat, StageLatencies};
+pub use trace::{FiredEngine, FiredRule, ScanTrace, StageNanos};
 pub use verdict::{LayerFinding, Verdict};

@@ -1,6 +1,10 @@
-//! Service counters: throughput, cache effectiveness, prefilter skips.
+//! Service counters: throughput, cache effectiveness, prefilter skips,
+//! and per-stage latency percentiles.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use telemetry::HistogramSnapshot;
 
 /// Lock-free counters updated by the submission path and the workers.
 #[derive(Debug, Default)]
@@ -51,6 +55,9 @@ impl HubCounters {
             artifact_cache_hits: load(&self.artifact_cache_hits),
             layers_decoded: load(&self.layers_decoded),
             layer_bytes_scanned: load(&self.layer_bytes_scanned),
+            // The hub overlays histogram percentiles after the counter
+            // snapshot (see `ScanHub::stats`).
+            latency: StageLatencies::default(),
         }
     }
 }
@@ -105,6 +112,159 @@ pub struct HubStats {
     /// Bytes of decoded-layer content run through the YARA string scan
     /// at artifact-build time.
     pub layer_bytes_scanned: u64,
+    /// Per-stage latency percentiles (zeroed when telemetry is off).
+    pub latency: StageLatencies,
+}
+
+/// Percentile summary of one latency histogram, in nanoseconds.
+///
+/// All-`u64` so [`HubStats`] stays `Copy + Eq`. Percentiles come from
+/// the hub's log-linear histograms and are within 1/16 relative error
+/// of the exact sample (see the `telemetry` crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyStat {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (exact, not bucketed).
+    pub sum_ns: u64,
+    /// Median.
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Largest sample (exact).
+    pub max_ns: u64,
+}
+
+impl LatencyStat {
+    /// Extracts the summary from a histogram snapshot.
+    pub fn from_snapshot(snap: &HistogramSnapshot) -> Self {
+        LatencyStat {
+            count: snap.count,
+            sum_ns: snap.sum,
+            p50_ns: snap.percentile(0.50),
+            p90_ns: snap.percentile(0.90),
+            p99_ns: snap.percentile(0.99),
+            max_ns: snap.max,
+        }
+    }
+
+    /// Arithmetic mean sample, in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Latency percentiles for every pipeline stage plus end-to-end wall
+/// time (`scan` = submit-to-verdict, cache hits excluded from the
+/// worker stages but included in `scan` when answered synchronously).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageLatencies {
+    /// Time jobs sat in the bounded submission queue.
+    pub queue: LatencyStat,
+    /// Verdict-cache lookup on the submit path.
+    pub cache: LatencyStat,
+    /// Artifact get-or-build (parse, intern, layer decode, byte scan).
+    pub artifact: LatencyStat,
+    /// Literal prefilter routing.
+    pub prefilter: LatencyStat,
+    /// YARA surface condition evaluation.
+    pub yara: LatencyStat,
+    /// Decoded-layer YARA evaluation.
+    pub layers: LatencyStat,
+    /// Semgrep matchset walk.
+    pub semgrep: LatencyStat,
+    /// Verdict assembly.
+    pub verdict: LatencyStat,
+    /// End-to-end submit-to-verdict wall time.
+    pub scan: LatencyStat,
+}
+
+impl StageLatencies {
+    /// Stage names paired with their stats, pipeline order, `scan` last.
+    pub fn named(&self) -> [(&'static str, LatencyStat); 9] {
+        [
+            ("queue", self.queue),
+            ("cache", self.cache),
+            ("artifact", self.artifact),
+            ("prefilter", self.prefilter),
+            ("yara", self.yara),
+            ("layers", self.layers),
+            ("semgrep", self.semgrep),
+            ("verdict", self.verdict),
+            ("scan", self.scan),
+        ]
+    }
+}
+
+/// Renders nanoseconds at a human scale: `870ns`, `12.4µs`, `3.05ms`,
+/// `1.21s`.
+pub(crate) fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+impl fmt::Display for HubStats {
+    /// An aligned operator table: counters, derived rates, then the
+    /// per-stage latency percentiles (omitted entirely when telemetry
+    /// was disabled and no samples exist).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let row = |f: &mut fmt::Formatter<'_>, name: &str, value: u64| {
+            writeln!(f, "  {name:<26} {value:>12}")
+        };
+        let pct = |f: &mut fmt::Formatter<'_>, name: &str, value: f64| {
+            writeln!(f, "  {name:<26} {:>11.1}%", value * 100.0)
+        };
+        writeln!(f, "scanhub stats")?;
+        row(f, "submitted", self.submitted)?;
+        row(f, "completed", self.completed)?;
+        row(f, "cache_hits", self.cache_hits)?;
+        row(f, "bytes_scanned", self.bytes_scanned)?;
+        row(f, "artifact_parses", self.artifact_parses)?;
+        row(f, "artifact_cache_hits", self.artifact_cache_hits)?;
+        row(f, "layers_decoded", self.layers_decoded)?;
+        row(f, "layer_bytes_scanned", self.layer_bytes_scanned)?;
+        row(f, "yara_rules_evaluated", self.yara_rules_evaluated)?;
+        row(f, "yara_rules_skipped", self.yara_rules_skipped)?;
+        row(f, "semgrep_rules_evaluated", self.semgrep_rules_evaluated)?;
+        row(f, "semgrep_rules_skipped", self.semgrep_rules_skipped)?;
+        row(f, "semgrep_pattern_reparses", self.semgrep_pattern_reparses)?;
+        pct(f, "cache_hit_rate", self.cache_hit_rate())?;
+        pct(f, "artifact_hit_rate", self.artifact_hit_rate())?;
+        pct(f, "prefilter_skip_rate", self.prefilter_skip_rate())?;
+        let stages = self.latency.named();
+        if stages.iter().any(|(_, s)| s.count > 0) {
+            writeln!(
+                f,
+                "  {:<9} {:>7} {:>10} {:>10} {:>10} {:>10}",
+                "latency", "count", "p50", "p90", "p99", "max"
+            )?;
+            for (name, stat) in stages {
+                if stat.count == 0 {
+                    continue;
+                }
+                writeln!(
+                    f,
+                    "  {name:<9} {:>7} {:>10} {:>10} {:>10} {:>10}",
+                    stat.count,
+                    fmt_ns(stat.p50_ns),
+                    fmt_ns(stat.p90_ns),
+                    fmt_ns(stat.p99_ns),
+                    fmt_ns(stat.max_ns),
+                )?;
+            }
+        }
+        Ok(())
+    }
 }
 
 impl HubStats {
@@ -179,6 +339,59 @@ mod tests {
         };
         assert!((stats.artifact_hit_rate() - 0.75).abs() < 1e-9);
         assert_eq!(HubStats::default().artifact_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn fmt_ns_picks_a_human_scale() {
+        assert_eq!(fmt_ns(870), "870ns");
+        assert_eq!(fmt_ns(12_400), "12.4µs");
+        assert_eq!(fmt_ns(3_050_000), "3.05ms");
+        assert_eq!(fmt_ns(1_210_000_000), "1.21s");
+    }
+
+    #[test]
+    fn display_renders_counters_rates_and_percentiles() {
+        let mut stats = HubStats {
+            submitted: 10,
+            completed: 10,
+            cache_hits: 4,
+            ..HubStats::default()
+        };
+        let text = stats.to_string();
+        assert!(text.contains("submitted"));
+        assert!(text.contains("cache_hit_rate"));
+        assert!(text.contains("40.0%"));
+        // No samples -> the latency table is omitted entirely.
+        assert!(!text.contains("p99"));
+
+        stats.latency.scan = LatencyStat {
+            count: 6,
+            sum_ns: 12_000_000,
+            p50_ns: 1_800_000,
+            p90_ns: 3_100_000,
+            p99_ns: 3_100_000,
+            max_ns: 3_200_000,
+        };
+        let text = stats.to_string();
+        assert!(text.contains("p99"));
+        assert!(text.contains("scan"));
+        assert!(text.contains("1.80ms"));
+        // Stages with no samples stay out of the table.
+        assert!(!text.contains("\n  queue"));
+    }
+
+    #[test]
+    fn latency_stat_from_snapshot() {
+        let hist = telemetry::Histogram::new();
+        for v in [100u64, 200, 300, 400, 1_000_000] {
+            hist.record(v);
+        }
+        let stat = LatencyStat::from_snapshot(&hist.snapshot());
+        assert_eq!(stat.count, 5);
+        assert_eq!(stat.sum_ns, 1_000_000 + 1000);
+        assert_eq!(stat.max_ns, 1_000_000);
+        assert!(stat.p50_ns >= 200 && stat.p50_ns < 400);
+        assert!((stat.mean_ns() - 200_200.0).abs() < 1e-6);
     }
 
     #[test]

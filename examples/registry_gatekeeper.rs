@@ -2,10 +2,12 @@
 //! uploads, stand up a `scanhub` scan service over them, then screen the
 //! next wave of packages — including an unseen variant of a known family,
 //! a legitimate upload, and a re-upload served straight from the verdict
-//! cache.
+//! cache. Every verdict is then explained from its flight-recorder
+//! trace, without re-running a single scan.
 //!
 //! ```text
 //! cargo run --example registry_gatekeeper
+//! cargo run --example registry_gatekeeper -- --metrics   # + exporter dumps
 //! ```
 
 use corpus::{generate_legit_package, generate_malware_package, FAMILIES};
@@ -13,6 +15,7 @@ use rulellm::{Pipeline, PipelineConfig};
 use scanhub::{HubConfig, ScanHub, ScanRequest};
 
 fn main() {
+    let dump_metrics = std::env::args().any(|a| a == "--metrics");
     // Monday-to-Friday quarantine: three variants each from two active
     // campaigns (a C2 beacon family and a base64 dropper family).
     let beacon = FAMILIES
@@ -69,10 +72,13 @@ fn main() {
         ("legitimate upload", &legit, false),
         ("legitimate re-upload", &legit, false),
     ];
+    let mut digests = Vec::new();
     for (label, pkg, expect) in &queue {
         // Sequential submit-then-wait: the verdict cache keys on content,
         // so the re-upload is answered without a scan.
-        let verdict = hub.submit(ScanRequest::from_package(pkg)).wait();
+        let request = ScanRequest::from_package(pkg);
+        let digest = request.digest_hex();
+        let verdict = hub.submit(request).wait();
         let decision = if verdict.flagged() { "BLOCK" } else { "PASS" };
         let provenance = if verdict.from_cache { ", cached" } else { "" };
         println!(
@@ -81,19 +87,39 @@ fn main() {
             verdict.total(),
         );
         assert_eq!(verdict.flagged(), *expect, "{label} misclassified");
+        digests.push((*label, digest, verdict));
+    }
+
+    // Every verdict is explainable after the fact from the flight
+    // recorder alone: the trace names each fired rule with its evidence
+    // provenance and shows where the request's time went.
+    println!("\n== verdict explanations (from the flight recorder, no re-scan) ==");
+    for (label, digest, verdict) in &digests {
+        let trace = hub
+            .trace_for_digest(digest)
+            .expect("every screened upload leaves a trace");
+        assert_eq!(
+            trace.fired.len(),
+            verdict.total(),
+            "{label}: trace and verdict disagree"
+        );
+        assert_eq!(trace.flagged, verdict.flagged());
+        println!("[{label}]\n{trace}\n");
+    }
+
+    if let Some(worst) = hub.worst_trace() {
+        println!("== slowest scan still on record ==\n{worst}\n");
     }
 
     let stats = hub.stats();
-    println!(
-        "\nhub stats: {} submitted, {} scanned, cache hit rate {:.0}%, \
-         {} files analyzed ({} artifact-cache hits), prefilter skip rate {:.0}%",
-        stats.submitted,
-        stats.completed - stats.cache_hits,
-        stats.cache_hit_rate() * 100.0,
-        stats.artifact_parses,
-        stats.artifact_cache_hits,
-        stats.prefilter_skip_rate() * 100.0,
-    );
+    println!("{stats}");
     assert_eq!(stats.cache_hits, 1, "the re-upload must be a cache hit");
+
+    if dump_metrics {
+        println!("== prometheus exposition ==");
+        print!("{}", hub.export_prometheus());
+        println!("\n== json metrics ==");
+        println!("{}", hub.export_json().to_string_pretty());
+    }
     println!("gatekeeper verdicts all correct.");
 }
