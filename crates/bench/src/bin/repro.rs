@@ -57,7 +57,15 @@ fn main() {
         let stats = rulellm_bench::scanhub_bench::compare(50, 20, 42);
         println!("{}", rulellm_bench::scanhub_bench::render(&stats));
         println!("{}", stats.warm_stats);
-        let doc = rulellm_bench::scanhub_bench::to_json(&stats);
+        let mut doc = rulellm_bench::scanhub_bench::to_json(&stats);
+        eprintln!("[repro] retro-hunt: new rules vs scanned-digest history (ISSUE 7) ...");
+        let history = if cfg!(debug_assertions) { 600 } else { 10_000 };
+        let retro = rulellm_bench::retrohunt_bench::compare(history, 10, 42);
+        println!("{}", rulellm_bench::retrohunt_bench::render(&retro));
+        doc.insert(
+            "retro_hunt",
+            rulellm_bench::retrohunt_bench::to_json(&retro),
+        );
         match std::fs::write("BENCH_scanhub.json", doc.to_string_pretty()) {
             Ok(()) => eprintln!("[repro] wrote BENCH_scanhub.json"),
             Err(e) => eprintln!("[repro] could not write BENCH_scanhub.json: {e}"),

@@ -1,0 +1,300 @@
+//! Retro-hunt benchmark: N new rules against a large scanned history
+//! (ISSUE 7).
+//!
+//! The operational question behind the inverted atom→digest index: when
+//! a rule refresh lands, how fast can the service answer "which of the
+//! packages we already scanned would the new rules flag?" — without
+//! rescanning the world. This module builds a deterministic history of
+//! single-file uploads named after popular registry packages, ingests
+//! it through a live hub (populating the artifact cache and the retro
+//! index as a side effect of normal scanning), then deploys a bundle
+//! with `new_rules` additional YARA rules whose IOC markers were
+//! planted in a handful of history files (one in three only inside a
+//! base64-encoded literal, so layer postings are exercised). The timed
+//! comparison is [`ScanHub::retro_hunt`] (index-assisted) against
+//! [`ScanHub::retro_rescan`] (exhaustive oracle), and the run asserts
+//! the two produce identical per-rule hit sets — the speedup table
+//! doubles as the differential check.
+
+use std::time::Instant;
+
+use oss_registry::POPULAR_PACKAGES;
+use scanhub::{HubConfig, ScanHub, ScanRequest};
+use semgrep_engine::CompiledSemgrepRules;
+use yara_engine::CompiledRules;
+
+use crate::semgrep_scan;
+
+/// The live YARA bundle source: same shape as
+/// [`crate::scanhub_bench::yara_ruleset`], but kept as text so the
+/// deployment candidate can be the identical bundle plus new rules.
+fn yara_source(n: usize) -> String {
+    const ATOMS: &[&str] = &[
+        "os.system",
+        "subprocess.popen",
+        "socket.connect",
+        "requests.post",
+        "base64.b64decode",
+        "pickle.loads",
+        "urllib.urlopen",
+        "shutil.rmtree",
+        "ctypes.windll",
+        "exfil",
+    ];
+    let mut out = String::new();
+    for i in 0..n {
+        let a = ATOMS[i % ATOMS.len()];
+        let b = ATOMS[(i + 3) % ATOMS.len()];
+        match i % 4 {
+            0 => out.push_str(&format!(
+                "rule live_atom_{i} {{ strings: $a = \"{a}\" condition: $a }}\n"
+            )),
+            1 => out.push_str(&format!(
+                "rule live_any_{i} {{ strings: $a = \"{a}\" $b = \"{b}\" condition: any of them }}\n"
+            )),
+            2 => out.push_str(&format!(
+                "rule live_count_{i} {{ strings: $a = \"import\" condition: #a >= {} }}\n",
+                2 + i % 4
+            )),
+            _ => out.push_str(&format!(
+                "rule live_all_{i} {{ strings: $a = \"{a}\" $b = \"{b}\" condition: all of them }}\n"
+            )),
+        }
+    }
+    out
+}
+
+/// The marker the `i`-th new rule hunts for.
+fn marker(i: usize, seed: u64) -> String {
+    format!("retro_ioc_{i}_{seed:x}")
+}
+
+/// Source for `n` new rules, each keyed to its planted marker.
+fn new_rules_source(n: usize, seed: u64) -> String {
+    (0..n)
+        .map(|i| {
+            format!(
+                "rule retro_new_{i} {{ strings: $a = \"{}\" condition: $a }}\n",
+                marker(i, seed)
+            )
+        })
+        .collect()
+}
+
+fn compile(src: &str) -> CompiledRules {
+    yara_engine::compile(src).expect("bench yara bundle compiles")
+}
+
+fn semgrep_bundle() -> CompiledSemgrepRules {
+    semgrep_scan::ruleset(20)
+}
+
+/// One retro-hunt measurement.
+#[derive(Debug, Clone)]
+pub struct RetroBenchStats {
+    /// History digests resident in the artifact cache and retro index.
+    pub history: usize,
+    /// New rules in the deployed delta.
+    pub new_rules: usize,
+    /// Distinct indexed terms (folded content 3-grams).
+    pub index_atoms: u64,
+    /// `deploy_rules` latency: seeded index rebuild + diff, ms.
+    pub deploy_ms: f64,
+    /// Index-assisted `retro_hunt` wall clock, ms.
+    pub hunt_ms: f64,
+    /// Exhaustive `retro_rescan` wall clock, ms.
+    pub rescan_ms: f64,
+    /// Candidate (rule, digest) pairs the index nominated.
+    pub candidates: u64,
+    /// Digests the hunt actually confirm-scanned.
+    pub confirm_scans: u64,
+    /// Total per-rule hits (identical between hunt and rescan).
+    pub hits: usize,
+}
+
+impl RetroBenchStats {
+    /// Exhaustive-rescan wall over index-assisted wall.
+    pub fn speedup(&self) -> f64 {
+        if self.hunt_ms <= 0.0 {
+            0.0
+        } else {
+            self.rescan_ms / self.hunt_ms
+        }
+    }
+}
+
+/// Builds the history, deploys `new_rules` new YARA rules, and times
+/// the index-assisted hunt against the exhaustive rescan.
+///
+/// # Panics
+///
+/// Panics when the hunt and the rescan disagree on any per-rule hit
+/// set or per-digest verdict — the comparison *is* the equivalence
+/// check — or (release builds only) when the speedup falls below 10x.
+pub fn compare(history: usize, new_rules: usize, seed: u64) -> RetroBenchStats {
+    let hub = ScanHub::new(
+        Some(compile(&yara_source(40))),
+        Some(semgrep_bundle()),
+        HubConfig {
+            cache_capacity: 0,
+            artifact_cache_capacity: history * 2,
+            max_decode_depth: 2,
+            ..HubConfig::default()
+        },
+    );
+
+    // History: one single-file upload per digest, named after popular
+    // registry packages, salted for digest uniqueness. Every new rule's
+    // marker is planted in a few files; every third marker exists only
+    // inside a base64-encoded literal (layer-only evidence).
+    let mut bodies = semgrep_scan::sources(history, 12, seed);
+    for (i, body) in bodies.iter_mut().enumerate() {
+        body.push_str(&format!("# upload {i}\n"));
+    }
+    for i in 0..new_rules {
+        for k in 0..3 {
+            let target = (i * 977 + k * 3203) % history;
+            if i % 3 == 0 {
+                let blob = digest::base64::encode(
+                    format!("{} staged for exfiltration now", marker(i, seed)).as_bytes(),
+                );
+                bodies[target].push_str(&format!("blob_{i}_{k} = '{blob}'\n"));
+            } else {
+                bodies[target].push_str(&format!("c2_{i}_{k} = '{}'\n", marker(i, seed)));
+            }
+        }
+    }
+    let requests = bodies.into_iter().enumerate().map(|(i, body)| {
+        let pkg = POPULAR_PACKAGES[i % POPULAR_PACKAGES.len()];
+        ScanRequest::from_source(format!("{pkg}/upload_{i}.py"), body)
+    });
+    let _ = hub.scan_ordered(requests);
+    let (index_atoms, digests) = hub.retro_index_size();
+    assert_eq!(digests as usize, history, "history must be fully resident");
+
+    let start = Instant::now();
+    let deployment = hub.deploy_rules(
+        Some(compile(&format!(
+            "{}{}",
+            yara_source(40),
+            new_rules_source(new_rules, seed)
+        ))),
+        Some(semgrep_bundle()),
+    );
+    let deploy_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        deployment.delta.changed.len(),
+        new_rules,
+        "only the new rules may appear in the delta"
+    );
+
+    let start = Instant::now();
+    let rescan = hub.retro_rescan(&deployment).expect("retro oracle");
+    let rescan_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let hunt = hub.retro_hunt(&deployment).expect("retro hunt");
+    let hunt_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    assert!(
+        hunt.same_hits(&rescan),
+        "index-assisted hunt diverged from the exhaustive rescan"
+    );
+    for rule in &hunt.rules {
+        assert!(
+            !rule.digests.is_empty(),
+            "planted marker never found: {}",
+            rule.rule
+        );
+    }
+    let stats = RetroBenchStats {
+        history,
+        new_rules,
+        index_atoms,
+        deploy_ms,
+        hunt_ms,
+        rescan_ms,
+        candidates: hunt.candidates,
+        confirm_scans: hunt.confirm_scans,
+        hits: hunt.total_hits(),
+    };
+    if !cfg!(debug_assertions) {
+        assert!(
+            stats.speedup() >= 10.0,
+            "retro-hunt speedup floor: {:.1}x over {} digests",
+            stats.speedup(),
+            history
+        );
+    }
+    stats
+}
+
+/// Renders the comparison table.
+pub fn render(s: &RetroBenchStats) -> String {
+    format!(
+        "== Retro-hunt: {} new rules vs {} scanned digests ==\n\
+         deploy (diff + seeded index rebuild): {:.2}ms | index terms: {}\n\
+         {:<28} {:>10} {:>12} {:>8}\n\
+         {:<28} {:>8.1}ms {:>12} {:>8}\n\
+         {:<28} {:>8.1}ms {:>12} {:>8}\n\
+         speedup (rescan/hunt): {:.1}x | candidates: {} | hits: {}\n",
+        s.new_rules,
+        s.history,
+        s.deploy_ms,
+        s.index_atoms,
+        "arm",
+        "wall",
+        "scans",
+        "hits",
+        "full rescan (oracle)",
+        s.rescan_ms,
+        s.history,
+        s.hits,
+        "retro-hunt (indexed)",
+        s.hunt_ms,
+        s.confirm_scans,
+        s.hits,
+        s.speedup(),
+        s.candidates,
+        s.hits,
+    )
+}
+
+/// The measurement as the `retro_hunt` object embedded in
+/// `BENCH_scanhub.json`.
+pub fn to_json(s: &RetroBenchStats) -> jsonmini::Value {
+    let mut doc = jsonmini::Value::object();
+    doc.insert("history_digests", s.history);
+    doc.insert("new_rules", s.new_rules);
+    doc.insert("index_atoms", s.index_atoms as usize);
+    doc.insert("deploy_ms", s.deploy_ms);
+    doc.insert("hunt_ms", s.hunt_ms);
+    doc.insert("rescan_ms", s.rescan_ms);
+    doc.insert("speedup", s.speedup());
+    doc.insert("candidates", s.candidates as usize);
+    doc.insert("confirm_scans", s.confirm_scans as usize);
+    doc.insert("hits", s.hits);
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// CI smoke (and the release retro-hunt job's speedup gate): a
+    /// small history still prunes, agrees with the oracle, and — in
+    /// release builds — clears the 10x floor.
+    #[test]
+    fn retro_hunt_deploy_smoke() {
+        let stats = compare(300, 5, 7);
+        assert_eq!(stats.history, 300);
+        assert!(stats.hits >= stats.new_rules, "every rule must hit");
+        assert!(
+            stats.confirm_scans < 300,
+            "the index must prune: {} scans",
+            stats.confirm_scans
+        );
+        assert!(stats.index_atoms > 0);
+        let json = to_json(&stats).to_string();
+        assert!(json.contains("\"speedup\""));
+    }
+}

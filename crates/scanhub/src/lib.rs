@@ -70,6 +70,7 @@ mod cache;
 mod hub;
 mod prefilter;
 mod request;
+mod retrohunt;
 mod stats;
 mod trace;
 mod verdict;
@@ -77,8 +78,11 @@ mod verdict;
 pub use artifact::{ArtifactConfig, DecodedLayer, FileAnalysis, LayerEncoding};
 pub use cache::DigestKey;
 pub use hub::{HubConfig, ScanHub, Ticket};
-pub use prefilter::{PrefilterIndex, PrefilterScratch, Routing};
+pub use prefilter::{
+    ChangedRule, DeltaKind, PrefilterIndex, PrefilterScratch, Routing, RuleDelta, RuleEngine,
+};
 pub use request::{FileEntry, ScanRequest};
+pub use retrohunt::{RetroReport, RetroRuleHits, RetroVerdict, RuleDeployment, TermProvenance};
 pub use stats::{HubStats, LatencyStat, StageLatencies};
 pub use trace::{FiredEngine, FiredRule, ScanTrace, StageNanos};
 pub use verdict::{LayerFinding, Verdict};

@@ -84,6 +84,69 @@ enum RuleId {
     Semgrep(usize),
 }
 
+/// Which engine a rule in a [`RuleDelta`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleEngine {
+    /// A YARA rule (indexed by declaration order).
+    Yara,
+    /// A Semgrep rule (indexed by file order).
+    Semgrep,
+}
+
+/// How a changed rule differs from the previous index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// No rule with this name existed in the previous index.
+    Added,
+    /// The rule existed but its atom set (or its exhaustive flag)
+    /// changed, so prior verdicts for it are stale.
+    AtomsChanged,
+}
+
+/// One rule that needs a retro-hunt after a ruleset swap.
+#[derive(Debug, Clone)]
+pub struct ChangedRule {
+    /// Which engine the rule belongs to.
+    pub engine: RuleEngine,
+    /// The rule's position in the *new* ruleset.
+    pub index: usize,
+    /// The rule's name (YARA rule name / Semgrep rule id).
+    pub name: String,
+    /// The rule's folded (ASCII-lowercase) prefilter atoms, sorted.
+    /// Empty with `exhaustive == true` means the rule can never match;
+    /// empty with `exhaustive == false` means no atom can gate it.
+    pub atoms: Vec<String>,
+    /// Whether the atom set is exhaustive (a candidate filter is sound).
+    pub exhaustive: bool,
+    /// Why the rule is in the delta.
+    pub kind: DeltaKind,
+}
+
+/// The diff between two prefilter indexes (old → new), keyed by rule
+/// name: exactly which rules' atom sets changed and which atoms the new
+/// index interned that the old one had never seen.
+#[derive(Debug, Clone, Default)]
+pub struct RuleDelta {
+    /// Rules that are new or whose atom sets changed, in new-ruleset
+    /// order (YARA first, then Semgrep).
+    pub changed: Vec<ChangedRule>,
+    /// Folded atom texts present in the new index but not the old one.
+    pub new_atoms: Vec<String>,
+    /// Rules present in both indexes with identical atom sets.
+    pub unchanged: usize,
+    /// Rules present in the old index only.
+    pub removed: usize,
+}
+
+/// Per-rule atom metadata retained for delta diffs.
+#[derive(Debug, Clone)]
+struct RuleAtomInfo {
+    name: String,
+    /// Sorted, deduplicated interned atom ids.
+    atoms: Vec<u32>,
+    exhaustive: bool,
+}
+
 /// The compiled prefilter over one rule bundle.
 #[derive(Debug)]
 pub struct PrefilterIndex {
@@ -92,6 +155,13 @@ pub struct PrefilterIndex {
     routes: Vec<Vec<RuleId>>,
     /// Rules that must always be evaluated (no exhaustive atom set).
     always: Vec<RuleId>,
+    /// Interned folded atom texts, aligned with automaton pattern ids.
+    atoms: Vec<String>,
+    /// Folded atom text → interned id (the interner, kept for seeding).
+    atom_ids: HashMap<String, usize>,
+    /// Per-rule atom metadata, in ruleset order, for delta diffs.
+    yara_info: Vec<RuleAtomInfo>,
+    semgrep_info: Vec<RuleAtomInfo>,
     yara_count: usize,
     semgrep_count: usize,
     atom_count: usize,
@@ -100,10 +170,31 @@ pub struct PrefilterIndex {
 impl PrefilterIndex {
     /// Builds the index over the given rule sets.
     pub fn build(yara: Option<&CompiledRules>, semgrep: Option<&CompiledSemgrepRules>) -> Self {
+        Self::build_seeded(yara, semgrep, None)
+    }
+
+    /// Builds the index with the atom interner seeded from a prior
+    /// index: atoms shared with `prior` keep their interned ids, new
+    /// atoms extend the table. Stable interning is what lets an external
+    /// posting store (the retro-hunt index) key on atom ids across
+    /// ruleset deploys. Seeded-but-unused atoms stay in the automaton
+    /// with empty routes, which can only cost prefilter time, never
+    /// change a routing decision.
+    pub fn build_seeded(
+        yara: Option<&CompiledRules>,
+        semgrep: Option<&CompiledSemgrepRules>,
+        prior: Option<&PrefilterIndex>,
+    ) -> Self {
         let mut atoms: Vec<String> = Vec::new();
         let mut atom_ids: HashMap<String, usize> = HashMap::new();
-        let mut routes: Vec<Vec<RuleId>> = Vec::new();
+        if let Some(prior) = prior {
+            atoms = prior.atoms.clone();
+            atom_ids = prior.atom_ids.clone();
+        }
+        let mut routes: Vec<Vec<RuleId>> = vec![Vec::new(); atoms.len()];
         let mut always: Vec<RuleId> = Vec::new();
+        let mut yara_info: Vec<RuleAtomInfo> = Vec::new();
+        let mut semgrep_info: Vec<RuleAtomInfo> = Vec::new();
 
         let mut intern = |atom: &str, atoms: &mut Vec<String>, routes: &mut Vec<Vec<RuleId>>| {
             let folded = atom.to_ascii_lowercase();
@@ -117,40 +208,144 @@ impl PrefilterIndex {
         if let Some(rules) = yara {
             for (ri, rule) in rules.rules.iter().enumerate() {
                 let ra = rule.literal_atoms();
+                let mut ids: Vec<u32> = Vec::new();
                 if ra.exhaustive {
                     // An exhaustive empty atom set means the rule can
                     // never match (e.g. `condition: false`): no routes.
                     for atom in &ra.atoms {
                         let id = intern(atom, &mut atoms, &mut routes);
                         routes[id].push(RuleId::Yara(ri));
+                        ids.push(id as u32);
                     }
                 } else {
                     always.push(RuleId::Yara(ri));
                 }
+                ids.sort_unstable();
+                ids.dedup();
+                yara_info.push(RuleAtomInfo {
+                    name: rule.rule.name.clone(),
+                    atoms: ids,
+                    exhaustive: ra.exhaustive,
+                });
             }
         }
         if let Some(rules) = semgrep {
             for (ri, rule) in rules.rules.iter().enumerate() {
+                let mut ids: Vec<u32> = Vec::new();
+                let mut exhaustive = false;
                 match rule.literal_atoms() {
                     Some(rule_atoms) if !rule_atoms.is_empty() => {
+                        exhaustive = true;
                         for atom in &rule_atoms {
                             let id = intern(atom, &mut atoms, &mut routes);
                             routes[id].push(RuleId::Semgrep(ri));
+                            ids.push(id as u32);
                         }
                     }
                     _ => always.push(RuleId::Semgrep(ri)),
                 }
+                ids.sort_unstable();
+                ids.dedup();
+                semgrep_info.push(RuleAtomInfo {
+                    name: rule.id.clone(),
+                    atoms: ids,
+                    exhaustive,
+                });
             }
         }
 
+        let atom_count = atoms.len();
         PrefilterIndex {
             automaton: AhoCorasick::new(&atoms, MatchKind::CaseInsensitive),
             routes,
             always,
+            atoms,
+            atom_ids,
+            yara_info,
+            semgrep_info,
             yara_count: yara.map_or(0, CompiledRules::len),
             semgrep_count: semgrep.map_or(0, CompiledSemgrepRules::len),
-            atom_count: atoms.len(),
+            atom_count,
         }
+    }
+
+    /// The interned id of a folded atom text, if present.
+    pub fn atom_id(&self, folded: &str) -> Option<usize> {
+        self.atom_ids.get(folded).copied()
+    }
+
+    /// The folded atom texts, in interned-id order.
+    pub fn atom_texts(&self) -> &[String] {
+        &self.atoms
+    }
+
+    /// Diffs this (old) index against a new one, by rule name.
+    ///
+    /// Atom sets are compared by *text*, so the diff is correct whether
+    /// or not `new` was seeded from `self`; `ChangedRule::atoms` carries
+    /// texts for the same reason — they are meaningful to any consumer.
+    pub fn diff(&self, new: &PrefilterIndex) -> RuleDelta {
+        let mut delta = RuleDelta::default();
+
+        let texts = |index: &PrefilterIndex, info: &RuleAtomInfo| -> Vec<String> {
+            let mut v: Vec<String> = info
+                .atoms
+                .iter()
+                .map(|&id| index.atoms[id as usize].clone())
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let mut old_by_name: HashMap<(RuleEngine, &str), (Vec<String>, bool)> = HashMap::new();
+        for (engine, infos) in [
+            (RuleEngine::Yara, &self.yara_info),
+            (RuleEngine::Semgrep, &self.semgrep_info),
+        ] {
+            for info in infos.iter() {
+                old_by_name.insert(
+                    (engine, info.name.as_str()),
+                    (texts(self, info), info.exhaustive),
+                );
+            }
+        }
+
+        let mut matched = 0usize;
+        for (engine, infos) in [
+            (RuleEngine::Yara, &new.yara_info),
+            (RuleEngine::Semgrep, &new.semgrep_info),
+        ] {
+            for (ri, info) in infos.iter().enumerate() {
+                let atoms = texts(new, info);
+                let kind = match old_by_name.get(&(engine, info.name.as_str())) {
+                    None => DeltaKind::Added,
+                    Some((old_atoms, old_exhaustive)) => {
+                        matched += 1;
+                        if *old_atoms == atoms && *old_exhaustive == info.exhaustive {
+                            delta.unchanged += 1;
+                            continue;
+                        }
+                        DeltaKind::AtomsChanged
+                    }
+                };
+                delta.changed.push(ChangedRule {
+                    engine,
+                    index: ri,
+                    name: info.name.clone(),
+                    atoms,
+                    exhaustive: info.exhaustive,
+                    kind,
+                });
+            }
+        }
+        delta.removed = old_by_name.len().saturating_sub(matched);
+        delta.new_atoms = new
+            .atoms
+            .iter()
+            .filter(|a| !self.atom_ids.contains_key(a.as_str()))
+            .cloned()
+            .collect();
+        delta.new_atoms.sort_unstable();
+        delta
     }
 
     /// Number of distinct atoms in the automaton.
@@ -518,6 +713,109 @@ rule hidden { strings: $x = "os.system" condition: $x }
         ));
         index.route_artifacts_into(std::slice::from_ref(&bare), &mut routing, &mut scratch);
         assert_eq!(routing.yara, vec![false, false]);
+    }
+
+    #[test]
+    fn seeded_rebuild_keeps_atom_ids_stable() {
+        let old_rules = yara(
+            r#"
+rule a { strings: $x = "os.system" condition: $x }
+rule b { strings: $x = "socket.socket" condition: $x }
+"#,
+        );
+        let old = PrefilterIndex::build(Some(&old_rules), None);
+        // The new bundle reorders rules, drops one atom, adds another.
+        let new_rules = yara(
+            r#"
+rule c { strings: $x = "curl http" condition: $x }
+rule a { strings: $x = "os.system" condition: $x }
+"#,
+        );
+        let new = PrefilterIndex::build_seeded(Some(&new_rules), None, Some(&old));
+        // Shared atoms keep their interned ids; the dropped atom's id is
+        // not recycled; the new atom extends the table.
+        assert_eq!(new.atom_id("os.system"), old.atom_id("os.system"));
+        assert_eq!(new.atom_id("socket.socket"), old.atom_id("socket.socket"));
+        assert_eq!(new.atom_id("curl http"), Some(2));
+        // Seeded-but-unused atoms never route anything...
+        let routing = new.route(b"socket.socket()", NO_SOURCES);
+        assert_eq!(routing.yara_routed(), 0);
+        // ...and routing decisions match an unseeded build.
+        let unseeded = PrefilterIndex::build(Some(&new_rules), None);
+        for buffer in [
+            b"curl http://x".as_slice(),
+            b"os.system('id')",
+            b"nothing here",
+        ] {
+            assert_eq!(
+                new.route(buffer, NO_SOURCES).yara,
+                unseeded.route(buffer, NO_SOURCES).yara
+            );
+        }
+    }
+
+    #[test]
+    fn diff_reports_exactly_the_changed_rules() {
+        let old_yara = yara(
+            r#"
+rule same { strings: $x = "os.system" condition: $x }
+rule retuned { strings: $x = "curl" condition: $x }
+rule dropped { strings: $x = "wget" condition: $x }
+"#,
+        );
+        let old_semgrep = semgrep(
+            "rules:\n  - id: sg-same\n    languages: [python]\n    message: m\n    pattern: eval($X)\n",
+        );
+        let old = PrefilterIndex::build(Some(&old_yara), Some(&old_semgrep));
+        let new_yara = yara(
+            r#"
+rule same { strings: $x = "os.system" condition: $x }
+rule retuned { strings: $x = "curl -fsSL" condition: $x }
+rule added { strings: $x = "nc -e" condition: $x }
+"#,
+        );
+        let new = PrefilterIndex::build_seeded(Some(&new_yara), Some(&old_semgrep), Some(&old));
+        let delta = old.diff(&new);
+        assert_eq!(delta.unchanged, 2, "`same` and `sg-same`");
+        assert_eq!(delta.removed, 1, "`dropped`");
+        let names: Vec<(&str, DeltaKind)> = delta
+            .changed
+            .iter()
+            .map(|c| (c.name.as_str(), c.kind))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("retuned", DeltaKind::AtomsChanged),
+                ("added", DeltaKind::Added),
+            ]
+        );
+        assert!(delta.changed.iter().all(|c| c.exhaustive));
+        assert_eq!(delta.changed[1].atoms, vec!["nc -e".to_owned()]);
+        assert_eq!(
+            delta.new_atoms,
+            vec!["curl -fssl".to_owned(), "nc -e".to_owned()],
+            "folded, sorted, old atoms excluded"
+        );
+        // Exhaustive-flag flips count as changes even with equal atoms.
+        let relaxed = yara("rule same { strings: $x = /os\\.system/ condition: $x }");
+        let relaxed_index = PrefilterIndex::build(Some(&relaxed), None);
+        let flip = old.diff(&relaxed_index);
+        assert_eq!(flip.changed.len(), 1);
+        assert_eq!(flip.changed[0].kind, DeltaKind::AtomsChanged);
+        assert!(!flip.changed[0].exhaustive);
+    }
+
+    #[test]
+    fn diff_against_an_identical_bundle_is_empty() {
+        let rules = yara("rule a { strings: $x = \"os.system\" condition: $x }");
+        let old = PrefilterIndex::build(Some(&rules), None);
+        let new = PrefilterIndex::build_seeded(Some(&rules), None, Some(&old));
+        let delta = old.diff(&new);
+        assert!(delta.changed.is_empty());
+        assert!(delta.new_atoms.is_empty());
+        assert_eq!(delta.unchanged, 1);
+        assert_eq!(delta.removed, 0);
     }
 
     #[test]

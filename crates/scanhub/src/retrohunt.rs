@@ -1,0 +1,646 @@
+//! Retro-hunt: an inverted atom→digest index so new rules never rescan
+//! the world.
+//!
+//! The paper's premise is a *growing* LLM-generated ruleset, and the
+//! operation a registry gatekeeper performs most often is deploying a
+//! handful of new rules against a package history it has already
+//! scanned. The content-addressed artifact layer makes re-*parsing*
+//! free, but a naive deploy still confirm-scans every cached digest.
+//! This module adds the VirusTotal-retrohunt shape: a posting index
+//! from prefilter-atom evidence to the content digests whose artifacts
+//! carry it, maintained incrementally on artifact publish/evict, so a
+//! rule deploy touches only candidate digests.
+//!
+//! # Index shape
+//!
+//! Postings are keyed by folded (ASCII-lowercase) 3-grams of artifact
+//! content rather than by whole interned atoms, and split by
+//! provenance: grams of the raw file bytes land in the *surface* list,
+//! grams of decoded payload layers in the *layer* list. An atom query
+//! intersects the posting lists of the atom's own 3-grams — any
+//! occurrence of the atom inside one scan unit contains every one of
+//! its 3-grams, so the intersection is a sound over-approximation of
+//! "digests whose content can contain this atom", and it answers for
+//! atoms the index has *never seen before* (the whole point of a rule
+//! deploy). Atoms shorter than the gram width cannot be decomposed and
+//! conservatively fall back to full candidacy, as do rules without an
+//! exhaustive atom set.
+//!
+//! # Verdict semantics
+//!
+//! [`crate::ScanHub::retro_hunt`] confirm-scans each candidate digest
+//! with exactly the changed rules, using the same per-unit evaluation
+//! the hub scan path uses (surface bytes at offset zero, each decoded
+//! layer as its own unit, Semgrep over the cached parsed module). The
+//! differential suite pins `retro_hunt` ≡ `retro_rescan` (the
+//! exhaustive oracle that confirm-scans every resident digest), and
+//! pins the confirm-scan itself against a full hub scan restricted to
+//! the changed rules.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+use semgrep_engine::{CompiledSemgrepRules, Finding, MatchScratch, MatchSet};
+use yara_engine::{CompiledRules, ScanScratch, Scanner};
+
+use crate::artifact::FileAnalysis;
+use crate::cache::DigestKey;
+use crate::prefilter::{RuleDelta, RuleEngine};
+use crate::verdict::LayerFinding;
+
+/// Width of the indexed content grams. Three bytes keeps the posting
+/// map small enough to live beside the artifact cache while still
+/// discriminating sharply for real IOC-length atoms.
+pub(crate) const GRAM_LEN: usize = 3;
+
+/// Where indexed evidence for a digest was observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermProvenance {
+    /// The raw file bytes.
+    Surface,
+    /// A decoded payload layer (base64/hex recursion).
+    Layer,
+}
+
+#[derive(Debug, Default)]
+struct Postings {
+    /// Slots whose raw bytes contain the gram, sorted ascending.
+    surface: Vec<u32>,
+    /// Slots with the gram in some decoded layer, sorted ascending.
+    layer: Vec<u32>,
+}
+
+/// The inverted content index: folded 3-gram → digest slots, tagged by
+/// provenance. Maintained under the artifact store's retro lock; all
+/// mutation happens on the single-flight publish path and on eviction.
+#[derive(Debug, Default)]
+pub(crate) struct RetroIndex {
+    /// Slot → (digest, analyzed-as-python) for live digests; `None`
+    /// marks a tombstone awaiting compaction.
+    slots: Vec<Option<(DigestKey, bool)>>,
+    by_digest: HashMap<DigestKey, u32>,
+    postings: HashMap<[u8; GRAM_LEN], Postings>,
+    /// Slots freed by the last compaction, safe to reuse (their posting
+    /// entries are gone).
+    free: Vec<u32>,
+    /// Tombstones not yet swept from the posting lists.
+    dead: usize,
+}
+
+fn collect_grams(data: &[u8], out: &mut HashSet<[u8; GRAM_LEN]>) {
+    for w in data.windows(GRAM_LEN) {
+        out.insert([
+            w[0].to_ascii_lowercase(),
+            w[1].to_ascii_lowercase(),
+            w[2].to_ascii_lowercase(),
+        ]);
+    }
+}
+
+/// Appends `slot` keeping the list sorted. Fresh slots always go at the
+/// end; a slot reused after compaction may land mid-list.
+fn push_slot(list: &mut Vec<u32>, slot: u32) {
+    match list.last() {
+        Some(&last) if last > slot => {
+            let at = list.partition_point(|&s| s < slot);
+            list.insert(at, slot);
+        }
+        _ => list.push(slot),
+    }
+}
+
+impl RetroIndex {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live digests.
+    pub(crate) fn digest_count(&self) -> usize {
+        self.by_digest.len()
+    }
+
+    /// Number of distinct indexed terms (folded 3-grams with at least
+    /// one posting list).
+    pub(crate) fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Indexes one published artifact. Idempotent: a digest already
+    /// indexed (the single-flight re-publish race) is left untouched.
+    pub(crate) fn insert_artifact(&mut self, artifact: &FileAnalysis) {
+        if self.by_digest.contains_key(&artifact.digest) {
+            return;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some((artifact.digest, artifact.is_python));
+                s
+            }
+            None => {
+                self.slots.push(Some((artifact.digest, artifact.is_python)));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.by_digest.insert(artifact.digest, slot);
+
+        let mut grams: HashSet<[u8; GRAM_LEN]> = HashSet::new();
+        collect_grams(&artifact.bytes, &mut grams);
+        for g in grams.drain() {
+            push_slot(&mut self.postings.entry(g).or_default().surface, slot);
+        }
+        for layer in &artifact.layers {
+            collect_grams(&layer.data, &mut grams);
+        }
+        for g in grams.drain() {
+            push_slot(&mut self.postings.entry(g).or_default().layer, slot);
+        }
+    }
+
+    /// Drops a digest (cache eviction). The slot becomes a tombstone
+    /// filtered at query time; posting lists are swept in bulk once
+    /// tombstones outnumber live digests.
+    pub(crate) fn remove(&mut self, digest: &DigestKey) {
+        let Some(slot) = self.by_digest.remove(digest) else {
+            return;
+        };
+        self.slots[slot as usize] = None;
+        self.dead += 1;
+        if self.dead > self.by_digest.len().max(32) {
+            self.compact();
+        }
+    }
+
+    fn compact(&mut self) {
+        let slots = &self.slots;
+        self.postings.retain(|_, p| {
+            p.surface.retain(|&s| slots[s as usize].is_some());
+            p.layer.retain(|&s| slots[s as usize].is_some());
+            !p.surface.is_empty() || !p.layer.is_empty()
+        });
+        self.free.clear();
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.is_none() {
+                self.free.push(i as u32);
+            }
+        }
+        self.dead = 0;
+    }
+
+    /// Every live digest, with its python flag.
+    pub(crate) fn all_digests(&self) -> Vec<(DigestKey, bool)> {
+        self.slots.iter().flatten().copied().collect()
+    }
+
+    /// Candidate digests that can contain `atom` (folded text) with the
+    /// given provenance. Returns `None` when the atom is shorter than
+    /// the gram width — the caller must fall back to full candidacy.
+    pub(crate) fn candidates_for_atom(
+        &self,
+        atom: &str,
+        provenance: TermProvenance,
+    ) -> Option<Vec<(DigestKey, bool)>> {
+        let folded: Vec<u8> = atom.bytes().map(|b| b.to_ascii_lowercase()).collect();
+        if folded.len() < GRAM_LEN {
+            return None;
+        }
+        let mut lists: Vec<&Vec<u32>> = Vec::with_capacity(folded.len() - GRAM_LEN + 1);
+        for w in folded.windows(GRAM_LEN) {
+            let g = [w[0], w[1], w[2]];
+            let Some(p) = self.postings.get(&g) else {
+                return Some(Vec::new());
+            };
+            let list = match provenance {
+                TermProvenance::Surface => &p.surface,
+                TermProvenance::Layer => &p.layer,
+            };
+            if list.is_empty() {
+                return Some(Vec::new());
+            }
+            lists.push(list);
+        }
+        lists.sort_by_key(|l| l.len());
+        let mut acc: Vec<u32> = lists[0].clone();
+        for list in &lists[1..] {
+            acc.retain(|s| list.binary_search(s).is_ok());
+            if acc.is_empty() {
+                break;
+            }
+        }
+        Some(
+            acc.into_iter()
+                .filter_map(|s| self.slots[s as usize])
+                .collect(),
+        )
+    }
+}
+
+/// One rule deploy packaged for retro-hunting: the index-level diff
+/// plus subset rulesets holding only the changed rules, so a confirm
+/// scan evaluates nothing that did not change.
+#[derive(Debug)]
+pub struct RuleDeployment {
+    /// Exactly which rules are new or changed, and which atoms the new
+    /// index had never interned.
+    pub delta: RuleDelta,
+    /// Subset compiled ruleset of the changed YARA rules, in
+    /// `delta.changed` order.
+    pub(crate) yara: Option<CompiledRules>,
+    /// Subset compiled ruleset of the changed Semgrep rules, in
+    /// `delta.changed` order.
+    pub(crate) semgrep: Option<CompiledSemgrepRules>,
+    /// `delta.changed[i]` → position in its engine's subset ruleset.
+    pub(crate) subset_pos: Vec<usize>,
+}
+
+impl RuleDeployment {
+    pub(crate) fn build(
+        delta: RuleDelta,
+        yara: Option<&CompiledRules>,
+        semgrep: Option<&CompiledSemgrepRules>,
+    ) -> Self {
+        let mut yara_rules = Vec::new();
+        let mut semgrep_rules = Vec::new();
+        let mut subset_pos = Vec::with_capacity(delta.changed.len());
+        for changed in &delta.changed {
+            match changed.engine {
+                RuleEngine::Yara => {
+                    subset_pos.push(yara_rules.len());
+                    let rules = yara.expect("changed YARA rule implies a YARA ruleset");
+                    yara_rules.push(rules.rules[changed.index].clone());
+                }
+                RuleEngine::Semgrep => {
+                    subset_pos.push(semgrep_rules.len());
+                    let rules = semgrep.expect("changed Semgrep rule implies a Semgrep ruleset");
+                    semgrep_rules.push(rules.rules[changed.index].clone());
+                }
+            }
+        }
+        RuleDeployment {
+            delta,
+            yara: (!yara_rules.is_empty()).then_some(CompiledRules { rules: yara_rules }),
+            semgrep: (!semgrep_rules.is_empty()).then_some(CompiledSemgrepRules {
+                rules: semgrep_rules,
+            }),
+            subset_pos,
+        }
+    }
+
+    /// True when nothing changed — a retro-hunt would scan nothing.
+    pub fn is_empty(&self) -> bool {
+        self.delta.changed.is_empty()
+    }
+
+    /// Sizes of the per-engine subset rulesets.
+    pub(crate) fn subset_lens(&self) -> (usize, usize) {
+        (
+            self.yara.as_ref().map_or(0, |r| r.rules.len()),
+            self.semgrep.as_ref().map_or(0, |r| r.rules.len()),
+        )
+    }
+}
+
+/// Hits for one changed rule across the package history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetroRuleHits {
+    /// Which engine the rule belongs to.
+    pub engine: RuleEngine,
+    /// The rule's name (YARA rule name / Semgrep rule id).
+    pub rule: String,
+    /// How many digests the index nominated for this rule.
+    pub candidates: u64,
+    /// Hex digests the rule matched (surface, Semgrep, or decoded
+    /// layer), sorted.
+    pub digests: Vec<String>,
+}
+
+/// Findings for one digest, restricted to the deployed delta rules.
+/// Mirrors [`crate::Verdict`] semantics; `file` fields of layer
+/// findings carry the hex digest (a retro-hunt sees content, not the
+/// upload names that referenced it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetroVerdict {
+    /// Hex content digest.
+    pub digest: String,
+    /// Matching YARA rule names (surface evaluation), sorted.
+    pub yara: Vec<String>,
+    /// Matching Semgrep rule ids, sorted.
+    pub semgrep: Vec<String>,
+    /// Decoded-layer findings, sorted.
+    pub layers: Vec<LayerFinding>,
+}
+
+impl RetroVerdict {
+    /// True when at least one delta rule fired on this digest.
+    pub fn flagged(&self) -> bool {
+        !self.yara.is_empty() || !self.semgrep.is_empty() || !self.layers.is_empty()
+    }
+}
+
+/// The result of one retro-hunt (or of the exhaustive rescan oracle).
+#[derive(Debug, Clone, Default)]
+pub struct RetroReport {
+    /// Per changed rule, in delta order: candidates and confirmed hits.
+    pub rules: Vec<RetroRuleHits>,
+    /// Flagged digests with their delta-restricted verdicts, sorted by
+    /// digest.
+    pub verdicts: Vec<RetroVerdict>,
+    /// Digests resident in the index when the hunt ran.
+    pub digests_indexed: u64,
+    /// Total per-rule candidate nominations (a digest nominated by two
+    /// rules counts twice).
+    pub candidates: u64,
+    /// Distinct digests confirm-scanned.
+    pub confirm_scans: u64,
+    /// Changed rules that fell back to full candidacy (no exhaustive
+    /// atoms, or an atom shorter than the gram width).
+    pub full_candidacy_rules: u64,
+}
+
+impl RetroReport {
+    /// True when `other` confirms the same per-rule hit sets and the
+    /// same per-digest verdicts — candidate/scan *counts* are allowed
+    /// to differ (that is the speedup), the findings are not.
+    pub fn same_hits(&self, other: &RetroReport) -> bool {
+        self.rules.len() == other.rules.len()
+            && self
+                .rules
+                .iter()
+                .zip(&other.rules)
+                .all(|(a, b)| a.engine == b.engine && a.rule == b.rule && a.digests == b.digests)
+            && self.verdicts == other.verdicts
+    }
+
+    /// Total confirmed (rule, digest) hit pairs.
+    pub fn total_hits(&self) -> usize {
+        self.rules.iter().map(|r| r.digests.len()).sum()
+    }
+}
+
+/// One confirm-scan work item: a digest and, per engine, which subset
+/// rules to evaluate on it.
+#[derive(Debug)]
+pub(crate) struct ConfirmTask {
+    pub(crate) digest: DigestKey,
+    pub(crate) yara_mask: Vec<bool>,
+    pub(crate) semgrep_mask: Vec<bool>,
+}
+
+pub(crate) struct ConfirmOutcome {
+    pub(crate) rules: Vec<RetroRuleHits>,
+    pub(crate) verdicts: Vec<RetroVerdict>,
+    pub(crate) scans: u64,
+}
+
+/// Confirm-scans each task's digest with the deployment's subset
+/// rulesets, strictly gated per rule — a rule is evaluated on a digest
+/// only if that digest was nominated for it, which keeps the
+/// differential proof against the exhaustive oracle sharp.
+pub(crate) fn confirm_scan(
+    deployment: &RuleDeployment,
+    tasks: &[ConfirmTask],
+    mut fetch: impl FnMut(&DigestKey) -> Option<Arc<FileAnalysis>>,
+    mut per_scan_ns: impl FnMut(u64),
+) -> ConfirmOutcome {
+    let scanner = deployment.yara.as_ref().map(Scanner::new);
+    let matcher = deployment.semgrep.as_ref().map(MatchSet::new);
+    let mut yara_scratch = ScanScratch::new();
+    let mut semgrep_scratch = MatchScratch::new();
+    let mut marks: Vec<bool> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+
+    let changed = &deployment.delta.changed;
+    let mut by_name: HashMap<(RuleEngine, &str), usize> = HashMap::new();
+    for (ci, c) in changed.iter().enumerate() {
+        by_name.insert((c.engine, c.name.as_str()), ci);
+    }
+    let mut rule_digests: Vec<BTreeSet<String>> = vec![BTreeSet::new(); changed.len()];
+    let mut verdicts: Vec<RetroVerdict> = Vec::new();
+    let mut scans = 0u64;
+
+    for task in tasks {
+        // A digest evicted between index query and confirm is simply
+        // gone from the history — nothing to report on it.
+        let Some(artifact) = fetch(&task.digest) else {
+            continue;
+        };
+        let clock = std::time::Instant::now();
+        scans += 1;
+        let hex = digest::to_hex(&task.digest);
+        let mut verdict = RetroVerdict {
+            digest: hex.clone(),
+            yara: Vec::new(),
+            semgrep: Vec::new(),
+            layers: Vec::new(),
+        };
+        if let Some(scanner) = &scanner {
+            if task.yara_mask.iter().any(|&b| b) {
+                let hits = scanner.collect_hits(&artifact.bytes);
+                for m in scanner.eval_hits(
+                    [(0usize, &hits)],
+                    artifact.bytes.len() as i64,
+                    |ri| task.yara_mask[ri],
+                    &mut yara_scratch,
+                ) {
+                    verdict.yara.push(m.rule);
+                }
+                for layer in &artifact.layers {
+                    let layer_hits = scanner.collect_hits(&layer.data);
+                    if layer_hits.is_empty() {
+                        continue;
+                    }
+                    scanner.mark_rules_with_hits(&layer_hits, &mut marks);
+                    for m in scanner.eval_hits(
+                        [(0usize, &layer_hits)],
+                        layer.data.len() as i64,
+                        |ri| task.yara_mask[ri] && marks[ri],
+                        &mut yara_scratch,
+                    ) {
+                        verdict.layers.push(LayerFinding {
+                            rule: m.rule,
+                            file: hex.clone(),
+                            encoding: layer.encoding,
+                            depth: layer.depth,
+                            line: layer.line,
+                        });
+                    }
+                }
+            }
+        }
+        if let (Some(matcher), Some(module)) = (&matcher, artifact.module.as_ref()) {
+            if task.semgrep_mask.iter().any(|&b| b) {
+                findings.clear();
+                matcher.match_module_set_into(
+                    module,
+                    |ri| task.semgrep_mask[ri],
+                    &mut semgrep_scratch,
+                    &mut findings,
+                );
+                let ids: BTreeSet<String> = findings.drain(..).map(|f| f.rule_id).collect();
+                verdict.semgrep = ids.into_iter().collect();
+            }
+        }
+        verdict.yara.sort_unstable();
+        verdict.yara.dedup();
+        verdict.layers.sort();
+        verdict.layers.dedup();
+
+        for name in &verdict.yara {
+            if let Some(&ci) = by_name.get(&(RuleEngine::Yara, name.as_str())) {
+                rule_digests[ci].insert(hex.clone());
+            }
+        }
+        for finding in &verdict.layers {
+            if let Some(&ci) = by_name.get(&(RuleEngine::Yara, finding.rule.as_str())) {
+                rule_digests[ci].insert(hex.clone());
+            }
+        }
+        for id in &verdict.semgrep {
+            if let Some(&ci) = by_name.get(&(RuleEngine::Semgrep, id.as_str())) {
+                rule_digests[ci].insert(hex.clone());
+            }
+        }
+        per_scan_ns(clock.elapsed().as_nanos() as u64);
+        if verdict.flagged() {
+            verdicts.push(verdict);
+        }
+    }
+
+    verdicts.sort_by(|a, b| a.digest.cmp(&b.digest));
+    let rules = changed
+        .iter()
+        .zip(rule_digests)
+        .map(|(c, digests)| RetroRuleHits {
+            engine: c.engine,
+            rule: c.name.clone(),
+            candidates: 0,
+            digests: digests.into_iter().collect(),
+        })
+        .collect();
+    ConfirmOutcome {
+        rules,
+        verdicts,
+        scans,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::ArtifactConfig;
+    use crate::request::FileEntry;
+
+    fn analyze(name: &str, content: &[u8]) -> FileAnalysis {
+        let entry = FileEntry::new(name, content.to_vec());
+        FileAnalysis::build(&entry, None, &ArtifactConfig::default())
+    }
+
+    fn digests(hits: &[(DigestKey, bool)]) -> Vec<DigestKey> {
+        let mut v: Vec<DigestKey> = hits.iter().map(|(d, _)| *d).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn atom_occurrence_is_always_a_candidate() {
+        let mut index = RetroIndex::new();
+        let a = analyze("a.py", b"import os\nos.system('id')\n");
+        let b = analyze("b.py", b"print('hello world')\n");
+        index.insert_artifact(&a);
+        index.insert_artifact(&b);
+        let hits = index
+            .candidates_for_atom("os.system", TermProvenance::Surface)
+            .expect("long atom is queryable");
+        assert_eq!(digests(&hits), digests(&[(a.digest, true)]));
+        // Unrelated atom: no candidates at all, including never-seen grams.
+        let miss = index
+            .candidates_for_atom("socket.socket", TermProvenance::Surface)
+            .expect("queryable");
+        assert!(miss.is_empty());
+    }
+
+    #[test]
+    fn queries_are_case_insensitive_like_the_prefilter() {
+        let mut index = RetroIndex::new();
+        let a = analyze("a.py", b"OS.System('id')\n");
+        index.insert_artifact(&a);
+        let hits = index
+            .candidates_for_atom("os.SYSTEM", TermProvenance::Surface)
+            .expect("queryable");
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn short_atoms_cannot_be_decomposed() {
+        let mut index = RetroIndex::new();
+        index.insert_artifact(&analyze("a.bin", b"MZ\x90\x00"));
+        assert!(index
+            .candidates_for_atom("MZ", TermProvenance::Surface)
+            .is_none());
+    }
+
+    #[test]
+    fn layer_provenance_is_tracked_separately() {
+        let payload = digest::base64::encode(b"import os;os.system('id')");
+        let code = format!("blob = '{payload}'\n");
+        let mut index = RetroIndex::new();
+        let a = analyze("a.py", code.as_bytes());
+        assert!(!a.layers.is_empty(), "payload must decode");
+        index.insert_artifact(&a);
+        let surface = index
+            .candidates_for_atom("os.system", TermProvenance::Surface)
+            .expect("queryable");
+        assert!(surface.is_empty(), "atom only exists decoded");
+        let layer = index
+            .candidates_for_atom("os.system", TermProvenance::Layer)
+            .expect("queryable");
+        assert_eq!(layer.len(), 1);
+    }
+
+    #[test]
+    fn eviction_removes_candidacy_and_compaction_preserves_answers() {
+        let mut index = RetroIndex::new();
+        let keep = analyze("keep.py", b"keeper os.system marker\n");
+        index.insert_artifact(&keep);
+        let mut evicted = Vec::new();
+        for i in 0..100 {
+            let a = analyze("x.py", format!("os.system('{i}')\n").as_bytes());
+            index.insert_artifact(&a);
+            evicted.push(a.digest);
+        }
+        for d in &evicted {
+            index.remove(d);
+        }
+        assert_eq!(index.digest_count(), 1);
+        let hits = index
+            .candidates_for_atom("os.system", TermProvenance::Surface)
+            .expect("queryable");
+        assert_eq!(digests(&hits), digests(&[(keep.digest, true)]));
+        // Freed slots are reused without corrupting other postings.
+        let reborn = analyze("y.py", b"socket.socket()\n");
+        index.insert_artifact(&reborn);
+        let hits = index
+            .candidates_for_atom("socket.socket", TermProvenance::Surface)
+            .expect("queryable");
+        assert_eq!(digests(&hits), digests(&[(reborn.digest, true)]));
+        let hits = index
+            .candidates_for_atom("os.system", TermProvenance::Surface)
+            .expect("queryable");
+        assert_eq!(digests(&hits), digests(&[(keep.digest, true)]));
+    }
+
+    #[test]
+    fn reinserting_a_known_digest_is_idempotent() {
+        let mut index = RetroIndex::new();
+        let a = analyze("a.py", b"os.system('id')\n");
+        index.insert_artifact(&a);
+        index.insert_artifact(&a);
+        let hits = index
+            .candidates_for_atom("os.system", TermProvenance::Surface)
+            .expect("queryable");
+        assert_eq!(
+            hits.len(),
+            1,
+            "duplicate insert must not duplicate postings"
+        );
+    }
+}

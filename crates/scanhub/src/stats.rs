@@ -27,6 +27,9 @@ pub(crate) struct HubCounters {
     pub artifact_cache_hits: AtomicU64,
     pub layers_decoded: AtomicU64,
     pub layer_bytes_scanned: AtomicU64,
+    pub retro_hunts: AtomicU64,
+    pub retro_candidates: AtomicU64,
+    pub retro_confirm_scans: AtomicU64,
 }
 
 impl HubCounters {
@@ -55,8 +58,13 @@ impl HubCounters {
             artifact_cache_hits: load(&self.artifact_cache_hits),
             layers_decoded: load(&self.layers_decoded),
             layer_bytes_scanned: load(&self.layer_bytes_scanned),
-            // The hub overlays histogram percentiles after the counter
-            // snapshot (see `ScanHub::stats`).
+            retro_hunts: load(&self.retro_hunts),
+            retro_candidates: load(&self.retro_candidates),
+            retro_confirm_scans: load(&self.retro_confirm_scans),
+            // The hub overlays histogram percentiles and the retro-index
+            // gauges after the counter snapshot (see `ScanHub::stats`).
+            retro_index_atoms: 0,
+            retro_index_digests: 0,
             latency: StageLatencies::default(),
         }
     }
@@ -112,6 +120,19 @@ pub struct HubStats {
     /// Bytes of decoded-layer content run through the YARA string scan
     /// at artifact-build time.
     pub layer_bytes_scanned: u64,
+    /// Retro-hunt deployments executed ([`crate::ScanHub::retro_hunt`]).
+    pub retro_hunts: u64,
+    /// Digests the retro index nominated as candidates, summed over all
+    /// hunts (a digest nominated by two rules counts twice).
+    pub retro_candidates: u64,
+    /// Digests confirm-scanned by retro-hunts. The gap to a full rescan
+    /// (`retro_hunts × digests resident`) is the work the index saved.
+    pub retro_confirm_scans: u64,
+    /// Distinct terms currently held by the retro index (folded content
+    /// 3-grams realizing the atom posting lists); 0 when disabled.
+    pub retro_index_atoms: u64,
+    /// Content digests currently resident in the retro index.
+    pub retro_index_digests: u64,
     /// Per-stage latency percentiles (zeroed when telemetry is off).
     pub latency: StageLatencies,
 }
@@ -181,13 +202,17 @@ pub struct StageLatencies {
     pub semgrep: LatencyStat,
     /// Verdict assembly.
     pub verdict: LatencyStat,
+    /// Retro-hunt index query (one sample per hunt).
+    pub retro_query: LatencyStat,
+    /// Retro-hunt confirm scans (one sample per digest scanned).
+    pub retro_confirm: LatencyStat,
     /// End-to-end submit-to-verdict wall time.
     pub scan: LatencyStat,
 }
 
 impl StageLatencies {
     /// Stage names paired with their stats, pipeline order, `scan` last.
-    pub fn named(&self) -> [(&'static str, LatencyStat); 9] {
+    pub fn named(&self) -> [(&'static str, LatencyStat); 11] {
         [
             ("queue", self.queue),
             ("cache", self.cache),
@@ -197,6 +222,8 @@ impl StageLatencies {
             ("layers", self.layers),
             ("semgrep", self.semgrep),
             ("verdict", self.verdict),
+            ("retro_query", self.retro_query),
+            ("retro_confirm", self.retro_confirm),
             ("scan", self.scan),
         ]
     }
@@ -238,6 +265,13 @@ impl fmt::Display for HubStats {
         row(f, "semgrep_rules_evaluated", self.semgrep_rules_evaluated)?;
         row(f, "semgrep_rules_skipped", self.semgrep_rules_skipped)?;
         row(f, "semgrep_pattern_reparses", self.semgrep_pattern_reparses)?;
+        if self.retro_hunts > 0 {
+            row(f, "retro_hunts", self.retro_hunts)?;
+            row(f, "retro_candidates", self.retro_candidates)?;
+            row(f, "retro_confirm_scans", self.retro_confirm_scans)?;
+            row(f, "retro_index_atoms", self.retro_index_atoms)?;
+            row(f, "retro_index_digests", self.retro_index_digests)?;
+        }
         pct(f, "cache_hit_rate", self.cache_hit_rate())?;
         pct(f, "artifact_hit_rate", self.artifact_hit_rate())?;
         pct(f, "prefilter_skip_rate", self.prefilter_skip_rate())?;
@@ -245,7 +279,7 @@ impl fmt::Display for HubStats {
         if stages.iter().any(|(_, s)| s.count > 0) {
             writeln!(
                 f,
-                "  {:<9} {:>7} {:>10} {:>10} {:>10} {:>10}",
+                "  {:<13} {:>7} {:>10} {:>10} {:>10} {:>10}",
                 "latency", "count", "p50", "p90", "p99", "max"
             )?;
             for (name, stat) in stages {
@@ -254,7 +288,7 @@ impl fmt::Display for HubStats {
                 }
                 writeln!(
                     f,
-                    "  {name:<9} {:>7} {:>10} {:>10} {:>10} {:>10}",
+                    "  {name:<13} {:>7} {:>10} {:>10} {:>10} {:>10}",
                     stat.count,
                     fmt_ns(stat.p50_ns),
                     fmt_ns(stat.p90_ns),

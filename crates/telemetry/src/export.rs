@@ -295,6 +295,29 @@ fn validate_labels(body: &str) -> Result<(), &'static str> {
         if !(value.len() >= 2 && value.starts_with('"') && value.ends_with('"')) {
             return Err("label value must be quoted");
         }
+        valid_label_value(&value[1..value.len() - 1])?;
+    }
+    Ok(())
+}
+
+/// Checks the interior of a quoted label value: backslash may only
+/// introduce the escapes Prometheus defines (`\\`, `\"`, `\n`), every
+/// interior quote must be escaped, and a raw newline can never appear
+/// (the renderer escapes it, and a literal one would have split the
+/// sample line anyway).
+fn valid_label_value(interior: &str) -> Result<(), &'static str> {
+    let mut chars = interior.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some('\\') | Some('"') | Some('n') => {}
+                Some(_) => return Err("invalid escape in label value"),
+                None => return Err("trailing backslash in label value"),
+            },
+            '"' => return Err("unescaped quote in label value"),
+            '\n' => return Err("raw newline in label value"),
+            _ => {}
+        }
     }
     Ok(())
 }
@@ -379,6 +402,40 @@ mod tests {
         ] {
             assert!(validate_prometheus(good).is_ok(), "rejected {good:?}");
         }
+    }
+
+    #[test]
+    fn validator_rejects_unescaped_label_values() {
+        for bad in [
+            r#"m{k="a\qb"} 1"#,       // \q is not a defined escape
+            r#"m{k="a""b"} 1"#,       // interior quote must be escaped
+            "m{k=\"multi\nline\"} 1", // raw newline inside a value
+            r#"m{k="tail\\\"} 1"#,    // escaped-quote leaves block open
+        ] {
+            assert!(validate_prometheus(bad).is_err(), "accepted {bad:?}");
+        }
+        for good in [
+            r#"m{k="C:\\temp\\x"} 1"#,
+            r#"m{k="say \"hi\""} 1"#,
+            r#"m{k="line\nbreak"} 1"#,
+            r#"m{k=""} 1"#,
+        ] {
+            assert!(validate_prometheus(good).is_ok(), "rejected {good:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_label_values_render_escaped_and_validate() {
+        let reg = Registry::new();
+        let hostile = "C:\\temp\n\"quoted\"";
+        reg.gauge_with("path_gauge", "hostile label", &[("path", hostile)])
+            .set(1);
+        let text = reg.render_prometheus();
+        validate_prometheus(&text).expect("escaped render validates");
+        assert!(
+            text.contains(r#"path_gauge{path="C:\\temp\n\"quoted\""} 1"#),
+            "unexpected render: {text}"
+        );
     }
 
     #[test]

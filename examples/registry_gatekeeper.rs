@@ -90,6 +90,26 @@ fn main() {
         digests.push((*label, digest, verdict));
     }
 
+    // One more Saturday upload: a campaign nobody has rules for yet.
+    // It sails through today — but its analysis artifact (and its
+    // content's posting lists in the retro index) stay resident.
+    let stealer = FAMILIES
+        .iter()
+        .find(|f| f.stem == "envgrab")
+        .expect("family");
+    let missed = generate_malware_package(stealer, 0, 7).0;
+    let missed_verdict = hub.submit(ScanRequest::from_package(&missed)).wait();
+    println!(
+        "{:<24} ({:<14}) -> {}",
+        "unknown stealer",
+        missed.metadata().name,
+        if missed_verdict.flagged() {
+            "BLOCK"
+        } else {
+            "PASS (no rules for it yet)"
+        },
+    );
+
     // Every verdict is explainable after the fact from the flight
     // recorder alone: the trace names each fired rule with its evidence
     // provenance and shows where the request's time went.
@@ -115,6 +135,66 @@ fn main() {
     println!("{stats}");
     assert_eq!(stats.cache_hits, 1, "the re-upload must be a cache hit");
 
+    // Sunday: the stealer campaign is identified and rules are learned
+    // from its quarantined variants. Instead of rescanning every upload
+    // ever screened, deploy the refreshed bundle as a *delta* and
+    // retro-hunt it: the atom→digest index nominates candidate digests
+    // and only those are confirm-scanned.
+    println!("== Sunday rule refresh: retro-hunt instead of rescan ==");
+    let stealer_quarantine: Vec<oss_registry::Package> = (1..4)
+        .map(|variant| generate_malware_package(stealer, variant, 7).0)
+        .collect();
+    let stealer_refs: Vec<&oss_registry::Package> = stealer_quarantine.iter().collect();
+    let mut update_config = PipelineConfig::full();
+    update_config.cluster_k = Some(1);
+    let update = Pipeline::new(update_config).run(&stealer_refs);
+    // Both runs emit the same deterministic generic-metadata rule; keep
+    // the live copy so the combined bundle compiles and diffs cleanly.
+    let live_names: std::collections::HashSet<String> = output
+        .yara
+        .iter()
+        .filter_map(|r| rule_name(&r.text))
+        .collect();
+    let mut combined = output.yara_ruleset();
+    for rule in &update.yara {
+        if rule_name(&rule.text).is_some_and(|n| live_names.contains(&n)) {
+            continue;
+        }
+        combined.push_str(&rule.text);
+        combined.push('\n');
+    }
+    let deployment = hub.deploy_rules(
+        Some(yara_engine::compile(&combined).expect("combined rules compile")),
+        None,
+    );
+    println!(
+        "delta: {} new/changed rules, {} unchanged (never re-hunted)",
+        deployment.delta.changed.len(),
+        deployment.delta.unchanged,
+    );
+    let report = hub
+        .retro_hunt(&deployment)
+        .expect("retro index is on by default");
+    println!(
+        "retro-hunt: {} candidates over {} indexed digests -> {} confirm scans, {} hits",
+        report.candidates,
+        report.digests_indexed,
+        report.confirm_scans,
+        report.total_hits(),
+    );
+    for rule in report.rules.iter().filter(|r| !r.digests.is_empty()) {
+        println!(
+            "  {} retroactively flags {} already-scanned digest(s)",
+            rule.rule,
+            rule.digests.len(),
+        );
+    }
+    assert!(
+        report.total_hits() > 0,
+        "the stealer upload screened on Saturday must be found in history"
+    );
+    println!();
+
     if dump_metrics {
         println!("== prometheus exposition ==");
         print!("{}", hub.export_prometheus());
@@ -122,4 +202,13 @@ fn main() {
         println!("{}", hub.export_json().to_string_pretty());
     }
     println!("gatekeeper verdicts all correct.");
+}
+
+/// The identifier following `rule` in a YARA rule's source text.
+fn rule_name(text: &str) -> Option<String> {
+    let rest = text.trim_start().strip_prefix("rule")?.trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .unwrap_or(rest.len());
+    (end > 0).then(|| rest[..end].to_owned())
 }
