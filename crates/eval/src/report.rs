@@ -183,6 +183,39 @@ pub fn render_layered_recovery(r: &crate::robustness::LayeredRecovery) -> String
     )
 }
 
+/// Renders the taint robustness measurement: behavior-engine recall
+/// across the composite evasion profiles, next to the pristine
+/// baseline. The interesting column is the one that barely moves.
+pub fn render_taint_robustness(r: &crate::robustness::TaintRobustness) -> String {
+    let mut out = format!(
+        "== Behavior engine under evasion (rule-less taint scan, seed {}) ==\n\
+         pristine: recall {:>5.1}%  flows on malware {}  legit flagged {}\n\
+         {:<16} {:>7} {:>8} {:>6}\n",
+        r.seed,
+        r.recall_pristine * 100.0,
+        r.flows_on_malware,
+        r.legit_flagged_pristine,
+        "arm",
+        "recall",
+        "Δrecall",
+        "legit"
+    );
+    for row in &r.rows {
+        out.push_str(&format!(
+            "  {:<14} {:>6.1}% {:>+7.1}% {:>6}\n",
+            row.arm,
+            row.recall * 100.0,
+            (row.recall - r.recall_pristine) * 100.0,
+            row.legit_flagged,
+        ));
+    }
+    out.push_str(&format!(
+        "light -> aggressive decay: {:.1} pts\n",
+        r.light_to_aggressive_decay() * 100.0
+    ));
+    out
+}
+
 /// Renders the variant-detection summary (§V-B).
 pub fn render_variants(report: &VariantReport) -> String {
     format!(

@@ -5,9 +5,10 @@
 //! owns ground-truth labels), while prefiltered, artifact-cached,
 //! multi-worker scanning lives in the service. [`scan_all`] keeps its
 //! original contract — results in target order, byte-identical matches
-//! to exhaustive scanning (decoded-layer findings are off on this path
-//! so the paper-replication metrics stay comparable; use
-//! [`scan_verdicts`] to measure layered scanning).
+//! to exhaustive scanning (decoded-layer findings and the behavior
+//! engine are off on this path so the paper-replication metrics stay
+//! comparable; use [`scan_verdicts`] to measure layered scanning and
+//! [`scan_taint_verdicts`] to measure taint flows).
 
 use corpus::Dataset;
 use scanhub::{HubConfig, ScanHub, ScanRequest, Verdict};
@@ -81,6 +82,12 @@ pub fn target_from_package(
 
 /// Scans every target through a hub configured with the given decoded-
 /// layer depth, returning full verdicts in target order.
+///
+/// The behavior engine is **off** on this path: the replication metrics
+/// (Table VIII/IX/X, the robustness decay table) measure the paper's
+/// rule-driven detection, and taint flows would silently inflate
+/// [`Verdict::flagged`]. Use [`scan_taint_verdicts`] to measure the
+/// behavior engine in isolation.
 pub fn scan_verdicts(
     yara: Option<&CompiledRules>,
     semgrep: Option<&CompiledSemgrepRules>,
@@ -97,6 +104,29 @@ pub fn scan_verdicts(
         HubConfig {
             workers,
             max_decode_depth,
+            dataflow: false,
+            ..HubConfig::default()
+        },
+    );
+    hub.scan_ordered(targets.iter().map(|t| t.request.clone()))
+}
+
+/// Scans every target through a **rule-less** hub with the behavior
+/// engine on: no YARA, no Semgrep, so every finding in the returned
+/// verdicts is a taint flow. This is the scan path of the taint
+/// robustness experiment — rules key on spellings, flows key on
+/// structure, and this isolates the latter.
+pub fn scan_taint_verdicts(targets: &[ScanTarget]) -> Vec<Verdict> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(targets.len().max(1));
+    let hub = ScanHub::new(
+        None,
+        None,
+        HubConfig {
+            workers,
+            cache_capacity: 0,
             ..HubConfig::default()
         },
     );
@@ -226,6 +256,28 @@ rule b64re { strings: $re = /[A-Za-z0-9+\/]{24,}/ condition: $re }
             direct.dedup();
             assert_eq!(r.yara, direct, "target {}", t.index);
         }
+    }
+
+    #[test]
+    fn rule_scans_carry_no_flows_and_taint_scans_carry_only_flows() {
+        let dataset = Dataset::generate(&CorpusConfig::tiny());
+        let targets = build_targets(&dataset);
+        let yara = yara_engine::compile("rule sys { strings: $a = \"os.system\" condition: $a }")
+            .expect("compile");
+        // The replication path never reports flows…
+        for v in scan_verdicts(Some(&yara), None, &targets, 2) {
+            assert!(v.flows.is_empty(), "replication scan leaked a flow");
+        }
+        // …and the rule-less taint path reports nothing but flows,
+        // which do fire on the malicious side of the corpus.
+        let taint = scan_taint_verdicts(&targets);
+        assert!(taint
+            .iter()
+            .all(|v| v.yara.is_empty() && v.semgrep.is_empty() && v.layers.is_empty()));
+        assert!(taint
+            .iter()
+            .zip(&targets)
+            .any(|(v, t)| t.is_malicious && !v.flows.is_empty()));
     }
 
     #[test]

@@ -12,22 +12,60 @@ pub struct Module {
     pub body: Vec<Stmt>,
 }
 
+/// One name bound by an import statement: the dotted path as written
+/// plus the `as` alias, when one was given.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImportedName {
+    /// Dotted module path (`os.path`) or imported name (`environ`).
+    pub path: String,
+    /// The binding introduced by `as`, if any.
+    pub alias: Option<String>,
+}
+
+impl ImportedName {
+    /// An import without an alias.
+    pub fn plain(path: impl Into<String>) -> Self {
+        ImportedName {
+            path: path.into(),
+            alias: None,
+        }
+    }
+
+    /// An `as`-aliased import.
+    pub fn aliased(path: impl Into<String>, alias: impl Into<String>) -> Self {
+        ImportedName {
+            path: path.into(),
+            alias: Some(alias.into()),
+        }
+    }
+
+    /// The local name this import binds: the alias if present, else the
+    /// first dotted segment (`import a.b` binds `a`; a from-import name
+    /// has no dots, so the name itself).
+    pub fn binding(&self) -> &str {
+        match &self.alias {
+            Some(a) => a,
+            None => self.path.split('.').next().unwrap_or(&self.path),
+        }
+    }
+}
+
 /// A statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Stmt {
-    /// `import a, b.c`
+    /// `import a, b.c as d`
     Import {
-        /// Dotted module paths.
-        modules: Vec<String>,
+        /// Dotted module paths with optional aliases.
+        modules: Vec<ImportedName>,
         /// 1-based source line.
         line: usize,
     },
-    /// `from m import x, y`
+    /// `from m import x, y as z`
     FromImport {
         /// The source module path.
         module: String,
-        /// Imported names.
-        names: Vec<String>,
+        /// Imported names with optional aliases.
+        names: Vec<ImportedName>,
         /// 1-based source line.
         line: usize,
     },
@@ -176,6 +214,22 @@ impl Expr {
                 }
             }
             Expr::Call { func, .. } => func.func_path(),
+            // A parenthesized or otherwise unmodelled callee whose
+            // reconstructed text is a plain dotted path still names a
+            // resolvable callee: `(os.system)(cmd)` must dispatch like
+            // `os.system(cmd)`.
+            Expr::Other(text) => {
+                let mut t = text.trim();
+                while t.starts_with('(') && t.ends_with(')') && t.len() >= 2 {
+                    t = t[1..t.len() - 1].trim();
+                }
+                let compact: String = t.chars().filter(|c| !c.is_whitespace()).collect();
+                if is_dotted_path(&compact) {
+                    compact
+                } else {
+                    String::new()
+                }
+            }
             _ => String::new(),
         }
     }
@@ -203,6 +257,21 @@ impl Expr {
             Expr::Other(t) => t.clone(),
         }
     }
+}
+
+/// True when `s` is `ident(.ident)*` — a plain dotted path with no
+/// calls, subscripts or operators.
+fn is_dotted_path(s: &str) -> bool {
+    !s.is_empty()
+        && s.split('.').all(|seg| {
+            let mut chars = seg.chars();
+            match chars.next() {
+                Some(c) if c.is_ascii_alphabetic() || c == '_' => {
+                    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+                }
+                _ => false,
+            }
+        })
 }
 
 #[cfg(test)]
@@ -236,6 +305,39 @@ mod tests {
             }],
         };
         assert_eq!(e.to_text(), "requests(url='http://x')");
+    }
+
+    #[test]
+    fn func_path_resolves_other_wrapped_dotted_text() {
+        // A parenthesized callee the parser kept as raw text.
+        assert_eq!(Expr::Other("( os.system )".into()).func_path(), "os.system");
+        assert_eq!(
+            Expr::Other("(( urllib.request.urlopen ))".into()).func_path(),
+            "urllib.request.urlopen"
+        );
+        // Call through an Other callee.
+        let e = Expr::Call {
+            func: Box::new(Expr::Other("(subprocess.run)".into())),
+            args: vec![],
+        };
+        assert_eq!(e.func_path(), "subprocess.run");
+    }
+
+    #[test]
+    fn func_path_rejects_non_path_other_text() {
+        assert_eq!(Expr::Other("a + b".into()).func_path(), "");
+        assert_eq!(Expr::Other("[1, 2]".into()).func_path(), "");
+        assert_eq!(Expr::Other("f(x).g".into()).func_path(), "");
+        assert_eq!(Expr::Other("".into()).func_path(), "");
+        assert_eq!(Expr::Other("3.14".into()).func_path(), "");
+    }
+
+    #[test]
+    fn imported_name_binding() {
+        assert_eq!(ImportedName::plain("os").binding(), "os");
+        assert_eq!(ImportedName::plain("os.path").binding(), "os");
+        assert_eq!(ImportedName::aliased("os", "o").binding(), "o");
+        assert_eq!(ImportedName::aliased("os.path", "p").binding(), "p");
     }
 
     #[test]

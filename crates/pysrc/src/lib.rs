@@ -35,7 +35,7 @@ mod parser;
 mod strings;
 mod token;
 
-pub use ast::{Arg, Expr, Module, Stmt};
+pub use ast::{Arg, Expr, ImportedName, Module, Stmt};
 pub use lexer::{lex, lex_spanned};
 pub use parser::parse_module;
 pub use strings::{intern_strings, StringRef, StringTable};
@@ -137,10 +137,10 @@ pub fn collect_imports(module: &Module) -> Vec<String> {
 
 fn collect_imports_stmt(stmt: &Stmt, out: &mut Vec<String>) {
     match stmt {
-        Stmt::Import { modules, .. } => out.extend(modules.iter().cloned()),
+        Stmt::Import { modules, .. } => out.extend(modules.iter().map(|m| m.path.clone())),
         Stmt::FromImport { module, names, .. } => {
             for n in names {
-                out.push(format!("{module}.{n}"));
+                out.push(format!("{module}.{}", n.path));
             }
         }
         Stmt::FunctionDef { body, .. } | Stmt::ClassDef { body, .. } | Stmt::Block { body, .. } => {

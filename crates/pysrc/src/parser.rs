@@ -1,6 +1,6 @@
 //! Tolerant recursive-descent parser over the token stream.
 
-use crate::ast::{Arg, Expr, Module, Stmt};
+use crate::ast::{Arg, Expr, ImportedName, Module, Stmt};
 use crate::lexer::lex;
 use crate::token::{Token, TokenKind};
 
@@ -193,12 +193,17 @@ impl Parser {
             if path.is_empty() {
                 break;
             }
-            // `import x as y` — the alias is irrelevant to matching.
+            // `import x as y` — keep the alias: it is the name the rest
+            // of the file binds, and taint alias resolution needs it.
+            let mut alias = None;
             if matches!(self.peek(), TokenKind::Ident(w) if w == "as") {
                 self.bump();
+                if let TokenKind::Ident(a) = self.peek() {
+                    alias = Some(a.clone());
+                }
                 self.bump();
             }
-            modules.push(path);
+            modules.push(ImportedName { path, alias });
             if !self.eat_op(",") {
                 break;
             }
@@ -219,18 +224,22 @@ impl Parser {
                     TokenKind::Ident(w) => {
                         let name = w.clone();
                         self.bump();
+                        let mut alias = None;
                         if matches!(self.peek(), TokenKind::Ident(w) if w == "as") {
                             self.bump();
+                            if let TokenKind::Ident(a) = self.peek() {
+                                alias = Some(a.clone());
+                            }
                             self.bump();
                         }
-                        names.push(name);
+                        names.push(ImportedName { path: name, alias });
                         if !self.eat_op(",") {
                             break;
                         }
                     }
                     TokenKind::Op(o) if o == "*" => {
                         self.bump();
-                        names.push("*".into());
+                        names.push(ImportedName::plain("*"));
                         break;
                     }
                     _ => break,
@@ -751,7 +760,10 @@ mod tests {
         assert_eq!(m.body.len(), 2);
         match &m.body[1] {
             Stmt::Import { modules, .. } => {
-                assert_eq!(modules, &vec!["sys".to_owned(), "json".to_owned()])
+                assert_eq!(
+                    modules,
+                    &vec![ImportedName::plain("sys"), ImportedName::plain("json")]
+                )
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -761,7 +773,7 @@ mod tests {
     fn parses_dotted_import() {
         let m = parse_module("import os.path\n");
         match &m.body[0] {
-            Stmt::Import { modules, .. } => assert_eq!(modules[0], "os.path"),
+            Stmt::Import { modules, .. } => assert_eq!(modules[0], ImportedName::plain("os.path")),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -772,7 +784,35 @@ mod tests {
         match &m.body[0] {
             Stmt::FromImport { module, names, .. } => {
                 assert_eq!(module, "subprocess");
-                assert_eq!(names, &vec!["Popen".to_owned(), "PIPE".to_owned()]);
+                assert_eq!(
+                    names,
+                    &vec![ImportedName::plain("Popen"), ImportedName::plain("PIPE")]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn import_aliases_are_retained() {
+        let m = parse_module("import os as o, base64\nfrom subprocess import run as r\n");
+        match &m.body[0] {
+            Stmt::Import { modules, .. } => {
+                assert_eq!(
+                    modules,
+                    &vec![
+                        ImportedName::aliased("os", "o"),
+                        ImportedName::plain("base64")
+                    ]
+                );
+                assert_eq!(modules[0].binding(), "o");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &m.body[1] {
+            Stmt::FromImport { module, names, .. } => {
+                assert_eq!(module, "subprocess");
+                assert_eq!(names, &vec![ImportedName::aliased("run", "r")]);
             }
             other => panic!("unexpected {other:?}"),
         }

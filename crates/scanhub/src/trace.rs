@@ -35,13 +35,16 @@ pub struct StageNanos {
     pub layers: u64,
     /// Semgrep matchset walk over the cached modules.
     pub semgrep: u64,
+    /// Taint-flow aggregation over the cached per-file summaries (the
+    /// analysis itself is artifact work, done once per digest).
+    pub dataflow: u64,
     /// Verdict assembly (sort, dedup, normalize).
     pub verdict: u64,
 }
 
 impl StageNanos {
     /// The stage names in pipeline order, paired with their values.
-    pub fn named(&self) -> [(&'static str, u64); 8] {
+    pub fn named(&self) -> [(&'static str, u64); 9] {
         [
             ("queue", self.queue),
             ("cache", self.cache),
@@ -50,6 +53,7 @@ impl StageNanos {
             ("yara", self.yara),
             ("layers", self.layers),
             ("semgrep", self.semgrep),
+            ("dataflow", self.dataflow),
             ("verdict", self.verdict),
         ]
     }
@@ -69,6 +73,8 @@ pub enum FiredEngine {
     Semgrep,
     /// YARA over a decoded payload layer.
     YaraLayer,
+    /// The behavioral taint engine (source→sink dataflow).
+    Taint,
 }
 
 impl fmt::Display for FiredEngine {
@@ -77,6 +83,7 @@ impl fmt::Display for FiredEngine {
             FiredEngine::Yara => "yara",
             FiredEngine::Semgrep => "semgrep",
             FiredEngine::YaraLayer => "yara-layer",
+            FiredEngine::Taint => "taint",
         })
     }
 }
@@ -150,6 +157,21 @@ pub(crate) fn fired_from_verdict(verdict: &Verdict) -> Vec<FiredRule> {
             )),
         });
     }
+    for record in &verdict.flows {
+        let line = record.flow.steps.first().map_or(0, |s| s.line);
+        fired.push(FiredRule {
+            rule: record.flow.label.clone(),
+            engine: FiredEngine::Taint,
+            provenance: Cow::Owned(format!(
+                "{}:{} {} -> {} ({} steps)",
+                record.file,
+                line,
+                record.flow.source,
+                record.flow.sink,
+                record.flow.steps.len()
+            )),
+        });
+    }
     fired
 }
 
@@ -213,7 +235,7 @@ impl fmt::Display for ScanTrace {
 mod tests {
     use super::*;
     use crate::artifact::LayerEncoding;
-    use crate::verdict::LayerFinding;
+    use crate::verdict::{FlowRecord, LayerFinding};
 
     fn verdict() -> Verdict {
         Verdict {
@@ -226,6 +248,18 @@ mod tests {
                 depth: 1,
                 line: 7,
             }],
+            flows: vec![FlowRecord {
+                file: "dropper.py".into(),
+                flow: dataflow::FlowFinding {
+                    label: "flow:net-fetch->proc-exec".into(),
+                    source: "requests.get".into(),
+                    sink: "os.system".into(),
+                    steps: vec![dataflow::FlowStep {
+                        line: 3,
+                        note: "cmd = requests.get(...)".into(),
+                    }],
+                },
+            }],
             from_cache: false,
         }
     }
@@ -233,12 +267,16 @@ mod tests {
     #[test]
     fn fired_rules_carry_engine_and_provenance() {
         let fired = fired_from_verdict(&verdict());
-        assert_eq!(fired.len(), 3);
+        assert_eq!(fired.len(), 4);
         assert_eq!(fired[0].engine, FiredEngine::Yara);
         assert_eq!(fired[1].engine, FiredEngine::Semgrep);
         assert_eq!(fired[2].engine, FiredEngine::YaraLayer);
         assert!(fired[2].provenance.contains("dropper.py:7"));
         assert!(fired[2].provenance.contains("depth 1"));
+        assert_eq!(fired[3].engine, FiredEngine::Taint);
+        assert_eq!(fired[3].rule, "flow:net-fetch->proc-exec");
+        assert!(fired[3].provenance.contains("dropper.py:3"));
+        assert!(fired[3].provenance.contains("requests.get -> os.system"));
     }
 
     #[test]
@@ -251,9 +289,10 @@ mod tests {
             yara: 100,
             layers: 30,
             semgrep: 200,
+            dataflow: 40,
             verdict: 5,
         };
-        assert_eq!(stages.total(), 866);
+        assert_eq!(stages.total(), 906);
         let names: Vec<&str> = stages.named().iter().map(|(n, _)| *n).collect();
         assert_eq!(
             names,
@@ -265,6 +304,7 @@ mod tests {
                 "yara",
                 "layers",
                 "semgrep",
+                "dataflow",
                 "verdict"
             ]
         );

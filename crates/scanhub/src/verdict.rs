@@ -21,6 +21,17 @@ pub struct LayerFinding {
     pub line: u32,
 }
 
+/// A taint flow detected by the behavior engine, stamped with the file
+/// it was found in. The embedded [`dataflow::FlowFinding`] carries the
+/// full source→sink step chain with source lines.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FlowRecord {
+    /// The file whose module produced the flow.
+    pub file: String,
+    /// The flow itself: label, endpoints and step chain.
+    pub flow: dataflow::FlowFinding,
+}
+
 /// The outcome of scanning one package.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Verdict {
@@ -33,14 +44,18 @@ pub struct Verdict {
     /// addition to surface bytes), sorted and deduplicated. Empty when
     /// layer decoding is disabled.
     pub layers: Vec<LayerFinding>,
+    /// Behavioral taint flows (source→sink chains), sorted and
+    /// deduplicated. Empty when the dataflow stage is disabled.
+    pub flows: Vec<FlowRecord>,
     /// True when the verdict was served from the digest cache.
     pub from_cache: bool,
 }
 
 impl Verdict {
-    /// Total distinct findings (surface rules plus layer-tagged hits).
+    /// Total distinct findings (surface rules, layer-tagged hits and
+    /// taint flows).
     pub fn total(&self) -> usize {
-        self.yara.len() + self.semgrep.len() + self.layers.len()
+        self.yara.len() + self.semgrep.len() + self.layers.len() + self.flows.len()
     }
 
     /// True when at least one rule fired — a registry gatekeeper blocks
@@ -51,7 +66,10 @@ impl Verdict {
 
     /// The same verdict content, ignoring cache provenance.
     pub fn same_matches(&self, other: &Verdict) -> bool {
-        self.yara == other.yara && self.semgrep == other.semgrep && self.layers == other.layers
+        self.yara == other.yara
+            && self.semgrep == other.semgrep
+            && self.layers == other.layers
+            && self.flows == other.flows
     }
 
     /// Sorts and deduplicates every finding list. Workers call this
@@ -64,6 +82,8 @@ impl Verdict {
         self.semgrep.dedup();
         self.layers.sort();
         self.layers.dedup();
+        self.flows.sort();
+        self.flows.dedup();
     }
 }
 
@@ -116,6 +136,17 @@ mod tests {
     }
 
     #[test]
+    fn flow_records_flag_a_package_on_their_own() {
+        let v = Verdict {
+            flows: vec![flow_record("setup.py", "flow:net-fetch->proc-exec")],
+            ..Verdict::default()
+        };
+        assert_eq!(v.total(), 1);
+        assert!(v.flagged());
+        assert!(!v.same_matches(&Verdict::default()));
+    }
+
+    #[test]
     fn normalize_sorts_and_dedupes_every_list() {
         let finding = |rule: &str| LayerFinding {
             rule: rule.into(),
@@ -128,11 +159,35 @@ mod tests {
             yara: vec!["z".into(), "a".into(), "z".into()],
             semgrep: vec!["s2".into(), "s1".into(), "s1".into()],
             layers: vec![finding("b"), finding("a"), finding("b")],
+            flows: vec![
+                flow_record("b.py", "flow:env-read->net-send"),
+                flow_record("a.py", "flow:net-fetch->proc-exec"),
+                flow_record("b.py", "flow:env-read->net-send"),
+            ],
             from_cache: false,
         };
         v.normalize();
         assert_eq!(v.yara, vec!["a".to_owned(), "z".to_owned()]);
         assert_eq!(v.semgrep, vec!["s1".to_owned(), "s2".to_owned()]);
         assert_eq!(v.layers, vec![finding("a"), finding("b")]);
+        assert_eq!(
+            v.flows,
+            vec![
+                flow_record("a.py", "flow:net-fetch->proc-exec"),
+                flow_record("b.py", "flow:env-read->net-send"),
+            ]
+        );
+    }
+
+    fn flow_record(file: &str, label: &str) -> FlowRecord {
+        FlowRecord {
+            file: file.into(),
+            flow: dataflow::FlowFinding {
+                label: label.into(),
+                source: "src".into(),
+                sink: "dst".into(),
+                steps: Vec::new(),
+            },
+        }
     }
 }

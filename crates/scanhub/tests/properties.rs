@@ -104,6 +104,10 @@ fn hub_with(prefilter: bool, max_decode_depth: u8) -> ScanHub {
             cache_capacity: 0,
             prefilter,
             max_decode_depth,
+            // These suites differentially compare against the flat
+            // pre-refactor oracle, which has no behavior engine; the
+            // taint differential suite covers dataflow-on invariants.
+            dataflow: false,
             ..HubConfig::default()
         },
     )

@@ -1,0 +1,177 @@
+//! Differential and property suite for the behavioral taint engine.
+//!
+//! Pins the invariants ISSUE 8 requires of the dataflow stage:
+//!
+//! - **Determinism**: flow findings are identical across worker counts
+//!   and under artifact-cache eviction churn.
+//! - **Once per digest**: the taint analysis runs exactly once per
+//!   unique Python file digest, any worker count (the artifact cache's
+//!   single-flight contract extends to the behavior engine).
+//! - **Label invariance**: the set of flow labels a malicious package
+//!   produces is unchanged by every obfuscation profile — rename,
+//!   import aliasing, call indirection and string encoding all leave
+//!   the source→sink structure visible to the engine.
+//! - **Zero false positives**: the legit corpus produces no flows.
+//! - **Layering**: enabling dataflow never perturbs the surface
+//!   YARA/Semgrep verdict; it can only add flows and folded layers.
+
+use std::collections::{BTreeSet, HashSet};
+
+use corpus::FAMILIES;
+use obfuscate::{EvasionProfile, Obfuscator};
+use scanhub::{HubConfig, ScanHub, ScanRequest, Verdict};
+
+/// A rule-less hub: no YARA, no Semgrep — every finding below comes
+/// from the behavior engine alone.
+fn taint_hub(workers: usize, artifact_cache_capacity: usize) -> ScanHub {
+    ScanHub::new(
+        None,
+        None,
+        HubConfig {
+            workers,
+            cache_capacity: 0,
+            artifact_cache_capacity,
+            ..HubConfig::default()
+        },
+    )
+}
+
+fn flow_labels(verdict: &Verdict) -> BTreeSet<String> {
+    verdict.flows.iter().map(|f| f.flow.label.clone()).collect()
+}
+
+fn malware_requests(variants: u64, seed: u64) -> Vec<ScanRequest> {
+    FAMILIES
+        .iter()
+        .flat_map(|family| {
+            (0..variants).map(move |v| {
+                ScanRequest::from_package(&corpus::generate_malware_package(family, v, seed).0)
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn flows_are_identical_across_worker_counts_and_eviction_churn() {
+    let requests = malware_requests(2, 7);
+    // Baseline: one worker, roomy cache.
+    let baseline: Vec<Verdict> = taint_hub(1, 4096).scan_ordered(requests.iter().cloned());
+    assert!(
+        baseline.iter().any(|v| !v.flows.is_empty()),
+        "corpus produced no flows at all — the comparison would be vacuous"
+    );
+    for (workers, capacity) in [(2, 4096), (4, 4096), (4, 2), (3, 1)] {
+        let verdicts: Vec<Verdict> =
+            taint_hub(workers, capacity).scan_ordered(requests.iter().cloned());
+        for (a, b) in baseline.iter().zip(&verdicts) {
+            assert!(
+                a.same_matches(b),
+                "flows diverged at workers={workers} capacity={capacity}:\n{:?}\nvs\n{:?}",
+                a.flows,
+                b.flows
+            );
+        }
+    }
+}
+
+#[test]
+fn taint_analysis_runs_exactly_once_per_unique_python_digest() {
+    let requests = malware_requests(3, 11);
+    let mut unique_python: HashSet<[u8; 32]> = HashSet::new();
+    for req in &requests {
+        for entry in req.files() {
+            if entry.is_python() {
+                unique_python.insert(entry.digest());
+            }
+        }
+    }
+    for workers in [1, 2, 4] {
+        let hub = taint_hub(workers, 4096);
+        // Submit everything twice: repeats must all be artifact hits.
+        let first = hub.scan_ordered(requests.iter().cloned());
+        let again = hub.scan_ordered(requests.iter().cloned());
+        assert_eq!(first, again, "warm artifacts changed a verdict");
+        let stats = hub.stats();
+        assert_eq!(
+            stats.taint_analyses,
+            unique_python.len() as u64,
+            "taint analysis count must equal unique Python digests (workers={workers})"
+        );
+    }
+}
+
+#[test]
+fn legit_corpus_produces_zero_flows() {
+    let hub = taint_hub(2, 4096);
+    for idx in 0..40 {
+        for seed in [1u64, 99] {
+            let pkg = corpus::generate_legit_package(idx, seed);
+            let verdict = hub.submit(ScanRequest::from_package(&pkg)).wait();
+            assert!(
+                verdict.flows.is_empty(),
+                "false-positive flow on legit package {} (idx {idx}, seed {seed}): {:?}",
+                pkg.metadata().name,
+                verdict.flows
+            );
+        }
+    }
+}
+
+#[test]
+fn flow_labels_survive_every_obfuscation_profile() {
+    let hub = taint_hub(2, 4096);
+    for (fi, family) in FAMILIES.iter().enumerate() {
+        let seed = fi as u64 + 1;
+        let original = corpus::generate_malware_package(family, 0, seed).0;
+        let base = flow_labels(&hub.submit(ScanRequest::from_package(&original)).wait());
+        for profile in EvasionProfile::standard() {
+            let mutant = Obfuscator::new(profile.clone(), seed).obfuscate_package(&original);
+            let got = flow_labels(&hub.submit(ScanRequest::from_package(&mutant)).wait());
+            assert_eq!(
+                got, base,
+                "flow labels changed under {} for family {}",
+                profile.name, family.id
+            );
+        }
+    }
+}
+
+#[test]
+fn enabling_dataflow_only_adds_flows_and_folded_layers() {
+    const YARA: &str = r#"
+rule sys { strings: $a = "os.system" condition: $a }
+rule c2 { strings: $a = "requests.get" condition: $a }
+"#;
+    const SEMGREP: &str = "rules:\n  - id: sys-call\n    languages: [python]\n    message: m\n    pattern: os.system($X)\n";
+    let build = |dataflow: bool| {
+        ScanHub::new(
+            Some(yara_engine::compile(YARA).expect("yara")),
+            Some(semgrep_engine::compile(SEMGREP).expect("semgrep")),
+            HubConfig {
+                workers: 2,
+                cache_capacity: 0,
+                dataflow,
+                ..HubConfig::default()
+            },
+        )
+    };
+    let on = build(true);
+    let off = build(false);
+    for family in FAMILIES.iter() {
+        let pkg = corpus::generate_malware_package(family, 0, 5).0;
+        let request = ScanRequest::from_package(&pkg);
+        let with = on.submit(request.clone()).wait();
+        let without = off.submit(request).wait();
+        assert_eq!(with.yara, without.yara, "dataflow changed surface yara");
+        assert_eq!(with.semgrep, without.semgrep, "dataflow changed semgrep");
+        assert!(without.flows.is_empty(), "dataflow-off hub produced flows");
+        // Every layer finding of the off hub survives; extras on the on
+        // hub can only come from folded constants.
+        for finding in &without.layers {
+            assert!(
+                with.layers.contains(finding),
+                "dataflow dropped a layer finding: {finding:?}"
+            );
+        }
+    }
+}

@@ -126,7 +126,7 @@ fn anchor_of(stmt: Option<&Stmt>) -> Anchor {
         }
         Stmt::Import { modules, .. } => modules
             .first()
-            .map_or(Anchor::Always, |m| Anchor::ImportRoot(m.clone())),
+            .map_or(Anchor::Always, |m| Anchor::ImportRoot(m.path.clone())),
         Stmt::FromImport { module, .. } => Anchor::FromImportModule(module.clone()),
         Stmt::Other { text, .. } => {
             if text.is_empty() {
@@ -359,7 +359,10 @@ pub(crate) fn stmt_matches(pattern: &Stmt, target: &Stmt) -> bool {
             target_ok && expr_matches_with_fresh_bindings(pv, tv)
         }
         (Stmt::Import { modules: pm, .. }, Stmt::Import { modules: tm, .. }) => {
-            pm.iter().all(|m| tm.contains(m))
+            // Compare module paths only: `import os` matches
+            // `import os as o` — the alias changes the binding, not
+            // which module the package pulls in.
+            pm.iter().all(|m| tm.iter().any(|t| t.path == m.path))
         }
         (
             Stmt::FromImport {
@@ -372,7 +375,12 @@ pub(crate) fn stmt_matches(pattern: &Stmt, target: &Stmt) -> bool {
                 names: tn,
                 ..
             },
-        ) => pm == tm && pn.iter().all(|n| n == "*" || tn.contains(n)),
+        ) => {
+            pm == tm
+                && pn
+                    .iter()
+                    .all(|n| n.path == "*" || tn.iter().any(|t| t.path == n.path))
+        }
         (Stmt::Other { text: pt, .. }, _) => {
             // Fallback for pattern shapes the lightweight parser didn't
             // model: textual containment on the reconstructed statement.
@@ -380,6 +388,17 @@ pub(crate) fn stmt_matches(pattern: &Stmt, target: &Stmt) -> bool {
         }
         _ => false,
     }
+}
+
+fn render_imported(names: &[pysrc::ImportedName]) -> String {
+    names
+        .iter()
+        .map(|n| match &n.alias {
+            Some(a) => format!("{} as {a}", n.path),
+            None => n.path.clone(),
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn stmt_text(stmt: &Stmt) -> String {
@@ -394,9 +413,9 @@ fn stmt_text(stmt: &Stmt) -> String {
         },
         Stmt::Other { text, .. } => text.clone(),
         Stmt::Block { header, .. } => header.clone(),
-        Stmt::Import { modules, .. } => format!("import {}", modules.join(", ")),
+        Stmt::Import { modules, .. } => format!("import {}", render_imported(modules)),
         Stmt::FromImport { module, names, .. } => {
-            format!("from {module} import {}", names.join(", "))
+            format!("from {module} import {}", render_imported(names))
         }
         Stmt::FunctionDef { name, .. } => format!("def {name}"),
         Stmt::ClassDef { name, .. } => format!("class {name}"),

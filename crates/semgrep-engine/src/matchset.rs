@@ -241,7 +241,7 @@ impl<'r> MatchSet<'r> {
             match stmt {
                 Stmt::Import { modules, .. } => {
                     for m in modules {
-                        if let Some(ids) = self.import_index.get(m.as_str()) {
+                        if let Some(ids) = self.import_index.get(m.path.as_str()) {
                             for &id in ids {
                                 self.try_leaf(id, stmt, &include, scratch, &mut metrics);
                             }

@@ -41,7 +41,7 @@ fn main() {
     for (arm, pkg) in &uploads {
         let verdict = hub.submit(ScanRequest::from_package(pkg)).wait();
         println!(
-            "  {:<12} -> {:<8} ({} YARA, {} Semgrep, {} decoded-layer matches{})",
+            "  {:<12} -> {:<8} ({} YARA, {} Semgrep, {} decoded-layer, {} taint-flow matches{})",
             arm,
             if verdict.flagged() {
                 "FLAGGED"
@@ -51,6 +51,7 @@ fn main() {
             verdict.yara.len(),
             verdict.semgrep.len(),
             verdict.layers.len(),
+            verdict.flows.len(),
             if verdict.from_cache { ", cached" } else { "" },
         );
         for layer in &verdict.layers {
@@ -71,6 +72,58 @@ fn main() {
         stats.prefilter_skip_rate() * 100.0,
     );
 
+    // Act: the mutant every surface rule misses. Rename + import
+    // aliasing + call indirection + string encoding erase the spellings
+    // the learned rules key on, but the source→sink structure survives
+    // — only the behavior engine sees it.
+    println!("\nhunting for an aggressive mutant that escapes every surface rule ...");
+    let (yara2, semgrep2) = compile_output(&output);
+    let surface = ScanHub::new(
+        Some(yara2),
+        Some(semgrep2),
+        HubConfig {
+            dataflow: false,
+            ..HubConfig::default()
+        },
+    );
+    let behavior = ScanHub::new(None, None, HubConfig::default());
+    let aggressive = EvasionProfile::standard()
+        .into_iter()
+        .find(|p| p.name == "aggressive")
+        .expect("aggressive profile");
+    let mut escaped = 0;
+    'hunt: for m in ctx.dataset.unique_malware() {
+        for seed in 0..8 {
+            let mutant = Obfuscator::new(aggressive.clone(), seed).obfuscate_package(&m.package);
+            let request = ScanRequest::from_package(&mutant);
+            if surface.submit(request.clone()).wait().flagged() {
+                continue;
+            }
+            let verdict = behavior.submit(request).wait();
+            if verdict.flows.is_empty() {
+                continue;
+            }
+            escaped += 1;
+            println!(
+                "  '{}' (seed {seed}): surface rules PASSED, behavior engine FLAGGED",
+                mutant.metadata().name
+            );
+            for record in &verdict.flows {
+                println!(
+                    "    {} in {}: {} -> {}",
+                    record.flow.label, record.file, record.flow.source, record.flow.sink
+                );
+                for step in &record.flow.steps {
+                    println!("      line {:>3}: {}", step.line, step.note);
+                }
+            }
+            break 'hunt;
+        }
+    }
+    if escaped == 0 {
+        println!("  (every aggressive mutant was still caught by a surface rule)");
+    }
+
     println!("\nrunning the full robustness experiment (fixed seed 42) ...\n");
     let rep = robustness::robustness(&ctx, 42);
     println!("{}", report::render_robustness(&rep));
@@ -78,4 +131,8 @@ fn main() {
     println!("measuring decoded-layer recovery on string-encoded mutants ...\n");
     let recovery = robustness::layered_recovery(&ctx, 42);
     println!("{}", report::render_layered_recovery(&recovery));
+
+    println!("measuring behavior-engine recall under the same profiles ...\n");
+    let taint = robustness::taint_robustness(&ctx, 42);
+    println!("{}", report::render_taint_robustness(&taint));
 }
