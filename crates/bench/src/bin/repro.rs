@@ -34,6 +34,14 @@ fn main() {
         let len = 1 << 20;
         let rows = rulellm_bench::regex_scan::compare(len, 42);
         println!("{}", rulellm_bench::regex_scan::render(&rows, len));
+        eprintln!("[repro] tiered matching: Teddy + lazy DFA vs AC + Pike VM (ISSUE 9) ...");
+        let stats = rulellm_bench::regexbench::compare(len, 42);
+        println!("{}", rulellm_bench::regexbench::render(&stats));
+        let doc = rulellm_bench::regexbench::to_json(&stats);
+        match std::fs::write("BENCH_regex.json", doc.to_string_pretty()) {
+            Ok(()) => eprintln!("[repro] wrote BENCH_regex.json"),
+            Err(e) => eprintln!("[repro] could not write BENCH_regex.json: {e}"),
+        }
         if only.as_deref() == Some("regexbench") {
             return;
         }

@@ -19,6 +19,7 @@
 use corpus::CorpusConfig;
 
 pub mod regex_scan;
+pub mod regexbench;
 pub mod retrohunt_bench;
 pub mod scanhub_bench;
 pub mod semgrep_scan;

@@ -585,8 +585,8 @@ impl ScanHub {
             digests_indexed = retro.digest_count() as u64;
             for (ci, rule) in changed.iter().enumerate() {
                 // Candidates for this rule: `None` means "cannot gate —
-                // full candidacy" (no exhaustive atom set, or an atom
-                // too short to decompose into grams).
+                // full candidacy" (no exhaustive atom set). Sub-gram
+                // atoms answer exactly from the 1/2-gram postings.
                 let gated: Option<Vec<(DigestKey, bool)>> = if !rule.exhaustive {
                     None
                 } else if rule.atoms.is_empty() {
@@ -738,6 +738,7 @@ impl ScanHub {
         let (atoms, digests) = self.retro_index_size();
         stats.retro_index_atoms = atoms;
         stats.retro_index_digests = digests;
+        stats.engine = textmatch::engine_counters();
         stats
     }
 
@@ -894,6 +895,60 @@ impl ScanHub {
                 "scanhub_retro_confirm_scans_total",
                 "Digests confirm-scanned by retro-hunts",
                 stats.retro_confirm_scans,
+            ),
+        ] {
+            reg.counter(name, help).set(value);
+        }
+        // Matching-tier counters from the textmatch engine. These are
+        // process-global (the tiers run inside per-scan hot loops with
+        // no hub handle), so two hubs in one process export the same
+        // values — still monotonic, still safe to rate().
+        let eng = textmatch::engine_counters();
+        for (name, help, value) in [
+            (
+                "textmatch_teddy_scans_total",
+                "Multi-literal scans served by the Teddy prefilter tier",
+                eng.teddy_scans,
+            ),
+            (
+                "textmatch_teddy_bytes_scanned_total",
+                "Haystack bytes classified by the Teddy SWAR loop",
+                eng.teddy_bytes_scanned,
+            ),
+            (
+                "textmatch_teddy_chunks_classified_total",
+                "8-start chunks examined by the Teddy classifier",
+                eng.teddy_chunks_classified,
+            ),
+            (
+                "textmatch_teddy_chunks_verified_total",
+                "Chunks whose candidate mask required bucket verification",
+                eng.teddy_chunks_verified,
+            ),
+            (
+                "textmatch_ac_fallback_scans_total",
+                "Multi-literal scans routed to the Aho-Corasick fallback",
+                eng.ac_fallback_scans,
+            ),
+            (
+                "textmatch_dfa_scans_total",
+                "Regex scans where the lazy DFA ran",
+                eng.dfa_scans,
+            ),
+            (
+                "textmatch_dfa_states_built_total",
+                "Lazy-DFA states determinized on demand",
+                eng.dfa_states_built,
+            ),
+            (
+                "textmatch_dfa_cache_flushes_total",
+                "Bounded-cache overflows that flushed the DFA state table",
+                eng.dfa_cache_flushes,
+            ),
+            (
+                "textmatch_pikevm_fallbacks_total",
+                "Scans abandoned by a thrashing DFA and re-run on the Pike VM",
+                eng.pikevm_fallbacks,
             ),
         ] {
             reg.counter(name, help).set(value);
@@ -2028,9 +2083,33 @@ rule missing { strings: $a = "never-present-atom" condition: not $a }
         assert!(text.contains("scanhub_submitted_total 1"));
         assert!(text.contains("scanhub_stage_duration_ns_bucket"));
         assert!(text.contains("stage=\"artifact\""));
+        // The matching-tier counters ride along in both exposition
+        // formats (process-global, so only presence is asserted).
+        assert!(text.contains("textmatch_teddy_scans_total"));
+        assert!(text.contains("textmatch_dfa_states_built_total"));
+        assert!(text.contains("textmatch_pikevm_fallbacks_total"));
         let json = hub.export_json().to_string();
         assert!(json.contains("scanhub_scan_duration_ns"));
         assert!(json.contains("\"p99\""));
+        assert!(json.contains("textmatch_teddy_bytes_scanned_total"));
+        assert!(json.contains("textmatch_ac_fallback_scans_total"));
+    }
+
+    #[test]
+    fn matching_tier_counters_reach_hub_stats() {
+        // The default test bundle has multi-byte literal atoms, so the
+        // prefilter and scanner multi-literal matchers run the Teddy
+        // tier; the counters are process-global, so assert deltas-or-
+        // better rather than exact values.
+        let before = hub(HubConfig::default()).stats().engine;
+        let h = hub(HubConfig::default());
+        let _ = h.submit(request("import os\nos.system('id')\n")).wait();
+        let after = h.stats().engine;
+        assert!(
+            after.teddy_scans > before.teddy_scans,
+            "scanning with literal atoms must exercise the Teddy tier"
+        );
+        assert!(after.teddy_bytes_scanned >= before.teddy_bytes_scanned);
     }
 
     #[test]

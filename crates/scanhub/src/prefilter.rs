@@ -1,9 +1,11 @@
 //! The global literal prefilter index.
 //!
-//! One case-insensitive Aho–Corasick automaton is built over the distinct
-//! plain-text atoms of every compiled YARA rule plus the string atoms of
-//! every Semgrep pattern. Automaton passes over each engine's own scan
-//! input (the package buffer for YARA, the Python sources for Semgrep)
+//! One case-insensitive multi-literal matcher ([`MultiLiteral`]: a
+//! Teddy-style SWAR prefilter for small/long atom sets, Aho–Corasick
+//! otherwise) is built over the distinct plain-text atoms of every
+//! compiled YARA rule plus the string atoms of every Semgrep pattern.
+//! Matcher passes over each engine's own scan input (the package buffer
+//! for YARA, the Python sources for Semgrep)
 //! then route the package to exactly the rules whose atoms occur; rules
 //! with an *exhaustive* atom set (see [`yara_engine::RuleAtoms`] and
 //! [`semgrep_engine::SemgrepRule::literal_atoms`]) that did not hit are
@@ -18,7 +20,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use semgrep_engine::CompiledSemgrepRules;
-use textmatch::{AhoCorasick, MatchKind};
+use textmatch::{MatchKind, MultiLiteral};
 use yara_engine::CompiledRules;
 
 use crate::artifact::FileAnalysis;
@@ -150,7 +152,7 @@ struct RuleAtomInfo {
 /// The compiled prefilter over one rule bundle.
 #[derive(Debug)]
 pub struct PrefilterIndex {
-    automaton: AhoCorasick,
+    automaton: MultiLiteral,
     /// Automaton pattern index → rules gated on that atom.
     routes: Vec<Vec<RuleId>>,
     /// Rules that must always be evaluated (no exhaustive atom set).
@@ -256,7 +258,7 @@ impl PrefilterIndex {
 
         let atom_count = atoms.len();
         PrefilterIndex {
-            automaton: AhoCorasick::new(&atoms, MatchKind::CaseInsensitive),
+            automaton: MultiLiteral::new(&atoms, MatchKind::CaseInsensitive),
             routes,
             always,
             atoms,

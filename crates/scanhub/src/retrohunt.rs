@@ -22,9 +22,11 @@
 //! its 3-grams, so the intersection is a sound over-approximation of
 //! "digests whose content can contain this atom", and it answers for
 //! atoms the index has *never seen before* (the whole point of a rule
-//! deploy). Atoms shorter than the gram width cannot be decomposed and
-//! conservatively fall back to full candidacy, as do rules without an
-//! exhaustive atom set.
+//! deploy). Atoms shorter than the gram width go through exact 1/2-gram
+//! posting maps maintained alongside the 3-gram index, so a rule gated
+//! on `"MZ"` nominates only digests whose content actually contains the
+//! two bytes instead of forcing an exhaustive confirm-scan; only rules
+//! without an exhaustive atom set fall back to full candidacy.
 //!
 //! # Verdict semantics
 //!
@@ -80,6 +82,10 @@ pub(crate) struct RetroIndex {
     slots: Vec<Option<(DigestKey, bool)>>,
     by_digest: HashMap<DigestKey, u32>,
     postings: HashMap<[u8; GRAM_LEN], Postings>,
+    /// Exact single-byte postings, so 1-byte atoms stay gateable.
+    grams1: HashMap<u8, Postings>,
+    /// Exact byte-pair postings, so 2-byte atoms (`"MZ"`) stay gateable.
+    grams2: HashMap<[u8; 2], Postings>,
     /// Slots freed by the last compaction, safe to reuse (their posting
     /// entries are gone).
     free: Vec<u32>,
@@ -94,6 +100,15 @@ fn collect_grams(data: &[u8], out: &mut HashSet<[u8; GRAM_LEN]>) {
             w[1].to_ascii_lowercase(),
             w[2].to_ascii_lowercase(),
         ]);
+    }
+}
+
+fn collect_short_grams(data: &[u8], out1: &mut HashSet<u8>, out2: &mut HashSet<[u8; 2]>) {
+    for &b in data {
+        out1.insert(b.to_ascii_lowercase());
+    }
+    for w in data.windows(2) {
+        out2.insert([w[0].to_ascii_lowercase(), w[1].to_ascii_lowercase()]);
     }
 }
 
@@ -119,10 +134,10 @@ impl RetroIndex {
         self.by_digest.len()
     }
 
-    /// Number of distinct indexed terms (folded 3-grams with at least
-    /// one posting list).
+    /// Number of distinct indexed terms (folded 1/2/3-grams with at
+    /// least one posting list).
     pub(crate) fn term_count(&self) -> usize {
-        self.postings.len()
+        self.postings.len() + self.grams1.len() + self.grams2.len()
     }
 
     /// Indexes one published artifact. Idempotent: a digest already
@@ -144,15 +159,31 @@ impl RetroIndex {
         self.by_digest.insert(artifact.digest, slot);
 
         let mut grams: HashSet<[u8; GRAM_LEN]> = HashSet::new();
+        let mut g1: HashSet<u8> = HashSet::new();
+        let mut g2: HashSet<[u8; 2]> = HashSet::new();
         collect_grams(&artifact.bytes, &mut grams);
+        collect_short_grams(&artifact.bytes, &mut g1, &mut g2);
         for g in grams.drain() {
             push_slot(&mut self.postings.entry(g).or_default().surface, slot);
         }
+        for g in g1.drain() {
+            push_slot(&mut self.grams1.entry(g).or_default().surface, slot);
+        }
+        for g in g2.drain() {
+            push_slot(&mut self.grams2.entry(g).or_default().surface, slot);
+        }
         for layer in &artifact.layers {
             collect_grams(&layer.data, &mut grams);
+            collect_short_grams(&layer.data, &mut g1, &mut g2);
         }
         for g in grams.drain() {
             push_slot(&mut self.postings.entry(g).or_default().layer, slot);
+        }
+        for g in g1.drain() {
+            push_slot(&mut self.grams1.entry(g).or_default().layer, slot);
+        }
+        for g in g2.drain() {
+            push_slot(&mut self.grams2.entry(g).or_default().layer, slot);
         }
     }
 
@@ -172,11 +203,14 @@ impl RetroIndex {
 
     fn compact(&mut self) {
         let slots = &self.slots;
-        self.postings.retain(|_, p| {
+        let sweep = |p: &mut Postings| {
             p.surface.retain(|&s| slots[s as usize].is_some());
             p.layer.retain(|&s| slots[s as usize].is_some());
             !p.surface.is_empty() || !p.layer.is_empty()
-        });
+        };
+        self.postings.retain(|_, p| sweep(p));
+        self.grams1.retain(|_, p| sweep(p));
+        self.grams2.retain(|_, p| sweep(p));
         self.free.clear();
         for (i, s) in self.slots.iter().enumerate() {
             if s.is_none() {
@@ -192,8 +226,9 @@ impl RetroIndex {
     }
 
     /// Candidate digests that can contain `atom` (folded text) with the
-    /// given provenance. Returns `None` when the atom is shorter than
-    /// the gram width — the caller must fall back to full candidacy.
+    /// given provenance. Atoms shorter than the gram width answer from
+    /// the exact 1/2-gram posting maps; only an empty atom returns
+    /// `None` (the caller must fall back to full candidacy).
     pub(crate) fn candidates_for_atom(
         &self,
         atom: &str,
@@ -201,7 +236,24 @@ impl RetroIndex {
     ) -> Option<Vec<(DigestKey, bool)>> {
         let folded: Vec<u8> = atom.bytes().map(|b| b.to_ascii_lowercase()).collect();
         if folded.len() < GRAM_LEN {
-            return None;
+            let postings = match folded.as_slice() {
+                [] => return None,
+                [b] => self.grams1.get(b),
+                [a, b] => self.grams2.get(&[*a, *b]),
+                _ => unreachable!(),
+            };
+            let Some(p) = postings else {
+                return Some(Vec::new());
+            };
+            let list = match provenance {
+                TermProvenance::Surface => &p.surface,
+                TermProvenance::Layer => &p.layer,
+            };
+            return Some(
+                list.iter()
+                    .filter_map(|&s| self.slots[s as usize])
+                    .collect(),
+            );
         }
         let mut lists: Vec<&Vec<u32>> = Vec::with_capacity(folded.len() - GRAM_LEN + 1);
         for w in folded.windows(GRAM_LEN) {
@@ -352,7 +404,8 @@ pub struct RetroReport {
     /// Distinct digests confirm-scanned.
     pub confirm_scans: u64,
     /// Changed rules that fell back to full candidacy (no exhaustive
-    /// atoms, or an atom shorter than the gram width).
+    /// atom set — regex-only or always-on rules). Short atoms no
+    /// longer force fallback: they answer from exact 1/2-gram postings.
     pub full_candidacy_rules: u64,
 }
 
@@ -570,12 +623,86 @@ mod tests {
     }
 
     #[test]
-    fn short_atoms_cannot_be_decomposed() {
+    fn short_atoms_answer_from_exact_gram_postings() {
         let mut index = RetroIndex::new();
-        index.insert_artifact(&analyze("a.bin", b"MZ\x90\x00"));
-        assert!(index
+        let magic = analyze("a.bin", b"MZ\x90\x00");
+        let other = analyze("b.py", b"print('hello')\n");
+        index.insert_artifact(&magic);
+        index.insert_artifact(&other);
+        // 2-byte atom: exact, folded, and it prunes.
+        let hits = index
             .candidates_for_atom("MZ", TermProvenance::Surface)
+            .expect("2-byte atoms are queryable");
+        assert_eq!(digests(&hits), digests(&[(magic.digest, false)]));
+        let hits = index
+            .candidates_for_atom("mz", TermProvenance::Surface)
+            .expect("folded like every other query");
+        assert_eq!(digests(&hits), digests(&[(magic.digest, false)]));
+        // 1-byte atom present in exactly one artifact.
+        let hits = index
+            .candidates_for_atom("(", TermProvenance::Surface)
+            .expect("1-byte atoms are queryable");
+        assert_eq!(digests(&hits), digests(&[(other.digest, true)]));
+        // Never-seen short grams nominate nothing rather than everyone.
+        let miss = index
+            .candidates_for_atom("q", TermProvenance::Surface)
+            .expect("queryable");
+        assert!(miss.is_empty());
+        let miss = index
+            .candidates_for_atom("qq", TermProvenance::Surface)
+            .expect("queryable");
+        assert!(miss.is_empty());
+        // Only the empty atom is un-gateable.
+        assert!(index
+            .candidates_for_atom("", TermProvenance::Surface)
             .is_none());
+    }
+
+    #[test]
+    fn short_gram_provenance_is_tracked_separately() {
+        let payload = digest::base64::encode(b"MZ\x90\x00 decoded payload");
+        let code = format!("blob = '{payload}'\n");
+        let mut index = RetroIndex::new();
+        let a = analyze("a.py", code.as_bytes());
+        assert!(!a.layers.is_empty(), "payload must decode");
+        index.insert_artifact(&a);
+        // "MZ" only exists inside the decoded layer — unless the random
+        // base64 text happens to contain "mz", surface must miss.
+        if !code.to_ascii_lowercase().contains("mz") {
+            let surface = index
+                .candidates_for_atom("MZ", TermProvenance::Surface)
+                .expect("queryable");
+            assert!(surface.is_empty(), "atom only exists decoded");
+        }
+        let layer = index
+            .candidates_for_atom("MZ", TermProvenance::Layer)
+            .expect("queryable");
+        assert_eq!(layer.len(), 1);
+    }
+
+    #[test]
+    fn eviction_and_compaction_sweep_short_gram_postings() {
+        let mut index = RetroIndex::new();
+        let keep = analyze("keep.bin", b"PK\x03\x04 archive");
+        index.insert_artifact(&keep);
+        let mut evicted = Vec::new();
+        for i in 0..100 {
+            let a = analyze("x.bin", format!("MZ stub {i}").as_bytes());
+            index.insert_artifact(&a);
+            evicted.push(a.digest);
+        }
+        for d in &evicted {
+            index.remove(d);
+        }
+        assert_eq!(index.digest_count(), 1);
+        let hits = index
+            .candidates_for_atom("MZ", TermProvenance::Surface)
+            .expect("queryable");
+        assert!(hits.is_empty(), "evicted digests must drop out of 2-grams");
+        let hits = index
+            .candidates_for_atom("PK", TermProvenance::Surface)
+            .expect("queryable");
+        assert_eq!(digests(&hits), digests(&[(keep.digest, false)]));
     }
 
     #[test]

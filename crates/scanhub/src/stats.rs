@@ -67,10 +67,12 @@ impl HubCounters {
             retro_hunts: load(&self.retro_hunts),
             retro_candidates: load(&self.retro_candidates),
             retro_confirm_scans: load(&self.retro_confirm_scans),
-            // The hub overlays histogram percentiles and the retro-index
-            // gauges after the counter snapshot (see `ScanHub::stats`).
+            // The hub overlays histogram percentiles, the retro-index
+            // gauges, and the process-global matching-tier counters
+            // after the counter snapshot (see `ScanHub::stats`).
             retro_index_atoms: 0,
             retro_index_digests: 0,
+            engine: textmatch::EngineCounters::default(),
             latency: StageLatencies::default(),
         }
     }
@@ -148,6 +150,10 @@ pub struct HubStats {
     pub retro_index_atoms: u64,
     /// Content digests currently resident in the retro index.
     pub retro_index_digests: u64,
+    /// Matching-tier counters from the `textmatch` engine (Teddy
+    /// prefilter, lazy DFA, Pike VM / Aho-Corasick fallbacks).
+    /// Process-global and monotonic, unlike the per-hub counters above.
+    pub engine: textmatch::EngineCounters,
     /// Per-stage latency percentiles (zeroed when telemetry is off).
     pub latency: StageLatencies,
 }
@@ -293,9 +299,26 @@ impl fmt::Display for HubStats {
             row(f, "retro_index_atoms", self.retro_index_atoms)?;
             row(f, "retro_index_digests", self.retro_index_digests)?;
         }
+        let eng = &self.engine;
+        if eng.teddy_scans + eng.ac_fallback_scans + eng.dfa_scans > 0 {
+            row(f, "teddy_scans", eng.teddy_scans)?;
+            row(f, "teddy_bytes_scanned", eng.teddy_bytes_scanned)?;
+            row(f, "ac_fallback_scans", eng.ac_fallback_scans)?;
+            row(f, "dfa_scans", eng.dfa_scans)?;
+            row(f, "dfa_states_built", eng.dfa_states_built)?;
+            row(f, "dfa_cache_flushes", eng.dfa_cache_flushes)?;
+            row(f, "pikevm_fallbacks", eng.pikevm_fallbacks)?;
+        }
         pct(f, "cache_hit_rate", self.cache_hit_rate())?;
         pct(f, "artifact_hit_rate", self.artifact_hit_rate())?;
         pct(f, "prefilter_skip_rate", self.prefilter_skip_rate())?;
+        if eng.teddy_scans + eng.ac_fallback_scans > 0 {
+            pct(f, "teddy_tier_rate", eng.teddy_tier_rate())?;
+            pct(f, "teddy_skip_rate", eng.teddy_skip_rate())?;
+        }
+        if eng.dfa_scans > 0 {
+            pct(f, "dfa_completion_rate", eng.dfa_completion_rate())?;
+        }
         let stages = self.latency.named();
         if stages.iter().any(|(_, s)| s.count > 0) {
             writeln!(
@@ -433,6 +456,39 @@ mod tests {
         assert!(text.contains("1.80ms"));
         // Stages with no samples stay out of the table.
         assert!(!text.contains("\n  queue"));
+    }
+
+    #[test]
+    fn display_gates_matching_tier_rows_on_activity() {
+        let mut stats = HubStats::default();
+        let text = stats.to_string();
+        assert!(!text.contains("teddy_scans"));
+        assert!(!text.contains("dfa_completion_rate"));
+
+        stats.engine = textmatch::EngineCounters {
+            teddy_scans: 8,
+            teddy_bytes_scanned: 4096,
+            teddy_chunks_classified: 512,
+            teddy_chunks_verified: 64,
+            ac_fallback_scans: 2,
+            dfa_scans: 4,
+            dfa_states_built: 12,
+            dfa_cache_flushes: 1,
+            pikevm_fallbacks: 1,
+        };
+        let text = stats.to_string();
+        assert!(text.contains("teddy_scans"));
+        assert!(text.contains("teddy_bytes_scanned"));
+        assert!(text.contains("pikevm_fallbacks"));
+        // 8 of 10 multi-literal scans took the Teddy tier.
+        assert!(text.contains("teddy_tier_rate"));
+        assert!(text.contains("80.0%"));
+        // 448 of 512 chunks skipped verification.
+        assert!(text.contains("teddy_skip_rate"));
+        assert!(text.contains("87.5%"));
+        // 3 of 4 DFA scans completed without Pike VM fallback.
+        assert!(text.contains("dfa_completion_rate"));
+        assert!(text.contains("75.0%"));
     }
 
     #[test]

@@ -36,8 +36,9 @@ const LIVE_SEMGREP: &str = "rules:
 /// `retuned` keeps its name but swaps its atom, and the additions cover
 /// every candidacy path — plain atom, layer-only atom, regex-only
 /// (non-exhaustive → full candidacy), `nocase`, a sub-gram atom
-/// (`"MZ"` < 3 bytes → full candidacy), a dead rule (zero candidates),
-/// a Semgrep atom rule and a Semgrep always-on rule.
+/// (`"MZ"` < 3 bytes → exact 2-gram postings, still gated), a dead
+/// rule (zero candidates), a Semgrep atom rule and a Semgrep always-on
+/// rule.
 const NEXT_YARA: &str = r#"
 rule shell { strings: $a = "os.system" condition: $a }
 rule beacon { strings: $a = "requests.get" $b = "requests.post" condition: any of them }
@@ -177,11 +178,14 @@ proptest! {
         // zero hits, no fallback.
         prop_assert_eq!(rule("dead").candidates, 0);
         prop_assert!(rule("dead").digests.is_empty());
-        // Regex-only and sub-gram atoms cannot be indexed: candidacy
-        // falls back to the whole history, never to silence.
+        // Regex-only atoms cannot be indexed: candidacy falls back to
+        // the whole history, never to silence. Sub-gram atoms like
+        // `"MZ"` now answer from exact 2-gram postings, so they gate
+        // (at minimum, `planted_fetch.py` contains no "mz" byte pair)
+        // and no longer count as full-candidacy fallbacks.
         prop_assert_eq!(rule("regex_only").candidates, report.digests_indexed);
-        prop_assert_eq!(rule("magic").candidates, report.digests_indexed);
-        prop_assert!(report.full_candidacy_rules >= 2);
+        prop_assert!(rule("magic").candidates < report.digests_indexed);
+        prop_assert_eq!(report.full_candidacy_rules, 1, "only regex_only falls back now");
         // Exhaustive-atom rules actually prune.
         prop_assert!(rule("layered_ioc").candidates < report.digests_indexed);
     }
@@ -212,6 +216,63 @@ proptest! {
         prop_assert!(report.same_hits(&oracle), "diverged after evictions");
         prop_assert_eq!(report.digests_indexed, digests);
         prop_assert_eq!(oracle.digests_indexed, digests);
+    }
+}
+
+#[test]
+fn short_atom_rules_gate_through_exact_gram_postings() {
+    // Regression: atoms shorter than the 3-gram width used to force
+    // full candidacy (`candidates_for_atom` returned `None`), so a
+    // rule like `"MZ"` rescanned the entire history on every deploy.
+    // They now answer from exact 1/2-gram postings — pinned against
+    // the exhaustive rescan oracle.
+    let hub = live_hub(4096);
+    hub.submit(ScanRequest::from_source(
+        "dropper.py",
+        "stub = 'MZ\\x90' # pe carving\n",
+    ))
+    .wait();
+    hub.submit(ScanRequest::from_source("tilde.py", "home = '~root'\n"))
+        .wait();
+    for req in planted_uploads() {
+        hub.submit(req).wait();
+    }
+
+    let short_yara = r#"
+rule magic2 { strings: $a = "MZ" condition: $a }
+rule magic1 { strings: $a = "~" condition: $a }
+"#;
+    let yara = yara_engine::compile(short_yara).expect("short-atom yara");
+    let deployment = hub.deploy_rules(Some(yara), None);
+    let report = hub.retro_hunt(&deployment).expect("retro index enabled");
+    let oracle = hub.retro_rescan(&deployment).expect("oracle");
+    assert!(
+        report.same_hits(&oracle),
+        "short-atom hunt diverged from the exhaustive rescan:\n{:?}\nvs\n{:?}",
+        report.rules,
+        oracle.rules
+    );
+    // Neither rule fell back to full candidacy, and both actually
+    // prune: the planted uploads contain neither "mz" nor "~".
+    assert_eq!(report.full_candidacy_rules, 0);
+    let rule = |name: &str| {
+        report
+            .rules
+            .iter()
+            .find(|r| r.rule == name)
+            .unwrap_or_else(|| panic!("{name} missing from report"))
+    };
+    for name in ["magic2", "magic1"] {
+        assert!(
+            rule(name).candidates < report.digests_indexed,
+            "{name} did not prune: {} candidates of {} digests",
+            rule(name).candidates,
+            report.digests_indexed
+        );
+        assert!(
+            !rule(name).digests.is_empty(),
+            "{name} lost its planted hit"
+        );
     }
 }
 

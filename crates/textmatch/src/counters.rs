@@ -1,0 +1,137 @@
+//! Process-global engine counters for the tiered matching pipeline.
+//!
+//! The matching tiers (Teddy prefilter, lazy DFA, Pike VM, Aho-Corasick
+//! fallback) run deep inside per-scan hot loops that have no handle on a
+//! hub or registry, so their telemetry is a set of relaxed atomics
+//! aggregated per process. Scanning code accumulates locally and flushes
+//! once per scan; exporters snapshot via [`engine_counters`] and publish
+//! the values next to the per-hub stage metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TEDDY_SCANS: AtomicU64 = AtomicU64::new(0);
+static TEDDY_BYTES_SCANNED: AtomicU64 = AtomicU64::new(0);
+static TEDDY_CHUNKS_CLASSIFIED: AtomicU64 = AtomicU64::new(0);
+static TEDDY_CHUNKS_VERIFIED: AtomicU64 = AtomicU64::new(0);
+static AC_FALLBACK_SCANS: AtomicU64 = AtomicU64::new(0);
+static DFA_SCANS: AtomicU64 = AtomicU64::new(0);
+static DFA_STATES_BUILT: AtomicU64 = AtomicU64::new(0);
+static DFA_CACHE_FLUSHES: AtomicU64 = AtomicU64::new(0);
+static PIKEVM_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the engine-wide matching-tier counters.
+///
+/// All values are process-global and monotonically increasing; rates are
+/// meaningful as deltas between snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Multi-literal scans served by the Teddy prefilter tier.
+    pub teddy_scans: u64,
+    /// Haystack bytes classified by the Teddy SWAR loop.
+    pub teddy_bytes_scanned: u64,
+    /// 8-start chunks the SWAR classifier examined.
+    pub teddy_chunks_classified: u64,
+    /// Chunks whose candidate mask was non-zero (bucket verification ran).
+    pub teddy_chunks_verified: u64,
+    /// Multi-literal scans routed to the Aho-Corasick fallback tier.
+    pub ac_fallback_scans: u64,
+    /// Regex scans where the lazy DFA ran (gate or full existence pass).
+    pub dfa_scans: u64,
+    /// Lazy-DFA states determinized on demand.
+    pub dfa_states_built: u64,
+    /// Bounded-cache overflows that flushed and rebuilt the state table.
+    pub dfa_cache_flushes: u64,
+    /// Scans abandoned by a thrashing DFA and re-run on the Pike VM.
+    pub pikevm_fallbacks: u64,
+}
+
+impl EngineCounters {
+    /// Fraction of classified chunks that skipped verification entirely —
+    /// the Teddy filter's selectivity (1.0 = every chunk skipped).
+    pub fn teddy_skip_rate(&self) -> f64 {
+        if self.teddy_chunks_classified == 0 {
+            return 0.0;
+        }
+        1.0 - self.teddy_chunks_verified as f64 / self.teddy_chunks_classified as f64
+    }
+
+    /// Fraction of multi-literal scans served by the Teddy tier (the rest
+    /// fell back to Aho-Corasick).
+    pub fn teddy_tier_rate(&self) -> f64 {
+        let total = self.teddy_scans + self.ac_fallback_scans;
+        if total == 0 {
+            return 0.0;
+        }
+        self.teddy_scans as f64 / total as f64
+    }
+
+    /// Fraction of DFA-attempted scans that completed without falling back
+    /// to the Pike VM.
+    pub fn dfa_completion_rate(&self) -> f64 {
+        if self.dfa_scans == 0 {
+            return 0.0;
+        }
+        1.0 - self.pikevm_fallbacks as f64 / self.dfa_scans as f64
+    }
+}
+
+/// Snapshots the process-global matching-tier counters.
+pub fn engine_counters() -> EngineCounters {
+    EngineCounters {
+        teddy_scans: TEDDY_SCANS.load(Ordering::Relaxed),
+        teddy_bytes_scanned: TEDDY_BYTES_SCANNED.load(Ordering::Relaxed),
+        teddy_chunks_classified: TEDDY_CHUNKS_CLASSIFIED.load(Ordering::Relaxed),
+        teddy_chunks_verified: TEDDY_CHUNKS_VERIFIED.load(Ordering::Relaxed),
+        ac_fallback_scans: AC_FALLBACK_SCANS.load(Ordering::Relaxed),
+        dfa_scans: DFA_SCANS.load(Ordering::Relaxed),
+        dfa_states_built: DFA_STATES_BUILT.load(Ordering::Relaxed),
+        dfa_cache_flushes: DFA_CACHE_FLUSHES.load(Ordering::Relaxed),
+        pikevm_fallbacks: PIKEVM_FALLBACKS.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn record_teddy_scan(bytes: u64, chunks_classified: u64, chunks_verified: u64) {
+    TEDDY_SCANS.fetch_add(1, Ordering::Relaxed);
+    TEDDY_BYTES_SCANNED.fetch_add(bytes, Ordering::Relaxed);
+    TEDDY_CHUNKS_CLASSIFIED.fetch_add(chunks_classified, Ordering::Relaxed);
+    TEDDY_CHUNKS_VERIFIED.fetch_add(chunks_verified, Ordering::Relaxed);
+}
+
+pub(crate) fn record_ac_fallback_scan() {
+    AC_FALLBACK_SCANS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_dfa_scan(states_built: u64, cache_flushes: u64, gave_up: bool) {
+    DFA_SCANS.fetch_add(1, Ordering::Relaxed);
+    DFA_STATES_BUILT.fetch_add(states_built, Ordering::Relaxed);
+    DFA_CACHE_FLUSHES.fetch_add(cache_flushes, Ordering::Relaxed);
+    if gave_up {
+        PIKEVM_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let c = EngineCounters::default();
+        assert_eq!(c.teddy_skip_rate(), 0.0);
+        assert_eq!(c.teddy_tier_rate(), 0.0);
+        assert_eq!(c.dfa_completion_rate(), 0.0);
+    }
+
+    #[test]
+    fn recording_is_visible_in_snapshots() {
+        let before = engine_counters();
+        record_teddy_scan(100, 10, 2);
+        record_ac_fallback_scan();
+        record_dfa_scan(5, 1, true);
+        let after = engine_counters();
+        assert!(after.teddy_bytes_scanned >= before.teddy_bytes_scanned + 100);
+        assert!(after.ac_fallback_scans > before.ac_fallback_scans);
+        assert!(after.dfa_states_built >= before.dfa_states_built + 5);
+        assert!(after.pikevm_fallbacks > before.pikevm_fallbacks);
+    }
+}

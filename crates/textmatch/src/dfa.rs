@@ -1,0 +1,555 @@
+//! Lazy DFA over the compiled Thompson NFA.
+//!
+//! The Pike VM simulates a thread *set* per input byte; for regexes whose
+//! NFAs determinize cheaply, this module collapses each reachable thread
+//! set into a DFA state built **on demand**, dropping the per-byte cost
+//! to one table transition. The design mirrors the `regex-automata`
+//! hybrid engine, sized for this workspace:
+//!
+//! * **Eligibility** — programs containing `\b`/`\B` are rejected at
+//!   compile time (word-boundary closures depend on the previous byte in
+//!   a way the state key does not capture); `^` is handled by separate
+//!   start states for offset 0 vs interior seeds, and `$` by carrying
+//!   blocked `AssertEnd` continuations in the state and resolving them
+//!   once at end of input.
+//! * **Byte classes** — compile-time partition refinement over the
+//!   program's `ByteSet`s shrinks each state's transition table from 256
+//!   entries to one per distinguishable class.
+//! * **Bounded cache** — at most [`MAX_DFA_STATES`] states live at once;
+//!   overflow flushes and rebuilds (counted), and a scan that flushes
+//!   more than [`MAX_FLUSHES_PER_SCAN`] times gives up so the caller
+//!   falls back to the Pike VM (counted as a `pikevm_fallback`).
+//! * **Semantics** — existence only ([`LazyDfa::earliest_end`] reports
+//!   the earliest position any match ends at, or that none exists).
+//!   Leftmost-longest span extraction stays on the Pike VM; the callers
+//!   in [`crate::Regex`] use the DFA as an exact no-match gate, which is
+//!   where thread-set simulation burns the most time.
+//!
+//! Every transition re-seeds an interior start thread (unanchored
+//! search), and when the machine sits in the interior start state the
+//! literal acceleration from [`ScanInfo`] skips hopeless offsets exactly
+//! like the Pike VM does, so the DFA never loses to the accelerated
+//! baseline.
+
+use std::collections::HashMap;
+
+use crate::literal::ScanInfo;
+use crate::nfa::{Inst, Program};
+
+/// Bounded state-cache capacity; overflow flushes and rebuilds.
+pub const MAX_DFA_STATES: usize = 512;
+
+/// Flush budget per scan before the DFA declares thrashing and gives up.
+pub const MAX_FLUSHES_PER_SCAN: u32 = 4;
+
+/// Programs larger than this skip the DFA tier (state sets get wide and
+/// the byte-class analysis stops being compile-time noise).
+const MAX_DFA_PROGRAM: usize = 4096;
+
+const UNKNOWN: u32 = u32::MAX;
+
+/// Outcome of a DFA existence scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DfaOutcome {
+    /// No match begins at or after the scan start.
+    NoMatch,
+    /// Some match ends at this offset (the earliest such offset).
+    MatchEnd(usize),
+    /// The state cache thrashed; the caller must use the Pike VM.
+    GaveUp,
+}
+
+/// Compile-time DFA facts for one program: eligibility plus the
+/// byte-class partition shared by every scan.
+#[derive(Debug, Clone)]
+pub struct DfaPrefab {
+    class_of: Box<[u8; 256]>,
+    class_count: usize,
+}
+
+/// Analyzes `program` for DFA eligibility; `None` means the Pike VM owns
+/// every scan (word-boundary assertions or an oversized program).
+pub(crate) fn analyze_dfa(program: &Program) -> Option<DfaPrefab> {
+    if program.insts.len() > MAX_DFA_PROGRAM {
+        return None;
+    }
+    if program
+        .insts
+        .iter()
+        .any(|i| matches!(i, Inst::AssertWord(_)))
+    {
+        return None;
+    }
+    // Partition refinement: two bytes share a class iff no ByteSet in the
+    // program distinguishes them, so one transition per class suffices.
+    let mut class_of = [0u16; 256];
+    let mut count = 1usize;
+    for inst in &program.insts {
+        let Inst::Byte(set) = inst else { continue };
+        let mut remap = [u16::MAX; 512];
+        let mut next = 0u16;
+        for (b, class) in class_of.iter_mut().enumerate() {
+            let key = ((*class as usize) << 1) | usize::from(set.matches(b as u8));
+            if remap[key] == u16::MAX {
+                remap[key] = next;
+                next += 1;
+            }
+            *class = remap[key];
+        }
+        count = next as usize;
+        if count == 256 {
+            break;
+        }
+    }
+    let mut packed = Box::new([0u8; 256]);
+    for (slot, class) in packed.iter_mut().zip(class_of.iter()) {
+        *slot = *class as u8;
+    }
+    Some(DfaPrefab {
+        class_of: packed,
+        class_count: count,
+    })
+}
+
+struct State {
+    /// Sorted `Byte`-instruction pcs (the live thread set).
+    pcs: Box<[u32]>,
+    /// Sorted `AssertEnd` pcs blocked mid-closure; resolved at input end.
+    pending_end: Box<[u32]>,
+    /// A `Match` was epsilon-reachable when this state was built.
+    matched: bool,
+    /// Lazily filled transitions, one per byte class.
+    trans: Box<[u32]>,
+}
+
+/// Interning key: thread set + blocked-`$` set + matched flag. The flag
+/// participates because two closures can share pcs yet differ on whether
+/// `Match` was epsilon-reachable (e.g. `^` at offset 0 vs interior).
+type StateKey = (Box<[u32]>, Box<[u32]>, bool);
+
+/// Epsilon-closure scratch, separate from the state table so closure
+/// traversal can borrow the program while mutating accumulators.
+struct Scratch {
+    stamp: Vec<u64>,
+    gen: u64,
+    stack: Vec<u32>,
+    pcs: Vec<u32>,
+    pending: Vec<u32>,
+    matched: bool,
+}
+
+impl Scratch {
+    fn new(len: usize) -> Self {
+        Scratch {
+            stamp: vec![0; len],
+            gen: 0,
+            stack: Vec::new(),
+            pcs: Vec::new(),
+            pending: Vec::new(),
+            matched: false,
+        }
+    }
+
+    fn begin(&mut self) {
+        self.gen += 1;
+        self.pcs.clear();
+        self.pending.clear();
+        self.matched = false;
+    }
+
+    /// Epsilon closure from `pc` in a mid-input context (`at_start` only
+    /// for the offset-0 start state); `AssertEnd` blocks into `pending`.
+    fn close(&mut self, program: &Program, pc: u32, at_start: bool) {
+        debug_assert!(self.stack.is_empty());
+        self.stack.push(pc);
+        while let Some(pc) = self.stack.pop() {
+            if self.stamp[pc as usize] == self.gen {
+                continue;
+            }
+            self.stamp[pc as usize] = self.gen;
+            match &program.insts[pc as usize] {
+                Inst::Jmp(t) => self.stack.push(*t as u32),
+                Inst::Split(a, b) => {
+                    self.stack.push(*a as u32);
+                    self.stack.push(*b as u32);
+                }
+                Inst::AssertStart => {
+                    if at_start {
+                        self.stack.push(pc + 1);
+                    }
+                }
+                Inst::AssertEnd => self.pending.push(pc),
+                Inst::AssertWord(_) => unreachable!("AssertWord programs are DFA-ineligible"),
+                Inst::Match => self.matched = true,
+                Inst::Byte(_) => self.pcs.push(pc),
+            }
+        }
+    }
+
+    /// Like [`Scratch::close`] but in the end-of-input context: `$`
+    /// passes, byte instructions are dead ends.
+    fn close_at_end(&mut self, program: &Program, pc: u32, at_start: bool) {
+        debug_assert!(self.stack.is_empty());
+        self.stack.push(pc);
+        while let Some(pc) = self.stack.pop() {
+            if self.stamp[pc as usize] == self.gen {
+                continue;
+            }
+            self.stamp[pc as usize] = self.gen;
+            match &program.insts[pc as usize] {
+                Inst::Jmp(t) => self.stack.push(*t as u32),
+                Inst::Split(a, b) => {
+                    self.stack.push(*a as u32);
+                    self.stack.push(*b as u32);
+                }
+                Inst::AssertStart => {
+                    if at_start {
+                        self.stack.push(pc + 1);
+                    }
+                }
+                Inst::AssertEnd => self.stack.push(pc + 1),
+                Inst::AssertWord(_) => unreachable!(),
+                Inst::Match => self.matched = true,
+                Inst::Byte(_) => {} // no bytes left to consume
+            }
+        }
+    }
+
+    fn key(&mut self) -> StateKey {
+        self.pcs.sort_unstable();
+        self.pcs.dedup();
+        self.pending.sort_unstable();
+        self.pending.dedup();
+        (
+            self.pcs.clone().into_boxed_slice(),
+            self.pending.clone().into_boxed_slice(),
+            self.matched,
+        )
+    }
+}
+
+/// One scan's lazy DFA: per-call construction (no cross-thread sharing),
+/// reusable across the iterations of a `find_all` loop so the state
+/// cache amortizes over the whole haystack.
+pub struct LazyDfa<'p> {
+    program: &'p Program,
+    prefab: &'p DfaPrefab,
+    states: Vec<State>,
+    map: HashMap<StateKey, u32>,
+    scratch: Scratch,
+    states_built: u64,
+    total_flushes: u64,
+    flushes_this_scan: u32,
+    gave_up: bool,
+}
+
+impl<'p> LazyDfa<'p> {
+    pub(crate) fn new(program: &'p Program, prefab: &'p DfaPrefab) -> Self {
+        LazyDfa {
+            program,
+            prefab,
+            states: Vec::new(),
+            map: HashMap::new(),
+            scratch: Scratch::new(program.insts.len()),
+            states_built: 0,
+            total_flushes: 0,
+            flushes_this_scan: 0,
+            gave_up: false,
+        }
+    }
+
+    /// Earliest offset at which any match (starting at or after `from`)
+    /// ends; existence-exact against the Pike VM.
+    pub(crate) fn earliest_end(&mut self, hay: &[u8], from: usize, scan: &ScanInfo) -> DfaOutcome {
+        if from > hay.len() {
+            return DfaOutcome::NoMatch;
+        }
+        self.flushes_this_scan = 0;
+        let mut interior = self.build_start(false);
+        let mut cur = if from == 0 {
+            self.build_start(true)
+        } else {
+            interior
+        };
+        if self.states[cur as usize].matched {
+            return DfaOutcome::MatchEnd(from);
+        }
+        let mut pos = from;
+        loop {
+            if cur == interior {
+                // No live thread has consumed anything: jump to the next
+                // offset where a match could begin (same hints the Pike
+                // VM uses). `None` means the tail cannot contain one.
+                match scan.next_candidate(hay, pos) {
+                    Some(p) => pos = p,
+                    None => return DfaOutcome::NoMatch,
+                }
+            }
+            if pos == hay.len() {
+                break;
+            }
+            let class = self.prefab.class_of[hay[pos] as usize];
+            let (next, flushed) = match self.next_state(cur, class) {
+                Some(v) => v,
+                None => {
+                    self.gave_up = true;
+                    return DfaOutcome::GaveUp;
+                }
+            };
+            if flushed {
+                interior = self.build_start(false);
+            }
+            pos += 1;
+            cur = next;
+            let st = &self.states[cur as usize];
+            if st.matched {
+                return DfaOutcome::MatchEnd(pos);
+            }
+            if st.pcs.is_empty() && st.pending_end.is_empty() {
+                // Truly dead (anchored pattern whose window passed): the
+                // re-seed survives in every unanchored program, so an
+                // empty state means nothing downstream can match.
+                return DfaOutcome::NoMatch;
+            }
+        }
+        // End of input: resolve the blocked `$` continuations.
+        if self.end_matches(cur, hay.is_empty()) {
+            DfaOutcome::MatchEnd(hay.len())
+        } else {
+            DfaOutcome::NoMatch
+        }
+    }
+
+    fn build_start(&mut self, at_start: bool) -> u32 {
+        self.scratch.begin();
+        self.scratch.close(self.program, 0, at_start);
+        self.intern()
+    }
+
+    /// Transition `cur` on byte-class `class`, determinizing on demand.
+    /// Returns `None` when the flush budget is exhausted (thrashing).
+    fn next_state(&mut self, cur: u32, class: u8) -> Option<(u32, bool)> {
+        let cached = self.states[cur as usize].trans[class as usize];
+        if cached != UNKNOWN {
+            return Some((cached, false));
+        }
+        let repr = self.repr_byte(class);
+        self.scratch.begin();
+        // Byte moves from the current thread set...
+        for i in 0..self.states[cur as usize].pcs.len() {
+            let pc = self.states[cur as usize].pcs[i];
+            let advances = match &self.program.insts[pc as usize] {
+                Inst::Byte(set) => set.matches(repr),
+                _ => false,
+            };
+            if advances {
+                self.scratch.close(self.program, pc + 1, false);
+            }
+        }
+        // ...plus the unanchored re-seed at the new position.
+        self.scratch.close(self.program, 0, false);
+        let mut flushed = false;
+        if self.states.len() >= MAX_DFA_STATES {
+            let key = self.scratch.key();
+            if !self.map.contains_key(&key) {
+                self.flushes_this_scan += 1;
+                self.total_flushes += 1;
+                if self.flushes_this_scan > MAX_FLUSHES_PER_SCAN {
+                    return None;
+                }
+                self.states.clear();
+                self.map.clear();
+                flushed = true;
+            }
+        }
+        let next = self.intern();
+        if !flushed {
+            self.states[cur as usize].trans[class as usize] = next;
+        }
+        Some((next, flushed))
+    }
+
+    /// A representative byte of `class` (all members of a class behave
+    /// identically against every ByteSet by construction).
+    fn repr_byte(&self, class: u8) -> u8 {
+        self.prefab
+            .class_of
+            .iter()
+            .position(|&c| c == class)
+            .unwrap_or(0) as u8
+    }
+
+    fn intern(&mut self) -> u32 {
+        let key = self.scratch.key();
+        if let Some(&id) = self.map.get(&key) {
+            return id;
+        }
+        let id = self.states.len() as u32;
+        self.states.push(State {
+            pcs: key.0.clone(),
+            pending_end: key.1.clone(),
+            matched: key.2,
+            trans: vec![UNKNOWN; self.prefab.class_count].into_boxed_slice(),
+        });
+        self.map.insert(key, id);
+        self.states_built += 1;
+        id
+    }
+
+    /// Resolves the state's blocked `$` continuations at end of input;
+    /// `at_start` is true only for an empty haystack scanned from 0.
+    fn end_matches(&mut self, state: u32, at_start: bool) -> bool {
+        self.scratch.begin();
+        for i in 0..self.states[state as usize].pending_end.len() {
+            let pc = self.states[state as usize].pending_end[i];
+            self.scratch.close_at_end(self.program, pc + 1, at_start);
+        }
+        self.scratch.matched
+    }
+}
+
+impl Drop for LazyDfa<'_> {
+    fn drop(&mut self) {
+        crate::counters::record_dfa_scan(self.states_built, self.total_flushes, self.gave_up);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Regex;
+
+    fn exists_via_dfa(re: &Regex, hay: &[u8]) -> bool {
+        match re.dfa_earliest_end(hay, 0) {
+            Some(DfaOutcome::MatchEnd(_)) => true,
+            Some(DfaOutcome::NoMatch) => false,
+            Some(DfaOutcome::GaveUp) => panic!("cache thrashed on a tiny test input"),
+            None => panic!("pattern unexpectedly DFA-ineligible"),
+        }
+    }
+
+    fn agree(pattern: &str, hay: &[u8]) {
+        let re = Regex::new(pattern).unwrap();
+        assert_eq!(
+            exists_via_dfa(&re, hay),
+            re.is_match_pike(hay),
+            "pattern {pattern:?} on {:?}",
+            String::from_utf8_lossy(hay),
+        );
+    }
+
+    #[test]
+    fn existence_matches_pike_on_edge_patterns() {
+        let cases: &[(&str, &[u8])] = &[
+            ("abc", b"xxabcxx"),
+            ("abc", b"xxabx"),
+            ("a.*z|bc", b"abcz"),
+            ("a.*z|bc", b"abq"),
+            ("^abc", b"abcdef"),
+            ("^abc", b"xabc"),
+            ("abc$", b"xxabc"),
+            ("abc$", b"abcx"),
+            ("^abc$", b"abc"),
+            ("^abc$", b"abcd"),
+            ("^$", b""),
+            ("^$", b"a"),
+            ("a*", b""),
+            ("a*", b"bbb"),
+            ("(ab|cd)+ef", b"cdabefx"),
+            ("(ab|cd)+ef", b"cdabex"),
+            ("[0-9]{3}-[0-9]{4}", b"call 555-1234 now"),
+            ("[0-9]{3}-[0-9]{4}", b"call 555-123 now"),
+            ("x$|y", b"zzzx"),
+            ("x$|y", b"xzzz"),
+        ];
+        for (pattern, hay) in cases {
+            agree(pattern, hay);
+        }
+    }
+
+    #[test]
+    fn earliest_end_is_the_first_match_end() {
+        let re = Regex::new("bc").unwrap();
+        assert_eq!(
+            re.dfa_earliest_end(b"aabcbc", 0),
+            Some(DfaOutcome::MatchEnd(4))
+        );
+        assert_eq!(
+            re.dfa_earliest_end(b"aabcbc", 3),
+            Some(DfaOutcome::MatchEnd(6))
+        );
+        assert_eq!(re.dfa_earliest_end(b"aabcbc", 5), Some(DfaOutcome::NoMatch));
+    }
+
+    #[test]
+    fn word_boundary_patterns_are_ineligible() {
+        let re = Regex::new(r"\beval\b").unwrap();
+        assert!(!re.dfa_eligible());
+        assert!(re.dfa_earliest_end(b" eval ", 0).is_none());
+        // The public path still answers correctly via the Pike VM.
+        assert!(re.is_match(b" eval "));
+        assert!(!re.is_match(b"medieval"));
+    }
+
+    #[test]
+    fn anchored_miss_dies_without_scanning_the_tail() {
+        let re = Regex::new("^MZ").unwrap();
+        let mut hay = vec![b'P', b'K'];
+        hay.extend(std::iter::repeat_n(b'x', 1 << 16));
+        assert_eq!(re.dfa_earliest_end(&hay, 0), Some(DfaOutcome::NoMatch));
+        assert!(!re.is_match(&hay));
+    }
+
+    #[test]
+    fn gated_find_all_equals_pike_find_all() {
+        let patterns = [
+            "(ab|cd)+ef",
+            "[A-Za-z0-9+/]{8}",
+            "https?://[a-z./-]+",
+            "x+y?z",
+        ];
+        let hay: Vec<u8> = (0..4096u32)
+            .flat_map(|i| {
+                let chunk: Vec<u8> = match i % 7 {
+                    0 => b"cdabef ".to_vec(),
+                    1 => b"aGVsbG8w ".to_vec(),
+                    2 => b"http://c2.example/p ".to_vec(),
+                    3 => b"xxyz ".to_vec(),
+                    _ => b"plain filler text .. ".to_vec(),
+                };
+                chunk
+            })
+            .collect();
+        for p in patterns {
+            let re = Regex::new(p).unwrap();
+            assert_eq!(re.find_all(&hay), re.find_all_pike(&hay), "pattern {p:?}");
+        }
+    }
+
+    #[test]
+    fn byte_classes_collapse_the_alphabet() {
+        let re = Regex::new("[a-z]+").unwrap();
+        let prefab = analyze_dfa(re.program()).unwrap();
+        // Two classes: lowercase letters and everything else.
+        assert_eq!(prefab.class_count, 2);
+        assert_eq!(
+            prefab.class_of[b'a' as usize],
+            prefab.class_of[b'z' as usize]
+        );
+        assert_ne!(
+            prefab.class_of[b'a' as usize],
+            prefab.class_of[b'0' as usize]
+        );
+    }
+
+    #[test]
+    fn counters_record_dfa_activity() {
+        let before = crate::engine_counters();
+        let re = Regex::new("needle").unwrap();
+        let hay = vec![b'x'; 4096];
+        assert_eq!(re.dfa_earliest_end(&hay, 0), Some(DfaOutcome::NoMatch));
+        let after = crate::engine_counters();
+        assert!(after.dfa_scans > before.dfa_scans);
+        assert!(after.dfa_states_built > before.dfa_states_built);
+    }
+}

@@ -16,6 +16,19 @@
 //! * [`ReferenceRegex`] — the original restart-per-offset quadratic scan,
 //!   kept as the differential-testing oracle and benchmark baseline.
 //!
+//! On top of those sit the **tiered fast paths** the scan services use:
+//!
+//! * [`MultiLiteral`] — tier-selecting multi-pattern matcher that routes
+//!   small/long pattern sets to a Teddy-style SWAR prefilter ([`Teddy`])
+//!   and everything else to [`AhoCorasick`], with identical match
+//!   streams either way.
+//! * [`Regex`] transparently runs a bounded lazy DFA (built on demand
+//!   from the same NFA) as an existence gate before Pike-VM span
+//!   extraction, falling back to the Pike VM when a program is
+//!   ineligible (word boundaries) or the state cache thrashes.
+//!
+//! Tier activity is observable through [`engine_counters`].
+//!
 //! # Examples
 //!
 //! ```
@@ -40,17 +53,25 @@
 mod ac;
 mod ast;
 mod charclass;
+mod counters;
+mod dfa;
 mod error;
 mod literal;
+mod multi;
 mod nfa;
 mod parser;
 mod reference;
+mod teddy;
 
 pub use ac::{AcMatch, AhoCorasick, MatchKind};
 pub use ast::{Ast, Quantifier};
 pub use charclass::CharClass;
+pub use counters::{engine_counters, EngineCounters};
+pub use dfa::{DfaOutcome, MAX_DFA_STATES, MAX_FLUSHES_PER_SCAN};
 pub use error::RegexError;
 pub use literal::ScanInfo;
+pub use multi::{MultiLiteral, MAX_TEDDY_PATTERNS, MIN_TEDDY_PATTERN_LEN};
 pub use nfa::{Match, Program, Regex};
 pub use parser::parse;
 pub use reference::ReferenceRegex;
+pub use teddy::Teddy;

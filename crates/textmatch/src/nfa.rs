@@ -16,6 +16,7 @@
 
 use crate::ast::{Ast, Quantifier};
 use crate::charclass::CharClass;
+use crate::dfa::{DfaOutcome, DfaPrefab, LazyDfa};
 use crate::error::RegexError;
 use crate::literal::{analyze, ScanInfo};
 use crate::parser::parse;
@@ -121,7 +122,12 @@ pub struct Regex {
     pattern: String,
     program: Program,
     scan: ScanInfo,
+    dfa: Option<DfaPrefab>,
 }
+
+/// Haystacks shorter than this skip the lazy-DFA gate: per-call setup
+/// would dominate, and the Pike VM finishes tiny inputs immediately.
+const DFA_MIN_HAYSTACK: usize = 64;
 
 impl Regex {
     /// Compiles `pattern` into an executable program.
@@ -155,10 +161,12 @@ impl Regex {
             insts: compiler.insts,
         };
         let scan = analyze(&program);
+        let dfa = crate::dfa::analyze_dfa(&program);
         Ok(Regex {
             pattern: pattern.to_owned(),
             program,
             scan,
+            dfa,
         })
     }
 
@@ -177,12 +185,53 @@ impl Regex {
         &self.scan
     }
 
+    /// Whether the lazy-DFA tier accepts this program (no word-boundary
+    /// assertions, program within the determinization size cap).
+    pub fn dfa_eligible(&self) -> bool {
+        self.dfa.is_some()
+    }
+
+    /// The DFA prefab when both the program and the haystack qualify.
+    fn dfa_for(&self, haystack: &[u8]) -> Option<&DfaPrefab> {
+        if haystack.len() >= DFA_MIN_HAYSTACK {
+            self.dfa.as_ref()
+        } else {
+            None
+        }
+    }
+
     /// Tests whether the pattern matches anywhere in `haystack`.
     ///
-    /// Single forward pass with literal acceleration; returns as soon as
+    /// Eligible patterns run the lazy DFA (one table transition per byte);
+    /// ineligible or thrashing scans use the Pike VM. Returns as soon as
     /// any match is known to exist.
     pub fn is_match(&self, haystack: &[u8]) -> bool {
+        if let Some(prefab) = self.dfa_for(haystack) {
+            let mut dfa = LazyDfa::new(&self.program, prefab);
+            match dfa.earliest_end(haystack, 0, &self.scan) {
+                DfaOutcome::NoMatch => return false,
+                DfaOutcome::MatchEnd(_) => return true,
+                DfaOutcome::GaveUp => {}
+            }
+        }
         Vm::new(&self.program).exists(haystack, &self.scan)
+    }
+
+    /// Pike-VM-only existence test — the pre-DFA baseline, kept public
+    /// (hidden) for differential tests and benchmarks.
+    #[doc(hidden)]
+    pub fn is_match_pike(&self, haystack: &[u8]) -> bool {
+        Vm::new(&self.program).exists(haystack, &self.scan)
+    }
+
+    /// DFA existence outcome for differential tests: `None` when the
+    /// program is ineligible, `Some(outcome)` otherwise (no haystack-size
+    /// gate, so small corpora still exercise the DFA).
+    #[doc(hidden)]
+    pub fn dfa_earliest_end(&self, haystack: &[u8], from: usize) -> Option<DfaOutcome> {
+        let prefab = self.dfa.as_ref()?;
+        let mut dfa = LazyDfa::new(&self.program, prefab);
+        Some(dfa.earliest_end(haystack, from, &self.scan))
     }
 
     /// Finds the leftmost-longest match.
@@ -192,17 +241,57 @@ impl Regex {
 
     /// Finds the leftmost-longest match starting at or after `from`.
     ///
-    /// One forward pass seeding a thread per offset — `O(len * insts)`.
+    /// The lazy DFA answers "is there any match at all?" first (a no is
+    /// the common case on scan workloads and costs one table transition
+    /// per byte); only a yes pays for Pike-VM span extraction.
     pub fn find_at(&self, haystack: &[u8], from: usize) -> Option<Match> {
+        if let Some(prefab) = self.dfa_for(haystack) {
+            let mut dfa = LazyDfa::new(&self.program, prefab);
+            match dfa.earliest_end(haystack, from, &self.scan) {
+                DfaOutcome::NoMatch => return None,
+                DfaOutcome::MatchEnd(_) | DfaOutcome::GaveUp => {}
+            }
+        }
         Vm::new(&self.program).find(haystack, from, &self.scan)
     }
 
     /// Returns all non-overlapping leftmost-longest matches.
     ///
     /// Empty matches advance the scan position by one byte so the iteration
-    /// always terminates. Existence detection is folded into the main pass:
-    /// a haystack without matches costs exactly one accelerated scan.
+    /// always terminates. The lazy DFA gates each iteration: the final
+    /// (matchless) tail — the whole haystack, in the common no-hit case —
+    /// is scanned at DFA speed instead of thread-set speed, and the state
+    /// cache is shared across iterations.
     pub fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        let mut vm = Vm::new(&self.program);
+        let mut dfa = self
+            .dfa_for(haystack)
+            .map(|prefab| LazyDfa::new(&self.program, prefab));
+        let mut pos = 0;
+        while pos <= haystack.len() {
+            if let Some(d) = dfa.as_mut() {
+                match d.earliest_end(haystack, pos, &self.scan) {
+                    DfaOutcome::NoMatch => break,
+                    DfaOutcome::MatchEnd(_) => {}
+                    DfaOutcome::GaveUp => dfa = None,
+                }
+            }
+            match vm.find(haystack, pos, &self.scan) {
+                Some(m) => {
+                    pos = if m.end > m.start { m.end } else { m.start + 1 };
+                    out.push(m);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Pike-VM-only `find_all` — the pre-DFA baseline, kept public
+    /// (hidden) for differential tests and benchmarks.
+    #[doc(hidden)]
+    pub fn find_all_pike(&self, haystack: &[u8]) -> Vec<Match> {
         let mut out = Vec::new();
         let mut vm = Vm::new(&self.program);
         let mut pos = 0;

@@ -1,7 +1,9 @@
-//! Property-based tests for the regex and Aho-Corasick engines.
+//! Property-based tests for the regex and multi-literal engines: the
+//! Pike VM against the seed's reference engine, the Teddy prefilter
+//! against Aho-Corasick, and the lazy DFA against the Pike VM.
 
 use proptest::prelude::*;
-use textmatch::{AhoCorasick, MatchKind, ReferenceRegex, Regex};
+use textmatch::{AhoCorasick, DfaOutcome, MatchKind, MultiLiteral, ReferenceRegex, Regex, Teddy};
 
 /// A corpus of patterns exercising every engine feature: literals,
 /// classes, shorthands, quantifiers (greedy/bounded/nullable),
@@ -137,6 +139,47 @@ fn naive_find_all(haystack: &[u8], needle: &[u8]) -> Vec<usize> {
     (0..=haystack.len() - needle.len())
         .filter(|&i| &haystack[i..i + needle.len()] == needle)
         .collect()
+}
+
+/// Asserts the Teddy prefilter and Aho-Corasick agree on every public
+/// entry point for one (pattern set, haystack) pair.
+fn teddy_agrees_with_ac(
+    needles: &[String],
+    kind: MatchKind,
+    hay: &[u8],
+) -> Result<(), TestCaseError> {
+    let teddy = Teddy::new(needles, kind);
+    let ac = AhoCorasick::new(needles, kind);
+    prop_assert_eq!(
+        teddy.find_all(hay),
+        ac.find_all(hay),
+        "find_all diverged on {:?} / {:?}",
+        needles,
+        hay
+    );
+    prop_assert_eq!(teddy.is_match(hay), ac.is_match(hay));
+    prop_assert_eq!(teddy.find_per_pattern(hay), ac.find_per_pattern(hay));
+    // for_each_match streams in a different (but documented) order:
+    // Teddy ascends by start, AC by end. The match *sets* are equal.
+    #[allow(clippy::type_complexity)]
+    let collect = |f: &dyn Fn(&mut dyn FnMut(textmatch::AcMatch) -> bool)| {
+        let mut v: Vec<(usize, usize, usize)> = Vec::new();
+        f(&mut |m| {
+            v.push((m.pattern, m.start, m.end));
+            true
+        });
+        v.sort_unstable();
+        v
+    };
+    let teddy_set = collect(&|visit| teddy.for_each_match(hay, visit));
+    let ac_set = collect(&|visit| ac.for_each_match(hay, visit));
+    prop_assert_eq!(
+        teddy_set,
+        ac_set,
+        "for_each_match sets diverged on {:?}",
+        needles
+    );
+    Ok(())
 }
 
 proptest! {
@@ -279,5 +322,101 @@ proptest! {
         }
         let reference = ReferenceRegex::new("a*").expect("compile");
         prop_assert_eq!(all, reference.find_all(hay.as_bytes()));
+    }
+
+    #[test]
+    fn teddy_agrees_with_ac_on_random_sets(
+        // Length 1..=6 over a 4-letter alphabet: overlapping and exact
+        // duplicate patterns are drawn constantly, and 1-byte atoms
+        // exercise the degenerate fingerprint path.
+        needles in prop::collection::vec("[a-d]{1,6}", 1..10),
+        hay in "[a-d]{0,150}",
+        nocase in any::<bool>(),
+    ) {
+        let kind = if nocase { MatchKind::CaseInsensitive } else { MatchKind::CaseSensitive };
+        teddy_agrees_with_ac(&needles, kind, hay.as_bytes())?;
+        // The empty haystack is a fixed point worth hitting every case.
+        teddy_agrees_with_ac(&needles, kind, b"")?;
+    }
+
+    #[test]
+    fn teddy_agrees_with_ac_on_mixed_case_haystacks(
+        needles in prop::collection::vec("[a-c]{2,5}", 1..8),
+        hay in "[a-cA-C]{0,120}",
+    ) {
+        // Case-insensitive needles over a mixed-case haystack: the
+        // folded fingerprint tables must agree with AC's folded walk.
+        teddy_agrees_with_ac(&needles, MatchKind::CaseInsensitive, hay.as_bytes())?;
+        // And case-sensitive needles must NOT fold.
+        teddy_agrees_with_ac(&needles, MatchKind::CaseSensitive, hay.as_bytes())?;
+    }
+
+    #[test]
+    fn multi_literal_tier_selection_is_transparent(
+        // Mixing 1-byte atoms in forces the AC fallback tier on some
+        // draws and Teddy on others; results must be identical either
+        // way.
+        needles in prop::collection::vec("[ab]{1,4}", 1..8),
+        hay in "[ab]{0,100}",
+    ) {
+        let ml = MultiLiteral::new(&needles, MatchKind::CaseSensitive);
+        let ac = AhoCorasick::new(&needles, MatchKind::CaseSensitive);
+        prop_assert_eq!(ml.find_all(hay.as_bytes()), ac.find_all(hay.as_bytes()));
+        prop_assert_eq!(ml.is_match(hay.as_bytes()), ac.is_match(hay.as_bytes()));
+        prop_assert_eq!(
+            ml.find_per_pattern(hay.as_bytes()),
+            ac.find_per_pattern(hay.as_bytes())
+        );
+        let eligible = needles.iter().all(|n| n.len() >= 2);
+        prop_assert_eq!(ml.uses_teddy(), eligible, "tier selection drifted");
+    }
+
+    #[test]
+    fn lazy_dfa_agrees_with_pike_on_edge_patterns(
+        pi in 0usize..10_000,
+        hay in "[abcd \n.]{0,60}",
+    ) {
+        let pattern = DIFFERENTIAL_PATTERNS[pi % DIFFERENTIAL_PATTERNS.len()];
+        let re = Regex::new(pattern).expect("pattern must compile");
+        let hay = hay.as_bytes();
+        // The public tiered entry points must equal the pure Pike VM.
+        prop_assert_eq!(re.is_match(hay), re.is_match_pike(hay), "is_match on {:?}", pattern);
+        prop_assert_eq!(re.find_all(hay), re.find_all_pike(hay), "find_all on {:?}", pattern);
+        // The raw DFA (bypassing the haystack-size gate) must agree on
+        // existence whenever the pattern is DFA-eligible.
+        if let Some(outcome) = re.dfa_earliest_end(hay, 0) {
+            match outcome {
+                DfaOutcome::NoMatch => prop_assert!(
+                    !re.is_match_pike(hay),
+                    "DFA said no-match but Pike matched {:?} on {:?}",
+                    pattern,
+                    hay
+                ),
+                DfaOutcome::MatchEnd(end) => {
+                    prop_assert!(re.is_match_pike(hay), "DFA over-matched {:?}", pattern);
+                    prop_assert!(end <= hay.len());
+                }
+                DfaOutcome::GaveUp => {}
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_dfa_agrees_on_composed_patterns(
+        a in 0usize..10_000,
+        b in 0usize..10_000,
+        hay in "[ab_ ]{0,40}",
+    ) {
+        let pattern = format!("{}{}", PIECES[a % PIECES.len()], PIECES[b % PIECES.len()]);
+        let re = Regex::new(&pattern).expect("compile");
+        let hay = hay.as_bytes();
+        if let Some(outcome) = re.dfa_earliest_end(hay, 0) {
+            let pike = re.is_match_pike(hay);
+            match outcome {
+                DfaOutcome::NoMatch => prop_assert!(!pike, "diverged on {:?}", pattern),
+                DfaOutcome::MatchEnd(_) => prop_assert!(pike, "diverged on {:?}", pattern),
+                DfaOutcome::GaveUp => {}
+            }
+        }
     }
 }

@@ -1,11 +1,12 @@
 //! Rule scanner: matches compiled rules against byte buffers.
 //!
 //! All plain-text strings across the whole ruleset are merged into two
-//! Aho–Corasick automatons (case-sensitive and `nocase`), so scanning a
-//! package against hundreds of rules stays a two-pass operation; regexes
-//! run per string definition.
+//! tier-selecting multi-literal matchers (case-sensitive and `nocase`) —
+//! a Teddy-style SWAR prefilter for small/long pattern sets, Aho–Corasick
+//! otherwise — so scanning a package against hundreds of rules stays a
+//! two-pass operation; regexes run per string definition.
 
-use textmatch::{AhoCorasick, MatchKind};
+use textmatch::{MatchKind, MultiLiteral};
 
 use crate::ast::{Condition, StringSet, StringValue};
 use crate::compiler::CompiledRules;
@@ -117,8 +118,8 @@ impl ScanScratch {
 #[derive(Debug)]
 pub struct Scanner<'r> {
     rules: &'r CompiledRules,
-    cs: AhoCorasick,
-    ci: AhoCorasick,
+    cs: MultiLiteral,
+    ci: MultiLiteral,
     /// automaton pattern index -> (rule idx, string idx, wide, fullword)
     cs_map: Vec<(usize, usize, bool, bool)>,
     ci_map: Vec<(usize, usize, bool, bool)>,
@@ -169,8 +170,8 @@ impl<'r> Scanner<'r> {
         }
         Scanner {
             rules,
-            cs: AhoCorasick::new(&cs_pats, MatchKind::CaseSensitive),
-            ci: AhoCorasick::new(&ci_pats, MatchKind::CaseInsensitive),
+            cs: MultiLiteral::new(&cs_pats, MatchKind::CaseSensitive),
+            ci: MultiLiteral::new(&ci_pats, MatchKind::CaseInsensitive),
             cs_map,
             ci_map,
             string_base,

@@ -8,7 +8,7 @@
 //! throughout the repo's test suites.
 
 use eval::experiments::ExperimentContext;
-use textmatch::{ReferenceRegex, Regex};
+use textmatch::{DfaOutcome, ReferenceRegex, Regex};
 
 /// Every regex-string pattern that appears in rules across the repo's
 /// test corpora (engine unit tests, scanhub suites, the paper's Table I
@@ -28,10 +28,19 @@ const CORPUS_PATTERNS: &[&str] = &[
 
 fn assert_equivalent(pike: &Regex, data: &[u8], what: &str) {
     let reference = ReferenceRegex::from_regex(pike);
+    // The public entry points are tiered (lazy DFA gate in front of the
+    // Pike VM on large haystacks); pin them to the pure Pike VM and the
+    // reference engine at once, so all three agree byte-for-byte.
     assert_eq!(
         pike.find_all(data),
         reference.find_all(data),
         "find_all diverged for {what} pattern {:?}",
+        pike.pattern()
+    );
+    assert_eq!(
+        pike.find_all(data),
+        pike.find_all_pike(data),
+        "DFA-gated find_all diverged from the Pike VM for {what} pattern {:?}",
         pike.pattern()
     );
     assert_eq!(
@@ -40,6 +49,33 @@ fn assert_equivalent(pike: &Regex, data: &[u8], what: &str) {
         "is_match diverged for {what} pattern {:?}",
         pike.pattern()
     );
+    assert_eq!(
+        pike.is_match(data),
+        pike.is_match_pike(data),
+        "DFA-gated is_match diverged from the Pike VM for {what} pattern {:?}",
+        pike.pattern()
+    );
+    // The raw DFA (no haystack-size gate) must agree on existence
+    // whenever the pattern is DFA-eligible.
+    if let Some(outcome) = pike.dfa_earliest_end(data, 0) {
+        let exists = pike.is_match_pike(data);
+        match outcome {
+            DfaOutcome::NoMatch => assert!(
+                !exists,
+                "DFA said no-match but Pike matched {what} pattern {:?}",
+                pike.pattern()
+            ),
+            DfaOutcome::MatchEnd(end) => {
+                assert!(
+                    exists,
+                    "DFA over-matched {what} pattern {:?}",
+                    pike.pattern()
+                );
+                assert!(end <= data.len());
+            }
+            DfaOutcome::GaveUp => {}
+        }
+    }
 }
 
 #[test]
