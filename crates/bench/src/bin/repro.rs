@@ -24,8 +24,8 @@ fn main() {
     let config = scale_config(&scale).unwrap_or_else(|bad| usage(&format!("unknown scale {bad}")));
     let want = |name: &str| only.as_deref().is_none_or(|o| o == name);
     if let Some(o) = &only {
-        if !EXPERIMENTS.contains(&o.as_str()) {
-            usage(&format!("unknown experiment {o}; known: {EXPERIMENTS:?}"));
+        if let Err(msg) = rulellm_bench::validate_experiment(o) {
+            usage(&msg);
         }
     }
 
@@ -66,6 +66,15 @@ fn main() {
         println!("{}", rulellm_bench::scanhub_bench::render(&stats));
         println!("{}", stats.warm_stats);
         let mut doc = rulellm_bench::scanhub_bench::to_json(&stats);
+        eprintln!(
+            "[repro] incremental artifacts: full reparse vs diff-and-splice on one-line bumps (ISSUE 10) ..."
+        );
+        let oneline = rulellm_bench::scanhub_bench::compare_oneline(12, 360, 8);
+        println!("{}", rulellm_bench::scanhub_bench::render_oneline(&oneline));
+        doc.insert(
+            "version_bump_oneline",
+            rulellm_bench::scanhub_bench::to_json_oneline(&oneline),
+        );
         eprintln!("[repro] retro-hunt: new rules vs scanned-digest history (ISSUE 7) ...");
         let history = if cfg!(debug_assertions) { 600 } else { 10_000 };
         let retro = rulellm_bench::retrohunt_bench::compare(history, 10, 42);

@@ -38,6 +38,20 @@ pub fn scale_config(name: &str) -> Result<CorpusConfig, String> {
     }
 }
 
+/// Validates a `repro --only <experiment>` selector.
+///
+/// # Errors
+///
+/// Returns a message naming the bad selector and listing every valid
+/// experiment; the `repro` binary prints it and exits non-zero.
+pub fn validate_experiment(name: &str) -> Result<(), String> {
+    if EXPERIMENTS.contains(&name) {
+        Ok(())
+    } else {
+        Err(format!("unknown experiment {name}; known: {EXPERIMENTS:?}"))
+    }
+}
+
 /// The experiment names `repro --only` accepts.
 pub const EXPERIMENTS: &[&str] = &[
     "table6",
@@ -79,5 +93,17 @@ mod tests {
         assert!(EXPERIMENTS.contains(&"regexbench"));
         assert!(EXPERIMENTS.contains(&"semgrepbench"));
         assert!(EXPERIMENTS.contains(&"scanhubbench"));
+    }
+
+    #[test]
+    fn unknown_experiments_are_rejected_with_the_valid_list() {
+        for known in EXPERIMENTS {
+            assert_eq!(validate_experiment(known), Ok(()));
+        }
+        let err = validate_experiment("tabel8").expect_err("typo must be rejected");
+        assert!(err.contains("unknown experiment tabel8"));
+        for known in EXPERIMENTS {
+            assert!(err.contains(known), "error must list {known}");
+        }
     }
 }

@@ -114,6 +114,40 @@ pub fn version_stream(files: usize, versions: usize, seed: u64) -> Vec<ScanReque
         .collect()
 }
 
+/// Timed inner runs per arm in release mode: every reported wall
+/// number is a median over this many fresh-hub runs, with the
+/// run-to-run spread recorded beside it, so a regression can be judged
+/// against the noise floor instead of a single sample. Debug builds
+/// run once — debug walls are never reported and the workspace test
+/// suite should not pay 5x for them.
+pub const BENCH_RUNS: usize = 5;
+
+fn bench_runs() -> usize {
+    if cfg!(debug_assertions) {
+        1
+    } else {
+        BENCH_RUNS
+    }
+}
+
+/// Median of the samples (panics on empty input).
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+    samples[samples.len() / 2]
+}
+
+/// `(max - min) / median` as a percentage — the drift band the median
+/// was drawn from.
+fn spread_pct(samples: &[f64], median: f64) -> f64 {
+    let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+    let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+    if median <= 0.0 {
+        0.0
+    } else {
+        (max - min) / median * 100.0
+    }
+}
+
 /// One workload's measurement.
 #[derive(Debug, Clone)]
 pub struct ScanhubBenchStats {
@@ -126,9 +160,15 @@ pub struct ScanhubBenchStats {
     /// Distinct file digests across the stream — the lower bound (and,
     /// with the cache on, the exact count) of analyses performed.
     pub unique_digests: u64,
-    /// Wall-clock for the artifact-cache-disabled run.
+    /// Timed runs per arm; wall numbers are medians over these.
+    pub runs: usize,
+    /// Cold-arm run-to-run spread as a percentage of the median.
+    pub cold_spread_pct: f64,
+    /// Warm-arm run-to-run spread as a percentage of the median.
+    pub warm_spread_pct: f64,
+    /// Median wall-clock for the artifact-cache-disabled run.
     pub cold_ms: f64,
-    /// Wall-clock for the artifact-cache-enabled run.
+    /// Median wall-clock for the artifact-cache-enabled run.
     pub warm_ms: f64,
     /// Analyses performed by the cold run (every entry, every time).
     pub cold_parses: u64,
@@ -170,14 +210,17 @@ fn hub(yara: &CompiledRules, artifact_cache: usize) -> ScanHub {
 }
 
 /// Runs the version-bump workload cold (artifact cache disabled) and
-/// warm (enabled), asserting identical verdicts and the parse-once
-/// invariant.
+/// warm (enabled), asserting identical verdicts and the build-once
+/// invariant. Each arm is timed [`bench_runs`] times on a fresh hub
+/// (interleaved, so machine drift hits both arms alike) and the
+/// reported walls are medians.
 ///
 /// # Panics
 ///
 /// Panics when the two runs diverge — the comparison *is* the
 /// equivalence check.
 pub fn compare(files: usize, versions: usize, seed: u64) -> ScanhubBenchStats {
+    let runs = bench_runs();
     let yara = yara_ruleset(40);
     let requests = version_stream(files, versions, seed);
     let unique: HashSet<[u8; 32]> = requests
@@ -186,21 +229,30 @@ pub fn compare(files: usize, versions: usize, seed: u64) -> ScanhubBenchStats {
         .collect();
     let total_entries: u64 = requests.iter().map(|r| r.files().len() as u64).sum();
 
-    let cold_hub = hub(&yara, 0);
-    let start = Instant::now();
-    let cold: Vec<Verdict> = cold_hub.scan_ordered(requests.iter().cloned());
-    let cold_ms = start.elapsed().as_secs_f64() * 1e3;
-    let cold_stats = cold_hub.stats();
+    let mut cold_walls = Vec::with_capacity(runs);
+    let mut warm_walls = Vec::with_capacity(runs);
+    let mut cold_parses = 0;
+    let mut warm_stats = None;
+    for _ in 0..runs {
+        let cold_hub = hub(&yara, 0);
+        let start = Instant::now();
+        let cold: Vec<Verdict> = cold_hub.scan_ordered(requests.iter().cloned());
+        cold_walls.push(start.elapsed().as_secs_f64() * 1e3);
+        cold_parses = cold_hub.stats().artifact_parses;
 
-    let warm_hub = hub(&yara, 8192);
-    let start = Instant::now();
-    let warm: Vec<Verdict> = warm_hub.scan_ordered(requests.iter().cloned());
-    let warm_ms = start.elapsed().as_secs_f64() * 1e3;
-    let warm_stats = warm_hub.stats();
+        let warm_hub = hub(&yara, 8192);
+        let start = Instant::now();
+        let warm: Vec<Verdict> = warm_hub.scan_ordered(requests.iter().cloned());
+        warm_walls.push(start.elapsed().as_secs_f64() * 1e3);
 
-    assert_eq!(cold, warm, "cold and warm artifact runs diverged");
+        assert_eq!(cold, warm, "cold and warm artifact runs diverged");
+        warm_stats = Some(warm_hub.stats());
+    }
+    let warm_stats = warm_stats.expect("at least one run");
+    // One build per unique digest — from scratch or spliced from a
+    // cached sibling; both paths produce the identical artifact.
     assert_eq!(
-        warm_stats.artifact_parses,
+        warm_stats.artifact_parses + warm_stats.incremental_relexes,
         unique.len() as u64,
         "warm run must analyze exactly the unique digests"
     );
@@ -215,14 +267,19 @@ pub fn compare(files: usize, versions: usize, seed: u64) -> ScanhubBenchStats {
         "taint must run exactly once per unique Python digest"
     );
 
+    let cold_ms = median_ms(&mut cold_walls);
+    let warm_ms = median_ms(&mut warm_walls);
     ScanhubBenchStats {
         files,
         versions,
         total_entries,
         unique_digests: unique.len() as u64,
+        runs,
+        cold_spread_pct: spread_pct(&cold_walls, cold_ms),
+        warm_spread_pct: spread_pct(&warm_walls, warm_ms),
         cold_ms,
         warm_ms,
-        cold_parses: cold_stats.artifact_parses,
+        cold_parses,
         warm_parses: warm_stats.artifact_parses,
         warm_hits: warm_stats.artifact_cache_hits,
         layers_decoded: warm_stats.layers_decoded,
@@ -281,6 +338,10 @@ pub fn render(s: &ScanhubBenchStats) -> String {
         s.layers_decoded,
     );
     out.push_str(&format!(
+        "walls are medians over {} runs (spread: cold {:.1}%, warm {:.1}%)\n",
+        s.runs, s.cold_spread_pct, s.warm_spread_pct,
+    ));
+    out.push_str(&format!(
         "taint: {} analyses | {} flows recovered | {} consts folded\n",
         s.warm_stats.taint_analyses, s.warm_stats.flows_found, s.warm_stats.consts_folded,
     ));
@@ -313,8 +374,11 @@ pub fn to_json(s: &ScanhubBenchStats) -> jsonmini::Value {
     doc.insert("versions", s.versions);
     doc.insert("total_entries", s.total_entries as usize);
     doc.insert("unique_digests", s.unique_digests as usize);
+    doc.insert("runs", s.runs);
     doc.insert("cold_ms", s.cold_ms);
     doc.insert("warm_ms", s.warm_ms);
+    doc.insert("cold_spread_pct", s.cold_spread_pct);
+    doc.insert("warm_spread_pct", s.warm_spread_pct);
     doc.insert("speedup", s.speedup());
     doc.insert("cold_parses", s.cold_parses as usize);
     doc.insert("warm_parses", s.warm_parses as usize);
@@ -336,6 +400,296 @@ pub fn to_json(s: &ScanhubBenchStats) -> jsonmini::Value {
         latency.insert(name, stage);
     }
     doc.insert("latency", latency);
+    doc
+}
+
+/// A token-dense module of roughly `lines` statements whose line
+/// `slot` carries the release stamp — everything else is byte-stable
+/// across versions. The mix (call-heavy assignments, helper defs,
+/// conditionals) keeps the lexer and parser honest; the stamp slot is
+/// always a plain top-level assignment so the one-line diff is
+/// representative, not adversarial.
+fn oneline_module(file: usize, lines: usize, version: usize) -> String {
+    let slot = (file * 13 + 7) % lines;
+    let mut code = format!("import os\nimport base64\n# module {file}\n");
+    for i in 0..lines {
+        if i == slot {
+            code.push_str(&format!("BUILD_STAMP = 'release {version} of {file}'\n"));
+        } else {
+            match i % 9 {
+                0 => code.push_str(&format!(
+                    "def helper_{file}_{i}(v):\n    return v * {i} + len('k{i}')\n"
+                )),
+                1 => code.push_str(&format!(
+                    "if cfg_{file} > {i}:\n    flags_{i} = tune({i}, mode='fast')\n"
+                )),
+                2 => code.push_str(&format!("names_{i} = [n for n in pool_{file}]\n")),
+                _ => code.push_str(&format!(
+                    "val_{i} = helper_{file}_0({i}) + parse('item_{i}', {i})\n"
+                )),
+            }
+        }
+    }
+    code
+}
+
+/// The incremental-artifact workload (ISSUE 10): `versions` releases
+/// where **every** Python file takes a one-line version bump. Unlike
+/// [`version_stream`], no entry is ever byte-identical across versions,
+/// so the digest cache can serve nothing — the only lever left is
+/// diff-and-splice against the previous version's cached artifact.
+pub fn oneline_stream(files: usize, lines: usize, versions: usize) -> Vec<ScanRequest> {
+    (0..versions)
+        .map(|v| {
+            let entries = (0..files)
+                .map(|f| {
+                    FileEntry::new(
+                        format!("pkg/dense_{f:02}.py"),
+                        oneline_module(f, lines, v).into_bytes(),
+                    )
+                })
+                .collect();
+            ScanRequest::from_files(entries)
+        })
+        .collect()
+}
+
+/// The one-line version-bump measurement: full reparse vs splice.
+#[derive(Debug, Clone)]
+pub struct OnelineBenchStats {
+    /// Python files per release (all bumped every release).
+    pub files: usize,
+    /// Statements per file.
+    pub lines: usize,
+    /// Releases submitted.
+    pub versions: usize,
+    /// Timed runs per arm; walls are medians over these.
+    pub runs: usize,
+    /// Median wall with the artifact cache off (every release pays
+    /// `files` full reparses).
+    pub full_ms: f64,
+    /// Median wall with the cache on (every release after the first
+    /// splices against cached siblings).
+    pub spliced_ms: f64,
+    /// Full-arm run-to-run spread as a percentage of the median.
+    pub full_spread_pct: f64,
+    /// Spliced-arm run-to-run spread as a percentage of the median.
+    pub spliced_spread_pct: f64,
+    /// Splices performed by the warm arm (`files × (versions − 1)` when
+    /// nothing falls back).
+    pub incremental_relexes: u64,
+    /// Splice attempts that bailed to a full reparse.
+    pub splice_fallbacks: u64,
+    /// Bytes re-lexed across all splice windows.
+    pub relexed_bytes: u64,
+    /// Total content bytes across the stream, for the window ratio.
+    pub content_bytes: u64,
+    /// Warm-arm counter snapshot (includes the `splice` stage latency).
+    pub warm_stats: HubStats,
+}
+
+impl OnelineBenchStats {
+    /// Full-reparse wall over spliced wall.
+    pub fn speedup(&self) -> f64 {
+        if self.spliced_ms <= 0.0 {
+            0.0
+        } else {
+            self.full_ms / self.spliced_ms
+        }
+    }
+
+    /// Fallbacks as a fraction of splice attempts (0.0 when no version
+    /// was ever bumped).
+    pub fn fallback_rate(&self) -> f64 {
+        let attempts = self.incremental_relexes + self.splice_fallbacks;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.splice_fallbacks as f64 / attempts as f64
+        }
+    }
+}
+
+/// The one-line arm's rule bundle: literal-only YARA, no Semgrep. The
+/// arm measures what splicing removes — the per-file lex/parse cost —
+/// so the per-build byte-scanning tail is kept to one multi-literal
+/// pass. Regex-heavy scanning costs have their own bench (regexbench),
+/// and the mixed-bundle cost model is `compare`'s subject.
+fn oneline_ruleset() -> CompiledRules {
+    let mut out = String::new();
+    for (i, atom) in [
+        "os.system",
+        "subprocess.popen",
+        "socket.connect",
+        "requests.post",
+        "base64.b64decode",
+        "pickle.loads",
+    ]
+    .iter()
+    .enumerate()
+    {
+        out.push_str(&format!(
+            "rule lit_{i} {{ strings: $a = \"{atom}\" condition: $a }}\n"
+        ));
+    }
+    yara_engine::compile(&out).expect("literal ruleset compiles")
+}
+
+/// Runs the one-line bump stream with the artifact cache off (full
+/// reparse per file per release) and on (diff-and-splice), asserting
+/// byte-identical verdicts and the splice accounting. Single worker in
+/// both arms so releases are analyzed in version order — the sibling
+/// registry always holds the predecessor, making the splice rate
+/// deterministic. Dataflow and Semgrep are off and the YARA bundle is
+/// literal-only in both arms: the arm isolates the lex/parse cost that
+/// splicing removes; taint, layered and regex-heavy scanning are
+/// measured by their own benches.
+///
+/// # Panics
+///
+/// Panics when the arms diverge or a bump fails to splice.
+pub fn compare_oneline(files: usize, lines: usize, versions: usize) -> OnelineBenchStats {
+    let runs = bench_runs();
+    let yara = oneline_ruleset();
+    let requests = oneline_stream(files, lines, versions);
+    // The first request is the initial package ingest: both arms pay a
+    // full parse for it by construction, so it runs as untimed warmup.
+    // The timed window is the version bumps — the workload this arm
+    // exists to measure. Content bytes likewise count only the bumped
+    // versions (what the full arm re-lexes inside the window).
+    let (seed, bumps) = requests.split_first().expect("at least one version");
+    let content_bytes: u64 = bumps
+        .iter()
+        .flat_map(|r| r.files().iter())
+        .map(|f| f.bytes().len() as u64)
+        .sum();
+    let arm = |artifact_cache: usize| {
+        ScanHub::new(
+            Some(yara.clone()),
+            None,
+            HubConfig {
+                workers: 1,
+                cache_capacity: 0,
+                artifact_cache_capacity: artifact_cache,
+                dataflow: false,
+                // The retro-hunt posting index lives on the artifact
+                // publish path, which the cache-off arm does not have at
+                // all — with it on, only the spliced arm would pay gram
+                // extraction. Posting cost is a pure function of the
+                // artifact either way (the splice differential suite
+                // pins identical grams), so both arms drop it.
+                retro_index: false,
+                ..HubConfig::default()
+            },
+        )
+    };
+    let mut full_walls = Vec::with_capacity(runs);
+    let mut spliced_walls = Vec::with_capacity(runs);
+    let mut warm_stats = None;
+    for _ in 0..runs {
+        let full_hub = arm(0);
+        let mut full: Vec<Verdict> = full_hub.scan_ordered(std::iter::once(seed.clone()));
+        let start = Instant::now();
+        full.extend(full_hub.scan_ordered(bumps.iter().cloned()));
+        full_walls.push(start.elapsed().as_secs_f64() * 1e3);
+
+        let spliced_hub = arm(8192);
+        let mut spliced: Vec<Verdict> = spliced_hub.scan_ordered(std::iter::once(seed.clone()));
+        let start = Instant::now();
+        spliced.extend(spliced_hub.scan_ordered(bumps.iter().cloned()));
+        spliced_walls.push(start.elapsed().as_secs_f64() * 1e3);
+
+        assert_eq!(full, spliced, "spliced artifacts changed a verdict");
+        let stats = spliced_hub.stats();
+        let attempts = stats.incremental_relexes + stats.splice_fallbacks;
+        assert_eq!(
+            attempts,
+            (files * (versions - 1)) as u64,
+            "every bump after v0 must attempt a splice"
+        );
+        assert!(
+            stats.splice_fallbacks * 5 < attempts.max(1),
+            "splice fallback rate {}/{attempts} breaches the 20% ceiling",
+            stats.splice_fallbacks
+        );
+        warm_stats = Some(stats);
+    }
+    let warm_stats = warm_stats.expect("at least one run");
+    let full_ms = median_ms(&mut full_walls);
+    let spliced_ms = median_ms(&mut spliced_walls);
+    OnelineBenchStats {
+        files,
+        lines,
+        versions,
+        runs,
+        full_ms,
+        spliced_ms,
+        full_spread_pct: spread_pct(&full_walls, full_ms),
+        spliced_spread_pct: spread_pct(&spliced_walls, spliced_ms),
+        incremental_relexes: warm_stats.incremental_relexes,
+        splice_fallbacks: warm_stats.splice_fallbacks,
+        relexed_bytes: warm_stats.relexed_bytes,
+        content_bytes,
+        warm_stats,
+    }
+}
+
+/// Renders the one-line bump comparison table.
+pub fn render_oneline(s: &OnelineBenchStats) -> String {
+    let mut out = format!(
+        "== Incremental artifacts: one-line version bumps ({} files x {} lines x {} versions) ==\n\
+         {:<28} {:>9.1}ms\n\
+         {:<28} {:>9.1}ms\n\
+         speedup (full/spliced): {:.1}x  | medians over {} runs (spread {:.1}% / {:.1}%)\n\
+         splices: {} | fallbacks: {} ({:.1}%) | relexed {} of {} content bytes ({:.2}%)\n",
+        s.files,
+        s.lines,
+        s.versions,
+        "full reparse (cache off)",
+        s.full_ms,
+        "diff-and-splice (cache on)",
+        s.spliced_ms,
+        s.speedup(),
+        s.runs,
+        s.full_spread_pct,
+        s.spliced_spread_pct,
+        s.incremental_relexes,
+        s.splice_fallbacks,
+        s.fallback_rate() * 100.0,
+        s.relexed_bytes,
+        s.content_bytes,
+        s.relexed_bytes as f64 / s.content_bytes.max(1) as f64 * 100.0,
+    );
+    let splice = s.warm_stats.latency.splice;
+    if splice.count > 0 {
+        out.push_str(&format!(
+            "splice stage: {} samples, p50 {:.1}us, p99 {:.1}us\n",
+            splice.count,
+            splice.p50_ns as f64 / 1e3,
+            splice.p99_ns as f64 / 1e3,
+        ));
+    }
+    out
+}
+
+/// The one-line arm as a JSON fragment for `BENCH_scanhub.json`.
+pub fn to_json_oneline(s: &OnelineBenchStats) -> jsonmini::Value {
+    let mut doc = jsonmini::Value::object();
+    doc.insert("workload", "version_bump_oneline");
+    doc.insert("files", s.files);
+    doc.insert("lines", s.lines);
+    doc.insert("versions", s.versions);
+    doc.insert("runs", s.runs);
+    doc.insert("full_ms", s.full_ms);
+    doc.insert("spliced_ms", s.spliced_ms);
+    doc.insert("full_spread_pct", s.full_spread_pct);
+    doc.insert("spliced_spread_pct", s.spliced_spread_pct);
+    doc.insert("speedup", s.speedup());
+    doc.insert("incremental_relexes", s.incremental_relexes as usize);
+    doc.insert("splice_fallbacks", s.splice_fallbacks as usize);
+    doc.insert("fallback_rate", s.fallback_rate());
+    doc.insert("relexed_bytes", s.relexed_bytes as usize);
+    doc.insert("content_bytes", s.content_bytes as usize);
     doc
 }
 
@@ -390,6 +744,43 @@ mod tests {
             "re-submitted corpus re-analyzed a file"
         );
         assert_eq!(hub.stats().semgrep_pattern_reparses, 0);
+    }
+
+    /// Release-mode CI smoke for incremental artifacts (ISSUE 10): on a
+    /// stream where *every* Python file takes a one-line bump per
+    /// release — so the digest cache can serve nothing — diff-and-splice
+    /// must engage for every bump, re-lex only a sliver of the content,
+    /// and clear the 5x wall-clock floor over full reparsing with
+    /// byte-identical verdicts (asserted inside `compare_oneline`).
+    #[test]
+    fn scanhub_oneline_splice_smoke() {
+        let (files, lines, versions) = (12, 360, 8);
+        let stats = compare_oneline(files, lines, versions);
+        println!("{}", render_oneline(&stats));
+        assert_eq!(
+            stats.incremental_relexes,
+            (files * (versions - 1)) as u64,
+            "every one-line bump must splice"
+        );
+        assert_eq!(stats.splice_fallbacks, 0, "deterministic bumps never bail");
+        // The splice windows are a sliver of the stream: a one-line
+        // edit must not re-lex whole files.
+        assert!(
+            stats.relexed_bytes * 20 < stats.content_bytes,
+            "windows ({} bytes) too large for {} content bytes",
+            stats.relexed_bytes,
+            stats.content_bytes
+        );
+        // The nested splice stage recorded one sample per request that
+        // spliced (stage laps are per scan, like every other stage).
+        assert_eq!(stats.warm_stats.latency.splice.count, (versions - 1) as u64);
+        if !cfg!(debug_assertions) {
+            assert!(
+                stats.speedup() >= 5.0,
+                "one-line bump splice speedup {:.1}x below the 5x floor",
+                stats.speedup()
+            );
+        }
     }
 
     /// Release-mode CI smoke: string-encoding a payload out of surface

@@ -136,6 +136,35 @@ pub enum Stmt {
 }
 
 impl Stmt {
+    /// Shifts this statement's line number — and, for the block shapes,
+    /// every nested statement's — by `delta`.
+    ///
+    /// The incremental artifact splicer reuses statements parsed from
+    /// the previous version of a file; when an edit adds or removes
+    /// lines, the unchanged suffix statements keep their shapes but
+    /// their line numbers move by the edit's net line count.
+    pub fn shift_lines(&mut self, delta: isize) {
+        if delta == 0 {
+            return;
+        }
+        match self {
+            Stmt::Import { line, .. }
+            | Stmt::FromImport { line, .. }
+            | Stmt::Assign { line, .. }
+            | Stmt::Expr { line, .. }
+            | Stmt::Return { line, .. }
+            | Stmt::Other { line, .. } => *line = line.saturating_add_signed(delta),
+            Stmt::FunctionDef { line, body, .. }
+            | Stmt::ClassDef { line, body, .. }
+            | Stmt::Block { line, body, .. } => {
+                *line = line.saturating_add_signed(delta);
+                for stmt in body {
+                    stmt.shift_lines(delta);
+                }
+            }
+        }
+    }
+
     /// The 1-based source line of the statement.
     pub fn line(&self) -> usize {
         match self {

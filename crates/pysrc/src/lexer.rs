@@ -25,6 +25,69 @@ pub fn lex_spanned(source: &str) -> Vec<SpannedToken> {
     Lexer::new(source).run()
 }
 
+/// Result of re-lexing a byte window of a larger source (see
+/// [`lex_window`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowLex {
+    /// Tokens with spans and line numbers rebased to the full source.
+    pub tokens: Vec<SpannedToken>,
+    /// True when the relex ran out of input *at a line start* — every
+    /// trailing byte was consumed as complete statements plus blank or
+    /// comment lines — rather than inside an open bracket, an
+    /// unterminated string, or after a trailing `\`-continuation. Only
+    /// then can the tokens be spliced against tokens lexed beyond the
+    /// window: an unclean exit means the full lexer would have swallowed
+    /// bytes past the window edge into one of this window's tokens.
+    pub ends_at_statement_boundary: bool,
+}
+
+/// Re-lexes `source[start..end]` as if the lexer had just crossed a
+/// top-level statement boundary at `start`: fresh indentation stack,
+/// bracket depth zero, column zero. Spans are rebased by `start` and
+/// line numbers by the newline count of `source[..start]`, so the
+/// tokens drop into the full source's coordinate system.
+///
+/// The output equals the `[start..end)` slice of `lex_spanned(source)`
+/// **only if** `start` really is such a boundary (the full lexer's
+/// indent stack is `[0]` there — e.g. offset 0, or just after the
+/// newline ending an unindented statement). Offsets inside brackets,
+/// strings or indented suites produce a best-effort tolerant lex of the
+/// window instead; callers splicing tokens must verify the boundary
+/// from an existing token stream.
+///
+/// # Panics
+///
+/// Panics if `start..end` is out of bounds or not on `char` boundaries.
+pub fn lex_window(source: &str, start: usize, end: usize) -> WindowLex {
+    let first_line = 1 + source.as_bytes()[..start]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count();
+    let mut lexer = Lexer::new(&source[start..end]);
+    let mut tokens = lexer.run();
+    let boundary = lexer.clean_eof && !lexer.unterminated;
+    for t in &mut tokens {
+        t.start += start;
+        t.end += start;
+        t.token.line += first_line - 1;
+    }
+    WindowLex {
+        tokens,
+        ends_at_statement_boundary: boundary,
+    }
+}
+
+/// Tokenizes the tail of `source` from `offset`, rebasing spans and
+/// line numbers so the tokens land in full-source coordinates — the
+/// offset-relex primitive the incremental artifact splicer builds on.
+///
+/// Equivalent to the `[offset..]` suffix of [`lex_spanned`] when
+/// `offset` sits at a column-zero statement boundary; see
+/// [`lex_window`] for the exact contract (and the panic conditions).
+pub fn lex_starts_at(source: &str, offset: usize) -> Vec<SpannedToken> {
+    lex_window(source, offset, source.len()).tokens
+}
+
 struct Lexer<'a> {
     src: &'a [u8],
     pos: usize,
@@ -36,6 +99,12 @@ struct Lexer<'a> {
     at_line_start: bool,
     /// Byte offset where the token currently being lexed started.
     token_start: usize,
+    /// Input ran out while scanning line starts (blank/comment lines or
+    /// a fresh statement boundary) — not mid-statement. See
+    /// [`WindowLex::ends_at_statement_boundary`].
+    clean_eof: bool,
+    /// A string literal swallowed the rest of the input.
+    unterminated: bool,
 }
 
 impl<'a> Lexer<'a> {
@@ -50,6 +119,8 @@ impl<'a> Lexer<'a> {
             out: Vec::new(),
             at_line_start: true,
             token_start: 0,
+            clean_eof: false,
+            unterminated: false,
         }
     }
 
@@ -81,9 +152,12 @@ impl<'a> Lexer<'a> {
         });
     }
 
-    fn run(mut self) -> Vec<SpannedToken> {
+    fn run(&mut self) -> Vec<SpannedToken> {
         loop {
             if self.at_line_start && self.depth == 0 && !self.handle_indentation() {
+                // EOF while scanning line starts: a clean exit, unless a
+                // string already swallowed the tail.
+                self.clean_eof = true;
                 break;
             }
             let (line, col) = (self.line, self.col);
@@ -155,7 +229,7 @@ impl<'a> Lexer<'a> {
             self.push(TokenKind::Dedent, self.line, 0);
         }
         self.push(TokenKind::Eof, self.line, self.col);
-        self.out
+        std::mem::take(&mut self.out)
     }
 
     /// Measures leading whitespace and emits INDENT/DEDENT. Returns false
@@ -240,7 +314,12 @@ impl<'a> Lexer<'a> {
         let mut value = String::new();
         loop {
             match self.peek() {
-                None => break, // unterminated — tolerate
+                None => {
+                    // Unterminated — tolerate, but remember for window
+                    // relexing: the token absorbed the rest of the input.
+                    self.unterminated = true;
+                    break;
+                }
                 Some(b'\\') if !raw => {
                     self.bump();
                     match self.bump() {
@@ -255,7 +334,10 @@ impl<'a> Lexer<'a> {
                             value.push('\\');
                             value.push(other as char);
                         }
-                        None => break,
+                        None => {
+                            self.unterminated = true;
+                            break;
+                        }
                     }
                 }
                 Some(b) if b == quote => {
@@ -486,6 +568,80 @@ mod tests {
             assert!(t.start >= last || t.start == t.end, "overlap at {t:?}");
             last = last.max(t.end);
         }
+    }
+
+    #[test]
+    fn lex_starts_at_zero_is_lex_spanned() {
+        let src = "import os\n\ndef f(a):\n    return a\n\nx = f(1)\n";
+        assert_eq!(lex_starts_at(src, 0), lex_spanned(src));
+    }
+
+    #[test]
+    fn lex_starts_at_statement_boundary_matches_full_lex_suffix() {
+        let src = "import os\nx = 1\n\n# note\ndef f():\n    return x\n";
+        let full = lex_spanned(src);
+        // Every column-zero statement boundary after a real newline.
+        for (i, t) in full.iter().enumerate() {
+            if !matches!(t.kind(), TokenKind::Newline) || t.end - t.start != 1 {
+                continue;
+            }
+            let next = &full[i + 1];
+            if next.token.col != 0
+                || next.end == next.start
+                || matches!(next.kind(), TokenKind::Comment(_))
+            {
+                continue;
+            }
+            let suffix = lex_starts_at(src, next.start);
+            assert_eq!(
+                suffix,
+                full[i + 1..].to_vec(),
+                "suffix relex diverged at offset {}",
+                next.start
+            );
+        }
+    }
+
+    #[test]
+    fn lex_window_reports_statement_boundaries() {
+        let clean = |w: &str| lex_window(w, 0, w.len()).ends_at_statement_boundary;
+        assert!(clean("x = 1\n"));
+        assert!(clean("x = 1\ny = 2\n"));
+        // Trailing blank and comment lines are still line starts.
+        assert!(clean("x = 1\n\n\n"));
+        assert!(clean("x = 1\n# trailing note\n"));
+        assert!(clean(""));
+        // Open bracket swallows the edge.
+        assert!(!clean("x = (1,\n"));
+        // Unterminated triple-quoted string swallows the edge.
+        assert!(!clean("s = '''abc\ndef\n"));
+        // Trailing continuation glues the next line on.
+        assert!(!clean("x = 1 + \\\n"));
+        // No trailing newline: the last statement may continue.
+        assert!(!clean("x = 1"));
+    }
+
+    #[test]
+    fn lex_window_rebases_spans_and_lines() {
+        let src = "a = 1\nb = 2\nc = 3\n";
+        let full = lex_spanned(src);
+        let w = lex_window(src, 6, 12);
+        assert!(w.ends_at_statement_boundary);
+        let expected: Vec<SpannedToken> = full
+            .iter()
+            .filter(|t| t.start >= 6 && t.end <= 12 && t.end > t.start)
+            .cloned()
+            .collect();
+        // The window's content tokens (everything but the close-out EOF)
+        // are exactly the full lex's tokens over those bytes.
+        let content: Vec<SpannedToken> = w
+            .tokens
+            .iter()
+            .filter(|t| !matches!(t.kind(), TokenKind::Eof))
+            .cloned()
+            .collect();
+        assert_eq!(content, expected);
+        assert_eq!(content[0].token.line, 2);
     }
 
     #[test]

@@ -9,6 +9,13 @@
 //!
 //! * [`lex`] — an indentation-aware tokenizer (strings, comments, triple
 //!   quotes, line continuations, INDENT/DEDENT synthesis).
+//! * [`lex_starts_at`] / [`lex_window`] — offset-based relexing of an
+//!   edited byte range in full-source coordinates, the primitive the
+//!   incremental artifact splicer builds on ([`parse_tokens`] is its
+//!   parser-side counterpart).
+//! * [`TokenRope`] — segment-shared token storage with lazy coordinate
+//!   rebasing, so a spliced version's stream reuses the previous
+//!   version's prefix and suffix without cloning a single token.
 //! * [`parse_module`] — a tolerant, lightweight parser producing a
 //!   statement/expression tree sufficient for pattern matching. Unparsable
 //!   lines degrade to [`Stmt::Other`] instead of failing: rule scanning
@@ -32,13 +39,15 @@
 mod ast;
 mod lexer;
 mod parser;
+mod rope;
 mod strings;
 mod token;
 
 pub use ast::{Arg, Expr, ImportedName, Module, Stmt};
-pub use lexer::{lex, lex_spanned};
-pub use parser::parse_module;
-pub use strings::{intern_strings, StringRef, StringTable};
+pub use lexer::{lex, lex_spanned, lex_starts_at, lex_window, WindowLex};
+pub use parser::{parse_module, parse_tokens};
+pub use rope::{TokenRope, TokenView};
+pub use strings::{intern_rope, intern_strings, StringRef, StringTable};
 pub use token::{is_keyword, SpannedToken, Token, TokenKind, KEYWORDS};
 
 /// Collects every call expression in the module, depth-first.

@@ -10,7 +10,25 @@ use crate::token::{Token, TokenKind};
 /// [`Stmt::Other`] nodes carrying reconstructed text, so downstream
 /// matchers always see the full file.
 pub fn parse_module(source: &str) -> Module {
-    let tokens = lex(source);
+    parse_tokens(lex(source))
+}
+
+/// Parses an already-lexed token stream into a [`Module`].
+///
+/// This is the incremental splicer's entry point: it re-lexes only an
+/// edited window of a changed file and must not pay a second full lex
+/// inside the parser. Same tolerance guarantees as [`parse_module`].
+/// The stream should end with [`TokenKind::Eof`]; one is appended if
+/// missing (the parser treats the final token as a sticky sentinel).
+pub fn parse_tokens(mut tokens: Vec<Token>) -> Module {
+    if !matches!(tokens.last().map(|t| &t.kind), Some(TokenKind::Eof)) {
+        let (line, col) = tokens.last().map(|t| (t.line, t.col)).unwrap_or((1, 0));
+        tokens.push(Token {
+            kind: TokenKind::Eof,
+            line,
+            col,
+        });
+    }
     let mut p = Parser {
         tokens,
         pos: 0,

@@ -1,0 +1,329 @@
+//! Shared-storage token streams for incremental relexing.
+//!
+//! A [`TokenRope`] is a token stream stored as a short list of segments,
+//! each a reference-counted slice of some lexed `Vec<SpannedToken>` plus
+//! a byte/line shift to rebase it into the owning file's coordinates.
+//! The incremental artifact splicer builds the token stream of a new
+//! file version as `prefix ++ relexed window ++ suffix`, where prefix
+//! and suffix are segments of the *previous* version's rope: assembling
+//! the spliced stream costs a handful of segment descriptors instead of
+//! deep-cloning thousands of tokens (every clone re-allocates each
+//! token's text, which profiles as expensive as relexing from scratch).
+//!
+//! Shifts are applied lazily, at read time, through [`TokenView`]:
+//! iteration yields each token's rebased byte span and line without ever
+//! touching the shared storage. Columns never shift (an edit moves
+//! statements down or sideways in bytes, never re-indents unchanged
+//! lines), so `TokenView` exposes the raw token for kind/column access
+//! and overrides only `line`, `start` and `end`.
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::token::{SpannedToken, Token, TokenKind};
+
+/// One shared slice of lexed tokens with a lazy coordinate rebase.
+#[derive(Clone)]
+struct Segment {
+    source: Arc<Vec<SpannedToken>>,
+    /// Token index range into `source`.
+    range: Range<usize>,
+    /// Added to every token's byte `start`/`end` at read time.
+    byte_shift: isize,
+    /// Added to every token's 1-based `line` at read time.
+    line_shift: isize,
+}
+
+/// A token stream assembled from shared segments. See the module docs.
+#[derive(Clone, Default)]
+pub struct TokenRope {
+    segments: Vec<Segment>,
+    len: usize,
+}
+
+/// A read-time view of one rope token with its rebased coordinates.
+///
+/// `token` is the raw shared token: its `kind` and `col` are valid as
+/// stored, but its `line` may predate a splice — always read the line
+/// (and the byte span) from the view's own fields.
+#[derive(Clone, Copy)]
+pub struct TokenView<'a> {
+    /// The raw token (valid `kind` and `col`; see the type docs for `line`).
+    pub token: &'a Token,
+    /// Rebased 1-based line number.
+    pub line: usize,
+    /// Rebased byte offset of the first byte.
+    pub start: usize,
+    /// Rebased byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl TokenView<'_> {
+    /// The token kind (convenience passthrough).
+    pub fn kind(&self) -> &TokenKind {
+        &self.token.kind
+    }
+
+    /// Materializes this view as an owned token in rope coordinates.
+    pub fn to_spanned(&self) -> SpannedToken {
+        SpannedToken {
+            token: Token {
+                kind: self.token.kind.clone(),
+                line: self.line,
+                col: self.token.col,
+            },
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+impl TokenRope {
+    /// Wraps a freshly lexed token vector (one segment, no shifts).
+    pub fn from_tokens(tokens: Vec<SpannedToken>) -> Self {
+        let len = tokens.len();
+        if len == 0 {
+            return TokenRope::default();
+        }
+        TokenRope {
+            segments: vec![Segment {
+                source: Arc::new(tokens),
+                range: 0..len,
+                byte_shift: 0,
+                line_shift: 0,
+            }],
+            len,
+        }
+    }
+
+    /// Number of tokens in the stream.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the stream holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of storage segments (splice fragmentation metric).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Iterates the stream in order, yielding rebased views.
+    pub fn iter(&self) -> impl Iterator<Item = TokenView<'_>> {
+        self.segments.iter().flat_map(|seg| {
+            seg.source[seg.range.clone()]
+                .iter()
+                .map(move |t| TokenView {
+                    token: &t.token,
+                    line: t.token.line.saturating_add_signed(seg.line_shift),
+                    start: t.start.saturating_add_signed(seg.byte_shift),
+                    end: t.end.saturating_add_signed(seg.byte_shift),
+                })
+        })
+    }
+
+    /// A sub-rope over token indices `range`, sharing this rope's
+    /// storage (no token is cloned).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` exceeds `len()` or is decreasing.
+    pub fn slice(&self, range: Range<usize>) -> TokenRope {
+        assert!(range.start <= range.end && range.end <= self.len);
+        let mut out = TokenRope::default();
+        let mut base = 0usize;
+        for seg in &self.segments {
+            let seg_len = seg.range.len();
+            let lo = range.start.max(base).min(base + seg_len);
+            let hi = range.end.max(base).min(base + seg_len);
+            if lo < hi {
+                out.segments.push(Segment {
+                    source: Arc::clone(&seg.source),
+                    range: seg.range.start + (lo - base)..seg.range.start + (hi - base),
+                    byte_shift: seg.byte_shift,
+                    line_shift: seg.line_shift,
+                });
+                out.len += hi - lo;
+            }
+            base += seg_len;
+        }
+        out
+    }
+
+    /// Appends freshly lexed tokens (already in this rope's coordinates)
+    /// as a new segment.
+    pub fn push_tokens(&mut self, tokens: Vec<SpannedToken>) {
+        if tokens.is_empty() {
+            return;
+        }
+        self.len += tokens.len();
+        let range = 0..tokens.len();
+        self.segments.push(Segment {
+            source: Arc::new(tokens),
+            range,
+            byte_shift: 0,
+            line_shift: 0,
+        });
+    }
+
+    /// Appends token indices `range` of `other`, rebased by a further
+    /// `byte_shift`/`line_shift` on top of `other`'s own shifts — the
+    /// suffix half of a splice, moved by the edit's net byte and line
+    /// deltas. Shares `other`'s storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` exceeds `other.len()` or is decreasing.
+    pub fn push_slice_shifted(
+        &mut self,
+        other: &TokenRope,
+        range: Range<usize>,
+        byte_shift: isize,
+        line_shift: isize,
+    ) {
+        let mut piece = other.slice(range);
+        for seg in &mut piece.segments {
+            seg.byte_shift += byte_shift;
+            seg.line_shift += line_shift;
+        }
+        self.len += piece.len;
+        self.segments.append(&mut piece.segments);
+    }
+
+    /// Materializes the whole stream as owned tokens in rope
+    /// coordinates (what a fresh full lex would have produced).
+    pub fn to_vec(&self) -> Vec<SpannedToken> {
+        let mut out = Vec::with_capacity(self.len);
+        out.extend(self.iter().map(|v| v.to_spanned()));
+        out
+    }
+
+    /// Copies the stream into a single owned segment when splice chains
+    /// have fragmented it past `max_segments`. Long version histories
+    /// add ~2 segments per splice; consolidating every few dozen
+    /// generations bounds iteration overhead and releases retired
+    /// window storage, amortizing one deep copy over the chain.
+    pub fn consolidate_if_fragmented(&mut self, max_segments: usize) {
+        if self.segments.len() > max_segments {
+            *self = TokenRope::from_tokens(self.to_vec());
+        }
+    }
+}
+
+impl PartialEq for TokenRope {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self.iter().zip(other.iter()).all(|(a, b)| {
+                a.token.kind == b.token.kind
+                    && a.token.col == b.token.col
+                    && a.line == b.line
+                    && a.start == b.start
+                    && a.end == b.end
+            })
+    }
+}
+
+impl Eq for TokenRope {}
+
+impl fmt::Debug for TokenRope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list()
+            .entries(self.iter().map(|v| v.to_spanned()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex_spanned;
+
+    const SRC: &str = "import os\nx = 1\nos.system('id')\n";
+
+    #[test]
+    fn from_tokens_round_trips() {
+        let tokens = lex_spanned(SRC);
+        let rope = TokenRope::from_tokens(tokens.clone());
+        assert_eq!(rope.len(), tokens.len());
+        assert_eq!(rope.segment_count(), 1);
+        assert_eq!(rope.to_vec(), tokens);
+        assert_eq!(rope, TokenRope::from_tokens(tokens));
+    }
+
+    #[test]
+    fn slice_shares_storage_and_preserves_coordinates() {
+        let tokens = lex_spanned(SRC);
+        let rope = TokenRope::from_tokens(tokens.clone());
+        let mid = rope.slice(2..7);
+        assert_eq!(mid.len(), 5);
+        assert_eq!(mid.to_vec(), tokens[2..7].to_vec());
+        assert!(rope.slice(0..0).is_empty());
+        assert_eq!(rope.slice(0..rope.len()).to_vec(), tokens);
+    }
+
+    #[test]
+    fn shifted_suffix_rebases_spans_and_lines_lazily() {
+        let tokens = lex_spanned(SRC);
+        let rope = TokenRope::from_tokens(tokens.clone());
+        let mut spliced = TokenRope::default();
+        spliced.push_slice_shifted(&rope, 0..rope.len(), 7, 2);
+        assert_eq!(spliced.len(), tokens.len());
+        for (view, raw) in spliced.iter().zip(&tokens) {
+            assert_eq!(view.start, raw.start + 7);
+            assert_eq!(view.end, raw.end + 7);
+            assert_eq!(view.line, raw.token.line + 2);
+            assert_eq!(view.token.col, raw.token.col, "columns never shift");
+            assert_eq!(view.kind(), &raw.token.kind);
+        }
+        // Materialized tokens carry the rebased coordinates.
+        let owned = spliced.to_vec();
+        assert_eq!(owned[0].start, tokens[0].start + 7);
+        assert_eq!(owned[0].token.line, tokens[0].token.line + 2);
+    }
+
+    #[test]
+    fn splice_shape_equals_full_relex() {
+        // prefix of v1 ++ fresh window ++ shifted suffix of v1 == lex(v2)
+        let v1 = "import os\nA = 'one'\nos.system('id')\n";
+        let v2 = "import os\nA = 'three'\nos.system('id')\n";
+        let full1 = lex_spanned(v1);
+        let full2 = lex_spanned(v2);
+        // Window: the middle statement (tokens differ only there).
+        let prefix = full2.iter().zip(&full1).take_while(|(a, b)| a == b).count();
+        let rope1 = TokenRope::from_tokens(full1.clone());
+        let mut spliced = rope1.slice(0..prefix);
+        // Relex the window plus everything after, then keep the window
+        // and share the suffix instead: here we just exercise shapes by
+        // splicing the full tail with the byte delta.
+        let delta = v2.len() as isize - v1.len() as isize;
+        let window: Vec<_> = full2[prefix..prefix + 5].to_vec();
+        spliced.push_tokens(window);
+        spliced.push_slice_shifted(&rope1, prefix + 5..full1.len(), delta, 0);
+        assert_eq!(spliced.to_vec(), full2);
+        assert_eq!(spliced, TokenRope::from_tokens(full2));
+        assert_eq!(spliced.segment_count(), 3);
+    }
+
+    #[test]
+    fn consolidation_flattens_fragmented_chains() {
+        let tokens = lex_spanned(SRC);
+        let rope = TokenRope::from_tokens(tokens.clone());
+        let mut frag = TokenRope::default();
+        for i in 0..tokens.len() {
+            frag.push_slice_shifted(&rope, i..i + 1, 0, 0);
+        }
+        assert_eq!(frag.segment_count(), tokens.len());
+        let before = frag.to_vec();
+        frag.consolidate_if_fragmented(4);
+        assert_eq!(frag.segment_count(), 1);
+        assert_eq!(frag.to_vec(), before);
+        // Under the threshold nothing happens.
+        let mut small = rope.slice(0..3);
+        small.consolidate_if_fragmented(4);
+        assert_eq!(small.segment_count(), 1);
+    }
+}

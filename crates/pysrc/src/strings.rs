@@ -61,13 +61,24 @@ impl StringTable {
 /// interpolation holes, so the text is not a runtime string value.
 /// Raw and bytes literals are kept — encoded payloads ship in both.
 pub fn intern_strings(tokens: &[SpannedToken]) -> StringTable {
+    intern_iter(tokens.iter().map(|t| (&t.token.kind, t.token.line)))
+}
+
+/// [`intern_strings`] over a [`TokenRope`](crate::TokenRope), reading
+/// each occurrence's line through the rope's lazy rebase — a spliced
+/// stream interns to the exact table a full relex would produce,
+/// without materializing the shared tokens.
+pub fn intern_rope(rope: &crate::TokenRope) -> StringTable {
+    intern_iter(rope.iter().map(|v| (&v.token.kind, v.line)))
+}
+
+fn intern_iter<'a>(tokens: impl Iterator<Item = (&'a TokenKind, usize)>) -> StringTable {
     let mut table = StringTable::default();
     let mut ids: HashMap<&str, u32> = HashMap::new();
-    // Two passes so the map can borrow from the tokens while the table
-    // accumulates owned copies: first collect (value, line) occurrences,
-    // then intern.
-    for tok in tokens {
-        let TokenKind::Str { value, prefix } = &tok.token.kind else {
+    // The map borrows literal text from the tokens while the table
+    // accumulates owned copies.
+    for (kind, line) in tokens {
+        let TokenKind::Str { value, prefix } = kind else {
             continue;
         };
         if prefix.contains('f') {
@@ -84,7 +95,7 @@ pub fn intern_strings(tokens: &[SpannedToken]) -> StringTable {
         };
         table.refs.push(StringRef {
             literal: id,
-            line: tok.token.line as u32,
+            line: line as u32,
         });
     }
     table
@@ -97,6 +108,14 @@ mod tests {
 
     fn table(src: &str) -> StringTable {
         intern_strings(&lex_spanned(src))
+    }
+
+    #[test]
+    fn rope_interning_matches_slice_interning() {
+        let src = "a = 'x'\nb = 'y'\nc = 'x'\nd = f'{a}'\n";
+        let tokens = lex_spanned(src);
+        let rope = crate::TokenRope::from_tokens(tokens.clone());
+        assert_eq!(intern_rope(&rope), intern_strings(&tokens));
     }
 
     #[test]

@@ -19,6 +19,71 @@ proptest! {
         prop_assert_eq!(&tokens.last().expect("eof token").kind, &TokenKind::Eof);
     }
 
+    /// The splice's foundational assumption (ISSUE 10): spanned tokens
+    /// are in source order, content spans never overlap, and every span
+    /// stays inside the source.
+    #[test]
+    fn lex_spanned_spans_are_in_order_and_disjoint(src in "[ -~\\n]{0,400}") {
+        let tokens = pysrc::lex_spanned(&src);
+        let mut last_end = 0usize;
+        let mut last_line = 1usize;
+        for t in &tokens {
+            prop_assert!(t.start <= t.end, "inverted span {t:?}");
+            prop_assert!(t.end <= src.len(), "span out of bounds {t:?}");
+            prop_assert!(t.token.line >= last_line, "line went backwards {t:?}");
+            last_line = t.token.line;
+            if t.end > t.start {
+                prop_assert!(t.start >= last_end, "overlapping spans at {t:?}");
+                last_end = t.end;
+            }
+        }
+    }
+
+    /// Slicing the source by a content token's span and re-lexing the
+    /// slice reproduces that token — spans are exact, not approximate.
+    /// (Newline tokens are skipped: a lone "\n" is a blank line and
+    /// lexes to nothing.)
+    #[test]
+    fn lex_spanned_slices_roundtrip_their_tokens(src in "[ -~\\n]{0,300}") {
+        for t in pysrc::lex_spanned(&src) {
+            if t.end == t.start || matches!(t.kind(), TokenKind::Newline) {
+                continue;
+            }
+            let slice = &src[t.start..t.end];
+            let relexed = pysrc::lex_spanned(slice);
+            let first = relexed.first().expect("non-empty slice lexes");
+            prop_assert_eq!(
+                &first.token.kind,
+                t.kind(),
+                "slice {:?} did not round-trip",
+                slice
+            );
+        }
+    }
+
+    /// Offset relexing agrees with the full lex at every column-zero
+    /// statement boundary — the exact contract the artifact splicer
+    /// relies on when it relexes only an edited window.
+    #[test]
+    fn lex_starts_at_agrees_with_full_lex_at_boundaries(
+        lines in prop::collection::vec("[a-z][a-z0-9 =+.()']{0,20}", 1..8)
+    ) {
+        let src = format!("{}\n", lines.join("\n"));
+        let full = pysrc::lex_spanned(&src);
+        for (i, t) in full.iter().enumerate() {
+            let boundary = matches!(t.kind(), TokenKind::Newline)
+                && t.end - t.start == 1
+                && full[i + 1].token.col == 0
+                && full[i + 1].end > full[i + 1].start
+                && !matches!(full[i + 1].kind(), TokenKind::Comment(_));
+            if !boundary {
+                continue;
+            }
+            let suffix = pysrc::lex_starts_at(&src, full[i + 1].start);
+            prop_assert_eq!(&suffix[..], &full[i + 1..], "diverged at {}", full[i + 1].start);
+        }
+    }
+
     #[test]
     fn string_literals_roundtrip(value in "[a-zA-Z0-9 ./:_-]{0,40}") {
         let src = format!("x = '{value}'\n");

@@ -19,9 +19,9 @@
 //! verdicts stay explainable.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use pysrc::{Module, SpannedToken, StringTable};
+use pysrc::{Module, SpannedToken, Stmt, StringTable, TokenKind, TokenRope, TokenView};
 use yara_engine::{FileHits, Scanner};
 
 use crate::cache::DigestKey;
@@ -134,10 +134,15 @@ pub struct FileAnalysis {
     pub is_python: bool,
     /// The spanned token stream (empty for non-Python files). Literals
     /// survive here even inside statements the tolerant parser degraded
-    /// to `Stmt::Other`.
-    pub tokens: Vec<SpannedToken>,
-    /// The tolerant-parsed module (Python files only).
-    pub module: Option<Module>,
+    /// to `Stmt::Other`. Stored as a [`TokenRope`] so a spliced build
+    /// shares the unchanged prefix/suffix with its sibling artifact
+    /// instead of deep-cloning every token.
+    pub tokens: TokenRope,
+    /// The tolerant-parsed module (Python files only), materialized
+    /// lazily: a spliced artifact records *how* to assemble its module
+    /// from the sibling's and pays the statement clones only when an
+    /// engine actually walks the tree (see [`LazyModule`]).
+    pub module: Option<Arc<LazyModule>>,
     /// The interned string-literal table.
     pub strings: StringTable,
     /// Decoded payload layers, in discovery order. Includes synthetic
@@ -156,6 +161,166 @@ pub struct FileAnalysis {
     pub taint: Option<dataflow::TaintSummary>,
 }
 
+/// Line and shape of one top-level statement — the donor-module facts
+/// the splicer consults without materializing the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StmtMeta {
+    /// 1-based source line of the statement.
+    line: usize,
+    /// An anonymous indent block (`Stmt::Block` with an empty keyword):
+    /// the tolerant parser stamps these with the line of the token
+    /// *after* the block, which defeats line-keyed splicing.
+    anonymous: bool,
+}
+
+/// How to assemble a spliced module from its donor: prefix statements
+/// before the window, the window's freshly parsed statements, and the
+/// donor's suffix statements shifted by the edit's net line count.
+#[derive(Debug)]
+struct SpliceParts {
+    donor: Arc<LazyModule>,
+    window: Module,
+    /// Donor statements with `line < prefix_before_line` form the prefix.
+    prefix_before_line: usize,
+    /// Donor statements with `line >= suffix_from_line` form the suffix
+    /// (ignored when `has_suffix` is false — the window ran to EOF).
+    suffix_from_line: usize,
+    has_suffix: bool,
+    line_delta: isize,
+}
+
+/// A module that may not be assembled yet.
+///
+/// A full build stores its parsed [`Module`] directly. A spliced build
+/// stores [`SpliceParts`] — a handle to the donor's `LazyModule`, the
+/// window's parsed statements and the line ranges to cut at — and
+/// assembles the tree only when an engine first calls [`Self::get`]
+/// (Semgrep matching, the taint analysis, retro-hunt confirmation).
+/// Version-bump streams that never walk the AST therefore never pay the
+/// statement clones; the result is cached, so consumers that do walk it
+/// pay once per artifact. Assembly is iterative over the donor chain,
+/// so a long never-walked version history cannot overflow the stack.
+#[derive(Debug)]
+pub struct LazyModule {
+    summary: Vec<StmtMeta>,
+    cell: OnceLock<Module>,
+    parts: Option<SpliceParts>,
+}
+
+fn summarize(module: &Module) -> Vec<StmtMeta> {
+    module
+        .body
+        .iter()
+        .map(|stmt| StmtMeta {
+            line: stmt.line(),
+            anonymous: matches!(stmt, Stmt::Block { keyword, .. } if keyword.is_empty()),
+        })
+        .collect()
+}
+
+impl LazyModule {
+    /// Wraps an eagerly parsed module (the full-build path).
+    fn full(module: Module) -> Arc<Self> {
+        let summary = summarize(&module);
+        let cell = OnceLock::new();
+        cell.set(module).expect("fresh cell");
+        Arc::new(LazyModule {
+            summary,
+            cell,
+            parts: None,
+        })
+    }
+
+    /// Records a splice recipe; the summary is composed from the
+    /// donor's without touching either tree.
+    fn spliced(
+        donor: Arc<LazyModule>,
+        window: Module,
+        prefix_before_line: usize,
+        suffix_from_line: usize,
+        has_suffix: bool,
+        line_delta: isize,
+    ) -> Arc<Self> {
+        let mut summary: Vec<StmtMeta> = donor
+            .summary
+            .iter()
+            .take_while(|m| m.line < prefix_before_line)
+            .copied()
+            .collect();
+        summary.extend(summarize(&window));
+        if has_suffix {
+            summary.extend(
+                donor
+                    .summary
+                    .iter()
+                    .skip_while(|m| m.line < suffix_from_line)
+                    .map(|m| StmtMeta {
+                        line: m.line.saturating_add_signed(line_delta),
+                        anonymous: m.anonymous,
+                    }),
+            );
+        }
+        Arc::new(LazyModule {
+            summary,
+            cell: OnceLock::new(),
+            parts: Some(SpliceParts {
+                donor,
+                window,
+                prefix_before_line,
+                suffix_from_line,
+                has_suffix,
+                line_delta,
+            }),
+        })
+    }
+
+    /// The module, assembling (and caching) it on first use.
+    pub fn get(&self) -> &Module {
+        if let Some(module) = self.cell.get() {
+            return module;
+        }
+        // Walk down the donor chain to the deepest unassembled link —
+        // full builds are assembled by construction, so the walk always
+        // terminates — then assemble back up.
+        let mut chain: Vec<&LazyModule> = Vec::new();
+        let mut cur = self;
+        while cur.cell.get().is_none() {
+            chain.push(cur);
+            let parts = cur.parts.as_ref().expect("unassembled module has parts");
+            cur = &parts.donor;
+        }
+        for lazy in chain.into_iter().rev() {
+            lazy.cell.get_or_init(|| lazy.assemble());
+        }
+        self.cell.get().expect("assembled above")
+    }
+
+    fn assemble(&self) -> Module {
+        let parts = self.parts.as_ref().expect("only spliced modules assemble");
+        let donor = parts.donor.cell.get().expect("donor assembled first");
+        let mut body: Vec<Stmt> = donor
+            .body
+            .iter()
+            .take_while(|stmt| stmt.line() < parts.prefix_before_line)
+            .cloned()
+            .collect();
+        body.extend(parts.window.body.iter().cloned());
+        if parts.has_suffix {
+            let first = donor
+                .body
+                .iter()
+                .position(|stmt| stmt.line() >= parts.suffix_from_line)
+                .unwrap_or(donor.body.len());
+            for stmt in &donor.body[first..] {
+                let mut stmt = stmt.clone();
+                stmt.shift_lines(parts.line_delta);
+                body.push(stmt);
+            }
+        }
+        Module { body }
+    }
+}
+
 impl FileAnalysis {
     /// Builds the artifact for one file entry. This is the only place
     /// in the scan path that lexes, parses, decodes or byte-scans file
@@ -163,18 +328,48 @@ impl FileAnalysis {
     pub fn build(entry: &FileEntry, scanner: Option<&Scanner<'_>>, cfg: &ArtifactConfig) -> Self {
         let bytes = entry.shared_bytes();
         let is_python = entry.is_python();
-        let (tokens, module, strings) = if is_python {
+        let (tokens, module) = if is_python {
             let text = String::from_utf8_lossy(&bytes);
-            let tokens = pysrc::lex_spanned(&text);
-            let module = pysrc::parse_module(&text);
-            let strings = pysrc::intern_strings(&tokens);
-            (tokens, Some(module), strings)
+            let tokens = TokenRope::from_tokens(pysrc::lex_spanned(&text));
+            let module = LazyModule::full(pysrc::parse_module(&text));
+            (tokens, Some(module))
         } else {
-            (Vec::new(), None, StringTable::default())
+            (TokenRope::default(), None)
+        };
+        Self::finish(
+            entry.digest(),
+            bytes,
+            is_python,
+            tokens,
+            module,
+            scanner,
+            cfg,
+        )
+    }
+
+    /// Derives every downstream product (string table, decoded layers,
+    /// taint, YARA hits) from an already-built token stream and module.
+    /// Shared by the full build and the incremental splice so the two
+    /// paths cannot drift: splice ≡ full holds whenever the tokens and
+    /// module are equal, because everything below this line is a pure
+    /// function of them plus the bytes.
+    fn finish(
+        digest: DigestKey,
+        bytes: Arc<Vec<u8>>,
+        is_python: bool,
+        tokens: TokenRope,
+        module: Option<Arc<LazyModule>>,
+        scanner: Option<&Scanner<'_>>,
+        cfg: &ArtifactConfig,
+    ) -> Self {
+        let strings = if is_python {
+            pysrc::intern_rope(&tokens)
+        } else {
+            StringTable::default()
         };
         let mut layers = decode_layers(&strings, cfg);
         let taint = match (&module, cfg.dataflow) {
-            (Some(m), true) => Some(dataflow::analyze(m)),
+            (Some(m), true) => Some(dataflow::analyze(m.get())),
             _ => None,
         };
         if let Some(summary) = &taint {
@@ -185,7 +380,7 @@ impl FileAnalysis {
             layers.iter().map(|l| s.collect_hits(&l.data)).collect()
         });
         FileAnalysis {
-            digest: entry.digest(),
+            digest,
             bytes,
             is_python,
             tokens,
@@ -224,6 +419,258 @@ impl FileAnalysis {
                 .as_ref()
                 .map_or(0, dataflow::TaintSummary::stored_bytes)
     }
+
+    /// Attempts an incremental build by splicing the edit into a cached
+    /// sibling artifact (a previous version of the same file) instead of
+    /// re-lexing and re-parsing the whole content.
+    ///
+    /// The contract is strict equivalence: on `Some`, the returned
+    /// artifact is field-for-field identical to what a full
+    /// [`FileAnalysis::build`] would produce for `entry` — the
+    /// differential tests below pin tokens, module, string table,
+    /// layers, hits and taint. Only the lex/parse work is reused; every
+    /// downstream product is recomputed through the same [`Self::finish`]
+    /// the full build uses, so the artifact stays a pure function of its
+    /// bytes.
+    ///
+    /// Returns `None` (the caller falls back to a full build) whenever
+    /// the splice is not provably clean:
+    ///
+    /// * either side is not Python, or the sibling carries no module;
+    /// * either byte buffer is not strict UTF-8 (span offsets index the
+    ///   decoded text, and lossy decoding changes byte widths);
+    /// * the sibling's statement layout defeats line-based selection
+    ///   (anonymous indent blocks, non-monotone statement lines);
+    /// * the edited window exceeds half the file (a full build is
+    ///   cheaper than cloning most of the sibling);
+    /// * the window relex does not end cleanly at a statement boundary
+    ///   (open bracket, unterminated string, trailing `\` continuation,
+    ///   or a changed region that removed the boundary newline).
+    pub fn build_spliced(
+        entry: &FileEntry,
+        sibling: &FileAnalysis,
+        scanner: Option<&Scanner<'_>>,
+        cfg: &ArtifactConfig,
+    ) -> Option<Spliced> {
+        if !entry.is_python() || !sibling.is_python {
+            return None;
+        }
+        let old_lazy = sibling.module.as_ref()?;
+        let bytes = entry.shared_bytes();
+        let new_text = std::str::from_utf8(&bytes).ok()?;
+        let old_text = std::str::from_utf8(&sibling.bytes).ok()?;
+        let (old, new) = (old_text.as_bytes(), new_text.as_bytes());
+
+        // Statement selection below keys on line numbers, which is only
+        // sound when top-level statements sit in source order and take
+        // their line from their own first token. Anonymous indent blocks
+        // break the latter (the tolerant parser stamps them with the
+        // line of the token *after* the block). The checks read the
+        // sibling's statement summary, never the tree itself — a version
+        // chain that is only ever spliced stays unmaterialized.
+        let mut last_line = 0usize;
+        for meta in &old_lazy.summary {
+            if meta.anonymous || meta.line < last_line {
+                return None;
+            }
+            last_line = meta.line;
+        }
+
+        // Changed byte region: [p, q_old) in the old content. The common
+        // suffix is measured after the common prefix so the two cannot
+        // overlap on repeated text.
+        let p = old
+            .iter()
+            .zip(new.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        let s = old[p..]
+            .iter()
+            .rev()
+            .zip(new[p..].iter().rev())
+            .take_while(|(a, b)| a == b)
+            .count();
+        let q_old = old.len() - s;
+        let delta = new.len() as isize - old.len() as isize;
+
+        // Splice boundaries: column-zero statement starts of the OLD
+        // token stream where the lexer state is fully known (indent
+        // stack [0], fresh line — see `splice_boundary`). The window is
+        // the smallest boundary-delimited region covering the edit;
+        // offset 0 is always a valid start. No boundary after the edit
+        // means the edit runs to EOF and the window simply extends to
+        // the end of the new content.
+        let toks = &sibling.tokens;
+        let mut start = (0usize, 0usize);
+        let mut end: Option<(usize, usize)> = None;
+        for (i, (cur, next)) in toks.iter().zip(toks.iter().skip(1)).enumerate() {
+            if !splice_boundary(&cur, &next) {
+                continue;
+            }
+            let at = next.start;
+            // A window START additionally requires the byte gap between
+            // the NEWLINE and the boundary token to be blank lines only.
+            // The gap is token-free, so it can only hold blank lines or
+            // backslash continuations — and a continuation reaches the
+            // boundary token without going through indentation handling,
+            // while a relex window must begin in the fresh-lexer state.
+            // (An END tolerates a continuation gap: it lies inside the
+            // window, where it either survives into the new content and
+            // makes the relex end unclean, or was edited away.)
+            let blank_gap = old[cur.end..at]
+                .iter()
+                .all(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'));
+            if at <= p && blank_gap {
+                start = (i + 1, at);
+            }
+            if at >= q_old {
+                end = Some((i + 1, at));
+                // Boundary positions strictly increase and q_old >= p,
+                // so no later boundary can move `start` either.
+                break;
+            }
+        }
+        let (prefix_len, w) = start;
+        let (e_old, suffix_from) = match end {
+            Some((idx, at)) => (at, Some(idx)),
+            None => (old.len(), None),
+        };
+        let e_new = e_old.checked_add_signed(delta)?;
+
+        // Profitability gate: relexing more than half the file gains
+        // nothing over a full build.
+        if e_new < w || (e_new - w) * 2 > new.len() {
+            return None;
+        }
+        // A mid-file window must end exactly at a line start, or the
+        // suffix's first line would really be a continuation of the
+        // window's last. The old boundary guarantees `old[e_old-1]` is a
+        // newline, but an edit ending exactly at `q_old` can replace it.
+        if suffix_from.is_some() && e_new > w && new[e_new - 1] != b'\n' {
+            return None;
+        }
+
+        let window = pysrc::lex_window(new_text, w, e_new);
+        if suffix_from.is_some() && !window.ends_at_statement_boundary {
+            return None;
+        }
+        let relexed_bytes = (e_new - w) as u64;
+        let line_delta =
+            count_newlines(&new[w..e_new]) as isize - count_newlines(&old[w..e_old]) as isize;
+
+        let mut window_tokens = window.tokens;
+        if suffix_from.is_some() {
+            // Drop the window's EOF and the close-out's synthetic
+            // NEWLINE (width zero, emitted when the window ends in a
+            // comment line): the full lexer emits neither mid-stream.
+            // Close-out DEDENTs stay — the full lexer emits the same
+            // dedents at the suffix's column-zero statement, at the same
+            // position and line.
+            if matches!(
+                window_tokens.last().map(SpannedToken::kind),
+                Some(TokenKind::Eof)
+            ) {
+                window_tokens.pop();
+            }
+            let dedents = window_tokens
+                .iter()
+                .rev()
+                .take_while(|t| matches!(t.kind(), TokenKind::Dedent))
+                .count();
+            if let Some(at) = window_tokens.len().checked_sub(dedents + 1) {
+                if matches!(window_tokens[at].kind(), TokenKind::Newline)
+                    && window_tokens[at].start == window_tokens[at].end
+                {
+                    window_tokens.remove(at);
+                }
+            }
+        }
+
+        // Statement splice, recorded lazily: sibling statements strictly
+        // before the window keep their shapes and lines; the window's
+        // statements are parsed from its freshly relexed tokens; sibling
+        // statements strictly after it shift by the edit's net line
+        // count. In the run-to-EOF case there is no suffix — the window
+        // parse covers everything from `w` on. Only the tiny window is
+        // parsed here; the prefix/suffix statement clones are deferred
+        // until an engine walks the tree ([`LazyModule::get`]).
+        let lw = 1 + count_newlines(&old[..w]);
+        let le_old = 1 + count_newlines(&old[..e_old]);
+        let window_module =
+            pysrc::parse_tokens(window_tokens.iter().map(|t| t.token.clone()).collect());
+        let module = LazyModule::spliced(
+            Arc::clone(old_lazy),
+            window_module,
+            lw,
+            le_old,
+            suffix_from.is_some(),
+            line_delta,
+        );
+
+        // Token splice: the prefix and suffix share the sibling's rope
+        // storage — the suffix as a lazily rebased segment (byte and
+        // line deltas applied at read time) — and only the relexed
+        // window contributes fresh tokens. Long splice chains fragment
+        // the rope; consolidation copies it back into one segment every
+        // few dozen generations.
+        let mut tokens = toks.slice(0..prefix_len);
+        tokens.push_tokens(window_tokens);
+        if let Some(from) = suffix_from {
+            tokens.push_slice_shifted(toks, from..toks.len(), delta, line_delta);
+        }
+        tokens.consolidate_if_fragmented(64);
+
+        Some(Spliced {
+            relexed_bytes,
+            analysis: Self::finish(
+                entry.digest(),
+                bytes,
+                true,
+                tokens,
+                Some(module),
+                scanner,
+                cfg,
+            ),
+        })
+    }
+}
+
+/// A successful incremental build: the artifact plus how much content
+/// was actually re-lexed (the hub's `relexed_bytes` telemetry).
+#[derive(Debug)]
+pub struct Spliced {
+    /// The finished artifact — field-for-field identical to a full
+    /// [`FileAnalysis::build`] of the same entry.
+    pub analysis: FileAnalysis,
+    /// Bytes of the new content covered by the re-lexed window.
+    pub relexed_bytes: u64,
+}
+
+/// True when old token `cur` ends a statement at a point where the
+/// lexer state is provably `indent stack == [0]`: a real NEWLINE (width
+/// one) whose stream successor `next` is a column-zero content token.
+/// The successor conditions rule out every shape where that proof
+/// fails:
+///
+/// * an INDENT/DEDENT successor (empty span) means the stack is not
+///   `[0]` at the boundary — relexing from there with a fresh stack
+///   would drop the dedents;
+/// * a comment token at column zero proves nothing about the stack
+///   (comment-only lines skip indent tracking entirely);
+/// * a non-zero column means the boundary is not a line start.
+///
+/// A column-zero content token with no INDENT/DEDENT in front of it can
+/// only be lexed with the stack top — hence, the whole stack — at 0.
+fn splice_boundary(cur: &TokenView<'_>, next: &TokenView<'_>) -> bool {
+    matches!(cur.kind(), TokenKind::Newline)
+        && cur.end == cur.start + 1
+        && next.token.col == 0
+        && next.end > next.start
+        && !matches!(next.kind(), TokenKind::Comment(_))
+}
+
+fn count_newlines(bytes: &[u8]) -> usize {
+    bytes.iter().filter(|&&b| b == b'\n').count()
 }
 
 /// Appends synthetic layers for constants the taint engine folded out
@@ -383,7 +830,7 @@ mod tests {
         assert!(a.is_python);
         assert!(!a.tokens.is_empty());
         let module = a.module.as_ref().expect("parsed module");
-        assert_eq!(module.body.len(), 3);
+        assert_eq!(module.get().body.len(), 3);
         assert!(a.strings.literals.contains(&"bexlum.top".to_owned()));
         assert!(a.yara_hits.is_none(), "no scanner supplied");
     }
@@ -545,6 +992,227 @@ mod tests {
             a.layers.iter().all(|l| l.encoding != LayerEncoding::Folded),
             "unexpected folded layers: {:?}",
             a.layers
+        );
+    }
+
+    /// Field-by-field artifact equality: the splice contract is that a
+    /// spliced artifact is indistinguishable from a full build.
+    fn assert_identical(a: &FileAnalysis, b: &FileAnalysis) {
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.is_python, b.is_python);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.tokens, b.tokens, "token streams diverge");
+        assert_eq!(
+            a.tokens.to_vec(),
+            b.tokens.to_vec(),
+            "materialized token streams diverge"
+        );
+        assert_eq!(
+            a.module.as_ref().map(|m| m.get()),
+            b.module.as_ref().map(|m| m.get()),
+            "modules diverge"
+        );
+        assert_eq!(a.strings, b.strings, "string tables diverge");
+        assert_eq!(a.layers, b.layers, "decoded layers diverge");
+        assert_eq!(a.yara_hits, b.yara_hits, "surface hits diverge");
+        assert_eq!(a.layer_hits, b.layer_hits, "layer hits diverge");
+        assert_eq!(a.taint, b.taint, "taint summaries diverge");
+    }
+
+    /// Builds the sibling from `old_code`, attempts a splice to
+    /// `new_code`, and — when the splice engages — checks it against a
+    /// full build of the new content. Returns whether it engaged.
+    fn splice_vs_full(old_code: &str, new_code: &str, scanner: Option<&Scanner<'_>>) -> bool {
+        let cfg = ArtifactConfig::default();
+        let sibling = FileAnalysis::build(&entry("mod.py", old_code), scanner, &cfg);
+        let new_entry = entry("mod.py", new_code);
+        match FileAnalysis::build_spliced(&new_entry, &sibling, scanner, &cfg) {
+            Some(spliced) => {
+                let full = FileAnalysis::build(&new_entry, scanner, &cfg);
+                assert_identical(&spliced.analysis, &full);
+                assert!(spliced.relexed_bytes <= new_code.len() as u64);
+                true
+            }
+            None => false,
+        }
+    }
+
+    const SPLICE_BASE: &str = "import os\nimport base64\n\nA = 'alpha'\nB = 'beta'\n\ndef handler(arg):\n    data = arg.strip()\n    return data\n\nif A:\n    os.system('echo hi')\n\nC = A + B\nprint(C)\nD = 'delta'\nE2 = len(D)\nF = D + A\nG = C + D\nH = F + G\nprint(H)\n";
+
+    #[test]
+    fn splice_reproduces_full_build_on_one_line_bump() {
+        let bumped = SPLICE_BASE.replace("B = 'beta'", "B = 'beta-2'");
+        assert!(splice_vs_full(SPLICE_BASE, &bumped, None), "bump fell back");
+    }
+
+    #[test]
+    fn splice_handles_first_line_and_eof_edits() {
+        // First line: the window starts at offset 0 with an empty prefix.
+        let first = SPLICE_BASE.replace("import os", "import os.path");
+        assert!(splice_vs_full(SPLICE_BASE, &first, None));
+        // Last line: no boundary after the edit, window runs to EOF.
+        let last = SPLICE_BASE.replace("print(C)", "print(C, B)");
+        assert!(splice_vs_full(SPLICE_BASE, &last, None));
+    }
+
+    #[test]
+    fn splice_handles_insertions_and_deletions() {
+        // Pure insertion at a statement boundary.
+        let inserted = SPLICE_BASE.replace("C = A + B\n", "C = A + B\nD = C * 2\n");
+        assert!(splice_vs_full(SPLICE_BASE, &inserted, None));
+        // Whole-line deletion: the suffix shifts up by one line.
+        let deleted = SPLICE_BASE.replace("B = 'beta'\n", "");
+        assert!(splice_vs_full(SPLICE_BASE, &deleted, None));
+    }
+
+    #[test]
+    fn splice_strips_the_synthetic_newline_of_a_comment_tail_window() {
+        // Replacing a statement with a comment line makes the relexed
+        // window end in a comment: its close-out emits a width-zero
+        // NEWLINE the full lexer would not have mid-stream.
+        let commented = SPLICE_BASE.replace("C = A + B", "# patched out");
+        assert!(splice_vs_full(SPLICE_BASE, &commented, None));
+    }
+
+    #[test]
+    fn splice_handles_statement_straddling_edits() {
+        // The edit replaces the tail of a suite AND the statement after
+        // it — the window must widen to cover both.
+        let straddle = SPLICE_BASE.replace(
+            "    return data\n\nif A:",
+            "    return data.lower()\n\nwhile A:",
+        );
+        assert!(splice_vs_full(SPLICE_BASE, &straddle, None));
+        // Indent-level change inside the suite.
+        let reindent = SPLICE_BASE.replace(
+            "    data = arg.strip()\n",
+            "    if arg:\n        data = arg.strip()\n",
+        );
+        assert!(splice_vs_full(SPLICE_BASE, &reindent, None));
+    }
+
+    #[test]
+    fn splice_recomputes_layers_and_hits_for_obfuscation_mutants() {
+        let rules = yara_engine::compile("rule sys { strings: $a = \"os.system\" condition: $a }")
+            .expect("compile");
+        let scanner = Scanner::new(&rules);
+        let v1 = digest::base64::encode(b"import os;os.system('id')");
+        let v2 = digest::base64::encode(b"import os;os.system('curl http://bexlum.top')");
+        let filler: String = (0..8).map(|i| format!("pad_{i} = {i} * {i}\n")).collect();
+        let old_code =
+            format!("import base64\n{filler}blob = '{v1}'\nrun(base64.b64decode(blob))\n");
+        let new_code = old_code.replace(&v1, &v2);
+        assert!(
+            splice_vs_full(&old_code, &new_code, Some(&scanner)),
+            "payload swap fell back"
+        );
+    }
+
+    #[test]
+    fn splice_falls_back_when_not_provably_clean() {
+        let cfg = ArtifactConfig::default();
+        let sibling = analyze(SPLICE_BASE);
+        // An edit that opens a bracket leaves the relexed window without
+        // a statement boundary at its end.
+        let unclosed = SPLICE_BASE.replace("C = A + B", "C = (A,");
+        assert!(
+            FileAnalysis::build_spliced(&entry("mod.py", &unclosed), &sibling, None, &cfg)
+                .is_none(),
+            "unclosed bracket must fall back"
+        );
+        // Rewriting more than half the file fails the profitability gate.
+        let rewrite = format!("Z = 0\n{}", "Y = 1\n".repeat(40));
+        assert!(
+            FileAnalysis::build_spliced(&entry("mod.py", &rewrite), &sibling, None, &cfg).is_none(),
+            "wholesale rewrite must fall back"
+        );
+        // Non-Python entries never splice.
+        assert!(FileAnalysis::build_spliced(
+            &entry("PKG-INFO", "Version: 2\n"),
+            &sibling,
+            None,
+            &cfg
+        )
+        .is_none());
+        // Invalid UTF-8 on either side falls back (spans index decoded
+        // text, and lossy decoding changes byte widths).
+        let bad = FileEntry::new("mod.py", vec![0xff, 0xfe, b'\n']);
+        assert!(FileAnalysis::build_spliced(&bad, &sibling, None, &cfg).is_none());
+        let bad_sibling = FileAnalysis::build(&bad, None, &cfg);
+        assert!(FileAnalysis::build_spliced(
+            &entry("mod.py", SPLICE_BASE),
+            &bad_sibling,
+            None,
+            &cfg
+        )
+        .is_none());
+    }
+
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+    }
+
+    /// The differential property at the heart of the feature: over a
+    /// stream of random edits (replacements, insertions, deletions —
+    /// including ones that land mid-token, mid-string or mid-suite),
+    /// every engaged splice must reproduce the full build exactly, and
+    /// enough edits must engage for the fast path to matter.
+    #[test]
+    fn splice_differential_over_random_edit_stream() {
+        let fragments: &[&str] = &[
+            "",
+            "x9 = 1\n",
+            "zz",
+            "'s'",
+            "  ",
+            "# note\n",
+            "q = base64.b64decode(A)\n",
+            "(",
+            "\n",
+            "def g():\n    pass\n",
+            "'bexlum",
+        ];
+        let mut rng = XorShift(0x1234_5678_9abc_def0);
+        let mut engaged = 0usize;
+        let mut current = SPLICE_BASE.to_owned();
+        for round in 0..300 {
+            let pos = rng.below(current.len());
+            let cut = rng.below(12).min(current.len() - pos);
+            let frag = fragments[rng.below(fragments.len())];
+            if !current.is_char_boundary(pos) || !current.is_char_boundary(pos + cut) {
+                continue;
+            }
+            let edited = format!("{}{}{}", &current[..pos], frag, &current[pos + cut..]);
+            if edited == current {
+                continue;
+            }
+            if splice_vs_full(&current, &edited, None) {
+                engaged += 1;
+            }
+            // Chain versions like a registry stream, resetting whenever
+            // the mutations have shredded the file into noise.
+            current = if round % 7 == 6 {
+                SPLICE_BASE.to_owned()
+            } else {
+                edited
+            };
+        }
+        assert!(
+            engaged >= 40,
+            "splice engaged on only {engaged}/300 random edits"
         );
     }
 

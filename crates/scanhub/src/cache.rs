@@ -55,6 +55,20 @@ impl<V: Clone> LruCache<V> {
         self.map.len()
     }
 
+    /// Iterates over the resident values in unspecified order, without
+    /// touching recency. Powers point-in-time gauges over cache contents
+    /// (the hub's `artifact_bytes_resident`).
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.map.values().map(|(value, _)| value)
+    }
+
+    /// Looks up `digest` without refreshing its recency. Sibling lookups
+    /// on the splice path use this: reading an old version to diff
+    /// against must not keep it alive over genuinely hot entries.
+    pub fn peek(&self, digest: &DigestKey) -> Option<&V> {
+        self.map.get(digest).map(|(value, _)| value)
+    }
+
     /// Looks up `digest`, refreshing its recency on a hit.
     pub fn get(&mut self, digest: &DigestKey) -> Option<V> {
         self.tick += 1;
@@ -311,6 +325,21 @@ mod tests {
             );
             assert!(cache.map.len() <= 16, "residency exceeds capacity");
         }
+    }
+
+    #[test]
+    fn values_and_peek_leave_recency_alone() {
+        let mut cache = VerdictCache::new(2);
+        cache.insert(key(b'a'), verdict("ra"));
+        cache.insert(key(b'b'), verdict("rb"));
+        // Peeking `a` and iterating values must NOT refresh `a`: the
+        // next insert still evicts it as the least recently used.
+        assert!(cache.peek(&key(b'a')).is_some());
+        assert_eq!(cache.values().count(), 2);
+        cache.insert(key(b'c'), verdict("rc"));
+        assert!(cache.peek(&key(b'a')).is_none(), "peek refreshed recency");
+        assert!(cache.peek(&key(b'b')).is_some());
+        assert!(cache.peek(&key(b'z')).is_none());
     }
 
     #[test]

@@ -218,6 +218,9 @@ struct HubTelemetry {
     queue: Arc<Histogram>,
     cache: Arc<Histogram>,
     artifact: Arc<Histogram>,
+    /// Incremental diff-and-splice builds. Samples are nested inside
+    /// `artifact` laps (a splice is one way an artifact build resolves).
+    splice: Arc<Histogram>,
     prefilter: Arc<Histogram>,
     yara: Arc<Histogram>,
     layers: Arc<Histogram>,
@@ -243,6 +246,7 @@ impl HubTelemetry {
             queue: stage("queue"),
             cache: stage("cache"),
             artifact: stage("artifact"),
+            splice: stage("splice"),
             prefilter: stage("prefilter"),
             yara: stage("yara"),
             layers: stage("layers"),
@@ -273,6 +277,7 @@ impl HubTelemetry {
             (&self.queue, stages.queue),
             (&self.cache, stages.cache),
             (&self.artifact, stages.artifact),
+            (&self.splice, stages.splice),
             (&self.prefilter, stages.prefilter),
             (&self.yara, stages.yara),
             (&self.layers, stages.layers),
@@ -305,6 +310,7 @@ impl HubTelemetry {
             queue: stat(&self.queue),
             cache: stat(&self.cache),
             artifact: stat(&self.artifact),
+            splice: stat(&self.splice),
             prefilter: stat(&self.prefilter),
             yara: stat(&self.yara),
             layers: stat(&self.layers),
@@ -331,6 +337,17 @@ struct ArtifactStore {
     /// together with `cache` — publish inserts into the cache, drops
     /// that guard, then updates the index with the eviction report.
     retro: Option<Mutex<RetroIndex>>,
+    /// Sibling registry: file name (registry-relative path) → digest of
+    /// the newest artifact built under that name. On a digest miss the
+    /// hub looks the name up here and, if the previous version is still
+    /// cache-resident, builds the new artifact by diff-and-splice
+    /// instead of a full reparse. Names are a hint, never an identity:
+    /// a stale or evicted mapping only costs a full build. Bounded by
+    /// periodic pruning against cache residency (see
+    /// [`ArtifactStore::record_sibling`]).
+    siblings: Mutex<std::collections::HashMap<String, DigestKey>>,
+    /// Artifact-cache capacity, kept for sibling-registry pruning.
+    capacity: usize,
 }
 
 enum InflightState {
@@ -391,6 +408,39 @@ impl ArtifactStore {
             cache: Mutex::new(ArtifactCache::new(capacity)),
             inflight: Mutex::new(std::collections::HashMap::new()),
             retro: retro_index.then(|| Mutex::new(RetroIndex::new())),
+            siblings: Mutex::new(std::collections::HashMap::new()),
+            capacity,
+        }
+    }
+
+    /// The cache-resident artifact previously built under this file
+    /// name, if any — the splice donor for the next version of the same
+    /// file. Uses [`LruCache::peek`] so sibling reads never refresh
+    /// recency: an old version must not be kept alive over hot entries
+    /// just because new versions keep diffing against it.
+    fn sibling(&self, name: &str) -> Option<Arc<FileAnalysis>> {
+        let digest = *self
+            .siblings
+            .lock()
+            .expect("sibling registry lock")
+            .get(name)?;
+        self.cache
+            .lock()
+            .expect("artifact cache lock")
+            .peek(&digest)
+            .cloned()
+    }
+
+    /// Records `digest` as the newest artifact built under `name`.
+    /// When the registry outgrows cache residency by 4x (names whose
+    /// digests were long since evicted), drops every mapping that no
+    /// longer points at a resident artifact.
+    fn record_sibling(&self, name: &str, digest: DigestKey) {
+        let mut siblings = self.siblings.lock().expect("sibling registry lock");
+        siblings.insert(name.to_owned(), digest);
+        if siblings.len() > self.capacity.saturating_mul(4).max(16) {
+            let cache = self.cache.lock().expect("artifact cache lock");
+            siblings.retain(|_, d| cache.peek(d).is_some());
         }
     }
 
@@ -738,8 +788,24 @@ impl ScanHub {
         let (atoms, digests) = self.retro_index_size();
         stats.retro_index_atoms = atoms;
         stats.retro_index_digests = digests;
+        stats.artifact_bytes_resident = self.artifact_bytes_resident();
         stats.engine = textmatch::engine_counters();
         stats
+    }
+
+    /// Estimated heap bytes of every artifact resident in the artifact
+    /// cache (sum of per-artifact [`FileAnalysis::stored_bytes`]); 0
+    /// when the cache is disabled. A point-in-time gauge — capacity
+    /// bounds entry count, this reports what those entries weigh.
+    pub fn artifact_bytes_resident(&self) -> u64 {
+        self.shared.artifacts.as_ref().map_or(0, |s| {
+            s.cache
+                .lock()
+                .expect("artifact cache lock")
+                .values()
+                .map(|a| a.stored_bytes() as u64)
+                .sum()
+        })
     }
 
     /// Current retro-index size as `(indexed terms, live digests)` —
@@ -840,6 +906,21 @@ impl ScanHub {
                 "scanhub_artifact_cache_hits_total",
                 "File entries served from the artifact cache",
                 stats.artifact_cache_hits,
+            ),
+            (
+                "scanhub_incremental_relexes_total",
+                "Artifacts built by diff-and-splice against a cached sibling",
+                stats.incremental_relexes,
+            ),
+            (
+                "scanhub_splice_fallbacks_total",
+                "Splice attempts that fell back to a full reparse",
+                stats.splice_fallbacks,
+            ),
+            (
+                "scanhub_relexed_bytes_total",
+                "Bytes re-lexed by incremental splice windows",
+                stats.relexed_bytes,
             ),
             (
                 "scanhub_layers_decoded_total",
@@ -971,6 +1052,11 @@ impl ScanHub {
             "File artifacts currently cached",
         )
         .set(self.cached_artifacts() as i64);
+        reg.gauge(
+            "scanhub_artifact_bytes_resident",
+            "Estimated heap bytes of all cache-resident file artifacts",
+        )
+        .set(self.artifact_bytes_resident() as i64);
         reg.gauge(
             "scanhub_flight_recorder_traces",
             "Scan traces currently held in the flight recorder",
@@ -1201,16 +1287,21 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
 /// pays more than the seed's routed scan did; every repeat pays
 /// nothing. Routing still gates condition evaluation and the Semgrep
 /// walk downstream.
+/// Get-or-build every file's analysis artifact. Returns the nanoseconds
+/// spent in splice attempts (0 when telemetry is off) — nested inside
+/// the caller's `artifact` lap, reported as the `splice` stage.
 fn gather_artifacts(
     shared: &Shared,
     scanner: Option<&Scanner<'_>>,
     request: &ScanRequest,
     out: &mut Vec<Arc<FileAnalysis>>,
-) {
+) -> u64 {
     let c = &shared.counters;
-    let build = |entry| {
-        HubCounters::add(&c.artifact_parses, 1);
-        let built = Arc::new(FileAnalysis::build(entry, scanner, &shared.artifact_config));
+    // Downstream-product accounting shared by the full-build and splice
+    // paths: a spliced artifact recomputes layers, taint and regex hits
+    // from scratch (only lex/parse is incremental), so it bumps the
+    // same work counters.
+    let tally = |built: &Arc<FileAnalysis>| {
         if let Some(taint) = &built.taint {
             HubCounters::add(&c.taint_analyses, 1);
             HubCounters::add(&c.flows_found, taint.flows.len() as u64);
@@ -1230,8 +1321,15 @@ fn gather_artifacts(
             );
             HubCounters::add(&c.regex_bytes_scanned, hits.metrics.regex_bytes_scanned);
         }
+    };
+    let build = |entry| {
+        HubCounters::add(&c.artifact_parses, 1);
+        let built = Arc::new(FileAnalysis::build(entry, scanner, &shared.artifact_config));
+        tally(&built);
         built
     };
+    let timing = shared.telemetry.enabled();
+    let mut splice_ns = 0u64;
     out.clear();
     for entry in request.files() {
         let artifact = match &shared.artifacts {
@@ -1242,14 +1340,46 @@ fn gather_artifacts(
                     artifact
                 }
                 Err(claim) => {
-                    let built = build(entry);
+                    // Digest miss: before paying a full reparse, try to
+                    // splice the edit into the cache-resident previous
+                    // version of the same file (ISSUE 10). Non-Python
+                    // siblings are not splice candidates and count
+                    // neither as relexes nor as fallbacks.
+                    let spliced = store.sibling(entry.name()).and_then(|sibling| {
+                        let started = timing.then(Instant::now);
+                        let result = FileAnalysis::build_spliced(
+                            entry,
+                            &sibling,
+                            scanner,
+                            &shared.artifact_config,
+                        );
+                        if let Some(at) = started {
+                            splice_ns += at.elapsed().as_nanos() as u64;
+                        }
+                        if result.is_none() && sibling.is_python {
+                            HubCounters::add(&c.splice_fallbacks, 1);
+                        }
+                        result
+                    });
+                    let built = match spliced {
+                        Some(spliced) => {
+                            HubCounters::add(&c.incremental_relexes, 1);
+                            HubCounters::add(&c.relexed_bytes, spliced.relexed_bytes);
+                            let built = Arc::new(spliced.analysis);
+                            tally(&built);
+                            built
+                        }
+                        None => build(entry),
+                    };
                     claim.publish(&built);
+                    store.record_sibling(entry.name(), entry.digest());
                     built
                 }
             },
         };
         out.push(artifact);
     }
+    splice_ns
 }
 
 fn scan_job(
@@ -1275,7 +1405,7 @@ fn scan_job(
     // Phase 1: get-or-build every file's analysis artifact. This is the
     // only phase that touches file bytes; a warm artifact cache makes a
     // re-uploaded package version re-analyze only its changed files.
-    gather_artifacts(shared, scanner, request, artifacts);
+    stages.splice = gather_artifacts(shared, scanner, request, artifacts);
     stages.artifact = clock.lap();
     // Phase 2: route the package from the artifacts (raw bytes, decoded
     // layers, Python sources).
@@ -1367,7 +1497,7 @@ fn scan_job(
                 };
                 findings.clear();
                 metrics.absorb(matcher.match_module_set_into(
-                    module,
+                    module.get(),
                     |ri| routing.semgrep[ri],
                     semgrep_scratch,
                     findings,
@@ -1512,6 +1642,106 @@ rule b64 { strings: $re = /[A-Za-z0-9+\/]{16,}/ condition: $re }
         fn v2_clone() -> FileEntry {
             FileEntry::new("pkg/__init__.py", b"VERSION = '1.1'\n".to_vec())
         }
+    }
+
+    /// A token-dense module long enough that a one-line edit is a small
+    /// fraction of the file — the shape version bumps actually take.
+    fn versioned_body(marker: &str) -> String {
+        let mut code = String::from("import os\nimport socket\n");
+        for i in 0..12 {
+            code.push_str(&format!("pad_{i} = {i} * {i} + len('padding')\n"));
+        }
+        code.push_str(&format!("payload = '{marker}'\n"));
+        for i in 12..24 {
+            code.push_str(&format!("pad_{i} = pad_{} - {i}\n", i - 12));
+        }
+        code
+    }
+
+    #[test]
+    fn version_bumps_splice_instead_of_reparsing() {
+        let hub = hub(HubConfig {
+            cache_capacity: 0, // force full scans so the artifact path runs
+            ..HubConfig::default()
+        });
+        let v1 = hub.submit(request(&versioned_body("v1"))).wait();
+        assert!(!v1.flagged());
+        // The bump plants an IOC inside the edited line: the spliced
+        // artifact recomputes every downstream product, so the new
+        // payload must be caught, not masked by the sibling's hits.
+        let v2_code = versioned_body("v2: os.system(x)");
+        let v2 = hub.submit(request(&v2_code)).wait();
+        assert!(
+            v2.yara.contains(&"sys".to_owned()),
+            "splice hid a planted IOC"
+        );
+        let stats = hub.stats();
+        assert_eq!(stats.incremental_relexes, 1, "one-line bump must splice");
+        assert_eq!(stats.splice_fallbacks, 0);
+        assert_eq!(stats.artifact_parses, 1, "v2 paid no full reparse");
+        assert!(
+            stats.relexed_bytes > 0 && stats.relexed_bytes < v2_code.len() as u64 / 2,
+            "splice relexed {} of {} bytes",
+            stats.relexed_bytes,
+            v2_code.len()
+        );
+        // The splice shows up as its own (artifact-nested) stage, and
+        // the residency gauge sees both cached versions.
+        assert!(stats.latency.splice.count >= 1);
+        assert!(stats.artifact_bytes_resident > v2_code.len() as u64);
+        // Byte-identical verdict to a cold hub that never saw v1.
+        let cold_hub = self::hub(HubConfig::default());
+        let cold = cold_hub.submit(request(&v2_code)).wait();
+        assert!(
+            v2.same_matches(&cold),
+            "spliced verdict diverged from cold build"
+        );
+    }
+
+    #[test]
+    fn unspliceable_edits_fall_back_and_are_counted() {
+        let hub = hub(HubConfig {
+            cache_capacity: 0,
+            ..HubConfig::default()
+        });
+        let _ = hub.submit(request(&versioned_body("v1"))).wait();
+        // A wholesale rewrite shares nothing with the sibling: the diff
+        // window spans the file and splicing is not profitable.
+        let v = hub.submit(request("rewritten = 'from scratch'\n")).wait();
+        assert!(!v.flagged());
+        let stats = hub.stats();
+        assert_eq!(stats.incremental_relexes, 0);
+        assert_eq!(stats.splice_fallbacks, 1);
+        assert_eq!(stats.artifact_parses, 2, "fallback pays the full build");
+        // Non-Python files are never splice candidates, so their
+        // version bumps are not counted as fallbacks.
+        for version in ["Metadata-Version: 1.0\n", "Metadata-Version: 1.1\n"] {
+            let entry = FileEntry::new("PKG-INFO", version.as_bytes().to_vec());
+            let _ = hub.submit(ScanRequest::from_files(vec![entry])).wait();
+        }
+        assert_eq!(hub.stats().splice_fallbacks, 1, "non-Python bump counted");
+        assert_eq!(hub.stats().incremental_relexes, 0);
+    }
+
+    #[test]
+    fn exports_carry_the_splice_counters_and_residency_gauge() {
+        let hub = hub(HubConfig {
+            cache_capacity: 0,
+            ..HubConfig::default()
+        });
+        let _ = hub.submit(request(&versioned_body("v1"))).wait();
+        let _ = hub.submit(request(&versioned_body("v2"))).wait();
+        let text = hub.export_prometheus();
+        telemetry::validate_prometheus(&text).expect("valid exposition format");
+        assert!(text.contains("scanhub_incremental_relexes_total 1"));
+        assert!(text.contains("scanhub_splice_fallbacks_total 0"));
+        assert!(text.contains("scanhub_relexed_bytes_total"));
+        assert!(text.contains("scanhub_artifact_bytes_resident"));
+        assert!(text.contains("stage=\"splice\""));
+        let json = hub.export_json().to_string();
+        assert!(json.contains("scanhub_incremental_relexes_total"));
+        assert!(json.contains("scanhub_relexed_bytes_total"));
+        assert!(json.contains("scanhub_artifact_bytes_resident"));
     }
 
     #[test]

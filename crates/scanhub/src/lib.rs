@@ -84,7 +84,7 @@ mod stats;
 mod trace;
 mod verdict;
 
-pub use artifact::{ArtifactConfig, DecodedLayer, FileAnalysis, LayerEncoding};
+pub use artifact::{ArtifactConfig, DecodedLayer, FileAnalysis, LayerEncoding, LazyModule};
 pub use cache::DigestKey;
 pub use hub::{HubConfig, ScanHub, Ticket};
 pub use prefilter::{

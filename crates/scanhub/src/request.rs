@@ -8,7 +8,7 @@
 //! buffer plus owned source strings — which doubled the resident size
 //! of every queued Python-heavy upload.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use oss_registry::Package;
 
@@ -19,11 +19,24 @@ use crate::cache::DigestKey;
 ///
 /// Bytes are reference-counted so cloning a request (queueing, caching,
 /// artifact building) never copies file content.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct FileEntry {
     name: String,
     bytes: Arc<Vec<u8>>,
+    /// Lazily computed content digest, shared across clones. The bytes
+    /// are immutable once the entry exists, so the first hash serves
+    /// every later cache lookup, sibling registration and re-submission
+    /// of the same entry.
+    digest: Arc<OnceLock<DigestKey>>,
 }
+
+impl PartialEq for FileEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.bytes == other.bytes
+    }
+}
+
+impl Eq for FileEntry {}
 
 impl FileEntry {
     /// Creates an entry from a file name and its raw bytes.
@@ -31,6 +44,7 @@ impl FileEntry {
         FileEntry {
             name: name.into(),
             bytes: Arc::new(bytes),
+            digest: Arc::new(OnceLock::new()),
         }
     }
 
@@ -63,10 +77,12 @@ impl FileEntry {
     /// bytes named `a.txt`), but *not* the full name: the same source
     /// file shipped in two packages shares one artifact.
     pub fn digest(&self) -> DigestKey {
-        let mut hasher = digest::Sha256::new();
-        hasher.update(&[u8::from(self.is_python())]);
-        hasher.update(&self.bytes);
-        hasher.finalize()
+        *self.digest.get_or_init(|| {
+            let mut hasher = digest::Sha256::new();
+            hasher.update(&[u8::from(self.is_python())]);
+            hasher.update(&self.bytes);
+            hasher.finalize()
+        })
     }
 }
 

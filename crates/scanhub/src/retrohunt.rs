@@ -523,7 +523,7 @@ pub(crate) fn confirm_scan(
             if task.semgrep_mask.iter().any(|&b| b) {
                 findings.clear();
                 matcher.match_module_set_into(
-                    module,
+                    module.get(),
                     |ri| task.semgrep_mask[ri],
                     &mut semgrep_scratch,
                     &mut findings,

@@ -25,6 +25,9 @@ pub(crate) struct HubCounters {
     pub semgrep_pattern_reparses: AtomicU64,
     pub artifact_parses: AtomicU64,
     pub artifact_cache_hits: AtomicU64,
+    pub incremental_relexes: AtomicU64,
+    pub splice_fallbacks: AtomicU64,
+    pub relexed_bytes: AtomicU64,
     pub layers_decoded: AtomicU64,
     pub layer_bytes_scanned: AtomicU64,
     pub taint_analyses: AtomicU64,
@@ -59,6 +62,10 @@ impl HubCounters {
             semgrep_pattern_reparses: load(&self.semgrep_pattern_reparses),
             artifact_parses: load(&self.artifact_parses),
             artifact_cache_hits: load(&self.artifact_cache_hits),
+            incremental_relexes: load(&self.incremental_relexes),
+            splice_fallbacks: load(&self.splice_fallbacks),
+            relexed_bytes: load(&self.relexed_bytes),
+            artifact_bytes_resident: 0,
             layers_decoded: load(&self.layers_decoded),
             layer_bytes_scanned: load(&self.layer_bytes_scanned),
             taint_analyses: load(&self.taint_analyses),
@@ -123,6 +130,23 @@ pub struct HubStats {
     /// File entries served by the content-addressed artifact cache
     /// (no lexing, parsing or byte scanning performed).
     pub artifact_cache_hits: u64,
+    /// Artifact-cache misses resolved by splicing the edit into a
+    /// cached sibling (a previous version of the same file) — only the
+    /// changed window was re-lexed, only the statements intersecting it
+    /// re-parsed. A spliced artifact is byte-for-byte identical to a
+    /// full build; these subtract from `artifact_parses`' full-reparse
+    /// cost, not from its correctness contract.
+    pub incremental_relexes: u64,
+    /// Splice attempts that had a Python sibling but bailed to a full
+    /// build (suite-level edit, unterminated construct at the window
+    /// end, edit bigger than half the file, non-UTF-8 content).
+    /// Misses with no sibling — first sight of a path — are not
+    /// attempts and are not counted here.
+    pub splice_fallbacks: u64,
+    /// Bytes of new content covered by incremental relex windows; the
+    /// gap to the spliced files' total size is lexing the splice path
+    /// avoided.
+    pub relexed_bytes: u64,
     /// Decoded payload layers extracted while building artifacts.
     pub layers_decoded: u64,
     /// Bytes of decoded-layer content run through the YARA string scan
@@ -150,6 +174,11 @@ pub struct HubStats {
     pub retro_index_atoms: u64,
     /// Content digests currently resident in the retro index.
     pub retro_index_digests: u64,
+    /// Estimated heap bytes of all artifacts resident in the artifact
+    /// cache (sum of per-artifact `stored_bytes`). A gauge overlaid at
+    /// snapshot time like the retro-index gauges; 0 when the artifact
+    /// cache is disabled.
+    pub artifact_bytes_resident: u64,
     /// Matching-tier counters from the `textmatch` engine (Teddy
     /// prefilter, lazy DFA, Pike VM / Aho-Corasick fallbacks).
     /// Process-global and monotonic, unlike the per-hub counters above.
@@ -213,6 +242,10 @@ pub struct StageLatencies {
     pub cache: LatencyStat,
     /// Artifact get-or-build (parse, intern, layer decode, byte scan).
     pub artifact: LatencyStat,
+    /// Incremental diff-and-splice builds (nested **inside** `artifact`
+    /// samples: a splice is one way an artifact build resolves, so this
+    /// stage is excluded from disjoint-stage sums).
+    pub splice: LatencyStat,
     /// Literal prefilter routing.
     pub prefilter: LatencyStat,
     /// YARA surface condition evaluation.
@@ -235,11 +268,12 @@ pub struct StageLatencies {
 
 impl StageLatencies {
     /// Stage names paired with their stats, pipeline order, `scan` last.
-    pub fn named(&self) -> [(&'static str, LatencyStat); 12] {
+    pub fn named(&self) -> [(&'static str, LatencyStat); 13] {
         [
             ("queue", self.queue),
             ("cache", self.cache),
             ("artifact", self.artifact),
+            ("splice", self.splice),
             ("prefilter", self.prefilter),
             ("yara", self.yara),
             ("layers", self.layers),
@@ -282,6 +316,14 @@ impl fmt::Display for HubStats {
         row(f, "bytes_scanned", self.bytes_scanned)?;
         row(f, "artifact_parses", self.artifact_parses)?;
         row(f, "artifact_cache_hits", self.artifact_cache_hits)?;
+        if self.incremental_relexes + self.splice_fallbacks > 0 {
+            row(f, "incremental_relexes", self.incremental_relexes)?;
+            row(f, "splice_fallbacks", self.splice_fallbacks)?;
+            row(f, "relexed_bytes", self.relexed_bytes)?;
+        }
+        if self.artifact_bytes_resident > 0 {
+            row(f, "artifact_bytes_resident", self.artifact_bytes_resident)?;
+        }
         row(f, "layers_decoded", self.layers_decoded)?;
         row(f, "layer_bytes_scanned", self.layer_bytes_scanned)?;
         row(f, "taint_analyses", self.taint_analyses)?;

@@ -15,8 +15,10 @@ use std::fmt;
 use crate::verdict::Verdict;
 
 /// Wall time spent in each pipeline stage of one request, in
-/// nanoseconds. Stages are disjoint intervals, so their sum is at most
-/// the request's total wall time (the property suite pins this).
+/// nanoseconds. Stages are disjoint intervals — except `splice`, which
+/// is nested inside `artifact` and therefore excluded from
+/// [`StageNanos::total`] — so the total is at most the request's wall
+/// time (the property suite pins this).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StageNanos {
     /// Time the job sat in the bounded submission queue.
@@ -26,6 +28,10 @@ pub struct StageNanos {
     /// Artifact get-or-build (lex, parse, string intern, layer decode,
     /// ruleset byte scan — or one cache lookup per file when warm).
     pub artifact: u64,
+    /// Incremental diff-and-splice artifact builds. Nested **inside**
+    /// `artifact` (a splice is one way a build resolves), so it is
+    /// reported but never added to the disjoint-stage total.
+    pub splice: u64,
     /// Literal prefilter routing over bytes and decoded layers.
     pub prefilter: u64,
     /// YARA condition evaluation over the surface hit sets.
@@ -44,11 +50,12 @@ pub struct StageNanos {
 
 impl StageNanos {
     /// The stage names in pipeline order, paired with their values.
-    pub fn named(&self) -> [(&'static str, u64); 9] {
+    pub fn named(&self) -> [(&'static str, u64); 10] {
         [
             ("queue", self.queue),
             ("cache", self.cache),
             ("artifact", self.artifact),
+            ("splice", self.splice),
             ("prefilter", self.prefilter),
             ("yara", self.yara),
             ("layers", self.layers),
@@ -58,9 +65,14 @@ impl StageNanos {
         ]
     }
 
-    /// Sum over all stages (≤ the request's wall time).
+    /// Sum over the disjoint stages (≤ the request's wall time).
+    /// `splice` is excluded: its samples are already inside `artifact`.
     pub fn total(&self) -> u64 {
-        self.named().iter().map(|(_, v)| v).sum()
+        self.named()
+            .iter()
+            .filter(|(name, _)| *name != "splice")
+            .map(|(_, v)| v)
+            .sum()
     }
 }
 
@@ -285,6 +297,7 @@ mod tests {
             queue: 10,
             cache: 1,
             artifact: 500,
+            splice: 450,
             prefilter: 20,
             yara: 100,
             layers: 30,
@@ -292,6 +305,8 @@ mod tests {
             dataflow: 40,
             verdict: 5,
         };
+        // `splice` is nested inside `artifact` and must not inflate the
+        // disjoint-stage sum.
         assert_eq!(stages.total(), 906);
         let names: Vec<&str> = stages.named().iter().map(|(n, _)| *n).collect();
         assert_eq!(
@@ -300,6 +315,7 @@ mod tests {
                 "queue",
                 "cache",
                 "artifact",
+                "splice",
                 "prefilter",
                 "yara",
                 "layers",

@@ -1,0 +1,201 @@
+//! Differential property suite for incremental artifacts (ISSUE 10):
+//! diff-and-splice relexing may change *how* an artifact gets built,
+//! never *what* it contains. A hub that splices version bumps against
+//! cached siblings must return verdicts byte-identical to a cold hub
+//! that full-parses every version, the splice counters must account for
+//! every build, and spliced artifacts must post the same retro-hunt
+//! index grams — a retro-hunt over spliced history must agree with the
+//! exhaustive rescan oracle.
+
+use proptest::prelude::*;
+use scanhub::{FileEntry, HubConfig, ScanHub, ScanRequest};
+
+const YARA: &str = r#"
+rule shell { strings: $a = "os.system" condition: $a }
+rule net { strings: $a = "socket.socket" condition: $a }
+rule b64ish { strings: $re = /[A-Za-z0-9+\/]{24,}/ condition: $re }
+"#;
+
+const SEMGREP: &str = "rules:
+  - id: sys-exec
+    languages: [python]
+    message: shell execution
+    pattern: os.system($CMD)
+";
+
+fn hub(artifact_capacity: usize) -> ScanHub {
+    ScanHub::new(
+        Some(yara_engine::compile(YARA).expect("yara")),
+        Some(semgrep_engine::compile(SEMGREP).expect("semgrep")),
+        HubConfig {
+            // One worker: releases are analyzed in version order, so
+            // every bump finds its predecessor already cached — the
+            // deterministic splice-rate floor the assertions pin. (With
+            // racing workers a bump can beat its own sibling into the
+            // cache and legitimately full-parse; correctness under that
+            // race is covered by the multi-worker property suite.)
+            workers: 1,
+            cache_capacity: 0, // force full scans so the artifact path runs
+            artifact_cache_capacity: artifact_capacity,
+            ..HubConfig::default()
+        },
+    )
+}
+
+/// A token-dense Python module of `lines` statements where statement
+/// `k` carries `marker` — the realistic shape of a package source that
+/// gets one line touched per release.
+fn module(file: usize, lines: usize, k: usize, marker: &str) -> String {
+    let mut code = String::from("import os\n");
+    for i in 0..lines {
+        if i == k {
+            code.push_str(&format!("slot_{i} = '{marker}'\n"));
+        } else {
+            code.push_str(&format!("slot_{i} = {i} * {file} + len('padding')\n"));
+        }
+    }
+    code
+}
+
+/// `versions` releases of a package of `files` modules: release `v`
+/// rewrites one line of one module (round-robin) and the change sticks
+/// — the version-bump workload the splice path exists for. Successive
+/// releases differ in exactly one line of one file.
+fn release_stream(files: usize, lines: usize, versions: usize) -> Vec<ScanRequest> {
+    let mut markers: Vec<String> = (0..files).map(|f| format!("base {f}")).collect();
+    (0..versions)
+        .map(|v| {
+            if v > 0 {
+                markers[(v - 1) % files] = format!("release {v} payload os.system(x)");
+            }
+            let entries = (0..files)
+                .map(|f| {
+                    FileEntry::new(
+                        format!("pkg/mod_{f}.py"),
+                        module(f, lines, (f * 7 + lines / 2) % lines, &markers[f]).into_bytes(),
+                    )
+                })
+                .collect::<Vec<_>>();
+            ScanRequest::from_files(entries)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Verdicts over a version stream are identical whether artifacts
+    /// are spliced from siblings or always built from scratch, and the
+    /// counters account for every build: parses + relexes == unique
+    /// digests, with relexed bytes a strict fraction of content.
+    #[test]
+    fn spliced_version_stream_matches_cold_scans(
+        files in 1usize..4,
+        lines in 20usize..60,
+        versions in 2usize..6,
+    ) {
+        let requests = release_stream(files, lines, versions);
+        let warm = hub(4096);
+        let cold = hub(0); // artifact cache off: every entry full-parses
+        let warm_verdicts = warm.scan_ordered(requests.iter().cloned());
+        let cold_verdicts = cold.scan_ordered(requests.iter().cloned());
+        for (w, c) in warm_verdicts.iter().zip(&cold_verdicts) {
+            prop_assert!(w.same_matches(c), "splice changed a verdict:\n{w:?}\nvs\n{c:?}");
+        }
+        let stats = warm.stats();
+        // Each release after the first introduces exactly one new
+        // digest: the edited module, a one-line diff from its cached
+        // sibling. Every other entry is a digest cache hit.
+        let mut unique = std::collections::HashSet::new();
+        for req in &requests {
+            for f in req.files() {
+                unique.insert(f.digest());
+            }
+        }
+        prop_assert_eq!(
+            stats.artifact_parses + stats.incremental_relexes,
+            unique.len() as u64,
+            "every unique digest is built exactly once, spliced or not"
+        );
+        prop_assert!(
+            stats.incremental_relexes >= (versions - 1) as u64,
+            "version bumps must splice: {} relexes over {} releases",
+            stats.incremental_relexes,
+            versions
+        );
+        prop_assert!(stats.relexed_bytes > 0);
+        // A one-line edit in an N-line module relexes a small window.
+        let content: u64 = requests
+            .iter()
+            .flat_map(|r| r.files().iter())
+            .map(|f| f.bytes().len() as u64)
+            .sum();
+        prop_assert!(
+            stats.relexed_bytes * 4 < content,
+            "windows ({} bytes) are not small against content ({content} bytes)",
+            stats.relexed_bytes
+        );
+    }
+
+    /// Spliced artifacts feed the retro-hunt index the same grams a
+    /// full build would: hunting new rules over spliced history agrees
+    /// with the exhaustive rescan oracle and finds IOCs that entered
+    /// history *through a splice*.
+    #[test]
+    fn retro_hunt_over_spliced_history_matches_the_rescan_oracle(
+        files in 1usize..3,
+        lines in 20usize..40,
+        versions in 3usize..6,
+    ) {
+        let hub = hub(4096);
+        let requests = release_stream(files, lines, versions);
+        let _ = hub.scan_ordered(requests);
+        let stats = hub.stats();
+        prop_assert!(stats.incremental_relexes >= (versions - 1) as u64, "history must contain spliced artifacts");
+        // `hunted` matches the payload text spliced into each release;
+        // `absent` must nominate nothing.
+        let next = r#"
+rule hunted { strings: $a = "payload os.system" condition: $a }
+rule absent { strings: $a = "no_such_marker_anywhere" condition: $a }
+"#;
+        let deployment = hub.deploy_rules(Some(yara_engine::compile(next).expect("next")), None);
+        let report = hub.retro_hunt(&deployment).expect("retro index enabled");
+        let oracle = hub.retro_rescan(&deployment).expect("oracle");
+        prop_assert!(
+            report.same_hits(&oracle),
+            "hunt over spliced artifacts diverged from rescan:\n{:?}\nvs\n{:?}",
+            report.rules,
+            oracle.rules
+        );
+        let hunted = report.rules.iter().find(|r| r.rule == "hunted").expect("hunted");
+        // The newest release's payload line is cache-resident and was
+        // built by splice; the index must still surface it.
+        prop_assert!(!hunted.digests.is_empty(), "IOC spliced into history was lost");
+        let absent = report.rules.iter().find(|r| r.rule == "absent").expect("absent");
+        prop_assert!(absent.digests.is_empty());
+        prop_assert!(absent.candidates < report.digests_indexed, "index failed to prune");
+    }
+}
+
+/// Sibling eviction is safe: when the cache is too small to keep the
+/// previous version resident, bumps full-parse (no stale splice donor)
+/// and verdicts stay correct.
+#[test]
+fn evicted_siblings_degrade_to_full_builds() {
+    let tiny = hub(1);
+    let requests = release_stream(3, 24, 3); // 3 files/release, capacity 1
+    let verdicts = tiny.scan_ordered(requests.iter().cloned());
+    let cold = hub(0);
+    let oracle = cold.scan_ordered(requests.iter().cloned());
+    for (v, o) in verdicts.iter().zip(&oracle) {
+        assert!(
+            v.same_matches(o),
+            "eviction-pressured hub changed a verdict"
+        );
+    }
+    let stats = tiny.stats();
+    assert_eq!(
+        stats.incremental_relexes, 0,
+        "no sibling survives a capacity-1 cache shared by 3 files"
+    );
+}
